@@ -1,0 +1,205 @@
+package dodo
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// the ablation benches DESIGN.md calls out. Each bench drives the same
+// experiment code as cmd/dodo-bench and reports its headline numbers as
+// custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the entire evaluation. Benches run at reduced Scale so
+// the suite completes in minutes; cmd/dodo-bench -scale 1 reruns the
+// paper-exact configuration (EXPERIMENTS.md records those results).
+
+import (
+	"testing"
+	"time"
+
+	"dodo/internal/experiments"
+)
+
+const benchScale = 0.125
+
+// BenchmarkTable1 regenerates Table 1 (per-class memory breakdown).
+func BenchmarkTable1(b *testing.B) {
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table1(4, 3*24*time.Hour, int64(i)+1)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.AvailKB.Mean/1024, "availMB-"+r.Class)
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (cluster availability series).
+func BenchmarkFigure1(b *testing.B) {
+	var res []experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Figure1(3*24*time.Hour, int64(i)+1)
+	}
+	for _, r := range res {
+		b.ReportMetric(r.AvgAllMB, "allMB-"+r.Cluster)
+		b.ReportMetric(r.AvgIdleMB, "idleMB-"+r.Cluster)
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (per-host availability).
+func BenchmarkFigure2(b *testing.B) {
+	var res []experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Figure2(3*24*time.Hour, int64(i)+1)
+	}
+	for _, r := range res {
+		b.ReportMetric(r.MeanMB, "meanMB-"+r.Class)
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7 (lu and dmine speedups).
+func BenchmarkFigure7(b *testing.B) {
+	var rows []experiments.Fig7Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure7(experiments.Figure7Config{Scale: benchScale, Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Speedup, "speedup-"+r.App+"-"+r.Transport)
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (synthetic benchmark sweep).
+func BenchmarkFigure8(b *testing.B) {
+	var rows []experiments.Fig8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure8(experiments.Figure8Config{Scale: benchScale, Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report the 8 KB cells (the paper's panel A/C equivalents).
+	for _, r := range rows {
+		if r.ReqKB != 8 {
+			continue
+		}
+		unit := "x-" + r.Pattern + "-" + r.Transport
+		if r.DatasetMB > int(float64(1<<10)*benchScale) {
+			unit += "-2G"
+		}
+		b.ReportMetric(r.Speedup, unit)
+	}
+}
+
+// BenchmarkReclamation regenerates the §5.3.1 recruitment-policy result.
+func BenchmarkReclamation(b *testing.B) {
+	var rows []experiments.ReclaimRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Reclamation(experiments.ReclaimConfig{
+			Hosts: 12, Duration: 3 * 24 * time.Hour, Seed: int64(i) + 1,
+		})
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.MeanDelay)/float64(time.Millisecond), "delayMs-"+r.Policy)
+	}
+}
+
+// BenchmarkAllocatorAblation compares first-fit vs buddy under churn.
+func BenchmarkAllocatorAblation(b *testing.B) {
+	var rows []experiments.AllocatorRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.AllocatorAblation(64<<20, 20000, int64(i)+1)
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Failures), "failures-"+r.Allocator)
+		b.ReportMetric(r.Fragmentation, "frag-"+r.Allocator)
+	}
+}
+
+// BenchmarkPolicyAblation sweeps replacement policies per pattern.
+func BenchmarkPolicyAblation(b *testing.B) {
+	var rows []experiments.PolicyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.PolicyAblation(0.0625, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Pattern == "hotcold" {
+			b.ReportMetric(r.Speedup, "x-hotcold-"+r.Policy)
+		}
+	}
+}
+
+// BenchmarkRefractionAblation measures what the refraction period saves.
+func BenchmarkRefractionAblation(b *testing.B) {
+	var rows []experiments.RefractionRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RefractionAblation(0.0625, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		name := "allocRPCs-off"
+		if r.RefractionPeriod > time.Millisecond {
+			name = "allocRPCs-on"
+		}
+		b.ReportMetric(float64(r.AllocAttempts), name)
+	}
+}
+
+// BenchmarkHeadroomAblation sweeps the §3.1 harvest headroom.
+func BenchmarkHeadroomAblation(b *testing.B) {
+	var rows []experiments.HeadroomRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.HeadroomAblation(8, 2*24*time.Hour, int64(i)+1)
+	}
+	for _, r := range rows {
+		if r.HeadroomFraction == 0 || r.HeadroomFraction == 0.15 {
+			b.ReportMetric(float64(r.MeanDelay)/float64(time.Millisecond),
+				"delayMs-"+fmtPct(r.HeadroomFraction))
+		}
+	}
+}
+
+func fmtPct(f float64) string {
+	if f == 0 {
+		return "0pct"
+	}
+	return "15pct"
+}
+
+// BenchmarkNackAblation compares selective NACK vs full-window
+// retransmission over a live lossy network.
+func BenchmarkNackAblation(b *testing.B) {
+	var rows []experiments.NackRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.NackAblation(0.05, 4, 128<<10, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Retransmits), "retx-"+r.Mode)
+	}
+}
+
+// BenchmarkTransportMicro tabulates UDP vs U-Net request round trips.
+func BenchmarkTransportMicro(b *testing.B) {
+	var rows []experiments.TransportRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.TransportMicro()
+	}
+	for _, r := range rows {
+		if r.SizeBytes == 8<<10 || r.SizeBytes == 128<<10 {
+			b.ReportMetric(float64(r.UDPTime)/float64(time.Millisecond), "udpMs")
+			b.ReportMetric(float64(r.UNetTime)/float64(time.Millisecond), "unetMs")
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// dodo-bench regenerates the paper's tables and figures from the
+// reimplemented system (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results).
+//
+// Usage:
+//
+//	dodo-bench -exp all            # everything at paper scale
+//	dodo-bench -exp fig8 -scale 0.125
+//	dodo-bench -exp table1,fig1,fig2,fig7,fig8,reclaim,ablations,transport
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dodo/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig1,fig2,fig7,fig8,reclaim,ablations,transport,all")
+	scale := flag.Float64("scale", 1.0, "dataset/memory scale factor (1 = paper scale)")
+	seed := flag.Int64("seed", 1999, "random seed")
+	duration := flag.Duration("duration", 7*24*time.Hour, "monitoring-period length for the §2 study")
+	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatalf("dodo-bench: %v", err)
+		}
+	}
+	writeCSV := func(name string, fn func(f *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatalf("dodo-bench: %v", err)
+		}
+		if err := fn(f); err != nil {
+			log.Fatalf("dodo-bench: writing %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("dodo-bench: %v", err)
+		}
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := false
+	out := os.Stdout
+
+	if all || want["table1"] {
+		ran = true
+		fmt.Fprintln(out, "=== Table 1 ===")
+		experiments.FormatTable1(out, experiments.Table1(6, *duration, *seed))
+		fmt.Fprintln(out)
+	}
+	if all || want["fig1"] {
+		ran = true
+		fmt.Fprintln(out, "=== Figure 1 ===")
+		res := experiments.Figure1(*duration, *seed)
+		experiments.FormatFigure1(out, res)
+		for _, r := range res {
+			experiments.FormatFigure1Series(out, r, 24)
+			r := r
+			writeCSV("fig1_"+r.Cluster+".csv", func(f *os.File) error {
+				return experiments.WriteFigure1CSV(f, r)
+			})
+		}
+		fmt.Fprintln(out)
+	}
+	if all || want["fig2"] {
+		ran = true
+		fmt.Fprintln(out, "=== Figure 2 ===")
+		f2 := experiments.Figure2(*duration, *seed)
+		experiments.FormatFigure2(out, f2)
+		for _, r := range f2 {
+			r := r
+			writeCSV("fig2_"+r.Class+".csv", func(f *os.File) error {
+				return experiments.WriteFigure2CSV(f, r)
+			})
+		}
+		fmt.Fprintln(out)
+	}
+	if all || want["fig7"] {
+		ran = true
+		fmt.Fprintln(out, "=== Figure 7 ===")
+		rows, err := experiments.Figure7(experiments.Figure7Config{Scale: *scale, Seed: *seed})
+		if err != nil {
+			log.Fatalf("dodo-bench: figure 7: %v", err)
+		}
+		experiments.FormatFigure7(out, rows)
+		writeCSV("fig7.csv", func(f *os.File) error {
+			return experiments.WriteFigure7CSV(f, rows)
+		})
+		fmt.Fprintln(out)
+	}
+	if all || want["fig8"] {
+		ran = true
+		fmt.Fprintln(out, "=== Figure 8 ===")
+		rows, err := experiments.Figure8(experiments.Figure8Config{Scale: *scale, Seed: *seed})
+		if err != nil {
+			log.Fatalf("dodo-bench: figure 8: %v", err)
+		}
+		experiments.FormatFigure8(out, rows)
+		writeCSV("fig8.csv", func(f *os.File) error {
+			return experiments.WriteFigure8CSV(f, rows)
+		})
+		fmt.Fprintln(out)
+	}
+	if all || want["reclaim"] {
+		ran = true
+		fmt.Fprintln(out, "=== Reclamation (§5.3.1) ===")
+		rows := experiments.Reclamation(experiments.ReclaimConfig{
+			Hosts: 24, Duration: *duration, Seed: *seed,
+		})
+		experiments.FormatReclamation(out, rows)
+		writeCSV("reclaim.csv", func(f *os.File) error {
+			return experiments.WriteReclaimCSV(f, rows)
+		})
+		fmt.Fprintln(out)
+	}
+	if all || want["ablations"] {
+		ran = true
+		fmt.Fprintln(out, "=== Ablations ===")
+		experiments.FormatAllocator(out, experiments.AllocatorAblation(64<<20, 20000, *seed))
+		fmt.Fprintln(out)
+		policyRows, err := experiments.PolicyAblation(minf(*scale, 0.0625), *seed)
+		if err != nil {
+			log.Fatalf("dodo-bench: policy ablation: %v", err)
+		}
+		experiments.FormatPolicy(out, policyRows)
+		fmt.Fprintln(out)
+		refRows, err := experiments.RefractionAblation(minf(*scale, 0.0625), *seed)
+		if err != nil {
+			log.Fatalf("dodo-bench: refraction ablation: %v", err)
+		}
+		experiments.FormatRefraction(out, refRows)
+		fmt.Fprintln(out)
+		experiments.FormatHeadroom(out, experiments.HeadroomAblation(16, 3*24*time.Hour, *seed))
+		fmt.Fprintln(out)
+		nackRows, err := experiments.NackAblation(0.05, 8, 256<<10, *seed)
+		if err != nil {
+			log.Fatalf("dodo-bench: NACK ablation: %v", err)
+		}
+		experiments.FormatNack(out, nackRows)
+		fmt.Fprintln(out)
+	}
+	if all || want["transport"] {
+		ran = true
+		fmt.Fprintln(out, "=== Transport microbenchmark ===")
+		experiments.FormatTransport(out, experiments.TransportMicro())
+		fmt.Fprintln(out)
+	}
+	if !ran {
+		log.Fatalf("dodo-bench: unknown experiment selection %q", *exp)
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

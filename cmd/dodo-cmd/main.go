@@ -1,0 +1,66 @@
+// dodo-cmd is Dodo's central manager daemon (cmd, §4.3): it tracks idle
+// workstations, keeps the region directory, and serves alloc/free/
+// checkAlloc requests from application runtimes.
+//
+// Usage:
+//
+//	dodo-cmd -listen 0.0.0.0:7000 [-keepalive 2s] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dodo"
+)
+
+func main() {
+	listen := flag.String("listen", "0.0.0.0:7000", "UDP address to serve on")
+	keepalive := flag.Duration("keepalive", 2*time.Second, "client keep-alive echo interval")
+	misses := flag.Int("misses", 3, "missed keep-alives before a client's regions are reclaimed")
+	verbose := flag.Bool("verbose", false, "log every operation")
+	stats := flag.Duration("stats", 30*time.Second, "interval between stats lines (0 disables)")
+	flag.Parse()
+
+	cfg := dodo.ManagerConfig{
+		KeepAliveInterval: *keepalive,
+		KeepAliveMisses:   *misses,
+	}
+	if *verbose {
+		cfg.Logger = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	}
+	mgr, err := dodo.ListenManager(*listen, cfg)
+	if err != nil {
+		log.Fatalf("dodo-cmd: %v", err)
+	}
+	log.Printf("dodo-cmd: central manager serving on %s", mgr.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *stats > 0 {
+		ticker = time.NewTicker(*stats)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-tick:
+			s := mgr.Stats()
+			fmt.Printf("dodo-cmd: hosts=%d regions=%d clients=%d allocs=%d fails=%d frees=%d stale=%d orphaned=%d\n",
+				s.IdleHosts, s.Regions, s.Clients, s.Allocs, s.AllocFailures, s.Frees, s.StaleDrops, s.OrphanReclaims)
+		case sig := <-stop:
+			log.Printf("dodo-cmd: %v, shutting down", sig)
+			if err := mgr.Close(); err != nil {
+				log.Fatalf("dodo-cmd: shutdown: %v", err)
+			}
+			return
+		}
+	}
+}

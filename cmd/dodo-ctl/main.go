@@ -1,0 +1,51 @@
+// dodo-ctl inspects a running Dodo cluster: it queries the central
+// manager for its idle-workstation directory and operation counters.
+//
+// Usage:
+//
+//	dodo-ctl -manager cmdhost:7000 [-watch 5s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dodo"
+)
+
+func main() {
+	managerAddr := flag.String("manager", "", "central manager address (required)")
+	watch := flag.Duration("watch", 0, "refresh interval (0 = print once and exit)")
+	flag.Parse()
+	if *managerAddr == "" {
+		log.Fatal("dodo-ctl: -manager is required")
+	}
+	for {
+		stats, err := dodo.QueryCluster(*managerAddr)
+		if err != nil {
+			log.Fatalf("dodo-ctl: %v", err)
+		}
+		print(stats)
+		if *watch <= 0 {
+			return
+		}
+		time.Sleep(*watch)
+		fmt.Fprintln(os.Stdout)
+	}
+}
+
+func print(s dodo.ClusterState) {
+	fmt.Printf("manager: %d idle hosts, %d regions, %d clients\n", len(s.Hosts), s.Regions, s.Clients)
+	fmt.Printf("counters: %d allocs (%d failed), %d frees, %d stale drops, %d orphan reclaims\n",
+		s.Allocs, s.AllocFailures, s.Frees, s.StaleDrops, s.OrphanReclaims)
+	if len(s.Hosts) == 0 {
+		return
+	}
+	fmt.Printf("%-24s %8s %12s %12s\n", "host", "epoch", "avail", "largest")
+	for _, h := range s.Hosts {
+		fmt.Printf("%-24s %8d %9d MB %9d MB\n", h.Addr, h.Epoch, h.AvailBytes>>20, h.LargestFree>>20)
+	}
+}

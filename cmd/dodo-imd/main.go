@@ -1,0 +1,80 @@
+// dodo-imd is Dodo's idle memory daemon (imd, §4.2), run standalone on
+// dedicated (Beowulf-style) nodes that are always recruitable. On
+// desktop machines, dodo-rmd manages imd lifecycle instead.
+//
+// Usage:
+//
+//	dodo-imd -manager cmdhost:7000 [-listen 0.0.0.0:7001] [-pool 100M]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dodo"
+)
+
+// parseSize parses "100M", "1G", "512K" or plain bytes.
+func parseSize(s string) (uint64, error) {
+	mult := uint64(1)
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(upper, "G"):
+		mult, upper = 1<<30, strings.TrimSuffix(upper, "G")
+	case strings.HasSuffix(upper, "M"):
+		mult, upper = 1<<20, strings.TrimSuffix(upper, "M")
+	case strings.HasSuffix(upper, "K"):
+		mult, upper = 1<<10, strings.TrimSuffix(upper, "K")
+	}
+	n, err := strconv.ParseUint(upper, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	return n * mult, nil
+}
+
+func main() {
+	listen := flag.String("listen", "0.0.0.0:7001", "UDP address to serve regions on")
+	managerAddr := flag.String("manager", "", "central manager address (required)")
+	poolFlag := flag.String("pool", "100M", "memory pool size (the paper's imds used 100 MB)")
+	epoch := flag.Uint64("epoch", uint64(time.Now().Unix()), "epoch stamp for this incarnation")
+	status := flag.Duration("status", time.Second, "availability report interval")
+	verbose := flag.Bool("verbose", false, "log every operation")
+	flag.Parse()
+
+	if *managerAddr == "" {
+		log.Fatal("dodo-imd: -manager is required")
+	}
+	pool, err := parseSize(*poolFlag)
+	if err != nil {
+		log.Fatalf("dodo-imd: %v", err)
+	}
+	cfg := dodo.IMDConfig{
+		ManagerAddr:    *managerAddr,
+		PoolSize:       pool,
+		Epoch:          *epoch,
+		StatusInterval: *status,
+	}
+	if *verbose {
+		cfg.Logger = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	}
+	d, err := dodo.ListenIMD(*listen, cfg)
+	if err != nil {
+		log.Fatalf("dodo-imd: %v", err)
+	}
+	log.Printf("dodo-imd: serving %d MB pool on %s (manager %s, epoch %d)",
+		pool>>20, d.Addr(), *managerAddr, *epoch)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	sig := <-stop
+	log.Printf("dodo-imd: %v, draining", sig)
+	d.Drain() // complete ongoing transfers, tell the manager, exit
+}

@@ -1,0 +1,41 @@
+// dodo-memstudy regenerates the idle-memory availability study that
+// motivated Dodo (§2 of the paper; Acharya & Setia [2]): Table 1's
+// per-class memory breakdown and the Figure 1 / Figure 2 availability
+// series for the two monitored clusters.
+//
+// Usage:
+//
+//	dodo-memstudy [-duration 168h] [-hosts 6] [-seed 42] [-series]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dodo/internal/experiments"
+)
+
+func main() {
+	duration := flag.Duration("duration", 7*24*time.Hour, "monitoring period")
+	hosts := flag.Int("hosts", 6, "hosts per class for the Table 1 study")
+	seed := flag.Int64("seed", 42, "random seed")
+	series := flag.Bool("series", false, "print the downsampled Figure 1 time series")
+	flag.Parse()
+
+	out := os.Stdout
+	experiments.FormatTable1(out, experiments.Table1(*hosts, *duration, *seed))
+	fmt.Fprintln(out)
+
+	res := experiments.Figure1(*duration, *seed)
+	experiments.FormatFigure1(out, res)
+	if *series {
+		for _, r := range res {
+			fmt.Fprintln(out)
+			experiments.FormatFigure1Series(out, r, 36)
+		}
+	}
+	fmt.Fprintln(out)
+	experiments.FormatFigure2(out, experiments.Figure2(*duration, *seed))
+}

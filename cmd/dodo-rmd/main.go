@@ -1,0 +1,141 @@
+// dodo-rmd is Dodo's resource monitor daemon (rmd, §4.1) for desktop
+// workstations: it samples console activity and load once a second,
+// starts an idle memory daemon when the machine has been idle for five
+// minutes, and drains it the moment the owner returns.
+//
+// Usage:
+//
+//	dodo-rmd -manager cmdhost:7000 [-listen 0.0.0.0:7001] [-pool 100M]
+//	         [-idle-after 5m] [-load 0.3] [-outside-hours 9-17]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"dodo"
+	"dodo/internal/monitor"
+)
+
+func parseSize(s string) (uint64, error) {
+	mult := uint64(1)
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(upper, "G"):
+		mult, upper = 1<<30, strings.TrimSuffix(upper, "G")
+	case strings.HasSuffix(upper, "M"):
+		mult, upper = 1<<20, strings.TrimSuffix(upper, "M")
+	case strings.HasSuffix(upper, "K"):
+		mult, upper = 1<<10, strings.TrimSuffix(upper, "K")
+	}
+	n, err := strconv.ParseUint(upper, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	return n * mult, nil
+}
+
+func main() {
+	listen := flag.String("listen", "0.0.0.0:7001", "UDP address for the imd to serve on")
+	managerAddr := flag.String("manager", "", "central manager address (required)")
+	poolFlag := flag.String("pool", "100M", "memory pool harvested while idle")
+	idleAfter := flag.Duration("idle-after", 5*time.Minute, "quiet time before recruiting (paper: 5m)")
+	loadThreshold := flag.Float64("load", 0.3, "adjusted-load ceiling (paper: 0.3)")
+	outsideHours := flag.String("outside-hours", "", "never recruit during these weekday hours, e.g. \"9-17\"")
+	verbose := flag.Bool("verbose", false, "log recruit/reclaim transitions")
+	flag.Parse()
+
+	if *managerAddr == "" {
+		log.Fatal("dodo-rmd: -manager is required")
+	}
+	pool, err := parseSize(*poolFlag)
+	if err != nil {
+		log.Fatalf("dodo-rmd: %v", err)
+	}
+	var rules monitor.RuleSet
+	if *outsideHours != "" {
+		var lo, hi int
+		if _, err := fmt.Sscanf(*outsideHours, "%d-%d", &lo, &hi); err != nil {
+			log.Fatalf("dodo-rmd: bad -outside-hours %q: %v", *outsideHours, err)
+		}
+		rules = append(rules, monitor.OutsideHours{StartHour: lo, EndHour: hi, Days: monitor.Weekdays})
+	}
+
+	var logger *log.Logger
+	if *verbose {
+		logger = log.New(os.Stderr, "", log.LstdFlags)
+	}
+
+	var (
+		mu    sync.Mutex
+		d     *dodo.IMD
+		epoch uint64
+	)
+	hooks := dodo.MonitorHooks{
+		OnRecruit: func(now time.Time) {
+			mu.Lock()
+			defer mu.Unlock()
+			epoch++
+			var err error
+			d, err = dodo.ListenIMD(*listen, dodo.IMDConfig{
+				ManagerAddr: *managerAddr,
+				PoolSize:    pool,
+				Epoch:       epoch,
+				Logger:      logger,
+			})
+			if err != nil {
+				log.Printf("dodo-rmd: starting imd: %v", err)
+				d = nil
+				return
+			}
+			log.Printf("dodo-rmd: idle; recruited with %d MB pool (epoch %d)", pool>>20, epoch)
+		},
+		OnReclaim: func(now time.Time) {
+			mu.Lock()
+			daemon := d
+			d = nil
+			mu.Unlock()
+			if daemon != nil {
+				daemon.Drain()
+				log.Printf("dodo-rmd: owner returned; imd drained")
+			}
+		},
+	}
+
+	mon := dodo.NewMonitor(monitor.NewSystemSource(), dodo.MonitorConfig{
+		IdleAfter:     *idleAfter,
+		LoadThreshold: *loadThreshold,
+		Rules:         rules,
+	}, hooks)
+
+	log.Printf("dodo-rmd: monitoring (idle-after %v, load < %.2f, rules: %s)",
+		*idleAfter, *loadThreshold, rules)
+
+	stopCh := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		close(stopCh)
+	}()
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stopCh:
+			hooks.OnReclaim(time.Now())
+			log.Printf("dodo-rmd: shutting down")
+			return
+		case now := <-ticker.C:
+			mon.Step(now)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Harvesting: a non-dedicated desktop cluster (§3, §4.1) in one
+// process. Each workstation runs a resource monitor; idle machines are
+// recruited (an imd is forked with a harvest-limited pool), busy ones
+// are reclaimed the moment their owner returns — and the application's
+// region descriptors on that host are dropped, falling back to disk,
+// exactly as §3.1 prescribes.
+//
+// Run with: go run ./examples/harvesting
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"dodo"
+	"dodo/internal/bulk"
+	"dodo/internal/cluster"
+	"dodo/internal/core"
+	"dodo/internal/manager"
+	"dodo/internal/monitor"
+	"dodo/internal/trace"
+)
+
+func main() {
+	start := time.Date(1999, 8, 2, 10, 0, 0, 0, time.UTC)
+	ep := bulk.Config{
+		CallTimeout:   200 * time.Millisecond,
+		CallRetries:   3,
+		WindowTimeout: 100 * time.Millisecond,
+		NackDelay:     40 * time.Millisecond,
+	}
+	c := cluster.New(cluster.Config{
+		Monitor:  monitor.Config{IdleAfter: 2 * time.Second},
+		Endpoint: ep,
+		Manager:  manager.Config{KeepAliveInterval: 500 * time.Millisecond, Endpoint: ep},
+	})
+	defer c.Close()
+
+	// Pool sizing via the §3.1 harvest limit, from a synthetic memory
+	// sample of a 128 MB-class workstation.
+	host := trace.NewHost(trace.Class128MB, trace.ProfileClusterA, 1)
+	sample := host.Step(start, time.Minute)
+	harvest := dodo.HarvestLimit(sample.Mem, -1)
+	fmt.Printf("harvest limit for a 128MB host: %d MB (in use %d MB, 15%% headroom reserved)\n",
+		harvest>>20, sample.Mem.InUse()>>20)
+
+	// ws1 goes busy at t=25s (the owner returns); ws2 and ws3 stay idle.
+	stations := []*cluster.Workstation{
+		c.AddWorkstation("ws1", cluster.Scripted(start, map[int]bool{25: true})),
+		c.AddWorkstation("ws2", cluster.AlwaysIdle()),
+		c.AddWorkstation("ws3", cluster.AlwaysIdle()),
+	}
+	for _, w := range stations {
+		w.SetPool(harvest)
+	}
+	step := func(sec int) {
+		for _, w := range stations {
+			w.Step(start.Add(time.Duration(sec) * time.Second))
+		}
+	}
+	for sec := 0; sec <= 3; sec++ {
+		step(sec)
+	}
+	waitForHosts(c, 3)
+	fmt.Printf("all 3 workstations idle and recruited (%d MB pools)\n", harvest>>20)
+
+	// An application spreads regions across the harvested memory.
+	cli := c.NewClient("app", core.Config{ClientID: 1})
+	backing := dodo.NewMemBacking(5, 1<<20)
+	payload := bytes.Repeat([]byte{0xAB}, 64<<10)
+	var fds []int
+	for i := 0; i < 6; i++ {
+		fd, err := cli.Mopen(64<<10, backing, int64(i)*64<<10)
+		if err != nil {
+			log.Fatalf("mopen %d: %v", i, err)
+		}
+		if _, err := cli.Mwrite(fd, 0, payload); err != nil {
+			log.Fatalf("mwrite %d: %v", i, err)
+		}
+		fds = append(fds, fd)
+	}
+	fmt.Printf("application cached 6 regions (%d KB each) across the cluster\n", 64)
+
+	// t=25s: ws1's owner touches the keyboard. Reclaim is immediate.
+	for sec := 4; sec <= 25; sec++ {
+		step(sec)
+	}
+	fmt.Println("ws1's owner returned: imd drained, host withdrawn from the manager")
+
+	// Regions hosted on ws1 are gone; reads fail over to disk. The
+	// paper's contract: one failed access drops every descriptor on
+	// that host (§3.1), and the data is still safe in the backing file.
+	survived, dropped := 0, 0
+	buf := make([]byte, 64<<10)
+	for _, fd := range fds {
+		_, err := cli.Mread(fd, 0, buf)
+		switch {
+		case err == nil:
+			survived++
+		case errors.Is(err, core.ErrNoMem):
+			dropped++
+		default:
+			log.Fatalf("unexpected mread error: %v", err)
+		}
+	}
+	fmt.Printf("after reclaim: %d regions still served from remote memory, %d dropped (served from disk)\n",
+		survived, dropped)
+	if !bytes.Equal(backing.Bytes()[:64<<10], payload) {
+		log.Fatal("backing lost data")
+	}
+	fmt.Println("backing file intact: no data lost when the workstation was reclaimed")
+
+	s := c.Manager().Stats()
+	fmt.Printf("manager: %d idle hosts, %d live regions, %d stale regions dropped\n",
+		s.IdleHosts, s.Regions, s.StaleDrops)
+}
+
+func waitForHosts(c *cluster.Cluster, want int) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Manager().Stats().IdleHosts >= want {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatalf("only %d of %d hosts recruited", c.Manager().Stats().IdleHosts, want)
+}

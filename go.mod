@@ -1,0 +1,3 @@
+module dodo
+
+go 1.22

@@ -1,0 +1,135 @@
+package dmine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Corpus serialization: the on-disk transaction format the paper's dmine
+// reads in 128 KB requests. The layout is a little-endian stream:
+//
+//	magic   uint32  'DMN1'
+//	count   uint32  number of transactions
+//	repeat count times:
+//	  n     uint32  items in this transaction
+//	  item  uint32 x n (ascending)
+//
+// WriteCorpus/ReadCorpus stream through bufio so corpora larger than
+// memory encode in one pass; EncodeCorpus/DecodeCorpus are the in-memory
+// conveniences used by tests and examples.
+
+// corpusMagic marks a serialized corpus.
+const corpusMagic = 0x444d4e31 // "DMN1"
+
+// ErrBadCorpus reports a malformed serialized corpus.
+var ErrBadCorpus = errors.New("dmine: malformed corpus")
+
+// WriteCorpus streams transactions to w.
+func WriteCorpus(w io.Writer, txs []Transaction) error {
+	bw := bufio.NewWriter(w)
+	var scratch [4]byte
+	put := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:], v)
+		_, err := bw.Write(scratch[:])
+		return err
+	}
+	if err := put(corpusMagic); err != nil {
+		return err
+	}
+	if err := put(uint32(len(txs))); err != nil {
+		return err
+	}
+	for _, t := range txs {
+		if err := put(uint32(len(t))); err != nil {
+			return err
+		}
+		for _, it := range t {
+			if it < 0 {
+				return fmt.Errorf("dmine: negative item %d", it)
+			}
+			if err := put(uint32(it)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCorpus streams transactions from r.
+func ReadCorpus(r io.Reader) ([]Transaction, error) {
+	br := bufio.NewReader(r)
+	var scratch [4]byte
+	get := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:]), nil
+	}
+	magic, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadCorpus, err)
+	}
+	if magic != corpusMagic {
+		return nil, fmt.Errorf("%w: magic %08x", ErrBadCorpus, magic)
+	}
+	count, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing count: %v", ErrBadCorpus, err)
+	}
+	const maxTransactions = 1 << 28
+	if count > maxTransactions {
+		return nil, fmt.Errorf("%w: %d transactions", ErrBadCorpus, count)
+	}
+	out := make([]Transaction, count)
+	for i := range out {
+		n, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated at transaction %d", ErrBadCorpus, i)
+		}
+		if n > 1<<20 {
+			return nil, fmt.Errorf("%w: transaction %d has %d items", ErrBadCorpus, i, n)
+		}
+		t := make(Transaction, n)
+		prev := -1
+		for j := range t {
+			v, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated item in transaction %d", ErrBadCorpus, i)
+			}
+			t[j] = int(v)
+			if t[j] <= prev {
+				return nil, fmt.Errorf("%w: transaction %d items not ascending", ErrBadCorpus, i)
+			}
+			prev = t[j]
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// EncodeCorpus serializes in memory.
+func EncodeCorpus(txs []Transaction) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, txs); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCorpus parses an in-memory corpus.
+func DecodeCorpus(b []byte) ([]Transaction, error) {
+	return ReadCorpus(bytes.NewReader(b))
+}
+
+// EncodedSize returns the exact serialized size without encoding.
+func EncodedSize(txs []Transaction) int64 {
+	n := int64(8) // magic + count
+	for _, t := range txs {
+		n += 4 + 4*int64(len(t))
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+package dmine
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCorpusRoundTrip(t *testing.T) {
+	txs := Generate(GenConfig{Transactions: 200, AvgSize: 6, Items: 100, Seed: 1})
+	blob, err := EncodeCorpus(txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(blob)) != EncodedSize(txs) {
+		t.Fatalf("EncodedSize = %d, actual %d", EncodedSize(txs), len(blob))
+	}
+	got, err := DecodeCorpus(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, txs) {
+		t.Fatal("corpus round trip mismatch")
+	}
+}
+
+func TestCorpusFileRoundTrip(t *testing.T) {
+	txs := Generate(GenConfig{Transactions: 500, AvgSize: 10, Items: 300, Seed: 2})
+	path := filepath.Join(t.TempDir(), "corpus.dmn")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCorpus(f, txs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	got, err := ReadCorpus(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, txs) {
+		t.Fatal("file round trip mismatch")
+	}
+	// Mining the reloaded corpus gives the same result.
+	a := Mine(txs, 20, 0.5, 3)
+	b := Mine(got, 20, 0.5, 3)
+	if !reflect.DeepEqual(a.Levels, b.Levels) {
+		t.Fatal("mining results differ after serialization")
+	}
+}
+
+func TestCorpusEmpty(t *testing.T) {
+	blob, err := EncodeCorpus(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCorpus(blob)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty corpus round trip = %d txs, %v", len(got), err)
+	}
+}
+
+func TestCorpusRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": {1, 2, 3, 4, 0, 0, 0, 0},
+		"truncated count": {
+			0x31, 0x4e, 0x4d, 0x44, // magic LE
+		},
+	}
+	for name, blob := range cases {
+		if _, err := DecodeCorpus(blob); !errors.Is(err, ErrBadCorpus) {
+			t.Errorf("%s: err = %v, want ErrBadCorpus", name, err)
+		}
+	}
+	// Truncated mid-transaction.
+	good, _ := EncodeCorpus([]Transaction{{1, 2, 3}, {4, 5}})
+	for cut := 9; cut < len(good); cut += 4 {
+		if _, err := DecodeCorpus(good[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Non-ascending items.
+	bad, _ := EncodeCorpus([]Transaction{{1, 2}})
+	// items live at offsets 12 and 16; swap them
+	copy(bad[12:16], []byte{2, 0, 0, 0})
+	copy(bad[16:20], []byte{1, 0, 0, 0})
+	if _, err := DecodeCorpus(bad); !errors.Is(err, ErrBadCorpus) {
+		t.Errorf("non-ascending items accepted: %v", err)
+	}
+}
+
+func TestCorpusRejectsNegativeItems(t *testing.T) {
+	if _, err := EncodeCorpus([]Transaction{{-1}}); err == nil {
+		t.Fatal("negative item accepted")
+	}
+}
+
+// Property: any generated corpus round-trips exactly.
+func TestPropertyCorpusRoundTrip(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		txs := Generate(GenConfig{
+			Transactions: int(count%50) + 1, AvgSize: 4, Items: 40, Seed: seed,
+		})
+		blob, err := EncodeCorpus(txs)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeCorpus(blob)
+		return err == nil && reflect.DeepEqual(got, txs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding arbitrary bytes never panics.
+func TestPropertyDecodeGarbageNeverPanics(t *testing.T) {
+	f := func(garbage []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("DecodeCorpus panicked: %v", r)
+			}
+		}()
+		_, _ = DecodeCorpus(garbage)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeCorpus(b *testing.B) {
+	txs := Generate(GenConfig{Transactions: 5000, AvgSize: 20, Items: 1000, Seed: 1})
+	b.SetBytes(EncodedSize(txs))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteCorpus(&buf, txs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

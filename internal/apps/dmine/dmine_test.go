@@ -1,0 +1,268 @@
+package dmine
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// tiny corpus with known frequent sets.
+func knownCorpus() []Transaction {
+	// {1,2} appears 4x, {1,2,3} 3x, {4,5} 2x.
+	return []Transaction{
+		{1, 2, 3},
+		{1, 2, 3},
+		{1, 2, 3, 9},
+		{1, 2, 7},
+		{4, 5},
+		{4, 5, 8},
+		{6},
+	}
+}
+
+func supportOf(res Result, set ...int) int {
+	for _, lvl := range res.Levels {
+		for _, f := range lvl {
+			if len(f.Set) != len(set) {
+				continue
+			}
+			same := true
+			for i := range set {
+				if f.Set[i] != set[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return f.Support
+			}
+		}
+	}
+	return 0
+}
+
+func TestMineFindsKnownFrequentSets(t *testing.T) {
+	res := Mine(knownCorpus(), 2, 0.5, 3)
+	cases := []struct {
+		set  []int
+		want int
+	}{
+		{[]int{1}, 4}, {[]int{2}, 4}, {[]int{3}, 3}, {[]int{4}, 2}, {[]int{5}, 2},
+		{[]int{1, 2}, 4}, {[]int{1, 3}, 3}, {[]int{2, 3}, 3}, {[]int{4, 5}, 2},
+		{[]int{1, 2, 3}, 3},
+	}
+	for _, c := range cases {
+		if got := supportOf(res, c.set...); got != c.want {
+			t.Errorf("support(%v) = %d, want %d", c.set, got, c.want)
+		}
+	}
+	// Infrequent items are pruned.
+	if got := supportOf(res, 6); got != 0 {
+		t.Errorf("singleton 6 with support 1 survived minSupport 2")
+	}
+	if got := supportOf(res, 9); got != 0 {
+		t.Errorf("singleton 9 survived")
+	}
+}
+
+func TestMinePassCount(t *testing.T) {
+	res := Mine(knownCorpus(), 2, 0.5, 3)
+	if res.Passes != 3 {
+		t.Fatalf("Passes = %d, want 3 (levels 1-3)", res.Passes)
+	}
+	res1 := Mine(knownCorpus(), 2, 0.5, 1)
+	if res1.Passes != 1 || len(res1.Levels) != 1 {
+		t.Fatalf("maxLevel 1: passes %d levels %d", res1.Passes, len(res1.Levels))
+	}
+}
+
+func TestRulesHaveCorrectConfidence(t *testing.T) {
+	res := Mine(knownCorpus(), 2, 0.0, 2)
+	// Rule {3} -> {1}: support({1,3})=3, support({3})=3 -> conf 1.0.
+	found := false
+	for _, r := range res.Rules {
+		if len(r.Antecedent) == 1 && r.Antecedent[0] == 3 &&
+			len(r.Consequent) == 1 && r.Consequent[0] == 1 {
+			found = true
+			if r.Confidence != 1.0 {
+				t.Errorf("conf({3}->{1}) = %f, want 1.0", r.Confidence)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("rule {3}->{1} not derived")
+	}
+	// High threshold filters rules.
+	strict := Mine(knownCorpus(), 2, 1.01, 3)
+	if len(strict.Rules) != 0 {
+		t.Fatalf("rules above confidence 1.01: %v", strict.Rules)
+	}
+}
+
+func TestMineEmptyAndDegenerate(t *testing.T) {
+	res := Mine(nil, 1, 0.5, 3)
+	if len(res.Levels[0]) != 0 {
+		t.Fatal("frequent sets from empty corpus")
+	}
+	res = Mine([]Transaction{{1}, {1}}, 3, 0.5, 3)
+	if len(res.Levels[0]) != 0 {
+		t.Fatal("support threshold above corpus size produced sets")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	data := Generate(GenConfig{Transactions: 500, AvgSize: 10, Items: 200, Seed: 1})
+	if len(data) != 500 {
+		t.Fatalf("transactions = %d", len(data))
+	}
+	totalItems := 0
+	for i, tx := range data {
+		if len(tx) == 0 {
+			t.Fatalf("transaction %d empty", i)
+		}
+		if !sort.IntsAreSorted(tx) {
+			t.Fatalf("transaction %d not sorted: %v", i, tx)
+		}
+		seen := map[int]bool{}
+		for _, it := range tx {
+			if it < 0 || it >= 200 {
+				t.Fatalf("item %d out of universe", it)
+			}
+			if seen[it] {
+				t.Fatalf("duplicate item in transaction %d", i)
+			}
+			seen[it] = true
+		}
+		totalItems += len(tx)
+	}
+	avg := float64(totalItems) / 500
+	if avg < 7 || avg > 13 {
+		t.Fatalf("average basket size = %.1f, want ~10", avg)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenConfig{Transactions: 50, AvgSize: 5, Items: 100, Seed: 7})
+	b := Generate(GenConfig{Transactions: 50, AvgSize: 5, Items: 100, Seed: 7})
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("generation not deterministic")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestMiningGeneratedDataFindsEmbeddedPatterns(t *testing.T) {
+	// Patterns are embedded in ~half of baskets, so with few patterns
+	// some 2-sets must clear a 5% support threshold.
+	data := Generate(GenConfig{Transactions: 2000, AvgSize: 8, Items: 500, Patterns: 5, PatternLen: 3, Seed: 3})
+	res := Mine(data, 100, 0.3, 3)
+	if len(res.Levels) < 2 || len(res.Levels[1]) == 0 {
+		t.Fatal("no frequent 2-itemsets found in generated data with embedded patterns")
+	}
+}
+
+// Property: every reported frequent set truly has the reported support,
+// verified by brute force on small corpora.
+func TestPropertySupportCountsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		data := Generate(GenConfig{Transactions: 60, AvgSize: 4, Items: 20, Patterns: 3, PatternLen: 3, Seed: seed})
+		res := Mine(data, 3, 0.5, 3)
+		for _, lvl := range res.Levels {
+			for _, fr := range lvl {
+				brute := 0
+				for _, tx := range data {
+					if containsAll(tx, fr.Set) {
+						brute++
+					}
+				}
+				if brute != fr.Support {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Apriori monotonicity — every subset of a frequent set is
+// frequent.
+func TestPropertyAprioriMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		data := Generate(GenConfig{Transactions: 80, AvgSize: 5, Items: 25, Patterns: 4, PatternLen: 3, Seed: seed})
+		res := Mine(data, 4, 0.5, 3)
+		have := map[string]bool{}
+		for _, lvl := range res.Levels {
+			for _, fr := range lvl {
+				have[fr.Set.key()] = true
+			}
+		}
+		for k := 1; k < len(res.Levels); k++ {
+			for _, fr := range res.Levels[k] {
+				sub := make(ItemSet, 0, len(fr.Set)-1)
+				for drop := range fr.Set {
+					sub = sub[:0]
+					for i, v := range fr.Set {
+						if i != drop {
+							sub = append(sub, v)
+						}
+					}
+					if !have[sub.key()] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsAll(tx Transaction, set ItemSet) bool {
+	i := 0
+	for _, it := range tx {
+		if i < len(set) && it == set[i] {
+			i++
+		}
+	}
+	return i == len(set)
+}
+
+func TestFigureTraceShape(t *testing.T) {
+	p := FigureTrace(2, 1)
+	if p.Name() != "dmine" || p.Dataset() != DatasetBytes || p.RequestSize() != RequestBytes {
+		t.Fatalf("trace identity wrong: %s %d %d", p.Name(), p.Dataset(), p.RequestSize())
+	}
+	reqs := p.Iteration(0)
+	if int64(len(reqs)) != DatasetBytes/RequestBytes {
+		t.Fatalf("requests per pass = %d", len(reqs))
+	}
+	// Every block covered exactly once per pass.
+	seen := map[int64]bool{}
+	for _, r := range reqs {
+		if r.Size != RequestBytes || r.Offset%RequestBytes != 0 {
+			t.Fatalf("bad request %+v", r)
+		}
+		if seen[r.Offset] {
+			t.Fatalf("offset %d repeated in one pass", r.Offset)
+		}
+		seen[r.Offset] = true
+	}
+}
+
+func BenchmarkMine10kTransactions(b *testing.B) {
+	data := Generate(GenConfig{Transactions: 10000, AvgSize: 10, Items: 1000, Patterns: 20, PatternLen: 3, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mine(data, 200, 0.5, 3)
+	}
+}

@@ -1,0 +1,130 @@
+package dmine
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// MineParallel is Mine with support counting fanned out across CPU
+// cores, in the spirit of the parallel Apriori variants the paper cites
+// (Mueller [13]). The transaction list is partitioned into shards; each
+// worker counts candidate occurrences in its shard against a private
+// trie, and the per-shard counts are merged. Results are identical to
+// Mine (the tests assert it); only the counting passes parallelize —
+// candidate generation and rule derivation are cheap.
+func MineParallel(data []Transaction, minSupport int, minConfidence float64, maxLevel, workers int) Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(data) < 2*workers {
+		return Mine(data, minSupport, minConfidence, maxLevel)
+	}
+	if maxLevel < 1 {
+		maxLevel = 3
+	}
+	var res Result
+	supports := map[string]int{}
+
+	// Pass 1: parallel singleton counting with per-shard maps.
+	shardCounts := make([]map[int]int, workers)
+	parallelShards(data, workers, func(w int, shard []Transaction) {
+		counts := make(map[int]int)
+		for _, t := range shard {
+			for _, it := range t {
+				counts[it]++
+			}
+		}
+		shardCounts[w] = counts
+	})
+	counts := map[int]int{}
+	for _, sc := range shardCounts {
+		for it, c := range sc {
+			counts[it] += c
+		}
+	}
+	res.Passes = 1
+	var level []Frequent
+	for it, c := range counts {
+		if c >= minSupport {
+			level = append(level, Frequent{Set: ItemSet{it}, Support: c})
+		}
+	}
+	sortFrequent(level)
+	res.Levels = append(res.Levels, level)
+	for _, f := range level {
+		supports[f.Set.key()] = f.Support
+	}
+
+	// Levels 2..maxLevel: each worker counts its shard into a private
+	// trie; leaf counts merge by itemset key.
+	for k := 2; k <= maxLevel && len(res.Levels[k-2]) > 0; k++ {
+		candidates := generateCandidates(res.Levels[k-2])
+		if len(candidates) == 0 {
+			break
+		}
+		merged := map[string]int{}
+		order := map[string]ItemSet{}
+		shardFreq := make([][]Frequent, workers)
+		parallelShards(data, workers, func(w int, shard []Transaction) {
+			trie := newTrie()
+			for _, c := range candidates {
+				trie.insert(c)
+			}
+			for _, t := range shard {
+				trie.countSubsets(t, 0)
+			}
+			var all []Frequent
+			trie.collect(nil, &all)
+			shardFreq[w] = all
+		})
+		for _, all := range shardFreq {
+			for _, f := range all {
+				sort.Ints(f.Set)
+				key := f.Set.key()
+				merged[key] += f.Support
+				if _, ok := order[key]; !ok {
+					order[key] = f.Set
+				}
+			}
+		}
+		res.Passes++
+		var lvl []Frequent
+		for key, support := range merged {
+			if support >= minSupport {
+				lvl = append(lvl, Frequent{Set: order[key], Support: support})
+			}
+		}
+		sortFrequent(lvl)
+		res.Levels = append(res.Levels, lvl)
+		for _, f := range lvl {
+			supports[f.Set.key()] = f.Support
+		}
+	}
+
+	res.Rules = deriveRules(res.Levels, supports, minConfidence)
+	return res
+}
+
+// parallelShards splits data into contiguous shards and runs fn on each
+// concurrently.
+func parallelShards(data []Transaction, workers int, fn func(w int, shard []Transaction)) {
+	var wg sync.WaitGroup
+	per := (len(data) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		if lo >= len(data) {
+			break
+		}
+		hi := lo + per
+		if hi > len(data) {
+			hi = len(data)
+		}
+		wg.Add(1)
+		go func(w int, shard []Transaction) {
+			defer wg.Done()
+			fn(w, shard)
+		}(w, data[lo:hi])
+	}
+	wg.Wait()
+}

@@ -1,0 +1,73 @@
+package dmine
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestMineParallelMatchesSequential(t *testing.T) {
+	data := Generate(GenConfig{Transactions: 3000, AvgSize: 10, Items: 400, Patterns: 10, PatternLen: 3, Seed: 5})
+	seq := Mine(data, 100, 0.5, 3)
+	for _, workers := range []int{2, 3, 4, 8} {
+		par := MineParallel(data, 100, 0.5, 3, workers)
+		if !reflect.DeepEqual(par.Levels, seq.Levels) {
+			t.Fatalf("workers=%d: frequent sets differ from sequential", workers)
+		}
+		if par.Passes != seq.Passes {
+			t.Fatalf("workers=%d: passes %d != %d", workers, par.Passes, seq.Passes)
+		}
+		if len(par.Rules) != len(seq.Rules) {
+			t.Fatalf("workers=%d: rules %d != %d", workers, len(par.Rules), len(seq.Rules))
+		}
+	}
+}
+
+func TestMineParallelSmallInputFallsBack(t *testing.T) {
+	data := Generate(GenConfig{Transactions: 5, AvgSize: 3, Items: 10, Seed: 1})
+	seq := Mine(data, 1, 0.5, 2)
+	par := MineParallel(data, 1, 0.5, 2, 8)
+	if !reflect.DeepEqual(par.Levels, seq.Levels) {
+		t.Fatal("small-input fallback differs")
+	}
+}
+
+func TestMineParallelDefaultWorkers(t *testing.T) {
+	data := Generate(GenConfig{Transactions: 500, AvgSize: 6, Items: 80, Seed: 2})
+	par := MineParallel(data, 20, 0.5, 3, 0) // 0 -> GOMAXPROCS
+	seq := Mine(data, 20, 0.5, 3)
+	if !reflect.DeepEqual(par.Levels, seq.Levels) {
+		t.Fatal("default-worker run differs from sequential")
+	}
+}
+
+// Property: parallel and sequential mining agree for arbitrary corpora
+// and worker counts.
+func TestPropertyParallelEquivalence(t *testing.T) {
+	f := func(seed int64, workers uint8) bool {
+		data := Generate(GenConfig{Transactions: 300, AvgSize: 5, Items: 60, Patterns: 5, PatternLen: 3, Seed: seed})
+		w := int(workers%7) + 2
+		seq := Mine(data, 10, 0.5, 3)
+		par := MineParallel(data, 10, 0.5, 3, w)
+		return reflect.DeepEqual(par.Levels, seq.Levels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMineSequential(b *testing.B) {
+	data := Generate(GenConfig{Transactions: 20000, AvgSize: 12, Items: 2000, Patterns: 30, PatternLen: 3, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mine(data, 400, 0.5, 3)
+	}
+}
+
+func BenchmarkMineParallel(b *testing.B) {
+	data := Generate(GenConfig{Transactions: 20000, AvgSize: 12, Items: 2000, Patterns: 30, PatternLen: 3, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MineParallel(data, 400, 0.5, 3, 0)
+	}
+}

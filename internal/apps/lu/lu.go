@@ -1,0 +1,285 @@
+// Package lu reimplements the paper's lu application (§5.2.1): dense LU
+// decomposition of an out-of-core matrix in the style of Hendrickson &
+// Womble [9].
+//
+// The factorization is a real, tested left-looking slab algorithm: the
+// matrix is stored in column slabs (the paper used 64-column slabs of an
+// 8192x8192 double matrix, 512 MiB across 8 files); factoring slab k
+// first applies the updates of every previous slab (the triangle-scan
+// read pattern the paper describes), then factors the panel in place.
+// Pivoting is omitted — like most out-of-core solvers of the era, the
+// input is assumed diagonally dominant.
+package lu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense column-major matrix.
+type Matrix struct {
+	N    int
+	Data []float64 // column-major: a(i,j) = Data[j*N+i]
+}
+
+// NewMatrix allocates an NxN zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns a(i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[j*m.N+i] }
+
+// Set assigns a(i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[j*m.N+i] = v }
+
+// Clone copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// RandomDiagDominant generates a random diagonally dominant matrix,
+// which keeps unpivoted LU numerically stable.
+func RandomDiagDominant(n int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(n)
+	for j := 0; j < n; j++ {
+		var colSum float64
+		for i := 0; i < n; i++ {
+			v := rng.Float64()*2 - 1
+			m.Set(i, j, v)
+			colSum += math.Abs(v)
+		}
+		m.Set(j, j, colSum+1) // dominance
+	}
+	return m
+}
+
+// SlabStore is the out-of-core storage behind the factorization: slabs
+// are read and written by index. Implementations decide where the bytes
+// live (memory for tests, files, or Dodo regions through the
+// region-management library).
+type SlabStore interface {
+	// Slabs returns the slab count; SlabCols the columns per slab;
+	// Rows the row count.
+	Slabs() int
+	SlabCols() int
+	Rows() int
+	// ReadSlab fills dst (Rows x SlabCols column-major) with slab j.
+	ReadSlab(j int, dst []float64) error
+	// WriteSlab stores slab j from src.
+	WriteSlab(j int, src []float64) error
+}
+
+// MemStore is an in-memory SlabStore.
+type MemStore struct {
+	rows, cols, slabs int
+	data              [][]float64
+}
+
+var _ SlabStore = (*MemStore)(nil)
+
+// NewMemStore builds an empty store for an rows x (slabs*cols) matrix.
+func NewMemStore(rows, cols, slabs int) *MemStore {
+	d := make([][]float64, slabs)
+	for i := range d {
+		d[i] = make([]float64, rows*cols)
+	}
+	return &MemStore{rows: rows, cols: cols, slabs: slabs, data: d}
+}
+
+// FromMatrix loads a square matrix into slab storage.
+func FromMatrix(m *Matrix, slabCols int) (*MemStore, error) {
+	if m.N%slabCols != 0 {
+		return nil, fmt.Errorf("lu: n=%d not divisible by slab width %d", m.N, slabCols)
+	}
+	slabs := m.N / slabCols
+	st := NewMemStore(m.N, slabCols, slabs)
+	for s := 0; s < slabs; s++ {
+		copy(st.data[s], m.Data[s*slabCols*m.N:(s+1)*slabCols*m.N])
+	}
+	return st, nil
+}
+
+// ToMatrix reassembles the stored slabs into a matrix.
+func (st *MemStore) ToMatrix() *Matrix {
+	m := NewMatrix(st.rows)
+	for s := 0; s < st.slabs; s++ {
+		copy(m.Data[s*st.cols*st.rows:(s+1)*st.cols*st.rows], st.data[s])
+	}
+	return m
+}
+
+// Slabs returns the slab count.
+func (st *MemStore) Slabs() int { return st.slabs }
+
+// SlabCols returns columns per slab.
+func (st *MemStore) SlabCols() int { return st.cols }
+
+// Rows returns the row count.
+func (st *MemStore) Rows() int { return st.rows }
+
+// ReadSlab copies slab j out.
+func (st *MemStore) ReadSlab(j int, dst []float64) error {
+	if j < 0 || j >= st.slabs {
+		return fmt.Errorf("lu: slab %d out of range", j)
+	}
+	copy(dst, st.data[j])
+	return nil
+}
+
+// WriteSlab copies slab j in.
+func (st *MemStore) WriteSlab(j int, src []float64) error {
+	if j < 0 || j >= st.slabs {
+		return fmt.Errorf("lu: slab %d out of range", j)
+	}
+	copy(st.data[j], src)
+	return nil
+}
+
+// Factor performs the out-of-core left-looking LU factorization in
+// place: after it returns, the store holds L (unit lower triangular,
+// diagonal implicit) and U packed in the usual LAPACK-style layout.
+//
+// For each slab k it reads slabs 0..k-1 once — the triangle-scan I/O
+// pattern of §5.2.1 — applies their updates, factors the panel, and
+// writes slab k back once.
+func Factor(st SlabStore) error {
+	n := st.Rows()
+	b := st.SlabCols()
+	slabs := st.Slabs()
+	if n != b*slabs {
+		return errors.New("lu: store geometry inconsistent")
+	}
+	cur := make([]float64, n*b)
+	prev := make([]float64, n*b)
+	for k := 0; k < slabs; k++ {
+		if err := st.ReadSlab(k, cur); err != nil {
+			return err
+		}
+		// Left-looking updates from every previous panel.
+		for j := 0; j < k; j++ {
+			if err := st.ReadSlab(j, prev); err != nil {
+				return err
+			}
+			applyPanel(cur, prev, n, b, j)
+		}
+		// Factor the diagonal block and compute the sub-diagonal L.
+		if err := factorPanel(cur, n, b, k); err != nil {
+			return err
+		}
+		if err := st.WriteSlab(k, cur); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyPanel applies factored panel j (stored in prev) to the current
+// slab: triangular solve for the U block, then the trailing GEMM.
+func applyPanel(cur, prev []float64, n, b, j int) {
+	d := j * b // panel j's diagonal row offset
+	// U block: solve L(d:d+b, d:d+b) * X = cur(d:d+b, :), unit lower.
+	for col := 0; col < b; col++ {
+		c := cur[col*n : col*n+n]
+		// Forward substitution against the unit-lower diagonal block:
+		// L(r,t) of panel j lives at prev[t*n + d + r].
+		for r := 0; r < b; r++ {
+			sum := c[d+r]
+			for t := 0; t < r; t++ {
+				sum -= prev[t*n+d+r] * c[d+t]
+			}
+			c[d+r] = sum
+		}
+	}
+	// Trailing update: cur(d+b:n, :) -= L(d+b:n, panel) * U block.
+	for col := 0; col < b; col++ {
+		c := cur[col*n : col*n+n]
+		for t := 0; t < b; t++ {
+			u := c[d+t]
+			if u == 0 {
+				continue
+			}
+			l := prev[t*n:]
+			for r := d + b; r < n; r++ {
+				c[r] -= l[r] * u
+			}
+		}
+	}
+}
+
+// factorPanel factors the kth panel in place (unpivoted right-looking
+// within the panel).
+func factorPanel(cur []float64, n, b, k int) error {
+	d := k * b
+	for col := 0; col < b; col++ {
+		c := cur[col*n : col*n+n]
+		piv := c[d+col]
+		if piv == 0 {
+			return fmt.Errorf("lu: zero pivot at column %d", d+col)
+		}
+		inv := 1 / piv
+		for r := d + col + 1; r < n; r++ {
+			c[r] *= inv
+		}
+		// Update the remaining columns of the panel.
+		for rest := col + 1; rest < b; rest++ {
+			rc := cur[rest*n : rest*n+n]
+			u := rc[d+col]
+			if u == 0 {
+				continue
+			}
+			for r := d + col + 1; r < n; r++ {
+				rc[r] -= c[r] * u
+			}
+		}
+	}
+	return nil
+}
+
+// Reconstruct multiplies the packed L and U factors back into a matrix
+// (for verification).
+func Reconstruct(lu *Matrix) *Matrix {
+	n := lu.N
+	out := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			sum := 0.0
+			for k := 0; k <= kmax; k++ {
+				var l float64
+				if k == i {
+					l = 1 // unit diagonal
+				} else if k < i {
+					l = lu.At(i, k)
+				}
+				u := 0.0
+				if k <= j {
+					u = lu.At(k, j)
+				}
+				sum += l * u
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns max |a-b| over all entries.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	var max float64
+	for i := range a.Data {
+		d := math.Abs(a.Data[i] - b.Data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

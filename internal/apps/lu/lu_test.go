@@ -1,0 +1,216 @@
+package lu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dodo/internal/workload"
+)
+
+// naiveLU computes unpivoted Doolittle LU in place for reference.
+func naiveLU(m *Matrix) *Matrix {
+	a := m.Clone()
+	n := a.N
+	for k := 0; k < n; k++ {
+		piv := a.At(k, k)
+		for i := k + 1; i < n; i++ {
+			a.Set(i, k, a.At(i, k)/piv)
+		}
+		for i := k + 1; i < n; i++ {
+			lik := a.At(i, k)
+			for j := k + 1; j < n; j++ {
+				a.Set(i, j, a.At(i, j)-lik*a.At(k, j))
+			}
+		}
+	}
+	return a
+}
+
+func TestFactorMatchesNaiveLU(t *testing.T) {
+	const n, b = 64, 8
+	m := RandomDiagDominant(n, 1)
+	st, err := FromMatrix(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Factor(st); err != nil {
+		t.Fatal(err)
+	}
+	got := st.ToMatrix()
+	want := naiveLU(m)
+	if diff := MaxAbsDiff(got, want); diff > 1e-9 {
+		t.Fatalf("out-of-core LU differs from naive LU by %g", diff)
+	}
+}
+
+func TestFactorReconstructsOriginal(t *testing.T) {
+	for _, cfg := range []struct{ n, b int }{{16, 4}, {32, 8}, {48, 16}, {64, 64}} {
+		m := RandomDiagDominant(cfg.n, int64(cfg.n))
+		st, err := FromMatrix(m, cfg.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Factor(st); err != nil {
+			t.Fatalf("n=%d b=%d: %v", cfg.n, cfg.b, err)
+		}
+		recon := Reconstruct(st.ToMatrix())
+		if diff := MaxAbsDiff(recon, m); diff > 1e-8*float64(cfg.n) {
+			t.Fatalf("n=%d b=%d: ||LU - A|| = %g", cfg.n, cfg.b, diff)
+		}
+	}
+}
+
+// Property: LU reconstruction holds for arbitrary seeds and block
+// geometries.
+func TestPropertyFactorCorrect(t *testing.T) {
+	f := func(seed int64, bsel uint8) bool {
+		n := 32
+		blocks := []int{4, 8, 16, 32}
+		b := blocks[int(bsel)%len(blocks)]
+		m := RandomDiagDominant(n, seed)
+		st, err := FromMatrix(m, b)
+		if err != nil {
+			return false
+		}
+		if err := Factor(st); err != nil {
+			return false
+		}
+		recon := Reconstruct(st.ToMatrix())
+		return MaxAbsDiff(recon, m) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactorRejectsBadGeometry(t *testing.T) {
+	st := NewMemStore(16, 4, 3) // 16 != 4*3
+	if err := Factor(st); err == nil {
+		t.Fatal("Factor accepted inconsistent geometry")
+	}
+	m := NewMatrix(8)
+	if _, err := FromMatrix(m, 3); err == nil {
+		t.Fatal("FromMatrix accepted non-divisible slab width")
+	}
+}
+
+func TestFactorZeroPivot(t *testing.T) {
+	m := NewMatrix(4) // all zeros: immediate zero pivot
+	st, err := FromMatrix(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Factor(st); err == nil {
+		t.Fatal("Factor accepted a singular matrix")
+	}
+}
+
+func TestMemStoreBounds(t *testing.T) {
+	st := NewMemStore(8, 2, 4)
+	buf := make([]float64, 16)
+	if err := st.ReadSlab(-1, buf); err == nil {
+		t.Fatal("ReadSlab(-1) succeeded")
+	}
+	if err := st.WriteSlab(4, buf); err == nil {
+		t.Fatal("WriteSlab(4) succeeded")
+	}
+}
+
+func TestDiagonallyDominantGeneration(t *testing.T) {
+	m := RandomDiagDominant(32, 9)
+	for j := 0; j < 32; j++ {
+		var off float64
+		for i := 0; i < 32; i++ {
+			if i != j {
+				off += math.Abs(m.At(i, j))
+			}
+		}
+		if math.Abs(m.At(j, j)) <= off {
+			t.Fatalf("column %d not diagonally dominant", j)
+		}
+	}
+}
+
+func TestFigureTraceShape(t *testing.T) {
+	pattern, compute := FigureTrace()
+	tp := pattern.(workload.TracePattern)
+	reqs := tp.Trace
+	slabs := FigureN / FigureSlabCols
+
+	wantReads := 0
+	for k := 0; k < slabs; k++ {
+		wantReads += (k + 1) * FigureFiles
+	}
+	wantWrites := slabs * FigureFiles
+	reads, writes := 0, 0
+	var readBytes, minSize, maxSize int64
+	minSize = 1 << 62
+	for _, r := range reqs {
+		if r.Write {
+			writes++
+			continue
+		}
+		reads++
+		readBytes += r.Size
+		if r.Size < minSize {
+			minSize = r.Size
+		}
+		if r.Size > maxSize {
+			maxSize = r.Size
+		}
+		if r.Offset < 0 || r.Offset+r.Size > FigureDatasetBytes {
+			t.Fatalf("request out of dataset bounds: %+v", r)
+		}
+	}
+	if reads != wantReads || writes != wantWrites {
+		t.Fatalf("reads/writes = %d/%d, want %d/%d", reads, writes, wantReads, wantWrites)
+	}
+	// Request-size distribution per the paper: 12 KB - 516 KB, avg
+	// ~330 KB. Our striped geometry gives 32 KB - 512 KB.
+	avg := readBytes / int64(reads)
+	if avg < 250<<10 || avg > 400<<10 {
+		t.Fatalf("average read size = %d KB, want ~330 KB", avg>>10)
+	}
+	if maxSize > 520<<10 || minSize < 8<<10 {
+		t.Fatalf("request size range [%d, %d] KB outside the paper's", minSize>>10, maxSize>>10)
+	}
+	// Reads dominate (§5.2.1: "most of its I/O requests are reads").
+	if reads < 10*writes {
+		t.Fatalf("reads (%d) do not dominate writes (%d)", reads, writes)
+	}
+	// Compute-bound: the calibrated compute is hours.
+	if compute.Hours() < 2 || compute.Hours() > 8 {
+		t.Fatalf("calibrated compute = %v, want a few hours", compute)
+	}
+}
+
+func TestFigureSpecSpreadsCompute(t *testing.T) {
+	spec := FigureSpec()
+	if spec.Iterations != 1 {
+		t.Fatalf("lu runs once, got %d iterations", spec.Iterations)
+	}
+	if spec.Compute <= 0 {
+		t.Fatal("no per-request compute time")
+	}
+	n := len(spec.Pattern.(workload.TracePattern).Trace)
+	_, compute := FigureTrace()
+	total := spec.Compute * time.Duration(n)
+	if ratio := float64(total) / float64(compute); ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("spread compute %v != calibrated %v", total, compute)
+	}
+}
+
+func BenchmarkFactor64(b *testing.B) {
+	m := RandomDiagDominant(64, 3)
+	for i := 0; i < b.N; i++ {
+		st, err := FromMatrix(m, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := Factor(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package lu
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// FactorParallel is Factor with the panel updates spread across CPU
+// cores. The left-looking outer structure is inherently sequential
+// (panel j's update must see panels 0..j-1 already applied), but within
+// one applyPanel call every column of the current slab is independent:
+// the triangular solve and the trailing rank-b update each touch one
+// column at a time. Results are bitwise identical to Factor (the tests
+// assert it) because the per-column arithmetic is unchanged — only the
+// column order varies, and columns never interact.
+func FactorParallel(st SlabStore, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := st.Rows()
+	b := st.SlabCols()
+	slabs := st.Slabs()
+	if n != b*slabs {
+		return errors.New("lu: store geometry inconsistent")
+	}
+	if workers == 1 || b < 2 {
+		return Factor(st)
+	}
+	cur := make([]float64, n*b)
+	prev := make([]float64, n*b)
+	for k := 0; k < slabs; k++ {
+		if err := st.ReadSlab(k, cur); err != nil {
+			return err
+		}
+		for j := 0; j < k; j++ {
+			if err := st.ReadSlab(j, prev); err != nil {
+				return err
+			}
+			applyPanelParallel(cur, prev, n, b, j, workers)
+		}
+		if err := factorPanel(cur, n, b, k); err != nil {
+			return err
+		}
+		if err := st.WriteSlab(k, cur); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyPanelParallel applies factored panel j to the current slab with
+// the per-column work fanned across workers.
+func applyPanelParallel(cur, prev []float64, n, b, j, workers int) {
+	d := j * b
+	var wg sync.WaitGroup
+	per := (b + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		if lo >= b {
+			break
+		}
+		hi := lo + per
+		if hi > b {
+			hi = b
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for col := lo; col < hi; col++ {
+				c := cur[col*n : col*n+n]
+				// Forward substitution against the unit-lower diagonal
+				// block of panel j.
+				for r := 0; r < b; r++ {
+					sum := c[d+r]
+					for t := 0; t < r; t++ {
+						sum -= prev[t*n+d+r] * c[d+t]
+					}
+					c[d+r] = sum
+				}
+				// Trailing update of this column below the block.
+				for t := 0; t < b; t++ {
+					u := c[d+t]
+					if u == 0 {
+						continue
+					}
+					l := prev[t*n:]
+					for r := d + b; r < n; r++ {
+						c[r] -= l[r] * u
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

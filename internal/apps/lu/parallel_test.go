@@ -1,0 +1,104 @@
+package lu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorParallelMatchesSequentialBitwise(t *testing.T) {
+	const n, bcols = 64, 16
+	m := RandomDiagDominant(n, 11)
+	seqStore, err := FromMatrix(m, bcols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Factor(seqStore); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		parStore, err := FromMatrix(m, bcols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := FactorParallel(parStore, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		a, b := seqStore.ToMatrix(), parStore.ToMatrix()
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("workers=%d: element %d differs: %g vs %g (must be bitwise identical)",
+					workers, i, a.Data[i], b.Data[i])
+			}
+		}
+	}
+}
+
+func TestFactorParallelDefaultAndDegenerate(t *testing.T) {
+	m := RandomDiagDominant(32, 3)
+	st, err := FromMatrix(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FactorParallel(st, 0); err != nil { // 0 -> GOMAXPROCS
+		t.Fatal(err)
+	}
+	if diff := MaxAbsDiff(Reconstruct(st.ToMatrix()), m); diff > 1e-8 {
+		t.Fatalf("||LU - A|| = %g", diff)
+	}
+	// workers=1 falls back to Factor.
+	st2, _ := FromMatrix(m, 8)
+	if err := FactorParallel(st2, 1); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewMemStore(16, 4, 3)
+	if err := FactorParallel(bad, 4); err == nil {
+		t.Fatal("inconsistent geometry accepted")
+	}
+}
+
+// Property: parallel factorization reconstructs A for arbitrary seeds
+// and worker counts.
+func TestPropertyFactorParallelCorrect(t *testing.T) {
+	f := func(seed int64, w uint8) bool {
+		m := RandomDiagDominant(32, seed)
+		st, err := FromMatrix(m, 8)
+		if err != nil {
+			return false
+		}
+		if err := FactorParallel(st, int(w%6)+2); err != nil {
+			return false
+		}
+		return MaxAbsDiff(Reconstruct(st.ToMatrix()), m) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFactorSequential256(b *testing.B) {
+	m := RandomDiagDominant(256, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := FromMatrix(m, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := Factor(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFactorParallel256(b *testing.B) {
+	m := RandomDiagDominant(256, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := FromMatrix(m, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := FactorParallel(st, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,467 @@
+package bulk
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dodo/internal/wire"
+)
+
+// MaxTransfer bounds a single bulk transfer.
+const MaxTransfer = 1 << 30
+
+// chunkSize returns the per-packet payload for this endpoint's transport.
+func (ep *Endpoint) chunkSize() int {
+	return ep.tr.MTU() - wire.HeaderSize - 12 // 12 = BulkData fixed fields
+}
+
+// SendBulk pushes data to the peer under the given transfer id using the
+// blast/selective-NACK protocol. The receiver must be expecting the
+// transfer (Dodo always announces it first through a control message:
+// DataResp for reads, WriteReq for writes).
+func (ep *Endpoint) SendBulk(to string, id uint64, data []byte) error {
+	if len(data) > MaxTransfer {
+		return fmt.Errorf("bulk: transfer of %d bytes exceeds MaxTransfer", len(data))
+	}
+	respCh := make(chan wire.Message, 16)
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return ErrClosed
+	}
+	ep.tx[id] = respCh
+	ep.mu.Unlock()
+	defer func() {
+		ep.mu.Lock()
+		delete(ep.tx, id)
+		ep.mu.Unlock()
+	}()
+
+	chunk := ep.chunkSize()
+	offer := &wire.BulkOffer{TransferID: id, TotalLen: uint64(len(data)), ChunkSize: uint32(chunk)}
+	resp, err := ep.Call(to, offer)
+	if err != nil {
+		return fmt.Errorf("bulk: offering transfer %d to %s: %w", id, to, err)
+	}
+	accept, ok := resp.(*wire.BulkAccept)
+	if !ok {
+		return fmt.Errorf("bulk: offer answered with %v", resp.Kind())
+	}
+	if accept.Status != wire.StatusOK {
+		return fmt.Errorf("%w: %v", ErrRejected, accept.Status)
+	}
+	window := int(accept.Window)
+	if window < 1 {
+		window = 1
+	}
+
+	npkts := 0
+	if len(data) > 0 {
+		npkts = (len(data) + chunk - 1) / chunk
+	}
+	blast := func(seqs []uint32) error {
+		for _, s := range seqs {
+			lo := int(s) * chunk
+			hi := lo + chunk
+			if hi > len(data) {
+				hi = len(data)
+			}
+			frame, err := wire.Encode(0, &wire.BulkData{TransferID: id, Seq: s, Payload: data[lo:hi]})
+			if err != nil {
+				return err
+			}
+			if err := ep.tr.Send(to, frame); err != nil {
+				return fmt.Errorf("bulk: blasting packet %d of transfer %d: %w", s, id, err)
+			}
+		}
+		return nil
+	}
+
+	if npkts == 0 {
+		// Empty region: nothing to blast, just await the receiver's Done.
+		return ep.awaitDone(to, id, offer, respCh, blast)
+	}
+
+	for base := 0; base < npkts; base += window {
+		end := base + window
+		if end > npkts {
+			end = npkts
+		}
+		winSeqs := make([]uint32, 0, end-base)
+		for s := base; s < end; s++ {
+			winSeqs = append(winSeqs, uint32(s))
+		}
+		if err := blast(winSeqs); err != nil {
+			return err
+		}
+		retries := 0
+	await:
+		for {
+			timer := time.NewTimer(ep.cfg.WindowTimeout)
+			select {
+			case msg := <-respCh:
+				timer.Stop()
+				switch m := msg.(type) {
+				case *wire.BulkDone:
+					if m.Status != wire.StatusOK {
+						return fmt.Errorf("%w: %v", ErrRejected, m.Status)
+					}
+					return nil // receiver has everything
+				case *wire.BulkNack:
+					if len(m.Missing) == 0 {
+						break await // window acknowledged
+					}
+					resend := m.Missing
+					if ep.cfg.RetransmitFullWindow {
+						resend = winSeqs // ablation: no selective recovery
+					}
+					ep.retransmits.Add(int64(len(resend)))
+					if err := blast(resend); err != nil {
+						return err
+					}
+				}
+			case <-timer.C:
+				retries++
+				if retries > ep.cfg.TransferRetries {
+					return fmt.Errorf("bulk: transfer %d window at %d: %w", id, base, ErrTimeout)
+				}
+				ep.retransmits.Add(int64(len(winSeqs)))
+				if err := blast(winSeqs); err != nil {
+					return err
+				}
+			case <-ep.stop:
+				timer.Stop()
+				return ErrClosed
+			}
+		}
+	}
+	// All windows acked; the final window's response is BulkDone, which
+	// returns above. Reaching here means the ack raced the Done — wait
+	// for it briefly, tolerating loss.
+	return ep.awaitDone(to, id, offer, respCh, blast)
+}
+
+// awaitDone waits for the receiver's BulkDone after every window has
+// been acknowledged. Acks can arrive early when duplicates trigger
+// re-acknowledgements, so the receiver may still be missing packets:
+// NACKs arriving here are served with retransmissions rather than
+// ignored.
+func (ep *Endpoint) awaitDone(to string, id uint64, offer *wire.BulkOffer, respCh chan wire.Message, blast func([]uint32) error) error {
+	timeouts := 0
+	for timeouts <= ep.cfg.TransferRetries {
+		timer := time.NewTimer(ep.cfg.WindowTimeout)
+		select {
+		case msg := <-respCh:
+			timer.Stop()
+			switch m := msg.(type) {
+			case *wire.BulkDone:
+				if m.Status != wire.StatusOK {
+					return fmt.Errorf("%w: %v", ErrRejected, m.Status)
+				}
+				return nil
+			case *wire.BulkNack:
+				if len(m.Missing) > 0 {
+					// The receiver still lacks packets (stale acks let
+					// us run ahead); resupply them.
+					ep.retransmits.Add(int64(len(m.Missing)))
+					if err := blast(m.Missing); err != nil {
+						return err
+					}
+				}
+				// Empty nack: stale window ack; drain it.
+			}
+		case <-timer.C:
+			timeouts++
+			// Re-offer: a completed receiver answers duplicates with Done.
+			if err := ep.Notify(to, offer); err != nil {
+				return err
+			}
+		case <-ep.stop:
+			timer.Stop()
+			return ErrClosed
+		}
+	}
+	return fmt.Errorf("bulk: transfer %d: completion unacknowledged: %w", id, ErrTimeout)
+}
+
+// RecvBulk waits for the peer at from to complete transfer id and returns
+// the assembled bytes. It may be called before or after the first packet
+// arrives.
+func (ep *Endpoint) RecvBulk(from string, id uint64, timeout time.Duration) ([]byte, error) {
+	key := rxKey{from: from, id: id}
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil, ErrClosed
+	}
+	rx, ok := ep.rx[key]
+	if !ok {
+		rx = newRxTransfer(ep, from, id)
+		ep.rx[key] = rx
+	}
+	ep.mu.Unlock()
+
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	select {
+	case <-rx.done:
+	case <-timeoutCh:
+		ep.mu.Lock()
+		delete(ep.rx, key)
+		ep.mu.Unlock()
+		rx.stopTimer()
+		return nil, fmt.Errorf("bulk: receiving transfer %d from %s: %w", id, from, ErrTimeout)
+	case <-ep.stop:
+		return nil, ErrClosed
+	}
+	rx.mu.Lock()
+	err := rx.err
+	buf := rx.buf
+	// Leave a tombstone: if the sender's copy of our BulkDone was lost,
+	// its re-offer or retransmissions must be answered with Done again
+	// rather than resurrecting an empty transfer. Transfer ids are never
+	// reused, so the tombstone cannot mask a future transfer.
+	rx.buf = nil
+	rx.mu.Unlock()
+	time.AfterFunc(tombstoneTTL, func() {
+		ep.mu.Lock()
+		if ep.rx[key] == rx {
+			delete(ep.rx, key)
+		}
+		ep.mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// tombstoneTTL is how long a consumed transfer's completion record
+// lingers to answer the sender's loss-recovery duplicates.
+const tombstoneTTL = 30 * time.Second
+
+// rxTransfer is receive-side per-transfer state.
+type rxTransfer struct {
+	ep   *Endpoint
+	from string
+	id   uint64
+
+	mu       sync.Mutex
+	buf      []byte
+	got      []bool
+	gotCount int
+	npkts    int
+	chunk    int
+	window   int
+	winBase  int
+	sized    bool
+	complete bool
+	err      error
+	done     chan struct{}
+	timer    *time.Timer
+}
+
+func newRxTransfer(ep *Endpoint, from string, id uint64) *rxTransfer {
+	return &rxTransfer{ep: ep, from: from, id: id, done: make(chan struct{})}
+}
+
+func (rx *rxTransfer) fail(err error) {
+	rx.mu.Lock()
+	defer rx.mu.Unlock()
+	if rx.complete {
+		return
+	}
+	rx.complete = true
+	rx.err = err
+	if rx.timer != nil {
+		rx.timer.Stop()
+	}
+	close(rx.done)
+}
+
+func (rx *rxTransfer) stopTimer() {
+	rx.mu.Lock()
+	defer rx.mu.Unlock()
+	if rx.timer != nil {
+		rx.timer.Stop()
+	}
+}
+
+// handleOffer processes a BulkOffer: size (or re-acknowledge) the
+// transfer and answer with our advertised window.
+func (ep *Endpoint) handleOffer(from string, seq uint32, m *wire.BulkOffer) {
+	key := rxKey{from: from, id: m.TransferID}
+	ep.mu.Lock()
+	rx, ok := ep.rx[key]
+	if !ok {
+		rx = newRxTransfer(ep, from, m.TransferID)
+		ep.rx[key] = rx
+	}
+	window := ep.cfg.RecvWindow
+	ep.mu.Unlock()
+
+	status := wire.StatusOK
+	rx.mu.Lock()
+	if !rx.sized && !rx.complete {
+		if m.TotalLen > MaxTransfer || m.ChunkSize == 0 {
+			status = wire.StatusInvalid
+		} else {
+			rx.buf = make([]byte, m.TotalLen)
+			rx.chunk = int(m.ChunkSize)
+			rx.npkts = int((m.TotalLen + uint64(m.ChunkSize) - 1) / uint64(m.ChunkSize))
+			rx.got = make([]bool, rx.npkts)
+			rx.window = window
+			rx.sized = true
+			if rx.npkts == 0 {
+				// Empty transfer: complete immediately.
+				rx.completeLocked()
+			} else {
+				rx.resetTimerLocked()
+			}
+		}
+	}
+	completed := rx.complete && rx.err == nil
+	rx.mu.Unlock()
+
+	frame, err := wire.Encode(seq, &wire.BulkAccept{TransferID: m.TransferID, Window: uint32(window), Status: status})
+	if err == nil {
+		_ = ep.tr.Send(from, frame)
+	}
+	if completed {
+		_ = ep.Notify(from, &wire.BulkDone{TransferID: m.TransferID, Status: wire.StatusOK})
+	}
+}
+
+// handleData processes one BulkData packet.
+func (ep *Endpoint) handleData(from string, m *wire.BulkData) {
+	key := rxKey{from: from, id: m.TransferID}
+	ep.mu.Lock()
+	rx, ok := ep.rx[key]
+	ep.mu.Unlock()
+	if !ok {
+		// Stale packet for a consumed transfer: tell the sender to stop.
+		_ = ep.Notify(from, &wire.BulkDone{TransferID: m.TransferID, Status: wire.StatusOK})
+		return
+	}
+	rx.mu.Lock()
+	if !rx.sized {
+		// Data raced ahead of the (lost) offer; the sender's offer
+		// retry will size us. Drop the packet.
+		rx.mu.Unlock()
+		return
+	}
+	if rx.complete {
+		rx.mu.Unlock()
+		_ = ep.Notify(from, &wire.BulkDone{TransferID: m.TransferID, Status: wire.StatusOK})
+		return
+	}
+	s := int(m.Seq)
+	if s >= rx.npkts {
+		rx.mu.Unlock()
+		return
+	}
+	if rx.got[s] {
+		// Duplicate: the sender is likely re-blasting because our window
+		// ack was lost. Re-acknowledge so it can make progress.
+		ep.dupsDropped.Add(1)
+		rx.mu.Unlock()
+		_ = ep.Notify(from, &wire.BulkNack{TransferID: m.TransferID, Missing: nil})
+		return
+	}
+	lo := s * rx.chunk
+	want := rx.chunk
+	if lo+want > len(rx.buf) {
+		want = len(rx.buf) - lo
+	}
+	if len(m.Payload) != want {
+		rx.mu.Unlock()
+		return // corrupt chunk; NACK timer will recover it
+	}
+	copy(rx.buf[lo:], m.Payload)
+	rx.got[s] = true
+	rx.gotCount++
+	rx.resetTimerLocked()
+
+	// Advance past every now-complete window; ack each advance.
+	acked := false
+	for rx.winBase < rx.npkts {
+		end := rx.winBase + rx.window
+		if end > rx.npkts {
+			end = rx.npkts
+		}
+		full := true
+		for i := rx.winBase; i < end; i++ {
+			if !rx.got[i] {
+				full = false
+				break
+			}
+		}
+		if !full {
+			break
+		}
+		rx.winBase = end
+		acked = true
+	}
+	if rx.gotCount == rx.npkts {
+		rx.completeLocked()
+		rx.mu.Unlock()
+		_ = ep.Notify(from, &wire.BulkDone{TransferID: m.TransferID, Status: wire.StatusOK})
+		return
+	}
+	rx.mu.Unlock()
+	if acked {
+		_ = ep.Notify(from, &wire.BulkNack{TransferID: m.TransferID, Missing: nil})
+	}
+}
+
+// completeLocked marks the transfer done. Caller holds rx.mu.
+func (rx *rxTransfer) completeLocked() {
+	if rx.complete {
+		return
+	}
+	rx.complete = true
+	if rx.timer != nil {
+		rx.timer.Stop()
+	}
+	close(rx.done)
+}
+
+// resetTimerLocked (re)arms the selective-NACK timer. Caller holds rx.mu.
+func (rx *rxTransfer) resetTimerLocked() {
+	if rx.timer != nil {
+		rx.timer.Stop()
+	}
+	rx.timer = time.AfterFunc(rx.ep.cfg.NackDelay, rx.nackTimeout)
+}
+
+// nackTimeout fires when the current window stalls: identify the missing
+// packets by sequence number and send the selective NACK (§4.4).
+func (rx *rxTransfer) nackTimeout() {
+	rx.mu.Lock()
+	if rx.complete || !rx.sized {
+		rx.mu.Unlock()
+		return
+	}
+	end := rx.winBase + rx.window
+	if end > rx.npkts {
+		end = rx.npkts
+	}
+	var missing []uint32
+	for i := rx.winBase; i < end; i++ {
+		if !rx.got[i] {
+			missing = append(missing, uint32(i))
+		}
+	}
+	rx.resetTimerLocked()
+	from, id := rx.from, rx.id
+	rx.mu.Unlock()
+	if len(missing) > 0 {
+		rx.ep.nacksSent.Add(1)
+		_ = rx.ep.Notify(from, &wire.BulkNack{TransferID: id, Missing: missing})
+	}
+}

@@ -1,0 +1,217 @@
+// Package cluster assembles complete Dodo deployments in one process:
+// a central manager, one resource-monitor + idle-memory-daemon pair per
+// workstation, and client runtimes, all wired over any transport
+// (in-memory for tests and examples, real UDP for live deployments).
+//
+// It supplies the glue the paper describes in §4.1: the rmd forks the
+// imd when its workstation goes idle (with a fresh epoch) and signals it
+// to drain when the owner returns.
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"dodo/internal/bulk"
+	"dodo/internal/core"
+	"dodo/internal/imd"
+	"dodo/internal/manager"
+	"dodo/internal/monitor"
+	"dodo/internal/transport"
+)
+
+// Config assembles a cluster. Workstations are added individually with
+// AddWorkstation.
+type Config struct {
+	// PoolBytes is each imd's memory pool. When zero, the harvest
+	// limit must be supplied per-host via the Workstation API.
+	PoolBytes uint64
+	// Monitor tunes the idleness policy (§4.1 defaults when zero).
+	Monitor monitor.Config
+	// Endpoint tunes all messaging.
+	Endpoint bulk.Config
+	// Manager tunes the central manager.
+	Manager manager.Config
+	// Logger receives lifecycle events; nil silences them.
+	Logger *log.Logger
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cfg Config
+	net *transport.Network
+	mgr *manager.Manager
+
+	mu           sync.Mutex
+	workstations []*Workstation
+	clients      []*core.Client
+	closed       bool
+}
+
+// Workstation is one participating desktop machine: a resource monitor
+// plus the idle memory daemon it forks while the host is idle.
+type Workstation struct {
+	Name string
+
+	cluster *Cluster
+	mon     *monitor.Monitor
+
+	mu    sync.Mutex
+	imd   *imd.Daemon
+	epoch uint64
+	pool  uint64
+}
+
+// New builds a cluster over a fresh in-memory network. The manager
+// listens at address "cmd".
+func New(cfg Config) *Cluster {
+	net := transport.NewNetwork(transport.WithMTU(1500))
+	mgrCfg := cfg.Manager
+	mgrCfg.Endpoint = cfg.Endpoint
+	if mgrCfg.Logger == nil {
+		mgrCfg.Logger = cfg.Logger
+	}
+	c := &Cluster{
+		cfg: cfg,
+		net: net,
+		mgr: manager.New(net.Host("cmd"), mgrCfg),
+	}
+	return c
+}
+
+// Network exposes the fabric (for partition/heal fault injection).
+func (c *Cluster) Network() *transport.Network { return c.net }
+
+// Manager exposes the central manager.
+func (c *Cluster) Manager() *manager.Manager { return c.mgr }
+
+// ManagerAddr returns the manager's address on the fabric.
+func (c *Cluster) ManagerAddr() string { return "cmd" }
+
+// AddWorkstation registers a workstation with the given activity source
+// driving its monitor. The workstation starts busy; the monitor's
+// Run/Step drives recruiting.
+func (c *Cluster) AddWorkstation(name string, src monitor.Source) *Workstation {
+	w := &Workstation{Name: name, cluster: c, pool: c.cfg.PoolBytes}
+	monCfg := c.cfg.Monitor
+	w.mon = monitor.New(src, monCfg, monitor.Hooks{
+		OnRecruit: func(now time.Time) { w.recruit() },
+		OnReclaim: func(now time.Time) { w.reclaim() },
+	})
+	c.mu.Lock()
+	c.workstations = append(c.workstations, w)
+	c.mu.Unlock()
+	return w
+}
+
+// Monitor exposes the workstation's rmd state machine.
+func (w *Workstation) Monitor() *monitor.Monitor { return w.mon }
+
+// SetPool overrides the pool size used at the next recruitment (the
+// harvest limit of §3.1, computed from the host's memory sample).
+func (w *Workstation) SetPool(bytes uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pool = bytes
+}
+
+// IMD returns the live idle-memory daemon, if the host is recruited.
+func (w *Workstation) IMD() *imd.Daemon {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.imd
+}
+
+// recruit forks the imd (rmd behavior on busy->idle, §4.1): new epoch,
+// fresh pool, registration with the manager.
+func (w *Workstation) recruit() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.imd != nil {
+		return
+	}
+	w.epoch++
+	addr := fmt.Sprintf("imd-%s", w.Name)
+	w.imd = imd.New(w.cluster.net.Host(addr), imd.Config{
+		ManagerAddr: w.cluster.ManagerAddr(),
+		PoolSize:    w.pool,
+		Epoch:       w.epoch,
+		Endpoint:    w.cluster.cfg.Endpoint,
+		Logger:      w.cluster.cfg.Logger,
+	})
+}
+
+// reclaim signals the imd to drain and exit (rmd behavior on
+// idle->busy, §4.1).
+func (w *Workstation) reclaim() {
+	w.mu.Lock()
+	d := w.imd
+	w.imd = nil
+	w.mu.Unlock()
+	if d != nil {
+		d.Drain()
+	}
+}
+
+// Step advances the workstation's monitor by one sample at now.
+func (w *Workstation) Step(now time.Time) monitor.State { return w.mon.Step(now) }
+
+// NewClient attaches a client runtime at the given address.
+func (c *Cluster) NewClient(addr string, cfg core.Config) *core.Client {
+	cfg.ManagerAddr = c.ManagerAddr()
+	cfg.Endpoint = c.cfg.Endpoint
+	if cfg.Logger == nil {
+		cfg.Logger = c.cfg.Logger
+	}
+	cli := core.New(c.net.Host(addr), cfg)
+	c.mu.Lock()
+	c.clients = append(c.clients, cli)
+	c.mu.Unlock()
+	return cli
+}
+
+// Close tears the whole deployment down.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	ws := append([]*Workstation(nil), c.workstations...)
+	clients := append([]*core.Client(nil), c.clients...)
+	c.mu.Unlock()
+	for _, cli := range clients {
+		cli.Close()
+	}
+	for _, w := range ws {
+		w.mu.Lock()
+		d := w.imd
+		w.imd = nil
+		w.mu.Unlock()
+		if d != nil {
+			d.Close()
+		}
+	}
+	return c.mgr.Close()
+}
+
+// AlwaysIdle is a monitor source describing a dedicated (Beowulf-style)
+// node: no console, no load — the §3 "dedicated cluster" case where
+// machines are recruited whenever lightly loaded.
+func AlwaysIdle() monitor.Source {
+	return monitor.SourceFunc(func(now time.Time) monitor.Sample {
+		return monitor.Sample{Time: now, ConsoleActive: false, Load: 0}
+	})
+}
+
+// Scripted returns a source that reports console activity exactly at
+// the given instants (second granularity from start).
+func Scripted(start time.Time, activeSeconds map[int]bool) monitor.Source {
+	return monitor.SourceFunc(func(now time.Time) monitor.Sample {
+		sec := int(now.Sub(start) / time.Second)
+		return monitor.Sample{Time: now, ConsoleActive: activeSeconds[sec]}
+	})
+}

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"dodo/internal/bulk"
+	"dodo/internal/sim"
+	"dodo/internal/transport"
+	"dodo/internal/wire"
+)
+
+// Errors mirroring the errno values of the paper's API (§3.2).
+var (
+	// ErrNoMem is the ENOMEM of §3.2: no remote memory could be
+	// allocated, or the region is no longer active (host crashed,
+	// reclaimed, or region dropped).
+	ErrNoMem = errors.New("dodo: remote memory unavailable (ENOMEM)")
+	// ErrInval is the EINVAL of §3.2: bad descriptor, offset, length or
+	// backing file.
+	ErrInval = errors.New("dodo: invalid argument (EINVAL)")
+	// ErrClosed reports use of a closed client.
+	ErrClosed = errors.New("dodo: client closed")
+)
+
+// Config tunes the runtime library.
+type Config struct {
+	// ManagerAddr is the central manager's transport address.
+	ManagerAddr string
+	// ClientID distinguishes clients in region keys (multi-client
+	// extension of the paper's footnote 4).
+	ClientID uint32
+	// RefractionPeriod suppresses allocation attempts after a failed
+	// one (§3.1; default 5s).
+	RefractionPeriod time.Duration
+	// Clock provides time (default wall clock).
+	Clock sim.Clock
+	// Endpoint tunes the messaging layer.
+	Endpoint bulk.Config
+	// Logger receives operational events; nil silences them.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.RefractionPeriod == 0 {
+		c.RefractionPeriod = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = sim.WallClock{}
+	}
+	return c
+}
+
+// regionState is one row of the client's region table (§4.4).
+type regionState struct {
+	fd      int
+	key     wire.RegionKey
+	remote  wire.Region
+	backing Backing
+	// backOff is the region's base offset within the backing file.
+	backOff int64
+	length  int64
+	// valid is the local/remote flag: false once the remote copy is
+	// known lost.
+	valid bool
+}
+
+// Client is the Dodo runtime library instance linked into an
+// application.
+type Client struct {
+	cfg Config
+	ep  *bulk.Endpoint
+	log *log.Logger
+
+	mu            sync.Mutex
+	regions       map[int]*regionState
+	nextFD        int
+	lastAllocFail time.Time
+	failedOnce    bool
+	closed        bool
+
+	// stats
+	remoteReads, remoteWrites   int64
+	remoteReadBy, remoteWriteBy int64
+	dropEvents, refractionSkips int64
+}
+
+// New creates a client runtime over tr.
+func New(tr transport.Transport, cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	c := &Client{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		regions: make(map[int]*regionState),
+	}
+	// The client must echo the manager's keep-alives (§3.1) or its
+	// regions are reclaimed as orphans.
+	c.ep = bulk.NewEndpoint(tr, cfg.Endpoint, func(from string, msg wire.Message) wire.Message {
+		if ka, ok := msg.(*wire.KeepAlive); ok {
+			return &wire.KeepAliveAck{ClientID: ka.ClientID}
+		}
+		return nil
+	})
+	return c
+}
+
+// Addr returns the client's transport address.
+func (c *Client) Addr() string { return c.ep.LocalAddr() }
+
+// Close releases the client. Open regions are left to the central
+// manager's keep-alive reclamation — exactly what happens when an
+// application exits without mclosing (§4.3) — so persistent-region
+// workloads like dmine can deliberately leave their data cached.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.ep.Close()
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.log != nil {
+		c.log.Printf(format, args...)
+	}
+}
+
+// Stats reports client-side counters.
+type Stats struct {
+	RemoteReads, RemoteWrites         int64
+	RemoteReadBytes, RemoteWriteBytes int64
+	DropEvents                        int64
+	RefractionSkips                   int64
+	OpenRegions                       int
+}
+
+// Stats returns a consistent snapshot.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		RemoteReads:      c.remoteReads,
+		RemoteWrites:     c.remoteWrites,
+		RemoteReadBytes:  c.remoteReadBy,
+		RemoteWriteBytes: c.remoteWriteBy,
+		DropEvents:       c.dropEvents,
+		RefractionSkips:  c.refractionSkips,
+		OpenRegions:      len(c.regions),
+	}
+}
+
+// dataBudget scales a call timeout with the transfer size so large
+// regions are not cut off mid-blast.
+func dataBudget(n int64) time.Duration {
+	return 5*time.Second + time.Duration(n/(1<<20))*2*time.Second
+}
+
+// Mopen allocates a new remote memory region of length bytes, backed by
+// the byte range [offset, offset+length) of backing (§3.2). It returns
+// a non-negative region descriptor for use with the other calls.
+//
+// Errors follow the paper: ErrInval for a bad length, offset or
+// non-writable backing; ErrNoMem when the cluster has no space (in
+// which case further Mopens are suppressed for the refraction period).
+func (c *Client) Mopen(length int64, backing Backing, offset int64) (int, error) {
+	if length < 1 || offset < 0 {
+		return -1, fmt.Errorf("%w: length %d, offset %d", ErrInval, length, offset)
+	}
+	if backing == nil || !backing.Writable() {
+		return -1, fmt.Errorf("%w: backing file not open for writing", ErrInval)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return -1, ErrClosed
+	}
+	// Refraction period: after a failed allocation, don't even ask
+	// (§3.1: "the library refrains from making allocation calls for a
+	// fixed time period").
+	if c.failedOnce && c.cfg.Clock.Now().Sub(c.lastAllocFail) < c.cfg.RefractionPeriod {
+		c.refractionSkips++
+		c.mu.Unlock()
+		return -1, fmt.Errorf("%w: in refraction period", ErrNoMem)
+	}
+	c.mu.Unlock()
+
+	key := wire.RegionKey{Inode: backing.Inode(), Offset: offset, ClientID: c.cfg.ClientID}
+	resp, err := c.ep.Call(c.cfg.ManagerAddr, &wire.AllocReq{Key: key, Length: uint64(length)})
+	if err != nil {
+		return -1, fmt.Errorf("%w: manager unreachable: %v", ErrNoMem, err)
+	}
+	ar, ok := resp.(*wire.AllocResp)
+	if !ok {
+		return -1, fmt.Errorf("%w: unexpected response %v", ErrNoMem, resp.Kind())
+	}
+	if ar.Status != wire.StatusOK {
+		c.mu.Lock()
+		c.failedOnce = true
+		c.lastAllocFail = c.cfg.Clock.Now()
+		c.mu.Unlock()
+		if ar.Status == wire.StatusInvalid {
+			return -1, ErrInval
+		}
+		return -1, ErrNoMem
+	}
+
+	c.mu.Lock()
+	fd := c.nextFD
+	c.nextFD++
+	c.regions[fd] = &regionState{
+		fd:      fd,
+		key:     key,
+		remote:  ar.Region,
+		backing: backing,
+		backOff: offset,
+		length:  length,
+		valid:   true,
+	}
+	c.mu.Unlock()
+	c.logf("dodo: mopen fd %d -> %s region %d (%d bytes)", fd, ar.Region.HostAddr, ar.Region.RegionID, length)
+	return fd, nil
+}
+
+// lookup returns a snapshot of the region table row for fd. A snapshot
+// (not the live pointer) keeps Mread/Mwrite race-free against concurrent
+// dropHost/CheckAlloc mutations.
+func (c *Client) lookup(fd int) (regionState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return regionState{}, ErrClosed
+	}
+	r, ok := c.regions[fd]
+	if !ok {
+		return regionState{}, fmt.Errorf("%w: bad region descriptor %d", ErrInval, fd)
+	}
+	return *r, nil
+}
+
+// dropHost invalidates every region hosted by addr: when one access to a
+// node fails, all descriptors for that node are dropped (§3.1).
+func (c *Client) dropHost(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, r := range c.regions {
+		if r.valid && r.remote.HostAddr == addr {
+			r.valid = false
+			n++
+		}
+	}
+	if n > 0 {
+		c.dropEvents++
+		c.logf("dodo: dropped %d region descriptors on failed host %s", n, addr)
+	}
+}
+
+// Mread reads up to len(buf) bytes at offset within the region into buf
+// (§3.2). It returns the number of bytes read, which is short if fewer
+// bytes are available at that offset. ErrNoMem reports an inactive
+// region (invalid descriptor state, crashed or reclaimed host); ErrInval
+// reports bad arguments. On ErrNoMem the caller falls back to the
+// backing file.
+func (c *Client) Mread(fd int, offset int64, buf []byte) (int, error) {
+	r, err := c.lookup(fd)
+	if err != nil {
+		return -1, err
+	}
+	if offset < 0 || offset > r.length {
+		return -1, fmt.Errorf("%w: offset %d in %d-byte region", ErrInval, offset, r.length)
+	}
+	if !r.valid {
+		return -1, fmt.Errorf("%w: region %d is not active", ErrNoMem, fd)
+	}
+	want := int64(len(buf))
+	if offset+want > r.length {
+		want = r.length - offset
+	}
+	if want == 0 {
+		return 0, nil
+	}
+	req := &wire.ReadReq{
+		RegionID: r.remote.RegionID,
+		Epoch:    r.remote.Epoch,
+		Offset:   uint64(offset),
+		Length:   uint64(want),
+	}
+	resp, err := c.ep.Call(r.remote.HostAddr, req)
+	if err != nil {
+		c.dropHost(r.remote.HostAddr)
+		return -1, fmt.Errorf("%w: host %s unreachable: %v", ErrNoMem, r.remote.HostAddr, err)
+	}
+	dr, ok := resp.(*wire.DataResp)
+	if !ok || dr.Status != wire.StatusOK {
+		c.dropHost(r.remote.HostAddr)
+		return -1, fmt.Errorf("%w: read refused (%v)", ErrNoMem, dr.Status)
+	}
+	data, err := c.ep.RecvBulk(r.remote.HostAddr, dr.TransferID, dataBudget(want))
+	if err != nil {
+		c.dropHost(r.remote.HostAddr)
+		return -1, fmt.Errorf("%w: transfer failed: %v", ErrNoMem, err)
+	}
+	n := copy(buf, data)
+	c.mu.Lock()
+	c.remoteReads++
+	c.remoteReadBy += int64(n)
+	c.mu.Unlock()
+	return n, nil
+}
+
+// Mwrite writes buf to the backing file and to the remote region in
+// parallel (§3: "Writes to remote memory are propagated to disk in
+// parallel to being sent to the remote host"). It returns the bytes
+// written into the region (short at the region tail). A backing-file
+// failure surfaces as that write's error; a remote failure drops the
+// host's descriptors and reports ErrNoMem (the disk copy may still have
+// succeeded — the region is simply no longer cached).
+func (c *Client) Mwrite(fd int, offset int64, buf []byte) (int, error) {
+	r, err := c.lookup(fd)
+	if err != nil {
+		return -1, err
+	}
+	if offset < 0 || offset > r.length {
+		return -1, fmt.Errorf("%w: offset %d in %d-byte region", ErrInval, offset, r.length)
+	}
+	if !r.valid {
+		return -1, fmt.Errorf("%w: region %d is not active", ErrNoMem, fd)
+	}
+	want := int64(len(buf))
+	if offset+want > r.length {
+		want = r.length - offset
+	}
+	data := buf[:want]
+
+	// Disk and remote in parallel.
+	type diskResult struct {
+		n   int
+		err error
+	}
+	diskCh := make(chan diskResult, 1)
+	go func() {
+		n, err := r.backing.WriteAt(data, r.backOff+offset)
+		diskCh <- diskResult{n, err}
+	}()
+
+	remoteErr := c.remoteWrite(r, offset, data)
+	disk := <-diskCh
+
+	if disk.err != nil {
+		// The paper passes through the backing write's errno.
+		return -1, fmt.Errorf("dodo: backing write failed: %w", disk.err)
+	}
+	if remoteErr != nil {
+		c.dropHost(r.remote.HostAddr)
+		return -1, fmt.Errorf("%w: remote write failed: %v", ErrNoMem, remoteErr)
+	}
+	c.mu.Lock()
+	c.remoteWrites++
+	c.remoteWriteBy += want
+	c.mu.Unlock()
+	return int(want), nil
+}
+
+func (c *Client) remoteWrite(r regionState, offset int64, data []byte) error {
+	xfer := c.ep.NextTransferID()
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- c.ep.SendBulk(r.remote.HostAddr, xfer, data) }()
+	req := &wire.WriteReq{
+		RegionID:   r.remote.RegionID,
+		Epoch:      r.remote.Epoch,
+		Offset:     uint64(offset),
+		Length:     uint64(len(data)),
+		TransferID: xfer,
+	}
+	resp, err := c.ep.CallT(r.remote.HostAddr, req, dataBudget(int64(len(data))), 2)
+	if serr := <-sendErr; serr != nil && err == nil {
+		return serr
+	}
+	if err != nil {
+		return err
+	}
+	dr, ok := resp.(*wire.DataResp)
+	if !ok || dr.Status != wire.StatusOK {
+		return fmt.Errorf("write refused (%v)", dr.Status)
+	}
+	return nil
+}
+
+// Mclose deallocates the region (§3.2). It contacts the central manager
+// to free the remote memory and removes the descriptor; it does not
+// touch the backing file.
+func (c *Client) Mclose(fd int) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	r, ok := c.regions[fd]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: bad region descriptor %d", ErrInval, fd)
+	}
+	delete(c.regions, fd)
+	c.mu.Unlock()
+
+	resp, err := c.ep.Call(c.cfg.ManagerAddr, &wire.FreeReq{Key: r.key})
+	if err != nil {
+		return fmt.Errorf("%w: cannot contact central manager: %v", ErrInval, err)
+	}
+	if fr, ok := resp.(*wire.FreeResp); !ok || fr.Status != wire.StatusOK {
+		return fmt.Errorf("%w: region already reclaimed", ErrInval)
+	}
+	return nil
+}
+
+// Msync blocks until all data in the region is on disk (§3.2). Mwrite
+// writes through to the backing synchronously, so this reduces to
+// syncing the backing store.
+func (c *Client) Msync(fd int) error {
+	r, err := c.lookup(fd)
+	if err != nil {
+		return err
+	}
+	return r.backing.Sync()
+}
+
+// CheckAlloc asks the central manager whether the region behind fd is
+// still valid (the checkAlloc operation of §4.3), refreshing the local
+// descriptor on success and invalidating it on staleness.
+func (c *Client) CheckAlloc(fd int) (bool, error) {
+	r, err := c.lookup(fd)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.ep.Call(c.cfg.ManagerAddr, &wire.CheckAllocReq{Key: r.key})
+	if err != nil {
+		return false, fmt.Errorf("%w: manager unreachable: %v", ErrNoMem, err)
+	}
+	ca, ok := resp.(*wire.CheckAllocResp)
+	if !ok {
+		return false, ErrNoMem
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live, present := c.regions[fd]
+	if !present {
+		return false, fmt.Errorf("%w: bad region descriptor %d", ErrInval, fd)
+	}
+	if ca.Status != wire.StatusOK {
+		live.valid = false
+		return false, nil
+	}
+	live.remote = ca.Region
+	live.valid = true
+	return true, nil
+}
+
+// RegionValid reports the local/remote flag of the region table row.
+func (c *Client) RegionValid(fd int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.regions[fd]
+	return ok && r.valid
+}

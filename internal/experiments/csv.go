@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV emitters: every figure's data in a plot-ready form, one file per
+// figure (dodo-bench -csv <dir> writes them). Columns carry units in
+// the header so gnuplot/matplotlib scripts need no side knowledge.
+
+// WriteFigure1CSV emits hour, all-hosts MB, idle-hosts MB, idle-host
+// count for one cluster.
+func WriteFigure1CSV(w io.Writer, res Fig1Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"hour", "avail_all_mb", "avail_idle_mb", "idle_hosts"}); err != nil {
+		return err
+	}
+	for _, s := range res.Series {
+		rec := []string{
+			fmt.Sprintf("%.3f", s.Time.Sub(res.Series[0].Time).Hours()),
+			fmt.Sprintf("%.1f", float64(s.AvailAll)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(s.AvailIdle)/(1<<20)),
+			strconv.Itoa(s.IdleHosts),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure2CSV emits hour, available MB for one workstation.
+func WriteFigure2CSV(w io.Writer, res Fig2Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"hour", "avail_mb", "active"}); err != nil {
+		return err
+	}
+	for _, s := range res.Series {
+		active := "0"
+		if s.Active {
+			active = "1"
+		}
+		rec := []string{
+			fmt.Sprintf("%.3f", s.Time.Sub(res.Series[0].Time).Hours()),
+			fmt.Sprintf("%.2f", float64(s.Mem.Available())/(1<<20)),
+			active,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure7CSV emits the application speedup bars.
+func WriteFigure7CSV(w io.Writer, rows []Fig7Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "transport", "baseline_s", "dodo_s", "speedup"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.App, r.Transport,
+			fmt.Sprintf("%.1f", r.BaselineTime.Seconds()),
+			fmt.Sprintf("%.1f", r.DodoTime.Seconds()),
+			fmt.Sprintf("%.3f", r.Speedup),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure8CSV emits the synthetic-benchmark sweep.
+func WriteFigure8CSV(w io.Writer, rows []Fig8Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{"pattern", "req_kb", "dataset_mb", "transport",
+		"baseline_s", "dodo_s", "speedup", "steady_speedup"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Pattern, strconv.Itoa(r.ReqKB), strconv.Itoa(r.DatasetMB), r.Transport,
+			fmt.Sprintf("%.1f", r.BaselineTime.Seconds()),
+			fmt.Sprintf("%.1f", r.DodoTime.Seconds()),
+			fmt.Sprintf("%.3f", r.Speedup),
+			fmt.Sprintf("%.3f", r.SteadySpeedup),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteReclaimCSV emits the recruitment-policy comparison.
+func WriteReclaimCSV(w io.Writer, rows []ReclaimRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"policy", "recruits", "reclaims", "harvest_mb",
+		"mean_delay_ms", "p95_delay_ms", "max_delay_ms", "overshoot_reclaims"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Policy, strconv.Itoa(r.Recruitments), strconv.Itoa(r.Reclaims),
+			fmt.Sprintf("%.1f", r.HarvestedMB),
+			fmt.Sprintf("%.1f", float64(r.MeanDelay.Microseconds())/1000),
+			fmt.Sprintf("%.1f", float64(r.P95Delay.Microseconds())/1000),
+			fmt.Sprintf("%.1f", float64(r.MaxDelay.Microseconds())/1000),
+			strconv.Itoa(r.OvershootReclaims),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteHeadroomCSV emits the headroom sensitivity sweep.
+func WriteHeadroomCSV(w io.Writer, rows []HeadroomRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"headroom_pct", "harvest_mb", "mean_delay_ms", "overshoot_frac"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			fmt.Sprintf("%.0f", r.HeadroomFraction*100),
+			fmt.Sprintf("%.1f", r.HarvestedMB),
+			fmt.Sprintf("%.1f", float64(r.MeanDelay.Microseconds())/1000),
+			fmt.Sprintf("%.3f", r.OvershootFrac),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

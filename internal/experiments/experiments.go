@@ -1,0 +1,85 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2 and §5) from the reimplemented system: the idle-memory
+// study (Table 1, Figures 1-2), the application and synthetic-benchmark
+// speedups (Figures 7-8), the non-dedicated-cluster reclamation result
+// (§5.3.1), and the ablation studies of Dodo's design choices.
+//
+// Each experiment returns typed rows so that the bench harness, the
+// dodo-bench binary and the test suite all consume the same code path.
+// A Scale parameter shrinks datasets proportionally (memory sizes,
+// dataset sizes and cache sizes all scale together), preserving every
+// ratio the speedups depend on while letting the test suite run in
+// seconds; Scale=1 reproduces the paper's exact configuration.
+package experiments
+
+import (
+	"time"
+
+	"dodo/internal/simdisk"
+	"dodo/internal/simnet"
+	"dodo/internal/workload"
+)
+
+// Paper-exact platform constants (§5.1).
+const (
+	// RemoteMemoryBytes: 12 idle-memory daemons x 100 MB pools.
+	RemoteMemoryBytes = int64(1200) << 20
+	// LocalCacheBytes: the region-management library's local cache.
+	LocalCacheBytes = int64(80) << 20
+	// BaselinePageCache: page cache available to the no-Dodo run on the
+	// 128 MB application node (node memory minus kernel and the
+	// application's own buffers).
+	BaselinePageCache = int64(96) << 20
+	// DodoPageCache: page cache left once the 80 MB local region cache
+	// is pinned.
+	DodoPageCache = int64(16) << 20
+	// ComputePerRequest is the synthetic benchmarks' constant compute
+	// time between requests (§5.2.2).
+	ComputePerRequest = 10 * time.Millisecond
+	// Iterations is the synthetic benchmarks' num_iter.
+	Iterations = 4
+)
+
+// Transports returns the two communication substrates of the evaluation.
+func Transports() []simnet.CostModel {
+	return []simnet.CostModel{simnet.UDPFastEthernet(), simnet.UNetFastEthernet()}
+}
+
+// scaled applies the proportional scale factor to a byte size.
+func scaled(bytes int64, scale float64) int64 {
+	if scale >= 1 {
+		return bytes
+	}
+	v := int64(float64(bytes) * scale)
+	if v < 1<<20 {
+		v = 1 << 20
+	}
+	return v
+}
+
+// runPair runs one spec against the baseline and one Dodo configuration,
+// returning both simulated times.
+func runPair(spec workload.Spec, dodoCfg workload.DodoConfig, scale float64) (base, dodo time.Duration, perIterBase, perIterDodo []time.Duration, err error) {
+	baseline := &workload.DiskStorage{
+		Disk: simdisk.NewDisk(simdisk.QuantumFireballST32(), scaled(BaselinePageCache, scale)),
+		File: 1,
+	}
+	base, perIterBase, err = workload.Run(spec, baseline)
+	if err != nil {
+		return 0, 0, nil, nil, err
+	}
+	st := workload.NewDodoStorage(dodoCfg)
+	dodo, perIterDodo, err = workload.Run(spec, st)
+	if err != nil {
+		return 0, 0, nil, nil, err
+	}
+	return base, dodo, perIterBase, perIterDodo, nil
+}
+
+// speedup guards the division.
+func speedup(base, dodo time.Duration) float64 {
+	if dodo == 0 {
+		return 0
+	}
+	return float64(base) / float64(dodo)
+}

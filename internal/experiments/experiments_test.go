@@ -1,0 +1,434 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+const testScale = 0.0625 // 64 MB / 128 MB datasets: fast but same ratios
+
+func fig8Rows(t *testing.T) []Fig8Row {
+	t.Helper()
+	rows, err := Figure8(Figure8Config{Scale: testScale, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 24 { // 3 patterns x 2 req sizes x 2 datasets x 2 nets
+		t.Fatalf("rows = %d, want 24", len(rows))
+	}
+	return rows
+}
+
+func get(t *testing.T, rows []Fig8Row, pattern string, reqKB, dsMB int, nett string) Fig8Row {
+	t.Helper()
+	r, ok := FindFig8(rows, pattern, reqKB, dsMB, nett)
+	if !ok {
+		t.Fatalf("row %s/%d/%d/%s missing", pattern, reqKB, dsMB, nett)
+	}
+	return r
+}
+
+// The headline Figure 8 shapes, asserted at reduced scale:
+//
+//  1. sequential ~ 1.0 (the filesystem already streams at wire speed);
+//  2. hotcold and random substantially above 1;
+//  3. growing the dataset past remote memory hurts random...
+//  4. ...but helps hotcold (hot set still fits; baseline cache dilutes);
+//  5. U-Net >= UDP everywhere.
+func TestFigure8Shapes(t *testing.T) {
+	rows := fig8Rows(t)
+	small := int(scaled(1<<30, testScale) >> 20)
+	large := int(scaled(2<<30, testScale) >> 20)
+
+	// 1. Sequential near 1.
+	for _, nett := range []string{"udp", "unet"} {
+		for _, ds := range []int{small, large} {
+			for _, req := range []int{8, 32} {
+				r := get(t, rows, "sequential", req, ds, nett)
+				if r.Speedup < 0.85 || r.Speedup > 1.15 {
+					t.Errorf("sequential/%dKB/%dMB/%s speedup = %.2f, want ~1.0", req, ds, nett, r.Speedup)
+				}
+			}
+		}
+	}
+	// 2. hotcold/random clearly above sequential.
+	for _, p := range []string{"hotcold", "random"} {
+		r := get(t, rows, p, 8, small, "unet")
+		if r.Speedup < 1.3 {
+			t.Errorf("%s/8KB/%dMB/unet speedup = %.2f, want >= 1.3", p, small, r.Speedup)
+		}
+	}
+	// 3. random: large dataset (overflowing remote memory) hurts.
+	rs := get(t, rows, "random", 8, small, "unet")
+	rl := get(t, rows, "random", 8, large, "unet")
+	if rl.Speedup >= rs.Speedup {
+		t.Errorf("random speedup grew with dataset: %.2f -> %.2f", rs.Speedup, rl.Speedup)
+	}
+	// 4. hotcold: large dataset helps (paper's surprising result).
+	hs := get(t, rows, "hotcold", 8, small, "unet")
+	hl := get(t, rows, "hotcold", 8, large, "unet")
+	if hl.Speedup <= hs.Speedup {
+		t.Errorf("hotcold speedup fell with dataset: %.2f -> %.2f", hs.Speedup, hl.Speedup)
+	}
+	// 5. U-Net >= UDP for every cell.
+	for _, p := range []string{"sequential", "hotcold", "random"} {
+		for _, req := range []int{8, 32} {
+			for _, ds := range []int{small, large} {
+				u := get(t, rows, p, req, ds, "udp")
+				n := get(t, rows, p, req, ds, "unet")
+				if n.Speedup < u.Speedup-0.02 {
+					t.Errorf("%s/%d/%d: unet %.2f < udp %.2f", p, req, ds, n.Speedup, u.Speedup)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure7Shapes(t *testing.T) {
+	rows, err := Figure7(Figure7Config{Scale: 0.125, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(app, nett string) Fig7Row {
+		for _, r := range rows {
+			if r.App == app && r.Transport == nett {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", app, nett)
+		return Fig7Row{}
+	}
+	// dmine: first run no speedup, second run large speedup.
+	run1 := find("dmine-run1", "unet")
+	if run1.Speedup < 0.8 || run1.Speedup > 1.1 {
+		t.Errorf("dmine run1 speedup = %.2f, want ~1.0 (paper: no speedup)", run1.Speedup)
+	}
+	run2u := find("dmine-run2", "unet")
+	if run2u.Speedup < 2.4 || run2u.Speedup > 4.0 {
+		t.Errorf("dmine run2 unet speedup = %.2f, want ~3.2", run2u.Speedup)
+	}
+	run2d := find("dmine-run2", "udp")
+	if run2d.Speedup < 2.0 || run2d.Speedup > 3.2 {
+		t.Errorf("dmine run2 udp speedup = %.2f, want ~2.6", run2d.Speedup)
+	}
+	if run2u.Speedup <= run2d.Speedup {
+		t.Errorf("dmine: unet (%.2f) not faster than udp (%.2f)", run2u.Speedup, run2d.Speedup)
+	}
+	// lu: modest speedup, unet >= udp.
+	luU := find("lu", "unet")
+	luD := find("lu", "udp")
+	if luU.Speedup < 1.05 || luU.Speedup > 1.35 {
+		t.Errorf("lu unet speedup = %.2f, want ~1.2", luU.Speedup)
+	}
+	if luD.Speedup < 1.02 || luD.Speedup > luU.Speedup+0.01 {
+		t.Errorf("lu udp speedup = %.2f (unet %.2f), want ~1.15 and <= unet", luD.Speedup, luU.Speedup)
+	}
+}
+
+func TestTable1Reproduction(t *testing.T) {
+	rows := Table1(3, 48*time.Hour, 11)
+	if len(rows) != 4 {
+		t.Fatalf("classes = %d", len(rows))
+	}
+	for _, r := range rows {
+		if relErr(r.AvailKB.Mean, r.PaperAvailKB) > 0.15 {
+			t.Errorf("%s avail = %.0f, paper %.0f", r.Class, r.AvailKB.Mean, r.PaperAvailKB)
+		}
+		if relErr(r.KernelKB.Mean, r.PaperKernelKB) > 0.15 {
+			t.Errorf("%s kernel = %.0f, paper %.0f", r.Class, r.KernelKB.Mean, r.PaperKernelKB)
+		}
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return got
+	}
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d / want
+}
+
+func TestFigure1Reproduction(t *testing.T) {
+	res := Figure1(72*time.Hour, 5)
+	if len(res) != 2 {
+		t.Fatalf("clusters = %d", len(res))
+	}
+	for _, r := range res {
+		if relErr(r.AvgAllMB, r.PaperAllMB) > 0.18 {
+			t.Errorf("%s all-hosts = %.0f MB, paper %.0f", r.Cluster, r.AvgAllMB, r.PaperAllMB)
+		}
+		if relErr(r.AvgIdleMB, r.PaperIdleMB) > 0.25 {
+			t.Errorf("%s idle-hosts = %.0f MB, paper %.0f", r.Cluster, r.AvgIdleMB, r.PaperIdleMB)
+		}
+		if r.AvgIdleMB >= r.AvgAllMB {
+			t.Errorf("%s idle >= all", r.Cluster)
+		}
+		if len(r.Series) == 0 {
+			t.Errorf("%s has no series", r.Cluster)
+		}
+	}
+}
+
+func TestFigure2Reproduction(t *testing.T) {
+	res := Figure2(72*time.Hour, 9)
+	if len(res) != 4 {
+		t.Fatalf("hosts = %d", len(res))
+	}
+	for _, r := range res {
+		// Dips exist but typical availability is high.
+		if r.MinMB > 0.6*r.MeanMB {
+			t.Errorf("%s: no dips (min %.1f, mean %.1f)", r.Class, r.MinMB, r.MeanMB)
+		}
+		if r.MeanMB < 0.3*r.TotalMB {
+			t.Errorf("%s: mean %.1f below 30%% of total %.0f", r.Class, r.MeanMB, r.TotalMB)
+		}
+	}
+}
+
+func TestReclamationPolicyComparison(t *testing.T) {
+	rows := Reclamation(ReclaimConfig{Hosts: 12, Duration: 4 * 24 * time.Hour, Seed: 2})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var dodo, greedy ReclaimRow
+	for _, r := range rows {
+		switch r.Policy {
+		case "dodo":
+			dodo = r
+		case "greedy":
+			greedy = r
+		}
+	}
+	if dodo.Reclaims == 0 || greedy.Reclaims == 0 {
+		t.Fatalf("no reclaims simulated: %+v %+v", dodo, greedy)
+	}
+	// The paper's claim: virtually no delay under the Dodo policy.
+	if dodo.MeanDelay > 200*time.Millisecond {
+		t.Errorf("dodo mean reclaim delay = %v, want < 200ms", dodo.MeanDelay)
+	}
+	// Greedy harvesting hurts noticeably more.
+	if greedy.MeanDelay < 2*dodo.MeanDelay {
+		t.Errorf("greedy delay %v not clearly worse than dodo %v", greedy.MeanDelay, dodo.MeanDelay)
+	}
+	// And Dodo still harvests a useful pool.
+	if dodo.HarvestedMB < 10 {
+		t.Errorf("dodo harvested only %.1f MB on average", dodo.HarvestedMB)
+	}
+}
+
+func TestAllocatorAblation(t *testing.T) {
+	rows := AllocatorAblation(32<<20, 8000, 3)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Attempts == 0 {
+			t.Errorf("%s: no attempts", r.Allocator)
+		}
+		if r.Fragmentation < 0 || r.Fragmentation > 1 {
+			t.Errorf("%s: fragmentation %f out of range", r.Allocator, r.Fragmentation)
+		}
+	}
+	// Buddy pays internal waste; first-fit doesn't.
+	if rows[0].InternalWasteBytes != 0 {
+		t.Error("first-fit reported internal waste")
+	}
+	if rows[1].InternalWasteBytes == 0 {
+		t.Error("buddy reported zero internal waste under jittered sizes")
+	}
+}
+
+func TestPolicyAblation(t *testing.T) {
+	rows, err := PolicyAblation(0.03125, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		byKey[r.Pattern+"/"+r.Policy] = r.Speedup
+	}
+	// Hotcold favors recency: LRU must not lose to first-in or MRU
+	// (remote memory is fast enough that the absolute gap is small —
+	// the local cache only shaves the last network hop).
+	if byKey["hotcold/lru"] < byKey["hotcold/first-in"]-0.02 {
+		t.Errorf("hotcold: lru %.2f < first-in %.2f", byKey["hotcold/lru"], byKey["hotcold/first-in"])
+	}
+	if byKey["hotcold/lru"] < byKey["hotcold/mru"]-0.02 {
+		t.Errorf("hotcold: lru %.2f < mru %.2f", byKey["hotcold/lru"], byKey["hotcold/mru"])
+	}
+	// All policies keep sequential near 1.
+	for _, p := range []string{"lru", "mru", "first-in", "fifo"} {
+		if s := byKey["sequential/"+p]; s < 0.8 || s > 1.2 {
+			t.Errorf("sequential/%s speedup = %.2f", p, s)
+		}
+	}
+	// Every cell lands in a sane range.
+	for k, v := range byKey {
+		if v < 0.7 || v > 4 {
+			t.Errorf("%s speedup = %.2f out of range", k, v)
+		}
+	}
+}
+
+func TestRefractionAblation(t *testing.T) {
+	rows, err := RefractionAblation(0.03125, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	noRefraction, withRefraction := rows[0], rows[1]
+	if withRefraction.Skipped == 0 {
+		t.Error("refraction period skipped no allocations under pressure")
+	}
+	if noRefraction.AllocAttempts <= withRefraction.AllocAttempts {
+		t.Errorf("refraction did not reduce allocation RPCs: %d vs %d",
+			noRefraction.AllocAttempts, withRefraction.AllocAttempts)
+	}
+}
+
+func TestHeadroomAblation(t *testing.T) {
+	rows := HeadroomAblation(8, 36*time.Hour, 4)
+	if len(rows) < 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Harvest shrinks monotonically with headroom.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].HarvestedMB > rows[i-1].HarvestedMB {
+			t.Errorf("harvest grew with headroom: %.1f -> %.1f at %.0f%%",
+				rows[i-1].HarvestedMB, rows[i].HarvestedMB, rows[i].HeadroomFraction*100)
+		}
+	}
+	// Delay at 0% headroom exceeds delay at 15%.
+	var at0, at15 HeadroomRow
+	for _, r := range rows {
+		if r.HeadroomFraction == 0 {
+			at0 = r
+		}
+		if r.HeadroomFraction == 0.15 {
+			at15 = r
+		}
+	}
+	if at0.MeanDelay <= at15.MeanDelay {
+		t.Errorf("0%% headroom delay %v not worse than 15%% %v", at0.MeanDelay, at15.MeanDelay)
+	}
+}
+
+func TestNackAblation(t *testing.T) {
+	rows, err := NackAblation(0.05, 4, 128<<10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sel, full := rows[0], rows[1]
+	if sel.Mode != "selective-nack" || full.Mode != "full-window" {
+		t.Fatalf("unexpected row order: %s %s", sel.Mode, full.Mode)
+	}
+	if full.Retransmits <= sel.Retransmits {
+		t.Errorf("full-window retransmits (%d) not above selective (%d)",
+			full.Retransmits, sel.Retransmits)
+	}
+}
+
+func TestTransportMicroTable(t *testing.T) {
+	rows := TransportMicro()
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.UNetTime >= r.UDPTime {
+			t.Errorf("size %d: unet %v >= udp %v", r.SizeBytes, r.UNetTime, r.UDPTime)
+		}
+		if r.Ratio <= 1 {
+			t.Errorf("size %d: ratio %.2f", r.SizeBytes, r.Ratio)
+		}
+	}
+}
+
+func TestFormattersProduceOutput(t *testing.T) {
+	var buf bytes.Buffer
+	FormatTable1(&buf, Table1(1, 2*time.Hour, 1))
+	FormatFigure2(&buf, Figure2(2*time.Hour, 1))
+	res := Figure1(2*time.Hour, 1)
+	FormatFigure1(&buf, res)
+	FormatFigure1Series(&buf, res[0], 4)
+	FormatReclamation(&buf, Reclamation(ReclaimConfig{Hosts: 2, Duration: 12 * time.Hour, Seed: 1}))
+	FormatAllocator(&buf, AllocatorAblation(1<<20, 500, 1))
+	FormatTransport(&buf, TransportMicro())
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Figure 1", "Figure 2", "Reclamation", "Allocator", "Transport"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "%!") {
+		t.Errorf("format verb error in output:\n%s", out)
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	var buf bytes.Buffer
+	res := Figure1(2*time.Hour, 1)
+	if err := WriteFigure1CSV(&buf, res[0]); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(res[0].Series)+1 {
+		t.Fatalf("fig1 csv lines = %d, want %d", len(lines), len(res[0].Series)+1)
+	}
+	if lines[0] != "hour,avail_all_mb,avail_idle_mb,idle_hosts" {
+		t.Fatalf("fig1 header = %q", lines[0])
+	}
+
+	buf.Reset()
+	f2 := Figure2(2*time.Hour, 1)
+	if err := WriteFigure2CSV(&buf, f2[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "hour,avail_mb,active\n") {
+		t.Fatal("fig2 header wrong")
+	}
+
+	buf.Reset()
+	rows7 := []Fig7Row{{App: "lu", Transport: "udp", BaselineTime: time.Hour, DodoTime: 50 * time.Minute, Speedup: 1.2}}
+	if err := WriteFigure7CSV(&buf, rows7); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lu,udp,3600.0,3000.0,1.200") {
+		t.Fatalf("fig7 csv = %q", buf.String())
+	}
+
+	buf.Reset()
+	rows8 := []Fig8Row{{Pattern: "random", ReqKB: 8, DatasetMB: 1024, Transport: "unet",
+		BaselineTime: time.Minute, DodoTime: 30 * time.Second, Speedup: 2, SteadySpeedup: 2.2}}
+	if err := WriteFigure8CSV(&buf, rows8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "random,8,1024,unet,60.0,30.0,2.000,2.200") {
+		t.Fatalf("fig8 csv = %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteReclaimCSV(&buf, Reclamation(ReclaimConfig{Hosts: 2, Duration: 12 * time.Hour, Seed: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "policy,") {
+		t.Fatal("reclaim header wrong")
+	}
+
+	buf.Reset()
+	if err := WriteHeadroomCSV(&buf, HeadroomAblation(2, 12*time.Hour, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "headroom_pct,") {
+		t.Fatal("headroom header wrong")
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// FormatTable1 renders the Table 1 reproduction side by side with the
+// paper's values.
+func FormatTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1: average memory usage by purpose (KB), measured vs paper\n")
+	fmt.Fprintf(w, "%-8s %22s %22s %22s %22s\n", "class", "kernel", "file-cache", "process", "available")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %9.0f (%6.0f)/%5.0f %9.0f (%6.0f)/%5.0f %9.0f (%6.0f)/%5.0f %9.0f (%6.0f)/%5.0f\n",
+			r.Class,
+			r.KernelKB.Mean, r.KernelKB.Std, r.PaperKernelKB,
+			r.FileCacheKB.Mean, r.FileCacheKB.Std, r.PaperFileKB,
+			r.ProcessKB.Mean, r.ProcessKB.Std, r.PaperProcKB,
+			r.AvailKB.Mean, r.AvailKB.Std, r.PaperAvailKB)
+	}
+	fmt.Fprintf(w, "(cells are measured-mean (std)/paper-mean)\n")
+}
+
+// FormatFigure1 renders the cluster availability headline numbers.
+func FormatFigure1(w io.Writer, results []Fig1Result) {
+	fmt.Fprintf(w, "Figure 1: average available memory (MB), measured vs paper\n")
+	fmt.Fprintf(w, "%-10s %14s %14s %14s %14s\n", "cluster", "all-hosts", "paper", "idle-hosts", "paper")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-10s %14.0f %14.0f %14.0f %14.0f\n",
+			r.Cluster, r.AvgAllMB, r.PaperAllMB, r.AvgIdleMB, r.PaperIdleMB)
+	}
+}
+
+// FormatFigure1Series renders a downsampled availability series (the
+// actual Figure 1 curves) as rows of time vs MB.
+func FormatFigure1Series(w io.Writer, res Fig1Result, points int) {
+	if points <= 0 {
+		points = 24
+	}
+	stride := len(res.Series) / points
+	if stride < 1 {
+		stride = 1
+	}
+	fmt.Fprintf(w, "Figure 1 series, %s (hour, all-hosts MB, idle-hosts MB)\n", res.Cluster)
+	for i := 0; i < len(res.Series); i += stride {
+		s := res.Series[i]
+		fmt.Fprintf(w, "%7.1f %10.0f %10.0f\n",
+			s.Time.Sub(res.Series[0].Time).Hours(),
+			float64(s.AvailAll)/(1<<20), float64(s.AvailIdle)/(1<<20))
+	}
+}
+
+// FormatFigure2 renders per-host availability summaries.
+func FormatFigure2(w io.Writer, results []Fig2Result) {
+	fmt.Fprintf(w, "Figure 2: per-workstation available memory over a week (MB)\n")
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s\n", "class", "total", "mean", "min", "max")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-8s %10.0f %10.1f %10.1f %10.1f\n", r.Class, r.TotalMB, r.MeanMB, r.MinMB, r.MaxMB)
+	}
+}
+
+// FormatFigure7 renders the application speedups.
+func FormatFigure7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintf(w, "Figure 7: application speedup with Dodo (paper: lu 1.2 U-Net / 1.15 UDP; dmine ~1.0 first run, 3.2 U-Net / 2.6 UDP on re-runs)\n")
+	fmt.Fprintf(w, "%-12s %-6s %14s %14s %9s\n", "app", "net", "baseline", "dodo", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-6s %14s %14s %9.2f\n",
+			r.App, r.Transport, fmtDur(r.BaselineTime), fmtDur(r.DodoTime), r.Speedup)
+	}
+}
+
+// FormatFigure8 renders the synthetic-benchmark sweep.
+func FormatFigure8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintf(w, "Figure 8: synthetic benchmark speedups (num_iter=4, 10ms compute)\n")
+	fmt.Fprintf(w, "%-12s %6s %8s %-6s %12s %12s %9s %9s\n",
+		"pattern", "req", "dataset", "net", "baseline", "dodo", "speedup", "steady")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %4dKB %6dMB %-6s %12s %12s %9.2f %9.2f\n",
+			r.Pattern, r.ReqKB, r.DatasetMB, r.Transport,
+			fmtDur(r.BaselineTime), fmtDur(r.DodoTime), r.Speedup, r.SteadySpeedup)
+	}
+}
+
+// FormatReclamation renders the §5.3.1 recruitment-policy comparison.
+func FormatReclamation(w io.Writer, rows []ReclaimRow) {
+	fmt.Fprintf(w, "Reclamation delay (§5.3.1): recruitment policy vs owner-perceived delay\n")
+	fmt.Fprintf(w, "%-8s %9s %9s %12s %12s %12s %12s %10s\n",
+		"policy", "recruits", "reclaims", "harvestMB", "mean-delay", "p95-delay", "max-delay", "overshoot")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %9d %9d %12.1f %12s %12s %12s %9d\n",
+			r.Policy, r.Recruitments, r.Reclaims, r.HarvestedMB,
+			fmtDur(r.MeanDelay), fmtDur(r.P95Delay), fmtDur(r.MaxDelay), r.OvershootReclaims)
+	}
+}
+
+// FormatAllocator renders the allocator ablation.
+func FormatAllocator(w io.Writer, rows []AllocatorRow) {
+	fmt.Fprintf(w, "Allocator ablation (§4.2): first-fit + coalescing vs buddy\n")
+	fmt.Fprintf(w, "%-10s %9s %9s %12s %12s %8s %12s\n",
+		"allocator", "attempts", "failures", "free-bytes", "largest", "frag", "int-waste")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %9d %9d %12d %12d %8.3f %12d\n",
+			r.Allocator, r.Attempts, r.Failures, r.FinalFreeBytes, r.FinalLargest,
+			r.Fragmentation, r.InternalWasteBytes)
+	}
+}
+
+// FormatPolicy renders the replacement-policy ablation.
+func FormatPolicy(w io.Writer, rows []PolicyRow) {
+	fmt.Fprintf(w, "Replacement-policy ablation (§3.3): speedup and local-cache behavior by pattern x policy\n")
+	fmt.Fprintf(w, "%-12s %-10s %9s %11s %11s\n", "pattern", "policy", "speedup", "local-hit%", "evictions")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-10s %9.2f %10.1f%% %11d\n", r.Pattern, r.Policy, r.Speedup, r.LocalHitRate*100, r.Evictions)
+	}
+}
+
+// FormatRefraction renders the refraction-period ablation.
+func FormatRefraction(w io.Writer, rows []RefractionRow) {
+	fmt.Fprintf(w, "Refraction-period ablation (§3.1): wasted allocation RPCs under memory pressure\n")
+	fmt.Fprintf(w, "%-14s %14s %14s %14s\n", "refraction", "alloc-RPCs", "skipped", "runtime")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %14d %14d %14s\n",
+			fmtDur(r.RefractionPeriod), r.AllocAttempts, r.Skipped, fmtDur(r.RunTime))
+	}
+}
+
+// FormatHeadroom renders the headroom sensitivity sweep.
+func FormatHeadroom(w io.Writer, rows []HeadroomRow) {
+	fmt.Fprintf(w, "Headroom ablation (§3.1): harvest size vs owner delay\n")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s\n", "headroom", "harvestMB", "mean-delay", "overshoot")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%9.0f%% %12.1f %12s %11.1f%%\n",
+			r.HeadroomFraction*100, r.HarvestedMB, fmtDur(r.MeanDelay), r.OvershootFrac*100)
+	}
+}
+
+// FormatNack renders the selective-NACK ablation.
+func FormatNack(w io.Writer, rows []NackRow) {
+	fmt.Fprintf(w, "Bulk-protocol loss recovery (§4.4): selective NACK vs full-window retransmit\n")
+	fmt.Fprintf(w, "%-16s %6s %10s %12s %12s %14s\n", "mode", "loss", "transfers", "wall-time", "retransmits", "redundant-B")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %5.1f%% %10d %12s %12d %14d\n",
+			r.Mode, r.LossRate*100, r.Transfers, fmtDur(r.WallTime), r.Retransmits, r.RedundantBytes)
+	}
+}
+
+// FormatTransport renders the UDP vs U-Net microbenchmark table.
+func FormatTransport(w io.Writer, rows []TransportRow) {
+	fmt.Fprintf(w, "Transport microbenchmark: modeled request round-trip (request + data reply)\n")
+	fmt.Fprintf(w, "%10s %12s %12s %8s\n", "size", "UDP", "U-Net", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%9dB %12s %12s %8.2f\n", r.SizeBytes, fmtDur(r.UDPTime), fmtDur(r.UNetTime), r.Ratio)
+	}
+}
+
+// fmtDur renders durations compactly at a sensible precision.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d < time.Minute:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d < time.Hour:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	default:
+		return fmt.Sprintf("%.2fh", d.Hours())
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"time"
+
+	"dodo/internal/trace"
+)
+
+// studyStart anchors the synthetic monitoring period (a Monday, as in
+// the original multi-week study).
+var studyStart = time.Date(1998, 9, 7, 0, 0, 0, 0, time.UTC)
+
+// Table1Row is one row of Table 1: mean (std) KB per memory component
+// for one host class.
+type Table1Row struct {
+	Class       string
+	KernelKB    trace.MeanStd
+	FileCacheKB trace.MeanStd
+	ProcessKB   trace.MeanStd
+	AvailKB     trace.MeanStd
+
+	// Paper columns for side-by-side comparison.
+	PaperKernelKB, PaperFileKB, PaperProcKB, PaperAvailKB float64
+}
+
+// Table1 regenerates Table 1 from synthetic traces: hostsPerClass hosts
+// of each class monitored for the given duration.
+func Table1(hostsPerClass int, duration time.Duration, seed int64) []Table1Row {
+	if hostsPerClass <= 0 {
+		hostsPerClass = 6
+	}
+	if duration <= 0 {
+		duration = 7 * 24 * time.Hour
+	}
+	stats := trace.Table1Study(hostsPerClass, duration, seed)
+	rows := make([]Table1Row, 0, len(stats))
+	for _, st := range stats {
+		rows = append(rows, Table1Row{
+			Class:         st.Class.Name,
+			KernelKB:      st.KernelKB,
+			FileCacheKB:   st.FileKB,
+			ProcessKB:     st.ProcessKB,
+			AvailKB:       st.AvailKB,
+			PaperKernelKB: st.Class.KernelMeanKB,
+			PaperFileKB:   st.Class.FileCacheMeanKB,
+			PaperProcKB:   st.Class.ProcessMeanKB,
+			PaperAvailKB:  st.Class.AvailMeanKB(),
+		})
+	}
+	return rows
+}
+
+// Fig1Result is one cluster's Figure 1 series with its headline
+// averages.
+type Fig1Result struct {
+	Cluster string
+	Series  []trace.ClusterSample
+	// Averages in MB.
+	AvgAllMB, AvgIdleMB float64
+	// Paper's averages for comparison.
+	PaperAllMB, PaperIdleMB float64
+}
+
+// Figure1 regenerates Figure 1: availability series for both clusters
+// over the given duration.
+func Figure1(duration time.Duration, seed int64) []Fig1Result {
+	if duration <= 0 {
+		duration = 7 * 24 * time.Hour
+	}
+	out := []Fig1Result{
+		{Cluster: "clusterA", PaperAllMB: 3549, PaperIdleMB: 2747},
+		{Cluster: "clusterB", PaperAllMB: 852, PaperIdleMB: 742},
+	}
+	clusters := []*trace.Cluster{trace.NewClusterA(seed), trace.NewClusterB(seed + 1)}
+	for i, c := range clusters {
+		series := c.Series(studyStart, duration, time.Minute)
+		all, idle := trace.SeriesAverages(series)
+		out[i].Series = series
+		out[i].AvgAllMB = all
+		out[i].AvgIdleMB = idle
+	}
+	return out
+}
+
+// Fig2Result is one workstation's Figure 2 series.
+type Fig2Result struct {
+	Class  string
+	Series []trace.Sample
+	// Summary statistics of available memory in MB.
+	MeanMB, MinMB, MaxMB float64
+	TotalMB              float64
+}
+
+// Figure2 regenerates Figure 2: per-workstation availability variation,
+// one host per class.
+func Figure2(duration time.Duration, seed int64) []Fig2Result {
+	if duration <= 0 {
+		duration = 7 * 24 * time.Hour
+	}
+	var out []Fig2Result
+	for i, class := range trace.Table1Classes() {
+		h := trace.NewHost(class, trace.ProfileClusterA, seed+int64(i)*101)
+		series := trace.HostSeries(h, studyStart, duration, time.Minute)
+		var ms trace.MeanStd
+		for _, s := range series {
+			ms.Add(float64(s.Mem.Available()) / (1 << 20))
+		}
+		out = append(out, Fig2Result{
+			Class:   class.Name,
+			Series:  series,
+			MeanMB:  ms.Mean,
+			MinMB:   ms.Min(),
+			MaxMB:   ms.Max(),
+			TotalMB: float64(class.TotalKB) / 1024,
+		})
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"time"
+
+	"dodo/internal/monitor"
+	"dodo/internal/trace"
+)
+
+// ReclaimRow summarizes the owner-perceived delay at workstation
+// reclamation for one recruitment policy — the §5.3.1 trace-driven
+// experiment ("using a memory recruitment policy that targets only idle
+// hosts and that does not harvest more memory than is idle ensures that
+// users experience virtually no delays when reclaiming their
+// workstations").
+type ReclaimRow struct {
+	Policy string
+	// Recruitments and Reclaims over the simulated period.
+	Recruitments int
+	Reclaims     int
+	// HarvestedMB is the mean pool size recruited.
+	HarvestedMB float64
+	// Delay statistics over all reclaims.
+	MeanDelay time.Duration
+	P95Delay  time.Duration
+	MaxDelay  time.Duration
+	// OvershootReclaims counts reclaims where harvested memory exceeded
+	// what was still idle, forcing the owner to page back in.
+	OvershootReclaims int
+}
+
+// ReclaimConfig parameterizes the churn simulation.
+type ReclaimConfig struct {
+	Hosts    int
+	Duration time.Duration
+	Seed     int64
+}
+
+// drainOverhead is the fixed cost of the imd completing in-flight
+// transfers and exiting when the owner returns (§4.1).
+const drainOverhead = 30 * time.Millisecond
+
+// diskPageInRate is how fast the owner's evicted pages stream back from
+// disk once the host is overcommitted.
+const diskPageInRate = 7.75e6 // bytes/s, the sequential disk rate
+
+// Reclamation runs the churn simulation under two recruitment policies:
+//
+//   - "dodo": harvest at most the §3.1 limit — memory in use plus the
+//     paging free list plus a 15% file-cache headroom stay untouched;
+//   - "greedy": harvest every byte not in active use at recruitment
+//     time, with no headroom (what a naive harvester would do).
+//
+// Guest regions are read-only cache copies, so reclaiming them is
+// instantaneous — the imd exits and its pool is dropped. The owner's
+// delay is therefore the drain overhead plus the time to page back the
+// owner's own pages that the kernel evicted *during tenancy*: whenever
+// the host's available memory dipped below what the daemon had
+// harvested, the difference came out of the owner's working set. The
+// 15% headroom plus the paging free list is exactly the reserve that
+// absorbs those dips (§3.1).
+func Reclamation(cfg ReclaimConfig) []ReclaimRow {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 24
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 7 * 24 * time.Hour
+	}
+	rows := make([]ReclaimRow, 0, 2)
+	for _, policy := range []string{"dodo", "greedy"} {
+		rows = append(rows, runReclaim(policy, cfg))
+	}
+	return rows
+}
+
+func runReclaim(policy string, cfg ReclaimConfig) ReclaimRow {
+	row := ReclaimRow{Policy: policy}
+	classes := trace.Table1Classes()
+	var delays []time.Duration
+	var harvestedSum float64
+
+	for h := 0; h < cfg.Hosts; h++ {
+		class := classes[h%len(classes)]
+		host := trace.NewHost(class, trace.ProfileClusterA, cfg.Seed+int64(h)*131)
+		var (
+			recruited bool
+			harvested uint64
+			minAvail  uint64
+		)
+		now := studyStart
+		for t := time.Duration(0); t < cfg.Duration; t += time.Minute {
+			s := host.Step(now, time.Minute)
+			now = now.Add(time.Minute)
+			switch {
+			case !recruited && s.Idle:
+				// Recruit: size the pool by policy.
+				switch policy {
+				case "dodo":
+					harvested = monitor.HarvestLimit(s.Mem, -1)
+				default: // greedy: everything not in use right now
+					harvested = s.Mem.Available()
+				}
+				if harvested > 0 {
+					recruited = true
+					minAvail = s.Mem.Available()
+					row.Recruitments++
+					harvestedSum += float64(harvested) / (1 << 20)
+				}
+			case recruited && !s.Active:
+				// Tenancy: track the availability dips the daemon's
+				// pool may have pushed into the owner's pages.
+				if a := s.Mem.Available(); a < minAvail {
+					minAvail = a
+				}
+			case recruited && s.Active:
+				// Owner returns: the imd drains and exits; guest pages
+				// are dropped for free. Owner pages evicted during
+				// tenancy stream back from disk.
+				row.Reclaims++
+				delay := drainOverhead
+				if harvested > minAvail {
+					evicted := harvested - minAvail
+					delay += time.Duration(float64(evicted) / diskPageInRate * float64(time.Second))
+					row.OvershootReclaims++
+				}
+				delays = append(delays, delay)
+				recruited = false
+				harvested = 0
+			}
+		}
+	}
+	if row.Recruitments > 0 {
+		row.HarvestedMB = harvestedSum / float64(row.Recruitments)
+	}
+	if len(delays) > 0 {
+		row.MeanDelay, row.P95Delay, row.MaxDelay = delayStats(delays)
+	}
+	return row
+}
+
+func delayStats(delays []time.Duration) (mean, p95, max time.Duration) {
+	// Insertion sort is fine at these sizes.
+	sorted := append([]time.Duration(nil), delays...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	mean = sum / time.Duration(len(sorted))
+	p95 = sorted[len(sorted)*95/100]
+	max = sorted[len(sorted)-1]
+	return mean, p95, max
+}
+
+// runReclaimWithHeadroom drives the same churn simulation with a
+// parametric headroom fraction, for the headroom sensitivity sweep.
+func runReclaimWithHeadroom(frac float64, cfg ReclaimConfig) HeadroomRow {
+	classes := trace.Table1Classes()
+	var (
+		delays       []time.Duration
+		harvestedSum float64
+		recruits     int
+		overshoots   int
+	)
+	for h := 0; h < cfg.Hosts; h++ {
+		class := classes[h%len(classes)]
+		host := trace.NewHost(class, trace.ProfileClusterA, cfg.Seed+int64(h)*131)
+		var (
+			recruited bool
+			harvested uint64
+			minAvail  uint64
+		)
+		now := studyStart
+		for t := time.Duration(0); t < cfg.Duration; t += time.Minute {
+			s := host.Step(now, time.Minute)
+			now = now.Add(time.Minute)
+			switch {
+			case !recruited && s.Idle:
+				harvested = monitor.HarvestLimit(s.Mem, frac)
+				if harvested > 0 {
+					recruited = true
+					minAvail = s.Mem.Available()
+					recruits++
+					harvestedSum += float64(harvested) / (1 << 20)
+				}
+			case recruited && !s.Active:
+				if a := s.Mem.Available(); a < minAvail {
+					minAvail = a
+				}
+			case recruited && s.Active:
+				delay := drainOverhead
+				if harvested > minAvail {
+					evicted := harvested - minAvail
+					delay += time.Duration(float64(evicted) / diskPageInRate * float64(time.Second))
+					overshoots++
+				}
+				delays = append(delays, delay)
+				recruited = false
+			}
+		}
+	}
+	row := HeadroomRow{HeadroomFraction: frac}
+	if recruits > 0 {
+		row.HarvestedMB = harvestedSum / float64(recruits)
+	}
+	if len(delays) > 0 {
+		mean, _, _ := delayStats(delays)
+		row.MeanDelay = mean
+		row.OvershootFrac = float64(overshoots) / float64(len(delays))
+	}
+	return row
+}

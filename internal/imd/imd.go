@@ -1,0 +1,352 @@
+// Package imd implements Dodo's idle memory daemon (§4.2).
+//
+// An imd is forked by the resource monitor daemon when its workstation
+// becomes idle. It allocates a memory pool at startup (sized by the
+// harvest limit of §3.1), initializes an epoch counter used to timestamp
+// the remote regions it caches, announces itself to the central manager,
+// serves alloc/free requests from the manager and read/write requests
+// from client runtimes, and — when the workstation is reclaimed —
+// completes ongoing transfers and exits.
+package imd
+
+import (
+	"log"
+	"sync"
+	"time"
+
+	"dodo/internal/bulk"
+	"dodo/internal/pool"
+	"dodo/internal/sim"
+	"dodo/internal/transport"
+	"dodo/internal/wire"
+)
+
+// Config tunes a daemon.
+type Config struct {
+	// ManagerAddr is the central manager's transport address.
+	ManagerAddr string
+	// PoolSize is the memory pool allocated at startup.
+	PoolSize uint64
+	// Epoch timestamps this daemon instance. The rmd hands each imd
+	// incarnation a larger epoch than the last so the manager can
+	// detect regions that died with a previous incarnation (§4.2-4.3).
+	Epoch uint64
+	// StatusInterval is the period of unsolicited availability reports
+	// to the manager (default 1s; hints are also piggybacked on every
+	// alloc/free response, §4.3).
+	StatusInterval time.Duration
+	// Clock provides time (default wall clock).
+	Clock sim.Clock
+	// Endpoint tunes the messaging layer.
+	Endpoint bulk.Config
+	// Allocator overrides the pool allocator (default: the paper's
+	// first-fit with periodic coalescing).
+	Allocator pool.Allocator
+	// Logger receives operational events; nil silences them.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.StatusInterval == 0 {
+		c.StatusInterval = time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = sim.WallClock{}
+	}
+	return c
+}
+
+// Daemon is one idle memory daemon instance.
+type Daemon struct {
+	cfg Config
+	ep  *bulk.Endpoint
+	log *log.Logger
+
+	mu       sync.Mutex
+	pool     *pool.Pool
+	draining bool
+	closed   bool
+
+	transfers sync.WaitGroup // in-flight region data pushes
+	stop      chan struct{}
+	loops     sync.WaitGroup
+
+	// stats
+	reads, writes, readBytes, writeBytes, staleRejects int64
+}
+
+// New starts a daemon serving its pool on tr and registers it with the
+// central manager.
+func New(tr transport.Transport, cfg Config) *Daemon {
+	cfg = cfg.withDefaults()
+	alloc := cfg.Allocator
+	if alloc == nil {
+		alloc = pool.NewFirstFit(cfg.PoolSize)
+	}
+	d := &Daemon{
+		cfg:  cfg,
+		log:  cfg.Logger,
+		pool: pool.New(alloc),
+		stop: make(chan struct{}),
+	}
+	// Handlers may fire before this constructor returns; gate them
+	// until d.ep is assigned.
+	ready := make(chan struct{})
+	d.ep = bulk.NewEndpoint(tr, cfg.Endpoint, func(from string, msg wire.Message) wire.Message {
+		<-ready
+		return d.handle(from, msg)
+	})
+	close(ready)
+	d.announce(wire.HostIdle)
+	d.loops.Add(1)
+	go d.statusLoop()
+	return d
+}
+
+// Addr returns the daemon's transport address.
+func (d *Daemon) Addr() string { return d.ep.LocalAddr() }
+
+// Epoch returns the daemon's epoch.
+func (d *Daemon) Epoch() uint64 { return d.cfg.Epoch }
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.log != nil {
+		d.log.Printf(format, args...)
+	}
+}
+
+// announce sends a HostStatus to the manager (best-effort with retries).
+func (d *Daemon) announce(state wire.HostState) {
+	d.mu.Lock()
+	avail, largest := d.pool.FreeBytes(), d.pool.LargestFree()
+	d.mu.Unlock()
+	msg := &wire.HostStatus{
+		HostAddr:    d.ep.LocalAddr(),
+		State:       state,
+		Epoch:       d.cfg.Epoch,
+		AvailBytes:  avail,
+		LargestFree: largest,
+	}
+	if _, err := d.ep.Call(d.cfg.ManagerAddr, msg); err != nil {
+		d.logf("imd %s: announcing %v to cmd failed: %v", d.Addr(), state, err)
+	}
+}
+
+// statusLoop keeps the manager's IWD hints fresh.
+func (d *Daemon) statusLoop() {
+	defer d.loops.Done()
+	for {
+		select {
+		case <-d.stop:
+			return
+		default:
+		}
+		if !sim.SleepInterruptible(d.cfg.Clock, d.cfg.StatusInterval, d.stop) {
+			return
+		}
+		d.mu.Lock()
+		draining := d.draining
+		d.mu.Unlock()
+		if !draining {
+			d.announce(wire.HostIdle)
+		}
+	}
+}
+
+// Drain is called by the rmd when the workstation owner returns: the
+// daemon notifies the manager, refuses new work, completes ongoing
+// transfers, and shuts down (§4.1-4.2).
+func (d *Daemon) Drain() {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return
+	}
+	d.draining = true
+	d.mu.Unlock()
+	d.announce(wire.HostBusy)
+	d.transfers.Wait() // complete ongoing transfers, then exit
+	d.Close()
+}
+
+// Close releases the daemon without the polite drain (crash path).
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	select {
+	case <-d.stop:
+	default:
+		close(d.stop)
+	}
+	d.mu.Unlock()
+	err := d.ep.Close()
+	d.loops.Wait()
+	return err
+}
+
+// Stats reports serving counters.
+type Stats struct {
+	Reads, Writes         int64
+	ReadBytes, WriteBytes int64
+	StaleRejects          int64
+	Regions               int
+	FreeBytes             uint64
+	LargestFree           uint64
+}
+
+// Stats returns a consistent snapshot.
+func (d *Daemon) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{
+		Reads:        d.reads,
+		Writes:       d.writes,
+		ReadBytes:    d.readBytes,
+		WriteBytes:   d.writeBytes,
+		StaleRejects: d.staleRejects,
+		Regions:      d.pool.Regions(),
+		FreeBytes:    d.pool.FreeBytes(),
+		LargestFree:  d.pool.LargestFree(),
+	}
+}
+
+// handle dispatches one request.
+func (d *Daemon) handle(from string, msg wire.Message) wire.Message {
+	switch req := msg.(type) {
+	case *wire.IMDAllocReq:
+		return d.handleAlloc(req)
+	case *wire.IMDFreeReq:
+		return d.handleFree(req)
+	case *wire.ReadReq:
+		return d.handleRead(from, req)
+	case *wire.WriteReq:
+		return d.handleWrite(from, req)
+	}
+	return nil
+}
+
+// piggyback fills the availability hints carried on every manager-bound
+// response (§4.3). Caller holds d.mu.
+func (d *Daemon) piggybackLocked() (epoch, avail, largest uint64) {
+	return d.cfg.Epoch, d.pool.FreeBytes(), d.pool.LargestFree()
+}
+
+func (d *Daemon) handleAlloc(req *wire.IMDAllocReq) wire.Message {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		e, a, l := d.piggybackLocked()
+		return &wire.IMDAllocResp{Status: wire.StatusBusy, Epoch: e, AvailBytes: a, LargestFree: l}
+	}
+	if d.pool.Has(req.RegionID) {
+		// Duplicate of a request whose response was lost: idempotent.
+		e, a, l := d.piggybackLocked()
+		return &wire.IMDAllocResp{Status: wire.StatusOK, Epoch: e, AvailBytes: a, LargestFree: l}
+	}
+	off, err := d.pool.Create(req.RegionID, req.Length)
+	st := wire.StatusOK
+	if err != nil {
+		st = wire.StatusNoMem
+	}
+	e, a, l := d.piggybackLocked()
+	return &wire.IMDAllocResp{Status: st, PoolOffset: off, Epoch: e, AvailBytes: a, LargestFree: l}
+}
+
+func (d *Daemon) handleFree(req *wire.IMDFreeReq) wire.Message {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := wire.StatusOK
+	if err := d.pool.Delete(req.RegionID); err != nil {
+		st = wire.StatusNotFound
+	}
+	e, a, l := d.piggybackLocked()
+	return &wire.IMDFreeResp{Status: st, Epoch: e, AvailBytes: a, LargestFree: l}
+}
+
+// handleRead validates the request, snapshots the bytes and pushes them
+// to the client over the bulk protocol, answering with the transfer id.
+func (d *Daemon) handleRead(from string, req *wire.ReadReq) wire.Message {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return &wire.DataResp{Status: wire.StatusBusy}
+	}
+	if req.Epoch != d.cfg.Epoch {
+		d.staleRejects++
+		d.mu.Unlock()
+		return &wire.DataResp{Status: wire.StatusStale}
+	}
+	if !d.pool.Has(req.RegionID) {
+		d.mu.Unlock()
+		return &wire.DataResp{Status: wire.StatusNotFound}
+	}
+	data, err := d.pool.Read(req.RegionID, req.Offset, req.Length)
+	if err != nil {
+		d.mu.Unlock()
+		return &wire.DataResp{Status: wire.StatusInvalid}
+	}
+	// Snapshot: the pool buffer may be overwritten while the transfer
+	// is in flight.
+	snap := append([]byte(nil), data...)
+	d.reads++
+	d.readBytes += int64(len(snap))
+	d.transfers.Add(1)
+	d.mu.Unlock()
+
+	id := d.ep.NextTransferID()
+	go func() {
+		defer d.transfers.Done()
+		if err := d.ep.SendBulk(from, id, snap); err != nil {
+			d.logf("imd %s: pushing read data to %s: %v", d.Addr(), from, err)
+		}
+	}()
+	return &wire.DataResp{Status: wire.StatusOK, Count: uint64(len(snap)), TransferID: id}
+}
+
+// handleWrite receives the announced bulk data and stores it.
+func (d *Daemon) handleWrite(from string, req *wire.WriteReq) wire.Message {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return &wire.DataResp{Status: wire.StatusBusy}
+	}
+	if req.Epoch != d.cfg.Epoch {
+		d.staleRejects++
+		d.mu.Unlock()
+		return &wire.DataResp{Status: wire.StatusStale}
+	}
+	if !d.pool.Has(req.RegionID) {
+		d.mu.Unlock()
+		return &wire.DataResp{Status: wire.StatusNotFound}
+	}
+	size, _ := d.pool.RegionSize(req.RegionID)
+	if req.Offset > size {
+		d.mu.Unlock()
+		return &wire.DataResp{Status: wire.StatusInvalid}
+	}
+	d.transfers.Add(1)
+	d.mu.Unlock()
+	defer d.transfers.Done()
+
+	// Wait for the client's blast under its announced transfer id.
+	// Budget scales with size: a large region takes many windows.
+	budget := 5*time.Second + time.Duration(req.Length/(1<<20))*2*time.Second
+	data, err := d.ep.RecvBulk(from, req.TransferID, budget)
+	if err != nil {
+		d.logf("imd %s: receiving write data from %s: %v", d.Addr(), from, err)
+		return &wire.DataResp{Status: wire.StatusInvalid}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.pool.Write(req.RegionID, req.Offset, data)
+	if err != nil {
+		return &wire.DataResp{Status: wire.StatusInvalid}
+	}
+	d.writes++
+	d.writeBytes += int64(n)
+	return &wire.DataResp{Status: wire.StatusOK, Count: uint64(n)}
+}

@@ -1,0 +1,447 @@
+package imd
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"dodo/internal/bulk"
+	"dodo/internal/transport"
+	"dodo/internal/wire"
+)
+
+func fastEp() bulk.Config {
+	return bulk.Config{
+		CallTimeout:   150 * time.Millisecond,
+		CallRetries:   4,
+		WindowTimeout: 80 * time.Millisecond,
+		NackDelay:     30 * time.Millisecond,
+	}
+}
+
+// fakeCMD records host status reports.
+type fakeCMD struct {
+	ep *bulk.Endpoint
+	mu sync.Mutex
+	// statuses in arrival order
+	statuses []wire.HostStatus
+}
+
+func newFakeCMD(n *transport.Network) *fakeCMD {
+	c := &fakeCMD{}
+	c.ep = bulk.NewEndpoint(n.Host("cmd"), fastEp(), func(from string, msg wire.Message) wire.Message {
+		if hs, ok := msg.(*wire.HostStatus); ok {
+			c.mu.Lock()
+			c.statuses = append(c.statuses, *hs)
+			c.mu.Unlock()
+			return &wire.HostStatusAck{Status: wire.StatusOK}
+		}
+		return nil
+	})
+	return c
+}
+
+func (c *fakeCMD) lastStatus() (wire.HostStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.statuses) == 0 {
+		return wire.HostStatus{}, false
+	}
+	return c.statuses[len(c.statuses)-1], true
+}
+
+type rig struct {
+	n   *transport.Network
+	cmd *fakeCMD
+	d   *Daemon
+	cli *bulk.Endpoint
+}
+
+func newRig(t *testing.T, poolSize uint64) *rig {
+	t.Helper()
+	n := transport.NewNetwork(transport.WithMTU(1500))
+	cmd := newFakeCMD(n)
+	d := New(n.Host("imd1"), Config{
+		ManagerAddr:    "cmd",
+		PoolSize:       poolSize,
+		Epoch:          3,
+		StatusInterval: 50 * time.Millisecond,
+		Endpoint:       fastEp(),
+	})
+	cli := bulk.NewEndpoint(n.Host("client"), fastEp(), nil)
+	t.Cleanup(func() { d.Close(); cli.Close(); cmd.ep.Close() })
+	return &rig{n: n, cmd: cmd, d: d, cli: cli}
+}
+
+// allocRegion asks the daemon directly (playing the manager's role).
+func allocRegion(t *testing.T, r *rig, id, size uint64) *wire.IMDAllocResp {
+	t.Helper()
+	resp, err := r.cmd.ep.Call("imd1", &wire.IMDAllocReq{RegionID: id, Length: size})
+	if err != nil {
+		t.Fatalf("IMDAllocReq: %v", err)
+	}
+	return resp.(*wire.IMDAllocResp)
+}
+
+// writeRegion performs the full client write flow.
+func writeRegion(t *testing.T, r *rig, id uint64, offset uint64, data []byte) *wire.DataResp {
+	t.Helper()
+	xfer := r.cli.NextTransferID()
+	var wg sync.WaitGroup
+	var sendErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sendErr = r.cli.SendBulk("imd1", xfer, data)
+	}()
+	resp, err := r.cli.CallT("imd1", &wire.WriteReq{
+		RegionID: id, Epoch: 3, Offset: offset, Length: uint64(len(data)), TransferID: xfer,
+	}, 2*time.Second, 2)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("WriteReq: %v", err)
+	}
+	if sendErr != nil {
+		t.Fatalf("SendBulk: %v", sendErr)
+	}
+	return resp.(*wire.DataResp)
+}
+
+// readRegion performs the full client read flow.
+func readRegion(t *testing.T, r *rig, id uint64, offset, length uint64) (*wire.DataResp, []byte) {
+	t.Helper()
+	resp, err := r.cli.CallT("imd1", &wire.ReadReq{
+		RegionID: id, Epoch: 3, Offset: offset, Length: length,
+	}, 2*time.Second, 2)
+	if err != nil {
+		t.Fatalf("ReadReq: %v", err)
+	}
+	dr := resp.(*wire.DataResp)
+	if dr.Status != wire.StatusOK {
+		return dr, nil
+	}
+	data, err := r.cli.RecvBulk("imd1", dr.TransferID, 10*time.Second)
+	if err != nil {
+		t.Fatalf("RecvBulk: %v", err)
+	}
+	return dr, data
+}
+
+func TestAnnouncesIdleOnStartup(t *testing.T) {
+	r := newRig(t, 1<<20)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if hs, ok := r.cmd.lastStatus(); ok {
+			if hs.State != wire.HostIdle || hs.Epoch != 3 || hs.AvailBytes != 1<<20 {
+				t.Fatalf("startup status = %+v", hs)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no startup HostStatus reached the manager")
+}
+
+func TestAllocFreeLifecycle(t *testing.T) {
+	r := newRig(t, 1<<20)
+	ar := allocRegion(t, r, 1, 4096)
+	if ar.Status != wire.StatusOK || ar.Epoch != 3 {
+		t.Fatalf("alloc = %+v", ar)
+	}
+	if ar.AvailBytes != 1<<20-4096 {
+		t.Fatalf("piggybacked avail = %d, want %d", ar.AvailBytes, 1<<20-4096)
+	}
+	// Duplicate alloc: idempotent.
+	dup := allocRegion(t, r, 1, 4096)
+	if dup.Status != wire.StatusOK {
+		t.Fatalf("duplicate alloc = %v", dup.Status)
+	}
+	if got := r.d.Stats().Regions; got != 1 {
+		t.Fatalf("Regions = %d, want 1", got)
+	}
+	resp, err := r.cmd.ep.Call("imd1", &wire.IMDFreeReq{RegionID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := resp.(*wire.IMDFreeResp)
+	if fr.Status != wire.StatusOK || fr.AvailBytes != 1<<20 {
+		t.Fatalf("free = %+v", fr)
+	}
+	// Double free reports not-found.
+	resp, err = r.cmd.ep.Call("imd1", &wire.IMDFreeReq{RegionID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := resp.(*wire.IMDFreeResp).Status; st != wire.StatusNotFound {
+		t.Fatalf("double free = %v", st)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	r := newRig(t, 8192)
+	if ar := allocRegion(t, r, 1, 8192); ar.Status != wire.StatusOK {
+		t.Fatalf("alloc = %v", ar.Status)
+	}
+	if ar := allocRegion(t, r, 2, 1); ar.Status != wire.StatusNoMem {
+		t.Fatalf("over-alloc = %v, want StatusNoMem", ar.Status)
+	}
+}
+
+func TestWriteThenReadRoundTrip(t *testing.T) {
+	r := newRig(t, 1<<20)
+	allocRegion(t, r, 1, 100<<10)
+	data := make([]byte, 100<<10)
+	rand.New(rand.NewSource(1)).Read(data)
+
+	wr := writeRegion(t, r, 1, 0, data)
+	if wr.Status != wire.StatusOK || wr.Count != uint64(len(data)) {
+		t.Fatalf("write = %+v", wr)
+	}
+	dr, got := readRegion(t, r, 1, 0, uint64(len(data)))
+	if dr.Status != wire.StatusOK || dr.Count != uint64(len(data)) {
+		t.Fatalf("read = %+v", dr)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read data mismatch")
+	}
+	s := r.d.Stats()
+	if s.Reads != 1 || s.Writes != 1 || s.ReadBytes != int64(len(data)) {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPartialReadAndOffsetAccess(t *testing.T) {
+	r := newRig(t, 1<<20)
+	allocRegion(t, r, 1, 1000)
+	payload := bytes.Repeat([]byte("abcd"), 250)
+	writeRegion(t, r, 1, 0, payload)
+
+	// Offset read in the middle.
+	dr, got := readRegion(t, r, 1, 4, 8)
+	if dr.Status != wire.StatusOK || string(got) != "abcdabcd" {
+		t.Fatalf("offset read = %+v %q", dr, got)
+	}
+	// Short read at the tail (mread semantics, §3.2).
+	dr, got = readRegion(t, r, 1, 990, 100)
+	if dr.Status != wire.StatusOK || len(got) != 10 {
+		t.Fatalf("tail read = %+v, %d bytes; want 10", dr, len(got))
+	}
+	// Offset beyond the end: invalid.
+	dr, _ = readRegion(t, r, 1, 1001, 1)
+	if dr.Status != wire.StatusInvalid {
+		t.Fatalf("read past end = %v, want StatusInvalid", dr.Status)
+	}
+}
+
+func TestStaleEpochRejected(t *testing.T) {
+	r := newRig(t, 1<<20)
+	allocRegion(t, r, 1, 4096)
+	resp, err := r.cli.Call("imd1", &wire.ReadReq{RegionID: 1, Epoch: 2, Offset: 0, Length: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := resp.(*wire.DataResp).Status; st != wire.StatusStale {
+		t.Fatalf("stale-epoch read = %v, want StatusStale", st)
+	}
+	if got := r.d.Stats().StaleRejects; got != 1 {
+		t.Fatalf("StaleRejects = %d, want 1", got)
+	}
+}
+
+func TestReadUnknownRegion(t *testing.T) {
+	r := newRig(t, 1<<20)
+	resp, err := r.cli.Call("imd1", &wire.ReadReq{RegionID: 99, Epoch: 3, Offset: 0, Length: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := resp.(*wire.DataResp).Status; st != wire.StatusNotFound {
+		t.Fatalf("read unknown region = %v, want StatusNotFound", st)
+	}
+}
+
+func TestWriteAtOffset(t *testing.T) {
+	r := newRig(t, 1<<20)
+	allocRegion(t, r, 1, 100)
+	writeRegion(t, r, 1, 0, bytes.Repeat([]byte{'x'}, 100))
+	wr := writeRegion(t, r, 1, 50, []byte("HELLO"))
+	if wr.Status != wire.StatusOK || wr.Count != 5 {
+		t.Fatalf("offset write = %+v", wr)
+	}
+	_, got := readRegion(t, r, 1, 48, 9)
+	if string(got) != "xxHELLOxx" {
+		t.Fatalf("after offset write read = %q", got)
+	}
+}
+
+func TestDrainAnnouncesBusyAndRefusesWork(t *testing.T) {
+	r := newRig(t, 1<<20)
+	allocRegion(t, r, 1, 4096)
+	r.d.Drain()
+	deadline := time.Now().Add(2 * time.Second)
+	var last wire.HostStatus
+	for time.Now().Before(deadline) {
+		if hs, ok := r.cmd.lastStatus(); ok && hs.State == wire.HostBusy {
+			last = hs
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if last.State != wire.HostBusy {
+		t.Fatal("drain did not announce HostBusy to the manager")
+	}
+}
+
+func TestStatusLoopRefreshesHints(t *testing.T) {
+	r := newRig(t, 1<<20)
+	allocRegion(t, r, 1, 1<<19)
+	// Wait for a periodic status reflecting the allocation.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if hs, ok := r.cmd.lastStatus(); ok && hs.AvailBytes == 1<<19 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("status loop never reported the post-allocation availability")
+}
+
+func TestReadSnapshotIsolatedFromLaterWrites(t *testing.T) {
+	// A read's bulk push must carry the bytes as of the read, even if a
+	// write lands while the transfer is in flight.
+	r := newRig(t, 1<<20)
+	allocRegion(t, r, 1, 64<<10)
+	first := bytes.Repeat([]byte{0xAA}, 64<<10)
+	writeRegion(t, r, 1, 0, first)
+
+	dr, err := r.cli.CallT("imd1", &wire.ReadReq{RegionID: 1, Epoch: 3, Offset: 0, Length: 64 << 10}, 2*time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xfer := dr.(*wire.DataResp).TransferID
+	// Overwrite while the push may still be in flight.
+	writeRegion(t, r, 1, 0, bytes.Repeat([]byte{0xBB}, 64<<10))
+	got, err := r.cli.RecvBulk("imd1", xfer, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, first) {
+		t.Fatal("read transfer was not snapshot-isolated from the concurrent write")
+	}
+}
+
+func TestConcurrentClientReads(t *testing.T) {
+	r := newRig(t, 1<<20)
+	allocRegion(t, r, 1, 256<<10)
+	data := make([]byte, 256<<10)
+	rand.New(rand.NewSource(2)).Read(data)
+	writeRegion(t, r, 1, 0, data)
+
+	const readers = 6
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli := bulk.NewEndpoint(r.n.Host("reader"+string(rune('0'+i))), fastEp(), nil)
+			defer cli.Close()
+			resp, err := cli.CallT("imd1", &wire.ReadReq{RegionID: 1, Epoch: 3, Offset: uint64(i * 1000), Length: 32 << 10}, 2*time.Second, 2)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			dr := resp.(*wire.DataResp)
+			got, err := cli.RecvBulk("imd1", dr.TransferID, 10*time.Second)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !bytes.Equal(got, data[i*1000:i*1000+32<<10]) {
+				errs[i] = bulk.ErrRejected
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("reader %d: %v", i, err)
+		}
+	}
+}
+
+func BenchmarkServeRead8KB(b *testing.B) {
+	n := transport.NewNetwork(transport.WithMTU(1500))
+	cmdEp := bulk.NewEndpoint(n.Host("cmd"), fastEp(), func(string, wire.Message) wire.Message {
+		return &wire.HostStatusAck{Status: wire.StatusOK}
+	})
+	defer cmdEp.Close()
+	d := New(n.Host("imd1"), Config{ManagerAddr: "cmd", PoolSize: 1 << 20, Epoch: 1, Endpoint: fastEp()})
+	defer d.Close()
+	cli := bulk.NewEndpoint(n.Host("client"), fastEp(), nil)
+	defer cli.Close()
+	if _, err := cmdEp.Call("imd1", &wire.IMDAllocReq{RegionID: 1, Length: 8 << 10}); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(8 << 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := cli.Call("imd1", &wire.ReadReq{RegionID: 1, Epoch: 1, Offset: 0, Length: 8 << 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dr := resp.(*wire.DataResp)
+		if _, err := cli.RecvBulk("imd1", dr.TransferID, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// §4.1: on reclaim the imd "handles the signal by completing the
+// ongoing transfers and exiting". A read whose bulk push is in flight
+// when Drain arrives must still deliver its data.
+func TestDrainCompletesOngoingTransfers(t *testing.T) {
+	r := newRig(t, 1<<20)
+	allocRegion(t, r, 1, 512<<10)
+	data := make([]byte, 512<<10)
+	rand.New(rand.NewSource(9)).Read(data)
+	writeRegion(t, r, 1, 0, data)
+
+	// Start the read: the imd answers DataResp and begins blasting.
+	resp, err := r.cli.CallT("imd1", &wire.ReadReq{RegionID: 1, Epoch: 3, Offset: 0, Length: 512 << 10}, 2*time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := resp.(*wire.DataResp)
+	if dr.Status != wire.StatusOK {
+		t.Fatalf("read = %v", dr.Status)
+	}
+	// Drain concurrently with the in-flight push.
+	drained := make(chan struct{})
+	go func() {
+		r.d.Drain()
+		close(drained)
+	}()
+	got, err := r.cli.RecvBulk("imd1", dr.TransferID, 15*time.Second)
+	if err != nil {
+		t.Fatalf("RecvBulk during drain: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("drain corrupted the in-flight transfer")
+	}
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain never completed")
+	}
+	// After the drain, new work is refused.
+	resp, err = r.cli.Call("imd1", &wire.ReadReq{RegionID: 1, Epoch: 3, Offset: 0, Length: 16})
+	if err == nil {
+		if st := resp.(*wire.DataResp).Status; st == wire.StatusOK {
+			t.Fatal("drained imd accepted new work")
+		}
+	}
+}

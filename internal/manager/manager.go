@@ -1,0 +1,463 @@
+// Package manager implements Dodo's central manager daemon (cmd, §4.3).
+//
+// The cmd runs on a dedicated machine and keeps two data structures: the
+// idle-workstation directory (IWD), tracking every recruited host with
+// its epoch and largest-free-block hint, and the region directory (RD),
+// a hash table of all allocated regions keyed by (backing-file inode,
+// file offset, client). It exports alloc, free and checkAlloc to the
+// client runtime, verifies hint-based availability against the hosting
+// imd before committing an allocation, validates epochs to detect
+// regions orphaned by imd restarts, and reclaims the regions of clients
+// that stop answering its keep-alive echoes.
+package manager
+
+import (
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dodo/internal/bulk"
+	"dodo/internal/sim"
+	"dodo/internal/transport"
+	"dodo/internal/wire"
+)
+
+// Config tunes the manager.
+type Config struct {
+	// KeepAliveInterval is the period of liveness echoes to clients
+	// (default 2s; the paper sends them "periodically").
+	KeepAliveInterval time.Duration
+	// KeepAliveMisses is how many consecutive failed echoes orphan a
+	// client (default 3).
+	KeepAliveMisses int
+	// Clock provides time (default wall clock).
+	Clock sim.Clock
+	// Endpoint tunes the messaging layer.
+	Endpoint bulk.Config
+	// Logger receives operational events; nil silences them.
+	Logger *log.Logger
+	// Seed seeds host selection; 0 uses a fixed default so test runs
+	// are reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.KeepAliveInterval == 0 {
+		c.KeepAliveInterval = 2 * time.Second
+	}
+	if c.KeepAliveMisses == 0 {
+		c.KeepAliveMisses = 3
+	}
+	if c.Clock == nil {
+		c.Clock = sim.WallClock{}
+	}
+	if c.Seed == 0 {
+		c.Seed = 990401
+	}
+	return c
+}
+
+// hostEntry is one IWD row.
+type hostEntry struct {
+	addr        string
+	epoch       uint64
+	availBytes  uint64
+	largestFree uint64
+}
+
+// regionEntry is one RD row.
+type regionEntry struct {
+	key    wire.RegionKey
+	region wire.Region
+	client string // transport address of the owning client
+}
+
+// clientEntry tracks keep-alive state per client.
+type clientEntry struct {
+	addr   string
+	misses int
+}
+
+// Manager is the central manager daemon.
+type Manager struct {
+	cfg Config
+	ep  *bulk.Endpoint
+	log *log.Logger
+
+	mu       sync.Mutex
+	iwd      map[string]*hostEntry
+	rd       map[wire.RegionKey]*regionEntry
+	clients  map[string]*clientEntry
+	rng      *rand.Rand
+	nextID   uint64
+	shutdown bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// stats
+	allocs, allocFailures, frees, staleDrops, orphanReclaims int64
+}
+
+// New starts a manager serving on tr.
+func New(tr transport.Transport, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		iwd:     make(map[string]*hostEntry),
+		rd:      make(map[wire.RegionKey]*regionEntry),
+		clients: make(map[string]*clientEntry),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		stop:    make(chan struct{}),
+	}
+	// Handlers run on their own goroutines and may fire before this
+	// constructor returns; gate them until m.ep is assigned.
+	ready := make(chan struct{})
+	m.ep = bulk.NewEndpoint(tr, cfg.Endpoint, func(from string, msg wire.Message) wire.Message {
+		<-ready
+		return m.handle(from, msg)
+	})
+	close(ready)
+	m.wg.Add(1)
+	go m.keepAliveLoop()
+	return m
+}
+
+// Addr returns the manager's transport address.
+func (m *Manager) Addr() string { return m.ep.LocalAddr() }
+
+// Close stops the manager.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.shutdown {
+		m.mu.Unlock()
+		return nil
+	}
+	m.shutdown = true
+	close(m.stop)
+	m.mu.Unlock()
+	err := m.ep.Close()
+	m.wg.Wait()
+	return err
+}
+
+// probeTimeout is the per-attempt budget for speculative calls to hosts
+// and clients that may be dead.
+func (m *Manager) probeTimeout() time.Duration {
+	t := m.cfg.Endpoint.CallTimeout
+	if t == 0 {
+		t = 500 * time.Millisecond
+	}
+	return t / 2
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.log != nil {
+		m.log.Printf(format, args...)
+	}
+}
+
+// Snapshot reports directory sizes and counters for monitoring.
+type Snapshot struct {
+	IdleHosts      int
+	Regions        int
+	Clients        int
+	Allocs         int64
+	AllocFailures  int64
+	Frees          int64
+	StaleDrops     int64
+	OrphanReclaims int64
+}
+
+// Stats returns a consistent snapshot.
+func (m *Manager) Stats() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Snapshot{
+		IdleHosts:      len(m.iwd),
+		Regions:        len(m.rd),
+		Clients:        len(m.clients),
+		Allocs:         m.allocs,
+		AllocFailures:  m.allocFailures,
+		Frees:          m.frees,
+		StaleDrops:     m.staleDrops,
+		OrphanReclaims: m.orphanReclaims,
+	}
+}
+
+// handle dispatches one request.
+func (m *Manager) handle(from string, msg wire.Message) wire.Message {
+	switch req := msg.(type) {
+	case *wire.HostStatus:
+		return m.handleHostStatus(req)
+	case *wire.AllocReq:
+		return m.handleAlloc(from, req)
+	case *wire.FreeReq:
+		return m.handleFree(req)
+	case *wire.CheckAllocReq:
+		return m.handleCheckAlloc(req)
+	case *wire.ClusterStatsReq:
+		return m.handleClusterStats(req)
+	}
+	return nil
+}
+
+// handleClusterStats snapshots the IWD and counters for dodo-ctl.
+func (m *Manager) handleClusterStats(*wire.ClusterStatsReq) wire.Message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	resp := &wire.ClusterStatsResp{
+		Status:         wire.StatusOK,
+		Regions:        uint64(len(m.rd)),
+		Clients:        uint64(len(m.clients)),
+		Allocs:         uint64(m.allocs),
+		AllocFailures:  uint64(m.allocFailures),
+		Frees:          uint64(m.frees),
+		StaleDrops:     uint64(m.staleDrops),
+		OrphanReclaims: uint64(m.orphanReclaims),
+	}
+	for _, h := range m.iwd {
+		resp.Hosts = append(resp.Hosts, wire.HostInfo{
+			Addr:        h.addr,
+			Epoch:       h.epoch,
+			AvailBytes:  h.availBytes,
+			LargestFree: h.largestFree,
+		})
+	}
+	return resp
+}
+
+// handleHostStatus updates the IWD from an rmd/imd report.
+func (m *Manager) handleHostStatus(req *wire.HostStatus) wire.Message {
+	m.mu.Lock()
+	switch req.State {
+	case wire.HostIdle:
+		m.iwd[req.HostAddr] = &hostEntry{
+			addr:        req.HostAddr,
+			epoch:       req.Epoch,
+			availBytes:  req.AvailBytes,
+			largestFree: req.LargestFree,
+		}
+	case wire.HostBusy:
+		delete(m.iwd, req.HostAddr)
+	}
+	m.mu.Unlock()
+	m.logf("cmd: host %s -> %v (epoch %d, avail %d)", req.HostAddr, req.State, req.Epoch, req.AvailBytes)
+	return &wire.HostStatusAck{Status: wire.StatusOK}
+}
+
+// handleAlloc implements the alloc operation: pick a random idle host
+// believed to have a large-enough free block, verify by asking its imd,
+// and retry other hosts until success or exhaustion (§4.3).
+func (m *Manager) handleAlloc(from string, req *wire.AllocReq) wire.Message {
+	if req.Length == 0 {
+		return &wire.AllocResp{Status: wire.StatusInvalid}
+	}
+	m.mu.Lock()
+	// Duplicate request (client retry): answer with the existing region.
+	if e, ok := m.rd[req.Key]; ok {
+		region := e.region
+		m.mu.Unlock()
+		return &wire.AllocResp{Status: wire.StatusOK, Region: region}
+	}
+	m.trackClientLocked(from)
+	// Candidate hosts, randomized (the paper picks randomly and retries).
+	var candidates []string
+	for addr, h := range m.iwd {
+		if h.largestFree >= req.Length {
+			candidates = append(candidates, addr)
+		}
+	}
+	m.rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	m.nextID++
+	id := m.nextID
+	m.mu.Unlock()
+
+	for _, host := range candidates {
+		// Probe with a tight budget: a dead host must not stall the
+		// client's allocation while live candidates remain.
+		resp, err := m.ep.CallT(host, &wire.IMDAllocReq{RegionID: id, Length: req.Length},
+			m.probeTimeout(), 1)
+		if err != nil {
+			// Host unreachable (shut down, crashed, or reclaimed):
+			// drop it from the IWD and try another (§3.1).
+			m.mu.Lock()
+			delete(m.iwd, host)
+			m.mu.Unlock()
+			m.logf("cmd: alloc probe to %s failed: %v", host, err)
+			continue
+		}
+		ar, ok := resp.(*wire.IMDAllocResp)
+		if !ok {
+			continue
+		}
+		m.mu.Lock()
+		if h, live := m.iwd[host]; live {
+			// The imd piggybacks availability on every response (§4.3).
+			h.epoch = ar.Epoch
+			h.availBytes = ar.AvailBytes
+			h.largestFree = ar.LargestFree
+		}
+		if ar.Status != wire.StatusOK {
+			m.mu.Unlock()
+			continue
+		}
+		// Commit, unless a duplicate raced us to it.
+		if e, dup := m.rd[req.Key]; dup {
+			region := e.region
+			m.mu.Unlock()
+			m.ep.Notify(host, &wire.IMDFreeReq{RegionID: id})
+			return &wire.AllocResp{Status: wire.StatusOK, Region: region}
+		}
+		region := wire.Region{
+			HostAddr:   host,
+			RegionID:   id,
+			PoolOffset: ar.PoolOffset,
+			Length:     req.Length,
+			Epoch:      ar.Epoch,
+		}
+		m.rd[req.Key] = &regionEntry{key: req.Key, region: region, client: from}
+		m.allocs++
+		m.mu.Unlock()
+		m.logf("cmd: allocated %v (%d bytes) on %s", req.Key, req.Length, host)
+		return &wire.AllocResp{Status: wire.StatusOK, Region: region}
+	}
+	m.mu.Lock()
+	m.allocFailures++
+	m.mu.Unlock()
+	m.logf("cmd: allocation of %d bytes failed: no idle host has space", req.Length)
+	return &wire.AllocResp{Status: wire.StatusNoMem}
+}
+
+// handleFree implements the free operation (§4.3).
+func (m *Manager) handleFree(req *wire.FreeReq) wire.Message {
+	m.mu.Lock()
+	e, ok := m.rd[req.Key]
+	if !ok {
+		m.mu.Unlock()
+		return &wire.FreeResp{Status: wire.StatusNotFound}
+	}
+	delete(m.rd, req.Key)
+	m.frees++
+	host, id := e.region.HostAddr, e.region.RegionID
+	m.mu.Unlock()
+	// Forward to the hosting imd off the client's critical path;
+	// best-effort (the host may be gone), but when the imd answers, its
+	// piggybacked availability refreshes the IWD hints (§4.3).
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		resp, err := m.ep.CallT(host, &wire.IMDFreeReq{RegionID: id}, m.probeTimeout(), 1)
+		if err != nil {
+			return
+		}
+		fr, ok := resp.(*wire.IMDFreeResp)
+		if !ok {
+			return
+		}
+		m.mu.Lock()
+		if h, live := m.iwd[host]; live && h.epoch == fr.Epoch {
+			h.availBytes = fr.AvailBytes
+			h.largestFree = fr.LargestFree
+		}
+		m.mu.Unlock()
+	}()
+	return &wire.FreeResp{Status: wire.StatusOK}
+}
+
+// handleCheckAlloc implements checkAlloc: look the region up and verify
+// its epoch against the hosting workstation's IWD entry (§4.3).
+func (m *Manager) handleCheckAlloc(req *wire.CheckAllocReq) wire.Message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.rd[req.Key]
+	if !ok {
+		return &wire.CheckAllocResp{Status: wire.StatusNotFound}
+	}
+	h, hostIdle := m.iwd[e.region.HostAddr]
+	if !hostIdle || h.epoch != e.region.Epoch {
+		// Host reclaimed or imd restarted since allocation: the region
+		// is gone. Delete it and report failure.
+		delete(m.rd, req.Key)
+		m.staleDrops++
+		return &wire.CheckAllocResp{Status: wire.StatusStale}
+	}
+	return &wire.CheckAllocResp{Status: wire.StatusOK, Region: e.region}
+}
+
+// trackClientLocked registers a client for keep-alive monitoring.
+func (m *Manager) trackClientLocked(addr string) {
+	if _, ok := m.clients[addr]; !ok {
+		m.clients[addr] = &clientEntry{addr: addr}
+	}
+}
+
+// keepAliveLoop periodically echoes every known client and reclaims the
+// regions of clients that stop responding (§3.1, §4.3).
+func (m *Manager) keepAliveLoop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		if !sim.SleepInterruptible(m.cfg.Clock, m.cfg.KeepAliveInterval, m.stop) {
+			return
+		}
+		m.mu.Lock()
+		addrs := make([]string, 0, len(m.clients))
+		for addr := range m.clients {
+			addrs = append(addrs, addr)
+		}
+		m.mu.Unlock()
+		for _, addr := range addrs {
+			addr := addr
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				_, err := m.ep.CallT(addr, &wire.KeepAlive{}, m.probeTimeout(), 1)
+				m.mu.Lock()
+				c, ok := m.clients[addr]
+				if !ok {
+					m.mu.Unlock()
+					return
+				}
+				if err == nil {
+					c.misses = 0
+					m.mu.Unlock()
+					return
+				}
+				c.misses++
+				dead := c.misses >= m.cfg.KeepAliveMisses
+				m.mu.Unlock()
+				if dead {
+					m.reclaimClient(addr)
+				}
+			}()
+		}
+	}
+}
+
+// reclaimClient frees every region owned by a dead client.
+func (m *Manager) reclaimClient(addr string) {
+	m.mu.Lock()
+	delete(m.clients, addr)
+	var victims []*regionEntry
+	for key, e := range m.rd {
+		if e.client == addr {
+			victims = append(victims, e)
+			delete(m.rd, key)
+		}
+	}
+	m.orphanReclaims += int64(len(victims))
+	m.mu.Unlock()
+	for _, e := range victims {
+		m.ep.Notify(e.region.HostAddr, &wire.IMDFreeReq{RegionID: e.region.RegionID})
+	}
+	m.logf("cmd: client %s presumed dead; reclaimed %d regions", addr, len(victims))
+}

@@ -1,0 +1,48 @@
+package monitor
+
+// MemSample is one observation of the host's memory usage, in bytes,
+// broken down the way the paper's inquiry-program suite reports it
+// (§2, §3.1: kernel, file cache, process virtual memory, free list).
+type MemSample struct {
+	Total     uint64
+	Kernel    uint64
+	FileCache uint64
+	Process   uint64
+	// LotsFree is the paging free list the kernel insists on keeping
+	// (Solaris lotsfree; Linux min free pages).
+	LotsFree uint64
+}
+
+// InUse returns the memory committed to the owner's work.
+func (m MemSample) InUse() uint64 { return m.Kernel + m.FileCache + m.Process }
+
+// Available returns total minus in-use (the §2 definition used for
+// Table 1's "available memory" column).
+func (m MemSample) Available() uint64 {
+	used := m.InUse()
+	if used > m.Total {
+		return 0
+	}
+	return m.Total - used
+}
+
+// DefaultHeadroomFraction is the paper's file-cache headroom: 15% of
+// total memory is usually enough to hold the live files in the file
+// cache ([2] via §3.1).
+const DefaultHeadroomFraction = 0.15
+
+// HarvestLimit computes the maximum pool the idle memory daemon may
+// allocate on this host (§3.1): everything beyond the memory in use,
+// the paging free list, and a headroom of headroomFrac of total memory
+// reserved for files likely to be opened soon. headroomFrac < 0 selects
+// the default 15%.
+func HarvestLimit(m MemSample, headroomFrac float64) uint64 {
+	if headroomFrac < 0 {
+		headroomFrac = DefaultHeadroomFraction
+	}
+	reserved := m.InUse() + m.LotsFree + uint64(headroomFrac*float64(m.Total))
+	if reserved >= m.Total {
+		return 0
+	}
+	return m.Total - reserved
+}

@@ -1,0 +1,197 @@
+// Package monitor implements the resource monitor daemon's policy engine
+// (rmd, §4.1): sampling console activity and processor load once a
+// second, deciding when the workstation is idle (no keyboard/mouse
+// activity and adjusted load below 0.3 for five minutes or more), and
+// driving the recruit/reclaim lifecycle of the idle memory daemon.
+//
+// The engine is written against interfaces so the same state machine
+// runs over real /proc + device-file probes (SystemSource), scripted
+// samples in tests, and the synthetic workstation traces used by the
+// non-dedicated-cluster experiments.
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"dodo/internal/sim"
+)
+
+// Sample is one observation of the workstation, taken at 1 Hz.
+type Sample struct {
+	// Time the sample was taken.
+	Time time.Time
+	// ConsoleActive reports keyboard or mouse activity since the last
+	// sample (the rmd stats the input device files, §4.1).
+	ConsoleActive bool
+	// Load is the processor load average.
+	Load float64
+	// ExcludedLoad is the load attributable to the screen saver and the
+	// idle memory daemon itself, which the rmd subtracts so that
+	// hosting guest data never causes a host to look busy (§4.1).
+	ExcludedLoad float64
+}
+
+// AdjustedLoad returns the load with the excluded processes removed.
+func (s Sample) AdjustedLoad() float64 {
+	l := s.Load - s.ExcludedLoad
+	if l < 0 {
+		return 0
+	}
+	return l
+}
+
+// Source produces workstation samples.
+type Source interface {
+	Sample(now time.Time) Sample
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func(now time.Time) Sample
+
+// Sample calls f.
+func (f SourceFunc) Sample(now time.Time) Sample { return f(now) }
+
+// Config tunes the idleness predicate. Zero fields take the paper's
+// values.
+type Config struct {
+	// IdleAfter is how long console and processor must both stay quiet
+	// before the host is recruited (paper: 5 minutes).
+	IdleAfter time.Duration
+	// LoadThreshold is the adjusted-load ceiling (paper: 0.3).
+	LoadThreshold float64
+	// SampleInterval is the probe period (paper: 1 second).
+	SampleInterval time.Duration
+	// Rules are the owner's Condor-style preference rules; if any rule
+	// forbids recruiting at a given time, the host is treated as busy.
+	Rules RuleSet
+}
+
+func (c Config) withDefaults() Config {
+	if c.IdleAfter == 0 {
+		c.IdleAfter = 5 * time.Minute
+	}
+	if c.LoadThreshold == 0 {
+		c.LoadThreshold = 0.3
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = time.Second
+	}
+	return c
+}
+
+// State is the monitor's view of the host.
+type State int
+
+// Monitor states.
+const (
+	// StateBusy: the owner is (or recently was) using the machine.
+	StateBusy State = iota
+	// StateIdle: the idleness predicate held for IdleAfter; the host is
+	// recruited and its imd is running.
+	StateIdle
+)
+
+func (s State) String() string {
+	if s == StateIdle {
+		return "idle"
+	}
+	return "busy"
+}
+
+// Hooks receive lifecycle transitions. OnRecruit fires on busy->idle
+// (the rmd forks the imd and notifies the cmd); OnReclaim fires on
+// idle->busy (the rmd signals the imd to drain and notifies the cmd).
+type Hooks struct {
+	OnRecruit func(now time.Time)
+	OnReclaim func(now time.Time)
+}
+
+// Monitor is the rmd state machine. Safe for concurrent State queries;
+// Step is called from one goroutine (the sampling loop).
+type Monitor struct {
+	cfg   Config
+	src   Source
+	hooks Hooks
+
+	mu          sync.Mutex
+	state       State
+	lastActive  time.Time
+	haveSample  bool
+	transitions int
+}
+
+// New builds a monitor. The host starts busy: recruiting requires
+// demonstrated idleness, never assumption.
+func New(src Source, cfg Config, hooks Hooks) *Monitor {
+	return &Monitor{cfg: cfg.withDefaults(), src: src, hooks: hooks, state: StateBusy}
+}
+
+// State returns the current state.
+func (m *Monitor) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
+
+// Transitions returns how many recruit/reclaim transitions have fired.
+func (m *Monitor) Transitions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.transitions
+}
+
+// Step takes one sample at now and advances the state machine,
+// returning the state after the step.
+func (m *Monitor) Step(now time.Time) State {
+	s := m.src.Sample(now)
+	s.Time = now
+
+	active := s.ConsoleActive || s.AdjustedLoad() >= m.cfg.LoadThreshold
+	permitted := m.cfg.Rules.Permit(now)
+
+	m.mu.Lock()
+	if !m.haveSample {
+		// Until proven otherwise the host counts as just-active.
+		m.lastActive = now
+		m.haveSample = true
+	}
+	if active || !permitted {
+		m.lastActive = now
+	}
+	idleFor := now.Sub(m.lastActive)
+	var fire func(time.Time)
+	switch {
+	case m.state == StateBusy && idleFor >= m.cfg.IdleAfter:
+		m.state = StateIdle
+		m.transitions++
+		fire = m.hooks.OnRecruit
+	case m.state == StateIdle && (active || !permitted):
+		// Reclaim is immediate: the owner must never wait (§3).
+		m.state = StateBusy
+		m.transitions++
+		fire = m.hooks.OnReclaim
+	}
+	state := m.state
+	m.mu.Unlock()
+
+	if fire != nil {
+		fire(now)
+	}
+	return state
+}
+
+// Run samples at the configured interval on the given clock until stop
+// is closed. With a sim.VirtualClock this drives simulated deployments;
+// with sim.WallClock it is the live rmd loop.
+func (m *Monitor) Run(clock sim.Clock, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		m.Step(clock.Now())
+		clock.Sleep(m.cfg.SampleInterval)
+	}
+}

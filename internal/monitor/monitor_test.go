@@ -1,0 +1,369 @@
+package monitor
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dodo/internal/sim"
+)
+
+var t0 = time.Date(1999, 8, 2, 10, 0, 0, 0, time.UTC) // a Monday, 10:00
+
+// scriptedSource returns quiet samples except at the listed active
+// instants (second granularity from t0).
+func scriptedSource(activeSeconds map[int]bool, load float64) Source {
+	return SourceFunc(func(now time.Time) Sample {
+		sec := int(now.Sub(t0) / time.Second)
+		return Sample{ConsoleActive: activeSeconds[sec], Load: load}
+	})
+}
+
+// drive steps the monitor once per second for n seconds.
+func drive(m *Monitor, n int) {
+	for i := 0; i <= n; i++ {
+		m.Step(t0.Add(time.Duration(i) * time.Second))
+	}
+}
+
+func TestStartsBusy(t *testing.T) {
+	m := New(scriptedSource(nil, 0), Config{}, Hooks{})
+	if m.State() != StateBusy {
+		t.Fatal("monitor must start busy")
+	}
+}
+
+func TestRecruitsAfterFiveQuietMinutes(t *testing.T) {
+	var recruitedAt time.Time
+	m := New(scriptedSource(nil, 0.1), Config{}, Hooks{
+		OnRecruit: func(now time.Time) { recruitedAt = now },
+	})
+	drive(m, 299)
+	if m.State() != StateBusy {
+		t.Fatal("recruited before 5 minutes of quiet")
+	}
+	drive(m, 301)
+	if m.State() != StateIdle {
+		t.Fatal("not recruited after 5+ minutes of quiet")
+	}
+	if want := t0.Add(300 * time.Second); !recruitedAt.Equal(want) {
+		t.Fatalf("recruited at %v, want %v", recruitedAt, want)
+	}
+}
+
+func TestConsoleActivityResetsIdleClock(t *testing.T) {
+	m := New(scriptedSource(map[int]bool{200: true}, 0.1), Config{}, Hooks{})
+	drive(m, 400) // quiet except second 200
+	if m.State() != StateIdle {
+		// 400-200 = 200s < 300s: must still be busy
+	} else {
+		t.Fatal("activity at t=200 did not reset the idle clock")
+	}
+	drive(m, 501) // 501-200 > 300
+	if m.State() != StateIdle {
+		t.Fatal("not recruited once 5 quiet minutes accumulated after activity")
+	}
+}
+
+func TestHighLoadPreventsRecruiting(t *testing.T) {
+	m := New(scriptedSource(nil, 0.5), Config{}, Hooks{})
+	drive(m, 600)
+	if m.State() != StateBusy {
+		t.Fatal("recruited a host with load 0.5 >= 0.3")
+	}
+}
+
+func TestExcludedLoadDoesNotPreventRecruiting(t *testing.T) {
+	// Screen saver + imd load is subtracted (§4.1).
+	src := SourceFunc(func(now time.Time) Sample {
+		return Sample{Load: 0.9, ExcludedLoad: 0.75}
+	})
+	m := New(src, Config{}, Hooks{})
+	drive(m, 301)
+	if m.State() != StateIdle {
+		t.Fatal("excluded load was not subtracted from the idle predicate")
+	}
+}
+
+func TestReclaimIsImmediate(t *testing.T) {
+	var reclaimedAt time.Time
+	active := map[int]bool{400: true}
+	m := New(scriptedSource(active, 0.0), Config{}, Hooks{
+		OnReclaim: func(now time.Time) { reclaimedAt = now },
+	})
+	drive(m, 399)
+	if m.State() != StateIdle {
+		t.Fatal("precondition: host should be idle at t=399")
+	}
+	m.Step(t0.Add(400 * time.Second))
+	if m.State() != StateBusy {
+		t.Fatal("activity did not reclaim the host immediately")
+	}
+	if want := t0.Add(400 * time.Second); !reclaimedAt.Equal(want) {
+		t.Fatalf("reclaimed at %v, want %v (same second as activity)", reclaimedAt, want)
+	}
+}
+
+func TestTransitionsCount(t *testing.T) {
+	active := map[int]bool{400: true}
+	m := New(scriptedSource(active, 0), Config{}, Hooks{})
+	drive(m, 800)
+	// busy->idle at 300, idle->busy at 400, busy->idle at ~701.
+	if got := m.Transitions(); got != 3 {
+		t.Fatalf("Transitions = %d, want 3", got)
+	}
+}
+
+func TestCustomConfig(t *testing.T) {
+	cfg := Config{IdleAfter: 10 * time.Second, LoadThreshold: 0.5, SampleInterval: time.Second}
+	m := New(scriptedSource(nil, 0.4), cfg, Hooks{}) // 0.4 < 0.5: quiet
+	drive(m, 11)
+	if m.State() != StateIdle {
+		t.Fatal("custom IdleAfter/LoadThreshold not honored")
+	}
+}
+
+func TestNeverRuleBlocksRecruiting(t *testing.T) {
+	cfg := Config{Rules: RuleSet{Never{}}}
+	m := New(scriptedSource(nil, 0), cfg, Hooks{})
+	drive(m, 1000)
+	if m.State() != StateBusy {
+		t.Fatal("Never rule did not block recruiting")
+	}
+}
+
+func TestOutsideHoursRule(t *testing.T) {
+	r := OutsideHours{StartHour: 9, EndHour: 17, Days: Weekdays}
+	monday10 := time.Date(1999, 8, 2, 10, 0, 0, 0, time.UTC)
+	monday18 := time.Date(1999, 8, 2, 18, 0, 0, 0, time.UTC)
+	saturday10 := time.Date(1999, 8, 7, 10, 0, 0, 0, time.UTC)
+	if r.Permit(monday10) {
+		t.Error("permitted during protected weekday hours")
+	}
+	if !r.Permit(monday18) {
+		t.Error("denied outside protected hours")
+	}
+	if !r.Permit(saturday10) {
+		t.Error("denied on an unprotected day")
+	}
+}
+
+func TestOutsideHoursRuleReclaimsAtWindowStart(t *testing.T) {
+	// Host idle overnight gets reclaimed when the protected window opens.
+	cfg := Config{Rules: RuleSet{OutsideHours{StartHour: 11, EndHour: 17, Days: Weekdays}}}
+	m := New(scriptedSource(nil, 0), cfg, Hooks{})
+	drive(m, 310) // 10:00-10:05: recruited
+	if m.State() != StateIdle {
+		t.Fatal("precondition: idle before window")
+	}
+	m.Step(time.Date(1999, 8, 2, 11, 0, 0, 0, time.UTC))
+	if m.State() != StateBusy {
+		t.Fatal("rule window opening did not reclaim the host")
+	}
+}
+
+func TestRuleSetConjunction(t *testing.T) {
+	rs := RuleSet{OutsideHours{StartHour: 9, EndHour: 17, Days: Weekdays}, Never{}}
+	if rs.Permit(time.Date(1999, 8, 7, 3, 0, 0, 0, time.UTC)) {
+		t.Fatal("conjunction with Never still permitted")
+	}
+	if RuleSet(nil).String() != "always" {
+		t.Errorf("empty RuleSet String = %q", RuleSet(nil).String())
+	}
+	if rs.String() == "" {
+		t.Error("RuleSet String empty")
+	}
+}
+
+func TestAfterQuietPeriodRule(t *testing.T) {
+	base := t0
+	r := AfterQuietPeriod{Since: func() time.Time { return base }, Quiet: time.Hour}
+	if r.Permit(base.Add(30 * time.Minute)) {
+		t.Error("permitted before quiet period elapsed")
+	}
+	if !r.Permit(base.Add(2 * time.Hour)) {
+		t.Error("denied after quiet period elapsed")
+	}
+	if !(AfterQuietPeriod{Quiet: time.Hour}).Permit(base) {
+		t.Error("nil Since must permit")
+	}
+}
+
+func TestRunOnVirtualClock(t *testing.T) {
+	clock := sim.NewVirtualClock(t0)
+	recruits := 0
+	m := New(scriptedSource(nil, 0), Config{}, Hooks{
+		OnRecruit: func(time.Time) { recruits++ },
+	})
+	stop := make(chan struct{})
+	go func() {
+		// The virtual clock's Sleep advances time, so Run self-drives.
+		m.Run(clock, stop)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for recruits == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	if recruits != 1 {
+		t.Fatalf("recruits = %d, want 1", recruits)
+	}
+}
+
+func TestHarvestLimitMatchesPaperFormula(t *testing.T) {
+	// 128 MB host: 25 MB in use, 2 MB lotsfree, 15% headroom (19.2 MB)
+	// -> harvest = 128 - 25 - 2 - 19.2 = 81.8 MB.
+	mb := uint64(1 << 20)
+	m := MemSample{Total: 128 * mb, Kernel: 15 * mb, FileCache: 5 * mb, Process: 5 * mb, LotsFree: 2 * mb}
+	got := HarvestLimit(m, -1)
+	want := 128*mb - 25*mb - 2*mb - uint64(0.15*float64(128*mb))
+	if got != want {
+		t.Fatalf("HarvestLimit = %d, want %d", got, want)
+	}
+}
+
+func TestHarvestLimitZeroWhenBusyHost(t *testing.T) {
+	m := MemSample{Total: 64 << 20, Kernel: 20 << 20, FileCache: 20 << 20, Process: 30 << 20}
+	if got := HarvestLimit(m, -1); got != 0 {
+		t.Fatalf("HarvestLimit on overcommitted host = %d, want 0", got)
+	}
+}
+
+func TestMemSampleAccessors(t *testing.T) {
+	m := MemSample{Total: 100, Kernel: 10, FileCache: 20, Process: 30}
+	if m.InUse() != 60 || m.Available() != 40 {
+		t.Fatalf("InUse/Available = %d/%d, want 60/40", m.InUse(), m.Available())
+	}
+	over := MemSample{Total: 10, Kernel: 20}
+	if over.Available() != 0 {
+		t.Fatal("Available must clamp at 0")
+	}
+}
+
+// Property: harvest limit never exceeds available memory and never goes
+// negative, for any memory sample and headroom in [0,1].
+func TestPropertyHarvestLimitBounded(t *testing.T) {
+	f := func(total, kernel, fc, proc, lots uint32, headroomPct uint8) bool {
+		m := MemSample{
+			Total:     uint64(total),
+			Kernel:    uint64(kernel),
+			FileCache: uint64(fc),
+			Process:   uint64(proc),
+			LotsFree:  uint64(lots),
+		}
+		frac := float64(headroomPct%101) / 100
+		limit := HarvestLimit(m, frac)
+		return limit <= m.Available()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the monitor never recruits while any sample within the last
+// IdleAfter window was active.
+func TestPropertyNoRecruitWithinWindowOfActivity(t *testing.T) {
+	f := func(seed int64, activity []bool) bool {
+		active := map[int]bool{}
+		for i, a := range activity {
+			if a {
+				active[i] = true
+			}
+		}
+		cfg := Config{IdleAfter: 30 * time.Second}
+		m := New(scriptedSource(active, 0), cfg, Hooks{})
+		lastActive := 0
+		for i := 0; i <= len(activity); i++ {
+			st := m.Step(t0.Add(time.Duration(i) * time.Second))
+			if active[i] {
+				lastActive = i
+			}
+			if st == StateIdle && i-lastActive < 30 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadLoadAvg(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "loadavg")
+	if err := os.WriteFile(path, []byte("0.25 0.30 0.28 1/234 5678\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	load, err := ReadLoadAvg(path)
+	if err != nil || load != 0.25 {
+		t.Fatalf("ReadLoadAvg = %v, %v; want 0.25", load, err)
+	}
+	if _, err := ReadLoadAvg(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("ReadLoadAvg of missing file succeeded")
+	}
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLoadAvg(path); err == nil {
+		t.Fatal("ReadLoadAvg of garbage succeeded")
+	}
+	if err := os.WriteFile(path, []byte(""), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLoadAvg(path); err == nil {
+		t.Fatal("ReadLoadAvg of empty file succeeded")
+	}
+}
+
+func TestSystemSourceDegradesGracefully(t *testing.T) {
+	src := &SystemSource{
+		LoadPath:    "/nonexistent/loadavg",
+		DevicePaths: []string{"/nonexistent/dev"},
+	}
+	s := src.Sample(time.Now())
+	// Unreadable probes must look busy, not idle.
+	if s.Load < 0.3 {
+		t.Fatalf("unreadable load sampled as %v, want busy-looking", s.Load)
+	}
+}
+
+func TestSystemSourceDetectsDeviceActivity(t *testing.T) {
+	dir := t.TempDir()
+	dev := filepath.Join(dir, "console")
+	if err := os.WriteFile(dev, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loadPath := filepath.Join(dir, "loadavg")
+	if err := os.WriteFile(loadPath, []byte("0.01 0.01 0.01"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := &SystemSource{LoadPath: loadPath, DevicePaths: []string{dev}}
+	first := src.Sample(time.Now())
+	if first.ConsoleActive {
+		t.Fatal("first sample (no baseline) reported activity")
+	}
+	// Touch the device with a newer mtime.
+	future := time.Now().Add(time.Hour)
+	if err := os.Chtimes(dev, future, future); err != nil {
+		t.Fatal(err)
+	}
+	second := src.Sample(time.Now())
+	if !second.ConsoleActive {
+		t.Fatal("mtime bump not detected as console activity")
+	}
+	third := src.Sample(time.Now())
+	if third.ConsoleActive {
+		t.Fatal("unchanged mtime still reported as activity")
+	}
+}
+
+func BenchmarkMonitorStep(b *testing.B) {
+	m := New(scriptedSource(nil, 0.1), Config{}, Hooks{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Step(t0.Add(time.Duration(i) * time.Second))
+	}
+}

@@ -1,0 +1,103 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Rule is one owner preference in the Condor style the paper borrows
+// (§3.1): it grants or withholds permission to recruit the host at a
+// given moment. Rules express policy only; mechanism (the idleness
+// predicate) stays in the Monitor.
+type Rule interface {
+	// Permit reports whether recruiting is allowed at now.
+	Permit(now time.Time) bool
+	// String renders the rule for the owner's config listing.
+	String() string
+}
+
+// RuleSet combines rules conjunctively: recruiting is permitted only if
+// every rule permits it. An empty set always permits.
+type RuleSet []Rule
+
+// Permit evaluates the conjunction.
+func (rs RuleSet) Permit(now time.Time) bool {
+	for _, r := range rs {
+		if !r.Permit(now) {
+			return false
+		}
+	}
+	return true
+}
+
+func (rs RuleSet) String() string {
+	if len(rs) == 0 {
+		return "always"
+	}
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, " && ")
+}
+
+// Never withholds permission unconditionally: the owner opted out.
+type Never struct{}
+
+// Permit always returns false.
+func (Never) Permit(time.Time) bool { return false }
+func (Never) String() string        { return "never" }
+
+// OutsideHours permits recruiting only outside the owner's working
+// hours [StartHour, EndHour) on the listed weekdays. The classic Condor
+// default: "not 9-17 on weekdays".
+type OutsideHours struct {
+	StartHour, EndHour int
+	Days               []time.Weekday
+}
+
+// Permit reports whether now falls outside the protected window.
+func (r OutsideHours) Permit(now time.Time) bool {
+	inDay := false
+	for _, d := range r.Days {
+		if now.Weekday() == d {
+			inDay = true
+			break
+		}
+	}
+	if !inDay {
+		return true
+	}
+	h := now.Hour()
+	return h < r.StartHour || h >= r.EndHour
+}
+
+func (r OutsideHours) String() string {
+	return fmt.Sprintf("outside %02d:00-%02d:00 on %v", r.StartHour, r.EndHour, r.Days)
+}
+
+// Weekdays is the Monday-Friday convenience slice.
+var Weekdays = []time.Weekday{time.Monday, time.Tuesday, time.Wednesday, time.Thursday, time.Friday}
+
+// AfterQuietPeriod permits recruiting only when the predicate has been
+// given extra settle time beyond the monitor's own window; owners use it
+// to make harvesting more conservative on their machine.
+type AfterQuietPeriod struct {
+	// Since is consulted lazily so the rule composes with any activity
+	// bookkeeping the embedding program keeps.
+	Since func() time.Time
+	Quiet time.Duration
+}
+
+// Permit reports whether the extra quiet period has elapsed.
+func (r AfterQuietPeriod) Permit(now time.Time) bool {
+	if r.Since == nil {
+		return true
+	}
+	return now.Sub(r.Since()) >= r.Quiet
+}
+
+func (r AfterQuietPeriod) String() string {
+	return fmt.Sprintf("after %v of quiet", r.Quiet)
+}

@@ -1,0 +1,163 @@
+package pool
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Buddy is a binary buddy allocator: every allocation is rounded up to a
+// power of two and split recursively from the pool; frees merge with the
+// block's buddy eagerly. It trades internal fragmentation (round-up
+// waste) for zero external fragmentation growth — the scheme the paper
+// planned to switch to if first-fit fragmentation became a problem.
+type Buddy struct {
+	size     uint64
+	minOrder uint
+	maxOrder uint
+	// free[o] holds offsets of free blocks of size 1<<o.
+	free map[uint][]uint64
+	// allocOrder remembers each allocation's order for Free.
+	allocOrder map[uint64]uint
+	failures   int64
+}
+
+var _ Allocator = (*Buddy)(nil)
+
+// NewBuddy builds a buddy allocator over size bytes, which must be a
+// power of two. minBlock is the smallest block handed out (rounded up to
+// a power of two, at least 64).
+func NewBuddy(size uint64, minBlock uint64) (*Buddy, error) {
+	if size == 0 || size&(size-1) != 0 {
+		return nil, fmt.Errorf("pool: buddy size %d is not a power of two", size)
+	}
+	if minBlock < 64 {
+		minBlock = 64
+	}
+	minOrder := uint(bits.Len64(minBlock - 1))
+	maxOrder := uint(bits.Len64(size - 1))
+	b := &Buddy{
+		size:       size,
+		minOrder:   minOrder,
+		maxOrder:   maxOrder,
+		free:       make(map[uint][]uint64),
+		allocOrder: make(map[uint64]uint),
+	}
+	b.free[maxOrder] = []uint64{0}
+	return b, nil
+}
+
+// Size returns the pool size.
+func (b *Buddy) Size() uint64 { return b.size }
+
+func (b *Buddy) orderFor(size uint64) uint {
+	o := uint(bits.Len64(size - 1))
+	if o < b.minOrder {
+		o = b.minOrder
+	}
+	return o
+}
+
+// Alloc reserves a power-of-two block of at least size bytes.
+func (b *Buddy) Alloc(size uint64) (uint64, bool) {
+	if size == 0 || size > b.size {
+		b.failures++
+		return 0, false
+	}
+	want := b.orderFor(size)
+	// Find the smallest order >= want with a free block.
+	o := want
+	for o <= b.maxOrder && len(b.free[o]) == 0 {
+		o++
+	}
+	if o > b.maxOrder {
+		b.failures++
+		return 0, false
+	}
+	// Pop and split down to the wanted order.
+	off := b.pop(o)
+	for o > want {
+		o--
+		buddy := off + (uint64(1) << o)
+		b.free[o] = append(b.free[o], buddy)
+	}
+	b.allocOrder[off] = want
+	return off, true
+}
+
+func (b *Buddy) pop(o uint) uint64 {
+	list := b.free[o]
+	off := list[len(list)-1]
+	b.free[o] = list[:len(list)-1]
+	return off
+}
+
+// Free releases a block, merging it with its buddy transitively.
+func (b *Buddy) Free(off uint64) error {
+	o, ok := b.allocOrder[off]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadFree, off)
+	}
+	delete(b.allocOrder, off)
+	for o < b.maxOrder {
+		buddy := off ^ (uint64(1) << o)
+		if !b.removeFree(o, buddy) {
+			break
+		}
+		if buddy < off {
+			off = buddy
+		}
+		o++
+	}
+	b.free[o] = append(b.free[o], off)
+	return nil
+}
+
+func (b *Buddy) removeFree(o uint, off uint64) bool {
+	list := b.free[o]
+	for i, v := range list {
+		if v == off {
+			list[i] = list[len(list)-1]
+			b.free[o] = list[:len(list)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// FreeBytes returns the total free space (in block granularity, so it
+// includes round-up waste of nothing — internal waste is attributed to
+// allocations).
+func (b *Buddy) FreeBytes() uint64 {
+	var total uint64
+	for o, list := range b.free {
+		total += uint64(len(list)) << o
+	}
+	return total
+}
+
+// LargestFree returns the largest free block size.
+func (b *Buddy) LargestFree() uint64 {
+	var max uint64
+	for o, list := range b.free {
+		if len(list) > 0 && uint64(1)<<o > max {
+			max = uint64(1) << o
+		}
+	}
+	return max
+}
+
+// Failures returns how many allocations have failed.
+func (b *Buddy) Failures() int64 { return b.failures }
+
+// InternalWaste returns the bytes lost to power-of-two round-up across
+// live allocations, given the exact sizes requested. The caller supplies
+// the requested sizes keyed by offset (the Pool tracks them).
+func (b *Buddy) InternalWaste(requested map[uint64]uint64) uint64 {
+	var waste uint64
+	for off, o := range b.allocOrder {
+		if req, ok := requested[off]; ok {
+			waste += (uint64(1) << o) - req
+		}
+	}
+	return waste
+}

@@ -1,0 +1,511 @@
+package region
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dodo/internal/core"
+	"dodo/internal/sim"
+)
+
+// Dodo is the slice of the runtime library the cache needs. *core.Client
+// satisfies it; the virtual-time experiment harness provides a
+// cost-accounting implementation.
+type Dodo interface {
+	Mopen(length int64, backing core.Backing, offset int64) (int, error)
+	Mread(fd int, offset int64, buf []byte) (int, error)
+	Mwrite(fd int, offset int64, buf []byte) (int, error)
+	Mclose(fd int) error
+	Msync(fd int) error
+}
+
+var _ Dodo = (*core.Client)(nil)
+
+// State is a region's caching state — the four states of §3.3.
+type State int
+
+// Region states.
+const (
+	// StateDiskOnly: not cached in memory, only on disk.
+	StateDiskOnly State = iota
+	// StateLocal: cached in the local region cache only.
+	StateLocal
+	// StateRemote: cached in remote cluster memory only.
+	StateRemote
+	// StateLocalRemote: cached both locally and remotely.
+	StateLocalRemote
+)
+
+func (s State) String() string {
+	switch s {
+	case StateDiskOnly:
+		return "disk-only"
+	case StateLocal:
+		return "local"
+	case StateRemote:
+		return "remote"
+	case StateLocalRemote:
+		return "local+remote"
+	}
+	return fmt.Sprintf("region.State(%d)", int(s))
+}
+
+// Errors returned by the cache.
+var (
+	ErrBadFD = errors.New("region: bad region descriptor")
+	ErrRange = errors.New("region: access beyond region bounds")
+)
+
+// Config tunes a Cache.
+type Config struct {
+	// Capacity is the local cache budget in bytes (the paper's
+	// experiments use 80 MB).
+	Capacity int64
+	// Policy is the replacement policy module (default LRU, §3.3).
+	Policy Policy
+	// RefractionPeriod suppresses remote-clone attempts after one
+	// fails for lack of remote space (Figure 5; default 5s).
+	RefractionPeriod time.Duration
+	// Clock provides time (default wall clock).
+	Clock sim.Clock
+	// PromoteOnAccess controls whether accessing a non-local region
+	// pulls the whole region into the local cache (default true; the
+	// first-in policy effectively disables it by refusing victims once
+	// the cache fills).
+	PromoteOnAccess bool
+	// SequentialPrefetch pulls the next contiguous region of a backing
+	// file toward the application when regions are accessed in order
+	// (see prefetch.go). Off by default, as in the paper; this is the
+	// cooperative-prefetching extension its related work points at.
+	SequentialPrefetch bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == nil {
+		c.Policy = NewLRU()
+	}
+	if c.RefractionPeriod == 0 {
+		c.RefractionPeriod = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = sim.WallClock{}
+	}
+	return c
+}
+
+// cregion is one entry of the local cache directory.
+type cregion struct {
+	fd      int
+	length  int64
+	backing core.Backing
+	backOff int64
+
+	local    []byte // non-nil iff cached locally
+	dirty    bool   // local copy differs from disk
+	remoteFD int    // core descriptor, -1 when no remote copy
+}
+
+func (r *cregion) state() State {
+	switch {
+	case r.local != nil && r.remoteFD >= 0:
+		return StateLocalRemote
+	case r.local != nil:
+		return StateLocal
+	case r.remoteFD >= 0:
+		return StateRemote
+	}
+	return StateDiskOnly
+}
+
+// Stats reports cache activity; the virtual-time experiments derive
+// every figure from these counters.
+type Stats struct {
+	LocalHits    int64 // accesses served from the local cache
+	RemoteReads  int64 // bytes served from remote memory (read-through)
+	DiskReads    int64 // bytes served from disk (read-through)
+	Promotions   int64 // regions pulled into the local cache
+	Evictions    int64 // regions pushed out by grimReaper
+	RemoteClones int64 // evictions that went to remote memory
+	DiskSpills   int64 // evictions that fell back to disk only
+	WriteBacks   int64 // dirty flushes
+	RefractSkips int64 // remote clones skipped inside refraction
+	Prefetches   int64 // prefetch pulls issued
+}
+
+// Cache is the region-management library instance.
+type Cache struct {
+	cfg  Config
+	dodo Dodo
+
+	mu       sync.Mutex
+	regions  map[int]*cregion
+	nextFD   int
+	used     int64
+	lastFail time.Time
+	failed   bool
+	stats    Stats
+
+	// prefetch state (prefetch.go)
+	byLocation map[prefKey]int
+	lastAccess prefKey
+}
+
+// NewCache builds a region cache over the given Dodo runtime.
+func NewCache(dodo Dodo, cfg Config) *Cache {
+	return &Cache{
+		cfg:        cfg.withDefaults(),
+		dodo:       dodo,
+		regions:    make(map[int]*cregion),
+		byLocation: make(map[prefKey]int),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Used returns the bytes of local cache in use.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// State reports a region's caching state.
+func (c *Cache) State(fd int) (State, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.regions[fd]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	return r.state(), nil
+}
+
+// SetPolicy switches the replacement policy (csetPolicy, §3.3). Resident
+// regions are re-registered with the new policy in an arbitrary order.
+func (c *Cache) SetPolicy(p Policy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.Policy = p
+	for fd, r := range c.regions {
+		if r.local != nil {
+			p.NoteCached(fd)
+		}
+	}
+}
+
+// Copen creates a region of length bytes backed by [offset,
+// offset+length) of backing (§3.3). The region starts in the local cache
+// when space can be made; otherwise it goes remote, or disk-only as the
+// last resort. Contents are faulted in from disk on first access.
+func (c *Cache) Copen(length int64, backing core.Backing, offset int64) (int, error) {
+	if length < 1 || offset < 0 || backing == nil {
+		return -1, fmt.Errorf("%w: length %d offset %d", core.ErrInval, length, offset)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fd := c.nextFD
+	c.nextFD++
+	r := &cregion{fd: fd, length: length, backing: backing, backOff: offset, remoteFD: -1}
+	c.regions[fd] = r
+	c.registerLocationLocked(r)
+	// With local room the region is faulted in from disk immediately;
+	// otherwise it stays disk-only for now, and the first full read or
+	// the grimReaper migrates it to the remote cache with its real
+	// contents in hand.
+	if length <= c.cfg.Capacity && c.ensureSpaceLocked(length) {
+		buf := make([]byte, length)
+		if _, err := backing.ReadAt(buf, offset); err == nil {
+			c.stats.DiskReads += length
+		}
+		r.local = buf
+		c.used += length
+		c.cfg.Policy.NoteCached(fd)
+	}
+	return fd, nil
+}
+
+// Cread reads len(buf) bytes at offset within the region (§3.3).
+func (c *Cache) Cread(fd int, offset int64, buf []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.regions[fd]
+	if !ok {
+		return -1, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	if offset < 0 || offset > r.length {
+		return -1, fmt.Errorf("%w: offset %d in %d-byte region", ErrRange, offset, r.length)
+	}
+	want := int64(len(buf))
+	if offset+want > r.length {
+		want = r.length - offset
+	}
+	if r.local == nil && c.cfg.PromoteOnAccess {
+		c.promoteLocked(r)
+	}
+	if c.cfg.SequentialPrefetch {
+		if nfd, ok := c.notePrefetchLocked(r); ok {
+			defer c.prefetchLocked(nfd)
+		}
+	}
+	if r.local != nil {
+		copy(buf[:want], r.local[offset:offset+want])
+		c.stats.LocalHits++
+		c.cfg.Policy.NoteAccess(fd, false)
+		return int(want), nil
+	}
+	// Read-through without caching.
+	if r.remoteFD >= 0 {
+		n, err := c.dodo.Mread(r.remoteFD, offset, buf[:want])
+		if err == nil {
+			c.stats.RemoteReads += int64(n)
+			return n, nil
+		}
+		// Remote copy lost: fall back to disk (§3.1 drop semantics).
+		r.remoteFD = -1
+	}
+	n, err := r.backing.ReadAt(buf[:want], r.backOff+offset)
+	if err != nil {
+		return -1, fmt.Errorf("region: disk read: %w", err)
+	}
+	c.stats.DiskReads += int64(n)
+	// Opportunistic migration: a full-region read already has the
+	// bytes in hand, so push them to the remote cache for later reads
+	// (this is how first-in workloads populate remote memory without
+	// displacing the protected local residents).
+	if offset == 0 && want == r.length && int64(n) == r.length && r.remoteFD < 0 {
+		c.cloneRemoteLocked(r, buf[:want])
+	}
+	return n, nil
+}
+
+// Cwrite writes buf at offset within the region (§3.3). Locally cached
+// regions absorb the write (write-back, flushed by eviction or Csync);
+// non-resident regions write through to remote memory and disk.
+func (c *Cache) Cwrite(fd int, offset int64, buf []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.regions[fd]
+	if !ok {
+		return -1, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	if offset < 0 || offset > r.length {
+		return -1, fmt.Errorf("%w: offset %d in %d-byte region", ErrRange, offset, r.length)
+	}
+	want := int64(len(buf))
+	if offset+want > r.length {
+		want = r.length - offset
+	}
+	if r.local == nil && c.cfg.PromoteOnAccess {
+		c.promoteLocked(r)
+	}
+	if r.local != nil {
+		copy(r.local[offset:offset+want], buf[:want])
+		r.dirty = true
+		c.cfg.Policy.NoteAccess(fd, true)
+		return int(want), nil
+	}
+	// Write through.
+	if r.remoteFD >= 0 {
+		if n, err := c.dodo.Mwrite(r.remoteFD, offset, buf[:want]); err == nil {
+			return n, nil // Mwrite wrote disk too
+		}
+		r.remoteFD = -1
+	}
+	// A full-region write can establish the remote copy directly:
+	// Mwrite propagates to both the remote host and the backing file.
+	if offset == 0 && want == r.length {
+		if c.cloneRemoteLocked(r, buf[:want]) {
+			return int(want), nil
+		}
+	}
+	n, err := r.backing.WriteAt(buf[:want], r.backOff+offset)
+	if err != nil {
+		return -1, fmt.Errorf("region: disk write: %w", err)
+	}
+	return n, nil
+}
+
+// Csync forces the region to remote memory and disk (§3.3: "blocks till
+// the region has been written to remote memory and to disk").
+func (c *Cache) Csync(fd int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.regions[fd]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	if r.local != nil && r.dirty {
+		if r.remoteFD < 0 {
+			c.cloneRemoteLocked(r, r.local) // best effort: remote copy wanted
+		}
+		if err := c.flushLocked(r); err != nil {
+			return err
+		}
+	}
+	if r.remoteFD >= 0 {
+		return c.dodo.Msync(r.remoteFD)
+	}
+	return r.backing.Sync()
+}
+
+// Cclose flushes and releases the region (§3.3).
+func (c *Cache) Cclose(fd int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.regions[fd]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	if r.local != nil && r.dirty {
+		if err := c.flushLocked(r); err != nil {
+			return err
+		}
+	}
+	if r.local != nil {
+		c.used -= r.length
+		r.local = nil
+		c.cfg.Policy.NoteUncached(fd)
+	}
+	if r.remoteFD >= 0 {
+		_ = c.dodo.Mclose(r.remoteFD) // region may already be reclaimed
+	}
+	c.unregisterLocationLocked(r)
+	delete(c.regions, fd)
+	return nil
+}
+
+// flushLocked writes a dirty local copy to disk (and to the remote copy
+// if one exists), clearing the dirty flag. Caller holds c.mu.
+func (c *Cache) flushLocked(r *cregion) error {
+	if r.remoteFD >= 0 {
+		// Mwrite propagates to disk and remote in parallel (§3).
+		if _, err := c.dodo.Mwrite(r.remoteFD, 0, r.local); err == nil {
+			r.dirty = false
+			c.stats.WriteBacks++
+			return nil
+		}
+		r.remoteFD = -1 // remote lost; fall through to disk
+	}
+	if _, err := r.backing.WriteAt(r.local, r.backOff); err != nil {
+		return fmt.Errorf("region: flushing region %d: %w", r.fd, err)
+	}
+	r.dirty = false
+	c.stats.WriteBacks++
+	return nil
+}
+
+// promoteLocked pulls a region into the local cache, evicting victims as
+// needed. On failure the region stays where it is. Caller holds c.mu.
+func (c *Cache) promoteLocked(r *cregion) {
+	if r.length > c.cfg.Capacity || !c.ensureSpaceLocked(r.length) {
+		return
+	}
+	buf := make([]byte, r.length)
+	if r.remoteFD >= 0 {
+		if n, err := c.dodo.Mread(r.remoteFD, 0, buf); err == nil && int64(n) == r.length {
+			c.stats.RemoteReads += int64(n)
+		} else {
+			r.remoteFD = -1
+			if _, err := r.backing.ReadAt(buf, r.backOff); err == nil {
+				c.stats.DiskReads += r.length
+			}
+		}
+	} else {
+		if _, err := r.backing.ReadAt(buf, r.backOff); err == nil {
+			c.stats.DiskReads += r.length
+		}
+	}
+	r.local = buf
+	c.used += r.length
+	c.stats.Promotions++
+	c.cfg.Policy.NoteCached(r.fd)
+}
+
+// ensureSpaceLocked is the grimReaper of Figure 5: evict regions chosen
+// by the policy until need bytes are free, migrating each victim to the
+// remote cache (writing dirty data to disk first) or spilling it to
+// disk when the remote cache has no space. Caller holds c.mu.
+func (c *Cache) ensureSpaceLocked(need int64) bool {
+	for c.cfg.Capacity-c.used < need {
+		fd, ok := c.cfg.Policy.Victim()
+		if !ok {
+			return false // policy refuses (first-in) or cache empty
+		}
+		victim := c.regions[fd]
+		if victim == nil || victim.local == nil {
+			// Stale policy entry; drop it and continue.
+			c.cfg.Policy.NoteUncached(fd)
+			continue
+		}
+		if victim.dirty {
+			if err := c.flushLocked(victim); err != nil {
+				return false
+			}
+		}
+		if victim.remoteFD < 0 {
+			c.cloneRemoteLocked(victim, victim.local)
+		}
+		// removeLocalEntry(R)
+		c.used -= victim.length
+		victim.local = nil
+		c.cfg.Policy.NoteUncached(fd)
+		c.stats.Evictions++
+	}
+	return true
+}
+
+// cloneRemoteLocked tries to give r a remote copy (cloneRemoteRegion of
+// Figure 5), honoring the refraction period after a failed allocation.
+// data supplies the region's current contents when the caller has them
+// in hand; nil derives them from the local copy or, as a last resort,
+// from the backing file (a remote region must always hold real bytes).
+// Caller holds c.mu. Reports whether the region now has a remote copy.
+func (c *Cache) cloneRemoteLocked(r *cregion, data []byte) bool {
+	if r.remoteFD >= 0 {
+		return true
+	}
+	now := c.cfg.Clock.Now()
+	if c.failed && now.Sub(c.lastFail) < c.cfg.RefractionPeriod {
+		c.stats.RefractSkips++
+		return false
+	}
+	mfd, err := c.dodo.Mopen(r.length, r.backing, r.backOff)
+	if err != nil {
+		// No space in the remote cache: enter refraction (Figure 5).
+		c.failed = true
+		c.lastFail = now
+		c.stats.DiskSpills++
+		return false
+	}
+	c.failed = false
+	if data == nil {
+		data = r.local
+	}
+	if data == nil {
+		// Disk-only source: the clone must carry the real contents.
+		data = make([]byte, r.length)
+		if _, err := r.backing.ReadAt(data, r.backOff); err != nil {
+			_ = c.dodo.Mclose(mfd)
+			return false
+		}
+		c.stats.DiskReads += r.length
+	}
+	// Push the contents so the remote copy is authoritative.
+	if _, err := c.dodo.Mwrite(mfd, 0, data); err != nil {
+		r.remoteFD = -1
+		return false
+	}
+	r.remoteFD = mfd
+	c.stats.RemoteClones++
+	if r.local != nil {
+		r.dirty = false
+	}
+	return true
+}

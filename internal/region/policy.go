@@ -1,0 +1,187 @@
+// Package region implements libmanage, the coarse-grain
+// region-management library layered on top of the Dodo runtime (§3.3,
+// §4.5). It manages a local cache of memory regions, tracks access
+// patterns, and migrates regions between four states — cached locally,
+// cached remotely, cached both, or on disk only — using pluggable
+// replacement-policy modules and the grimReaper reclamation procedure of
+// Figure 5.
+package region
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Policy is a replacement-policy module. Per §4.5, a module consists of
+// state-management procedures invoked on every cread/cwrite and a
+// reclamation procedure invoked when the local cache runs out of space.
+//
+// The cache calls NoteCached when a region enters the local cache,
+// NoteAccess on each access to a locally cached region, NoteUncached
+// when it leaves, and Victim to pick the next region to evict. Policies
+// are not safe for concurrent use; the Cache serializes calls.
+type Policy interface {
+	// Name identifies the policy ("lru", "mru", "first-in", "fifo").
+	Name() string
+	// NoteCached records that fd entered the local cache.
+	NoteCached(fd int)
+	// NoteAccess records a read or write against a locally cached fd.
+	NoteAccess(fd int, write bool)
+	// NoteUncached records that fd left the local cache.
+	NoteUncached(fd int)
+	// Victim picks the region to evict. ok is false when the policy
+	// refuses to evict anything (first-in's "once cached, never
+	// replaced" contract).
+	Victim() (fd int, ok bool)
+}
+
+// NewPolicy returns the named policy module.
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "lru":
+		return NewLRU(), nil
+	case "mru":
+		return NewMRU(), nil
+	case "first-in", "firstin":
+		return NewFirstIn(), nil
+	case "fifo":
+		return NewFIFO(), nil
+	}
+	return nil, fmt.Errorf("region: unknown policy %q", name)
+}
+
+// listPolicy is the shared recency/insertion machinery: a doubly linked
+// list plus an index, giving O(1) hooks for all four policies.
+type listPolicy struct {
+	order *list.List            // front = oldest
+	index map[int]*list.Element // fd -> element
+}
+
+func newListPolicy() listPolicy {
+	return listPolicy{order: list.New(), index: make(map[int]*list.Element)}
+}
+
+func (p *listPolicy) noteCached(fd int) {
+	if _, dup := p.index[fd]; dup {
+		return
+	}
+	p.index[fd] = p.order.PushBack(fd)
+}
+
+func (p *listPolicy) noteUncached(fd int) {
+	if el, ok := p.index[fd]; ok {
+		p.order.Remove(el)
+		delete(p.index, fd)
+	}
+}
+
+func (p *listPolicy) touch(fd int) {
+	if el, ok := p.index[fd]; ok {
+		p.order.MoveToBack(el)
+	}
+}
+
+func (p *listPolicy) oldest() (int, bool) {
+	if el := p.order.Front(); el != nil {
+		return el.Value.(int), true
+	}
+	return 0, false
+}
+
+func (p *listPolicy) newest() (int, bool) {
+	if el := p.order.Back(); el != nil {
+		return el.Value.(int), true
+	}
+	return 0, false
+}
+
+// LRU evicts the least recently used region — the library's default
+// (§3.3).
+type LRU struct{ listPolicy }
+
+// NewLRU returns an LRU policy.
+func NewLRU() *LRU { return &LRU{newListPolicy()} }
+
+// Name returns "lru".
+func (*LRU) Name() string { return "lru" }
+
+// NoteCached records insertion.
+func (p *LRU) NoteCached(fd int) { p.noteCached(fd) }
+
+// NoteAccess refreshes recency.
+func (p *LRU) NoteAccess(fd int, write bool) { p.touch(fd) }
+
+// NoteUncached records removal.
+func (p *LRU) NoteUncached(fd int) { p.noteUncached(fd) }
+
+// Victim returns the least recently used resident region.
+func (p *LRU) Victim() (int, bool) { return p.oldest() }
+
+// MRU evicts the most recently used region — the right policy for large
+// cyclic scans, offered by the paper's csetPolicy ("LRU/MRU/first-in
+// etc").
+type MRU struct{ listPolicy }
+
+// NewMRU returns an MRU policy.
+func NewMRU() *MRU { return &MRU{newListPolicy()} }
+
+// Name returns "mru".
+func (*MRU) Name() string { return "mru" }
+
+// NoteCached records insertion.
+func (p *MRU) NoteCached(fd int) { p.noteCached(fd) }
+
+// NoteAccess refreshes recency.
+func (p *MRU) NoteAccess(fd int, write bool) { p.touch(fd) }
+
+// NoteUncached records removal.
+func (p *MRU) NoteUncached(fd int) { p.noteUncached(fd) }
+
+// Victim returns the most recently used resident region.
+func (p *MRU) Victim() (int, bool) { return p.newest() }
+
+// FirstIn caches regions in the order they are first accessed and never
+// replaces them (§4.5): ideal for applications that scan their whole
+// dataset repeatedly, per Uysal et al.'s observation that most
+// data-intensive applications are sequential- or triangle-scan.
+type FirstIn struct{ listPolicy }
+
+// NewFirstIn returns a first-in policy.
+func NewFirstIn() *FirstIn { return &FirstIn{newListPolicy()} }
+
+// Name returns "first-in".
+func (*FirstIn) Name() string { return "first-in" }
+
+// NoteCached records insertion.
+func (p *FirstIn) NoteCached(fd int) { p.noteCached(fd) }
+
+// NoteAccess is a no-op: insertion order is all that matters.
+func (p *FirstIn) NoteAccess(fd int, write bool) {}
+
+// NoteUncached records removal.
+func (p *FirstIn) NoteUncached(fd int) { p.noteUncached(fd) }
+
+// Victim refuses: once cached, a region is not replaced.
+func (p *FirstIn) Victim() (int, bool) { return 0, false }
+
+// FIFO evicts in insertion order regardless of recency; it isolates the
+// value of LRU's recency tracking in the policy ablation.
+type FIFO struct{ listPolicy }
+
+// NewFIFO returns a FIFO policy.
+func NewFIFO() *FIFO { return &FIFO{newListPolicy()} }
+
+// Name returns "fifo".
+func (*FIFO) Name() string { return "fifo" }
+
+// NoteCached records insertion.
+func (p *FIFO) NoteCached(fd int) { p.noteCached(fd) }
+
+// NoteAccess is a no-op.
+func (p *FIFO) NoteAccess(fd int, write bool) {}
+
+// NoteUncached records removal.
+func (p *FIFO) NoteUncached(fd int) { p.noteUncached(fd) }
+
+// Victim returns the oldest insertion.
+func (p *FIFO) Victim() (int, bool) { return p.oldest() }

@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var epoch = time.Date(1999, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func TestWallClockNow(t *testing.T) {
+	var c WallClock
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("WallClock.Now() = %v, want within [%v, %v]", got, before, after)
+	}
+}
+
+func TestVirtualClockStartsAtGivenTime(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	if got := c.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+}
+
+func TestVirtualClockAdvance(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	c.Advance(3 * time.Second)
+	if got, want := c.Now(), epoch.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualClockSleepAdvances(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	c.Sleep(time.Minute)
+	if got, want := c.Now(), epoch.Add(time.Minute); !got.Equal(want) {
+		t.Fatalf("Now() after Sleep = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualClockNegativeAdvanceIsNoop(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	c.Advance(-time.Second)
+	if got := c.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want unchanged %v", got, epoch)
+	}
+}
+
+func TestAfterFiresAtDeadline(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	var firedAt time.Time
+	c.After(10*time.Second, func() { firedAt = c.Now() })
+	c.Advance(9 * time.Second)
+	if !firedAt.IsZero() {
+		t.Fatal("event fired before its deadline")
+	}
+	c.Advance(2 * time.Second)
+	if want := epoch.Add(10 * time.Second); !firedAt.Equal(want) {
+		t.Fatalf("event fired at %v, want %v", firedAt, want)
+	}
+}
+
+func TestAfterNegativeDelayFiresImmediatelyOnAdvance(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	fired := false
+	c.After(-time.Second, func() { fired = true })
+	c.Advance(0)
+	if !fired {
+		t.Fatal("event with negative delay did not fire on Advance(0)")
+	}
+}
+
+func TestEventsFireInDeadlineOrder(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	var order []int
+	c.After(3*time.Second, func() { order = append(order, 3) })
+	c.After(1*time.Second, func() { order = append(order, 1) })
+	c.After(2*time.Second, func() { order = append(order, 2) })
+	c.Advance(10 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.After(time.Second, func() { order = append(order, i) })
+	}
+	c.Advance(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order = %v, want ascending scheduling order", order)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	fired := false
+	timer := c.After(time.Second, func() { fired = true })
+	if !timer.Stop() {
+		t.Fatal("Stop() = false on pending timer, want true")
+	}
+	c.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	timer := c.After(time.Second, func() {})
+	c.Advance(2 * time.Second)
+	if timer.Stop() {
+		t.Fatal("Stop() after fire = true, want false")
+	}
+}
+
+func TestEventScheduledDuringCallbackFires(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	var firedAt []time.Duration
+	c.After(time.Second, func() {
+		firedAt = append(firedAt, c.Now().Sub(epoch))
+		c.After(time.Second, func() {
+			firedAt = append(firedAt, c.Now().Sub(epoch))
+		})
+	})
+	c.Advance(5 * time.Second)
+	if len(firedAt) != 2 || firedAt[0] != time.Second || firedAt[1] != 2*time.Second {
+		t.Fatalf("cascade fire times = %v, want [1s 2s]", firedAt)
+	}
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	count := 0
+	c.After(time.Hour, func() { count++ })
+	c.After(time.Minute, func() {
+		count++
+		c.After(time.Minute, func() { count++ })
+	})
+	fired := c.RunUntilIdle()
+	if fired != 3 || count != 3 {
+		t.Fatalf("RunUntilIdle fired %d events (count %d), want 3", fired, count)
+	}
+	if got, want := c.Now(), epoch.Add(time.Hour); !got.Equal(want) {
+		t.Fatalf("clock ended at %v, want %v", got, want)
+	}
+}
+
+func TestPendingCountsLiveEvents(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	t1 := c.After(time.Second, func() {})
+	c.After(2*time.Second, func() {})
+	if got := c.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d, want 2", got)
+	}
+	t1.Stop()
+	if got := c.Pending(); got != 1 {
+		t.Fatalf("Pending() after Stop = %d, want 1", got)
+	}
+}
+
+func TestAdvanceSetsNowToEventTimeDuringCallback(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	var seen time.Time
+	c.After(7*time.Second, func() { seen = c.Now() })
+	c.Advance(time.Hour)
+	if want := epoch.Add(7 * time.Second); !seen.Equal(want) {
+		t.Fatalf("Now() inside callback = %v, want %v", seen, want)
+	}
+}
+
+func TestConcurrentAfterIsSafe(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	count := 0
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.After(time.Duration(i)*time.Millisecond, func() {
+				mu.Lock()
+				count++
+				mu.Unlock()
+			})
+		}(i)
+	}
+	wg.Wait()
+	c.Advance(time.Second)
+	if count != 50 {
+		t.Fatalf("fired %d events, want 50", count)
+	}
+}
+
+// TestPropertyEventOrdering: for any set of delays, events fire in
+// nondecreasing deadline order and all of them fire.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		c := NewVirtualClock(epoch)
+		var fired []time.Time
+		for _, d := range delaysMs {
+			c.After(time.Duration(d)*time.Millisecond, func() {
+				fired = append(fired, c.Now())
+			})
+		}
+		c.RunUntilIdle()
+		if len(fired) != len(delaysMs) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i].Before(fired[j]) })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyAdvanceSplit: advancing by d1 then d2 fires the same events
+// as advancing by d1+d2 in one step.
+func TestPropertyAdvanceSplit(t *testing.T) {
+	f := func(seed int64, d1, d2 uint16) bool {
+		run := func(split bool) []int {
+			rng := rand.New(rand.NewSource(seed))
+			c := NewVirtualClock(epoch)
+			var order []int
+			for i := 0; i < 20; i++ {
+				i := i
+				c.After(time.Duration(rng.Intn(100))*time.Millisecond, func() {
+					order = append(order, i)
+				})
+			}
+			if split {
+				c.Advance(time.Duration(d1) * time.Millisecond)
+				c.Advance(time.Duration(d2) * time.Millisecond)
+			} else {
+				c.Advance(time.Duration(int(d1)+int(d2)) * time.Millisecond)
+			}
+			return order
+		}
+		a, b := run(true), run(false)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkVirtualClockAfterAdvance(b *testing.B) {
+	c := NewVirtualClock(epoch)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.After(time.Millisecond, func() {})
+		if i%1024 == 1023 {
+			c.Advance(time.Second)
+		}
+	}
+	c.RunUntilIdle()
+}

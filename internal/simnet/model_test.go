@@ -1,0 +1,166 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValidateAcceptsCalibratedModels(t *testing.T) {
+	for _, m := range []CostModel{UDPFastEthernet(), UNetFastEthernet()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("Validate(%s) = %v, want nil", m.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	cases := []CostModel{
+		{Name: "zero-mtu", MTU: 0, Bandwidth: 1e6},
+		{Name: "neg-bw", MTU: 1500, Bandwidth: -1},
+		{Name: "neg-overhead", MTU: 1500, Bandwidth: 1e6, PerMessage: -time.Second},
+	}
+	for _, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("Validate(%s) = nil, want error", m.Name)
+		}
+	}
+}
+
+func TestPackets(t *testing.T) {
+	m := CostModel{MTU: 1500, Bandwidth: 1e6}
+	cases := []struct{ n, want int }{
+		{0, 1}, {-5, 1}, {1, 1}, {1500, 1}, {1501, 2}, {3000, 2}, {3001, 3},
+	}
+	for _, c := range cases {
+		if got := m.Packets(c.n); got != c.want {
+			t.Errorf("Packets(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestOneWayMonotoneInSize(t *testing.T) {
+	for _, m := range []CostModel{UDPFastEthernet(), UNetFastEthernet()} {
+		prev := time.Duration(0)
+		for n := 0; n <= 1<<20; n += 4096 {
+			d := m.OneWay(n)
+			if d < prev {
+				t.Fatalf("%s: OneWay(%d) = %v < OneWay(%d) = %v", m.Name, n, d, n-4096, prev)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestUNetBeatsUDPAtAllSizes(t *testing.T) {
+	udp, unet := UDPFastEthernet(), UNetFastEthernet()
+	for _, n := range []int{64, 1500, 8 << 10, 32 << 10, 128 << 10, 1 << 20} {
+		if unet.RoundTrip(n) >= udp.RoundTrip(n) {
+			t.Errorf("RoundTrip(%d): unet %v >= udp %v", n, unet.RoundTrip(n), udp.RoundTrip(n))
+		}
+	}
+}
+
+// The paper's regime: an 8 KB remote fetch must be far cheaper than the
+// ~14 ms a random 8 KB disk read costs, and in the low-millisecond range.
+func TestEightKBFetchRegime(t *testing.T) {
+	for _, m := range []CostModel{UDPFastEthernet(), UNetFastEthernet()} {
+		rt := m.RoundTrip(8 << 10)
+		if rt < 500*time.Microsecond || rt > 4*time.Millisecond {
+			t.Errorf("%s: RoundTrip(8KB) = %v, want within [0.5ms, 4ms]", m.Name, rt)
+		}
+	}
+}
+
+// Small-message latency: U-Net should be well under 100 µs one-way,
+// UDP a few hundred µs.
+func TestSmallMessageLatency(t *testing.T) {
+	if d := UNetFastEthernet().OneWay(64); d > 100*time.Microsecond {
+		t.Errorf("unet OneWay(64) = %v, want <= 100µs", d)
+	}
+	d := UDPFastEthernet().OneWay(64)
+	if d < 100*time.Microsecond || d > 500*time.Microsecond {
+		t.Errorf("udp OneWay(64) = %v, want within [100µs, 500µs]", d)
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	for _, name := range []string{"udp", "unet"} {
+		m, err := ModelByName(name)
+		if err != nil || m.Name != name {
+			t.Errorf("ModelByName(%q) = %v, %v", name, m.Name, err)
+		}
+	}
+	if _, err := ModelByName("tcp"); err == nil {
+		t.Error("ModelByName(tcp) = nil error, want error")
+	}
+}
+
+func TestPropertyOneWayNonNegativeAndSuperadditiveOverhead(t *testing.T) {
+	m := UDPFastEthernet()
+	f := func(n uint16) bool {
+		d := m.OneWay(int(n))
+		// Splitting a message into two messages can never be cheaper
+		// than sending it whole: overheads are per message.
+		half := m.OneWay(int(n)/2 + int(n)%2)
+		return d >= 0 && m.OneWay(int(n)/2)+half >= d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Faults{LossRate: 0.3, DupRate: 0.2, ReorderRate: 0.1, ReorderDelay: time.Millisecond, Seed: 42}
+	a, b := cfg.NewInjector(), cfg.NewInjector()
+	for i := 0; i < 1000; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("frame %d: decisions diverge: %+v vs %+v", i, da, db)
+		}
+	}
+}
+
+func TestInjectorZeroValuePassesEverything(t *testing.T) {
+	in := Faults{}.NewInjector()
+	for i := 0; i < 1000; i++ {
+		if d := in.Next(); d.Drop || d.Duplicate || d.ExtraDelay != 0 {
+			t.Fatalf("zero-value injector produced fault %+v", d)
+		}
+	}
+	frames, drops, dups, reorders := in.Stats()
+	if frames != 1000 || drops != 0 || dups != 0 || reorders != 0 {
+		t.Fatalf("Stats() = %d %d %d %d, want 1000 0 0 0", frames, drops, dups, reorders)
+	}
+}
+
+func TestInjectorLossRateApproximatelyHonored(t *testing.T) {
+	in := Faults{LossRate: 0.25, Seed: 7}.NewInjector()
+	drops := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if in.Next().Drop {
+			drops++
+		}
+	}
+	rate := float64(drops) / n
+	if rate < 0.22 || rate > 0.28 {
+		t.Fatalf("observed loss rate %.3f, want ~0.25", rate)
+	}
+}
+
+func TestInjectorDropPreemptsOtherFaults(t *testing.T) {
+	in := Faults{LossRate: 1.0, DupRate: 1.0, ReorderRate: 1.0, ReorderDelay: time.Second, Seed: 1}.NewInjector()
+	d := in.Next()
+	if !d.Drop || d.Duplicate || d.ExtraDelay != 0 {
+		t.Fatalf("decision = %+v, want pure drop", d)
+	}
+}
+
+func BenchmarkOneWay8KB(b *testing.B) {
+	m := UNetFastEthernet()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.OneWay(8 << 10)
+	}
+}

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"math"
+	"time"
+
+	"dodo/internal/monitor"
+)
+
+// Cluster is a set of synthetic workstations monitored together.
+type Cluster struct {
+	Name  string
+	Hosts []*Host
+}
+
+// NewClusterA builds the 29-workstation UCSB cluster of §2: a research
+// cluster heavy in large-memory machines, calibrated so mean available
+// memory lands near Figure 1's 3549 MB (all hosts) / 2747 MB (idle).
+func NewClusterA(seed int64) *Cluster {
+	return composeCluster("clusterA", ProfileClusterA, seed, map[HostClass]int{
+		Class32MB:  2,
+		Class64MB:  3,
+		Class128MB: 10,
+		Class256MB: 14,
+	})
+}
+
+// NewClusterB builds the 23-workstation GMU cluster of §2: smaller
+// machines, calibrated near Figure 1's 852 MB (all) / 742 MB (idle).
+func NewClusterB(seed int64) *Cluster {
+	return composeCluster("clusterB", ProfileClusterB, seed, map[HostClass]int{
+		Class32MB:  10,
+		Class64MB:  8,
+		Class128MB: 5,
+	})
+}
+
+func composeCluster(name string, profile ActivityProfile, seed int64, mix map[HostClass]int) *Cluster {
+	c := &Cluster{Name: name}
+	i := int64(0)
+	for _, class := range Table1Classes() {
+		for n := 0; n < mix[class]; n++ {
+			c.Hosts = append(c.Hosts, NewHost(class, profile, seed+i*7919+1))
+			i++
+		}
+	}
+	return c
+}
+
+// ClusterSample is one point of the Figure 1 series.
+type ClusterSample struct {
+	Time time.Time
+	// AvailAll is the total available memory across every host.
+	AvailAll uint64
+	// AvailIdle counts only hosts satisfying the idle predicate.
+	AvailIdle uint64
+	// IdleHosts is the number of idle hosts.
+	IdleHosts int
+}
+
+// Series advances every host in lockstep and returns the cluster-level
+// availability series — the data behind Figure 1.
+func (c *Cluster) Series(start time.Time, duration, step time.Duration) []ClusterSample {
+	var out []ClusterSample
+	for t := start; t.Before(start.Add(duration)); t = t.Add(step) {
+		var s ClusterSample
+		s.Time = t
+		for _, h := range c.Hosts {
+			hs := h.Step(t, step)
+			avail := hs.Mem.Available()
+			s.AvailAll += avail
+			if hs.Idle {
+				s.AvailIdle += avail
+				s.IdleHosts++
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// SeriesAverages reduces a series to the two Figure 1 headline numbers.
+func SeriesAverages(series []ClusterSample) (avgAllMB, avgIdleMB float64) {
+	if len(series) == 0 {
+		return 0, 0
+	}
+	var all, idle float64
+	for _, s := range series {
+		all += float64(s.AvailAll)
+		idle += float64(s.AvailIdle)
+	}
+	n := float64(len(series))
+	const MB = 1 << 20
+	return all / n / MB, idle / n / MB
+}
+
+// HostSeries traces one host alone — the data behind Figure 2.
+func HostSeries(h *Host, start time.Time, duration, step time.Duration) []Sample {
+	var out []Sample
+	for t := start; t.Before(start.Add(duration)); t = t.Add(step) {
+		out = append(out, h.Step(t, step))
+	}
+	return out
+}
+
+// ComponentStats aggregates per-class component statistics over a run —
+// the data behind Table 1.
+type ComponentStats struct {
+	Class     HostClass
+	Samples   int
+	KernelKB  MeanStd
+	FileKB    MeanStd
+	ProcessKB MeanStd
+	AvailKB   MeanStd
+}
+
+// MeanStd accumulates a running mean and standard deviation (Welford).
+type MeanStd struct {
+	n          int
+	mean, m2   float64
+	Mean, Std  float64
+	minv, maxv float64
+}
+
+// Add accumulates one observation.
+func (m *MeanStd) Add(x float64) {
+	if m.n == 0 {
+		m.minv, m.maxv = x, x
+	}
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+	m.Mean = m.mean
+	if m.n > 1 {
+		m.Std = math.Sqrt(m.m2 / float64(m.n-1))
+	}
+	if x < m.minv {
+		m.minv = x
+	}
+	if x > m.maxv {
+		m.maxv = x
+	}
+}
+
+// Min and Max expose the observed extremes.
+func (m *MeanStd) Min() float64 { return m.minv }
+
+// Max returns the maximum observation.
+func (m *MeanStd) Max() float64 { return m.maxv }
+
+// Table1Study runs hostsPerClass hosts of every class for the given
+// duration and aggregates the Table 1 statistics.
+func Table1Study(hostsPerClass int, duration time.Duration, seed int64) []ComponentStats {
+	start := time.Date(1998, 9, 7, 0, 0, 0, 0, time.UTC)
+	step := time.Minute
+	var out []ComponentStats
+	for ci, class := range Table1Classes() {
+		stats := ComponentStats{Class: class}
+		for i := 0; i < hostsPerClass; i++ {
+			h := NewHost(class, ProfileClusterA, seed+int64(ci*1000+i))
+			for t := start; t.Before(start.Add(duration)); t = t.Add(step) {
+				s := h.Step(t, step)
+				stats.Samples++
+				stats.KernelKB.Add(float64(s.Mem.Kernel) / KB)
+				stats.FileKB.Add(float64(s.Mem.FileCache) / KB)
+				stats.ProcessKB.Add(float64(s.Mem.Process) / KB)
+				stats.AvailKB.Add(float64(s.Mem.Available()) / KB)
+			}
+		}
+		out = append(out, stats)
+	}
+	return out
+}
+
+// MonitorSource adapts a synthetic Host to the monitor.Source interface,
+// so the rmd state machine (and the live cluster harness) can be driven
+// by the same calibrated traces as the §2 study. Busy sessions present
+// console activity and load ~1.0; idle periods show background load.
+type MonitorSource struct {
+	host *Host
+	last time.Time
+}
+
+// NewMonitorSource wraps a host.
+func NewMonitorSource(h *Host) *MonitorSource { return &MonitorSource{host: h} }
+
+// Sample advances the trace to now and reports the activity observation.
+func (s *MonitorSource) Sample(now time.Time) monitor.Sample {
+	dt := time.Minute
+	if !s.last.IsZero() {
+		if d := now.Sub(s.last); d > 0 {
+			dt = d
+		}
+	}
+	s.last = now
+	hs := s.host.Step(now, dt)
+	load := 0.05
+	if hs.Active {
+		load = 1.0
+	}
+	return monitor.Sample{Time: now, ConsoleActive: hs.Active, Load: load}
+}
+
+// Mem returns the host's latest memory sample for harvest sizing.
+func (s *MonitorSource) Mem(now time.Time) monitor.MemSample {
+	// Peek without advancing activity state: step with zero duration.
+	return s.host.Step(now, 0).Mem
+}

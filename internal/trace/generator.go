@@ -1,0 +1,269 @@
+// Package trace synthesizes workstation memory-usage and user-activity
+// traces calibrated to the measurement study that motivated Dodo (§2;
+// Acharya & Setia [2]). The paper monitored two production Solaris
+// clusters for weeks; those raw traces are long gone, so this package
+// generates statistically equivalent ones:
+//
+//   - per-host-class means and standard deviations of kernel, file-cache
+//     and process memory match Table 1;
+//   - cluster-level aggregate availability matches Figure 1 (clusterA:
+//     29 workstations, ~3549 MB available across all hosts / ~2747 MB on
+//     idle hosts; clusterB: 23 workstations, ~852 / ~742 MB);
+//   - individual hosts show the Figure 2 shape: availability is high
+//     most of the time, with recurring deep dips during bursts of user
+//     activity.
+//
+// Memory components evolve as clamped AR(1) (mean-reverting) processes;
+// user activity follows an alternating busy/idle renewal process with a
+// weekday-working-hours diurnal bias.
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"dodo/internal/monitor"
+)
+
+// KB is 1024 bytes.
+const KB = 1024
+
+// HostClass describes one row of Table 1 (all figures in KB).
+type HostClass struct {
+	Name    string
+	TotalKB uint64
+
+	KernelMeanKB, KernelStdKB       float64
+	FileCacheMeanKB, FileCacheStdKB float64
+	ProcessMeanKB, ProcessStdKB     float64
+}
+
+// AvailMeanKB returns the implied mean available memory (Table 1's last
+// column equals total minus the three component means).
+func (c HostClass) AvailMeanKB() float64 {
+	return float64(c.TotalKB) - c.KernelMeanKB - c.FileCacheMeanKB - c.ProcessMeanKB
+}
+
+// The four host classes of Table 1.
+var (
+	Class32MB = HostClass{
+		Name: "32MB", TotalKB: 32 * 1024,
+		KernelMeanKB: 10310, KernelStdKB: 1133,
+		FileCacheMeanKB: 2402, FileCacheStdKB: 2257,
+		ProcessMeanKB: 3746, ProcessStdKB: 2686,
+	}
+	Class64MB = HostClass{
+		Name: "64MB", TotalKB: 64 * 1024,
+		KernelMeanKB: 16347, KernelStdKB: 2081,
+		FileCacheMeanKB: 4093, FileCacheStdKB: 3776,
+		ProcessMeanKB: 10017, ProcessStdKB: 6982,
+	}
+	Class128MB = HostClass{
+		Name: "128MB", TotalKB: 128 * 1024,
+		KernelMeanKB: 25512, KernelStdKB: 3257,
+		FileCacheMeanKB: 8216, FileCacheStdKB: 10271,
+		ProcessMeanKB: 12583, ProcessStdKB: 12621,
+	}
+	Class256MB = HostClass{
+		Name: "256MB", TotalKB: 256 * 1024,
+		KernelMeanKB: 50109, KernelStdKB: 8625,
+		FileCacheMeanKB: 7384, FileCacheStdKB: 7821,
+		ProcessMeanKB: 17606, ProcessStdKB: 23335,
+	}
+)
+
+// Table1Classes returns the four classes in ascending size order.
+func Table1Classes() []HostClass {
+	return []HostClass{Class32MB, Class64MB, Class128MB, Class256MB}
+}
+
+// ActivityProfile tunes the busy/idle renewal process.
+type ActivityProfile struct {
+	// MeanBusy and MeanIdle are session-length means (exponential).
+	MeanBusy time.Duration
+	MeanIdle time.Duration
+	// WorkBias multiplies the busy-session start rate during weekday
+	// working hours (9-18).
+	WorkBias float64
+}
+
+// Profiles calibrated so clusterA hosts are idle ~78% of the time and
+// clusterB hosts ~87% (Figure 1's all-hosts vs idle-hosts gap).
+var (
+	ProfileClusterA = ActivityProfile{MeanBusy: 35 * time.Minute, MeanIdle: 2 * time.Hour, WorkBias: 3.0}
+	ProfileClusterB = ActivityProfile{MeanBusy: 20 * time.Minute, MeanIdle: 3 * time.Hour, WorkBias: 3.0}
+)
+
+// Host is one synthetic workstation.
+type Host struct {
+	Class   HostClass
+	profile ActivityProfile
+	rng     *rand.Rand
+
+	// procMean is the AR(1) target for process memory with the
+	// expected busy-session surge deducted, so the *overall* process
+	// mean (including surges) matches Table 1.
+	procMean float64
+
+	// AR(1) state (KB).
+	kernel, filecache, process float64
+	// activity state
+	busy      bool
+	stateLeft time.Duration
+	// extra process memory during busy sessions (the Figure 2 dips)
+	busySurge float64
+	// idleFor tracks contiguous inactivity for the idle predicate.
+	idleFor time.Duration
+}
+
+// ar1Phi controls mean reversion per minute of simulated time.
+const ar1Phi = 0.98
+
+// expectedSurgeFrac is the long-run mean busy-session surge as a
+// fraction of total memory: 15% of sessions grab 40-80% of memory (the
+// deep dips of Figure 2), the rest grab 5-20%.
+const expectedSurgeFrac = 0.15*0.6 + 0.85*0.125
+
+// BusyFraction returns the long-run fraction of time a host with this
+// profile spends busy, accounting for the weekday working-hours bias
+// (45 of 168 weekly hours).
+func (p ActivityProfile) BusyFraction() float64 {
+	non := float64(p.MeanBusy) / float64(p.MeanBusy+p.MeanIdle)
+	biasedIdle := float64(p.MeanIdle)
+	if p.WorkBias > 0 {
+		biasedIdle /= p.WorkBias
+	}
+	work := float64(p.MeanBusy) / (float64(p.MeanBusy) + biasedIdle)
+	const workShare = 45.0 / 168.0
+	return (1-workShare)*non + workShare*work
+}
+
+// NewHost creates a host of the given class, deterministically seeded.
+func NewHost(class HostClass, profile ActivityProfile, seed int64) *Host {
+	rng := rand.New(rand.NewSource(seed))
+	surgeMean := profile.BusyFraction() * expectedSurgeFrac * float64(class.TotalKB)
+	procMean := class.ProcessMeanKB - surgeMean
+	if procMean < 0.1*class.ProcessMeanKB {
+		procMean = 0.1 * class.ProcessMeanKB
+	}
+	h := &Host{
+		Class:     class,
+		profile:   profile,
+		rng:       rng,
+		procMean:  procMean,
+		kernel:    class.KernelMeanKB,
+		filecache: class.FileCacheMeanKB,
+		process:   procMean,
+		// Start idle a while ago so studies begin in steady state.
+		busy:      false,
+		stateLeft: time.Duration(rng.ExpFloat64() * float64(profile.MeanIdle)),
+		idleFor:   time.Hour,
+	}
+	return h
+}
+
+// Sample is one trace observation.
+type Sample struct {
+	Time time.Time
+	Mem  monitor.MemSample
+	// Active reports console/CPU activity in the step.
+	Active bool
+	// Idle reports the paper's idle predicate: no activity and low
+	// load for at least five minutes.
+	Idle bool
+}
+
+// step one AR(1) component.
+func (h *Host) ar1(x, mean, std float64) float64 {
+	noise := h.rng.NormFloat64() * std * math.Sqrt(1-ar1Phi*ar1Phi)
+	return mean + ar1Phi*(x-mean) + noise
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// workingHours reports the weekday 9-18 window.
+func workingHours(t time.Time) bool {
+	wd := t.Weekday()
+	if wd == time.Saturday || wd == time.Sunday {
+		return false
+	}
+	return t.Hour() >= 9 && t.Hour() < 18
+}
+
+// Step advances the host by dt and returns the sample at the new time.
+func (h *Host) Step(now time.Time, dt time.Duration) Sample {
+	// Activity renewal process.
+	h.stateLeft -= dt
+	if h.stateLeft <= 0 {
+		if h.busy {
+			h.busy = false
+			h.stateLeft = time.Duration(h.rng.ExpFloat64() * float64(h.profile.MeanIdle))
+			if workingHours(now) && h.profile.WorkBias > 0 {
+				h.stateLeft = time.Duration(float64(h.stateLeft) / h.profile.WorkBias)
+			}
+			h.busySurge = 0
+		} else {
+			h.busy = true
+			h.stateLeft = time.Duration(h.rng.ExpFloat64() * float64(h.profile.MeanBusy))
+			// A busy session grabs a chunk of memory: most sessions
+			// take 5-20% of total, a 15% minority take 40-80% — the
+			// deep dips of Figure 2.
+			frac := 0.05 + 0.15*h.rng.Float64()
+			if h.rng.Float64() < 0.15 {
+				frac = 0.4 + 0.4*h.rng.Float64()
+			}
+			h.busySurge = frac * float64(h.Class.TotalKB)
+		}
+	}
+	if h.busy {
+		h.idleFor = 0
+	} else {
+		h.idleFor += dt
+	}
+
+	// Memory components.
+	minutes := dt.Minutes()
+	for i := 0; i < int(minutes+0.5); i++ {
+		h.kernel = h.ar1(h.kernel, h.Class.KernelMeanKB, h.Class.KernelStdKB)
+		h.filecache = h.ar1(h.filecache, h.Class.FileCacheMeanKB, h.Class.FileCacheStdKB)
+		h.process = h.ar1(h.process, h.procMean, h.Class.ProcessStdKB*0.5)
+	}
+	total := float64(h.Class.TotalKB)
+	kernel := clamp(h.kernel, 0.5*h.Class.KernelMeanKB, total)
+	fc := clamp(h.filecache, 0, total)
+	proc := clamp(h.process+h.busySurge, 0, total)
+	// Components cannot exceed physical memory; squeeze the file cache
+	// first (the OS does the same), then process memory.
+	if kernel+fc+proc > total {
+		over := kernel + fc + proc - total
+		squeeze := math.Min(over, fc)
+		fc -= squeeze
+		over -= squeeze
+		if over > 0 {
+			proc = math.Max(0, proc-over)
+		}
+	}
+
+	mem := monitor.MemSample{
+		Total:     h.Class.TotalKB * KB,
+		Kernel:    uint64(kernel) * KB,
+		FileCache: uint64(fc) * KB,
+		Process:   uint64(proc) * KB,
+		LotsFree:  h.Class.TotalKB * KB / 64, // kernel keeps ~1.5% free
+	}
+	return Sample{
+		Time:   now,
+		Mem:    mem,
+		Active: h.busy,
+		Idle:   !h.busy && h.idleFor >= 5*time.Minute,
+	}
+}

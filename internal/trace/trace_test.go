@@ -1,0 +1,296 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+var start = time.Date(1998, 9, 7, 0, 0, 0, 0, time.UTC) // a Monday
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func TestAvailMeanMatchesTable1Arithmetic(t *testing.T) {
+	// Table 1's available column must equal total minus components.
+	wants := map[string]float64{"32MB": 16310, "64MB": 35079, "128MB": 84761, "256MB": 187045}
+	for _, c := range Table1Classes() {
+		got := c.AvailMeanKB()
+		if relErr(got, wants[c.Name]) > 0.01 {
+			t.Errorf("%s implied avail = %.0f KB, want ~%.0f", c.Name, got, wants[c.Name])
+		}
+	}
+}
+
+// Table 1 reproduction: a week of synthetic traces must reproduce the
+// per-class component means within 15%.
+func TestTable1MeansReproduced(t *testing.T) {
+	stats := Table1Study(6, 7*24*time.Hour, 42)
+	if len(stats) != 4 {
+		t.Fatalf("classes = %d", len(stats))
+	}
+	for _, st := range stats {
+		c := st.Class
+		if relErr(st.KernelKB.Mean, c.KernelMeanKB) > 0.15 {
+			t.Errorf("%s kernel mean = %.0f, want ~%.0f", c.Name, st.KernelKB.Mean, c.KernelMeanKB)
+		}
+		if relErr(st.FileKB.Mean, c.FileCacheMeanKB) > 0.25 {
+			t.Errorf("%s file-cache mean = %.0f, want ~%.0f", c.Name, st.FileKB.Mean, c.FileCacheMeanKB)
+		}
+		if relErr(st.ProcessKB.Mean, c.ProcessMeanKB) > 0.25 {
+			t.Errorf("%s process mean = %.0f, want ~%.0f", c.Name, st.ProcessKB.Mean, c.ProcessMeanKB)
+		}
+		if relErr(st.AvailKB.Mean, c.AvailMeanKB()) > 0.12 {
+			t.Errorf("%s avail mean = %.0f, want ~%.0f", c.Name, st.AvailKB.Mean, c.AvailMeanKB())
+		}
+	}
+}
+
+// The paper's growth observation: the absolute amount of not-in-use
+// memory grows with machine size (12-14 MB at 32 MB up to 180-192 MB at
+// 256 MB).
+func TestAvailabilityGrowsWithMachineSize(t *testing.T) {
+	stats := Table1Study(4, 3*24*time.Hour, 7)
+	for i := 1; i < len(stats); i++ {
+		if stats[i].AvailKB.Mean <= stats[i-1].AvailKB.Mean {
+			t.Errorf("avail mean did not grow from %s (%.0f) to %s (%.0f)",
+				stats[i-1].Class.Name, stats[i-1].AvailKB.Mean,
+				stats[i].Class.Name, stats[i].AvailKB.Mean)
+		}
+	}
+}
+
+// Figure 1 reproduction: cluster-level averages within 15% of the
+// paper's numbers, and idle-host availability strictly below all-hosts.
+func TestFigure1ClusterAverages(t *testing.T) {
+	cases := []struct {
+		name           string
+		cluster        *Cluster
+		wantAll, wIdle float64
+	}{
+		{"clusterA", NewClusterA(1), 3549, 2747},
+		{"clusterB", NewClusterB(2), 852, 742},
+	}
+	for _, c := range cases {
+		series := c.cluster.Series(start, 7*24*time.Hour, time.Minute)
+		all, idle := SeriesAverages(series)
+		if relErr(all, c.wantAll) > 0.15 {
+			t.Errorf("%s all-hosts avail = %.0f MB, want ~%.0f", c.name, all, c.wantAll)
+		}
+		if relErr(idle, c.wIdle) > 0.20 {
+			t.Errorf("%s idle-hosts avail = %.0f MB, want ~%.0f", c.name, idle, c.wIdle)
+		}
+		if idle >= all {
+			t.Errorf("%s idle avail %.0f >= all avail %.0f", c.name, idle, all)
+		}
+	}
+}
+
+// §2's headline: 60-68% of installed memory available across all hosts,
+// about 53% when only idle hosts count.
+func TestFigure1FractionOfInstalledMemory(t *testing.T) {
+	cluster := NewClusterA(3)
+	var installedMB float64
+	for _, h := range cluster.Hosts {
+		installedMB += float64(h.Class.TotalKB) / 1024
+	}
+	series := cluster.Series(start, 7*24*time.Hour, time.Minute)
+	all, idle := SeriesAverages(series)
+	fracAll := all / installedMB
+	fracIdle := idle / installedMB
+	if fracAll < 0.55 || fracAll > 0.75 {
+		t.Errorf("all-hosts available fraction = %.2f, want 0.60-0.68", fracAll)
+	}
+	if fracIdle < 0.42 || fracIdle > 0.65 {
+		t.Errorf("idle-hosts available fraction = %.2f, want ~0.53", fracIdle)
+	}
+}
+
+// Figure 2 reproduction: individual hosts show deep dips but high
+// typical availability.
+func TestFigure2DipsAndTypicalAvailability(t *testing.T) {
+	for _, class := range Table1Classes() {
+		h := NewHost(class, ProfileClusterA, 99)
+		series := HostSeries(h, start, 7*24*time.Hour, time.Minute)
+		var stats MeanStd
+		for _, s := range series {
+			stats.Add(float64(s.Mem.Available()) / (1 << 20)) // MB
+		}
+		totalMB := float64(class.TotalKB) / 1024
+		// Deep dips occur: minimum well below half the mean.
+		if stats.Min() > 0.5*stats.Mean {
+			t.Errorf("%s: min avail %.1f MB never dipped below half the mean %.1f MB",
+				class.Name, stats.Min(), stats.Mean)
+		}
+		// But most of the time a large fraction is available.
+		if stats.Mean < 0.35*totalMB {
+			t.Errorf("%s: mean avail %.1f MB is under 35%% of %-6.0f MB total",
+				class.Name, stats.Mean, totalMB)
+		}
+	}
+}
+
+func TestBusyFractionCalibration(t *testing.T) {
+	// The profiles must produce the idle-host fractions behind
+	// Figure 1's gap: clusterA busier than clusterB.
+	a := ProfileClusterA.BusyFraction()
+	b := ProfileClusterB.BusyFraction()
+	if a <= b {
+		t.Errorf("clusterA busy fraction %.3f <= clusterB %.3f", a, b)
+	}
+	if a < 0.15 || a > 0.40 {
+		t.Errorf("clusterA busy fraction = %.3f, want 0.15-0.40", a)
+	}
+	if b < 0.05 || b > 0.25 {
+		t.Errorf("clusterB busy fraction = %.3f, want 0.05-0.25", b)
+	}
+}
+
+func TestIdlePredicateNeedsFiveQuietMinutes(t *testing.T) {
+	h := NewHost(Class128MB, ActivityProfile{MeanBusy: time.Hour, MeanIdle: 100 * time.Hour}, 5)
+	// Force a busy session.
+	h.busy = true
+	h.stateLeft = 2 * time.Minute
+	h.idleFor = 0
+	now := start
+	// Two busy minutes.
+	for i := 0; i < 2; i++ {
+		s := h.Step(now, time.Minute)
+		if s.Idle {
+			t.Fatal("busy host classified idle")
+		}
+		now = now.Add(time.Minute)
+	}
+	// Then quiet: must take 5 more minutes to become idle.
+	idleAt := -1
+	for i := 0; i < 10; i++ {
+		s := h.Step(now, time.Minute)
+		if s.Idle {
+			idleAt = i
+			break
+		}
+		now = now.Add(time.Minute)
+	}
+	// The busy session ends partway through the loop (the renewal timer
+	// decrements before the state check), so allow one minute of slack
+	// around the five-minute predicate.
+	if idleAt < 3 {
+		t.Fatalf("host became idle after %d quiet minutes, want ~5", idleAt+1)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewHost(Class64MB, ProfileClusterA, 7)
+	b := NewHost(Class64MB, ProfileClusterA, 7)
+	now := start
+	for i := 0; i < 100; i++ {
+		sa := a.Step(now, time.Minute)
+		sb := b.Step(now, time.Minute)
+		if sa.Mem != sb.Mem || sa.Active != sb.Active {
+			t.Fatalf("step %d diverged with identical seeds", i)
+		}
+		now = now.Add(time.Minute)
+	}
+}
+
+func TestMemSamplesArePhysical(t *testing.T) {
+	h := NewHost(Class32MB, ProfileClusterA, 11)
+	now := start
+	for i := 0; i < 5000; i++ {
+		s := h.Step(now, time.Minute)
+		m := s.Mem
+		if m.Kernel+m.FileCache+m.Process > m.Total {
+			t.Fatalf("step %d: components exceed total: %+v", i, m)
+		}
+		if m.Available() > m.Total {
+			t.Fatalf("step %d: available exceeds total", i)
+		}
+		now = now.Add(time.Minute)
+	}
+}
+
+func TestClusterCompositions(t *testing.T) {
+	a := NewClusterA(1)
+	if len(a.Hosts) != 29 {
+		t.Errorf("clusterA hosts = %d, want 29", len(a.Hosts))
+	}
+	b := NewClusterB(1)
+	if len(b.Hosts) != 23 {
+		t.Errorf("clusterB hosts = %d, want 23", len(b.Hosts))
+	}
+}
+
+func TestMeanStdWelford(t *testing.T) {
+	var m MeanStd
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if math.Abs(m.Mean-5) > 1e-9 {
+		t.Errorf("mean = %v, want 5", m.Mean)
+	}
+	if math.Abs(m.Std-2.138) > 0.01 { // sample std
+		t.Errorf("std = %v, want ~2.138", m.Std)
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Errorf("min/max = %v/%v", m.Min(), m.Max())
+	}
+}
+
+func BenchmarkClusterWeekSeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := NewClusterA(int64(i))
+		c.Series(start, 7*24*time.Hour, time.Minute)
+	}
+}
+
+// The diurnal bias: hosts are busier during weekday working hours, so
+// cluster-wide idle-host availability is lower 9-18 on weekdays than
+// overnight.
+func TestDiurnalPatternInClusterSeries(t *testing.T) {
+	cluster := NewClusterA(21)
+	series := cluster.Series(start, 7*24*time.Hour, time.Minute)
+	var workSum, nightSum float64
+	var workN, nightN int
+	for _, s := range series {
+		h, wd := s.Time.Hour(), s.Time.Weekday()
+		weekday := wd != time.Saturday && wd != time.Sunday
+		switch {
+		case weekday && h >= 10 && h < 17:
+			workSum += float64(s.AvailIdle)
+			workN++
+		case h >= 1 && h < 6:
+			nightSum += float64(s.AvailIdle)
+			nightN++
+		}
+	}
+	if workN == 0 || nightN == 0 {
+		t.Fatal("empty buckets")
+	}
+	work := workSum / float64(workN)
+	night := nightSum / float64(nightN)
+	if work >= night {
+		t.Fatalf("idle-host availability during working hours (%.0f) >= overnight (%.0f); diurnal bias missing",
+			work/(1<<20), night/(1<<20))
+	}
+}
+
+// Idle-host count is bounded by the cluster size and strictly positive
+// on average.
+func TestIdleHostCountsSane(t *testing.T) {
+	cluster := NewClusterB(13)
+	series := cluster.Series(start, 48*time.Hour, time.Minute)
+	total := 0
+	for _, s := range series {
+		if s.IdleHosts < 0 || s.IdleHosts > len(cluster.Hosts) {
+			t.Fatalf("idle hosts = %d of %d", s.IdleHosts, len(cluster.Hosts))
+		}
+		total += s.IdleHosts
+	}
+	if avg := float64(total) / float64(len(series)); avg < float64(len(cluster.Hosts))/2 {
+		t.Fatalf("average idle hosts = %.1f, implausibly low for clusterB", avg)
+	}
+}

@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dodo/internal/simnet"
+)
+
+// Network is an in-memory datagram network for tests and single-process
+// cluster harnesses. Endpoints are named, delivery preserves per-sender
+// order unless reordering is injected, and a simnet.Injector can drop,
+// duplicate or reorder frames deterministically.
+//
+// Delivery is synchronous: Send appends to the destination queue before
+// returning, so tests need no sleeps.
+type Network struct {
+	mu          sync.Mutex
+	hosts       map[string]*MemEndpoint
+	injector    *simnet.Injector
+	partitioned map[string]bool
+	mtu         int
+}
+
+// NetworkOption configures a Network.
+type NetworkOption func(*Network)
+
+// WithFaults installs deterministic fault injection on every frame.
+func WithFaults(f simnet.Faults) NetworkOption {
+	return func(n *Network) { n.injector = f.NewInjector() }
+}
+
+// WithMTU sets the network MTU (default UDPMTU).
+func WithMTU(mtu int) NetworkOption {
+	return func(n *Network) { n.mtu = mtu }
+}
+
+// NewNetwork creates an empty in-memory network.
+func NewNetwork(opts ...NetworkOption) *Network {
+	n := &Network{
+		hosts:       make(map[string]*MemEndpoint),
+		partitioned: make(map[string]bool),
+		mtu:         UDPMTU,
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Host creates (or returns) the endpoint with the given address.
+func (n *Network) Host(addr string) *MemEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.hosts[addr]; ok && !ep.closed.Load() {
+		return ep
+	}
+	ep := &MemEndpoint{net: n, addr: addr}
+	ep.cond = sync.NewCond(&ep.mu)
+	n.hosts[addr] = ep
+	return ep
+}
+
+// Partition isolates addr: frames to or from it vanish until Heal.
+// It models the crashed/reclaimed hosts of §3.1.
+func (n *Network) Partition(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned[addr] = true
+}
+
+// Heal reconnects a partitioned address.
+func (n *Network) Heal(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitioned, addr)
+}
+
+func (n *Network) deliver(from, to string, data []byte) error {
+	n.mu.Lock()
+	if n.partitioned[from] || n.partitioned[to] {
+		n.mu.Unlock()
+		return nil // silently dropped, like a dead wire
+	}
+	dst, ok := n.hosts[to]
+	if !ok || dst.closed.Load() {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoRoute, to)
+	}
+	var decision simnet.Decision
+	if n.injector != nil {
+		decision = n.injector.Next()
+	}
+	n.mu.Unlock()
+
+	if decision.Drop {
+		return nil
+	}
+	copies := 1
+	if decision.Duplicate {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		frame := append([]byte(nil), data...)
+		if decision.ExtraDelay > 0 {
+			// Reordering: defer this frame so later sends overtake it.
+			time.AfterFunc(decision.ExtraDelay, func() { dst.enqueue(from, frame) })
+			continue
+		}
+		dst.enqueue(from, frame)
+	}
+	return nil
+}
+
+// MemEndpoint is one endpoint on a Network.
+type MemEndpoint struct {
+	net  *Network
+	addr string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []memFrame
+	closed atomic.Bool
+}
+
+type memFrame struct {
+	from string
+	data []byte
+}
+
+var _ Transport = (*MemEndpoint)(nil)
+
+// LocalAddr returns the endpoint name.
+func (e *MemEndpoint) LocalAddr() string { return e.addr }
+
+// MTU returns the network MTU.
+func (e *MemEndpoint) MTU() int { return e.net.mtu }
+
+// Send delivers one datagram through the network fabric.
+func (e *MemEndpoint) Send(to string, data []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if len(data) > e.net.mtu {
+		return ErrTooLarge
+	}
+	return e.net.deliver(e.addr, to, data)
+}
+
+func (e *MemEndpoint) enqueue(from string, data []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed.Load() {
+		return
+	}
+	e.queue = append(e.queue, memFrame{from: from, data: data})
+	e.cond.Signal()
+}
+
+// Recv blocks until a frame arrives, the timeout passes, or Close.
+func (e *MemEndpoint) Recv(timeout time.Duration) ([]byte, string, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.queue) == 0 {
+		if e.closed.Load() {
+			return nil, "", ErrClosed
+		}
+		if timeout > 0 {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return nil, "", ErrTimeout
+			}
+			// sync.Cond has no timed wait; poll with a short wake-up.
+			// Test networks are low-traffic, so this is fine.
+			e.mu.Unlock()
+			wakeup := remaining
+			if wakeup > time.Millisecond {
+				wakeup = time.Millisecond
+			}
+			time.Sleep(wakeup)
+			e.mu.Lock()
+			continue
+		}
+		e.cond.Wait()
+	}
+	f := e.queue[0]
+	e.queue = e.queue[1:]
+	return f.data, f.from, nil
+}
+
+// Close removes the endpoint from the network.
+func (e *MemEndpoint) Close() error {
+	e.mu.Lock()
+	e.closed.Store(true)
+	e.queue = nil
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,50 @@
+// Package transport abstracts the datagram substrate Dodo runs over. The
+// paper's implementation can use either kernel UDP/IP or U-Net through the
+// usocket library (§4); this package defines the common interface plus a
+// real UDP implementation and an in-memory network with deterministic
+// fault injection for tests.
+//
+// The interface is deliberately UDP-shaped — unreliable, unordered,
+// message-oriented with a per-transport MTU — because the bulk transfer
+// protocol (package bulk) supplies reliability above it exactly as §4.4
+// describes.
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// Errors shared by all implementations.
+var (
+	// ErrTimeout reports that no datagram arrived within the deadline.
+	ErrTimeout = errors.New("transport: receive timed out")
+	// ErrClosed reports use of a closed transport.
+	ErrClosed = errors.New("transport: closed")
+	// ErrTooLarge reports a send exceeding the transport MTU.
+	ErrTooLarge = errors.New("transport: datagram exceeds MTU")
+	// ErrNoRoute reports a send to an unknown address.
+	ErrNoRoute = errors.New("transport: no route to host")
+)
+
+// Transport is one endpoint of a datagram network. Implementations must
+// allow Send and Recv to be called concurrently with each other and with
+// Close; Recv itself is called from a single receive loop.
+type Transport interface {
+	// LocalAddr returns this endpoint's address in the network's
+	// addressing scheme ("ip:port" for UDP, node names for the
+	// in-memory network, MAC strings for usocket).
+	LocalAddr() string
+	// MTU returns the largest datagram this transport can carry.
+	// Kernel UDP fragments up to ~64 KB; U-Net carries single Ethernet
+	// frames (§4.4: "≈1500 bytes for U-Net and 64 KB for UDP").
+	MTU() int
+	// Send transmits one datagram. Delivery is not guaranteed.
+	Send(to string, data []byte) error
+	// Recv blocks until a datagram arrives or timeout elapses
+	// (timeout <= 0 means wait forever). The returned slice is owned
+	// by the caller.
+	Recv(timeout time.Duration) (data []byte, from string, err error)
+	// Close releases the endpoint; blocked Recv calls return ErrClosed.
+	Close() error
+}

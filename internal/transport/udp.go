@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// UDPMTU is the largest datagram the UDP transport accepts: the 64 KB
+// IPv4 datagram limit minus generous header room, matching the paper's
+// "64 KB for UDP" packetization bound.
+const UDPMTU = 63 << 10
+
+// UDP is a Transport over a kernel UDP socket.
+type UDP struct {
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	routes map[string]*net.UDPAddr
+	closed bool
+}
+
+var _ Transport = (*UDP)(nil)
+
+// ListenUDP opens a UDP transport bound to addr (e.g. "127.0.0.1:0").
+func ListenUDP(addr string) (*UDP, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolving %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listening on %q: %w", addr, err)
+	}
+	return &UDP{conn: conn, routes: make(map[string]*net.UDPAddr)}, nil
+}
+
+// LocalAddr returns the bound "ip:port".
+func (u *UDP) LocalAddr() string { return u.conn.LocalAddr().String() }
+
+// MTU returns the UDP datagram bound.
+func (u *UDP) MTU() int { return UDPMTU }
+
+// Send transmits one datagram to the "ip:port" address to.
+func (u *UDP) Send(to string, data []byte) error {
+	if len(data) > UDPMTU {
+		return ErrTooLarge
+	}
+	raddr, err := u.route(to)
+	if err != nil {
+		return err
+	}
+	if _, err := u.conn.WriteToUDP(data, raddr); err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return ErrClosed
+		}
+		return fmt.Errorf("transport: udp send to %s: %w", to, err)
+	}
+	return nil
+}
+
+func (u *UDP) route(to string) (*net.UDPAddr, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.closed {
+		return nil, ErrClosed
+	}
+	if a, ok := u.routes[to]; ok {
+		return a, nil
+	}
+	a, err := net.ResolveUDPAddr("udp", to)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w: %q: %v", ErrNoRoute, to, err)
+	}
+	u.routes[to] = a
+	return a, nil
+}
+
+// Recv blocks for one datagram.
+func (u *UDP) Recv(timeout time.Duration) ([]byte, string, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if err := u.conn.SetReadDeadline(deadline); err != nil {
+		// Setting a deadline on a closed socket must surface as
+		// ErrClosed, or receive loops spin forever.
+		if errors.Is(err, net.ErrClosed) {
+			return nil, "", ErrClosed
+		}
+		return nil, "", fmt.Errorf("transport: udp deadline: %w", err)
+	}
+	buf := make([]byte, UDPMTU+1)
+	n, raddr, err := u.conn.ReadFromUDP(buf)
+	if err != nil {
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			return nil, "", ErrTimeout
+		}
+		if errors.Is(err, net.ErrClosed) {
+			return nil, "", ErrClosed
+		}
+		return nil, "", fmt.Errorf("transport: udp recv: %w", err)
+	}
+	return buf[:n:n], raddr.String(), nil
+}
+
+// Close shuts the socket down.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	u.closed = true
+	u.mu.Unlock()
+	return u.conn.Close()
+}

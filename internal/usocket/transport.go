@@ -1,0 +1,69 @@
+package usocket
+
+import (
+	"errors"
+	"time"
+
+	"dodo/internal/transport"
+)
+
+// UNet adapts a usocket Socket to the transport.Transport interface so
+// every Dodo daemon can run unchanged over the U-Net substrate, just as
+// the paper's implementation selects UDP or U-Net at startup (§4).
+// Addresses on this transport are MAC strings ("aa:bb:cc:dd:ee:ff").
+type UNet struct {
+	sock *Socket
+}
+
+var _ transport.Transport = (*UNet)(nil)
+
+// NewTransport wraps a bound socket.
+func NewTransport(sock *Socket) (*UNet, error) {
+	if _, bound := sock.LocalAddr(); !bound {
+		return nil, ErrNotBound
+	}
+	return &UNet{sock: sock}, nil
+}
+
+// LocalAddr returns the socket's MAC string.
+func (u *UNet) LocalAddr() string {
+	addr, _ := u.sock.LocalAddr()
+	return addr.String()
+}
+
+// MTU returns the single-frame U-Net payload limit.
+func (u *UNet) MTU() int { return MTU }
+
+// Send transmits one frame to the MAC string address.
+func (u *UNet) Send(to string, data []byte) error {
+	mac, err := Aton(to)
+	if err != nil {
+		return transport.ErrNoRoute
+	}
+	_, err = u.sock.SendTo(mac, data)
+	switch {
+	case errors.Is(err, ErrTooLarge):
+		return transport.ErrTooLarge
+	case errors.Is(err, ErrClosed):
+		return transport.ErrClosed
+	}
+	return err
+}
+
+// Recv blocks for one frame.
+func (u *UNet) Recv(timeout time.Duration) ([]byte, string, error) {
+	buf := make([]byte, MTU)
+	n, from, err := u.sock.Recv(buf, timeout)
+	switch {
+	case errors.Is(err, ErrTimeout):
+		return nil, "", transport.ErrTimeout
+	case errors.Is(err, ErrClosed):
+		return nil, "", transport.ErrClosed
+	case err != nil:
+		return nil, "", err
+	}
+	return buf[:n:n], from.String(), nil
+}
+
+// Close releases the underlying socket.
+func (u *UNet) Close() error { return u.sock.Close() }

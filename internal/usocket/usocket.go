@@ -1,0 +1,349 @@
+// Package usocket reimplements the paper's libusocket (§4.6): a library
+// with a UDP-socket-like interface layered on top of U-Net, the
+// user-level network architecture of von Eicken et al.
+//
+// The original ran against a real DEC-Tulip NIC with a modified driver.
+// Here the "NIC" is an emulated Ethernet segment (Segment): endpoints are
+// addressed by MAC address, frames carry at most one MTU of payload, the
+// receive queue is a fixed ring that drops on overflow, and there is no
+// reliability — exactly the properties the Dodo bulk-transfer protocol
+// (§4.4) was designed around. The API mirrors Figure 6 of the paper:
+//
+//	u_socket     -> Segment.Socket
+//	u_close      -> Socket.Close
+//	u_aton       -> Aton
+//	u_ntoa       -> MACAddr.String
+//	u_bind       -> Socket.Bind
+//	u_connect    -> Socket.Connect
+//	u_send       -> Socket.Send
+//	u_send_iovec -> Socket.SendIovec
+//	u_recv       -> Socket.Recv
+//	u_recv_iovec -> Socket.RecvIovec
+package usocket
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// MTU is the largest payload of a single U-Net frame: one Ethernet frame
+// (1500 bytes) minus the U-Net header ("≈1500 bytes for U-Net", §4.4).
+const MTU = 1468
+
+// Errors returned by the library.
+var (
+	ErrClosed     = errors.New("usocket: socket closed")
+	ErrTimeout    = errors.New("usocket: receive timed out")
+	ErrTooLarge   = errors.New("usocket: frame exceeds MTU")
+	ErrNotBound   = errors.New("usocket: socket not bound")
+	ErrNotConn    = errors.New("usocket: socket not connected")
+	ErrAddrInUse  = errors.New("usocket: address already bound")
+	ErrBadAddress = errors.New("usocket: malformed MAC address")
+)
+
+// MACAddr is a 6-byte Ethernet MAC address (the paper's macaddr_t).
+type MACAddr [6]byte
+
+// Aton parses "aa:bb:cc:dd:ee:ff" into a MACAddr (the paper's u_aton).
+func Aton(s string) (MACAddr, error) {
+	var m MACAddr
+	var parts [6]int
+	n, err := fmt.Sscanf(s, "%02x:%02x:%02x:%02x:%02x:%02x",
+		&parts[0], &parts[1], &parts[2], &parts[3], &parts[4], &parts[5])
+	if err != nil || n != 6 {
+		return MACAddr{}, fmt.Errorf("%w: %q", ErrBadAddress, s)
+	}
+	for i, p := range parts {
+		if p < 0 || p > 255 {
+			return MACAddr{}, fmt.Errorf("%w: %q", ErrBadAddress, s)
+		}
+		m[i] = byte(p)
+	}
+	return m, nil
+}
+
+// String formats the address as "aa:bb:cc:dd:ee:ff" (the paper's u_ntoa).
+func (m MACAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Iovec is a scatter/gather element, mirroring struct iovec. The paper
+// uses iovecs with sendmsg/recvmsg "to avoid copying to and from a
+// temporary buffer"; SendIovec and RecvIovec preserve that shape.
+type Iovec struct {
+	Base []byte
+}
+
+// Segment is the emulated Ethernet wire: a set of U-Net endpoints that
+// can frame-switch to each other by MAC address.
+type Segment struct {
+	mu    sync.Mutex
+	bound map[MACAddr]*Socket
+	// dropProb, when set by tests via SetLoss, drops frames
+	// deterministically every 1-in-n sends.
+	lossEvery int
+	sends     int
+}
+
+// NewSegment creates an empty wire.
+func NewSegment() *Segment {
+	return &Segment{bound: make(map[MACAddr]*Socket)}
+}
+
+// SetLoss makes the segment drop every n-th frame (0 disables loss).
+// U-Net itself is lossy under receive-queue overflow; this adds wire
+// loss for protocol tests.
+func (g *Segment) SetLoss(everyN int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.lossEvery = everyN
+}
+
+// Socket creates an unbound socket on this segment (the paper's
+// u_socket). sendBuf and recvBuf are queue capacities in frames; recvBuf
+// frames beyond capacity are dropped, as on real U-Net endpoints.
+func (g *Segment) Socket(sendBuf, recvBuf int) (*Socket, error) {
+	if sendBuf <= 0 || recvBuf <= 0 {
+		return nil, fmt.Errorf("usocket: buffer sizes must be positive (got %d, %d)", sendBuf, recvBuf)
+	}
+	s := &Socket{seg: g, recvCap: recvBuf}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+type frame struct {
+	from MACAddr
+	data []byte
+}
+
+// Socket is one U-Net endpoint.
+type Socket struct {
+	seg     *Segment
+	recvCap int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []frame
+	bound    bool
+	addr     MACAddr
+	conn     bool
+	peer     MACAddr
+	closed   bool
+	overflow int // frames dropped at the receive queue
+}
+
+// Bind attaches the socket to a local MAC address (the paper's u_bind).
+func (s *Socket) Bind(addr MACAddr) error {
+	s.seg.mu.Lock()
+	defer s.seg.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, taken := s.seg.bound[addr]; taken {
+		return fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	if s.bound {
+		delete(s.seg.bound, s.addr)
+	}
+	s.seg.bound[addr] = s
+	s.addr = addr
+	s.bound = true
+	return nil
+}
+
+// LocalAddr returns the bound address.
+func (s *Socket) LocalAddr() (MACAddr, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr, s.bound
+}
+
+// Connect fixes the default peer for Send (the paper's u_connect).
+func (s *Socket) Connect(peer MACAddr) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.peer = peer
+	s.conn = true
+	return nil
+}
+
+// Send transmits one frame to the connected peer (the paper's u_send).
+// It returns the number of payload bytes accepted.
+func (s *Socket) Send(buf []byte) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if !s.conn {
+		s.mu.Unlock()
+		return 0, ErrNotConn
+	}
+	peer := s.peer
+	s.mu.Unlock()
+	return s.SendTo(peer, buf)
+}
+
+// SendTo transmits one frame to an explicit peer.
+func (s *Socket) SendTo(peer MACAddr, buf []byte) (int, error) {
+	if len(buf) > MTU {
+		return 0, ErrTooLarge
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if !s.bound {
+		s.mu.Unlock()
+		return 0, ErrNotBound
+	}
+	from := s.addr
+	s.mu.Unlock()
+
+	g := s.seg
+	g.mu.Lock()
+	g.sends++
+	if g.lossEvery > 0 && g.sends%g.lossEvery == 0 {
+		g.mu.Unlock()
+		return len(buf), nil // dropped on the wire; sender can't tell
+	}
+	dst, ok := g.bound[peer]
+	g.mu.Unlock()
+	if !ok {
+		// No such endpoint: the frame dies on the wire. Like Ethernet,
+		// the sender sees success.
+		return len(buf), nil
+	}
+	dst.deposit(from, append([]byte(nil), buf...))
+	return len(buf), nil
+}
+
+// SendIovec gathers the iovec and transmits it as one frame (the paper's
+// u_send_iovec).
+func (s *Socket) SendIovec(iov []Iovec) (int, error) {
+	total := 0
+	for _, v := range iov {
+		total += len(v.Base)
+	}
+	if total > MTU {
+		return 0, ErrTooLarge
+	}
+	buf := make([]byte, 0, total)
+	for _, v := range iov {
+		buf = append(buf, v.Base...)
+	}
+	return s.Send(buf)
+}
+
+func (s *Socket) deposit(from MACAddr, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if len(s.queue) >= s.recvCap {
+		s.overflow++ // receive queue overflow: U-Net drops the frame
+		return
+	}
+	s.queue = append(s.queue, frame{from: from, data: data})
+	s.cond.Signal()
+}
+
+// Recv blocks for one frame, copying its payload into buf (the paper's
+// u_recv). It returns the payload length (truncated to len(buf)) and the
+// sender address. timeout <= 0 waits forever.
+func (s *Socket) Recv(buf []byte, timeout time.Duration) (int, MACAddr, error) {
+	f, err := s.dequeue(timeout)
+	if err != nil {
+		return 0, MACAddr{}, err
+	}
+	n := copy(buf, f.data)
+	return n, f.from, nil
+}
+
+// RecvIovec scatters one frame across the iovec (the paper's
+// u_recv_iovec). It returns the total bytes scattered and the sender.
+func (s *Socket) RecvIovec(iov []Iovec, timeout time.Duration) (int, MACAddr, error) {
+	f, err := s.dequeue(timeout)
+	if err != nil {
+		return 0, MACAddr{}, err
+	}
+	total := 0
+	rest := f.data
+	for _, v := range iov {
+		if len(rest) == 0 {
+			break
+		}
+		n := copy(v.Base, rest)
+		rest = rest[n:]
+		total += n
+	}
+	return total, f.from, nil
+}
+
+func (s *Socket) dequeue(timeout time.Duration) (frame, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 {
+		if s.closed {
+			return frame{}, ErrClosed
+		}
+		if timeout > 0 {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return frame{}, ErrTimeout
+			}
+			wakeup := remaining
+			if wakeup > time.Millisecond {
+				wakeup = time.Millisecond
+			}
+			s.mu.Unlock()
+			time.Sleep(wakeup)
+			s.mu.Lock()
+			continue
+		}
+		s.cond.Wait()
+	}
+	f := s.queue[0]
+	s.queue = s.queue[1:]
+	return f, nil
+}
+
+// Overflow reports how many frames the receive queue has dropped.
+func (s *Socket) Overflow() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overflow
+}
+
+// RecvCap returns the receive queue capacity in frames. The bulk
+// protocol's window negotiation uses it as the receiver's buffer space.
+func (s *Socket) RecvCap() int { return s.recvCap }
+
+// Close releases the socket and its binding (the paper's u_close).
+func (s *Socket) Close() error {
+	s.seg.mu.Lock()
+	s.mu.Lock()
+	if s.bound {
+		delete(s.seg.bound, s.addr)
+		s.bound = false
+	}
+	s.closed = true
+	s.queue = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.seg.mu.Unlock()
+	return nil
+}

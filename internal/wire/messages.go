@@ -1,0 +1,686 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Message is implemented by every payload type in the protocol.
+type Message interface {
+	// Kind returns the wire type tag of the message.
+	Kind() Type
+	// payloadSize returns the exact encoded payload length.
+	payloadSize() int
+	// encode writes the payload into buf (already payloadSize() long).
+	encode(buf []byte) error
+	// decode parses the payload from buf.
+	decode(buf []byte) error
+}
+
+// Encode serializes msg into a standalone frame with the given sequence
+// number.
+func Encode(seq uint32, msg Message) ([]byte, error) {
+	n := msg.payloadSize()
+	if n > MaxPayload {
+		return nil, ErrOversize
+	}
+	frame := make([]byte, HeaderSize+n)
+	PutHeader(frame, Header{Type: msg.Kind(), Seq: seq, PayloadLen: uint32(n)})
+	if err := msg.encode(frame[HeaderSize:]); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// Decode parses a frame into its header and typed message.
+func Decode(frame []byte) (Header, Message, error) {
+	h, err := ParseHeader(frame)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	msg := newMessage(h.Type)
+	if msg == nil {
+		return Header{}, nil, ErrBadType
+	}
+	if err := msg.decode(frame[HeaderSize : HeaderSize+int(h.PayloadLen)]); err != nil {
+		return Header{}, nil, fmt.Errorf("wire: decoding %v: %w", h.Type, err)
+	}
+	return h, msg, nil
+}
+
+func newMessage(t Type) Message {
+	switch t {
+	case TAllocReq:
+		return &AllocReq{}
+	case TAllocResp:
+		return &AllocResp{}
+	case TFreeReq:
+		return &FreeReq{}
+	case TFreeResp:
+		return &FreeResp{}
+	case TCheckAllocReq:
+		return &CheckAllocReq{}
+	case TCheckAllocResp:
+		return &CheckAllocResp{}
+	case TKeepAlive:
+		return &KeepAlive{}
+	case TKeepAliveAck:
+		return &KeepAliveAck{}
+	case THostStatus:
+		return &HostStatus{}
+	case THostStatusAck:
+		return &HostStatusAck{}
+	case TIMDAllocReq:
+		return &IMDAllocReq{}
+	case TIMDAllocResp:
+		return &IMDAllocResp{}
+	case TIMDFreeReq:
+		return &IMDFreeReq{}
+	case TIMDFreeResp:
+		return &IMDFreeResp{}
+	case TReadReq:
+		return &ReadReq{}
+	case TWriteReq:
+		return &WriteReq{}
+	case TDataResp:
+		return &DataResp{}
+	case TBulkOffer:
+		return &BulkOffer{}
+	case TBulkAccept:
+		return &BulkAccept{}
+	case TBulkData:
+		return &BulkData{}
+	case TBulkNack:
+		return &BulkNack{}
+	case TBulkDone:
+		return &BulkDone{}
+	case TClusterStatsReq:
+		return &ClusterStatsReq{}
+	case TClusterStatsResp:
+		return &ClusterStatsResp{}
+	}
+	return nil
+}
+
+// AllocReq asks the central manager to allocate a remote region of Length
+// bytes keyed by Key (client -> cmd).
+type AllocReq struct {
+	Key    RegionKey
+	Length uint64
+}
+
+func (*AllocReq) Kind() Type       { return TAllocReq }
+func (*AllocReq) payloadSize() int { return regionKeySize + 8 }
+func (m *AllocReq) encode(b []byte) error {
+	n := putRegionKey(b, m.Key)
+	binary.BigEndian.PutUint64(b[n:], m.Length)
+	return nil
+}
+func (m *AllocReq) decode(b []byte) error {
+	k, n, err := getRegionKey(b)
+	if err != nil {
+		return err
+	}
+	if len(b) < n+8 {
+		return ErrTruncated
+	}
+	m.Key = k
+	m.Length = binary.BigEndian.Uint64(b[n:])
+	return nil
+}
+
+// AllocResp carries the allocation result (cmd -> client).
+type AllocResp struct {
+	Status Status
+	Region Region
+}
+
+func (*AllocResp) Kind() Type         { return TAllocResp }
+func (m *AllocResp) payloadSize() int { return 1 + m.Region.encodedSize() }
+func (m *AllocResp) encode(b []byte) error {
+	b[0] = uint8(m.Status)
+	_, err := putRegion(b[1:], m.Region)
+	return err
+}
+func (m *AllocResp) decode(b []byte) error {
+	if len(b) < 1 {
+		return ErrTruncated
+	}
+	m.Status = Status(b[0])
+	r, _, err := getRegion(b[1:])
+	if err != nil {
+		return err
+	}
+	m.Region = r
+	return nil
+}
+
+// FreeReq releases the region with the given key (client -> cmd).
+type FreeReq struct {
+	Key RegionKey
+}
+
+func (*FreeReq) Kind() Type       { return TFreeReq }
+func (*FreeReq) payloadSize() int { return regionKeySize }
+func (m *FreeReq) encode(b []byte) error {
+	putRegionKey(b, m.Key)
+	return nil
+}
+func (m *FreeReq) decode(b []byte) error {
+	k, _, err := getRegionKey(b)
+	m.Key = k
+	return err
+}
+
+// FreeResp acknowledges a free (cmd -> client).
+type FreeResp struct {
+	Status Status
+}
+
+func (*FreeResp) Kind() Type       { return TFreeResp }
+func (*FreeResp) payloadSize() int { return 1 }
+func (m *FreeResp) encode(b []byte) error {
+	b[0] = uint8(m.Status)
+	return nil
+}
+func (m *FreeResp) decode(b []byte) error {
+	if len(b) < 1 {
+		return ErrTruncated
+	}
+	m.Status = Status(b[0])
+	return nil
+}
+
+// CheckAllocReq asks the cmd whether a region is still valid (§4.3
+// checkAlloc), returning its descriptor if so.
+type CheckAllocReq struct {
+	Key RegionKey
+}
+
+func (*CheckAllocReq) Kind() Type       { return TCheckAllocReq }
+func (*CheckAllocReq) payloadSize() int { return regionKeySize }
+func (m *CheckAllocReq) encode(b []byte) error {
+	putRegionKey(b, m.Key)
+	return nil
+}
+func (m *CheckAllocReq) decode(b []byte) error {
+	k, _, err := getRegionKey(b)
+	m.Key = k
+	return err
+}
+
+// CheckAllocResp returns the region descriptor if the epoch check passed.
+type CheckAllocResp struct {
+	Status Status
+	Region Region
+}
+
+func (*CheckAllocResp) Kind() Type         { return TCheckAllocResp }
+func (m *CheckAllocResp) payloadSize() int { return 1 + m.Region.encodedSize() }
+func (m *CheckAllocResp) encode(b []byte) error {
+	b[0] = uint8(m.Status)
+	_, err := putRegion(b[1:], m.Region)
+	return err
+}
+func (m *CheckAllocResp) decode(b []byte) error {
+	if len(b) < 1 {
+		return ErrTruncated
+	}
+	m.Status = Status(b[0])
+	r, _, err := getRegion(b[1:])
+	if err != nil {
+		return err
+	}
+	m.Region = r
+	return nil
+}
+
+// KeepAlive is the cmd's periodic liveness echo to a client (§3.1). The
+// client must answer with KeepAliveAck or its regions are reclaimed.
+type KeepAlive struct {
+	ClientID uint32
+}
+
+func (*KeepAlive) Kind() Type       { return TKeepAlive }
+func (*KeepAlive) payloadSize() int { return 4 }
+func (m *KeepAlive) encode(b []byte) error {
+	binary.BigEndian.PutUint32(b, m.ClientID)
+	return nil
+}
+func (m *KeepAlive) decode(b []byte) error {
+	if len(b) < 4 {
+		return ErrTruncated
+	}
+	m.ClientID = binary.BigEndian.Uint32(b)
+	return nil
+}
+
+// KeepAliveAck is the client's echo response.
+type KeepAliveAck struct {
+	ClientID uint32
+}
+
+func (*KeepAliveAck) Kind() Type       { return TKeepAliveAck }
+func (*KeepAliveAck) payloadSize() int { return 4 }
+func (m *KeepAliveAck) encode(b []byte) error {
+	binary.BigEndian.PutUint32(b, m.ClientID)
+	return nil
+}
+func (m *KeepAliveAck) decode(b []byte) error {
+	if len(b) < 4 {
+		return ErrTruncated
+	}
+	m.ClientID = binary.BigEndian.Uint32(b)
+	return nil
+}
+
+// HostState is the recruit/reclaim state an rmd reports for its host.
+type HostState uint8
+
+// Host states carried in HostStatus.
+const (
+	// HostIdle: the host satisfied the idleness predicate; its imd is up
+	// and serving with the given pool size.
+	HostIdle HostState = iota
+	// HostBusy: the owner reclaimed the host; the imd is gone and all
+	// regions it hosted are invalid.
+	HostBusy
+)
+
+func (s HostState) String() string {
+	switch s {
+	case HostIdle:
+		return "idle"
+	case HostBusy:
+		return "busy"
+	}
+	return fmt.Sprintf("wire.HostState(%d)", uint8(s))
+}
+
+// HostStatus is sent by an rmd/imd to the cmd on state changes and
+// piggybacked on every imd<->cmd exchange (§4.3): the host's epoch, its
+// total available pool and the largest free block, which the IWD stores
+// as hints.
+type HostStatus struct {
+	HostAddr    string
+	State       HostState
+	Epoch       uint64
+	AvailBytes  uint64
+	LargestFree uint64
+}
+
+func (*HostStatus) Kind() Type         { return THostStatus }
+func (m *HostStatus) payloadSize() int { return 2 + len(m.HostAddr) + 1 + 24 }
+func (m *HostStatus) encode(b []byte) error {
+	n, err := putString(b, m.HostAddr)
+	if err != nil {
+		return err
+	}
+	b[n] = uint8(m.State)
+	binary.BigEndian.PutUint64(b[n+1:], m.Epoch)
+	binary.BigEndian.PutUint64(b[n+9:], m.AvailBytes)
+	binary.BigEndian.PutUint64(b[n+17:], m.LargestFree)
+	return nil
+}
+func (m *HostStatus) decode(b []byte) error {
+	addr, n, err := getString(b)
+	if err != nil {
+		return err
+	}
+	if len(b) < n+25 {
+		return ErrTruncated
+	}
+	m.HostAddr = addr
+	m.State = HostState(b[n])
+	m.Epoch = binary.BigEndian.Uint64(b[n+1:])
+	m.AvailBytes = binary.BigEndian.Uint64(b[n+9:])
+	m.LargestFree = binary.BigEndian.Uint64(b[n+17:])
+	return nil
+}
+
+// HostStatusAck acknowledges a HostStatus.
+type HostStatusAck struct {
+	Status Status
+}
+
+func (*HostStatusAck) Kind() Type       { return THostStatusAck }
+func (*HostStatusAck) payloadSize() int { return 1 }
+func (m *HostStatusAck) encode(b []byte) error {
+	b[0] = uint8(m.Status)
+	return nil
+}
+func (m *HostStatusAck) decode(b []byte) error {
+	if len(b) < 1 {
+		return ErrTruncated
+	}
+	m.Status = Status(b[0])
+	return nil
+}
+
+// IMDAllocReq is the cmd asking an imd to carve a region from its pool.
+type IMDAllocReq struct {
+	RegionID uint64
+	Length   uint64
+}
+
+func (*IMDAllocReq) Kind() Type       { return TIMDAllocReq }
+func (*IMDAllocReq) payloadSize() int { return 16 }
+func (m *IMDAllocReq) encode(b []byte) error {
+	binary.BigEndian.PutUint64(b[0:8], m.RegionID)
+	binary.BigEndian.PutUint64(b[8:16], m.Length)
+	return nil
+}
+func (m *IMDAllocReq) decode(b []byte) error {
+	if len(b) < 16 {
+		return ErrTruncated
+	}
+	m.RegionID = binary.BigEndian.Uint64(b[0:8])
+	m.Length = binary.BigEndian.Uint64(b[8:16])
+	return nil
+}
+
+// IMDAllocResp reports the pool offset of a new region, with the imd's
+// current availability piggybacked (§4.3).
+type IMDAllocResp struct {
+	Status      Status
+	PoolOffset  uint64
+	Epoch       uint64
+	AvailBytes  uint64
+	LargestFree uint64
+}
+
+func (*IMDAllocResp) Kind() Type       { return TIMDAllocResp }
+func (*IMDAllocResp) payloadSize() int { return 1 + 32 }
+func (m *IMDAllocResp) encode(b []byte) error {
+	b[0] = uint8(m.Status)
+	binary.BigEndian.PutUint64(b[1:], m.PoolOffset)
+	binary.BigEndian.PutUint64(b[9:], m.Epoch)
+	binary.BigEndian.PutUint64(b[17:], m.AvailBytes)
+	binary.BigEndian.PutUint64(b[25:], m.LargestFree)
+	return nil
+}
+func (m *IMDAllocResp) decode(b []byte) error {
+	if len(b) < 33 {
+		return ErrTruncated
+	}
+	m.Status = Status(b[0])
+	m.PoolOffset = binary.BigEndian.Uint64(b[1:])
+	m.Epoch = binary.BigEndian.Uint64(b[9:])
+	m.AvailBytes = binary.BigEndian.Uint64(b[17:])
+	m.LargestFree = binary.BigEndian.Uint64(b[25:])
+	return nil
+}
+
+// IMDFreeReq is the cmd asking an imd to release a region.
+type IMDFreeReq struct {
+	RegionID uint64
+}
+
+func (*IMDFreeReq) Kind() Type       { return TIMDFreeReq }
+func (*IMDFreeReq) payloadSize() int { return 8 }
+func (m *IMDFreeReq) encode(b []byte) error {
+	binary.BigEndian.PutUint64(b, m.RegionID)
+	return nil
+}
+func (m *IMDFreeReq) decode(b []byte) error {
+	if len(b) < 8 {
+		return ErrTruncated
+	}
+	m.RegionID = binary.BigEndian.Uint64(b)
+	return nil
+}
+
+// IMDFreeResp acknowledges a region free, with availability piggybacked.
+type IMDFreeResp struct {
+	Status      Status
+	Epoch       uint64
+	AvailBytes  uint64
+	LargestFree uint64
+}
+
+func (*IMDFreeResp) Kind() Type       { return TIMDFreeResp }
+func (*IMDFreeResp) payloadSize() int { return 1 + 24 }
+func (m *IMDFreeResp) encode(b []byte) error {
+	b[0] = uint8(m.Status)
+	binary.BigEndian.PutUint64(b[1:], m.Epoch)
+	binary.BigEndian.PutUint64(b[9:], m.AvailBytes)
+	binary.BigEndian.PutUint64(b[17:], m.LargestFree)
+	return nil
+}
+func (m *IMDFreeResp) decode(b []byte) error {
+	if len(b) < 25 {
+		return ErrTruncated
+	}
+	m.Status = Status(b[0])
+	m.Epoch = binary.BigEndian.Uint64(b[1:])
+	m.AvailBytes = binary.BigEndian.Uint64(b[9:])
+	m.LargestFree = binary.BigEndian.Uint64(b[17:])
+	return nil
+}
+
+// ReadReq asks an imd for Length bytes at Offset within a region (client
+// -> imd data path). The response data travels via the bulk protocol.
+type ReadReq struct {
+	RegionID uint64
+	Epoch    uint64
+	Offset   uint64
+	Length   uint64
+}
+
+func (*ReadReq) Kind() Type       { return TReadReq }
+func (*ReadReq) payloadSize() int { return 32 }
+func (m *ReadReq) encode(b []byte) error {
+	binary.BigEndian.PutUint64(b[0:], m.RegionID)
+	binary.BigEndian.PutUint64(b[8:], m.Epoch)
+	binary.BigEndian.PutUint64(b[16:], m.Offset)
+	binary.BigEndian.PutUint64(b[24:], m.Length)
+	return nil
+}
+func (m *ReadReq) decode(b []byte) error {
+	if len(b) < 32 {
+		return ErrTruncated
+	}
+	m.RegionID = binary.BigEndian.Uint64(b[0:])
+	m.Epoch = binary.BigEndian.Uint64(b[8:])
+	m.Offset = binary.BigEndian.Uint64(b[16:])
+	m.Length = binary.BigEndian.Uint64(b[24:])
+	return nil
+}
+
+// WriteReq announces an incoming write of Length bytes at Offset within a
+// region; the data itself follows via the bulk protocol under TransferID.
+type WriteReq struct {
+	RegionID   uint64
+	Epoch      uint64
+	Offset     uint64
+	Length     uint64
+	TransferID uint64
+}
+
+func (*WriteReq) Kind() Type       { return TWriteReq }
+func (*WriteReq) payloadSize() int { return 40 }
+func (m *WriteReq) encode(b []byte) error {
+	binary.BigEndian.PutUint64(b[0:], m.RegionID)
+	binary.BigEndian.PutUint64(b[8:], m.Epoch)
+	binary.BigEndian.PutUint64(b[16:], m.Offset)
+	binary.BigEndian.PutUint64(b[24:], m.Length)
+	binary.BigEndian.PutUint64(b[32:], m.TransferID)
+	return nil
+}
+func (m *WriteReq) decode(b []byte) error {
+	if len(b) < 40 {
+		return ErrTruncated
+	}
+	m.RegionID = binary.BigEndian.Uint64(b[0:])
+	m.Epoch = binary.BigEndian.Uint64(b[8:])
+	m.Offset = binary.BigEndian.Uint64(b[16:])
+	m.Length = binary.BigEndian.Uint64(b[24:])
+	m.TransferID = binary.BigEndian.Uint64(b[32:])
+	return nil
+}
+
+// DataResp reports the outcome of a read or write: the byte count
+// actually served (which may be short, per §3.2) and, for reads, the
+// TransferID under which the bulk data is being sent.
+type DataResp struct {
+	Status     Status
+	Count      uint64
+	TransferID uint64
+}
+
+func (*DataResp) Kind() Type       { return TDataResp }
+func (*DataResp) payloadSize() int { return 17 }
+func (m *DataResp) encode(b []byte) error {
+	b[0] = uint8(m.Status)
+	binary.BigEndian.PutUint64(b[1:], m.Count)
+	binary.BigEndian.PutUint64(b[9:], m.TransferID)
+	return nil
+}
+func (m *DataResp) decode(b []byte) error {
+	if len(b) < 17 {
+		return ErrTruncated
+	}
+	m.Status = Status(b[0])
+	m.Count = binary.BigEndian.Uint64(b[1:])
+	m.TransferID = binary.BigEndian.Uint64(b[9:])
+	return nil
+}
+
+// BulkOffer opens a bulk transfer (§4.4): the sender names the transfer,
+// its total length and the packet payload size it will use, and asks the
+// receiver how much buffer space it can commit.
+type BulkOffer struct {
+	TransferID uint64
+	TotalLen   uint64
+	ChunkSize  uint32
+}
+
+func (*BulkOffer) Kind() Type       { return TBulkOffer }
+func (*BulkOffer) payloadSize() int { return 20 }
+func (m *BulkOffer) encode(b []byte) error {
+	binary.BigEndian.PutUint64(b[0:], m.TransferID)
+	binary.BigEndian.PutUint64(b[8:], m.TotalLen)
+	binary.BigEndian.PutUint32(b[16:], m.ChunkSize)
+	return nil
+}
+func (m *BulkOffer) decode(b []byte) error {
+	if len(b) < 20 {
+		return ErrTruncated
+	}
+	m.TransferID = binary.BigEndian.Uint64(b[0:])
+	m.TotalLen = binary.BigEndian.Uint64(b[8:])
+	m.ChunkSize = binary.BigEndian.Uint32(b[16:])
+	return nil
+}
+
+// BulkAccept is the receiver's answer: the number of packets it can
+// buffer per blast window (the negotiated space of §4.4).
+type BulkAccept struct {
+	TransferID uint64
+	Window     uint32
+	Status     Status
+}
+
+func (*BulkAccept) Kind() Type       { return TBulkAccept }
+func (*BulkAccept) payloadSize() int { return 13 }
+func (m *BulkAccept) encode(b []byte) error {
+	binary.BigEndian.PutUint64(b[0:], m.TransferID)
+	binary.BigEndian.PutUint32(b[8:], m.Window)
+	b[12] = uint8(m.Status)
+	return nil
+}
+func (m *BulkAccept) decode(b []byte) error {
+	if len(b) < 13 {
+		return ErrTruncated
+	}
+	m.TransferID = binary.BigEndian.Uint64(b[0:])
+	m.Window = binary.BigEndian.Uint32(b[8:])
+	m.Status = Status(b[12])
+	return nil
+}
+
+// BulkData carries one sequenced chunk of a transfer.
+type BulkData struct {
+	TransferID uint64
+	Seq        uint32
+	Payload    []byte
+}
+
+func (*BulkData) Kind() Type         { return TBulkData }
+func (m *BulkData) payloadSize() int { return 12 + len(m.Payload) }
+func (m *BulkData) encode(b []byte) error {
+	binary.BigEndian.PutUint64(b[0:], m.TransferID)
+	binary.BigEndian.PutUint32(b[8:], m.Seq)
+	copy(b[12:], m.Payload)
+	return nil
+}
+func (m *BulkData) decode(b []byte) error {
+	if len(b) < 12 {
+		return ErrTruncated
+	}
+	m.TransferID = binary.BigEndian.Uint64(b[0:])
+	m.Seq = binary.BigEndian.Uint32(b[8:])
+	m.Payload = append([]byte(nil), b[12:]...)
+	return nil
+}
+
+// BulkNack is the receiver's selective NACK (§4.4): the sequence numbers
+// still missing after a window timeout. An empty Missing list tells the
+// sender the window arrived completely.
+type BulkNack struct {
+	TransferID uint64
+	Missing    []uint32
+}
+
+func (*BulkNack) Kind() Type         { return TBulkNack }
+func (m *BulkNack) payloadSize() int { return 12 + 4*len(m.Missing) }
+func (m *BulkNack) encode(b []byte) error {
+	if len(m.Missing) > math32max {
+		return ErrFieldBounds
+	}
+	binary.BigEndian.PutUint64(b[0:], m.TransferID)
+	binary.BigEndian.PutUint32(b[8:], uint32(len(m.Missing)))
+	for i, s := range m.Missing {
+		binary.BigEndian.PutUint32(b[12+4*i:], s)
+	}
+	return nil
+}
+func (m *BulkNack) decode(b []byte) error {
+	if len(b) < 12 {
+		return ErrTruncated
+	}
+	m.TransferID = binary.BigEndian.Uint64(b[0:])
+	n := int(binary.BigEndian.Uint32(b[8:]))
+	if len(b) < 12+4*n {
+		return ErrTruncated
+	}
+	m.Missing = make([]uint32, n)
+	for i := range m.Missing {
+		m.Missing[i] = binary.BigEndian.Uint32(b[12+4*i:])
+	}
+	return nil
+}
+
+const math32max = 1 << 16 // sanity bound on NACK list length
+
+// BulkDone closes a transfer from the receiver side: all bytes arrived.
+type BulkDone struct {
+	TransferID uint64
+	Status     Status
+}
+
+func (*BulkDone) Kind() Type       { return TBulkDone }
+func (*BulkDone) payloadSize() int { return 9 }
+func (m *BulkDone) encode(b []byte) error {
+	binary.BigEndian.PutUint64(b[0:], m.TransferID)
+	b[8] = uint8(m.Status)
+	return nil
+}
+func (m *BulkDone) decode(b []byte) error {
+	if len(b) < 9 {
+		return ErrTruncated
+	}
+	m.TransferID = binary.BigEndian.Uint64(b[0:])
+	m.Status = Status(b[8])
+	return nil
+}

@@ -1,0 +1,114 @@
+package wire
+
+import "encoding/binary"
+
+// Cluster introspection messages: dodo-ctl (and any monitoring agent)
+// asks the central manager for a snapshot of the idle-workstation
+// directory and its counters. These extend the paper's protocol — the
+// original Dodo had no remote introspection — but follow the same
+// framing and idempotency rules as every other request.
+
+// ClusterStatsReq asks the manager for a state snapshot.
+type ClusterStatsReq struct{}
+
+// Kind returns the wire type tag.
+func (*ClusterStatsReq) Kind() Type       { return TClusterStatsReq }
+func (*ClusterStatsReq) payloadSize() int { return 0 }
+func (*ClusterStatsReq) encode([]byte) error {
+	return nil
+}
+func (*ClusterStatsReq) decode([]byte) error { return nil }
+
+// HostInfo is one IWD row in a stats snapshot.
+type HostInfo struct {
+	Addr        string
+	Epoch       uint64
+	AvailBytes  uint64
+	LargestFree uint64
+}
+
+func (h HostInfo) encodedSize() int { return 2 + len(h.Addr) + 24 }
+
+// ClusterStatsResp is the manager's snapshot.
+type ClusterStatsResp struct {
+	Status  Status
+	Hosts   []HostInfo
+	Regions uint64
+	Clients uint64
+	// Counters since manager start.
+	Allocs, AllocFailures, Frees, StaleDrops, OrphanReclaims uint64
+}
+
+// Kind returns the wire type tag.
+func (*ClusterStatsResp) Kind() Type { return TClusterStatsResp }
+
+func (m *ClusterStatsResp) payloadSize() int {
+	n := 1 + 2 + 7*8
+	for _, h := range m.Hosts {
+		n += h.encodedSize()
+	}
+	return n
+}
+
+func (m *ClusterStatsResp) encode(b []byte) error {
+	if len(m.Hosts) > math32max {
+		return ErrFieldBounds
+	}
+	b[0] = uint8(m.Status)
+	binary.BigEndian.PutUint64(b[1:], m.Regions)
+	binary.BigEndian.PutUint64(b[9:], m.Clients)
+	binary.BigEndian.PutUint64(b[17:], m.Allocs)
+	binary.BigEndian.PutUint64(b[25:], m.AllocFailures)
+	binary.BigEndian.PutUint64(b[33:], m.Frees)
+	binary.BigEndian.PutUint64(b[41:], m.StaleDrops)
+	binary.BigEndian.PutUint64(b[49:], m.OrphanReclaims)
+	binary.BigEndian.PutUint16(b[57:], uint16(len(m.Hosts)))
+	at := 59
+	for _, h := range m.Hosts {
+		n, err := putString(b[at:], h.Addr)
+		if err != nil {
+			return err
+		}
+		at += n
+		binary.BigEndian.PutUint64(b[at:], h.Epoch)
+		binary.BigEndian.PutUint64(b[at+8:], h.AvailBytes)
+		binary.BigEndian.PutUint64(b[at+16:], h.LargestFree)
+		at += 24
+	}
+	return nil
+}
+
+func (m *ClusterStatsResp) decode(b []byte) error {
+	if len(b) < 59 {
+		return ErrTruncated
+	}
+	m.Status = Status(b[0])
+	m.Regions = binary.BigEndian.Uint64(b[1:])
+	m.Clients = binary.BigEndian.Uint64(b[9:])
+	m.Allocs = binary.BigEndian.Uint64(b[17:])
+	m.AllocFailures = binary.BigEndian.Uint64(b[25:])
+	m.Frees = binary.BigEndian.Uint64(b[33:])
+	m.StaleDrops = binary.BigEndian.Uint64(b[41:])
+	m.OrphanReclaims = binary.BigEndian.Uint64(b[49:])
+	count := int(binary.BigEndian.Uint16(b[57:]))
+	at := 59
+	m.Hosts = make([]HostInfo, 0, count)
+	for i := 0; i < count; i++ {
+		addr, n, err := getString(b[at:])
+		if err != nil {
+			return err
+		}
+		at += n
+		if len(b) < at+24 {
+			return ErrTruncated
+		}
+		m.Hosts = append(m.Hosts, HostInfo{
+			Addr:        addr,
+			Epoch:       binary.BigEndian.Uint64(b[at:]),
+			AvailBytes:  binary.BigEndian.Uint64(b[at+8:]),
+			LargestFree: binary.BigEndian.Uint64(b[at+16:]),
+		})
+		at += 24
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+// Package wire defines Dodo's binary wire protocol: the message types
+// exchanged among the central manager daemon (cmd), the resource monitor
+// daemons (rmd), the idle memory daemons (imd) and the client runtime
+// library, together with their encoding.
+//
+// Every message travels as a fixed 12-byte header followed by a typed
+// payload. Encoding is explicit big-endian binary (no reflection) so the
+// format is stable, allocation-light and identical across transports
+// (kernel UDP, the U-Net usocket layer, and the in-memory test network).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Protocol constants.
+const (
+	// Magic marks every Dodo frame. 0xD0D0: the bird.
+	Magic uint16 = 0xD0D0
+	// Version is the protocol version carried in every header.
+	Version uint8 = 1
+	// HeaderSize is the encoded size of a frame header.
+	HeaderSize = 12
+	// MaxPayload bounds a single message payload. Bulk data is split
+	// across BulkData frames well below this bound.
+	MaxPayload = 1 << 20
+)
+
+// Type identifies a message type.
+type Type uint8
+
+// Message types. Grouped by the pair of components that exchange them.
+const (
+	TInvalid Type = iota
+
+	// Client <-> central manager.
+	TAllocReq
+	TAllocResp
+	TFreeReq
+	TFreeResp
+	TCheckAllocReq
+	TCheckAllocResp
+	TKeepAlive
+	TKeepAliveAck
+
+	// rmd/imd <-> central manager.
+	THostStatus
+	THostStatusAck
+	TIMDAllocReq
+	TIMDAllocResp
+	TIMDFreeReq
+	TIMDFreeResp
+
+	// Client <-> imd data path.
+	TReadReq
+	TWriteReq
+	TDataResp
+
+	// Bulk transfer sub-protocol.
+	TBulkOffer
+	TBulkAccept
+	TBulkData
+	TBulkNack
+	TBulkDone
+
+	// Introspection (dodo-ctl <-> cmd).
+	TClusterStatsReq
+	TClusterStatsResp
+
+	typeSentinel // keep last
+)
+
+var typeNames = map[Type]string{
+	TInvalid:        "invalid",
+	TAllocReq:       "alloc-req",
+	TAllocResp:      "alloc-resp",
+	TFreeReq:        "free-req",
+	TFreeResp:       "free-resp",
+	TCheckAllocReq:  "check-alloc-req",
+	TCheckAllocResp: "check-alloc-resp",
+	TKeepAlive:      "keep-alive",
+	TKeepAliveAck:   "keep-alive-ack",
+	THostStatus:     "host-status",
+	THostStatusAck:  "host-status-ack",
+	TIMDAllocReq:    "imd-alloc-req",
+	TIMDAllocResp:   "imd-alloc-resp",
+	TIMDFreeReq:     "imd-free-req",
+	TIMDFreeResp:    "imd-free-resp",
+	TReadReq:        "read-req",
+	TWriteReq:       "write-req",
+	TDataResp:       "data-resp",
+	TBulkOffer:      "bulk-offer",
+	TBulkAccept:     "bulk-accept",
+	TBulkData:       "bulk-data",
+	TBulkNack:       "bulk-nack",
+	TBulkDone:       "bulk-done",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("wire.Type(%d)", uint8(t))
+}
+
+// Status is the result code carried in every response, mirroring the
+// errno-style results of the paper's API (§3.2).
+type Status uint8
+
+// Status codes.
+const (
+	StatusOK Status = iota
+	// StatusNoMem: allocation failed for lack of idle memory (ENOMEM).
+	StatusNoMem
+	// StatusInvalid: malformed request or bad arguments (EINVAL).
+	StatusInvalid
+	// StatusNotFound: region unknown to the receiver.
+	StatusNotFound
+	// StatusStale: the region's epoch does not match the host's current
+	// epoch; the hosting imd restarted since allocation.
+	StatusStale
+	// StatusBusy: host was reclaimed by its owner; imd is draining.
+	StatusBusy
+)
+
+var statusNames = map[Status]string{
+	StatusOK:       "ok",
+	StatusNoMem:    "no-memory",
+	StatusInvalid:  "invalid",
+	StatusNotFound: "not-found",
+	StatusStale:    "stale-epoch",
+	StatusBusy:     "host-busy",
+}
+
+func (s Status) String() string {
+	if n, ok := statusNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("wire.Status(%d)", uint8(s))
+}
+
+// Errors returned by the codec.
+var (
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrBadType     = errors.New("wire: unknown message type")
+	ErrShortFrame  = errors.New("wire: frame shorter than declared payload")
+	ErrOversize    = errors.New("wire: payload exceeds MaxPayload")
+	ErrTruncated   = errors.New("wire: truncated payload")
+	ErrFieldBounds = errors.New("wire: field exceeds bounds")
+)
+
+// Header is the fixed preamble of every frame.
+type Header struct {
+	Type Type
+	// Seq correlates a response with its request. The requester picks
+	// it; responders echo it.
+	Seq uint32
+	// PayloadLen is the byte length of the payload that follows.
+	PayloadLen uint32
+}
+
+// PutHeader encodes h into buf, which must be at least HeaderSize bytes.
+func PutHeader(buf []byte, h Header) {
+	binary.BigEndian.PutUint16(buf[0:2], Magic)
+	buf[2] = Version
+	buf[3] = uint8(h.Type)
+	binary.BigEndian.PutUint32(buf[4:8], h.Seq)
+	binary.BigEndian.PutUint32(buf[8:12], h.PayloadLen)
+}
+
+// ParseHeader decodes and validates a frame header.
+func ParseHeader(buf []byte) (Header, error) {
+	if len(buf) < HeaderSize {
+		return Header{}, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(buf[0:2]) != Magic {
+		return Header{}, ErrBadMagic
+	}
+	if buf[2] != Version {
+		return Header{}, ErrBadVersion
+	}
+	t := Type(buf[3])
+	if t == TInvalid || t >= typeSentinel {
+		return Header{}, ErrBadType
+	}
+	h := Header{
+		Type:       t,
+		Seq:        binary.BigEndian.Uint32(buf[4:8]),
+		PayloadLen: binary.BigEndian.Uint32(buf[8:12]),
+	}
+	if h.PayloadLen > MaxPayload {
+		return Header{}, ErrOversize
+	}
+	if uint32(len(buf)-HeaderSize) < h.PayloadLen {
+		return Header{}, ErrShortFrame
+	}
+	return h, nil
+}
+
+// RegionKey identifies a region in the central manager's region directory.
+// Per §4.3 it is the (inode-number-of-backing-file, offset-in-file) pair;
+// ClientID extends the key for multi-client configurations (the paper's
+// footnote 4 plans exactly this extension).
+type RegionKey struct {
+	Inode    uint64
+	Offset   int64
+	ClientID uint32
+}
+
+func (k RegionKey) String() string {
+	return fmt.Sprintf("region(%d@%d/c%d)", k.Inode, k.Offset, k.ClientID)
+}
+
+const regionKeySize = 8 + 8 + 4
+
+func putRegionKey(buf []byte, k RegionKey) int {
+	binary.BigEndian.PutUint64(buf[0:8], k.Inode)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(k.Offset))
+	binary.BigEndian.PutUint32(buf[16:20], k.ClientID)
+	return regionKeySize
+}
+
+func getRegionKey(buf []byte) (RegionKey, int, error) {
+	if len(buf) < regionKeySize {
+		return RegionKey{}, 0, ErrTruncated
+	}
+	return RegionKey{
+		Inode:    binary.BigEndian.Uint64(buf[0:8]),
+		Offset:   int64(binary.BigEndian.Uint64(buf[8:16])),
+		ClientID: binary.BigEndian.Uint32(buf[16:20]),
+	}, regionKeySize, nil
+}
+
+// Region is the descriptor the central manager hands back on allocation:
+// the host serving the region, the region's identifier and pool offset on
+// that host, its length, and the host's epoch at allocation time (§4.3).
+type Region struct {
+	// HostAddr is the transport address of the hosting imd.
+	HostAddr string
+	// RegionID is the imd-local identifier of the region.
+	RegionID uint64
+	// PoolOffset is the region's offset within the imd memory pool.
+	PoolOffset uint64
+	// Length is the region length in bytes.
+	Length uint64
+	// Epoch is the hosting imd's epoch when the region was allocated.
+	Epoch uint64
+}
+
+func putString(buf []byte, s string) (int, error) {
+	if len(s) > math.MaxUint16 {
+		return 0, ErrFieldBounds
+	}
+	binary.BigEndian.PutUint16(buf[0:2], uint16(len(s)))
+	copy(buf[2:], s)
+	return 2 + len(s), nil
+}
+
+func getString(buf []byte) (string, int, error) {
+	if len(buf) < 2 {
+		return "", 0, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(buf[0:2]))
+	if len(buf) < 2+n {
+		return "", 0, ErrTruncated
+	}
+	return string(buf[2 : 2+n]), 2 + n, nil
+}
+
+func putRegion(buf []byte, r Region) (int, error) {
+	n, err := putString(buf, r.HostAddr)
+	if err != nil {
+		return 0, err
+	}
+	binary.BigEndian.PutUint64(buf[n:], r.RegionID)
+	binary.BigEndian.PutUint64(buf[n+8:], r.PoolOffset)
+	binary.BigEndian.PutUint64(buf[n+16:], r.Length)
+	binary.BigEndian.PutUint64(buf[n+24:], r.Epoch)
+	return n + 32, nil
+}
+
+func getRegion(buf []byte) (Region, int, error) {
+	addr, n, err := getString(buf)
+	if err != nil {
+		return Region{}, 0, err
+	}
+	if len(buf) < n+32 {
+		return Region{}, 0, ErrTruncated
+	}
+	return Region{
+		HostAddr:   addr,
+		RegionID:   binary.BigEndian.Uint64(buf[n:]),
+		PoolOffset: binary.BigEndian.Uint64(buf[n+8:]),
+		Length:     binary.BigEndian.Uint64(buf[n+16:]),
+		Epoch:      binary.BigEndian.Uint64(buf[n+24:]),
+	}, n + 32, nil
+}
+
+func (r Region) encodedSize() int { return 2 + len(r.HostAddr) + 32 }

@@ -1,0 +1,311 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, seq uint32, msg Message) Message {
+	t.Helper()
+	frame, err := Encode(seq, msg)
+	if err != nil {
+		t.Fatalf("Encode(%T) error: %v", msg, err)
+	}
+	h, got, err := Decode(frame)
+	if err != nil {
+		t.Fatalf("Decode(%T) error: %v", msg, err)
+	}
+	if h.Seq != seq {
+		t.Fatalf("decoded seq = %d, want %d", h.Seq, seq)
+	}
+	if h.Type != msg.Kind() {
+		t.Fatalf("decoded type = %v, want %v", h.Type, msg.Kind())
+	}
+	return got
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	region := Region{HostAddr: "10.0.0.7:7070", RegionID: 99, PoolOffset: 4096, Length: 1 << 20, Epoch: 12}
+	key := RegionKey{Inode: 123456, Offset: 789, ClientID: 3}
+	msgs := []Message{
+		&AllocReq{Key: key, Length: 1 << 20},
+		&AllocResp{Status: StatusOK, Region: region},
+		&FreeReq{Key: key},
+		&FreeResp{Status: StatusNotFound},
+		&CheckAllocReq{Key: key},
+		&CheckAllocResp{Status: StatusStale, Region: region},
+		&KeepAlive{ClientID: 77},
+		&KeepAliveAck{ClientID: 77},
+		&HostStatus{HostAddr: "host3:9000", State: HostIdle, Epoch: 5, AvailBytes: 100 << 20, LargestFree: 64 << 20},
+		&HostStatusAck{Status: StatusOK},
+		&IMDAllocReq{RegionID: 42, Length: 8192},
+		&IMDAllocResp{Status: StatusOK, PoolOffset: 12288, Epoch: 5, AvailBytes: 99 << 20, LargestFree: 50 << 20},
+		&IMDFreeReq{RegionID: 42},
+		&IMDFreeResp{Status: StatusOK, Epoch: 5, AvailBytes: 100 << 20, LargestFree: 64 << 20},
+		&ReadReq{RegionID: 42, Epoch: 5, Offset: 100, Length: 8192},
+		&WriteReq{RegionID: 42, Epoch: 5, Offset: 100, Length: 8192, TransferID: 9001},
+		&DataResp{Status: StatusOK, Count: 8192, TransferID: 9001},
+		&BulkOffer{TransferID: 9001, TotalLen: 1 << 20, ChunkSize: 1400},
+		&BulkAccept{TransferID: 9001, Window: 32, Status: StatusOK},
+		&BulkData{TransferID: 9001, Seq: 17, Payload: []byte("hello dodo")},
+		&BulkNack{TransferID: 9001, Missing: []uint32{3, 5, 8}},
+		&BulkDone{TransferID: 9001, Status: StatusOK},
+	}
+	for _, msg := range msgs {
+		got := roundTrip(t, 12345, msg)
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("%T round-trip mismatch:\n got  %+v\n want %+v", msg, got, msg)
+		}
+	}
+}
+
+func TestRoundTripEmptyVariants(t *testing.T) {
+	msgs := []Message{
+		&BulkData{TransferID: 1, Seq: 0, Payload: nil},
+		&BulkNack{TransferID: 1, Missing: nil},
+		&HostStatus{HostAddr: "", State: HostBusy},
+		&AllocResp{Status: StatusNoMem, Region: Region{}},
+	}
+	for _, msg := range msgs {
+		got := roundTrip(t, 0, msg)
+		// BulkData normalizes nil payloads to empty slices on decode;
+		// compare contents, not representation.
+		switch want := msg.(type) {
+		case *BulkData:
+			g := got.(*BulkData)
+			if g.TransferID != want.TransferID || g.Seq != want.Seq || len(g.Payload) != 0 {
+				t.Errorf("BulkData round-trip = %+v, want %+v", g, want)
+			}
+		case *BulkNack:
+			g := got.(*BulkNack)
+			if g.TransferID != want.TransferID || len(g.Missing) != 0 {
+				t.Errorf("BulkNack round-trip = %+v, want %+v", g, want)
+			}
+		default:
+			if !reflect.DeepEqual(got, msg) {
+				t.Errorf("%T round-trip mismatch: got %+v want %+v", msg, got, msg)
+			}
+		}
+	}
+}
+
+func TestHeaderRejectsBadMagic(t *testing.T) {
+	frame, _ := Encode(1, &KeepAlive{ClientID: 1})
+	frame[0] = 0xAB
+	if _, _, err := Decode(frame); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("Decode with bad magic = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestHeaderRejectsBadVersion(t *testing.T) {
+	frame, _ := Encode(1, &KeepAlive{ClientID: 1})
+	frame[2] = 200
+	if _, _, err := Decode(frame); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("Decode with bad version = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestHeaderRejectsUnknownType(t *testing.T) {
+	frame, _ := Encode(1, &KeepAlive{ClientID: 1})
+	frame[3] = uint8(typeSentinel)
+	if _, _, err := Decode(frame); !errors.Is(err, ErrBadType) {
+		t.Fatalf("Decode with unknown type = %v, want ErrBadType", err)
+	}
+	frame[3] = uint8(TInvalid)
+	if _, _, err := Decode(frame); !errors.Is(err, ErrBadType) {
+		t.Fatalf("Decode with invalid type = %v, want ErrBadType", err)
+	}
+}
+
+func TestHeaderRejectsShortFrame(t *testing.T) {
+	frame, _ := Encode(1, &ReadReq{RegionID: 1, Length: 10})
+	if _, _, err := Decode(frame[:len(frame)-4]); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("Decode of short frame = %v, want ErrShortFrame", err)
+	}
+	if _, err := ParseHeader(frame[:5]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("ParseHeader of 5 bytes = %v, want ErrTruncated", err)
+	}
+}
+
+func TestHeaderRejectsOversizePayload(t *testing.T) {
+	var buf [HeaderSize]byte
+	PutHeader(buf[:], Header{Type: TBulkData, Seq: 1, PayloadLen: MaxPayload + 1})
+	if _, err := ParseHeader(buf[:]); !errors.Is(err, ErrOversize) {
+		t.Fatalf("ParseHeader oversize = %v, want ErrOversize", err)
+	}
+}
+
+func TestTruncatedPayloadsRejected(t *testing.T) {
+	// For every message type, claim a zero-length payload where the
+	// decoder needs bytes; every fixed-size decoder must fail cleanly.
+	for ty := TAllocReq; ty < typeSentinel; ty++ {
+		msg := newMessage(ty)
+		if msg == nil {
+			t.Fatalf("newMessage(%v) = nil", ty)
+		}
+		if msg.payloadSize() == 0 {
+			continue
+		}
+		frame := make([]byte, HeaderSize)
+		PutHeader(frame, Header{Type: ty, Seq: 0, PayloadLen: 0})
+		if _, _, err := Decode(frame); err == nil {
+			t.Errorf("Decode(%v) with empty payload succeeded, want error", ty)
+		}
+	}
+}
+
+func TestHostAddrTooLongRejected(t *testing.T) {
+	long := string(bytes.Repeat([]byte{'a'}, math.MaxUint16+1))
+	_, err := Encode(1, &HostStatus{HostAddr: long})
+	if !errors.Is(err, ErrFieldBounds) {
+		t.Fatalf("Encode with oversize addr = %v, want ErrFieldBounds", err)
+	}
+}
+
+func TestBulkNackTooManyMissingRejected(t *testing.T) {
+	nack := &BulkNack{TransferID: 1, Missing: make([]uint32, math32max+1)}
+	if _, err := Encode(1, nack); err == nil {
+		t.Fatal("Encode of oversized NACK succeeded, want error")
+	}
+}
+
+func TestTypeAndStatusStrings(t *testing.T) {
+	if TAllocReq.String() != "alloc-req" {
+		t.Errorf("TAllocReq.String() = %q", TAllocReq.String())
+	}
+	if Type(250).String() != "wire.Type(250)" {
+		t.Errorf("unknown type String() = %q", Type(250).String())
+	}
+	if StatusNoMem.String() != "no-memory" {
+		t.Errorf("StatusNoMem.String() = %q", StatusNoMem.String())
+	}
+	if Status(250).String() != "wire.Status(250)" {
+		t.Errorf("unknown status String() = %q", Status(250).String())
+	}
+	if HostIdle.String() != "idle" || HostBusy.String() != "busy" {
+		t.Error("HostState strings wrong")
+	}
+	if HostState(9).String() != "wire.HostState(9)" {
+		t.Errorf("unknown host state String() = %q", HostState(9).String())
+	}
+}
+
+func TestRegionKeyString(t *testing.T) {
+	k := RegionKey{Inode: 1, Offset: 2, ClientID: 3}
+	if k.String() != "region(1@2/c3)" {
+		t.Errorf("RegionKey.String() = %q", k.String())
+	}
+}
+
+// Property: AllocReq round-trips for arbitrary keys and lengths.
+func TestPropertyAllocReqRoundTrip(t *testing.T) {
+	f := func(inode uint64, offset int64, client uint32, length uint64, seq uint32) bool {
+		in := &AllocReq{Key: RegionKey{Inode: inode, Offset: offset, ClientID: client}, Length: length}
+		frame, err := Encode(seq, in)
+		if err != nil {
+			return false
+		}
+		h, out, err := Decode(frame)
+		if err != nil || h.Seq != seq {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BulkData round-trips arbitrary payloads byte-for-byte.
+func TestPropertyBulkDataRoundTrip(t *testing.T) {
+	f := func(id uint64, seq32 uint32, payload []byte) bool {
+		if len(payload) > MaxPayload-12 {
+			payload = payload[:MaxPayload-12]
+		}
+		in := &BulkData{TransferID: id, Seq: seq32, Payload: payload}
+		frame, err := Encode(0, in)
+		if err != nil {
+			return false
+		}
+		_, out, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		got := out.(*BulkData)
+		return got.TransferID == id && got.Seq == seq32 && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding arbitrary garbage never panics and either errs or
+// yields a message that re-encodes.
+func TestPropertyDecodeGarbageNeverPanics(t *testing.T) {
+	f := func(garbage []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Decode panicked on %x: %v", garbage, r)
+			}
+		}()
+		h, msg, err := Decode(garbage)
+		if err != nil {
+			return true
+		}
+		_, err = Encode(h.Seq, msg)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: region descriptors round-trip with arbitrary host addresses.
+func TestPropertyRegionRoundTrip(t *testing.T) {
+	f := func(addr string, id, off, length, epoch uint64) bool {
+		if len(addr) > math.MaxUint16 {
+			addr = addr[:math.MaxUint16]
+		}
+		in := &AllocResp{Status: StatusOK, Region: Region{HostAddr: addr, RegionID: id, PoolOffset: off, Length: length, Epoch: epoch}}
+		frame, err := Encode(0, in)
+		if err != nil {
+			return false
+		}
+		_, out, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeReadReq(b *testing.B) {
+	msg := &ReadReq{RegionID: 42, Epoch: 5, Offset: 100, Length: 8192}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(uint32(i), msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBulkData8KB(b *testing.B) {
+	frame, err := Encode(1, &BulkData{TransferID: 1, Seq: 1, Payload: make([]byte, 8192)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package workload implements the paper's synthetic benchmarks (§5.2.2)
+// and the virtual-time application driver used to regenerate the
+// evaluation figures. Each benchmark performs num_iter iterations; in
+// each iteration it reads its entire data set according to its access
+// pattern, one req_size request at a time, with a constant compute time
+// between requests.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Request is one application I/O request.
+type Request struct {
+	Offset int64
+	Size   int64
+	// Write marks a write request (the synthetic benchmarks are pure
+	// readers; lu writes each factored slab back once).
+	Write bool
+}
+
+// Pattern produces the request stream of one iteration over the dataset.
+// Implementations must be deterministic given their seed.
+type Pattern interface {
+	// Name identifies the benchmark ("sequential", "hotcold", "random").
+	Name() string
+	// Dataset returns the dataset size in bytes.
+	Dataset() int64
+	// RequestSize returns the per-request size in bytes.
+	RequestSize() int64
+	// Iteration returns the request sequence of the iter-th pass.
+	Iteration(iter int) []Request
+}
+
+// requests returns the number of requests per iteration.
+func requests(dataset, reqSize int64) int64 { return dataset / reqSize }
+
+// Sequential reads the dataset front to back (§5.2.2 "sequential").
+type Sequential struct {
+	DatasetBytes int64
+	ReqSize      int64
+}
+
+// Name returns "sequential".
+func (s Sequential) Name() string { return "sequential" }
+
+// Dataset returns the dataset size.
+func (s Sequential) Dataset() int64 { return s.DatasetBytes }
+
+// RequestSize returns the request size.
+func (s Sequential) RequestSize() int64 { return s.ReqSize }
+
+// Iteration returns the in-order scan.
+func (s Sequential) Iteration(iter int) []Request {
+	n := requests(s.DatasetBytes, s.ReqSize)
+	out := make([]Request, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = Request{Offset: i * s.ReqSize, Size: s.ReqSize}
+	}
+	return out
+}
+
+// Random reads req-size blocks uniformly at random from the entire
+// dataset (§5.2.2 "random"). One iteration issues dataset/req_size
+// requests, like the others.
+type Random struct {
+	DatasetBytes int64
+	ReqSize      int64
+	Seed         int64
+}
+
+// Name returns "random".
+func (r Random) Name() string { return "random" }
+
+// Dataset returns the dataset size.
+func (r Random) Dataset() int64 { return r.DatasetBytes }
+
+// RequestSize returns the request size.
+func (r Random) RequestSize() int64 { return r.ReqSize }
+
+// Iteration returns one pass of uniform random requests.
+func (r Random) Iteration(iter int) []Request {
+	rng := rand.New(rand.NewSource(r.Seed + int64(iter)*1_000_003))
+	n := requests(r.DatasetBytes, r.ReqSize)
+	blocks := r.DatasetBytes / r.ReqSize
+	out := make([]Request, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = Request{Offset: rng.Int63n(blocks) * r.ReqSize, Size: r.ReqSize}
+	}
+	return out
+}
+
+// HotCold divides the dataset into a 20% hot region and an 80% cold
+// region; 80% of references go to the hot region, and requests within
+// each region are random (§5.2.2 "hotcold").
+type HotCold struct {
+	DatasetBytes int64
+	ReqSize      int64
+	Seed         int64
+	// HotFraction and HotProbability default to the paper's 0.2 / 0.8.
+	HotFraction    float64
+	HotProbability float64
+}
+
+// Name returns "hotcold".
+func (h HotCold) Name() string { return "hotcold" }
+
+// Dataset returns the dataset size.
+func (h HotCold) Dataset() int64 { return h.DatasetBytes }
+
+// RequestSize returns the request size.
+func (h HotCold) RequestSize() int64 { return h.ReqSize }
+
+func (h HotCold) params() (hotFrac, hotProb float64) {
+	hotFrac, hotProb = h.HotFraction, h.HotProbability
+	if hotFrac == 0 {
+		hotFrac = 0.2
+	}
+	if hotProb == 0 {
+		hotProb = 0.8
+	}
+	return hotFrac, hotProb
+}
+
+// Iteration returns one pass of the skewed request mix.
+func (h HotCold) Iteration(iter int) []Request {
+	hotFrac, hotProb := h.params()
+	rng := rand.New(rand.NewSource(h.Seed + int64(iter)*1_000_003))
+	n := requests(h.DatasetBytes, h.ReqSize)
+	blocks := h.DatasetBytes / h.ReqSize
+	hotBlocks := int64(float64(blocks) * hotFrac)
+	if hotBlocks < 1 {
+		hotBlocks = 1
+	}
+	out := make([]Request, n)
+	for i := int64(0); i < n; i++ {
+		var block int64
+		if rng.Float64() < hotProb {
+			block = rng.Int63n(hotBlocks)
+		} else {
+			block = hotBlocks + rng.Int63n(blocks-hotBlocks)
+		}
+		out[i] = Request{Offset: block * h.ReqSize, Size: h.ReqSize}
+	}
+	return out
+}
+
+// TracePattern replays a fixed request trace (used by the dmine and lu
+// drivers, whose patterns come from the real algorithms).
+type TracePattern struct {
+	PatternName string
+	DatasetSize int64
+	ReqSize     int64
+	// Trace holds one iteration's requests; PerIter overrides it with
+	// per-iteration traces (triangle scans shrink every pass).
+	Trace   []Request
+	PerIter [][]Request
+}
+
+// Name returns the configured name.
+func (t TracePattern) Name() string { return t.PatternName }
+
+// Dataset returns the dataset size.
+func (t TracePattern) Dataset() int64 { return t.DatasetSize }
+
+// RequestSize returns the nominal request size.
+func (t TracePattern) RequestSize() int64 { return t.ReqSize }
+
+// Iteration returns the trace for the given pass.
+func (t TracePattern) Iteration(iter int) []Request {
+	if len(t.PerIter) > 0 {
+		return t.PerIter[iter%len(t.PerIter)]
+	}
+	return t.Trace
+}
+
+// Spec bundles a benchmark configuration the way the paper reports one:
+// pattern x request size x dataset size.
+type Spec struct {
+	Pattern Pattern
+	// Iterations is the paper's num_iter (4 in all experiments).
+	Iterations int
+	// Compute is the constant compute time between requests (10 ms).
+	Compute time.Duration
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s/%dKB/%dMB", s.Pattern.Name(), s.Pattern.RequestSize()>>10, s.Pattern.Dataset()>>20)
+}
