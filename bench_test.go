@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dodo/internal/experiments"
+	"dodo/internal/sim"
 )
 
 const benchScale = 0.125
@@ -180,7 +181,7 @@ func BenchmarkNackAblation(b *testing.B) {
 	var rows []experiments.NackRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.NackAblation(0.05, 4, 128<<10, int64(i)+1)
+		rows, err = experiments.NackAblation(sim.WallClock{}, 0.05, 4, 128<<10, int64(i)+1)
 		if err != nil {
 			b.Fatal(err)
 		}

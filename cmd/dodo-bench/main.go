@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dodo/internal/experiments"
+	"dodo/internal/sim"
 )
 
 func main() {
@@ -148,7 +149,7 @@ func main() {
 		fmt.Fprintln(out)
 		experiments.FormatHeadroom(out, experiments.HeadroomAblation(16, 3*24*time.Hour, *seed))
 		fmt.Fprintln(out)
-		nackRows, err := experiments.NackAblation(0.05, 8, 256<<10, *seed)
+		nackRows, err := experiments.NackAblation(sim.WallClock{}, 0.05, 8, 256<<10, *seed)
 		if err != nil {
 			log.Fatalf("dodo-bench: NACK ablation: %v", err)
 		}

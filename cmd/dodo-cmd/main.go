@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dodo"
+	"dodo/internal/sim"
 )
 
 func main() {
@@ -42,12 +43,11 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	var ticker *time.Ticker
+	tickStop := make(chan struct{})
+	defer close(tickStop)
 	var tick <-chan time.Time
 	if *stats > 0 {
-		ticker = time.NewTicker(*stats)
-		tick = ticker.C
-		defer ticker.Stop()
+		tick = sim.Tick(sim.WallClock{}, *stats, tickStop)
 	}
 	for {
 		select {

@@ -11,9 +11,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"time"
 
 	"dodo"
+	"dodo/internal/sim"
 )
 
 func main() {
@@ -32,7 +32,7 @@ func main() {
 		if *watch <= 0 {
 			return
 		}
-		time.Sleep(*watch)
+		sim.WallClock{}.Sleep(*watch)
 		fmt.Fprintln(os.Stdout)
 	}
 }

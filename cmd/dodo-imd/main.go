@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dodo"
+	"dodo/internal/sim"
 )
 
 // parseSize parses "100M", "1G", "512K" or plain bytes.
@@ -44,7 +45,7 @@ func main() {
 	listen := flag.String("listen", "0.0.0.0:7001", "UDP address to serve regions on")
 	managerAddr := flag.String("manager", "", "central manager address (required)")
 	poolFlag := flag.String("pool", "100M", "memory pool size (the paper's imds used 100 MB)")
-	epoch := flag.Uint64("epoch", uint64(time.Now().Unix()), "epoch stamp for this incarnation")
+	epoch := flag.Uint64("epoch", uint64(sim.WallClock{}.Now().Unix()), "epoch stamp for this incarnation")
 	status := flag.Duration("status", time.Second, "availability report interval")
 	verbose := flag.Bool("verbose", false, "log every operation")
 	flag.Parse()

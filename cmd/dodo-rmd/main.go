@@ -23,6 +23,7 @@ import (
 
 	"dodo"
 	"dodo/internal/monitor"
+	"dodo/internal/sim"
 )
 
 func parseSize(s string) (uint64, error) {
@@ -126,15 +127,15 @@ func main() {
 		<-sig
 		close(stopCh)
 	}()
-	ticker := time.NewTicker(time.Second)
-	defer ticker.Stop()
+	clk := sim.WallClock{}
+	tick := sim.Tick(clk, time.Second, stopCh)
 	for {
 		select {
 		case <-stopCh:
-			hooks.OnReclaim(time.Now())
+			hooks.OnReclaim(clk.Now())
 			log.Printf("dodo-rmd: shutting down")
 			return
-		case now := <-ticker.C:
+		case now := <-tick:
 			mon.Step(now)
 		}
 	}

@@ -14,7 +14,12 @@ import (
 
 	"dodo"
 	"dodo/internal/apps/dmine"
+	"dodo/internal/sim"
 )
+
+// clk is the example\'s clock: examples run live against real
+// daemons, so it is the wall clock.
+var clk = sim.WallClock{}
 
 const (
 	transactions = 4000
@@ -70,7 +75,7 @@ func main() {
 		regions := (len(blob) + regionBytes - 1) / regionBytes
 		data := make([]byte, 0, len(blob))
 		buf := make([]byte, regionBytes)
-		start := time.Now()
+		start := clk.Now()
 		for r := 0; r < regions; r++ {
 			off := int64(r * regionBytes)
 			length := int64(regionBytes)
@@ -94,7 +99,7 @@ func main() {
 			}
 			data = append(data, buf[:n]...)
 		}
-		loaded := time.Since(start)
+		loaded := clk.Now().Sub(start)
 
 		got, err := dmine.DecodeCorpus(data)
 		if err != nil {
@@ -125,12 +130,12 @@ func label(first bool) string {
 }
 
 func waitForHosts(mgr *dodo.Manager, want int) {
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := clk.Now().Add(5 * time.Second)
+	for clk.Now().Before(deadline) {
 		if mgr.Stats().IdleHosts >= want {
 			return
 		}
-		time.Sleep(20 * time.Millisecond)
+		clk.Sleep(20 * time.Millisecond)
 	}
 	log.Fatalf("only %d of %d idle hosts registered", mgr.Stats().IdleHosts, want)
 }

@@ -21,8 +21,13 @@ import (
 	"dodo/internal/core"
 	"dodo/internal/manager"
 	"dodo/internal/monitor"
+	"dodo/internal/sim"
 	"dodo/internal/trace"
 )
+
+// clk is the example\'s clock: examples run live against real
+// daemons, so it is the wall clock.
+var clk = sim.WallClock{}
 
 func main() {
 	start := time.Date(1999, 8, 2, 10, 0, 0, 0, time.UTC)
@@ -119,12 +124,12 @@ func main() {
 }
 
 func waitForHosts(c *cluster.Cluster, want int) {
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := clk.Now().Add(5 * time.Second)
+	for clk.Now().Before(deadline) {
 		if c.Manager().Stats().IdleHosts >= want {
 			return
 		}
-		time.Sleep(20 * time.Millisecond)
+		clk.Sleep(20 * time.Millisecond)
 	}
 	log.Fatalf("only %d of %d hosts recruited", c.Manager().Stats().IdleHosts, want)
 }

@@ -18,7 +18,12 @@ import (
 
 	"dodo"
 	"dodo/internal/apps/lu"
+	"dodo/internal/sim"
 )
+
+// clk is the example\'s clock: examples run live against real
+// daemons, so it is the wall clock.
+var clk = sim.WallClock{}
 
 const (
 	n        = 128 // matrix dimension
@@ -134,11 +139,11 @@ func main() {
 		}
 	}
 
-	start := time.Now()
+	start := clk.Now()
 	if err := lu.Factor(store); err != nil {
 		log.Fatalf("factor: %v", err)
 	}
-	elapsed := time.Since(start)
+	elapsed := clk.Now().Sub(start)
 
 	// Verify: reassemble LU and check ||L*U - A||.
 	packed := lu.NewMatrix(n)
@@ -166,12 +171,12 @@ func main() {
 }
 
 func waitForHosts(mgr *dodo.Manager, want int) {
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := clk.Now().Add(5 * time.Second)
+	for clk.Now().Before(deadline) {
 		if mgr.Stats().IdleHosts >= want {
 			return
 		}
-		time.Sleep(20 * time.Millisecond)
+		clk.Sleep(20 * time.Millisecond)
 	}
 	log.Fatalf("only %d of %d idle hosts registered", mgr.Stats().IdleHosts, want)
 }

@@ -13,7 +13,12 @@ import (
 	"time"
 
 	"dodo"
+	"dodo/internal/sim"
 )
+
+// clk is the example\'s clock: examples run live against real
+// daemons, so it is the wall clock.
+var clk = sim.WallClock{}
 
 func main() {
 	// 1. Central manager daemon (cmd) on an ephemeral UDP port.
@@ -93,12 +98,12 @@ func main() {
 }
 
 func waitForHosts(mgr *dodo.Manager, want int) {
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := clk.Now().Add(5 * time.Second)
+	for clk.Now().Before(deadline) {
 		if mgr.Stats().IdleHosts >= want {
 			return
 		}
-		time.Sleep(20 * time.Millisecond)
+		clk.Sleep(20 * time.Millisecond)
 	}
 	log.Fatalf("only %d of %d idle hosts registered", mgr.Stats().IdleHosts, want)
 }

@@ -42,13 +42,13 @@ func CreateFileStore(dir string, rows, cols, slabs, nfiles int) (*FileStore, err
 	for i := 0; i < nfiles; i++ {
 		f, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("band%02d.mat", i)), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
 		if err != nil {
-			st.Close()
+			_ = st.Close()
 			return nil, fmt.Errorf("lu: creating band file %d: %w", i, err)
 		}
 		// Size the band: stripeRows x (cols*slabs) doubles.
 		if err := f.Truncate(int64(st.stripeRows) * int64(cols) * int64(slabs) * elemSize); err != nil {
-			f.Close()
-			st.Close()
+			_ = f.Close()
+			_ = st.Close()
 			return nil, fmt.Errorf("lu: sizing band file %d: %w", i, err)
 		}
 		st.files = append(st.files, f)

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dodo/internal/sim"
 	"dodo/internal/transport"
 	"dodo/internal/wire"
 )
@@ -52,6 +53,10 @@ type Config struct {
 	// instead of just the missing packets. It exists for the ablation
 	// quantifying what §4.4's selective NACK buys.
 	RetransmitFullWindow bool
+	// Clock drives every protocol timer (call retries, window
+	// timeouts, NACK delays, tombstones). Default sim.WallClock{};
+	// inject a sim.VirtualClock to run the protocol in virtual time.
+	Clock sim.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TransferRetries == 0 {
 		c.TransferRetries = 8
+	}
+	if c.Clock == nil {
+		c.Clock = sim.WallClock{}
 	}
 	return c
 }
@@ -223,7 +231,7 @@ func (ep *Endpoint) CallT(to string, msg wire.Message, timeout time.Duration, re
 		if err := ep.tr.Send(to, frame); err != nil {
 			return nil, fmt.Errorf("bulk: call %v to %s: %w", msg.Kind(), to, err)
 		}
-		timer := time.NewTimer(timeout)
+		timerC, timer := sim.NewTimer(ep.cfg.Clock, timeout)
 		select {
 		case resp, ok := <-ch:
 			timer.Stop()
@@ -231,7 +239,7 @@ func (ep *Endpoint) CallT(to string, msg wire.Message, timeout time.Duration, re
 				return nil, ErrClosed
 			}
 			return resp, nil
-		case <-timer.C:
+		case <-timerC:
 		case <-ep.stop:
 			timer.Stop()
 			return nil, ErrClosed
@@ -259,10 +267,12 @@ func (ep *Endpoint) recvLoop() {
 		if err != nil {
 			// Transient receive errors must not kill the daemon, but a
 			// persistently failing transport must not spin either.
+			timerC, timer := sim.NewTimer(ep.cfg.Clock, 5*time.Millisecond)
 			select {
 			case <-ep.stop:
+				timer.Stop()
 				return
-			case <-time.After(5 * time.Millisecond):
+			case <-timerC:
 			}
 			continue
 		}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"dodo/internal/sim"
 	"dodo/internal/wire"
 )
 
@@ -98,7 +99,7 @@ func (ep *Endpoint) SendBulk(to string, id uint64, data []byte) error {
 		retries := 0
 	await:
 		for {
-			timer := time.NewTimer(ep.cfg.WindowTimeout)
+			timerC, timer := sim.NewTimer(ep.cfg.Clock, ep.cfg.WindowTimeout)
 			select {
 			case msg := <-respCh:
 				timer.Stop()
@@ -121,7 +122,7 @@ func (ep *Endpoint) SendBulk(to string, id uint64, data []byte) error {
 						return err
 					}
 				}
-			case <-timer.C:
+			case <-timerC:
 				retries++
 				if retries > ep.cfg.TransferRetries {
 					return fmt.Errorf("bulk: transfer %d window at %d: %w", id, base, ErrTimeout)
@@ -150,7 +151,7 @@ func (ep *Endpoint) SendBulk(to string, id uint64, data []byte) error {
 func (ep *Endpoint) awaitDone(to string, id uint64, offer *wire.BulkOffer, respCh chan wire.Message, blast func([]uint32) error) error {
 	timeouts := 0
 	for timeouts <= ep.cfg.TransferRetries {
-		timer := time.NewTimer(ep.cfg.WindowTimeout)
+		timerC, timer := sim.NewTimer(ep.cfg.Clock, ep.cfg.WindowTimeout)
 		select {
 		case msg := <-respCh:
 			timer.Stop()
@@ -171,7 +172,7 @@ func (ep *Endpoint) awaitDone(to string, id uint64, offer *wire.BulkOffer, respC
 				}
 				// Empty nack: stale window ack; drain it.
 			}
-		case <-timer.C:
+		case <-timerC:
 			timeouts++
 			// Re-offer: a completed receiver answers duplicates with Done.
 			if err := ep.Notify(to, offer); err != nil {
@@ -204,9 +205,9 @@ func (ep *Endpoint) RecvBulk(from string, id uint64, timeout time.Duration) ([]b
 
 	var timeoutCh <-chan time.Time
 	if timeout > 0 {
-		timer := time.NewTimer(timeout)
+		c, timer := sim.NewTimer(ep.cfg.Clock, timeout)
 		defer timer.Stop()
-		timeoutCh = timer.C
+		timeoutCh = c
 	}
 	select {
 	case <-rx.done:
@@ -228,7 +229,7 @@ func (ep *Endpoint) RecvBulk(from string, id uint64, timeout time.Duration) ([]b
 	// reused, so the tombstone cannot mask a future transfer.
 	rx.buf = nil
 	rx.mu.Unlock()
-	time.AfterFunc(tombstoneTTL, func() {
+	sim.AfterFunc(ep.cfg.Clock, tombstoneTTL, func() {
 		ep.mu.Lock()
 		if ep.rx[key] == rx {
 			delete(ep.rx, key)
@@ -263,7 +264,7 @@ type rxTransfer struct {
 	complete bool
 	err      error
 	done     chan struct{}
-	timer    *time.Timer
+	timer    sim.StopTimer
 }
 
 func newRxTransfer(ep *Endpoint, from string, id uint64) *rxTransfer {
@@ -436,7 +437,7 @@ func (rx *rxTransfer) resetTimerLocked() {
 	if rx.timer != nil {
 		rx.timer.Stop()
 	}
-	rx.timer = time.AfterFunc(rx.ep.cfg.NackDelay, rx.nackTimeout)
+	rx.timer = sim.AfterFunc(rx.ep.cfg.Clock, rx.ep.cfg.NackDelay, rx.nackTimeout)
 }
 
 // nackTimeout fires when the current window stalls: identify the missing

@@ -183,8 +183,11 @@ func (c *Cluster) Close() error {
 	ws := append([]*Workstation(nil), c.workstations...)
 	clients := append([]*core.Client(nil), c.clients...)
 	c.mu.Unlock()
+	var first error
 	for _, cli := range clients {
-		cli.Close()
+		if err := cli.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
 	for _, w := range ws {
 		w.mu.Lock()
@@ -192,10 +195,15 @@ func (c *Cluster) Close() error {
 		w.imd = nil
 		w.mu.Unlock()
 		if d != nil {
-			d.Close()
+			if err := d.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
-	return c.mgr.Close()
+	if err := c.mgr.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // AlwaysIdle is a monitor source describing a dedicated (Beowulf-style)

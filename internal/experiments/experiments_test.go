@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dodo/internal/sim"
 )
 
 const testScale = 0.0625 // 64 MB / 128 MB datasets: fast but same ratios
@@ -321,7 +323,7 @@ func TestHeadroomAblation(t *testing.T) {
 }
 
 func TestNackAblation(t *testing.T) {
-	rows, err := NackAblation(0.05, 4, 128<<10, 9)
+	rows, err := NackAblation(sim.WallClock{}, 0.05, 4, 128<<10, 9)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dodo/internal/bulk"
+	"dodo/internal/sim"
 	"dodo/internal/simnet"
 	"dodo/internal/transport"
 )
@@ -24,8 +25,12 @@ type NackRow struct {
 
 // NackAblation runs real bulk transfers through a lossy network with the
 // selective NACK of §4.4 and with naive full-window retransmission,
-// measuring the retransmission traffic each needs.
-func NackAblation(lossRate float64, transfers int, transferBytes int, seed int64) ([]NackRow, error) {
+// measuring the retransmission traffic each needs. clk times the runs
+// and drives the protocol timers (sim.WallClock{} for real benchmarks).
+func NackAblation(clk sim.Clock, lossRate float64, transfers int, transferBytes int, seed int64) ([]NackRow, error) {
+	if clk == nil {
+		clk = sim.WallClock{}
+	}
 	if lossRate <= 0 {
 		lossRate = 0.05
 	}
@@ -42,6 +47,7 @@ func NackAblation(lossRate float64, transfers int, transferBytes int, seed int64
 		NackDelay:       20 * time.Millisecond,
 		RecvWindow:      32,
 		TransferRetries: 20,
+		Clock:           clk,
 	}
 	var rows []NackRow
 	for _, full := range []bool{false, true} {
@@ -59,7 +65,7 @@ func NackAblation(lossRate float64, transfers int, transferBytes int, seed int64
 		rcv := bulk.NewEndpoint(n.Host("receiver"), cfg, nil)
 
 		data := make([]byte, transferBytes)
-		start := time.Now()
+		start := clk.Now()
 		for i := 0; i < transfers; i++ {
 			id := snd.NextTransferID()
 			errCh := make(chan error, 1)
@@ -68,20 +74,20 @@ func NackAblation(lossRate float64, transfers int, transferBytes int, seed int64
 				errCh <- err
 			}()
 			if err := snd.SendBulk("receiver", id, data); err != nil {
-				snd.Close()
-				rcv.Close()
+				_ = snd.Close()
+				_ = rcv.Close()
 				return nil, fmt.Errorf("experiments: %s transfer %d: %w", mode, i, err)
 			}
 			if err := <-errCh; err != nil {
-				snd.Close()
-				rcv.Close()
+				_ = snd.Close()
+				_ = rcv.Close()
 				return nil, fmt.Errorf("experiments: %s receive %d: %w", mode, i, err)
 			}
 		}
-		wall := time.Since(start)
+		wall := clk.Now().Sub(start)
 		retrans, _, _ := snd.Stats()
-		snd.Close()
-		rcv.Close()
+		_ = snd.Close()
+		_ = rcv.Close()
 		chunk := int64(1500 - 24)
 		rows = append(rows, NackRow{
 			Mode:           mode,

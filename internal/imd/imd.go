@@ -166,7 +166,7 @@ func (d *Daemon) Drain() {
 	d.mu.Unlock()
 	d.announce(wire.HostBusy)
 	d.transfers.Wait() // complete ongoing transfers, then exit
-	d.Close()
+	_ = d.Close()      // crash-path teardown; Drain has no error to return
 }
 
 // Close releases the daemon without the polite drain (crash path).

@@ -3,6 +3,7 @@ package monitor
 import (
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -193,22 +194,25 @@ func TestAfterQuietPeriodRule(t *testing.T) {
 
 func TestRunOnVirtualClock(t *testing.T) {
 	clock := sim.NewVirtualClock(t0)
-	recruits := 0
+	var recruits atomic.Int32
 	m := New(scriptedSource(nil, 0), Config{}, Hooks{
-		OnRecruit: func(time.Time) { recruits++ },
+		OnRecruit: func(time.Time) { recruits.Add(1) },
 	})
 	stop := make(chan struct{})
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		// The virtual clock's Sleep advances time, so Run self-drives.
 		m.Run(clock, stop)
 	}()
 	deadline := time.Now().Add(5 * time.Second)
-	for recruits == 0 && time.Now().Before(deadline) {
+	for recruits.Load() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	close(stop)
-	if recruits != 1 {
-		t.Fatalf("recruits = %d, want 1", recruits)
+	<-done
+	if got := recruits.Load(); got != 1 {
+		t.Fatalf("recruits = %d, want 1", got)
 	}
 }
 

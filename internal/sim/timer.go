@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// StopTimer is the cancellation handle shared by wall-clock and
+// virtual-clock timers. Stop reports whether the timer was cancelled
+// before it fired.
+type StopTimer interface {
+	Stop() bool
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) Stop() bool { return w.t.Stop() }
+
+// AfterFunc schedules fn to run once clock c passes now+d and returns a
+// handle that can cancel it. On a VirtualClock the callback fires
+// deterministically, in deadline order, on the goroutine advancing the
+// clock; on any other clock it falls back to time.AfterFunc.
+func AfterFunc(c Clock, d time.Duration, fn func()) StopTimer {
+	if vc, ok := c.(*VirtualClock); ok {
+		return vc.After(d, fn)
+	}
+	return wallTimer{time.AfterFunc(d, fn)}
+}
+
+// NewTimer returns a channel that delivers the clock's time once, at
+// now+d, together with a stop handle. The channel has capacity 1, so
+// the firing never blocks the clock.
+func NewTimer(c Clock, d time.Duration) (<-chan time.Time, StopTimer) {
+	if vc, ok := c.(*VirtualClock); ok {
+		ch := make(chan time.Time, 1)
+		t := vc.After(d, func() { ch <- vc.Now() })
+		return ch, t
+	}
+	t := time.NewTimer(d)
+	return t.C, wallTimer{t}
+}
+
+// Tick returns a channel delivering the clock's time every interval
+// until stop closes. Unlike time.Tick nothing leaks: the wall-clock
+// goroutine exits on stop, and on a VirtualClock the chain of events
+// ends once stop is observed. Ticks are dropped, not queued, when the
+// consumer lags.
+func Tick(c Clock, interval time.Duration, stop <-chan struct{}) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	if vc, ok := c.(*VirtualClock); ok {
+		var schedule func()
+		schedule = func() {
+			vc.After(interval, func() {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				select {
+				case ch <- vc.Now():
+				default:
+				}
+				schedule()
+			})
+		}
+		schedule()
+		return ch
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-t.C:
+				select {
+				case ch <- now:
+				default:
+				}
+			}
+		}
+	}()
+	return ch
+}
+
+// CondWaitTimeout waits on cond until ready() reports true or timeout
+// expires, and reports whether ready became true. The caller must hold
+// cond.L, and still holds it when CondWaitTimeout returns.
+//
+// With timeout <= 0 it degenerates to a plain cond.Wait loop. With a
+// positive timeout it polls: sync.Cond has no timed wait, so the lock
+// is dropped for at most a millisecond at a time until the deadline.
+// The queues this guards are low-traffic test fabrics, where the
+// simplicity beats a channel-based rewrite.
+func CondWaitTimeout(cond *sync.Cond, timeout time.Duration, ready func() bool) bool {
+	if timeout <= 0 {
+		for !ready() {
+			cond.Wait()
+		}
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for !ready() {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return false
+		}
+		wakeup := remaining
+		if wakeup > time.Millisecond {
+			wakeup = time.Millisecond
+		}
+		cond.L.Unlock()
+		time.Sleep(wakeup)
+		cond.L.Lock()
+	}
+	return true
+}

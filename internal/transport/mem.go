@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dodo/internal/sim"
 	"dodo/internal/simnet"
 )
 
@@ -161,33 +162,15 @@ func (e *MemEndpoint) enqueue(from string, data []byte) {
 
 // Recv blocks until a frame arrives, the timeout passes, or Close.
 func (e *MemEndpoint) Recv(timeout time.Duration) ([]byte, string, error) {
-	var deadline time.Time
-	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
-	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for len(e.queue) == 0 {
-		if e.closed.Load() {
-			return nil, "", ErrClosed
-		}
-		if timeout > 0 {
-			remaining := time.Until(deadline)
-			if remaining <= 0 {
-				return nil, "", ErrTimeout
-			}
-			// sync.Cond has no timed wait; poll with a short wake-up.
-			// Test networks are low-traffic, so this is fine.
-			e.mu.Unlock()
-			wakeup := remaining
-			if wakeup > time.Millisecond {
-				wakeup = time.Millisecond
-			}
-			time.Sleep(wakeup)
-			e.mu.Lock()
-			continue
-		}
-		e.cond.Wait()
+	if !sim.CondWaitTimeout(e.cond, timeout, func() bool {
+		return len(e.queue) > 0 || e.closed.Load()
+	}) {
+		return nil, "", ErrTimeout
+	}
+	if len(e.queue) == 0 {
+		return nil, "", ErrClosed
 	}
 	f := e.queue[0]
 	e.queue = e.queue[1:]

@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"dodo/internal/sim"
 )
 
 // MTU is the largest payload of a single U-Net frame: one Ethernet frame
@@ -290,31 +292,15 @@ func (s *Socket) RecvIovec(iov []Iovec, timeout time.Duration) (int, MACAddr, er
 }
 
 func (s *Socket) dequeue(timeout time.Duration) (frame, error) {
-	var deadline time.Time
-	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.queue) == 0 {
-		if s.closed {
-			return frame{}, ErrClosed
-		}
-		if timeout > 0 {
-			remaining := time.Until(deadline)
-			if remaining <= 0 {
-				return frame{}, ErrTimeout
-			}
-			wakeup := remaining
-			if wakeup > time.Millisecond {
-				wakeup = time.Millisecond
-			}
-			s.mu.Unlock()
-			time.Sleep(wakeup)
-			s.mu.Lock()
-			continue
-		}
-		s.cond.Wait()
+	if !sim.CondWaitTimeout(s.cond, timeout, func() bool {
+		return len(s.queue) > 0 || s.closed
+	}) {
+		return frame{}, ErrTimeout
+	}
+	if len(s.queue) == 0 {
+		return frame{}, ErrClosed
 	}
 	f := s.queue[0]
 	s.queue = s.queue[1:]

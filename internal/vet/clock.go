@@ -1,0 +1,77 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// clockAllowlist names the packages that may touch the process clock
+// directly: sim implements the Clock abstraction itself, and the
+// transport/usocket substrates sit below it (kernel socket deadlines
+// and condition-variable polling are inherently wall-clock).
+// Everything else must take a sim.Clock.
+var clockAllowlist = map[string]bool{
+	"dodo/internal/sim":       true,
+	"dodo/internal/transport": true,
+	"dodo/internal/usocket":   true,
+}
+
+// bannedTimeFuncs are the package time entry points that read or
+// schedule against the process clock. Pure data (time.Time,
+// time.Duration, time.Date, constants) stays allowed everywhere.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// ClockDiscipline enforces the virtual-clock discipline that keeps the
+// simulation deterministic: a single time.Now in a daemon makes every
+// trace-driven run diverge, so outside the allowlist all time flows
+// through an injected sim.Clock (sim.WallClock in live deployments).
+var ClockDiscipline = &Analyzer{
+	Name: "clock-discipline",
+	Doc:  "forbid direct time.Now/Sleep/After etc. outside sim/transport/usocket; inject a sim.Clock",
+	Run:  runClockDiscipline,
+}
+
+func runClockDiscipline(pass *Pass) []Finding {
+	if clockAllowlist[pass.Pkg.Path()] {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pass.Files {
+		if pass.isTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			// Methods (t.After(u), t.Sub(u), timer.Stop()) are pure data
+			// manipulation; only the package-level functions read or
+			// schedule against the process clock.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if !bannedTimeFuncs[fn.Name()] {
+				return true
+			}
+			findings = append(findings, findingAt(pass, "clock-discipline", call,
+				"call to time.%s bypasses the injected sim.Clock; take a sim.Clock (sim.WallClock in live code) so simulated runs stay deterministic", fn.Name()))
+			return true
+		})
+	}
+	return findings
+}

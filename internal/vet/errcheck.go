@@ -1,0 +1,80 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// monitoredMethods are the method names whose error results carry
+// correctness-critical information in this codebase: the client API of
+// §3.2 (a discarded Mwrite error silently loses the remote copy), the
+// region cache layer, the transport primitives, and io.Closer.Close on
+// resources whose teardown can fail. bulk.Endpoint.Notify is
+// deliberately absent: it is the protocol's best-effort fire-and-forget
+// path.
+var monitoredMethods = map[string]bool{
+	"Mread":  true,
+	"Mwrite": true,
+	"Mclose": true,
+	"Msync":  true,
+	"Cread":  true,
+	"Cwrite": true,
+	"Send":   true,
+	"Recv":   true,
+	"Close":  true,
+}
+
+// UncheckedError flags statement-position calls to the monitored
+// methods, where every result — including the error — is discarded.
+// Explicit discards (`_ = f.Close()`) and deferred cleanup
+// (`defer f.Close()`) remain allowed: both are visible declarations
+// that the error was considered.
+var UncheckedError = &Analyzer{
+	Name: "unchecked-error",
+	Doc:  "flag discarded errors from the client API (Mread/Mwrite/...), transport Send/Recv and Close",
+	Run:  runUncheckedError,
+}
+
+func runUncheckedError(pass *Pass) []Finding {
+	var findings []Finding
+	check := func(stmt ast.Stmt) {
+		var call *ast.CallExpr
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if c, ok := s.X.(*ast.CallExpr); ok {
+				call = c
+			}
+		case *ast.GoStmt:
+			call = s.Call
+		}
+		if call == nil {
+			return
+		}
+		fn := funcFor(pass.Info, call)
+		if fn == nil || !monitoredMethods[fn.Name()] {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return // plain functions (e.g. signal.Notify) are out of scope
+		}
+		results := sig.Results()
+		if results.Len() == 0 || !isErrorType(results.At(results.Len()-1).Type()) {
+			return
+		}
+		findings = append(findings, findingAt(pass, "unchecked-error", call,
+			"error result of %s is discarded; check it or assign it to _ explicitly", fn.Name()))
+	}
+	for _, file := range pass.Files {
+		if pass.isTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if stmt, ok := n.(ast.Stmt); ok {
+				check(stmt)
+			}
+			return true
+		})
+	}
+	return findings
+}

@@ -1,0 +1,195 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` in dir over the given
+// patterns and returns the decoded package stream. The -export flag
+// makes the go command compile (or fetch from the build cache) every
+// listed package and report the file holding its export data, which is
+// what lets the stdlib gc importer resolve imports without
+// golang.org/x/tools.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("vet: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("vet: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter builds a types.Importer that reads gc export data from
+// the files go list reported.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("vet: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// newInfo allocates the types.Info maps the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// LoadPackages loads, parses and type-checks every non-test package
+// matched by patterns (relative to dir, e.g. "./..."), returning one
+// Pass per package. Test files are excluded: the invariants govern the
+// product code, and tests legitimately poke at wall clocks.
+func LoadPackages(dir string, patterns ...string) ([]*Pass, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []listPkg
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("vet: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var passes []*Pass
+	for _, p := range targets {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("vet: %v", err)
+			}
+			files = append(files, f)
+		}
+		conf := types.Config{Importer: imp}
+		info := newInfo()
+		pkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("vet: type-checking %s: %v", p.ImportPath, err)
+		}
+		passes = append(passes, &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info})
+	}
+	return passes, nil
+}
+
+// LoadFixtureDir parses and type-checks the single package of Go files
+// under dir (a testdata fixture, invisible to the go tool), checking it
+// under the given import path so path-sensitive analyzers (allowlists,
+// daemon-package sets) can be exercised from fixtures. Fixture imports
+// must resolve via the toolchain — in practice, standard library only.
+func LoadFixtureDir(dir, pkgPath string) (*Pass, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("vet: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("vet: %v", err)
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			if path, err := strconv.Unquote(spec.Path.Value); err == nil {
+				importSet[path] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("vet: no Go files in %s", dir)
+	}
+	var imports []string
+	for path := range importSet {
+		imports = append(imports, path)
+	}
+	sort.Strings(imports)
+
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		pkgs, err := goList(dir, imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	conf := types.Config{Importer: exportImporter(fset, exports)}
+	info := newInfo()
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("vet: type-checking fixture %s: %v", dir, err)
+	}
+	return &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,341 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexHygiene enforces three rules about lock-bearing types:
+//
+//  1. methods on types containing a sync.Mutex/sync.RWMutex must use
+//     pointer receivers (a value receiver locks a copy, guarding
+//     nothing);
+//  2. values of such types must not be copied — by assignment,
+//     dereference, parameter passing or range — for the same reason;
+//  3. no channel send may happen while a mutex is held: the receiver
+//     may be arbitrarily slow (or itself blocked on the same lock),
+//     turning a critical section into a deadlock.
+//
+// The send check is a linear, intra-procedural approximation: lock
+// depth is tracked in statement order, branches that end in return are
+// treated as leaving the lock state unchanged on the fall-through path,
+// and loop bodies are assumed to balance their locks. It under-reports
+// in convoluted flows but never needs annotations.
+var MutexHygiene = &Analyzer{
+	Name: "mutex-hygiene",
+	Doc:  "flag value receivers/copies of mutex-bearing types and channel sends under a held lock",
+	Run:  runMutexHygiene,
+}
+
+// containsMutex reports whether a value of type t directly embeds a
+// sync.Mutex or sync.RWMutex (possibly through nested structs and
+// arrays). Pointers, slices, maps and interfaces stop the walk: copying
+// a pointer to a lock is fine.
+func containsMutex(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+		return containsMutex(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutex(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(u.Elem(), seen)
+	}
+	return false
+}
+
+func hasMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return containsMutex(t, make(map[types.Type]bool))
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func runMutexHygiene(pass *Pass) []Finding {
+	var findings []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		findings = append(findings, findingAt(pass, "mutex-hygiene", n, format, args...))
+	}
+
+	checkParams := func(ft *ast.FuncType) {
+		if ft.Params == nil {
+			return
+		}
+		for _, field := range ft.Params.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+				continue
+			}
+			if hasMutex(tv.Type) {
+				report(field.Type, "parameter of type %s passes a lock by value; use a pointer", tv.Type)
+			}
+		}
+	}
+
+	// copySource reports whether expr reads an existing value (so that
+	// assigning it copies), as opposed to creating one (composite
+	// literal, function call) — constructors legitimately return
+	// zero-valued lock-bearing structs.
+	var copySource func(expr ast.Expr) bool
+	copySource = func(expr ast.Expr) bool {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+			return true
+		case *ast.StarExpr:
+			_ = e
+			return true
+		}
+		return false
+	}
+	checkCopy := func(rhs ast.Expr) {
+		if !copySource(rhs) {
+			return
+		}
+		tv, ok := pass.Info.Types[rhs]
+		if !ok {
+			return
+		}
+		if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+			return
+		}
+		if hasMutex(tv.Type) {
+			report(rhs, "assignment copies a value of type %s, which contains a mutex; use a pointer", tv.Type)
+		}
+	}
+
+	for _, file := range pass.Files {
+		if pass.isTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				if node.Recv != nil && len(node.Recv.List) == 1 {
+					if fn, ok := pass.Info.Defs[node.Name].(*types.Func); ok {
+						recv := fn.Type().(*types.Signature).Recv()
+						if recv != nil {
+							if _, isPtr := recv.Type().(*types.Pointer); !isPtr && hasMutex(recv.Type()) {
+								report(node.Recv.List[0].Type,
+									"method %s has a value receiver but %s contains a mutex; use a pointer receiver", node.Name.Name, recv.Type())
+							}
+						}
+					}
+				}
+				checkParams(node.Type)
+				if node.Body != nil {
+					findings = append(findings, checkSendsUnderLock(pass, node.Body)...)
+				}
+			case *ast.FuncLit:
+				checkParams(node.Type)
+				findings = append(findings, checkSendsUnderLock(pass, node.Body)...)
+			case *ast.AssignStmt:
+				for i, rhs := range node.Rhs {
+					// `_ = x` discards the value; no lock escapes.
+					if len(node.Lhs) == len(node.Rhs) && isBlank(node.Lhs[i]) {
+						continue
+					}
+					checkCopy(rhs)
+				}
+			case *ast.ValueSpec:
+				for i, rhs := range node.Values {
+					if len(node.Names) == len(node.Values) && node.Names[i].Name == "_" {
+						continue
+					}
+					checkCopy(rhs)
+				}
+			case *ast.RangeStmt:
+				if node.Value != nil && !isBlank(node.Value) {
+					// In a `for _, v := range` the value ident is being
+					// defined, so its type lives in Defs, not Types.
+					var t types.Type
+					if tv, ok := pass.Info.Types[node.Value]; ok {
+						t = tv.Type
+					} else if id, ok := node.Value.(*ast.Ident); ok {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							t = obj.Type()
+						}
+					}
+					if hasMutex(t) {
+						report(node.Value, "range copies values of type %s, which contains a mutex; range over indices or pointers", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// lockDelta classifies a statement-position call: +1 for
+// sync.(*Mutex).Lock / RLock, -1 for Unlock / RUnlock, 0 otherwise.
+func lockDelta(info *types.Info, stmt ast.Stmt) int {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return 0
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return 0
+	}
+	fn := funcFor(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return 0
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return 1
+	case "Unlock", "RUnlock":
+		return -1
+	}
+	return 0
+}
+
+// checkSendsUnderLock walks one function body (not descending into
+// nested function literals, which run in their own lock context) and
+// flags channel sends made while the lock-depth counter is positive.
+// defer mu.Unlock() intentionally does not decrement: the lock stays
+// held for the remainder of the body.
+func checkSendsUnderLock(pass *Pass, body *ast.BlockStmt) []Finding {
+	var findings []Finding
+	flag := func(s *ast.SendStmt) {
+		findings = append(findings, findingAt(pass, "mutex-hygiene", s,
+			"channel send while holding a mutex; the receiver can stall (or deadlock) the critical section — send after unlocking"))
+	}
+
+	// walk processes stmts in order at the given entry lock depth and
+	// returns the fall-through depth plus whether the sequence always
+	// terminates (return/break/continue/goto) before falling through.
+	var walk func(stmts []ast.Stmt, depth int) (int, bool)
+
+	walkClauses := func(bodies [][]ast.Stmt, depth int, sends []*ast.SendStmt) int {
+		for _, s := range sends {
+			if depth > 0 {
+				flag(s)
+			}
+		}
+		// The fall-through depth is the most optimistic (lowest) over
+		// the entry depth and every non-terminating clause: under-flag
+		// rather than false-positive on asymmetric branches.
+		min := depth
+		for _, b := range bodies {
+			d, term := walk(b, depth)
+			if !term && d < min {
+				min = d
+			}
+		}
+		return min
+	}
+
+	walk = func(stmts []ast.Stmt, depth int) (int, bool) {
+		for _, stmt := range stmts {
+			switch s := stmt.(type) {
+			case *ast.ExprStmt:
+				if d := lockDelta(pass.Info, stmt); d != 0 {
+					depth += d
+					if depth < 0 {
+						depth = 0
+					}
+				}
+			case *ast.SendStmt:
+				if depth > 0 {
+					flag(s)
+				}
+			case *ast.DeferStmt:
+				// Deferred unlocks release at return, not here; deferred
+				// sends run outside this statement order. Skip.
+			case *ast.BlockStmt:
+				d, term := walk(s.List, depth)
+				depth = d
+				if term {
+					return depth, true
+				}
+			case *ast.IfStmt:
+				bodyDepth, bodyTerm := walk(s.Body.List, depth)
+				elseDepth, elseTerm := depth, false
+				hasElse := s.Else != nil
+				if hasElse {
+					elseDepth, elseTerm = walk([]ast.Stmt{s.Else}, depth)
+				}
+				switch {
+				case bodyTerm && elseTerm && hasElse:
+					return depth, true
+				case bodyTerm:
+					depth = elseDepth
+				case elseTerm:
+					depth = bodyDepth
+				default:
+					if bodyDepth < elseDepth {
+						depth = bodyDepth
+					} else {
+						depth = elseDepth
+					}
+				}
+			case *ast.ForStmt:
+				depth = walkClauses([][]ast.Stmt{s.Body.List}, depth, nil)
+			case *ast.RangeStmt:
+				depth = walkClauses([][]ast.Stmt{s.Body.List}, depth, nil)
+			case *ast.SwitchStmt:
+				var bodies [][]ast.Stmt
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						bodies = append(bodies, cc.Body)
+					}
+				}
+				depth = walkClauses(bodies, depth, nil)
+			case *ast.TypeSwitchStmt:
+				var bodies [][]ast.Stmt
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						bodies = append(bodies, cc.Body)
+					}
+				}
+				depth = walkClauses(bodies, depth, nil)
+			case *ast.SelectStmt:
+				var bodies [][]ast.Stmt
+				var sends []*ast.SendStmt
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						if send, ok := cc.Comm.(*ast.SendStmt); ok {
+							sends = append(sends, send)
+						}
+						bodies = append(bodies, cc.Body)
+					}
+				}
+				depth = walkClauses(bodies, depth, sends)
+			case *ast.LabeledStmt:
+				d, term := walk([]ast.Stmt{s.Stmt}, depth)
+				depth = d
+				if term {
+					return depth, true
+				}
+			case *ast.ReturnStmt, *ast.BranchStmt:
+				return depth, true
+			case *ast.GoStmt:
+				// The goroutine body runs concurrently with its own lock
+				// state; function literals are analyzed separately.
+			}
+		}
+		return depth, false
+	}
+	walk(body.List, 0)
+	return findings
+}

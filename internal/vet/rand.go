@@ -1,0 +1,60 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// allowedRandFuncs are the math/rand entry points that construct an
+// explicitly seeded generator rather than consulting the global one.
+var allowedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// SeededRand forbids the top-level math/rand convenience functions
+// (rand.Intn, rand.Float64, rand.Shuffle, ...): they draw from the
+// process-global generator, whose state depends on everything else that
+// has run, so two invocations of the same experiment diverge. All
+// randomness must flow from a rand.New(rand.NewSource(seed)) owned by
+// the component, with the seed recorded in its config.
+var SeededRand = &Analyzer{
+	Name: "seeded-rand",
+	Doc:  "forbid global math/rand functions; use rand.New(rand.NewSource(seed)) for reproducibility",
+	Run:  runSeededRand,
+}
+
+func runSeededRand(pass *Pass) []Finding {
+	var findings []Finding
+	for _, file := range pass.Files {
+		if pass.isTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if path := fn.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand carry their own source; only the
+			// package-level functions touch the global generator.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if allowedRandFuncs[fn.Name()] {
+				return true
+			}
+			findings = append(findings, findingAt(pass, "seeded-rand", call,
+				"call to %s.%s uses the process-global generator; use rand.New(rand.NewSource(seed)) so experiments replay deterministically", fn.Pkg().Path(), fn.Name()))
+			return true
+		})
+	}
+	return findings
+}

@@ -1,0 +1,44 @@
+// Fixture for the clock-discipline analyzer. Checked twice: under a
+// non-allowlisted import path every marked line must be flagged; under
+// dodo/internal/sim the whole file must be silent.
+package fixture
+
+import "time"
+
+func readsClock() time.Time {
+	return time.Now() // want `call to time\.Now`
+}
+
+func sleeps() {
+	time.Sleep(10 * time.Millisecond) // want `call to time\.Sleep`
+}
+
+func measures(start time.Time) time.Duration {
+	elapsed := time.Since(start) // want `call to time\.Since`
+	_ = time.Until(start)        // want `call to time\.Until`
+	return elapsed
+}
+
+func schedules(done chan struct{}) {
+	select {
+	case <-time.After(time.Second): // want `call to time\.After`
+	case <-done:
+	}
+	timer := time.NewTimer(time.Second) // want `call to time\.NewTimer`
+	timer.Stop()
+	ticker := time.NewTicker(time.Second) // want `call to time\.NewTicker`
+	ticker.Stop()
+	time.AfterFunc(time.Second, func() {}) // want `call to time\.AfterFunc`
+}
+
+// Pure time data is allowed everywhere: only clock reads and timer
+// scheduling break determinism.
+func allowed() {
+	var t time.Time
+	d := 3 * time.Second
+	t = t.Add(d)
+	_ = t.Before(time.Date(1999, 8, 2, 0, 0, 0, 0, time.UTC))
+	_ = t.After(time.Date(1999, 8, 2, 0, 0, 0, 0, time.UTC)) // method, not time.After
+	_ = time.Duration(42).String()
+	_ = time.Unix(99, 0)
+}

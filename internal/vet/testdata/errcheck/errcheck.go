@@ -1,0 +1,59 @@
+// Fixture for the unchecked-error analyzer. The monitored surface is
+// name-based (Mread/Mwrite/Mclose/Msync, Cread/Cwrite, Send/Recv,
+// Close) so the fixture models it with local types.
+package fixture
+
+type conn struct{}
+
+func (conn) Send(to string, data []byte) error { return nil }
+func (conn) Recv() ([]byte, string, error)     { return nil, "", nil }
+func (conn) Close() error                      { return nil }
+
+type client struct{}
+
+func (client) Mread(fd int, off int64, buf []byte) (int, error)  { return 0, nil }
+func (client) Mwrite(fd int, off int64, buf []byte) (int, error) { return 0, nil }
+func (client) Mclose(fd int) error                               { return nil }
+func (client) Msync(fd int) error                                { return nil }
+func (client) Notify(to string) error                            { return nil }
+
+type region struct{}
+
+func (region) Cread(buf []byte) (int, error)  { return 0, nil }
+func (region) Cwrite(buf []byte) (int, error) { return 0, nil }
+
+// silent has no error result; statement position is fine.
+type quiet struct{}
+
+func (quiet) Close() {}
+
+func discarded(c conn, cl client, r region) {
+	c.Send("host", nil)    // want `error result of Send is discarded`
+	c.Recv()               // want `error result of Recv is discarded`
+	c.Close()              // want `error result of Close is discarded`
+	cl.Mread(0, 0, nil)    // want `error result of Mread is discarded`
+	cl.Mwrite(0, 0, nil)   // want `error result of Mwrite is discarded`
+	cl.Mclose(0)           // want `error result of Mclose is discarded`
+	cl.Msync(0)            // want `error result of Msync is discarded`
+	r.Cread(nil)           // want `error result of Cread is discarded`
+	r.Cwrite(nil)          // want `error result of Cwrite is discarded`
+	go c.Send("host", nil) // want `error result of Send is discarded`
+}
+
+func handled(c conn, cl client, r region, q quiet) {
+	if err := c.Send("host", nil); err != nil {
+		_ = err
+	}
+	_, _, _ = c.Recv()
+	defer c.Close() // deferred cleanup is a visible idiom, allowed
+	_ = c.Close()   // explicit discard, allowed
+	if _, err := cl.Mread(0, 0, nil); err != nil {
+		_ = err
+	}
+	_ = cl.Mclose(0)
+	_ = cl.Notify("host") // Notify is best-effort, not monitored
+	cl.Notify("host")
+	n, err := r.Cwrite(nil)
+	_, _ = n, err
+	q.Close() // no error result to lose
+}

@@ -1,0 +1,65 @@
+// Fixture for the goroutine-lifecycle analyzer. Checked under a daemon
+// import path (dodo/internal/manager) every marked launch must be
+// flagged; under a non-daemon path the file must be silent.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+type daemon struct{ n int }
+
+func (d *daemon) pump() { d.n++ }
+
+type loop struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (l *loop) run() { <-l.stop }
+
+func untracked(d *daemon) {
+	go func() { d.n++ }() // want `cannot be stopped or awaited`
+	go d.pump()           // want `cannot be stopped or awaited`
+}
+
+func tracked(l *loop, ctx context.Context, work func(context.Context)) {
+	stop := make(chan struct{})
+	go func() { <-stop }()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+
+	go func() {
+		select {
+		case <-ctx.Done():
+		}
+	}()
+
+	go func() {
+		work(ctx) // references a context.Context
+	}()
+
+	// Named launches: the receiver carries stop+wg, or an argument does.
+	go l.run()
+	go work(ctx)
+	d := &daemon{}
+	go pumpUntil(d, stop)
+	close(stop)
+	wg.Wait()
+}
+
+func pumpUntil(d *daemon, stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			d.pump()
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Fixture for the seeded-rand analyzer: top-level math/rand calls draw
+// from the process-global generator and are forbidden; explicitly
+// seeded generators are the sanctioned path.
+package fixture
+
+import "math/rand"
+
+func global() {
+	_ = rand.Intn(10)     // want `math/rand\.Intn`
+	_ = rand.Float64()    // want `math/rand\.Float64`
+	_ = rand.Int63()      // want `math/rand\.Int63`
+	_ = rand.Perm(8)      // want `math/rand\.Perm`
+	rand.Shuffle(4, func(i, j int) {}) // want `math/rand\.Shuffle`
+}
+
+func seeded(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Intn(10)
+	_ = rng.Float64()
+	rng.Shuffle(4, func(i, j int) {})
+	z := rand.NewZipf(rng, 1.1, 1, 100)
+	_ = z.Uint64()
+}

@@ -1,0 +1,140 @@
+// Package vet implements dodo-vet, the repo-specific static-analysis
+// suite. Every speedup curve this repository reproduces rests on the
+// calibrated simulation being deterministic and race-free, so the
+// invariants that keep it honest are enforced mechanically rather than
+// by convention:
+//
+//   - clock-discipline: no direct time.Now/time.Sleep/time.After (and
+//     friends) outside the low-level packages that implement clocks and
+//     transports; everything else takes a sim.Clock.
+//   - seeded-rand: no top-level math/rand calls; randomness flows from
+//     rand.New(rand.NewSource(seed)) so experiments replay bit-for-bit.
+//   - unchecked-error: the client API (Mread/Mwrite/Mclose/Msync,
+//     Cread/Cwrite), transport Send/Recv and io.Closer Close must not
+//     have their error results silently discarded in non-test code.
+//   - mutex-hygiene: no value receivers or value copies of types
+//     containing sync.Mutex/sync.RWMutex, and no channel sends while a
+//     mutex is held.
+//   - goroutine-lifecycle: goroutines launched in daemon packages must
+//     be tied to a done-channel, context.Context or sync.WaitGroup.
+//
+// The analyzers are written against the stdlib go/ast + go/types stack
+// only; package loading shells out to the go command for export data
+// (see load.go), so the tool needs no dependencies beyond the toolchain.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the finding as "file:line: analyzer: message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Pass is the per-package unit of work handed to each analyzer: the
+// parsed syntax plus full type information.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// isTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the short rule name used in findings ("clock-discipline").
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Run inspects one package and returns its violations.
+	Run func(*Pass) []Finding
+}
+
+// findingAt builds a Finding for the given rule at n's position. Run
+// functions use it with their literal rule name (rather than through
+// the Analyzer variable) to avoid initialization cycles.
+func findingAt(p *Pass, analyzer string, n ast.Node, format string, args ...any) Finding {
+	return Finding{
+		Pos:      p.Fset.Position(n.Pos()),
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ClockDiscipline,
+		SeededRand,
+		UncheckedError,
+		MutexHygiene,
+		GoroutineLifecycle,
+	}
+}
+
+// Check runs the given analyzers over every pass and returns all
+// findings sorted by file, line and analyzer.
+func Check(passes []*Pass, analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, pass := range passes {
+		for _, a := range analyzers {
+			all = append(all, a.Run(pass)...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// funcFor resolves the called function object of a call expression, or
+// nil when the callee is not a known *types.Func (e.g. a func-typed
+// variable or a type conversion).
+func funcFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "error"
+}

@@ -1,0 +1,184 @@
+package vet
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted expectation patterns from a // want
+// comment; both forms are accepted: want "pat" and want `pat`.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses the fixture's // want comments into positional
+// expectations, keyed to the line the comment sits on.
+func collectWants(t *testing.T, pass *Pass) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[idx:], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden checks one analyzer against its testdata fixture: every
+// finding must match a // want comment on its line, and every want
+// must be hit.
+func runGolden(t *testing.T, a *Analyzer, fixture, pkgPath string) {
+	t.Helper()
+	pass, err := LoadFixtureDir("testdata/"+fixture, pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, pass)
+	findings := a.Run(pass)
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.pattern.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func TestClockDisciplineGolden(t *testing.T) {
+	runGolden(t, ClockDiscipline, "clock", "dodo/internal/experiments")
+}
+
+func TestClockDisciplineAllowlist(t *testing.T) {
+	// The same fixture checked under an allowlisted import path must be
+	// silent: sim/transport/usocket implement the clocks themselves.
+	pass, err := LoadFixtureDir("testdata/clock", "dodo/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := ClockDiscipline.Run(pass); len(fs) != 0 {
+		t.Fatalf("allowlisted package produced findings: %v", fs)
+	}
+}
+
+func TestSeededRandGolden(t *testing.T) {
+	runGolden(t, SeededRand, "rand", "dodo/internal/workload")
+}
+
+func TestUncheckedErrorGolden(t *testing.T) {
+	runGolden(t, UncheckedError, "errcheck", "dodo/internal/core")
+}
+
+func TestMutexHygieneGolden(t *testing.T) {
+	runGolden(t, MutexHygiene, "mutex", "dodo/internal/manager")
+}
+
+func TestGoroutineLifecycleGolden(t *testing.T) {
+	runGolden(t, GoroutineLifecycle, "goroutine", "dodo/internal/manager")
+}
+
+func TestGoroutineLifecycleOnlyDaemonPackages(t *testing.T) {
+	// Outside the daemon set the same fixture must be silent: request-
+	// scoped helpers may use fire-and-forget goroutines.
+	pass, err := LoadFixtureDir("testdata/goroutine", "dodo/internal/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := GoroutineLifecycle.Run(pass); len(fs) != 0 {
+		t.Fatalf("non-daemon package produced findings: %v", fs)
+	}
+}
+
+// TestCleanTree is the enforcement test: the repository itself must be
+// free of findings. It is the same check `go run ./cmd/dodo-vet ./...`
+// performs in verify.sh, kept here so a plain `go test ./...` also
+// fails when an invariant regresses.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	passes, err := LoadPackages("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	findings := Check(passes, All())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestFindingFormat pins the file:line: analyzer: message contract that
+// editors and CI log-matchers rely on.
+func TestFindingFormat(t *testing.T) {
+	pass, err := LoadFixtureDir("testdata/clock", "dodo/internal/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := ClockDiscipline.Run(pass)
+	if len(findings) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	got := findings[0].String()
+	want := fmt.Sprintf("%s:%d: clock-discipline: ", findings[0].Pos.Filename, findings[0].Pos.Line)
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("finding %q does not start with %q", got, want)
+	}
+}
+
+// TestLoadPackagesExcludesTests documents that the loader analyzes only
+// non-test compilation units.
+func TestLoadPackagesExcludesTests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	passes, err := LoadPackages("../..", "./internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range passes {
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Pos()).Filename
+			if strings.HasSuffix(name, "_test.go") {
+				t.Errorf("test file %s was loaded", name)
+			}
+		}
+	}
+}
