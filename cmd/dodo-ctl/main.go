@@ -41,6 +41,8 @@ func print(s dodo.ClusterState) {
 	fmt.Printf("manager: %d idle hosts, %d regions, %d clients\n", len(s.Hosts), s.Regions, s.Clients)
 	fmt.Printf("counters: %d allocs (%d failed), %d frees, %d stale drops, %d orphan reclaims\n",
 		s.Allocs, s.AllocFailures, s.Frees, s.StaleDrops, s.OrphanReclaims)
+	fmt.Printf("recovery: %d drops, %d revalidations, %d re-opens\n",
+		s.ClientDrops, s.ClientRevalidations, s.ClientReopens)
 	if len(s.Hosts) == 0 {
 		return
 	}

@@ -171,6 +171,10 @@ type ClusterState struct {
 	Clients uint64
 
 	Allocs, AllocFailures, Frees, StaleDrops, OrphanReclaims uint64
+	// Client recovery counters, aggregated by the manager from
+	// keep-alive acks: drop-host events, checkAlloc revalidation probes,
+	// and transparent region re-opens.
+	ClientDrops, ClientRevalidations, ClientReopens uint64
 }
 
 // QueryCluster asks the central manager at managerAddr (over UDP) for
@@ -191,13 +195,16 @@ func QueryCluster(managerAddr string) (ClusterState, error) {
 		return ClusterState{}, fmt.Errorf("dodo: manager refused the stats query")
 	}
 	return ClusterState{
-		Hosts:          st.Hosts,
-		Regions:        st.Regions,
-		Clients:        st.Clients,
-		Allocs:         st.Allocs,
-		AllocFailures:  st.AllocFailures,
-		Frees:          st.Frees,
-		StaleDrops:     st.StaleDrops,
-		OrphanReclaims: st.OrphanReclaims,
+		Hosts:               st.Hosts,
+		Regions:             st.Regions,
+		Clients:             st.Clients,
+		Allocs:              st.Allocs,
+		AllocFailures:       st.AllocFailures,
+		Frees:               st.Frees,
+		StaleDrops:          st.StaleDrops,
+		OrphanReclaims:      st.OrphanReclaims,
+		ClientDrops:         st.ClientDrops,
+		ClientRevalidations: st.ClientRevalidations,
+		ClientReopens:       st.ClientReopens,
 	}, nil
 }

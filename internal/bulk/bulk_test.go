@@ -433,3 +433,59 @@ func BenchmarkBulkTransfer64KBMem(b *testing.B) {
 		}
 	}
 }
+
+// TestTransferIDReuseAcrossRestart pins down the restarted-sender id
+// collision: a receiver keys transfer state by (address, id), so a new
+// endpoint at an old address that restarts its id counter collides with
+// the predecessor's tombstones, and its transfers are answered from
+// stale state instead of delivering bytes. SeedTransferIDs is the cure.
+func TestTransferIDReuseAcrossRestart(t *testing.T) {
+	n := transport.NewNetwork()
+	a := NewEndpoint(n.Host("a"), fastCfg(), nil)
+	t.Cleanup(func() { a.Close() })
+
+	// Incarnation 1 delivers transfer 1 and the receiver consumes it.
+	b1 := NewEndpoint(n.Host("b"), fastCfg(), nil)
+	id1 := b1.NextTransferID()
+	old := bytes.Repeat([]byte{0xAA}, 4000)
+	if err := b1.SendBulk("a", id1, old); err != nil {
+		t.Fatalf("incarnation 1 SendBulk: %v", err)
+	}
+	if got, err := a.RecvBulk("b", id1, 5*time.Second); err != nil || !bytes.Equal(got, old) {
+		t.Fatalf("incarnation 1 RecvBulk: %v", err)
+	}
+	b1.Close()
+
+	// Incarnation 2 restarts the counter: it reuses id 1, the receiver's
+	// tombstone confirms the transfer without taking the bytes, and the
+	// delivery is silently lost.
+	b2 := NewEndpoint(n.Host("b"), fastCfg(), nil)
+	if id := b2.NextTransferID(); id != id1 {
+		t.Fatalf("unseeded restart allocated id %d, want reuse of %d", id, id1)
+	}
+	fresh := bytes.Repeat([]byte{0xBB}, 4000)
+	if err := b2.SendBulk("a", id1, fresh); err != nil {
+		t.Fatalf("incarnation 2 SendBulk: %v", err)
+	}
+	if _, err := a.RecvBulk("b", id1, 5*time.Second); !errors.Is(err, ErrConsumed) {
+		t.Fatalf("reused id RecvBulk error = %v, want ErrConsumed", err)
+	}
+	b2.Close()
+
+	// Incarnation 3 seeds an epoch-scoped base: ids stop colliding and
+	// transfers deliver again.
+	b3 := NewEndpoint(n.Host("b"), fastCfg(), nil)
+	t.Cleanup(func() { b3.Close() })
+	b3.SeedTransferIDs(2 << 32)
+	id3 := b3.NextTransferID()
+	if id3 == id1 {
+		t.Fatalf("seeded incarnation reused id %d", id1)
+	}
+	if err := b3.SendBulk("a", id3, fresh); err != nil {
+		t.Fatalf("incarnation 3 SendBulk: %v", err)
+	}
+	got, err := a.RecvBulk("b", id3, 5*time.Second)
+	if err != nil || !bytes.Equal(got, fresh) {
+		t.Fatalf("incarnation 3 RecvBulk: %v", err)
+	}
+}

@@ -28,6 +28,12 @@ var (
 	ErrClosed   = errors.New("bulk: endpoint closed")
 	ErrTimeout  = errors.New("bulk: operation timed out")
 	ErrRejected = errors.New("bulk: transfer rejected by receiver")
+	// ErrConsumed reports a RecvBulk for a transfer whose bytes were
+	// already handed to an earlier caller. A duplicated announcement
+	// must not be confirmed as if it delivered data: the original
+	// handleWrite race let the duplicate reply success with zero bytes
+	// while the real apply was still pending.
+	ErrConsumed = errors.New("bulk: transfer already consumed")
 )
 
 // Config tunes an endpoint. Zero fields take the listed defaults.
@@ -172,7 +178,21 @@ func (ep *Endpoint) Stats() (retransmits, nacksSent, dupsDropped int64) {
 }
 
 // NextTransferID returns a fresh locally unique bulk transfer id.
+//
+// Receivers key transfer state by (sender address, id) and assume ids
+// are never reused — see RecvBulk's tombstone. A process that can be
+// restarted at the same transport address (an imd incarnation) must
+// therefore SeedTransferIDs with an incarnation-unique base, or its ids
+// restart at 1 and collide with state the peer still holds for the
+// previous incarnation: reads then fail ErrConsumed against tombstones,
+// or worse, silently return a dead incarnation's buffered bytes.
 func (ep *Endpoint) NextTransferID() uint64 { return ep.nextXfer.Add(1) }
+
+// SeedTransferIDs starts the transfer-id counter at base, namespacing
+// this endpoint's transfers away from any predecessor at the same
+// address. Call before the first transfer; Dodo's imd seeds with
+// epoch<<32, which keeps incarnations disjoint for 2^32 transfers each.
+func (ep *Endpoint) SeedTransferIDs(base uint64) { ep.nextXfer.Store(base) }
 
 // Notify sends msg without expecting a response.
 func (ep *Endpoint) Notify(to string, msg wire.Message) error {

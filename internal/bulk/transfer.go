@@ -223,10 +223,12 @@ func (ep *Endpoint) RecvBulk(from string, id uint64, timeout time.Duration) ([]b
 	rx.mu.Lock()
 	err := rx.err
 	buf := rx.buf
+	consumed := err == nil && buf == nil
 	// Leave a tombstone: if the sender's copy of our BulkDone was lost,
 	// its re-offer or retransmissions must be answered with Done again
 	// rather than resurrecting an empty transfer. Transfer ids are never
-	// reused, so the tombstone cannot mask a future transfer.
+	// reused — restartable senders seed an incarnation-unique id base
+	// (SeedTransferIDs) — so the tombstone cannot mask a future transfer.
 	rx.buf = nil
 	rx.mu.Unlock()
 	sim.AfterFunc(ep.cfg.Clock, tombstoneTTL, func() {
@@ -238,6 +240,11 @@ func (ep *Endpoint) RecvBulk(from string, id uint64, timeout time.Duration) ([]b
 	})
 	if err != nil {
 		return nil, err
+	}
+	if consumed {
+		// A concurrent RecvBulk for the same transfer (a duplicated
+		// announcement) took the bytes first.
+		return nil, fmt.Errorf("bulk: transfer %d from %s: %w", id, from, ErrConsumed)
 	}
 	return buf, nil
 }

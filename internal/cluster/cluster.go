@@ -9,7 +9,6 @@
 package cluster
 
 import (
-	"fmt"
 	"log"
 	"sync"
 	"time"
@@ -133,8 +132,7 @@ func (w *Workstation) recruit() {
 		return
 	}
 	w.epoch++
-	addr := fmt.Sprintf("imd-%s", w.Name)
-	w.imd = imd.New(w.cluster.net.Host(addr), imd.Config{
+	w.imd = imd.New(w.cluster.net.Host(w.IMDAddr()), imd.Config{
 		ManagerAddr: w.cluster.ManagerAddr(),
 		PoolSize:    w.pool,
 		Epoch:       w.epoch,

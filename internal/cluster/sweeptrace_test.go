@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"dodo/internal/core"
+	"dodo/internal/region"
+)
+
+// sweepTrace is a bounded in-memory event log shared by the sweep's
+// tracing shims and the core client's logger, so a stale-read failure
+// can be diagnosed from the exact traffic that produced it.
+type sweepTrace struct {
+	mu    sync.Mutex
+	start time.Time
+	lines []string
+}
+
+func newSweepTrace() *sweepTrace { return &sweepTrace{start: time.Now()} }
+
+func (tr *sweepTrace) add(format string, args ...any) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	line := fmt.Sprintf("%8.3fs ", time.Since(tr.start).Seconds()) + fmt.Sprintf(format, args...)
+	tr.lines = append(tr.lines, line)
+	if len(tr.lines) > 8000 {
+		tr.lines = tr.lines[len(tr.lines)-8000:]
+	}
+}
+
+// Write lets the core client's *log.Logger feed the same ring.
+func (tr *sweepTrace) Write(p []byte) (int, error) {
+	tr.add("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+// dump returns every line containing any of the given substrings.
+func (tr *sweepTrace) dump(contains ...string) string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var b bytes.Buffer
+	for _, l := range tr.lines {
+		for _, c := range contains {
+			if bytes.Contains([]byte(l), []byte(c)) {
+				b.WriteString(l)
+				b.WriteByte('\n')
+				break
+			}
+		}
+	}
+	return b.String()
+}
+
+// traceDodo interposes on the region cache's view of the runtime,
+// logging every call with the block it targets and the version byte of
+// the data moved.
+type traceDodo struct {
+	name  string
+	inner region.Dodo
+	tr    *sweepTrace
+
+	mu     sync.Mutex
+	blocks map[int]int64 // core fd -> block number
+}
+
+func newTraceDodo(name string, inner region.Dodo, tr *sweepTrace) *traceDodo {
+	return &traceDodo{name: name, inner: inner, tr: tr, blocks: make(map[int]int64)}
+}
+
+func (d *traceDodo) block(fd int) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b, ok := d.blocks[fd]
+	if !ok {
+		return -1
+	}
+	return b
+}
+
+func (d *traceDodo) Mopen(length int64, backing core.Backing, offset int64) (int, error) {
+	fd, err := d.inner.Mopen(length, backing, offset)
+	d.mu.Lock()
+	if err == nil {
+		d.blocks[fd] = offset / sweepReqSize
+	}
+	d.mu.Unlock()
+	d.tr.add("%s blk%d Mopen -> fd=%d err=%v", d.name, offset/sweepReqSize, fd, err)
+	return fd, err
+}
+
+func (d *traceDodo) Mread(fd int, offset int64, buf []byte) (int, error) {
+	n, err := d.inner.Mread(fd, offset, buf)
+	b0 := byte(0)
+	if n > 0 {
+		b0 = buf[0]
+	}
+	d.tr.add("%s blk%d Mread fd=%d off=%d len=%d -> n=%d b0=%02x err=%v",
+		d.name, d.block(fd), fd, offset, len(buf), n, b0, err)
+	return n, err
+}
+
+func (d *traceDodo) Mwrite(fd int, offset int64, buf []byte) (int, error) {
+	b0 := byte(0)
+	if len(buf) > 0 {
+		b0 = buf[0]
+	}
+	n, err := d.inner.Mwrite(fd, offset, buf)
+	d.tr.add("%s blk%d Mwrite fd=%d off=%d len=%d b0=%02x -> n=%d err=%v",
+		d.name, d.block(fd), fd, offset, len(buf), b0, n, err)
+	return n, err
+}
+
+func (d *traceDodo) Mclose(fd int) error {
+	err := d.inner.Mclose(fd)
+	d.tr.add("%s blk%d Mclose fd=%d err=%v", d.name, d.block(fd), fd, err)
+	d.mu.Lock()
+	delete(d.blocks, fd)
+	d.mu.Unlock()
+	return err
+}
+
+func (d *traceDodo) Msync(fd int) error {
+	err := d.inner.Msync(fd)
+	d.tr.add("%s blk%d Msync fd=%d err=%v", d.name, d.block(fd), fd, err)
+	return err
+}
+
+var _ region.Dodo = (*traceDodo)(nil)

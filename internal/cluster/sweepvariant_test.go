@@ -1,0 +1,32 @@
+package cluster
+
+import (
+	"testing"
+
+	"dodo/internal/simnet"
+)
+
+// TestSweepNoLinkFaults runs the seeded sweep with only host-level
+// churn (crashes, blackouts, reclaims): link faults and call-path
+// degradation are disabled. Isolates recovery-path correctness from
+// packet loss/duplication/reordering.
+func TestSweepNoLinkFaults(t *testing.T) {
+	c, _, names := sweepCluster(t)
+	plan := sweepPlan(names)
+	plan.DegradeMean = 0
+	plan.Link = simnet.Faults{}
+	runSweepCore(t, c, plan)
+}
+
+// TestSweepLinksOnly runs the seeded sweep with only link faults and
+// degradation windows: no host ever crashes, blacks out or reclaims.
+// Isolates protocol robustness (retries, dedup, write ordering) from
+// host churn.
+func TestSweepLinksOnly(t *testing.T) {
+	c, _, names := sweepCluster(t)
+	plan := sweepPlan(names)
+	plan.CrashMean = 0
+	plan.BlackoutMean = 0
+	plan.ReclaimMean = 0
+	runSweepCore(t, c, plan)
+}

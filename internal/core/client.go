@@ -36,6 +36,13 @@ type Config struct {
 	// RefractionPeriod suppresses allocation attempts after a failed
 	// one (§3.1; default 5s).
 	RefractionPeriod time.Duration
+	// RecoveryBackoff is the initial delay before the background
+	// recovery pass probes dropped regions; it doubles per failed pass,
+	// capped at RefractionPeriod (default RefractionPeriod/8).
+	RecoveryBackoff time.Duration
+	// DisableRecovery turns the background recovery pass off, restoring
+	// the paper's original drop-and-forget behavior.
+	DisableRecovery bool
 	// Clock provides time (default wall clock).
 	Clock sim.Clock
 	// Endpoint tunes the messaging layer.
@@ -47,6 +54,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.RefractionPeriod == 0 {
 		c.RefractionPeriod = 5 * time.Second
+	}
+	if c.RecoveryBackoff == 0 {
+		c.RecoveryBackoff = c.RefractionPeriod / 8
 	}
 	if c.Clock == nil {
 		c.Clock = sim.WallClock{}
@@ -66,6 +76,14 @@ type regionState struct {
 	// valid is the local/remote flag: false once the remote copy is
 	// known lost.
 	valid bool
+	// gen counts invalidations. remoteWrite snapshots it and refuses
+	// to report success when it changed while the write was in flight:
+	// the confirmation may describe a superseded announcement — a
+	// recovery repopulation pushed (possibly older) backing bytes with
+	// a newer sequence, and the imd then confirmed this write without
+	// applying it. Success here would let the caller trust a stale
+	// remote copy.
+	gen uint64
 }
 
 // Client is the Dodo runtime library instance linked into an
@@ -75,35 +93,74 @@ type Client struct {
 	ep  *bulk.Endpoint
 	log *log.Logger
 
-	mu            sync.Mutex
-	regions       map[int]*regionState
+	mu      sync.Mutex
+	regions map[int]*regionState
+	// aliases refcounts open descriptors per region key: duplicate
+	// Mopens of the same (inode, offset) share one RD entry, and only
+	// the last Mclose frees it.
+	aliases map[wire.RegionKey]int
+	// writeSeq orders remote writes per region key. Every WriteReq
+	// carries the next sequence so the hosting imd can discard a
+	// duplicated or delayed announcement that would otherwise roll the
+	// region back to older bytes. The counter survives re-opens (a
+	// fresh imd region starts its gate at zero, so any positive
+	// sequence passes) and is dropped only once the manager confirms
+	// the free: an unconfirmed free can leave both the manager's RD
+	// entry and the imd region (gate included) alive, and a later
+	// Mopen of the same key re-attaches to them — restarting the
+	// counter there would make every new write look superseded and
+	// freeze the remote copy at stale bytes.
+	writeSeq      map[wire.RegionKey]uint64
 	nextFD        int
 	lastAllocFail time.Time
 	failedOnce    bool
 	closed        bool
 
+	// Background recovery (drop -> backoff -> revalidate -> re-open).
+	recoverStop chan struct{}
+	recoverKick chan struct{}
+	recoverWG   sync.WaitGroup
+
 	// stats
 	remoteReads, remoteWrites   int64
 	remoteReadBy, remoteWriteBy int64
 	dropEvents, refractionSkips int64
+	revalidations, reopens      int64
 }
 
 // New creates a client runtime over tr.
 func New(tr transport.Transport, cfg Config) *Client {
 	cfg = cfg.withDefaults()
 	c := &Client{
-		cfg:     cfg,
-		log:     cfg.Logger,
-		regions: make(map[int]*regionState),
+		cfg:         cfg,
+		log:         cfg.Logger,
+		regions:     make(map[int]*regionState),
+		aliases:     make(map[wire.RegionKey]int),
+		writeSeq:    make(map[wire.RegionKey]uint64),
+		recoverStop: make(chan struct{}),
+		recoverKick: make(chan struct{}, 1),
 	}
 	// The client must echo the manager's keep-alives (§3.1) or its
-	// regions are reclaimed as orphans.
+	// regions are reclaimed as orphans. The ack piggybacks the recovery
+	// counters so the manager aggregates them cluster-wide.
 	c.ep = bulk.NewEndpoint(tr, cfg.Endpoint, func(from string, msg wire.Message) wire.Message {
 		if ka, ok := msg.(*wire.KeepAlive); ok {
-			return &wire.KeepAliveAck{ClientID: ka.ClientID}
+			c.mu.Lock()
+			drops, revals, reopens := c.dropEvents, c.revalidations, c.reopens
+			c.mu.Unlock()
+			return &wire.KeepAliveAck{
+				ClientID:      ka.ClientID,
+				Drops:         uint64(drops),
+				Revalidations: uint64(revals),
+				Reopens:       uint64(reopens),
+			}
 		}
 		return nil
 	})
+	if !cfg.DisableRecovery {
+		c.recoverWG.Add(1)
+		go c.recoveryLoop()
+	}
 	return c
 }
 
@@ -122,7 +179,14 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
-	return c.ep.Close()
+	select {
+	case <-c.recoverStop:
+	default:
+		close(c.recoverStop)
+	}
+	err := c.ep.Close()
+	c.recoverWG.Wait()
+	return err
 }
 
 func (c *Client) logf(format string, args ...any) {
@@ -137,7 +201,10 @@ type Stats struct {
 	RemoteReadBytes, RemoteWriteBytes int64
 	DropEvents                        int64
 	RefractionSkips                   int64
-	OpenRegions                       int
+	// Revalidations counts checkAlloc probes by the recovery pass;
+	// Reopens counts regions transparently re-opened after a drop.
+	Revalidations, Reopens int64
+	OpenRegions            int
 }
 
 // Stats returns a consistent snapshot.
@@ -151,6 +218,8 @@ func (c *Client) Stats() Stats {
 		RemoteWriteBytes: c.remoteWriteBy,
 		DropEvents:       c.dropEvents,
 		RefractionSkips:  c.refractionSkips,
+		Revalidations:    c.revalidations,
+		Reopens:          c.reopens,
 		OpenRegions:      len(c.regions),
 	}
 }
@@ -222,6 +291,7 @@ func (c *Client) Mopen(length int64, backing Backing, offset int64) (int, error)
 		length:  length,
 		valid:   true,
 	}
+	c.aliases[key]++
 	c.mu.Unlock()
 	c.logf("dodo: mopen fd %d -> %s region %d (%d bytes)", fd, ar.Region.HostAddr, ar.Region.RegionID, length)
 	return fd, nil
@@ -247,17 +317,27 @@ func (c *Client) lookup(fd int) (regionState, error) {
 // node fails, all descriptors for that node are dropped (§3.1).
 func (c *Client) dropHost(addr string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
 	for _, r := range c.regions {
 		if r.valid && r.remote.HostAddr == addr {
 			r.valid = false
+			r.gen++
 			n++
 		}
 	}
 	if n > 0 {
 		c.dropEvents++
 		c.logf("dodo: dropped %d region descriptors on failed host %s", n, addr)
+	}
+	kick := n > 0 && !c.cfg.DisableRecovery
+	c.mu.Unlock()
+	if kick {
+		// Wake the recovery loop (outside the lock; the channel is
+		// buffered so a pending kick coalesces with this one).
+		select {
+		case c.recoverKick <- struct{}{}:
+		default:
+		}
 	}
 }
 
@@ -297,7 +377,13 @@ func (c *Client) Mread(fd int, offset int64, buf []byte) (int, error) {
 		return -1, fmt.Errorf("%w: host %s unreachable: %v", ErrNoMem, r.remote.HostAddr, err)
 	}
 	dr, ok := resp.(*wire.DataResp)
-	if !ok || dr.Status != wire.StatusOK {
+	if !ok {
+		// A misrouted or unexpected response type must degrade, not
+		// panic: dr is nil here, so it cannot be formatted.
+		c.dropHost(r.remote.HostAddr)
+		return -1, fmt.Errorf("%w: unexpected response %v", ErrNoMem, resp.Kind())
+	}
+	if dr.Status != wire.StatusOK {
 		c.dropHost(r.remote.HostAddr)
 		return -1, fmt.Errorf("%w: read refused (%v)", ErrNoMem, dr.Status)
 	}
@@ -336,6 +422,9 @@ func (c *Client) Mwrite(fd int, offset int64, buf []byte) (int, error) {
 	if offset+want > r.length {
 		want = r.length - offset
 	}
+	if want == 0 {
+		return 0, nil
+	}
 	data := buf[:want]
 
 	// Disk and remote in parallel.
@@ -369,6 +458,10 @@ func (c *Client) Mwrite(fd int, offset int64, buf []byte) (int, error) {
 
 func (c *Client) remoteWrite(r regionState, offset int64, data []byte) error {
 	xfer := c.ep.NextTransferID()
+	c.mu.Lock()
+	c.writeSeq[r.key]++
+	seq := c.writeSeq[r.key]
+	c.mu.Unlock()
 	sendErr := make(chan error, 1)
 	go func() { sendErr <- c.ep.SendBulk(r.remote.HostAddr, xfer, data) }()
 	req := &wire.WriteReq{
@@ -377,6 +470,7 @@ func (c *Client) remoteWrite(r regionState, offset int64, data []byte) error {
 		Offset:     uint64(offset),
 		Length:     uint64(len(data)),
 		TransferID: xfer,
+		WriteSeq:   seq,
 	}
 	resp, err := c.ep.CallT(r.remote.HostAddr, req, dataBudget(int64(len(data))), 2)
 	if serr := <-sendErr; serr != nil && err == nil {
@@ -386,8 +480,27 @@ func (c *Client) remoteWrite(r regionState, offset int64, data []byte) error {
 		return err
 	}
 	dr, ok := resp.(*wire.DataResp)
-	if !ok || dr.Status != wire.StatusOK {
+	if !ok {
+		return fmt.Errorf("unexpected response %v", resp.Kind())
+	}
+	if dr.Status != wire.StatusOK {
 		return fmt.Errorf("write refused (%v)", dr.Status)
+	}
+	if dr.Count != uint64(len(data)) {
+		return fmt.Errorf("short remote write: %d of %d bytes", dr.Count, len(data))
+	}
+	// A drop/recovery cycle while this write was in flight means the
+	// confirmation cannot be trusted: the recovery repopulation pushed
+	// backing bytes — possibly older than ours — under a newer
+	// sequence, so the imd may have confirmed this announcement without
+	// applying it. Fail the write; the caller re-pushes against the
+	// recovered region with a sequence that postdates the repopulation.
+	c.mu.Lock()
+	live, alive := c.regions[r.fd]
+	recycled := !alive || live.gen != r.gen
+	c.mu.Unlock()
+	if recycled {
+		return fmt.Errorf("region %d recovered while the write was in flight", r.fd)
 	}
 	return nil
 }
@@ -407,12 +520,34 @@ func (c *Client) Mclose(fd int) error {
 		return fmt.Errorf("%w: bad region descriptor %d", ErrInval, fd)
 	}
 	delete(c.regions, fd)
+	c.aliases[r.key]--
+	if c.aliases[r.key] > 0 {
+		// Other descriptors still alias this RD entry (duplicate Mopen
+		// of the same inode/offset); only the last Mclose frees it.
+		c.mu.Unlock()
+		return nil
+	}
+	delete(c.aliases, r.key)
 	c.mu.Unlock()
 
 	resp, err := c.ep.Call(c.cfg.ManagerAddr, &wire.FreeReq{Key: r.key})
 	if err != nil {
+		// The free never reached the manager: its RD entry — and the
+		// imd region behind it, write-ordering gate included — may
+		// still be live, and a future Mopen of this key can re-attach
+		// to them. Keep the sequence counter so those writes stay
+		// ahead of the gate.
 		return fmt.Errorf("%w: cannot contact central manager: %v", ErrInval, err)
 	}
+	// The manager answered, so its RD entry is gone either way and the
+	// next Mopen of this key gets a fresh region with a fresh gate; the
+	// counter can restart. Skip the delete if the key was re-opened
+	// while the free was in flight — the live descriptor owns it now.
+	c.mu.Lock()
+	if c.aliases[r.key] == 0 {
+		delete(c.writeSeq, r.key)
+	}
+	c.mu.Unlock()
 	if fr, ok := resp.(*wire.FreeResp); !ok || fr.Status != wire.StatusOK {
 		return fmt.Errorf("%w: region already reclaimed", ErrInval)
 	}
@@ -453,7 +588,10 @@ func (c *Client) CheckAlloc(fd int) (bool, error) {
 		return false, fmt.Errorf("%w: bad region descriptor %d", ErrInval, fd)
 	}
 	if ca.Status != wire.StatusOK {
-		live.valid = false
+		if live.valid {
+			live.valid = false
+			live.gen++
+		}
 		return false, nil
 	}
 	live.remote = ca.Region

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"io"
+	"sort"
+
+	"dodo/internal/sim"
+	"dodo/internal/wire"
+)
+
+// Background region recovery: the paper's client drops every descriptor
+// on a failed host and never looks back (§3.1) — a workload that
+// outlives a crash runs disk-only forever. The recovery loop closes
+// that gap with a drop → backoff → revalidate → re-open state machine:
+//
+//	dropHost kicks the loop; after an exponential backoff (initial
+//	Config.RecoveryBackoff, doubling per failed pass, capped at the
+//	refraction period so recovery probes are never more aggressive
+//	than fresh allocations), each invalid descriptor is revalidated
+//	with checkAlloc (§4.3). If the manager still maps the key, the
+//	region is repopulated in place; if the mapping is gone, it is
+//	re-allocated under its original key and then repopulated. Either
+//	way the descriptor flips back to valid only after the full region
+//	contents — read from the backing file, which Mwrite's
+//	write-through contract keeps authoritative — have been pushed to
+//	the hosting imd end-to-end.
+//
+// A descriptor is never marked valid on directory state alone: the
+// manager's view can outlive reachability (its RD entry survives a
+// partition between client and host), and even a reachable copy may be
+// stale (writes issued while the descriptor was invalid reached only
+// the backing file). The repopulating push settles both concerns at
+// once. Callers that write to the backing file directly while a
+// descriptor is invalid should do so before their next Mwrite, as the
+// region cache does under its lock; a direct write racing the
+// repopulation push may reach only the disk copy.
+//
+// The loop rides the injected clock, so fault-sweep harnesses replay it
+// deterministically, and it never holds c.mu across a network call.
+
+// recoveryLoop waits for drop events and runs backoff-paced recovery
+// passes until every descriptor is valid again.
+func (c *Client) recoveryLoop() {
+	defer c.recoverWG.Done()
+	for {
+		select {
+		case <-c.recoverStop:
+			return
+		case <-c.recoverKick:
+		}
+		backoff := c.cfg.RecoveryBackoff
+		for {
+			if !sim.SleepInterruptible(c.cfg.Clock, backoff, c.recoverStop) {
+				return
+			}
+			if c.recoverPass() == 0 {
+				break // fully recovered; sleep until the next drop
+			}
+			backoff *= 2
+			if backoff > c.cfg.RefractionPeriod {
+				backoff = c.cfg.RefractionPeriod
+			}
+		}
+	}
+}
+
+// recoverPass probes every invalid descriptor once and reports how many
+// remain invalid. Descriptors are visited in fd order so a given
+// cluster state yields a reproducible probe sequence.
+func (c *Client) recoverPass() int {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0
+	}
+	var fds []int
+	for fd, r := range c.regions {
+		if !r.valid {
+			fds = append(fds, fd)
+		}
+	}
+	c.mu.Unlock()
+	sort.Ints(fds)
+	remaining := 0
+	for _, fd := range fds {
+		if !c.recoverRegion(fd) {
+			remaining++
+		}
+	}
+	return remaining
+}
+
+// recoverRegion revalidates one descriptor, re-opening its region if
+// the manager no longer has a live mapping. It reports whether the
+// descriptor is valid (or gone) afterwards.
+func (c *Client) recoverRegion(fd int) bool {
+	r, err := c.lookup(fd)
+	if err != nil {
+		return true // closed underneath us; nothing left to recover
+	}
+	if r.valid {
+		return true
+	}
+	c.mu.Lock()
+	c.revalidations++
+	c.mu.Unlock()
+	resp, err := c.ep.Call(c.cfg.ManagerAddr, &wire.CheckAllocReq{Key: r.key})
+	if err != nil {
+		return false // manager unreachable; retry next pass
+	}
+	ca, ok := resp.(*wire.CheckAllocResp)
+	if !ok {
+		return false
+	}
+	if ca.Status != wire.StatusOK {
+		// checkAlloc purged the stale RD entry (or never had one);
+		// re-allocate and repopulate.
+		return c.reopenRegion(fd)
+	}
+	// The manager still maps the key — the failure may have been a
+	// transient flap. Directory state alone proves neither reachability
+	// nor freshness (writes during the outage went disk-only), so push
+	// the backing contents end-to-end before trusting the region again.
+	if !c.repopulate(r, ca.Region) {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live, present := c.regions[fd]
+	if !present {
+		return true
+	}
+	if !live.valid {
+		live.remote = ca.Region
+		live.valid = true
+	}
+	return true
+}
+
+// repopulate pushes the descriptor's backing-file bytes to reg. The
+// backing is authoritative: every successful Mwrite wrote through to
+// it, and writes attempted while the descriptor was invalid could only
+// have landed there.
+func (c *Client) repopulate(r regionState, reg wire.Region) bool {
+	// A short read past EOF leaves the tail zeroed, matching bytes
+	// never written through.
+	data := make([]byte, r.length)
+	if _, err := r.backing.ReadAt(data, r.backOff); err != nil && err != io.EOF {
+		return false
+	}
+	fresh := r
+	fresh.remote = reg
+	if err := c.remoteWrite(fresh, 0, data); err != nil {
+		c.logf("dodo: repopulating fd %d on %s region %d: %v", r.fd, reg.HostAddr, reg.RegionID, err)
+		return false
+	}
+	c.logf("dodo: repopulated fd %d on %s region %d (%d bytes, first byte %02x)",
+		r.fd, reg.HostAddr, reg.RegionID, len(data), data[0])
+	return true
+}
+
+// reopenRegion allocates a fresh region under the descriptor's original
+// key and pushes the backing bytes to it before marking it valid.
+func (c *Client) reopenRegion(fd int) bool {
+	r, err := c.lookup(fd)
+	if err != nil {
+		return true // closed while recovering; nothing left to do
+	}
+	if r.valid {
+		return true // an alias's recovery or a caller revived it first
+	}
+	resp, err := c.ep.Call(c.cfg.ManagerAddr, &wire.AllocReq{Key: r.key, Length: uint64(r.length)})
+	if err != nil {
+		return false
+	}
+	ar, ok := resp.(*wire.AllocResp)
+	if !ok || ar.Status != wire.StatusOK {
+		return false
+	}
+	if !c.repopulate(r, ar.Region) {
+		// The push failed (the new host may itself have died); undo the
+		// allocation so a later checkAlloc cannot resurrect a region
+		// holding garbage.
+		c.freeKey(r.key)
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live, present := c.regions[fd]
+	if !present || live.valid {
+		return true
+	}
+	live.remote = ar.Region
+	live.valid = true
+	c.reopens++
+	c.logf("dodo: re-opened fd %d -> %s region %d after drop", fd, ar.Region.HostAddr, ar.Region.RegionID)
+	return true
+}
+
+// freeKey best-effort releases a region allocation the recovery pass
+// could not populate.
+func (c *Client) freeKey(key wire.RegionKey) {
+	if _, err := c.ep.Call(c.cfg.ManagerAddr, &wire.FreeReq{Key: key}); err != nil {
+		c.logf("dodo: releasing unrecovered region %v: %v", key, err)
+	}
+}

@@ -1,0 +1,407 @@
+// Package faults implements the deterministic fault-injection layer for
+// cluster harnesses: a seeded scheduler that derives a complete fault
+// timeline from a single seed and replays it against any deployment
+// through the small Target interface.
+//
+// Four fault classes are modelled, matching the failure modes of §3.1
+// and §4.3 of the paper:
+//
+//   - imd crash/restart: the daemon dies without draining (a kill -9 or
+//     OS crash); the restarted incarnation carries a bumped epoch, so
+//     regions cached by the previous one are detected as orphans.
+//   - manager blackout: the central manager's machine drops off the
+//     network for a window and returns.
+//   - host reclaim churn: the workstation owner comes back and the imd
+//     drains politely; the host is re-recruited later.
+//   - link degradation: a host's NIC/switch port drops, duplicates and
+//     reorders frames for a window, exercising the bulk protocol's
+//     retransmission machinery under the drop semantics of §3.1.
+//
+// Determinism contract: a Plan's Schedule is a pure function of the
+// plan (seed included) — same seed, same plan parameters ⇒ the same
+// event list, byte for byte. Execution timing then rides on the
+// injected sim.Clock, so a virtual-clock harness replays bit-for-bit
+// while a wall-clock harness replays the same schedule with real
+// sleeps.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dodo/internal/sim"
+	"dodo/internal/simnet"
+)
+
+// Kind is a fault-event class.
+type Kind int
+
+// Event kinds. Every "down" kind has a matching "up" kind, and Schedule
+// guarantees the up-event lands inside the plan window, so a completed
+// schedule always leaves the cluster fully healed.
+const (
+	// KindCrashIMD kills a host's imd without the polite drain.
+	KindCrashIMD Kind = iota
+	// KindRestartIMD re-forks the imd with a bumped epoch.
+	KindRestartIMD
+	// KindBlackoutManager partitions the central manager.
+	KindBlackoutManager
+	// KindRestoreManager heals the manager partition.
+	KindRestoreManager
+	// KindReclaimHost drains the imd politely (owner returned).
+	KindReclaimHost
+	// KindRecruitHost re-recruits the host (owner left again).
+	KindRecruitHost
+	// KindDegradeLinks makes a host's links lossy/duplicating/reordering.
+	KindDegradeLinks
+	// KindRestoreLinks heals the host's links.
+	KindRestoreLinks
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCrashIMD:
+		return "crash-imd"
+	case KindRestartIMD:
+		return "restart-imd"
+	case KindBlackoutManager:
+		return "blackout-manager"
+	case KindRestoreManager:
+		return "restore-manager"
+	case KindReclaimHost:
+		return "reclaim-host"
+	case KindRecruitHost:
+		return "recruit-host"
+	case KindDegradeLinks:
+		return "degrade-links"
+	case KindRestoreLinks:
+		return "restore-links"
+	}
+	return fmt.Sprintf("faults.Kind(%d)", int(k))
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the offset from the start of the sweep.
+	At time.Duration
+	// Kind is the fault class.
+	Kind Kind
+	// Host names the affected workstation; empty for manager events.
+	Host string
+	// Link carries the injection rates for KindDegradeLinks.
+	Link simnet.Faults
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("t+%v %v", e.At, e.Kind)
+	if e.Host != "" {
+		s += " " + e.Host
+	}
+	return s
+}
+
+// Target is the deployment surface the scheduler acts on. The cluster
+// harness adapts a live deployment (daemons over any
+// transport.Transport) to it; tests may record calls instead. All
+// methods must be idempotent: overlapping fault windows can make a
+// restart land on a host that a reclaim/recruit cycle already revived,
+// and the scheduler does not deduplicate.
+type Target interface {
+	// CrashIMD kills host's imd without draining.
+	CrashIMD(host string)
+	// RestartIMD re-forks host's imd with a fresh epoch.
+	RestartIMD(host string)
+	// BlackoutManager cuts the central manager off the network.
+	BlackoutManager()
+	// RestoreManager reconnects the central manager.
+	RestoreManager()
+	// ReclaimHost drains host's imd as an owner return would.
+	ReclaimHost(host string)
+	// RecruitHost re-recruits host.
+	RecruitHost(host string)
+	// DegradeLinks makes every frame to or from host subject to f.
+	DegradeLinks(host string, f simnet.Faults)
+	// RestoreLinks heals host's links.
+	RestoreLinks(host string)
+}
+
+// Plan parameterizes a fault sweep. A mean of zero disables that fault
+// class. Intervals between events of one class are drawn uniformly from
+// [mean/2, 3*mean/2) so schedules neither synchronize nor starve.
+type Plan struct {
+	// Seed derives the whole timeline; same seed ⇒ same schedule.
+	Seed int64
+	// Duration is the churn window. Every fault's heal event is
+	// scheduled inside it, so the cluster ends the sweep healthy.
+	Duration time.Duration
+	// Hosts are the workstation names subject to per-host faults.
+	Hosts []string
+
+	// CrashMean is the mean interval between imd crashes per host.
+	CrashMean time.Duration
+	// RestartDelay is how long a crashed imd stays down.
+	RestartDelay time.Duration
+
+	// BlackoutMean is the mean interval between manager blackouts.
+	BlackoutMean time.Duration
+	// BlackoutLength is how long each blackout lasts.
+	BlackoutLength time.Duration
+
+	// ReclaimMean is the mean interval between owner returns per host.
+	ReclaimMean time.Duration
+	// ReclaimLength is how long the owner keeps the host.
+	ReclaimLength time.Duration
+
+	// DegradeMean is the mean interval between link-degradation windows
+	// per host.
+	DegradeMean time.Duration
+	// DegradeLength is how long each degradation window lasts.
+	DegradeLength time.Duration
+	// Link carries the loss/duplication/reorder rates applied during a
+	// degradation window. Its Seed field is overridden per window,
+	// derived from the plan seed, so frame-level decisions replay too.
+	Link simnet.Faults
+}
+
+// Schedule derives the deterministic event list from the plan. It is a
+// pure function: identical plans produce identical schedules.
+func (p Plan) Schedule() []Event {
+	rng := rand.New(rand.NewSource(p.Seed))
+	// interval draws the next same-class gap: uniform [mean/2, 3mean/2).
+	interval := func(mean time.Duration) time.Duration {
+		return mean/2 + time.Duration(rng.Int63n(int64(mean)))
+	}
+	type seqEvent struct {
+		Event
+		seq int
+	}
+	var evs []seqEvent
+	add := func(e Event) { evs = append(evs, seqEvent{Event: e, seq: len(evs)}) }
+
+	// Paired down/up windows for one class on one host (or the manager).
+	windows := func(mean, length time.Duration, down, up Kind, host string, link bool) {
+		if mean <= 0 || length <= 0 {
+			return
+		}
+		for t := interval(mean); t+length < p.Duration; t += interval(mean) {
+			downEv := Event{At: t, Kind: down, Host: host}
+			if link {
+				downEv.Link = p.Link
+				downEv.Link.Seed = rng.Int63()
+			}
+			add(downEv)
+			add(Event{At: t + length, Kind: up, Host: host})
+		}
+	}
+
+	windows(p.BlackoutMean, p.BlackoutLength, KindBlackoutManager, KindRestoreManager, "", false)
+	for _, h := range p.Hosts {
+		windows(p.CrashMean, p.RestartDelay, KindCrashIMD, KindRestartIMD, h, false)
+		windows(p.ReclaimMean, p.ReclaimLength, KindReclaimHost, KindRecruitHost, h, false)
+		windows(p.DegradeMean, p.DegradeLength, KindDegradeLinks, KindRestoreLinks, h, true)
+	}
+
+	// Sort by time; generation order breaks ties so the schedule is
+	// reproducible even with coincident deadlines.
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].seq < evs[j].seq
+	})
+	out := make([]Event, len(evs))
+	for i, e := range evs {
+		out[i] = e.Event
+	}
+	return out
+}
+
+// Timeline renders a schedule as one line per event, for determinism
+// assertions and debugging.
+func Timeline(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Counts tallies applied events per class.
+type Counts struct {
+	Crashes, Restarts   int
+	Blackouts, Restores int
+	Reclaims, Recruits  int
+	Degrades, LinkHeals int
+	Applied             int
+}
+
+func (c Counts) String() string {
+	return fmt.Sprintf("crashes=%d restarts=%d blackouts=%d restores=%d reclaims=%d recruits=%d degrades=%d heals=%d applied=%d",
+		c.Crashes, c.Restarts, c.Blackouts, c.Restores, c.Reclaims, c.Recruits, c.Degrades, c.LinkHeals, c.Applied)
+}
+
+// Scheduler replays a schedule against a target on an injected clock.
+type Scheduler struct {
+	clock  sim.Clock
+	target Target
+	events []Event
+
+	mu      sync.Mutex
+	next    int
+	counts  Counts
+	started bool
+	start   time.Time
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewScheduler builds a scheduler over the plan's schedule. The clock
+// drives event timing (sim.WallClock for live harnesses, a virtual
+// clock for simulated ones).
+func NewScheduler(p Plan, clock sim.Clock, target Target) *Scheduler {
+	return &Scheduler{
+		clock:  clock,
+		target: target,
+		events: p.Schedule(),
+		stop:   make(chan struct{}),
+	}
+}
+
+// Events returns the full schedule.
+func (s *Scheduler) Events() []Event { return s.events }
+
+// Counts returns a snapshot of the applied-event tallies.
+func (s *Scheduler) Counts() Counts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts
+}
+
+// Remaining reports how many events have not been applied yet.
+func (s *Scheduler) Remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events) - s.next
+}
+
+// Step applies every event due at or before elapsed (offset from the
+// sweep start), in schedule order, and reports how many fired. Harness
+// loops that own their timeline (virtual clocks) drive the scheduler
+// with Step; wall-clock harnesses use Start/Wait.
+func (s *Scheduler) Step(elapsed time.Duration) int {
+	n := 0
+	for {
+		s.mu.Lock()
+		if s.next >= len(s.events) || s.events[s.next].At > elapsed {
+			s.mu.Unlock()
+			return n
+		}
+		ev := s.events[s.next]
+		s.next++
+		s.mu.Unlock()
+		s.apply(ev)
+		n++
+	}
+}
+
+// Start launches the clock-driven replay loop. It may be called once.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.start = s.clock.Now()
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.run()
+}
+
+// Wait blocks until the schedule is exhausted or Stop is called.
+func (s *Scheduler) Wait() { s.wg.Wait() }
+
+// Stop aborts the replay loop; remaining events are not applied.
+func (s *Scheduler) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.wg.Wait()
+}
+
+func (s *Scheduler) run() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		if s.next >= len(s.events) {
+			s.mu.Unlock()
+			return
+		}
+		due := s.start.Add(s.events[s.next].At)
+		s.mu.Unlock()
+		if wait := due.Sub(s.clock.Now()); wait > 0 {
+			if !sim.SleepInterruptible(s.clock, wait, s.stop) {
+				return
+			}
+		}
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		s.Step(s.clock.Now().Sub(s.start))
+	}
+}
+
+// apply dispatches one event to the target. Counts are updated first so
+// a panicking target still leaves an accurate tally behind.
+func (s *Scheduler) apply(ev Event) {
+	s.mu.Lock()
+	s.counts.Applied++
+	switch ev.Kind {
+	case KindCrashIMD:
+		s.counts.Crashes++
+	case KindRestartIMD:
+		s.counts.Restarts++
+	case KindBlackoutManager:
+		s.counts.Blackouts++
+	case KindRestoreManager:
+		s.counts.Restores++
+	case KindReclaimHost:
+		s.counts.Reclaims++
+	case KindRecruitHost:
+		s.counts.Recruits++
+	case KindDegradeLinks:
+		s.counts.Degrades++
+	case KindRestoreLinks:
+		s.counts.LinkHeals++
+	}
+	s.mu.Unlock()
+
+	switch ev.Kind {
+	case KindCrashIMD:
+		s.target.CrashIMD(ev.Host)
+	case KindRestartIMD:
+		s.target.RestartIMD(ev.Host)
+	case KindBlackoutManager:
+		s.target.BlackoutManager()
+	case KindRestoreManager:
+		s.target.RestoreManager()
+	case KindReclaimHost:
+		s.target.ReclaimHost(ev.Host)
+	case KindRecruitHost:
+		s.target.RecruitHost(ev.Host)
+	case KindDegradeLinks:
+		s.target.DegradeLinks(ev.Host, ev.Link)
+	case KindRestoreLinks:
+		s.target.RestoreLinks(ev.Host)
+	}
+}

@@ -1,0 +1,227 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dodo/internal/sim"
+	"dodo/internal/simnet"
+)
+
+func testPlan(seed int64) Plan {
+	return Plan{
+		Seed:           seed,
+		Duration:       10 * time.Second,
+		Hosts:          []string{"ws0", "ws1", "ws2"},
+		CrashMean:      2 * time.Second,
+		RestartDelay:   500 * time.Millisecond,
+		BlackoutMean:   3 * time.Second,
+		BlackoutLength: 400 * time.Millisecond,
+		ReclaimMean:    4 * time.Second,
+		ReclaimLength:  600 * time.Millisecond,
+		DegradeMean:    2500 * time.Millisecond,
+		DegradeLength:  800 * time.Millisecond,
+		Link: simnet.Faults{
+			LossRate:     0.10,
+			DupRate:      0.05,
+			ReorderRate:  0.05,
+			ReorderDelay: 5 * time.Millisecond,
+		},
+	}
+}
+
+// recorder is a Target that logs every call, including the per-window
+// link seeds, so two replays can be compared byte for byte.
+type recorder struct {
+	mu    sync.Mutex
+	trace []string
+}
+
+func (r *recorder) note(s string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trace = append(r.trace, s)
+}
+
+func (r *recorder) Trace() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.trace...)
+}
+
+func (r *recorder) CrashIMD(h string)    { r.note("crash " + h) }
+func (r *recorder) RestartIMD(h string)  { r.note("restart " + h) }
+func (r *recorder) BlackoutManager()     { r.note("blackout") }
+func (r *recorder) RestoreManager()      { r.note("restore") }
+func (r *recorder) ReclaimHost(h string) { r.note("reclaim " + h) }
+func (r *recorder) RecruitHost(h string) { r.note("recruit " + h) }
+func (r *recorder) DegradeLinks(h string, f simnet.Faults) {
+	r.note(fmt.Sprintf("degrade %s seed=%d", h, f.Seed))
+}
+func (r *recorder) RestoreLinks(h string) { r.note("heal " + h) }
+
+func TestScheduleDeterministic(t *testing.T) {
+	a := Timeline(testPlan(42).Schedule())
+	b := Timeline(testPlan(42).Schedule())
+	if a == "" {
+		t.Fatal("empty schedule from a plan with every fault class enabled")
+	}
+	if a != b {
+		t.Fatalf("same seed produced different schedules:\n--- run 1\n%s--- run 2\n%s", a, b)
+	}
+	if c := Timeline(testPlan(43).Schedule()); c == a {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleWindowsHeal: every down event has its matching up event
+// inside the plan window, so a completed schedule leaves the cluster
+// fully healed, and event times are sorted.
+func TestScheduleWindowsHeal(t *testing.T) {
+	p := testPlan(7)
+	events := p.Schedule()
+	open := make(map[string]int)
+	pair := map[Kind]Kind{
+		KindCrashIMD:        KindRestartIMD,
+		KindBlackoutManager: KindRestoreManager,
+		KindReclaimHost:     KindRecruitHost,
+		KindDegradeLinks:    KindRestoreLinks,
+	}
+	up := make(map[Kind]Kind)
+	for d, u := range pair {
+		up[u] = d
+	}
+	var last time.Duration
+	for _, ev := range events {
+		if ev.At < last {
+			t.Fatalf("schedule not sorted: %v after %v", ev, last)
+		}
+		last = ev.At
+		if ev.At >= p.Duration {
+			t.Fatalf("event %v outside plan window %v", ev, p.Duration)
+		}
+		if _, isDown := pair[ev.Kind]; isDown {
+			open[ev.Kind.String()+ev.Host]++
+		} else if down, isUp := up[ev.Kind]; isUp {
+			key := down.String() + ev.Host
+			open[key]--
+			if open[key] < 0 {
+				t.Fatalf("heal event %v without a matching down event", ev)
+			}
+		}
+	}
+	for key, n := range open {
+		if n != 0 {
+			t.Fatalf("window %q left open at end of schedule (%d unmatched)", key, n)
+		}
+	}
+}
+
+// TestSchedulerStepReplay: two schedulers driven over the same virtual
+// timeline apply identical event traces and counts — the determinism
+// contract the sweep harness relies on.
+func TestSchedulerStepReplay(t *testing.T) {
+	run := func() ([]string, Counts) {
+		rec := &recorder{}
+		s := NewScheduler(testPlan(99), sim.NewVirtualClock(time.Unix(0, 0)), rec)
+		for el := time.Duration(0); el <= testPlan(99).Duration; el += 50 * time.Millisecond {
+			s.Step(el)
+		}
+		if s.Remaining() != 0 {
+			t.Fatalf("%d events left after stepping past the window", s.Remaining())
+		}
+		return rec.Trace(), s.Counts()
+	}
+	t1, c1 := run()
+	t2, c2 := run()
+	if strings.Join(t1, "\n") != strings.Join(t2, "\n") {
+		t.Fatalf("same seed, different applied traces:\n--- run 1\n%s\n--- run 2\n%s",
+			strings.Join(t1, "\n"), strings.Join(t2, "\n"))
+	}
+	if c1 != c2 {
+		t.Fatalf("same seed, different counts: %v vs %v", c1, c2)
+	}
+	if c1.Applied != len(t1) || c1.Applied == 0 {
+		t.Fatalf("counts %v disagree with trace length %d", c1, len(t1))
+	}
+	if c1.Crashes != c1.Restarts || c1.Blackouts != c1.Restores ||
+		c1.Reclaims != c1.Recruits || c1.Degrades != c1.LinkHeals {
+		t.Fatalf("unbalanced down/up counts: %v", c1)
+	}
+}
+
+// TestSchedulerClockDriven: the Start/Wait replay loop applies the whole
+// schedule in order on a real clock.
+func TestSchedulerClockDriven(t *testing.T) {
+	p := Plan{
+		Seed:         3,
+		Duration:     250 * time.Millisecond,
+		Hosts:        []string{"ws0"},
+		CrashMean:    40 * time.Millisecond,
+		RestartDelay: 10 * time.Millisecond,
+	}
+	rec := &recorder{}
+	s := NewScheduler(p, sim.WallClock{}, rec)
+	if len(s.Events()) == 0 {
+		t.Fatal("empty schedule")
+	}
+	s.Start()
+	s.Wait()
+	if s.Remaining() != 0 {
+		t.Fatalf("%d events not applied", s.Remaining())
+	}
+	want := make([]string, 0, len(s.Events()))
+	probe := &recorder{}
+	for _, ev := range s.Events() {
+		applyTo(probe, ev)
+		want = append(want, probe.trace[len(probe.trace)-1])
+	}
+	got := rec.Trace()
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("applied trace diverges from schedule:\n--- got\n%s\n--- want\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestSchedulerStop: Stop aborts the replay without applying the rest.
+func TestSchedulerStop(t *testing.T) {
+	p := Plan{
+		Seed:         5,
+		Duration:     time.Hour,
+		Hosts:        []string{"ws0"},
+		CrashMean:    10 * time.Minute,
+		RestartDelay: time.Minute,
+	}
+	s := NewScheduler(p, sim.WallClock{}, &recorder{})
+	s.Start()
+	s.Stop()
+	if s.Counts().Applied != 0 {
+		t.Fatalf("events applied despite immediate Stop: %v", s.Counts())
+	}
+	s.Stop() // idempotent
+}
+
+// applyTo dispatches ev to target exactly as the scheduler does.
+func applyTo(target Target, ev Event) {
+	switch ev.Kind {
+	case KindCrashIMD:
+		target.CrashIMD(ev.Host)
+	case KindRestartIMD:
+		target.RestartIMD(ev.Host)
+	case KindBlackoutManager:
+		target.BlackoutManager()
+	case KindRestoreManager:
+		target.RestoreManager()
+	case KindReclaimHost:
+		target.ReclaimHost(ev.Host)
+	case KindRecruitHost:
+		target.RecruitHost(ev.Host)
+	case KindDegradeLinks:
+		target.DegradeLinks(ev.Host, ev.Link)
+	case KindRestoreLinks:
+		target.RestoreLinks(ev.Host)
+	}
+}

@@ -10,6 +10,7 @@
 package imd
 
 import (
+	"errors"
 	"log"
 	"sync"
 	"time"
@@ -66,6 +67,13 @@ type Daemon struct {
 	pool     *pool.Pool
 	draining bool
 	closed   bool
+	// lastWriteSeq gates writes per region: an announcement whose
+	// WriteSeq is not newer than the last applied one is a network
+	// replay (duplicate or delayed frame) and must not be applied —
+	// applying it would roll the region back to older bytes that the
+	// client has already overwritten and confirmed. Entries are
+	// dropped when the region is created or deleted.
+	lastWriteSeq map[uint64]uint64
 
 	transfers sync.WaitGroup // in-flight region data pushes
 	stop      chan struct{}
@@ -84,10 +92,11 @@ func New(tr transport.Transport, cfg Config) *Daemon {
 		alloc = pool.NewFirstFit(cfg.PoolSize)
 	}
 	d := &Daemon{
-		cfg:  cfg,
-		log:  cfg.Logger,
-		pool: pool.New(alloc),
-		stop: make(chan struct{}),
+		cfg:          cfg,
+		log:          cfg.Logger,
+		pool:         pool.New(alloc),
+		lastWriteSeq: make(map[uint64]uint64),
+		stop:         make(chan struct{}),
 	}
 	// Handlers may fire before this constructor returns; gate them
 	// until d.ep is assigned.
@@ -97,6 +106,13 @@ func New(tr transport.Transport, cfg Config) *Daemon {
 		return d.handle(from, msg)
 	})
 	close(ready)
+	// Namespace bulk transfer ids by incarnation: a restarted imd reuses
+	// its transport address, and a client's bulk receiver keys transfer
+	// state by (address, id). Without the seed, this incarnation's reads
+	// would re-issue ids the previous one already used, and the client
+	// would answer them from stale per-transfer state — failing the read
+	// or, worse, serving the dead incarnation's bytes.
+	d.ep.SeedTransferIDs(cfg.Epoch << 32)
 	d.announce(wire.HostIdle)
 	d.loops.Add(1)
 	go d.statusLoop()
@@ -168,6 +184,13 @@ func (d *Daemon) Drain() {
 	d.transfers.Wait() // complete ongoing transfers, then exit
 	_ = d.Close()      // crash-path teardown; Drain has no error to return
 }
+
+// Crash tears the daemon down as a kill -9 or power failure would: no
+// drain, no HostBusy announcement. The manager keeps believing the host
+// is idle until an alloc probe fails or an epoch check exposes the
+// restart — exactly the orphan-detection path of §4.3. Fault harnesses
+// use it to model workstation crashes.
+func (d *Daemon) Crash() { _ = d.Close() }
 
 // Close releases the daemon without the polite drain (crash path).
 func (d *Daemon) Close() error {
@@ -251,6 +274,9 @@ func (d *Daemon) handleAlloc(req *wire.IMDAllocReq) wire.Message {
 	st := wire.StatusOK
 	if err != nil {
 		st = wire.StatusNoMem
+	} else {
+		// Fresh region: restart its write-ordering gate.
+		delete(d.lastWriteSeq, req.RegionID)
 	}
 	e, a, l := d.piggybackLocked()
 	return &wire.IMDAllocResp{Status: st, PoolOffset: off, Epoch: e, AvailBytes: a, LargestFree: l}
@@ -262,6 +288,8 @@ func (d *Daemon) handleFree(req *wire.IMDFreeReq) wire.Message {
 	st := wire.StatusOK
 	if err := d.pool.Delete(req.RegionID); err != nil {
 		st = wire.StatusNotFound
+	} else {
+		delete(d.lastWriteSeq, req.RegionID)
 	}
 	e, a, l := d.piggybackLocked()
 	return &wire.IMDFreeResp{Status: st, Epoch: e, AvailBytes: a, LargestFree: l}
@@ -328,6 +356,12 @@ func (d *Daemon) handleWrite(from string, req *wire.WriteReq) wire.Message {
 		d.mu.Unlock()
 		return &wire.DataResp{Status: wire.StatusInvalid}
 	}
+	if d.supersededLocked(req) {
+		// Replay of a write that already applied (or was overwritten by
+		// a newer one): confirm without touching region memory.
+		d.mu.Unlock()
+		return &wire.DataResp{Status: wire.StatusOK, Count: req.Length}
+	}
 	d.transfers.Add(1)
 	d.mu.Unlock()
 	defer d.transfers.Done()
@@ -337,16 +371,43 @@ func (d *Daemon) handleWrite(from string, req *wire.WriteReq) wire.Message {
 	budget := 5*time.Second + time.Duration(req.Length/(1<<20))*2*time.Second
 	data, err := d.ep.RecvBulk(from, req.TransferID, budget)
 	if err != nil {
+		if errors.Is(err, bulk.ErrConsumed) {
+			// A duplicated announcement raced us to the bytes. Confirm
+			// only once the racing handler's apply (or a newer write)
+			// is visible; confirming earlier is how a duplicate used to
+			// acknowledge a write whose apply was still pending —
+			// letting the pending bytes later roll the region back.
+			d.mu.Lock()
+			applied := d.supersededLocked(req)
+			d.mu.Unlock()
+			if applied {
+				return &wire.DataResp{Status: wire.StatusOK, Count: req.Length}
+			}
+			return &wire.DataResp{Status: wire.StatusInvalid}
+		}
 		d.logf("imd %s: receiving write data from %s: %v", d.Addr(), from, err)
 		return &wire.DataResp{Status: wire.StatusInvalid}
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.supersededLocked(req) {
+		return &wire.DataResp{Status: wire.StatusOK, Count: req.Length}
+	}
 	n, err := d.pool.Write(req.RegionID, req.Offset, data)
 	if err != nil {
 		return &wire.DataResp{Status: wire.StatusInvalid}
 	}
+	if req.WriteSeq != 0 {
+		d.lastWriteSeq[req.RegionID] = req.WriteSeq
+	}
 	d.writes++
 	d.writeBytes += int64(n)
 	return &wire.DataResp{Status: wire.StatusOK, Count: uint64(n)}
+}
+
+// supersededLocked reports whether req's write has already been applied
+// or overwritten by a newer write to the same region. WriteSeq zero is
+// unordered and never superseded. Caller holds d.mu.
+func (d *Daemon) supersededLocked(req *wire.WriteReq) bool {
+	return req.WriteSeq != 0 && req.WriteSeq <= d.lastWriteSeq[req.RegionID]
 }

@@ -88,6 +88,12 @@ func allocRegion(t *testing.T, r *rig, id, size uint64) *wire.IMDAllocResp {
 // writeRegion performs the full client write flow.
 func writeRegion(t *testing.T, r *rig, id uint64, offset uint64, data []byte) *wire.DataResp {
 	t.Helper()
+	return writeRegionSeq(t, r, id, offset, data, 0)
+}
+
+// writeRegionSeq is writeRegion with an explicit write sequence number.
+func writeRegionSeq(t *testing.T, r *rig, id uint64, offset uint64, data []byte, seq uint64) *wire.DataResp {
+	t.Helper()
 	xfer := r.cli.NextTransferID()
 	var wg sync.WaitGroup
 	var sendErr error
@@ -97,7 +103,8 @@ func writeRegion(t *testing.T, r *rig, id uint64, offset uint64, data []byte) *w
 		sendErr = r.cli.SendBulk("imd1", xfer, data)
 	}()
 	resp, err := r.cli.CallT("imd1", &wire.WriteReq{
-		RegionID: id, Epoch: 3, Offset: offset, Length: uint64(len(data)), TransferID: xfer,
+		RegionID: id, Epoch: 3, Offset: offset, Length: uint64(len(data)),
+		TransferID: xfer, WriteSeq: seq,
 	}, 2*time.Second, 2)
 	wg.Wait()
 	if err != nil {
@@ -443,5 +450,52 @@ func TestDrainCompletesOngoingTransfers(t *testing.T) {
 		if st := resp.(*wire.DataResp).Status; st == wire.StatusOK {
 			t.Fatal("drained imd accepted new work")
 		}
+	}
+}
+
+// TestReplayedWriteCannotRollBack: an announcement replayed by the
+// network with an old WriteSeq is confirmed but never applied, so a
+// delayed duplicate cannot roll the region back to bytes the client has
+// already overwritten. A fresh region restarts the gate.
+func TestReplayedWriteCannotRollBack(t *testing.T) {
+	r := newRig(t, 1<<20)
+	if ar := allocRegion(t, r, 1, 8192); ar.Status != wire.StatusOK {
+		t.Fatalf("alloc = %v", ar.Status)
+	}
+	old := bytes.Repeat([]byte{0xaa}, 8192)
+	cur := bytes.Repeat([]byte{0xbb}, 8192)
+	if dr := writeRegionSeq(t, r, 1, 0, old, 1); dr.Status != wire.StatusOK {
+		t.Fatalf("write seq 1 = %v", dr.Status)
+	}
+	if dr := writeRegionSeq(t, r, 1, 0, cur, 2); dr.Status != wire.StatusOK {
+		t.Fatalf("write seq 2 = %v", dr.Status)
+	}
+
+	// The replay: same old bytes, stale sequence, a fresh transfer id
+	// (the network replays the announcement; our endpoint can't reuse a
+	// consumed transfer, so the replayed blast rides a new id).
+	dr := writeRegionSeq(t, r, 1, 0, old, 1)
+	if dr.Status != wire.StatusOK || dr.Count != 8192 {
+		t.Fatalf("replayed write = %v count %d, want confirmed in full", dr.Status, dr.Count)
+	}
+	if _, data := readRegion(t, r, 1, 0, 8192); !bytes.Equal(data, cur) {
+		t.Fatal("replayed announcement rolled the region back to stale bytes")
+	}
+
+	// Freeing and re-creating the region restarts the gate: sequence
+	// numbering begins again for the new incarnation.
+	if resp, err := r.cmd.ep.Call("imd1", &wire.IMDFreeReq{RegionID: 1}); err != nil {
+		t.Fatalf("free: %v", err)
+	} else if st := resp.(*wire.IMDFreeResp).Status; st != wire.StatusOK {
+		t.Fatalf("free = %v", st)
+	}
+	if ar := allocRegion(t, r, 1, 8192); ar.Status != wire.StatusOK {
+		t.Fatalf("re-alloc = %v", ar.Status)
+	}
+	if dr := writeRegionSeq(t, r, 1, 0, old, 1); dr.Status != wire.StatusOK {
+		t.Fatalf("write seq 1 on fresh region = %v", dr.Status)
+	}
+	if _, data := readRegion(t, r, 1, 0, 8192); !bytes.Equal(data, old) {
+		t.Fatal("fresh region refused its first write")
 	}
 }

@@ -79,6 +79,14 @@ type clientEntry struct {
 	misses int
 }
 
+// recovCounters is a client's cumulative recovery totals as last
+// reported on a keep-alive ack. Kept even after the client is
+// untracked, so cluster-wide aggregation survives churn without double
+// counting (acks carry running totals, not deltas).
+type recovCounters struct {
+	drops, revalidations, reopens uint64
+}
+
 // Manager is the central manager daemon.
 type Manager struct {
 	cfg Config
@@ -89,6 +97,7 @@ type Manager struct {
 	iwd      map[string]*hostEntry
 	rd       map[wire.RegionKey]*regionEntry
 	clients  map[string]*clientEntry
+	recov    map[string]recovCounters
 	rng      *rand.Rand
 	nextID   uint64
 	shutdown bool
@@ -109,6 +118,7 @@ func New(tr transport.Transport, cfg Config) *Manager {
 		iwd:     make(map[string]*hostEntry),
 		rd:      make(map[wire.RegionKey]*regionEntry),
 		clients: make(map[string]*clientEntry),
+		recov:   make(map[string]recovCounters),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		stop:    make(chan struct{}),
 	}
@@ -169,13 +179,17 @@ type Snapshot struct {
 	Frees          int64
 	StaleDrops     int64
 	OrphanReclaims int64
+	// Client recovery totals aggregated from keep-alive acks.
+	ClientDrops         uint64
+	ClientRevalidations uint64
+	ClientReopens       uint64
 }
 
 // Stats returns a consistent snapshot.
 func (m *Manager) Stats() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return Snapshot{
+	s := Snapshot{
 		IdleHosts:      len(m.iwd),
 		Regions:        len(m.rd),
 		Clients:        len(m.clients),
@@ -185,6 +199,12 @@ func (m *Manager) Stats() Snapshot {
 		StaleDrops:     m.staleDrops,
 		OrphanReclaims: m.orphanReclaims,
 	}
+	for _, rc := range m.recov {
+		s.ClientDrops += rc.drops
+		s.ClientRevalidations += rc.revalidations
+		s.ClientReopens += rc.reopens
+	}
+	return s
 }
 
 // handle dispatches one request.
@@ -217,6 +237,11 @@ func (m *Manager) handleClusterStats(*wire.ClusterStatsReq) wire.Message {
 		Frees:          uint64(m.frees),
 		StaleDrops:     uint64(m.staleDrops),
 		OrphanReclaims: uint64(m.orphanReclaims),
+	}
+	for _, rc := range m.recov {
+		resp.ClientDrops += rc.drops
+		resp.ClientRevalidations += rc.revalidations
+		resp.ClientReopens += rc.reopens
 	}
 	for _, h := range m.iwd {
 		resp.Hosts = append(resp.Hosts, wire.HostInfo{
@@ -262,7 +287,6 @@ func (m *Manager) handleAlloc(from string, req *wire.AllocReq) wire.Message {
 		m.mu.Unlock()
 		return &wire.AllocResp{Status: wire.StatusOK, Region: region}
 	}
-	m.trackClientLocked(from)
 	// Candidate hosts, randomized (the paper picks randomly and retries).
 	var candidates []string
 	for addr, h := range m.iwd {
@@ -321,6 +345,9 @@ func (m *Manager) handleAlloc(from string, req *wire.AllocReq) wire.Message {
 			Epoch:      ar.Epoch,
 		}
 		m.rd[req.Key] = &regionEntry{key: req.Key, region: region, client: from}
+		// Track only committed owners: tracking on request would leak a
+		// keep-alive probe target whenever the allocation failed.
+		m.trackClientLocked(from)
 		m.allocs++
 		m.mu.Unlock()
 		m.logf("cmd: allocated %v (%d bytes) on %s", req.Key, req.Length, host)
@@ -343,6 +370,7 @@ func (m *Manager) handleFree(req *wire.FreeReq) wire.Message {
 	}
 	delete(m.rd, req.Key)
 	m.frees++
+	m.untrackIdleClientLocked(e.client)
 	host, id := e.region.HostAddr, e.region.RegionID
 	m.mu.Unlock()
 	// Forward to the hosting imd off the client's critical path;
@@ -384,6 +412,7 @@ func (m *Manager) handleCheckAlloc(req *wire.CheckAllocReq) wire.Message {
 		// is gone. Delete it and report failure.
 		delete(m.rd, req.Key)
 		m.staleDrops++
+		m.untrackIdleClientLocked(e.client)
 		return &wire.CheckAllocResp{Status: wire.StatusStale}
 	}
 	return &wire.CheckAllocResp{Status: wire.StatusOK, Region: e.region}
@@ -394,6 +423,23 @@ func (m *Manager) trackClientLocked(addr string) {
 	if _, ok := m.clients[addr]; !ok {
 		m.clients[addr] = &clientEntry{addr: addr}
 	}
+}
+
+// untrackIdleClientLocked forgets a client that owns no RD entries:
+// without this, a client whose regions were all freed would be probed
+// by the keep-alive loop forever. Its recovery counters stay in
+// m.recov so cluster totals survive the untracking.
+func (m *Manager) untrackIdleClientLocked(addr string) {
+	if _, ok := m.clients[addr]; !ok {
+		return
+	}
+	for _, e := range m.rd {
+		if e.client == addr {
+			return
+		}
+	}
+	delete(m.clients, addr)
+	m.logf("cmd: client %s owns no regions; keep-alive tracking dropped", addr)
 }
 
 // keepAliveLoop periodically echoes every known client and reclaims the
@@ -420,7 +466,7 @@ func (m *Manager) keepAliveLoop() {
 			m.wg.Add(1)
 			go func() {
 				defer m.wg.Done()
-				_, err := m.ep.CallT(addr, &wire.KeepAlive{}, m.probeTimeout(), 1)
+				resp, err := m.ep.CallT(addr, &wire.KeepAlive{}, m.probeTimeout(), 1)
 				m.mu.Lock()
 				c, ok := m.clients[addr]
 				if !ok {
@@ -429,6 +475,15 @@ func (m *Manager) keepAliveLoop() {
 				}
 				if err == nil {
 					c.misses = 0
+					// The ack piggybacks the client's cumulative recovery
+					// counters; remember the latest report.
+					if ack, isAck := resp.(*wire.KeepAliveAck); isAck {
+						m.recov[addr] = recovCounters{
+							drops:         ack.Drops,
+							revalidations: ack.Revalidations,
+							reopens:       ack.Reopens,
+						}
+					}
 					m.mu.Unlock()
 					return
 				}

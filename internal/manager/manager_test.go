@@ -494,6 +494,101 @@ func TestFreeRefreshesIWDHints(t *testing.T) {
 	t.Fatalf("avail hint = %d after free, want %d", availHint(), 1<<20)
 }
 
+// TestFailedAllocDoesNotTrackClient: a client whose allocation fails
+// owns nothing, so the keep-alive loop must not start probing it.
+func TestFailedAllocDoesNotTrackClient(t *testing.T) {
+	r := newRig(t)
+	resp, err := r.cli.Call("cmd", &wire.AllocReq{Key: key(70, 0), Length: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := resp.(*wire.AllocResp).Status; st != wire.StatusNoMem {
+		t.Fatalf("alloc with no hosts = %v, want StatusNoMem", st)
+	}
+	if got := r.mgr.Stats().Clients; got != 0 {
+		t.Fatalf("Clients = %d after a failed alloc, want 0 (keep-alive leak)", got)
+	}
+}
+
+// TestClientUntrackedAfterLastFree: once a client frees its last region
+// it must leave the keep-alive set — otherwise every client that ever
+// allocated is probed forever.
+func TestClientUntrackedAfterLastFree(t *testing.T) {
+	r := newRig(t)
+	imd := newFakeIMD(r.n, "imd1", 1<<20, 1)
+	t.Cleanup(func() { imd.ep.Close() })
+	registerHost(t, r.cli, "cmd", "imd1", 1, 1<<20)
+
+	if _, err := r.cli.Call("cmd", &wire.AllocReq{Key: key(71, 0), Length: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.cli.Call("cmd", &wire.AllocReq{Key: key(71, 4096), Length: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.mgr.Stats().Clients; got != 1 {
+		t.Fatalf("Clients = %d after allocs, want 1", got)
+	}
+	if _, err := r.cli.Call("cmd", &wire.FreeReq{Key: key(71, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	// One region left: still tracked.
+	if got := r.mgr.Stats().Clients; got != 1 {
+		t.Fatalf("Clients = %d with one region left, want 1", got)
+	}
+	if _, err := r.cli.Call("cmd", &wire.FreeReq{Key: key(71, 4096)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.mgr.Stats().Clients; got != 0 {
+		t.Fatalf("Clients = %d after last free, want 0 (keep-alive leak)", got)
+	}
+}
+
+// TestKeepAliveAggregatesRecoveryCounters: keep-alive acks piggyback the
+// client's cumulative recovery counters; the manager's snapshot sums
+// them, and the totals survive the client being untracked.
+func TestKeepAliveAggregatesRecoveryCounters(t *testing.T) {
+	n := transport.NewNetwork()
+	mgr := New(n.Host("cmd"), fastCfg())
+	t.Cleanup(func() { mgr.Close() })
+	imd := newFakeIMD(n, "imd1", 1<<20, 1)
+	t.Cleanup(func() { imd.ep.Close() })
+
+	cli := bulk.NewEndpoint(n.Host("client"), fastEndpointCfg(), func(from string, msg wire.Message) wire.Message {
+		if ka, ok := msg.(*wire.KeepAlive); ok {
+			return &wire.KeepAliveAck{ClientID: ka.ClientID, Drops: 3, Revalidations: 2, Reopens: 1}
+		}
+		return nil
+	})
+	t.Cleanup(func() { cli.Close() })
+	registerHost(t, cli, "cmd", "imd1", 1, 1<<20)
+	if _, err := cli.Call("cmd", &wire.AllocReq{Key: key(72, 0), Length: 1024}); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := mgr.Stats(); s.ClientDrops == 3 && s.ClientRevalidations == 2 && s.ClientReopens == 1 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if s := mgr.Stats(); s.ClientDrops != 3 || s.ClientRevalidations != 2 || s.ClientReopens != 1 {
+		t.Fatalf("recovery counters never aggregated: %+v", s)
+	}
+	// Free the last region: the client is untracked, but the cluster
+	// totals must not drop (acks carry running totals, not deltas).
+	if _, err := cli.Call("cmd", &wire.FreeReq{Key: key(72, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	s := mgr.Stats()
+	if s.Clients != 0 {
+		t.Fatalf("Clients = %d after last free, want 0", s.Clients)
+	}
+	if s.ClientDrops != 3 || s.ClientRevalidations != 2 || s.ClientReopens != 1 {
+		t.Fatalf("recovery totals lost on untrack: %+v", s)
+	}
+}
+
 func TestClusterStatsRPC(t *testing.T) {
 	r := newRig(t)
 	imd := newFakeIMD(r.n, "imd1", 1<<20, 4)

@@ -105,6 +105,12 @@ type cregion struct {
 	local    []byte // non-nil iff cached locally
 	dirty    bool   // local copy differs from disk
 	remoteFD int    // core descriptor, -1 when no remote copy
+	// remoteFailAt marks the remote copy suspect after an ErrNoMem
+	// failure (host crashed or reclaimed, §3.1). The descriptor is kept:
+	// the runtime's background recovery may re-open it, so the cache
+	// retries after the refraction period instead of abandoning remote
+	// memory forever. Zero means healthy.
+	remoteFailAt time.Time
 }
 
 func (r *cregion) state() State {
@@ -122,16 +128,17 @@ func (r *cregion) state() State {
 // Stats reports cache activity; the virtual-time experiments derive
 // every figure from these counters.
 type Stats struct {
-	LocalHits    int64 // accesses served from the local cache
-	RemoteReads  int64 // bytes served from remote memory (read-through)
-	DiskReads    int64 // bytes served from disk (read-through)
-	Promotions   int64 // regions pulled into the local cache
-	Evictions    int64 // regions pushed out by grimReaper
-	RemoteClones int64 // evictions that went to remote memory
-	DiskSpills   int64 // evictions that fell back to disk only
-	WriteBacks   int64 // dirty flushes
-	RefractSkips int64 // remote clones skipped inside refraction
-	Prefetches   int64 // prefetch pulls issued
+	LocalHits     int64 // accesses served from the local cache
+	RemoteReads   int64 // bytes served from remote memory (read-through)
+	DiskReads     int64 // bytes served from disk (read-through)
+	Promotions    int64 // regions pulled into the local cache
+	Evictions     int64 // regions pushed out by grimReaper
+	RemoteClones  int64 // evictions that went to remote memory
+	DiskSpills    int64 // evictions that fell back to disk only
+	WriteBacks    int64 // dirty flushes
+	RefractSkips  int64 // remote clones skipped inside refraction
+	Prefetches    int64 // prefetch pulls issued
+	RemoteRevives int64 // suspect remote copies brought back into service
 }
 
 // Cache is the region-management library instance.
@@ -261,14 +268,14 @@ func (c *Cache) Cread(fd int, offset int64, buf []byte) (int, error) {
 		return int(want), nil
 	}
 	// Read-through without caching.
-	if r.remoteFD >= 0 {
+	if c.remoteReadyLocked(r) {
 		n, err := c.dodo.Mread(r.remoteFD, offset, buf[:want])
 		if err == nil {
 			c.stats.RemoteReads += int64(n)
 			return n, nil
 		}
 		// Remote copy lost: fall back to disk (§3.1 drop semantics).
-		r.remoteFD = -1
+		c.noteRemoteFailLocked(r, err)
 	}
 	n, err := r.backing.ReadAt(buf[:want], r.backOff+offset)
 	if err != nil {
@@ -312,15 +319,19 @@ func (c *Cache) Cwrite(fd int, offset int64, buf []byte) (int, error) {
 		return int(want), nil
 	}
 	// Write through.
-	if r.remoteFD >= 0 {
-		if n, err := c.dodo.Mwrite(r.remoteFD, offset, buf[:want]); err == nil {
+	if c.remoteReadyLocked(r) {
+		n, err := c.dodo.Mwrite(r.remoteFD, offset, buf[:want])
+		if err == nil {
 			return n, nil // Mwrite wrote disk too
 		}
-		r.remoteFD = -1
+		c.noteRemoteFailLocked(r, err)
 	}
 	// A full-region write can establish the remote copy directly:
 	// Mwrite propagates to both the remote host and the backing file.
-	if offset == 0 && want == r.length {
+	// Only for regions with no remote descriptor at all — a suspect
+	// descriptor makes cloneRemoteLocked a no-op success, and the write
+	// would reach neither remote memory nor disk.
+	if offset == 0 && want == r.length && r.remoteFD < 0 {
 		if c.cloneRemoteLocked(r, buf[:want]) {
 			return int(want), nil
 		}
@@ -384,14 +395,15 @@ func (c *Cache) Cclose(fd int) error {
 // flushLocked writes a dirty local copy to disk (and to the remote copy
 // if one exists), clearing the dirty flag. Caller holds c.mu.
 func (c *Cache) flushLocked(r *cregion) error {
-	if r.remoteFD >= 0 {
+	if c.remoteReadyLocked(r) {
 		// Mwrite propagates to disk and remote in parallel (§3).
 		if _, err := c.dodo.Mwrite(r.remoteFD, 0, r.local); err == nil {
 			r.dirty = false
 			c.stats.WriteBacks++
 			return nil
+		} else {
+			c.noteRemoteFailLocked(r, err) // remote lost; fall through to disk
 		}
-		r.remoteFD = -1 // remote lost; fall through to disk
 	}
 	if _, err := r.backing.WriteAt(r.local, r.backOff); err != nil {
 		return fmt.Errorf("region: flushing region %d: %w", r.fd, err)
@@ -408,16 +420,16 @@ func (c *Cache) promoteLocked(r *cregion) {
 		return
 	}
 	buf := make([]byte, r.length)
-	if r.remoteFD >= 0 {
+	filled := false
+	if c.remoteReadyLocked(r) {
 		if n, err := c.dodo.Mread(r.remoteFD, 0, buf); err == nil && int64(n) == r.length {
 			c.stats.RemoteReads += int64(n)
+			filled = true
 		} else {
-			r.remoteFD = -1
-			if _, err := r.backing.ReadAt(buf, r.backOff); err == nil {
-				c.stats.DiskReads += r.length
-			}
+			c.noteRemoteFailLocked(r, err)
 		}
-	} else {
+	}
+	if !filled {
 		if _, err := r.backing.ReadAt(buf, r.backOff); err == nil {
 			c.stats.DiskReads += r.length
 		}
@@ -461,6 +473,57 @@ func (c *Cache) ensureSpaceLocked(need int64) bool {
 	return true
 }
 
+// noteRemoteFailLocked records a failed remote access. ErrNoMem (host
+// crashed, reclaimed, or dropped, §3.1) keeps the descriptor and marks
+// the copy suspect so the cache repopulates through the runtime's
+// background recovery after the refraction period; any other error is
+// unrecoverable and drops the remote copy for good. Caller holds c.mu.
+func (c *Cache) noteRemoteFailLocked(r *cregion, err error) {
+	if errors.Is(err, core.ErrNoMem) {
+		r.remoteFailAt = c.cfg.Clock.Now()
+		return
+	}
+	r.remoteFD = -1
+	r.remoteFailAt = time.Time{}
+}
+
+// remoteReadyLocked reports whether r's remote copy may be used. A
+// suspect copy is refused until the refraction period has passed; on
+// the first attempt after it, the full region contents are re-pushed
+// before the copy is trusted again — writes during the outage went
+// disk-only, so the remote bytes may be stale even when the runtime
+// revived the descriptor. Caller holds c.mu.
+func (c *Cache) remoteReadyLocked(r *cregion) bool {
+	if r.remoteFD < 0 {
+		return false
+	}
+	if r.remoteFailAt.IsZero() {
+		return true
+	}
+	now := c.cfg.Clock.Now()
+	if now.Sub(r.remoteFailAt) < c.cfg.RefractionPeriod {
+		return false
+	}
+	data := r.local
+	if data == nil {
+		data = make([]byte, r.length)
+		if _, err := r.backing.ReadAt(data, r.backOff); err != nil {
+			return false
+		}
+		c.stats.DiskReads += r.length
+	}
+	if _, err := c.dodo.Mwrite(r.remoteFD, 0, data); err != nil {
+		r.remoteFailAt = now // still down; stay suspect
+		return false
+	}
+	if r.local != nil {
+		r.dirty = false // Mwrite propagated the local bytes to disk too
+	}
+	r.remoteFailAt = time.Time{}
+	c.stats.RemoteRevives++
+	return true
+}
+
 // cloneRemoteLocked tries to give r a remote copy (cloneRemoteRegion of
 // Figure 5), honoring the refraction period after a failed allocation.
 // data supplies the region's current contents when the caller has them
@@ -499,7 +562,12 @@ func (c *Cache) cloneRemoteLocked(r *cregion, data []byte) bool {
 	}
 	// Push the contents so the remote copy is authoritative.
 	if _, err := c.dodo.Mwrite(mfd, 0, data); err != nil {
-		r.remoteFD = -1
+		// Release the half-built clone: keeping the fd would leak a
+		// client descriptor plus its manager-side allocation, and the
+		// runtime's recovery loop would grind on the orphan forever.
+		_ = c.dodo.Mclose(mfd)
+		c.failed = true
+		c.lastFail = now
 		return false
 	}
 	r.remoteFD = mfd

@@ -21,6 +21,7 @@ type Network struct {
 	mu          sync.Mutex
 	hosts       map[string]*MemEndpoint
 	injector    *simnet.Injector
+	perHost     map[string]*simnet.Injector
 	partitioned map[string]bool
 	mtu         int
 }
@@ -42,6 +43,7 @@ func WithMTU(mtu int) NetworkOption {
 func NewNetwork(opts ...NetworkOption) *Network {
 	n := &Network{
 		hosts:       make(map[string]*MemEndpoint),
+		perHost:     make(map[string]*simnet.Injector),
 		partitioned: make(map[string]bool),
 		mtu:         UDPMTU,
 	}
@@ -79,6 +81,25 @@ func (n *Network) Heal(addr string) {
 	delete(n.partitioned, addr)
 }
 
+// SetEndpointFaults degrades every link touching addr: each frame sent
+// to or from it passes through a dedicated injector seeded from f. It
+// models a flaky NIC or switch port, and may be installed and removed
+// at runtime (unlike the construction-time WithFaults). The sender-side
+// injector wins when both ends are degraded, keeping frame decisions
+// attributable to one deterministic stream.
+func (n *Network) SetEndpointFaults(addr string, f simnet.Faults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.perHost[addr] = f.NewInjector()
+}
+
+// ClearEndpointFaults heals addr's links.
+func (n *Network) ClearEndpointFaults(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.perHost, addr)
+}
+
 func (n *Network) deliver(from, to string, data []byte) error {
 	n.mu.Lock()
 	if n.partitioned[from] || n.partitioned[to] {
@@ -91,7 +112,12 @@ func (n *Network) deliver(from, to string, data []byte) error {
 		return fmt.Errorf("%w: %q", ErrNoRoute, to)
 	}
 	var decision simnet.Decision
-	if n.injector != nil {
+	switch {
+	case n.perHost[from] != nil:
+		decision = n.perHost[from].Next()
+	case n.perHost[to] != nil:
+		decision = n.perHost[to].Next()
+	case n.injector != nil:
 		decision = n.injector.Next()
 	}
 	n.mu.Unlock()

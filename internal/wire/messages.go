@@ -255,22 +255,39 @@ func (m *KeepAlive) decode(b []byte) error {
 	return nil
 }
 
-// KeepAliveAck is the client's echo response.
+// KeepAliveAck is the client's echo response. It piggybacks the
+// client's recovery counters (§4.3 style hint-carrying) so the manager
+// can aggregate drop/revalidate/re-open totals without extra RPCs.
 type KeepAliveAck struct {
 	ClientID uint32
+	// Drops counts drop-host events (all descriptors on a failed host
+	// invalidated at once, §3.1).
+	Drops uint64
+	// Revalidations counts checkAlloc probes issued by the client's
+	// background recovery pass.
+	Revalidations uint64
+	// Reopens counts regions transparently re-opened and repopulated
+	// after a drop.
+	Reopens uint64
 }
 
 func (*KeepAliveAck) Kind() Type       { return TKeepAliveAck }
-func (*KeepAliveAck) payloadSize() int { return 4 }
+func (*KeepAliveAck) payloadSize() int { return 4 + 3*8 }
 func (m *KeepAliveAck) encode(b []byte) error {
 	binary.BigEndian.PutUint32(b, m.ClientID)
+	binary.BigEndian.PutUint64(b[4:], m.Drops)
+	binary.BigEndian.PutUint64(b[12:], m.Revalidations)
+	binary.BigEndian.PutUint64(b[20:], m.Reopens)
 	return nil
 }
 func (m *KeepAliveAck) decode(b []byte) error {
-	if len(b) < 4 {
+	if len(b) < 28 {
 		return ErrTruncated
 	}
 	m.ClientID = binary.BigEndian.Uint32(b)
+	m.Drops = binary.BigEndian.Uint64(b[4:])
+	m.Revalidations = binary.BigEndian.Uint64(b[12:])
+	m.Reopens = binary.BigEndian.Uint64(b[20:])
 	return nil
 }
 
@@ -489,26 +506,32 @@ func (m *ReadReq) decode(b []byte) error {
 
 // WriteReq announces an incoming write of Length bytes at Offset within a
 // region; the data itself follows via the bulk protocol under TransferID.
+// WriteSeq orders writes to one region: the imd ignores an announcement
+// whose sequence is not newer than the last write it applied, so a
+// duplicated or delayed announcement replayed by the network can never
+// roll the region back to older bytes. Zero means unordered (legacy).
 type WriteReq struct {
 	RegionID   uint64
 	Epoch      uint64
 	Offset     uint64
 	Length     uint64
 	TransferID uint64
+	WriteSeq   uint64
 }
 
 func (*WriteReq) Kind() Type       { return TWriteReq }
-func (*WriteReq) payloadSize() int { return 40 }
+func (*WriteReq) payloadSize() int { return 48 }
 func (m *WriteReq) encode(b []byte) error {
 	binary.BigEndian.PutUint64(b[0:], m.RegionID)
 	binary.BigEndian.PutUint64(b[8:], m.Epoch)
 	binary.BigEndian.PutUint64(b[16:], m.Offset)
 	binary.BigEndian.PutUint64(b[24:], m.Length)
 	binary.BigEndian.PutUint64(b[32:], m.TransferID)
+	binary.BigEndian.PutUint64(b[40:], m.WriteSeq)
 	return nil
 }
 func (m *WriteReq) decode(b []byte) error {
-	if len(b) < 40 {
+	if len(b) < 48 {
 		return ErrTruncated
 	}
 	m.RegionID = binary.BigEndian.Uint64(b[0:])
@@ -516,6 +539,7 @@ func (m *WriteReq) decode(b []byte) error {
 	m.Offset = binary.BigEndian.Uint64(b[16:])
 	m.Length = binary.BigEndian.Uint64(b[24:])
 	m.TransferID = binary.BigEndian.Uint64(b[32:])
+	m.WriteSeq = binary.BigEndian.Uint64(b[40:])
 	return nil
 }
 

@@ -37,13 +37,16 @@ type ClusterStatsResp struct {
 	Clients uint64
 	// Counters since manager start.
 	Allocs, AllocFailures, Frees, StaleDrops, OrphanReclaims uint64
+	// Client recovery counters, aggregated from keep-alive acks
+	// (including clients since reclaimed).
+	ClientDrops, ClientRevalidations, ClientReopens uint64
 }
 
 // Kind returns the wire type tag.
 func (*ClusterStatsResp) Kind() Type { return TClusterStatsResp }
 
 func (m *ClusterStatsResp) payloadSize() int {
-	n := 1 + 2 + 7*8
+	n := 1 + 2 + 10*8
 	for _, h := range m.Hosts {
 		n += h.encodedSize()
 	}
@@ -62,8 +65,11 @@ func (m *ClusterStatsResp) encode(b []byte) error {
 	binary.BigEndian.PutUint64(b[33:], m.Frees)
 	binary.BigEndian.PutUint64(b[41:], m.StaleDrops)
 	binary.BigEndian.PutUint64(b[49:], m.OrphanReclaims)
-	binary.BigEndian.PutUint16(b[57:], uint16(len(m.Hosts)))
-	at := 59
+	binary.BigEndian.PutUint64(b[57:], m.ClientDrops)
+	binary.BigEndian.PutUint64(b[65:], m.ClientRevalidations)
+	binary.BigEndian.PutUint64(b[73:], m.ClientReopens)
+	binary.BigEndian.PutUint16(b[81:], uint16(len(m.Hosts)))
+	at := 83
 	for _, h := range m.Hosts {
 		n, err := putString(b[at:], h.Addr)
 		if err != nil {
@@ -79,7 +85,7 @@ func (m *ClusterStatsResp) encode(b []byte) error {
 }
 
 func (m *ClusterStatsResp) decode(b []byte) error {
-	if len(b) < 59 {
+	if len(b) < 83 {
 		return ErrTruncated
 	}
 	m.Status = Status(b[0])
@@ -90,8 +96,11 @@ func (m *ClusterStatsResp) decode(b []byte) error {
 	m.Frees = binary.BigEndian.Uint64(b[33:])
 	m.StaleDrops = binary.BigEndian.Uint64(b[41:])
 	m.OrphanReclaims = binary.BigEndian.Uint64(b[49:])
-	count := int(binary.BigEndian.Uint16(b[57:]))
-	at := 59
+	m.ClientDrops = binary.BigEndian.Uint64(b[57:])
+	m.ClientRevalidations = binary.BigEndian.Uint64(b[65:])
+	m.ClientReopens = binary.BigEndian.Uint64(b[73:])
+	count := int(binary.BigEndian.Uint16(b[81:]))
+	at := 83
 	m.Hosts = make([]HostInfo, 0, count)
 	for i := 0; i < count; i++ {
 		addr, n, err := getString(b[at:])

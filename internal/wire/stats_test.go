@@ -15,6 +15,7 @@ func TestClusterStatsRoundTrip(t *testing.T) {
 		},
 		Regions: 42, Clients: 3,
 		Allocs: 100, AllocFailures: 5, Frees: 60, StaleDrops: 2, OrphanReclaims: 7,
+		ClientDrops: 11, ClientRevalidations: 23, ClientReopens: 4,
 	}
 	got := roundTrip(t, 9, in)
 	if !reflect.DeepEqual(got, in) {

@@ -39,7 +39,7 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&CheckAllocReq{Key: key},
 		&CheckAllocResp{Status: StatusStale, Region: region},
 		&KeepAlive{ClientID: 77},
-		&KeepAliveAck{ClientID: 77},
+		&KeepAliveAck{ClientID: 77, Drops: 3, Revalidations: 2, Reopens: 1},
 		&HostStatus{HostAddr: "host3:9000", State: HostIdle, Epoch: 5, AvailBytes: 100 << 20, LargestFree: 64 << 20},
 		&HostStatusAck{Status: StatusOK},
 		&IMDAllocReq{RegionID: 42, Length: 8192},
@@ -47,7 +47,7 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&IMDFreeReq{RegionID: 42},
 		&IMDFreeResp{Status: StatusOK, Epoch: 5, AvailBytes: 100 << 20, LargestFree: 64 << 20},
 		&ReadReq{RegionID: 42, Epoch: 5, Offset: 100, Length: 8192},
-		&WriteReq{RegionID: 42, Epoch: 5, Offset: 100, Length: 8192, TransferID: 9001},
+		&WriteReq{RegionID: 42, Epoch: 5, Offset: 100, Length: 8192, TransferID: 9001, WriteSeq: 17},
 		&DataResp{Status: StatusOK, Count: 8192, TransferID: 9001},
 		&BulkOffer{TransferID: 9001, TotalLen: 1 << 20, ChunkSize: 1400},
 		&BulkAccept{TransferID: 9001, Window: 32, Status: StatusOK},

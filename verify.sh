@@ -8,3 +8,8 @@ go build ./...
 go vet ./...
 go run ./cmd/dodo-vet ./...
 go test -race ./...
+
+# Seeded fault-injection sweep: deterministic schedules plus the full
+# churn acceptance run. Separate invocation so a hang or flake here is
+# attributable to the failure paths, not the unit suites above.
+go test -race -run 'TestFaultScheduleDeterministic|TestSeededFaultSweep' -count=2 -timeout 600s ./internal/cluster/
