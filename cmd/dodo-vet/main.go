@@ -5,14 +5,29 @@
 //
 // Usage:
 //
-//	dodo-vet [-list] [-rules clock-discipline,seeded-rand] [packages...]
+//	dodo-vet [-list] [-json] [-only rules] [-skip rules] [packages...]
 //
 // With no package arguments it checks ./... . Findings print one per
-// line as "file:line: analyzer: message"; the exit status is 1 when any
-// invariant is violated, 2 on usage or load errors.
+// line as "file:line: analyzer: message", or as a JSON array with
+// -json. Rule selection:
+//
+//	-only lock-order,buffer-ownership   run only the named rules
+//	-skip wire-exhaustiveness           run all but the named rules
+//	-rules a,b                          legacy alias for -only
+//
+// Exit status:
+//
+//	0  no findings
+//	1  at least one invariant violated
+//	2  usage error, or the packages could not be loaded
+//
+// Packages go list matches but cannot analyze (a compile error, a
+// dependency with no export data) are reported on stderr and skipped;
+// they do not affect the exit status.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +36,20 @@ import (
 	"dodo/internal/vet"
 )
 
+// jsonFinding is the -json output shape, one element per finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "print the available rules and exit")
-	rules := flag.String("rules", "", "comma-separated rule names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	only := flag.String("only", "", "comma-separated rule names to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated rule names to leave out")
+	rules := flag.String("rules", "", "alias for -only (kept for older scripts)")
 	flag.Parse()
 
 	if *list {
@@ -33,21 +59,60 @@ func main() {
 		return
 	}
 
-	analyzers := vet.All()
+	if *only != "" && *rules != "" {
+		fmt.Fprintln(os.Stderr, "dodo-vet: -only and -rules are aliases; give one")
+		os.Exit(2)
+	}
 	if *rules != "" {
-		byName := make(map[string]*vet.Analyzer)
-		for _, a := range analyzers {
-			byName[a.Name] = a
-		}
-		analyzers = nil
-		for _, name := range strings.Split(*rules, ",") {
-			a, ok := byName[strings.TrimSpace(name)]
-			if !ok {
+		*only = *rules
+	}
+	if *only != "" && *skip != "" {
+		fmt.Fprintln(os.Stderr, "dodo-vet: -only and -skip are mutually exclusive")
+		os.Exit(2)
+	}
+
+	analyzers := vet.All()
+	byName := make(map[string]*vet.Analyzer)
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	parseNames := func(csv string) []string {
+		var names []string
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := byName[name]; !ok {
 				fmt.Fprintf(os.Stderr, "dodo-vet: unknown rule %q (see -list)\n", name)
 				os.Exit(2)
 			}
-			analyzers = append(analyzers, a)
+			names = append(names, name)
 		}
+		return names
+	}
+	switch {
+	case *only != "":
+		analyzers = nil
+		for _, name := range parseNames(*only) {
+			analyzers = append(analyzers, byName[name])
+		}
+	case *skip != "":
+		skipped := make(map[string]bool)
+		for _, name := range parseNames(*skip) {
+			skipped[name] = true
+		}
+		kept := analyzers[:0]
+		for _, a := range analyzers {
+			if !skipped[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "dodo-vet: no rules selected")
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
@@ -59,15 +124,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dodo-vet: %v\n", err)
 		os.Exit(2)
 	}
-	passes, err := vet.LoadPackages(wd, patterns...)
+	passes, skippedPkgs, err := vet.LoadPackages(wd, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dodo-vet: %v\n", err)
 		os.Exit(2)
 	}
+	for _, s := range skippedPkgs {
+		fmt.Fprintf(os.Stderr, "dodo-vet: skipping %s\n", s)
+	}
+	if len(passes) == 0 {
+		fmt.Fprintln(os.Stderr, "dodo-vet: no packages to analyze")
+		os.Exit(2)
+	}
 
 	findings := vet.Check(passes, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "dodo-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "dodo-vet: %d finding(s) in %d package(s)\n", len(findings), len(passes))

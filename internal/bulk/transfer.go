@@ -2,9 +2,9 @@ package bulk
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
+	"dodo/internal/locks"
 	"dodo/internal/sim"
 	"dodo/internal/wire"
 )
@@ -103,6 +103,7 @@ func (ep *Endpoint) SendBulk(to string, id uint64, data []byte) error {
 			select {
 			case msg := <-respCh:
 				timer.Stop()
+				//vet:ignore wire-exhaustiveness — narrow correlation switch: routeTxResponse feeds only BulkNack/BulkDone
 				switch m := msg.(type) {
 				case *wire.BulkDone:
 					if m.Status != wire.StatusOK {
@@ -155,6 +156,7 @@ func (ep *Endpoint) awaitDone(to string, id uint64, offer *wire.BulkOffer, respC
 		select {
 		case msg := <-respCh:
 			timer.Stop()
+			//vet:ignore wire-exhaustiveness — narrow correlation switch: routeTxResponse feeds only BulkNack/BulkDone
 			switch m := msg.(type) {
 			case *wire.BulkDone:
 				if m.Status != wire.StatusOK {
@@ -259,7 +261,7 @@ type rxTransfer struct {
 	from string
 	id   uint64
 
-	mu       sync.Mutex
+	mu       locks.Mutex
 	buf      []byte
 	got      []bool
 	gotCount int
@@ -275,7 +277,9 @@ type rxTransfer struct {
 }
 
 func newRxTransfer(ep *Endpoint, from string, id uint64) *rxTransfer {
-	return &rxTransfer{ep: ep, from: from, id: id, done: make(chan struct{})}
+	rx := &rxTransfer{ep: ep, from: from, id: id, done: make(chan struct{})}
+	rx.mu.SetRank(locks.RankBulkTransfer)
+	return rx
 }
 
 func (rx *rxTransfer) fail(err error) {

@@ -10,12 +10,12 @@ package cluster
 
 import (
 	"log"
-	"sync"
 	"time"
 
 	"dodo/internal/bulk"
 	"dodo/internal/core"
 	"dodo/internal/imd"
+	"dodo/internal/locks"
 	"dodo/internal/manager"
 	"dodo/internal/monitor"
 	"dodo/internal/transport"
@@ -43,7 +43,7 @@ type Cluster struct {
 	net *transport.Network
 	mgr *manager.Manager
 
-	mu           sync.Mutex
+	mu           locks.Mutex
 	workstations []*Workstation
 	clients      []*core.Client
 	closed       bool
@@ -57,7 +57,7 @@ type Workstation struct {
 	cluster *Cluster
 	mon     *monitor.Monitor
 
-	mu    sync.Mutex
+	mu    locks.Mutex
 	imd   *imd.Daemon
 	epoch uint64
 	pool  uint64
@@ -77,6 +77,7 @@ func New(cfg Config) *Cluster {
 		net: net,
 		mgr: manager.New(net.Host("cmd"), mgrCfg),
 	}
+	c.mu.SetRank(locks.RankCluster)
 	return c
 }
 
@@ -94,6 +95,7 @@ func (c *Cluster) ManagerAddr() string { return "cmd" }
 // Run/Step drives recruiting.
 func (c *Cluster) AddWorkstation(name string, src monitor.Source) *Workstation {
 	w := &Workstation{Name: name, cluster: c, pool: c.cfg.PoolBytes}
+	w.mu.SetRank(locks.RankWorkstation)
 	monCfg := c.cfg.Monitor
 	w.mon = monitor.New(src, monCfg, monitor.Hooks{
 		OnRecruit: func(now time.Time) { w.recruit() },

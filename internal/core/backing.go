@@ -15,8 +15,9 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"sync"
 	"syscall"
+
+	"dodo/internal/locks"
 )
 
 // Backing is the disk store behind a remote region: every Dodo region is
@@ -102,7 +103,7 @@ func (b *FileBacking) Writable() bool { return fdWritable(b.F) }
 // MemBacking is an in-memory backing store for tests and virtual-time
 // simulations. It grows on demand and is safe for concurrent use.
 type MemBacking struct {
-	mu       sync.Mutex
+	mu       locks.Mutex
 	data     []byte
 	inode    uint64
 	readOnly bool
@@ -115,7 +116,9 @@ var _ Backing = (*MemBacking)(nil)
 
 // NewMemBacking creates an in-memory backing with the given inode.
 func NewMemBacking(inode uint64, size int) *MemBacking {
-	return &MemBacking{data: make([]byte, size), inode: inode}
+	b := &MemBacking{data: make([]byte, size), inode: inode}
+	b.mu.SetRank(locks.RankBacking)
+	return b
 }
 
 // SetReadOnly makes subsequent writes fail (for mopen validation tests).

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dodo/internal/bulk"
+	"dodo/internal/locks"
 	"dodo/internal/sim"
 	"dodo/internal/transport"
 	"dodo/internal/wire"
@@ -93,7 +94,7 @@ type Client struct {
 	ep  *bulk.Endpoint
 	log *log.Logger
 
-	mu      sync.Mutex
+	mu      locks.Mutex
 	regions map[int]*regionState
 	// aliases refcounts open descriptors per region key: duplicate
 	// Mopens of the same (inode, offset) share one RD entry, and only
@@ -140,6 +141,7 @@ func New(tr transport.Transport, cfg Config) *Client {
 		recoverStop: make(chan struct{}),
 		recoverKick: make(chan struct{}, 1),
 	}
+	c.mu.SetRank(locks.RankCoreClient)
 	// The client must echo the manager's keep-alives (§3.1) or its
 	// regions are reclaimed as orphans. The ack piggybacks the recovery
 	// counters so the manager aggregates them cluster-wide.

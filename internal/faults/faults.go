@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"dodo/internal/locks"
 	"dodo/internal/sim"
 	"dodo/internal/simnet"
 )
@@ -251,7 +252,7 @@ type Scheduler struct {
 	target Target
 	events []Event
 
-	mu      sync.Mutex
+	mu      locks.Mutex
 	next    int
 	counts  Counts
 	started bool
@@ -265,12 +266,14 @@ type Scheduler struct {
 // drives event timing (sim.WallClock for live harnesses, a virtual
 // clock for simulated ones).
 func NewScheduler(p Plan, clock sim.Clock, target Target) *Scheduler {
-	return &Scheduler{
+	s := &Scheduler{
 		clock:  clock,
 		target: target,
 		events: p.Schedule(),
 		stop:   make(chan struct{}),
 	}
+	s.mu.SetRank(locks.RankFaults)
+	return s
 }
 
 // Events returns the full schedule.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dodo/internal/bulk"
+	"dodo/internal/locks"
 	"dodo/internal/pool"
 	"dodo/internal/sim"
 	"dodo/internal/transport"
@@ -63,7 +64,7 @@ type Daemon struct {
 	ep  *bulk.Endpoint
 	log *log.Logger
 
-	mu       sync.Mutex
+	mu       locks.Mutex
 	pool     *pool.Pool
 	draining bool
 	closed   bool
@@ -98,6 +99,7 @@ func New(tr transport.Transport, cfg Config) *Daemon {
 		lastWriteSeq: make(map[uint64]uint64),
 		stop:         make(chan struct{}),
 	}
+	d.mu.SetRank(locks.RankIMD)
 	// Handlers may fire before this constructor returns; gate them
 	// until d.ep is assigned.
 	ready := make(chan struct{})
@@ -248,6 +250,19 @@ func (d *Daemon) handle(from string, msg wire.Message) wire.Message {
 		return d.handleRead(from, req)
 	case *wire.WriteReq:
 		return d.handleWrite(from, req)
+	case *wire.AllocReq, *wire.FreeReq, *wire.CheckAllocReq,
+		*wire.KeepAlive, *wire.HostStatus, *wire.ClusterStatsReq:
+		// Addressed to the central manager, not an imd; a frame routed
+		// here is a misdirected client. Explicitly ignored.
+		return nil
+	case *wire.AllocResp, *wire.FreeResp, *wire.CheckAllocResp,
+		*wire.KeepAliveAck, *wire.HostStatusAck,
+		*wire.IMDAllocResp, *wire.IMDFreeResp, *wire.DataResp,
+		*wire.BulkOffer, *wire.BulkAccept, *wire.BulkData,
+		*wire.BulkNack, *wire.BulkDone, *wire.ClusterStatsResp:
+		// Responses and bulk frames are consumed by the endpoint's
+		// dispatch before the handler runs; they cannot reach here.
+		return nil
 	}
 	return nil
 }

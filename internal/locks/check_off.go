@@ -1,0 +1,14 @@
+//go:build !lockcheck
+
+package locks
+
+// CheckEnabled reports whether this build enforces the lock hierarchy
+// at runtime. Tests use it to assert the `lockcheck` tag is doing work.
+const CheckEnabled = false
+
+// In the default build the hooks compile to nothing: Lock/Unlock inline
+// down to the underlying sync.Mutex operations.
+
+func lockAcquire(*Mutex) {}
+
+func lockRelease(*Mutex) {}

@@ -1,0 +1,102 @@
+//go:build lockcheck
+
+package locks
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// CheckEnabled reports whether this build enforces the lock hierarchy
+// at runtime.
+const CheckEnabled = true
+
+// The lockcheck runtime keeps one held-stack per goroutine, keyed by
+// goroutine id. Go deliberately hides goroutine-local storage, so the
+// id is parsed from the first line of runtime.Stack — slow, but this
+// build exists only under `go test -tags lockcheck`.
+
+type heldEntry struct {
+	m    *Mutex
+	rank Rank
+}
+
+var (
+	heldMu sync.Mutex
+	held   = make(map[int64][]heldEntry)
+)
+
+// goid returns the current goroutine's id.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// First line: "goroutine 123 [running]:".
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		return -1
+	}
+	id, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return id
+}
+
+// lockAcquire validates m against the goroutine's held-stack and
+// records the acquisition. It runs before the underlying sync.Mutex
+// blocks, so an inversion panics instead of deadlocking.
+func lockAcquire(m *Mutex) {
+	if m.rank == rankUnset || m.rank >= rankSentinel {
+		panic("locks: Lock on a mutex with no declared rank (constructor must call SetRank; see DESIGN.md §8)")
+	}
+	g := goid()
+	heldMu.Lock()
+	for _, e := range held[g] {
+		if e.rank >= m.rank {
+			holding := e.rank
+			heldMu.Unlock()
+			panic(fmt.Sprintf(
+				"locks: rank inversion: acquiring %q while holding %q; the declared hierarchy requires strictly increasing ranks (DESIGN.md §8)",
+				m.rank, holding))
+		}
+	}
+	held[g] = append(held[g], heldEntry{m: m, rank: m.rank})
+	heldMu.Unlock()
+}
+
+// lockRelease drops m from the goroutine's held-stack. Unlock order
+// need not be LIFO (hand-over-hand and early-unlock patterns are
+// legal), so the stack is searched from the top.
+func lockRelease(m *Mutex) {
+	g := goid()
+	heldMu.Lock()
+	stack := held[g]
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].m == m {
+			stack = append(stack[:i], stack[i+1:]...)
+			break
+		}
+	}
+	if len(stack) == 0 {
+		delete(held, g)
+	} else {
+		held[g] = stack
+	}
+	heldMu.Unlock()
+}
+
+// heldRanks reports the ranks currently held by the calling goroutine,
+// outermost first. Exposed for the lockcheck tests.
+func heldRanks() []Rank {
+	g := goid()
+	heldMu.Lock()
+	defer heldMu.Unlock()
+	var rs []Rank
+	for _, e := range held[g] {
+		rs = append(rs, e.rank)
+	}
+	return rs
+}

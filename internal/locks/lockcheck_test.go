@@ -1,0 +1,96 @@
+//go:build lockcheck
+
+package locks
+
+import (
+	"strings"
+	"testing"
+)
+
+// The tests in this file run only under `-tags lockcheck` and pin the
+// enforcement behavior itself: inversions panic, undeclared ranks
+// panic, and the held-stack bookkeeping survives non-LIFO unlocks.
+// They are what makes the tag meaningful — if the hooks were silently
+// compiled out, these tests would fail.
+
+func mustPanic(t *testing.T, wantSubstr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", wantSubstr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, wantSubstr) {
+			t.Fatalf("panic %v does not contain %q", r, wantSubstr)
+		}
+	}()
+	f()
+}
+
+func TestLockcheckEnabled(t *testing.T) {
+	if !CheckEnabled {
+		t.Fatal("lockcheck build must report CheckEnabled")
+	}
+}
+
+func TestRankInversionPanics(t *testing.T) {
+	var outer, inner Mutex
+	outer.SetRank(RankManager)
+	inner.SetRank(RankBulkEndpoint)
+	inner.Lock()
+	defer inner.Unlock()
+	mustPanic(t, "rank inversion", func() { outer.Lock() })
+}
+
+func TestEqualRankPanics(t *testing.T) {
+	var a, b Mutex
+	a.SetRank(RankIMD)
+	b.SetRank(RankIMD)
+	a.Lock()
+	defer a.Unlock()
+	mustPanic(t, "rank inversion", func() { b.Lock() })
+}
+
+func TestUndeclaredRankPanics(t *testing.T) {
+	var m Mutex
+	mustPanic(t, "no declared rank", func() { m.Lock() })
+}
+
+func TestHeldStackTracksNonLIFO(t *testing.T) {
+	var a, b, c Mutex
+	a.SetRank(RankCluster)
+	b.SetRank(RankMonitor)
+	c.SetRank(RankIMD)
+	a.Lock()
+	b.Lock()
+	a.Unlock() // non-LIFO: outer released first
+	c.Lock()
+	got := heldRanks()
+	if len(got) != 2 || got[0] != RankMonitor || got[1] != RankIMD {
+		t.Fatalf("held ranks = %v, want [monitor imd]", got)
+	}
+	c.Unlock()
+	b.Unlock()
+	if got := heldRanks(); len(got) != 0 {
+		t.Fatalf("held ranks after full release = %v, want empty", got)
+	}
+}
+
+// TestInversionAcrossGoroutinesIsIndependent proves the held-stack is
+// per-goroutine: one goroutine holding a high rank must not poison
+// another goroutine's acquisitions.
+func TestInversionAcrossGoroutinesIsIndependent(t *testing.T) {
+	var hi, lo Mutex
+	hi.SetRank(RankUDP)
+	lo.SetRank(RankCluster)
+	hi.Lock()
+	defer hi.Unlock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		lo.Lock() // fresh goroutine holds nothing; must succeed
+		lo.Unlock()
+	}()
+	<-done
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dodo/internal/bulk"
+	"dodo/internal/locks"
 	"dodo/internal/sim"
 	"dodo/internal/transport"
 	"dodo/internal/wire"
@@ -93,7 +94,7 @@ type Manager struct {
 	ep  *bulk.Endpoint
 	log *log.Logger
 
-	mu       sync.Mutex
+	mu       locks.Mutex
 	iwd      map[string]*hostEntry
 	rd       map[wire.RegionKey]*regionEntry
 	clients  map[string]*clientEntry
@@ -122,6 +123,7 @@ func New(tr transport.Transport, cfg Config) *Manager {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		stop:    make(chan struct{}),
 	}
+	m.mu.SetRank(locks.RankManager)
 	// Handlers run on their own goroutines and may fire before this
 	// constructor returns; gate them until m.ep is assigned.
 	ready := make(chan struct{})
@@ -220,6 +222,19 @@ func (m *Manager) handle(from string, msg wire.Message) wire.Message {
 		return m.handleCheckAlloc(req)
 	case *wire.ClusterStatsReq:
 		return m.handleClusterStats(req)
+	case *wire.IMDAllocReq, *wire.IMDFreeReq,
+		*wire.ReadReq, *wire.WriteReq, *wire.KeepAlive:
+		// Addressed to an imd or a client, not the manager; a frame
+		// routed here is a misdirected peer. Explicitly ignored.
+		return nil
+	case *wire.AllocResp, *wire.FreeResp, *wire.CheckAllocResp,
+		*wire.KeepAliveAck, *wire.HostStatusAck,
+		*wire.IMDAllocResp, *wire.IMDFreeResp, *wire.DataResp,
+		*wire.BulkOffer, *wire.BulkAccept, *wire.BulkData,
+		*wire.BulkNack, *wire.BulkDone, *wire.ClusterStatsResp:
+		// Responses and bulk frames are consumed by the endpoint's
+		// dispatch before the handler runs; they cannot reach here.
+		return nil
 	}
 	return nil
 }

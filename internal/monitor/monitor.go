@@ -11,9 +11,9 @@
 package monitor
 
 import (
-	"sync"
 	"time"
 
+	"dodo/internal/locks"
 	"dodo/internal/sim"
 )
 
@@ -114,7 +114,7 @@ type Monitor struct {
 	src   Source
 	hooks Hooks
 
-	mu          sync.Mutex
+	mu          locks.Mutex
 	state       State
 	lastActive  time.Time
 	haveSample  bool
@@ -124,7 +124,9 @@ type Monitor struct {
 // New builds a monitor. The host starts busy: recruiting requires
 // demonstrated idleness, never assumption.
 func New(src Source, cfg Config, hooks Hooks) *Monitor {
-	return &Monitor{cfg: cfg.withDefaults(), src: src, hooks: hooks, state: StateBusy}
+	m := &Monitor{cfg: cfg.withDefaults(), src: src, hooks: hooks, state: StateBusy}
+	m.mu.SetRank(locks.RankMonitor)
+	return m
 }
 
 // State returns the current state.

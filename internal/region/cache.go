@@ -3,10 +3,10 @@ package region
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"dodo/internal/core"
+	"dodo/internal/locks"
 	"dodo/internal/sim"
 )
 
@@ -146,7 +146,7 @@ type Cache struct {
 	cfg  Config
 	dodo Dodo
 
-	mu       sync.Mutex
+	mu       locks.Mutex
 	regions  map[int]*cregion
 	nextFD   int
 	used     int64
@@ -161,12 +161,14 @@ type Cache struct {
 
 // NewCache builds a region cache over the given Dodo runtime.
 func NewCache(dodo Dodo, cfg Config) *Cache {
-	return &Cache{
+	c := &Cache{
 		cfg:        cfg.withDefaults(),
 		dodo:       dodo,
 		regions:    make(map[int]*cregion),
 		byLocation: make(map[prefKey]int),
 	}
+	c.mu.SetRank(locks.RankRegionCache)
+	return c
 }
 
 // Stats returns a snapshot of the counters.

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dodo/internal/locks"
 	"dodo/internal/sim"
 	"dodo/internal/simnet"
 )
@@ -18,7 +19,7 @@ import (
 // Delivery is synchronous: Send appends to the destination queue before
 // returning, so tests need no sleeps.
 type Network struct {
-	mu          sync.Mutex
+	mu          locks.Mutex
 	hosts       map[string]*MemEndpoint
 	injector    *simnet.Injector
 	perHost     map[string]*simnet.Injector
@@ -47,6 +48,7 @@ func NewNetwork(opts ...NetworkOption) *Network {
 		partitioned: make(map[string]bool),
 		mtu:         UDPMTU,
 	}
+	n.mu.SetRank(locks.RankNetwork)
 	for _, o := range opts {
 		o(n)
 	}
@@ -61,6 +63,7 @@ func (n *Network) Host(addr string) *MemEndpoint {
 		return ep
 	}
 	ep := &MemEndpoint{net: n, addr: addr}
+	ep.mu.SetRank(locks.RankNetEndpoint)
 	ep.cond = sync.NewCond(&ep.mu)
 	n.hosts[addr] = ep
 	return ep
@@ -146,7 +149,7 @@ type MemEndpoint struct {
 	net  *Network
 	addr string
 
-	mu     sync.Mutex
+	mu     locks.Mutex
 	cond   *sync.Cond
 	queue  []memFrame
 	closed atomic.Bool
@@ -176,12 +179,15 @@ func (e *MemEndpoint) Send(to string, data []byte) error {
 	return e.net.deliver(e.addr, to, data)
 }
 
+// enqueue takes ownership of data: deliver hands it a fresh copy per
+// recipient, never a caller-owned buffer.
 func (e *MemEndpoint) enqueue(from string, data []byte) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed.Load() {
 		return
 	}
+	//vet:ignore buffer-ownership — ownership transferred: deliver copies the frame before enqueueing
 	e.queue = append(e.queue, memFrame{from: from, data: data})
 	e.cond.Signal()
 }

@@ -4,8 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sync"
 	"time"
+
+	"dodo/internal/locks"
 )
 
 // UDPMTU is the largest datagram the UDP transport accepts: the 64 KB
@@ -17,7 +18,7 @@ const UDPMTU = 63 << 10
 type UDP struct {
 	conn *net.UDPConn
 
-	mu     sync.Mutex
+	mu     locks.Mutex
 	routes map[string]*net.UDPAddr
 	closed bool
 }
@@ -34,7 +35,9 @@ func ListenUDP(addr string) (*UDP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listening on %q: %w", addr, err)
 	}
-	return &UDP{conn: conn, routes: make(map[string]*net.UDPAddr)}, nil
+	u := &UDP{conn: conn, routes: make(map[string]*net.UDPAddr)}
+	u.mu.SetRank(locks.RankUDP)
+	return u, nil
 }
 
 // LocalAddr returns the bound "ip:port".

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"dodo/internal/locks"
 	"dodo/internal/sim"
 )
 
@@ -81,7 +82,7 @@ type Iovec struct {
 // Segment is the emulated Ethernet wire: a set of U-Net endpoints that
 // can frame-switch to each other by MAC address.
 type Segment struct {
-	mu    sync.Mutex
+	mu    locks.Mutex
 	bound map[MACAddr]*Socket
 	// dropProb, when set by tests via SetLoss, drops frames
 	// deterministically every 1-in-n sends.
@@ -91,7 +92,9 @@ type Segment struct {
 
 // NewSegment creates an empty wire.
 func NewSegment() *Segment {
-	return &Segment{bound: make(map[MACAddr]*Socket)}
+	g := &Segment{bound: make(map[MACAddr]*Socket)}
+	g.mu.SetRank(locks.RankSegment)
+	return g
 }
 
 // SetLoss makes the segment drop every n-th frame (0 disables loss).
@@ -111,6 +114,7 @@ func (g *Segment) Socket(sendBuf, recvBuf int) (*Socket, error) {
 		return nil, fmt.Errorf("usocket: buffer sizes must be positive (got %d, %d)", sendBuf, recvBuf)
 	}
 	s := &Socket{seg: g, recvCap: recvBuf}
+	s.mu.SetRank(locks.RankSocket)
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
 }
@@ -125,7 +129,7 @@ type Socket struct {
 	seg     *Segment
 	recvCap int
 
-	mu       sync.Mutex
+	mu       locks.Mutex
 	cond     *sync.Cond
 	queue    []frame
 	bound    bool
@@ -255,6 +259,7 @@ func (s *Socket) deposit(from MACAddr, data []byte) {
 		s.overflow++ // receive queue overflow: U-Net drops the frame
 		return
 	}
+	//vet:ignore buffer-ownership — ownership transferred: SendTo copies the frame before depositing
 	s.queue = append(s.queue, frame{from: from, data: data})
 	s.cond.Signal()
 }

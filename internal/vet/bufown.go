@@ -1,0 +1,267 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BufferOwnership enforces the zero-copy contract in the packet-path
+// packages (internal/usocket, internal/bulk, internal/transport). Two
+// rules, both intra-procedural:
+//
+//  1. use-after-send: once a byte slice has been passed to a zero-copy
+//     Send/SendTo/SendIovec call, the caller no longer owns it — the
+//     transport (or the receiver it delivered to synchronously) may
+//     still be reading it. Writing into the slice, copy()ing over it,
+//     or storing it into longer-lived state after the send is flagged.
+//     Wholesale reassignment of the variable re-establishes ownership.
+//  2. borrowed parameters: a []byte parameter in these packages is a
+//     loan from the caller, valid for the duration of the call —
+//     receive paths hand the same backing array to every handler.
+//     Storing the parameter (or a subslice of it) into a field, map,
+//     slice element, channel or composite literal retains it beyond
+//     the callback and is flagged; retain a copy instead
+//     (append([]byte(nil), p...) is fresh and never flagged).
+//
+// Where ownership really is transferred by documented contract (a
+// queue that takes over frames its callers copied beforehand), mark
+// the site with //vet:ignore buffer-ownership and say so.
+var BufferOwnership = &Analyzer{
+	Name: "buffer-ownership",
+	Doc:  "flag writes to or retention of byte slices after zero-copy sends, and retention of borrowed []byte parameters",
+	Run:  runBufferOwnership,
+}
+
+// bufOwnPackage reports whether path is in the zero-copy set.
+func bufOwnPackage(path string) bool {
+	for _, suf := range []string{"/internal/usocket", "/internal/bulk", "/internal/transport"} {
+		if strings.HasSuffix(path, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// zeroCopySends are the methods that lend their []byte arguments to
+// the network layer.
+var zeroCopySends = map[string]bool{"Send": true, "SendTo": true, "SendIovec": true}
+
+func isZeroCopySend(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || !zeroCopySends[fn.Name()] {
+		return false
+	}
+	return bufOwnPackage(fn.Pkg().Path())
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// bareVar resolves expr to the object it reads when expr is the bare
+// variable or a subslice of it (p, p[i:j]); nil otherwise. Function
+// call results — including copying appends — are fresh values.
+func bareVar(info *types.Info, expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SliceExpr:
+		return bareVar(info, e.X)
+	}
+	return nil
+}
+
+// storesVar reports whether expr, used as a stored value, retains v:
+// the bare variable, a subslice, a composite literal carrying either,
+// or an append whose appended elements carry it. append's spread form
+// over the bare slice (append(dst, p...)) copies the bytes and is
+// fresh; appending a struct that holds p copies only the slice header
+// and retains the backing array.
+func storesVar(info *types.Info, expr ast.Expr, v *types.Var) bool {
+	if bareVar(info, expr) == v {
+		return true
+	}
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			val := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				val = kv.Value
+			}
+			if storesVar(info, val, v) {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" || len(e.Args) < 2 {
+			return false
+		}
+		for i, arg := range e.Args[1:] {
+			spread := e.Ellipsis.IsValid() && i == len(e.Args)-2
+			if spread && bareVar(info, arg) == v {
+				continue // append(dst, p...) copies the bytes
+			}
+			if storesVar(info, arg, v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isLongLivedTarget reports whether an assignment LHS outlives the
+// enclosing call: a struct field, or an element of a map/slice reached
+// through one.
+func isLongLivedTarget(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		return isLongLivedTarget(e.X) || isIdent(e.X)
+	case *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func isIdent(expr ast.Expr) bool {
+	_, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok
+}
+
+func runBufferOwnership(pass *Pass) []Finding {
+	if !bufOwnPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pass.Files {
+		if pass.isTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					findings = append(findings, checkBufferOwnership(pass, fn.Type, fn.Body)...)
+				}
+				return false
+			case *ast.FuncLit:
+				findings = append(findings, checkBufferOwnership(pass, fn.Type, fn.Body)...)
+				return false
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+func checkBufferOwnership(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) []Finding {
+	var findings []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		findings = append(findings, findingAt(pass, "buffer-ownership", n, format, args...))
+	}
+
+	// Borrowed []byte parameters.
+	borrowed := make(map[*types.Var]bool)
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				if v, ok := pass.Info.Defs[name].(*types.Var); ok && isByteSlice(v.Type()) {
+					borrowed[v] = true
+				}
+			}
+		}
+	}
+
+	// lent maps a variable to true once it has been passed to a
+	// zero-copy send in source order.
+	lent := make(map[*types.Var]bool)
+
+	// The walk is source-order and flow-insensitive across branches: a
+	// send anywhere earlier in the text lends the buffer for everything
+	// after it. Nested function literals are handled by the caller's
+	// Inspect (each gets its own scan); skip them here.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range node.Lhs {
+				// Wholesale reassignment returns ownership.
+				if v := directIdentVar(pass.Info, lhs); v != nil && lent[v] {
+					delete(lent, v)
+					continue
+				}
+				// Writes into a lent buffer: buf[i] = x.
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if v := bareVar(pass.Info, idx.X); v != nil && lent[v] {
+						report(lhs, "write into %s after it was passed to a zero-copy send; the transport may still be reading it", v.Name())
+					}
+				}
+				// Retention of lent buffers or borrowed parameters into
+				// long-lived state.
+				if i < len(node.Rhs) && isLongLivedTarget(lhs) {
+					rhs := node.Rhs[i]
+					for v := range lent {
+						if storesVar(pass.Info, rhs, v) {
+							report(rhs, "%s stored after it was passed to a zero-copy send; copy before retaining", v.Name())
+						}
+					}
+					for v := range borrowed {
+						if storesVar(pass.Info, rhs, v) {
+							report(rhs, "borrowed []byte parameter %s stored beyond the call; the caller reuses its backing array — retain a copy (append([]byte(nil), %s...))", v.Name(), v.Name())
+						}
+					}
+				}
+			}
+			// Multi-value or mismatched assigns: scan rhs for sends below.
+		case *ast.SendStmt:
+			for v := range borrowed {
+				if storesVar(pass.Info, node.Value, v) {
+					report(node.Value, "borrowed []byte parameter %s sent on a channel; the receiver outlives the call — send a copy", v.Name())
+				}
+			}
+			for v := range lent {
+				if storesVar(pass.Info, node.Value, v) {
+					report(node.Value, "%s sent on a channel after a zero-copy send; copy before sharing", v.Name())
+				}
+			}
+		case *ast.CallExpr:
+			fn := funcFor(pass.Info, node)
+			// copy(dst, ...) over a lent buffer rewrites bytes in flight.
+			if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && id.Name == "copy" && len(node.Args) == 2 {
+				if v := bareVar(pass.Info, node.Args[0]); v != nil && lent[v] {
+					report(node.Args[0], "copy into %s after it was passed to a zero-copy send; the transport may still be reading it", v.Name())
+				}
+			}
+			if isZeroCopySend(fn) {
+				for _, arg := range node.Args {
+					if v := bareVar(pass.Info, arg); v != nil && isByteSlice(v.Type()) {
+						lent[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// directIdentVar returns the variable when expr is exactly a bare
+// identifier.
+func directIdentVar(info *types.Info, expr ast.Expr) *types.Var {
+	if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package vet
+
+import (
+	"strings"
+)
+
+// Suppression directives. A finding is dropped when the line it sits
+// on, or the line directly above it, carries a comment of the form
+//
+//	//vet:ignore <analyzer-name> — reviewed reason
+//
+// The analyzer name must match the finding's rule exactly. Directives
+// exist for reviewed false positives: a buffer whose ownership is
+// transferred by documented contract, a deliberately narrow switch
+// over a correlated message subset. They are grep-able, so the set of
+// exemptions is itself reviewable.
+
+const directivePrefix = "vet:ignore"
+
+// ignoreIndex maps filename -> line -> set of suppressed analyzer
+// names ("*" suppresses every analyzer on that line).
+type ignoreIndex map[string]map[int]map[string]bool
+
+// buildIgnoreIndex scans every comment in the passes for //vet:ignore
+// directives. A directive on line N suppresses findings on lines N and
+// N+1, so it works both trailing a statement and on its own line above
+// one.
+func buildIgnoreIndex(passes []*Pass) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, pass := range passes {
+		for _, file := range pass.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, directivePrefix) {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					name := fields[0]
+					pos := pass.Fset.Position(c.Pos())
+					lines := idx[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]map[string]bool)
+						idx[pos.Filename] = lines
+					}
+					for _, ln := range []int{pos.Line, pos.Line + 1} {
+						if lines[ln] == nil {
+							lines[ln] = make(map[string]bool)
+						}
+						lines[ln][name] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx ignoreIndex) suppresses(f Finding) bool {
+	lines, ok := idx[f.Pos.Filename]
+	if !ok {
+		return false
+	}
+	names, ok := lines[f.Pos.Line]
+	if !ok {
+		return false
+	}
+	return names[f.Analyzer] || names["*"]
+}
+
+// Suppress filters out findings covered by a //vet:ignore directive in
+// the given passes. Check applies it automatically; the golden-test
+// runner applies it too, so fixtures can prove their false positives
+// are suppressible.
+func Suppress(passes []*Pass, findings []Finding) []Finding {
+	if len(findings) == 0 {
+		return findings
+	}
+	idx := buildIgnoreIndex(passes)
+	kept := findings[:0]
+	for _, f := range findings {
+		if !idx.suppresses(f) {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}

@@ -89,10 +89,18 @@ func newInfo() *types.Info {
 // matched by patterns (relative to dir, e.g. "./..."), returning one
 // Pass per package. Test files are excluded: the invariants govern the
 // product code, and tests legitimately poke at wall clocks.
-func LoadPackages(dir string, patterns ...string) ([]*Pass, error) {
+//
+// Because go list runs with -e, a pattern can match packages the build
+// cannot compile (a broken package, or one whose dependency produced
+// no export data). Those are skipped rather than aborting the whole
+// run; the returned skipped list carries one "importpath: reason"
+// entry per skipped package so callers can surface them. Hard
+// failures — go list itself erroring (with its stderr attached), or a
+// target file that does not parse — still return an error.
+func LoadPackages(dir string, patterns ...string) (passes []*Pass, skipped []string, err error) {
 	pkgs, err := goList(dir, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	exports := make(map[string]string)
 	var targets []listPkg
@@ -104,15 +112,13 @@ func LoadPackages(dir string, patterns ...string) ([]*Pass, error) {
 			continue
 		}
 		if p.Error != nil {
-			return nil, fmt.Errorf("vet: %s: %s", p.ImportPath, p.Error.Err)
+			skipped = append(skipped, fmt.Sprintf("%s: %s", p.ImportPath, p.Error.Err))
+			continue
 		}
 		targets = append(targets, p)
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
-
 	fset := token.NewFileSet()
 	imp := exportImporter(fset, exports)
-	var passes []*Pass
 	for _, p := range targets {
 		if len(p.GoFiles) == 0 {
 			continue
@@ -121,7 +127,7 @@ func LoadPackages(dir string, patterns ...string) ([]*Pass, error) {
 		for _, name := range p.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
 			if err != nil {
-				return nil, fmt.Errorf("vet: %v", err)
+				return nil, nil, fmt.Errorf("vet: %v", err)
 			}
 			files = append(files, f)
 		}
@@ -129,11 +135,19 @@ func LoadPackages(dir string, patterns ...string) ([]*Pass, error) {
 		info := newInfo()
 		pkg, err := conf.Check(p.ImportPath, fset, files, info)
 		if err != nil {
-			return nil, fmt.Errorf("vet: type-checking %s: %v", p.ImportPath, err)
+			// Most commonly a dependency with no export data (it failed
+			// to compile, so go list -e reported it without an Export
+			// file and the importer's lookup failed). The package cannot
+			// be analyzed; skip it with the reason rather than killing
+			// the run for every other package.
+			skipped = append(skipped, fmt.Sprintf("%s: type-checking: %v", p.ImportPath, err))
+			continue
 		}
 		passes = append(passes, &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info})
 	}
-	return passes, nil
+	sort.Slice(passes, func(i, j int) bool { return passes[i].Pkg.Path() < passes[j].Pkg.Path() })
+	sort.Strings(skipped)
+	return passes, skipped, nil
 }
 
 // LoadFixtureDir parses and type-checks the single package of Go files

@@ -3,6 +3,7 @@ package vet
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // MutexHygiene enforces three rules about lock-bearing types:
@@ -185,8 +186,16 @@ func runMutexHygiene(pass *Pass) []Finding {
 	return findings
 }
 
+// isLockPkg reports whether path is a package whose Lock/Unlock methods
+// manage a mutex: the stdlib sync package or Dodo's rank-ordered
+// wrapper (internal/locks).
+func isLockPkg(path string) bool {
+	return path == "sync" || path == "dodo/internal/locks" || strings.HasSuffix(path, "/internal/locks")
+}
+
 // lockDelta classifies a statement-position call: +1 for
-// sync.(*Mutex).Lock / RLock, -1 for Unlock / RUnlock, 0 otherwise.
+// Lock/RLock on sync or locks mutexes, -1 for Unlock/RUnlock,
+// 0 otherwise.
 func lockDelta(info *types.Info, stmt ast.Stmt) int {
 	es, ok := stmt.(*ast.ExprStmt)
 	if !ok {
@@ -197,7 +206,7 @@ func lockDelta(info *types.Info, stmt ast.Stmt) int {
 		return 0
 	}
 	fn := funcFor(info, call)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+	if fn == nil || fn.Pkg() == nil || !isLockPkg(fn.Pkg().Path()) {
 		return 0
 	}
 	switch fn.Name() {

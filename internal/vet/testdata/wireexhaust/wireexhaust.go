@@ -1,0 +1,82 @@
+// Fixture for the wire-exhaustiveness analyzer: a self-contained
+// miniature of internal/wire, checked under the import path
+// dodo/internal/wire so both the registry and the dispatch checks
+// apply.
+package wire
+
+// Type tags a frame on the wire.
+type Type uint8
+
+// TOrphan is deliberately unregistered: no newMessage case, no message
+// whose Kind() returns it, no typeNames entry — three findings on its
+// declaration line.
+const (
+	TInvalid Type = iota
+	TPing
+	TPong
+	TOrphan // want `wire type TOrphan has no case in newMessage` `no message's Kind\(\) returns TOrphan` `wire type TOrphan has no entry in typeNames`
+	typeSentinel
+)
+
+var typeNames = map[Type]string{
+	TInvalid: "invalid",
+	TPing:    "ping",
+	TPong:    "pong",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Message is the decoded form of a frame.
+type Message interface {
+	Kind() Type
+}
+
+type Ping struct{}
+
+func (*Ping) Kind() Type { return TPing }
+
+type Pong struct{}
+
+func (*Pong) Kind() Type { return TPong }
+
+func newMessage(t Type) Message {
+	switch t {
+	case TPing:
+		return &Ping{}
+	case TPong:
+		return &Pong{}
+	}
+	return nil
+}
+
+// dispatch forgets Pong: a default clause would not save it either —
+// that is exactly how a new type gets silently dropped.
+func dispatch(msg Message) {
+	switch msg.(type) { // want `type switch over wire.Message misses 1 of 2 message types \(Pong\)`
+	case *Ping:
+	}
+}
+
+// correlate intentionally matches a subset (a sender draining its own
+// responses); the directive records that decision. Without it the
+// switch would be a finding — the golden test proves the suppression
+// works because no want comment matches here.
+func correlate(msg Message) {
+	//vet:ignore wire-exhaustiveness — narrow correlation switch: only replies reach this channel
+	switch msg.(type) {
+	case *Pong:
+	}
+}
+
+// handleAll covers every registered message: no finding.
+func handleAll(msg Message) {
+	switch msg.(type) {
+	case *Ping:
+	case *Pong:
+	}
+}

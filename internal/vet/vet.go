@@ -17,6 +17,25 @@
 //     mutex is held.
 //   - goroutine-lifecycle: goroutines launched in daemon packages must
 //     be tied to a done-channel, context.Context or sync.WaitGroup.
+//   - lock-order: whole-program lock-acquisition graph over every
+//     locks.Mutex/sync.Mutex holder in internal/...; fails on cycles in
+//     the graph and on RPC/Send calls made while holding more than one
+//     lock. Cross-checked at runtime by `-tags lockcheck`
+//     (internal/locks).
+//   - buffer-ownership: in the zero-copy packages (usocket, bulk,
+//     transport), no writes to or retention of a byte slice after it was
+//     handed to Send, and no storing of borrowed []byte parameters
+//     beyond the callback — copy first or transfer ownership explicitly
+//     with a //vet:ignore directive.
+//   - wire-exhaustiveness: every wire.Type constant has a registered
+//     message (newMessage, Kind, typeNames), and every dispatch switch
+//     over wire.Message handles or explicitly ignores every type.
+//
+// A finding can be suppressed at a single site with a trailing or
+// preceding comment: //vet:ignore <analyzer-name>. Directives are for
+// reviewed false positives (ownership transferred by documented
+// contract, deliberately narrow correlation switches); each one should
+// say why on the same comment line.
 //
 // The analyzers are written against the stdlib go/ast + go/types stack
 // only; package loading shells out to the go command for export data
@@ -64,8 +83,14 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description for -list output.
 	Doc string
-	// Run inspects one package and returns its violations.
+	// Run inspects one package and returns its violations. For
+	// whole-program analyzers Run analyzes the package in isolation
+	// (used by golden tests); Check prefers RunProgram when set.
 	Run func(*Pass) []Finding
+	// RunProgram, when non-nil, inspects all loaded packages at once.
+	// Inter-procedural analyzers (lock-order) need the whole program:
+	// an acquisition edge can span packages.
+	RunProgram func([]*Pass) []Finding
 }
 
 // findingAt builds a Finding for the given rule at n's position. Run
@@ -87,18 +112,27 @@ func All() []*Analyzer {
 		UncheckedError,
 		MutexHygiene,
 		GoroutineLifecycle,
+		LockOrder,
+		BufferOwnership,
+		WireExhaustiveness,
 	}
 }
 
-// Check runs the given analyzers over every pass and returns all
-// findings sorted by file, line and analyzer.
+// Check runs the given analyzers over every pass — whole-program
+// analyzers once over all passes — filters out directive-suppressed
+// findings, and returns the rest sorted by file, line and analyzer.
 func Check(passes []*Pass, analyzers []*Analyzer) []Finding {
 	var all []Finding
-	for _, pass := range passes {
-		for _, a := range analyzers {
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			all = append(all, a.RunProgram(passes)...)
+			continue
+		}
+		for _, pass := range passes {
 			all = append(all, a.Run(pass)...)
 		}
 	}
+	all = Suppress(passes, all)
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {

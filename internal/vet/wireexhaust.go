@@ -1,0 +1,329 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireExhaustiveness keeps the wire protocol closed under extension.
+// Two checks:
+//
+//  1. registry completeness (in internal/wire itself): every exported
+//     wire.Type constant except TInvalid must have a case in
+//     newMessage, a message whose Kind() returns it, and an entry in
+//     typeNames. A type constant without a registered message encodes
+//     frames nobody can decode.
+//  2. dispatch exhaustiveness (in wire, bulk, imd, manager, core):
+//     every type switch over wire.Message must list every registered
+//     message type. A default clause does not count as coverage — it
+//     is exactly how a newly added type gets silently dropped. Narrow
+//     correlation switches that intentionally match a message subset
+//     (a sender draining its own response channel) are marked
+//     //vet:ignore wire-exhaustiveness.
+//
+// Together with FuzzWireRoundTrip (internal/wire) this means adding a
+// wire.Type constant fails vet until the message is registered and
+// every dispatcher has decided what to do with it.
+var WireExhaustiveness = &Analyzer{
+	Name: "wire-exhaustiveness",
+	Doc:  "every wire.Type has a registered message, and every wire.Message type switch handles or explicitly ignores every type",
+	Run:  runWireExhaustiveness,
+}
+
+func isWirePkg(path string) bool {
+	return strings.HasSuffix(path, "/internal/wire")
+}
+
+// wireDispatchPkg reports whether dispatch switches in this package
+// are held to exhaustiveness.
+func wireDispatchPkg(path string) bool {
+	for _, suf := range []string{"/internal/wire", "/internal/bulk", "/internal/imd", "/internal/manager", "/internal/core"} {
+		if strings.HasSuffix(path, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// wireWorld locates the wire package visible from pass (the package
+// itself, or one of its direct imports) and extracts the Message
+// interface and the set of registered message types (named types whose
+// pointer implements Message).
+type wireWorld struct {
+	pkg      *types.Package
+	message  *types.Named
+	iface    *types.Interface
+	messages map[string]bool // type names, e.g. "AllocReq"
+}
+
+func findWireWorld(pass *Pass) *wireWorld {
+	var wirePkg *types.Package
+	if isWirePkg(pass.Pkg.Path()) {
+		wirePkg = pass.Pkg
+	} else {
+		for _, imp := range pass.Pkg.Imports() {
+			if isWirePkg(imp.Path()) {
+				wirePkg = imp
+				break
+			}
+		}
+	}
+	if wirePkg == nil {
+		return nil
+	}
+	obj, ok := wirePkg.Scope().Lookup("Message").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	w := &wireWorld{pkg: wirePkg, message: named, iface: iface, messages: make(map[string]bool)}
+	for _, name := range wirePkg.Scope().Names() {
+		tn, ok := wirePkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() {
+			continue
+		}
+		nt, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := nt.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if types.Implements(types.NewPointer(nt), iface) {
+			w.messages[name] = true
+		}
+	}
+	if len(w.messages) == 0 {
+		return nil
+	}
+	return w
+}
+
+func runWireExhaustiveness(pass *Pass) []Finding {
+	if !wireDispatchPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	w := findWireWorld(pass)
+	if w == nil {
+		return nil
+	}
+	var findings []Finding
+	if isWirePkg(pass.Pkg.Path()) {
+		findings = append(findings, checkWireRegistry(pass)...)
+	}
+	findings = append(findings, checkWireDispatch(pass, w)...)
+	return findings
+}
+
+// checkWireRegistry verifies newMessage, Kind and typeNames cover every
+// exported Type constant.
+func checkWireRegistry(pass *Pass) []Finding {
+	var findings []Finding
+
+	// The Type named type of this package.
+	typeObj, ok := pass.Pkg.Scope().Lookup("Type").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	typeType := typeObj.Type()
+
+	// All exported constants of type Type, except TInvalid (the zero
+	// guard; unexported sentinels are excluded by the export check).
+	type constInfo struct {
+		name string
+		node ast.Node
+	}
+	var constants []constInfo
+	isTypeConst := func(obj types.Object) bool {
+		c, ok := obj.(*types.Const)
+		return ok && types.Identical(c.Type(), typeType)
+	}
+	newMessageCases := make(map[string]bool)
+	kindReturns := make(map[string]bool)
+	typeNameKeys := make(map[string]bool)
+
+	for _, file := range pass.Files {
+		if pass.isTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.ValueSpec:
+				for _, name := range node.Names {
+					obj := pass.Info.Defs[name]
+					if obj == nil || !isTypeConst(obj) || !obj.Exported() || name.Name == "TInvalid" {
+						continue
+					}
+					constants = append(constants, constInfo{name: name.Name, node: name})
+				}
+			case *ast.FuncDecl:
+				switch {
+				case node.Name.Name == "newMessage" && node.Recv == nil:
+					ast.Inspect(node, func(m ast.Node) bool {
+						cc, ok := m.(*ast.CaseClause)
+						if !ok {
+							return true
+						}
+						for _, e := range cc.List {
+							if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+								if obj := pass.Info.Uses[id]; obj != nil && isTypeConst(obj) {
+									newMessageCases[id.Name] = true
+								}
+							}
+						}
+						return true
+					})
+				case node.Name.Name == "Kind" && node.Recv != nil:
+					ast.Inspect(node, func(m ast.Node) bool {
+						ret, ok := m.(*ast.ReturnStmt)
+						if !ok {
+							return true
+						}
+						for _, r := range ret.Results {
+							if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+								if obj := pass.Info.Uses[id]; obj != nil && isTypeConst(obj) {
+									kindReturns[id.Name] = true
+								}
+							}
+						}
+						return true
+					})
+				}
+				return false
+			case *ast.CompositeLit:
+				return true
+			}
+			return true
+		})
+		// typeNames map keys.
+		ast.Inspect(file, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range vs.Names {
+				if name.Name != "typeNames" || i >= len(vs.Values) {
+					continue
+				}
+				if lit, ok := vs.Values[i].(*ast.CompositeLit); ok {
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if id, ok := ast.Unparen(kv.Key).(*ast.Ident); ok {
+							typeNameKeys[id.Name] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, c := range constants {
+		if !newMessageCases[c.name] {
+			findings = append(findings, findingAt(pass, "wire-exhaustiveness", c.node,
+				"wire type %s has no case in newMessage; frames of this type cannot be decoded", c.name))
+		}
+		if !kindReturns[c.name] {
+			findings = append(findings, findingAt(pass, "wire-exhaustiveness", c.node,
+				"no message's Kind() returns %s; the type constant has no registered message", c.name))
+		}
+		if !typeNameKeys[c.name] {
+			findings = append(findings, findingAt(pass, "wire-exhaustiveness", c.node,
+				"wire type %s has no entry in typeNames; it will log as an opaque number", c.name))
+		}
+	}
+	return findings
+}
+
+// checkWireDispatch flags type switches over wire.Message that do not
+// enumerate every registered message type.
+func checkWireDispatch(pass *Pass, w *wireWorld) []Finding {
+	var findings []Finding
+	for _, file := range pass.Files {
+		if pass.isTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			// The switched expression must have static type wire.Message.
+			var subject ast.Expr
+			switch a := ts.Assign.(type) {
+			case *ast.ExprStmt:
+				if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+					subject = ta.X
+				}
+			case *ast.AssignStmt:
+				if len(a.Rhs) == 1 {
+					if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+						subject = ta.X
+					}
+				}
+			}
+			if subject == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[subject]
+			if !ok || !types.Identical(tv.Type, w.message) {
+				return true
+			}
+			covered := make(map[string]bool)
+			for _, clause := range ts.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					t, ok := pass.Info.Types[e]
+					if !ok {
+						continue
+					}
+					ptr, ok := t.Type.(*types.Pointer)
+					if !ok {
+						continue
+					}
+					if named, ok := ptr.Elem().(*types.Named); ok && named.Obj().Pkg() == w.pkg {
+						covered[named.Obj().Name()] = true
+					}
+				}
+			}
+			var missing []string
+			for name := range w.messages {
+				if !covered[name] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) == 0 {
+				return true
+			}
+			sort.Strings(missing)
+			shown := missing
+			const maxShown = 4
+			suffix := ""
+			if len(shown) > maxShown {
+				suffix = fmt.Sprintf(", … %d more", len(shown)-maxShown)
+				shown = shown[:maxShown]
+			}
+			findings = append(findings, findingAt(pass, "wire-exhaustiveness", ts,
+				"type switch over wire.Message misses %d of %d message types (%s%s); handle or explicitly ignore every type, or mark a narrow correlation switch with //vet:ignore wire-exhaustiveness",
+				len(missing), len(w.messages), strings.Join(shown, ", "), suffix))
+			return true
+		})
+	}
+	return findings
+}

@@ -97,6 +97,9 @@ var typeNames = map[Type]string{
 	TBulkData:       "bulk-data",
 	TBulkNack:       "bulk-nack",
 	TBulkDone:       "bulk-done",
+
+	TClusterStatsReq:  "cluster-stats-req",
+	TClusterStatsResp: "cluster-stats-resp",
 }
 
 func (t Type) String() string {

@@ -6,8 +6,26 @@ set -eux
 
 go build ./...
 go vet ./...
+
+# The whole invariant suite, then the three whole-program analyzers once
+# more by name: the second run exercises the -only selection path and
+# keeps the lock-order / buffer-ownership / wire-exhaustiveness passes
+# visible in CI logs even if the suite grows.
 go run ./cmd/dodo-vet ./...
+go run ./cmd/dodo-vet -only lock-order,buffer-ownership,wire-exhaustiveness ./...
+
 go test -race ./...
+
+# The same suite with the lockcheck runtime compiled in: every
+# locks.Mutex acquisition is checked against the declared rank hierarchy
+# and panics on inversion, cross-checking the static lock-order pass
+# against real schedules.
+go test -race -tags lockcheck ./...
+
+# Wire-codec fuzz smoke: ten seconds of coverage-guided frames through
+# Decode/Encode round-trip invariants (the seed corpus alone runs as a
+# plain test in the suites above).
+go test -fuzz=FuzzWireRoundTrip -fuzztime=10s -run '^$' ./internal/wire/
 
 # Seeded fault-injection sweep: deterministic schedules plus the full
 # churn acceptance run. Separate invocation so a hang or flake here is
