@@ -43,6 +43,10 @@ func print(s dodo.ClusterState) {
 		s.Allocs, s.AllocFailures, s.Frees, s.StaleDrops, s.OrphanReclaims)
 	fmt.Printf("recovery: %d drops, %d revalidations, %d re-opens\n",
 		s.ClientDrops, s.ClientRevalidations, s.ClientReopens)
+	fmt.Printf("handoff: %d offers, %d pages moved, %d aborted, %d adopted by clients\n",
+		s.HandoffOffers, s.HandoffPagesMoved, s.HandoffAborts, s.ClientHandoffAdopts)
+	fmt.Printf("hedging: %d hedged reads (%d disk wins, %d wasted), %d retry budgets exhausted\n",
+		s.ClientHedgedReads, s.ClientHedgeWins, s.ClientHedgeWasted, s.ClientRetryExhausted)
 	if len(s.Hosts) == 0 {
 		return
 	}

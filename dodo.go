@@ -171,10 +171,20 @@ type ClusterState struct {
 	Clients uint64
 
 	Allocs, AllocFailures, Frees, StaleDrops, OrphanReclaims uint64
+	// Graceful-reclaim handoff counters: offers received from draining
+	// imds, pages successfully repointed to peers, and grants aborted
+	// (grace window expired or push failed).
+	HandoffOffers, HandoffPagesMoved, HandoffAborts uint64
 	// Client recovery counters, aggregated by the manager from
 	// keep-alive acks: drop-host events, checkAlloc revalidation probes,
 	// and transparent region re-opens.
 	ClientDrops, ClientRevalidations, ClientReopens uint64
+	// Client graceful-reclaim/hedging counters: regions adopted from
+	// handoff copies without repopulation, hedged reads issued, hedges
+	// the backup won, hedges wasted (remote still answered first), and
+	// operations whose retry budget ran dry.
+	ClientHandoffAdopts, ClientHedgedReads, ClientHedgeWins uint64
+	ClientHedgeWasted, ClientRetryExhausted                 uint64
 }
 
 // QueryCluster asks the central manager at managerAddr (over UDP) for
@@ -195,16 +205,24 @@ func QueryCluster(managerAddr string) (ClusterState, error) {
 		return ClusterState{}, fmt.Errorf("dodo: manager refused the stats query")
 	}
 	return ClusterState{
-		Hosts:               st.Hosts,
-		Regions:             st.Regions,
-		Clients:             st.Clients,
-		Allocs:              st.Allocs,
-		AllocFailures:       st.AllocFailures,
-		Frees:               st.Frees,
-		StaleDrops:          st.StaleDrops,
-		OrphanReclaims:      st.OrphanReclaims,
-		ClientDrops:         st.ClientDrops,
-		ClientRevalidations: st.ClientRevalidations,
-		ClientReopens:       st.ClientReopens,
+		Hosts:                st.Hosts,
+		Regions:              st.Regions,
+		Clients:              st.Clients,
+		Allocs:               st.Allocs,
+		AllocFailures:        st.AllocFailures,
+		Frees:                st.Frees,
+		StaleDrops:           st.StaleDrops,
+		OrphanReclaims:       st.OrphanReclaims,
+		HandoffOffers:        st.HandoffOffers,
+		HandoffPagesMoved:    st.HandoffPagesMoved,
+		HandoffAborts:        st.HandoffAborts,
+		ClientDrops:          st.ClientDrops,
+		ClientRevalidations:  st.ClientRevalidations,
+		ClientReopens:        st.ClientReopens,
+		ClientHandoffAdopts:  st.ClientHandoffAdopts,
+		ClientHedgedReads:    st.ClientHedgedReads,
+		ClientHedgeWins:      st.ClientHedgeWins,
+		ClientHedgeWasted:    st.ClientHedgeWasted,
+		ClientRetryExhausted: st.ClientRetryExhausted,
 	}, nil
 }

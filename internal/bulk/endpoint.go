@@ -14,11 +14,13 @@ package bulk
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dodo/internal/locks"
+	"dodo/internal/retry"
 	"dodo/internal/sim"
 	"dodo/internal/transport"
 	"dodo/internal/wire"
@@ -64,6 +66,19 @@ type Config struct {
 	// timeouts, NACK delays, tombstones). Default sim.WallClock{};
 	// inject a sim.VirtualClock to run the protocol in virtual time.
 	Clock sim.Clock
+	// Call is the unified retry budget for request/response calls.
+	// Zero-valued fields derive from the legacy knobs: Base=CallTimeout,
+	// Deadline=(CallRetries+1)*CallTimeout, Factor=1. Setting Factor,
+	// Cap or Jitter makes call retries exponential and/or jittered.
+	Call retry.Policy
+	// Window is the stall budget for bulk-transfer windows, derived
+	// from WindowTimeout/TransferRetries when zero. Receiver progress
+	// (a NACK naming missing packets) resets the budget, so only a
+	// genuine stall can exhaust it.
+	Window retry.Policy
+	// Seed seeds the per-operation RNGs used for retry jitter, keeping
+	// retry schedules reproducible in seeded runs (default 1).
+	Seed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +102,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Clock == nil {
 		c.Clock = sim.WallClock{}
+	}
+	if c.Call.Base == 0 {
+		c.Call.Base = c.CallTimeout
+	}
+	if c.Call.Deadline == 0 {
+		c.Call.Deadline = time.Duration(c.CallRetries+1) * c.CallTimeout
+	}
+	if c.Window.Base == 0 {
+		c.Window.Base = c.WindowTimeout
+	}
+	if c.Window.Deadline == 0 {
+		c.Window.Deadline = time.Duration(c.TransferRetries+1) * c.WindowTimeout
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
 	}
 	return c
 }
@@ -115,10 +145,15 @@ type Endpoint struct {
 	wg   sync.WaitGroup
 	stop chan struct{}
 
+	// opSeq numbers retry budgets so each gets a distinct but
+	// reproducible jitter stream derived from cfg.Seed.
+	opSeq atomic.Int64
+
 	// Stats counters (atomic).
-	retransmits atomic.Int64
-	nacksSent   atomic.Int64
-	dupsDropped atomic.Int64
+	retransmits    atomic.Int64
+	nacksSent      atomic.Int64
+	dupsDropped    atomic.Int64
+	retryExhausted atomic.Int64
 }
 
 type rxKey struct {
@@ -179,6 +214,22 @@ func (ep *Endpoint) Stats() (retransmits, nacksSent, dupsDropped int64) {
 	return ep.retransmits.Load(), ep.nacksSent.Load(), ep.dupsDropped.Load()
 }
 
+// RetryExhausted reports how many operations (calls or bulk windows)
+// ran their unified retry budget dry at this endpoint.
+func (ep *Endpoint) RetryExhausted() int64 { return ep.retryExhausted.Load() }
+
+// newBudget creates a retry budget for one operation. Jittered budgets
+// get a private RNG seeded from cfg.Seed and the operation counter, so
+// concurrent operations never share RNG state and a seeded run replays
+// the same schedules.
+func (ep *Endpoint) newBudget(p retry.Policy) *retry.Budget {
+	var rng *rand.Rand
+	if p.Jitter > 0 {
+		rng = rand.New(rand.NewSource(ep.cfg.Seed + ep.opSeq.Add(1)))
+	}
+	return retry.New(p, ep.cfg.Clock, rng)
+}
+
 // NextTransferID returns a fresh locally unique bulk transfer id.
 //
 // Receivers key transfer state by (sender address, id) and assume ids
@@ -217,14 +268,23 @@ func (ep *Endpoint) Notify(to string, msg wire.Message) error {
 // on timeout. Responders must tolerate duplicate requests (all Dodo
 // request handlers are idempotent).
 func (ep *Endpoint) Call(to string, msg wire.Message) (wire.Message, error) {
-	return ep.CallT(to, msg, ep.cfg.CallTimeout, ep.cfg.CallRetries)
+	return ep.call(to, msg, ep.cfg.Call)
 }
 
-// CallT is Call with an explicit per-attempt timeout and retry budget,
+// CallT is Call with an explicit per-attempt timeout and retry count,
 // for callers that probe possibly-dead peers (the central manager's
 // allocation probes and keep-alive echoes) and must give up faster than
-// their own callers' patience.
+// their own callers' patience. The pair maps onto the unified budget as
+// Base=timeout, Deadline=(retries+1)*timeout; backoff shape (Factor,
+// Cap, Jitter) still comes from cfg.Call.
 func (ep *Endpoint) CallT(to string, msg wire.Message, timeout time.Duration, retries int) (wire.Message, error) {
+	p := ep.cfg.Call
+	p.Base = timeout
+	p.Deadline = time.Duration(retries+1) * timeout
+	return ep.call(to, msg, p)
+}
+
+func (ep *Endpoint) call(to string, msg wire.Message, p retry.Policy) (wire.Message, error) {
 	ep.mu.Lock()
 	if ep.closed {
 		ep.mu.Unlock()
@@ -246,14 +306,20 @@ func (ep *Endpoint) CallT(to string, msg wire.Message, timeout time.Duration, re
 	if err != nil {
 		return nil, err
 	}
-	for attempt := 0; attempt <= retries; attempt++ {
-		if attempt > 0 {
+	budget := ep.newBudget(p)
+	for {
+		wait, ok := budget.Next()
+		if !ok {
+			ep.retryExhausted.Add(1)
+			return nil, fmt.Errorf("bulk: call %v to %s: %w", msg.Kind(), to, ErrTimeout)
+		}
+		if budget.Attempts() > 1 {
 			ep.retransmits.Add(1)
 		}
 		if err := ep.tr.Send(to, frame); err != nil {
 			return nil, fmt.Errorf("bulk: call %v to %s: %w", msg.Kind(), to, err)
 		}
-		timerC, timer := sim.NewTimer(ep.cfg.Clock, timeout)
+		timerC, timer := sim.NewTimer(ep.cfg.Clock, wait)
 		select {
 		case resp, ok := <-ch:
 			timer.Stop()
@@ -267,7 +333,6 @@ func (ep *Endpoint) CallT(to string, msg wire.Message, timeout time.Duration, re
 			return nil, ErrClosed
 		}
 	}
-	return nil, fmt.Errorf("bulk: call %v to %s: %w", msg.Kind(), to, ErrTimeout)
 }
 
 // recvLoop is the endpoint's demultiplexer.
@@ -322,7 +387,7 @@ func (ep *Endpoint) dispatch(from string, h wire.Header, msg wire.Message) {
 	case *wire.AllocResp, *wire.FreeResp, *wire.CheckAllocResp,
 		*wire.KeepAliveAck, *wire.HostStatusAck,
 		*wire.IMDAllocResp, *wire.IMDFreeResp, *wire.DataResp,
-		*wire.BulkAccept, *wire.ClusterStatsResp:
+		*wire.BulkAccept, *wire.ClusterStatsResp, *wire.HandoffAccept:
 		ep.mu.Lock()
 		ch, ok := ep.calls[h.Seq]
 		if ok {
@@ -335,7 +400,8 @@ func (ep *Endpoint) dispatch(from string, h wire.Header, msg wire.Message) {
 	case *wire.AllocReq, *wire.FreeReq, *wire.CheckAllocReq,
 		*wire.KeepAlive, *wire.HostStatus,
 		*wire.IMDAllocReq, *wire.IMDFreeReq,
-		*wire.ReadReq, *wire.WriteReq, *wire.ClusterStatsReq:
+		*wire.ReadReq, *wire.WriteReq, *wire.ClusterStatsReq,
+		*wire.HandoffOffer, *wire.HandoffPage, *wire.HandoffDone:
 		if ep.handler == nil {
 			return
 		}

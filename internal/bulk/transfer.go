@@ -96,10 +96,18 @@ func (ep *Endpoint) SendBulk(to string, id uint64, data []byte) error {
 		if err := blast(winSeqs); err != nil {
 			return err
 		}
-		retries := 0
+		// Per-window stall budget: a selective NACK naming missing
+		// packets is progress (the receiver is alive and converging) and
+		// resets it; only consecutive silent timeouts can exhaust it.
+		budget := ep.newBudget(ep.cfg.Window)
 	await:
 		for {
-			timerC, timer := sim.NewTimer(ep.cfg.Clock, ep.cfg.WindowTimeout)
+			wait, ok := budget.Next()
+			if !ok {
+				ep.retryExhausted.Add(1)
+				return fmt.Errorf("bulk: transfer %d window at %d: %w", id, base, ErrTimeout)
+			}
+			timerC, timer := sim.NewTimer(ep.cfg.Clock, wait)
 			select {
 			case msg := <-respCh:
 				timer.Stop()
@@ -114,6 +122,7 @@ func (ep *Endpoint) SendBulk(to string, id uint64, data []byte) error {
 					if len(m.Missing) == 0 {
 						break await // window acknowledged
 					}
+					budget.Reset()
 					resend := m.Missing
 					if ep.cfg.RetransmitFullWindow {
 						resend = winSeqs // ablation: no selective recovery
@@ -124,10 +133,6 @@ func (ep *Endpoint) SendBulk(to string, id uint64, data []byte) error {
 					}
 				}
 			case <-timerC:
-				retries++
-				if retries > ep.cfg.TransferRetries {
-					return fmt.Errorf("bulk: transfer %d window at %d: %w", id, base, ErrTimeout)
-				}
 				ep.retransmits.Add(int64(len(winSeqs)))
 				if err := blast(winSeqs); err != nil {
 					return err
@@ -150,9 +155,14 @@ func (ep *Endpoint) SendBulk(to string, id uint64, data []byte) error {
 // NACKs arriving here are served with retransmissions rather than
 // ignored.
 func (ep *Endpoint) awaitDone(to string, id uint64, offer *wire.BulkOffer, respCh chan wire.Message, blast func([]uint32) error) error {
-	timeouts := 0
-	for timeouts <= ep.cfg.TransferRetries {
-		timerC, timer := sim.NewTimer(ep.cfg.Clock, ep.cfg.WindowTimeout)
+	budget := ep.newBudget(ep.cfg.Window)
+	for {
+		wait, ok := budget.Next()
+		if !ok {
+			ep.retryExhausted.Add(1)
+			return fmt.Errorf("bulk: transfer %d: completion unacknowledged: %w", id, ErrTimeout)
+		}
+		timerC, timer := sim.NewTimer(ep.cfg.Clock, wait)
 		select {
 		case msg := <-respCh:
 			timer.Stop()
@@ -166,7 +176,9 @@ func (ep *Endpoint) awaitDone(to string, id uint64, offer *wire.BulkOffer, respC
 			case *wire.BulkNack:
 				if len(m.Missing) > 0 {
 					// The receiver still lacks packets (stale acks let
-					// us run ahead); resupply them.
+					// us run ahead); resupply them. That is progress:
+					// reset the stall budget.
+					budget.Reset()
 					ep.retransmits.Add(int64(len(m.Missing)))
 					if err := blast(m.Missing); err != nil {
 						return err
@@ -175,7 +187,6 @@ func (ep *Endpoint) awaitDone(to string, id uint64, offer *wire.BulkOffer, respC
 				// Empty nack: stale window ack; drain it.
 			}
 		case <-timerC:
-			timeouts++
 			// Re-offer: a completed receiver answers duplicates with Done.
 			if err := ep.Notify(to, offer); err != nil {
 				return err
@@ -185,7 +196,6 @@ func (ep *Endpoint) awaitDone(to string, id uint64, offer *wire.BulkOffer, respC
 			return ErrClosed
 		}
 	}
-	return fmt.Errorf("bulk: transfer %d: completion unacknowledged: %w", id, ErrTimeout)
 }
 
 // RecvBulk waits for the peer at from to complete transfer id and returns

@@ -10,6 +10,7 @@ package cluster
 
 import (
 	"log"
+	"sync"
 	"time"
 
 	"dodo/internal/bulk"
@@ -33,6 +34,10 @@ type Config struct {
 	Endpoint bulk.Config
 	// Manager tunes the central manager.
 	Manager manager.Config
+	// IMD carries per-imd knobs (grace window, status interval, clock)
+	// applied at each recruitment; ManagerAddr, PoolSize, Epoch,
+	// Endpoint and Logger are filled in by the harness.
+	IMD imd.Config
 	// Logger receives lifecycle events; nil silences them.
 	Logger *log.Logger
 }
@@ -61,6 +66,11 @@ type Workstation struct {
 	imd   *imd.Daemon
 	epoch uint64
 	pool  uint64
+	// drainWG tracks a predecessor imd still spending its drain grace
+	// window; the next recruitment waits for its teardown (as the rmd
+	// waits for the old imd process to exit) before re-forking on the
+	// same address.
+	drainWG sync.WaitGroup
 }
 
 // New builds a cluster over a fresh in-memory network. The manager
@@ -129,29 +139,48 @@ func (w *Workstation) IMD() *imd.Daemon {
 // fresh pool, registration with the manager.
 func (w *Workstation) recruit() {
 	w.mu.Lock()
+	if w.imd != nil {
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
+	// A draining predecessor still owns the imd address for its grace
+	// window; wait for its teardown before forking the next incarnation.
+	w.drainWG.Wait()
+	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.imd != nil {
 		return
 	}
 	w.epoch++
-	w.imd = imd.New(w.cluster.net.Host(w.IMDAddr()), imd.Config{
-		ManagerAddr: w.cluster.ManagerAddr(),
-		PoolSize:    w.pool,
-		Epoch:       w.epoch,
-		Endpoint:    w.cluster.cfg.Endpoint,
-		Logger:      w.cluster.cfg.Logger,
-	})
+	imdCfg := w.cluster.cfg.IMD
+	imdCfg.ManagerAddr = w.cluster.ManagerAddr()
+	imdCfg.PoolSize = w.pool
+	imdCfg.Epoch = w.epoch
+	imdCfg.Endpoint = w.cluster.cfg.Endpoint
+	if imdCfg.Logger == nil {
+		imdCfg.Logger = w.cluster.cfg.Logger
+	}
+	w.imd = imd.New(w.cluster.net.Host(w.IMDAddr()), imdCfg)
 }
 
 // reclaim signals the imd to drain and exit (rmd behavior on
-// idle->busy, §4.1).
+// idle->busy, §4.1). The drain runs in the background: the owner gets
+// the machine back immediately while the imd spends its grace window
+// serving reads and handing pages off to peers.
 func (w *Workstation) reclaim() {
 	w.mu.Lock()
 	d := w.imd
 	w.imd = nil
+	if d != nil {
+		w.drainWG.Add(1)
+	}
 	w.mu.Unlock()
 	if d != nil {
-		d.Drain()
+		go func() {
+			defer w.drainWG.Done()
+			d.Drain()
+		}()
 	}
 }
 
@@ -199,6 +228,9 @@ func (c *Cluster) Close() error {
 				first = err
 			}
 		}
+		// A drain still in its grace window tears itself down; join it
+		// so Close leaves no daemon behind.
+		w.drainWG.Wait()
 	}
 	if err := c.mgr.Close(); err != nil && first == nil {
 		first = err

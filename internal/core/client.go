@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"sync"
 	"time"
@@ -44,6 +45,19 @@ type Config struct {
 	// DisableRecovery turns the background recovery pass off, restoring
 	// the paper's original drop-and-forget behavior.
 	DisableRecovery bool
+	// HedgeMultiplier scales the per-host EWMA read latency into the
+	// hedge delay: a remote read still outstanding after Multiplier
+	// times the mean triggers a backup read from the backing file
+	// (default 4).
+	HedgeMultiplier float64
+	// HedgeFloor is the minimum hedge delay, so a run of fast samples
+	// cannot make the client hedge every read (default 2ms).
+	HedgeFloor time.Duration
+	// DisableHedging turns hedged reads off.
+	DisableHedging bool
+	// Seed seeds recovery-backoff jitter; 0 uses a fixed default so
+	// test runs are reproducible.
+	Seed int64
 	// Clock provides time (default wall clock).
 	Clock sim.Clock
 	// Endpoint tunes the messaging layer.
@@ -59,10 +73,29 @@ func (c Config) withDefaults() Config {
 	if c.RecoveryBackoff == 0 {
 		c.RecoveryBackoff = c.RefractionPeriod / 8
 	}
+	if c.HedgeMultiplier == 0 {
+		c.HedgeMultiplier = 4
+	}
+	if c.HedgeFloor == 0 {
+		c.HedgeFloor = 2 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 727272
+	}
 	if c.Clock == nil {
 		c.Clock = sim.WallClock{}
 	}
 	return c
+}
+
+// hostLatency is the per-host remote-read latency EWMA that sizes
+// hedge delays. Samples are scoped to the host's epoch: a re-recruited
+// imd (new epoch) starts cold, so its first read is never hedged on
+// another incarnation's history.
+type hostLatency struct {
+	epoch   uint64
+	samples int64
+	ewma    time.Duration
 }
 
 // regionState is one row of the client's region table (§4.4).
@@ -111,7 +144,13 @@ type Client struct {
 	// Mopen of the same key re-attaches to them — restarting the
 	// counter there would make every new write look superseded and
 	// freeze the remote copy at stale bytes.
-	writeSeq      map[wire.RegionKey]uint64
+	writeSeq map[wire.RegionKey]uint64
+	// confirmedSeq tracks the highest writeSeq the hosting imd has
+	// confirmed per key. When it equals writeSeq, every announced write
+	// landed remotely — the settled state a graceful-reclaim handoff
+	// copy can be adopted in without disk repopulation.
+	confirmedSeq  map[wire.RegionKey]uint64
+	hostLat       map[string]*hostLatency
 	nextFD        int
 	lastAllocFail time.Time
 	failedOnce    bool
@@ -121,25 +160,31 @@ type Client struct {
 	recoverStop chan struct{}
 	recoverKick chan struct{}
 	recoverWG   sync.WaitGroup
+	// hedgeWG tracks hedged-read legs so Close can join them.
+	hedgeWG sync.WaitGroup
 
 	// stats
-	remoteReads, remoteWrites   int64
-	remoteReadBy, remoteWriteBy int64
-	dropEvents, refractionSkips int64
-	revalidations, reopens      int64
+	remoteReads, remoteWrites           int64
+	remoteReadBy, remoteWriteBy         int64
+	dropEvents, refractionSkips         int64
+	revalidations, reopens              int64
+	handoffAdopts                       int64
+	hedgedReads, hedgeWins, hedgeWasted int64
 }
 
 // New creates a client runtime over tr.
 func New(tr transport.Transport, cfg Config) *Client {
 	cfg = cfg.withDefaults()
 	c := &Client{
-		cfg:         cfg,
-		log:         cfg.Logger,
-		regions:     make(map[int]*regionState),
-		aliases:     make(map[wire.RegionKey]int),
-		writeSeq:    make(map[wire.RegionKey]uint64),
-		recoverStop: make(chan struct{}),
-		recoverKick: make(chan struct{}, 1),
+		cfg:          cfg,
+		log:          cfg.Logger,
+		regions:      make(map[int]*regionState),
+		aliases:      make(map[wire.RegionKey]int),
+		writeSeq:     make(map[wire.RegionKey]uint64),
+		confirmedSeq: make(map[wire.RegionKey]uint64),
+		hostLat:      make(map[string]*hostLatency),
+		recoverStop:  make(chan struct{}),
+		recoverKick:  make(chan struct{}, 1),
 	}
 	c.mu.SetRank(locks.RankCoreClient)
 	// The client must echo the manager's keep-alives (§3.1) or its
@@ -149,12 +194,18 @@ func New(tr transport.Transport, cfg Config) *Client {
 		if ka, ok := msg.(*wire.KeepAlive); ok {
 			c.mu.Lock()
 			drops, revals, reopens := c.dropEvents, c.revalidations, c.reopens
+			adopts, hedged, wins, wasted := c.handoffAdopts, c.hedgedReads, c.hedgeWins, c.hedgeWasted
 			c.mu.Unlock()
 			return &wire.KeepAliveAck{
-				ClientID:      ka.ClientID,
-				Drops:         uint64(drops),
-				Revalidations: uint64(revals),
-				Reopens:       uint64(reopens),
+				ClientID:       ka.ClientID,
+				Drops:          uint64(drops),
+				Revalidations:  uint64(revals),
+				Reopens:        uint64(reopens),
+				HandoffAdopts:  uint64(adopts),
+				HedgedReads:    uint64(hedged),
+				HedgeWins:      uint64(wins),
+				HedgeWasted:    uint64(wasted),
+				RetryExhausted: uint64(c.ep.RetryExhausted()),
 			}
 		}
 		return nil
@@ -188,6 +239,7 @@ func (c *Client) Close() error {
 	}
 	err := c.ep.Close()
 	c.recoverWG.Wait()
+	c.hedgeWG.Wait()
 	return err
 }
 
@@ -206,7 +258,17 @@ type Stats struct {
 	// Revalidations counts checkAlloc probes by the recovery pass;
 	// Reopens counts regions transparently re-opened after a drop.
 	Revalidations, Reopens int64
-	OpenRegions            int
+	// HandoffAdopts counts regions re-validated onto a graceful-reclaim
+	// handoff copy without disk repopulation.
+	HandoffAdopts int64
+	// HedgedReads counts remote reads that triggered a backup disk
+	// read; HedgeWins are those the backup answered first, HedgeWasted
+	// those where the remote still won.
+	HedgedReads, HedgeWins, HedgeWasted int64
+	// RetryExhausted counts endpoint operations that ran their retry
+	// budget dry.
+	RetryExhausted int64
+	OpenRegions    int
 }
 
 // Stats returns a consistent snapshot.
@@ -222,6 +284,11 @@ func (c *Client) Stats() Stats {
 		RefractionSkips:  c.refractionSkips,
 		Revalidations:    c.revalidations,
 		Reopens:          c.reopens,
+		HandoffAdopts:    c.handoffAdopts,
+		HedgedReads:      c.hedgedReads,
+		HedgeWins:        c.hedgeWins,
+		HedgeWasted:      c.hedgeWasted,
+		RetryExhausted:   c.ep.RetryExhausted(),
 		OpenRegions:      len(c.regions),
 	}
 }
@@ -367,6 +434,22 @@ func (c *Client) Mread(fd int, offset int64, buf []byte) (int, error) {
 	if want == 0 {
 		return 0, nil
 	}
+	if delay, hedge := c.hedgeDelay(r.remote.HostAddr, r.remote.Epoch); hedge {
+		return c.hedgedRead(r, offset, want, buf, delay)
+	}
+	data, err := c.remoteRead(r, offset, want)
+	if err != nil {
+		return -1, err
+	}
+	return c.finishRemoteRead(buf, data), nil
+}
+
+// remoteRead performs the wire read against the hosting imd and records
+// a latency sample on success. Failures drop every descriptor on the
+// host (§3.1) and surface as ErrNoMem so callers fall back to the
+// backing file.
+func (c *Client) remoteRead(r regionState, offset, want int64) ([]byte, error) {
+	start := c.cfg.Clock.Now()
 	req := &wire.ReadReq{
 		RegionID: r.remote.RegionID,
 		Epoch:    r.remote.Epoch,
@@ -376,30 +459,169 @@ func (c *Client) Mread(fd int, offset int64, buf []byte) (int, error) {
 	resp, err := c.ep.Call(r.remote.HostAddr, req)
 	if err != nil {
 		c.dropHost(r.remote.HostAddr)
-		return -1, fmt.Errorf("%w: host %s unreachable: %v", ErrNoMem, r.remote.HostAddr, err)
+		return nil, fmt.Errorf("%w: host %s unreachable: %v", ErrNoMem, r.remote.HostAddr, err)
 	}
 	dr, ok := resp.(*wire.DataResp)
 	if !ok {
 		// A misrouted or unexpected response type must degrade, not
 		// panic: dr is nil here, so it cannot be formatted.
 		c.dropHost(r.remote.HostAddr)
-		return -1, fmt.Errorf("%w: unexpected response %v", ErrNoMem, resp.Kind())
+		return nil, fmt.Errorf("%w: unexpected response %v", ErrNoMem, resp.Kind())
 	}
 	if dr.Status != wire.StatusOK {
 		c.dropHost(r.remote.HostAddr)
-		return -1, fmt.Errorf("%w: read refused (%v)", ErrNoMem, dr.Status)
+		return nil, fmt.Errorf("%w: read refused (%v)", ErrNoMem, dr.Status)
 	}
 	data, err := c.ep.RecvBulk(r.remote.HostAddr, dr.TransferID, dataBudget(want))
 	if err != nil {
 		c.dropHost(r.remote.HostAddr)
-		return -1, fmt.Errorf("%w: transfer failed: %v", ErrNoMem, err)
+		return nil, fmt.Errorf("%w: transfer failed: %v", ErrNoMem, err)
 	}
+	c.recordLatency(r.remote.HostAddr, r.remote.Epoch, c.cfg.Clock.Now().Sub(start))
+	return data, nil
+}
+
+// finishRemoteRead copies remotely served bytes out and counts them.
+func (c *Client) finishRemoteRead(buf, data []byte) int {
 	n := copy(buf, data)
 	c.mu.Lock()
 	c.remoteReads++
 	c.remoteReadBy += int64(n)
 	c.mu.Unlock()
-	return n, nil
+	return n
+}
+
+// recordLatency feeds one successful remote-read round trip into the
+// host's EWMA (alpha 0.2), restarting the series when the host's epoch
+// changed since the last sample.
+func (c *Client) recordLatency(addr string, epoch uint64, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.hostLat[addr]
+	if h == nil || h.epoch != epoch {
+		h = &hostLatency{epoch: epoch}
+		c.hostLat[addr] = h
+	}
+	if h.samples == 0 {
+		h.ewma = d
+	} else {
+		h.ewma += (d - h.ewma) / 5
+	}
+	h.samples++
+}
+
+// hedgeDelay returns how long to let a remote read run before issuing
+// the backup disk read, and whether to hedge at all. A host with no
+// samples for its current epoch is never hedged: a freshly recruited
+// imd must not be judged by another incarnation's (or nobody's)
+// latency history.
+func (c *Client) hedgeDelay(addr string, epoch uint64) (time.Duration, bool) {
+	if c.cfg.DisableHedging {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.hostLat[addr]
+	if h == nil || h.epoch != epoch || h.samples < 1 {
+		return 0, false
+	}
+	d := time.Duration(float64(h.ewma) * c.cfg.HedgeMultiplier)
+	if d < c.cfg.HedgeFloor {
+		d = c.cfg.HedgeFloor
+	}
+	return d, true
+}
+
+// hedgedRead issues the remote read and, if it is still outstanding
+// after delay, a backup read from the backing file; the first success
+// wins. The backing is authoritative for every confirmed write (Mwrite
+// writes through before reporting success), so the backup can never
+// return bytes older than the caller could already observe on disk —
+// the write-seq gate is respected by construction.
+func (c *Client) hedgedRead(r regionState, offset, want int64, buf []byte, delay time.Duration) (int, error) {
+	type result struct {
+		data []byte
+		err  error
+	}
+	remoteCh := make(chan result, 1)
+	c.hedgeWG.Add(1)
+	go func() {
+		defer c.hedgeWG.Done()
+		data, err := c.remoteRead(r, offset, want)
+		remoteCh <- result{data, err}
+	}()
+	timerCh, stopTimer := sim.NewTimer(c.cfg.Clock, delay)
+	defer stopTimer.Stop()
+	select {
+	case res := <-remoteCh:
+		// The remote answered within the hedge delay; the common case.
+		if res.err != nil {
+			return -1, res.err
+		}
+		return c.finishRemoteRead(buf, res.data), nil
+	case <-timerCh:
+	}
+	// The remote is slow: race a backing-file read against it.
+	c.mu.Lock()
+	c.hedgedReads++
+	c.mu.Unlock()
+	diskCh := make(chan result, 1)
+	c.hedgeWG.Add(1)
+	go func() {
+		defer c.hedgeWG.Done()
+		data := make([]byte, want)
+		// A short read past EOF leaves the tail zeroed — bytes never
+		// written through (the recovery repopulation convention).
+		if _, err := r.backing.ReadAt(data, r.backOff+offset); err != nil && err != io.EOF {
+			diskCh <- result{nil, err}
+			return
+		}
+		diskCh <- result{data, nil}
+	}()
+	select {
+	case res := <-remoteCh:
+		if res.err == nil {
+			// The remote still won; the backup was wasted work.
+			c.mu.Lock()
+			c.hedgeWasted++
+			c.mu.Unlock()
+			return c.finishRemoteRead(buf, res.data), nil
+		}
+		// The remote leg failed (its descriptors are already dropped);
+		// the backup is the only way to serve this read.
+		d := <-diskCh
+		if d.err != nil {
+			return -1, res.err
+		}
+		c.mu.Lock()
+		c.hedgeWins++
+		c.mu.Unlock()
+		return copy(buf, d.data), nil
+	case d := <-diskCh:
+		if d.err != nil {
+			// The backup failed; fall back to waiting on the remote.
+			res := <-remoteCh
+			if res.err != nil {
+				return -1, res.err
+			}
+			return c.finishRemoteRead(buf, res.data), nil
+		}
+		c.mu.Lock()
+		c.hedgeWins++
+		c.mu.Unlock()
+		// Join the losing leg in the background so its latency sample
+		// or host drop still lands.
+		c.hedgeWG.Add(1)
+		go func() {
+			defer c.hedgeWG.Done()
+			if res := <-remoteCh; res.err == nil {
+				c.mu.Lock()
+				c.hedgeWasted++
+				c.mu.Unlock()
+			}
+		}()
+		return copy(buf, d.data), nil
+	}
 }
 
 // Mwrite writes buf to the backing file and to the remote region in
@@ -500,6 +722,9 @@ func (c *Client) remoteWrite(r regionState, offset int64, data []byte) error {
 	c.mu.Lock()
 	live, alive := c.regions[r.fd]
 	recycled := !alive || live.gen != r.gen
+	if !recycled && seq > c.confirmedSeq[r.key] {
+		c.confirmedSeq[r.key] = seq
+	}
 	c.mu.Unlock()
 	if recycled {
 		return fmt.Errorf("region %d recovered while the write was in flight", r.fd)
@@ -548,6 +773,7 @@ func (c *Client) Mclose(fd int) error {
 	c.mu.Lock()
 	if c.aliases[r.key] == 0 {
 		delete(c.writeSeq, r.key)
+		delete(c.confirmedSeq, r.key)
 	}
 	c.mu.Unlock()
 	if fr, ok := resp.(*wire.FreeResp); !ok || fr.Status != wire.StatusOK {
@@ -607,4 +833,16 @@ func (c *Client) RegionValid(fd int) bool {
 	defer c.mu.Unlock()
 	r, ok := c.regions[fd]
 	return ok && r.valid
+}
+
+// RegionHost reports which imd currently backs fd's region; ok is
+// false while the descriptor is invalid (dropped, awaiting recovery).
+func (c *Client) RegionHost(fd int) (addr string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, live := c.regions[fd]
+	if !live || !r.valid {
+		return "", false
+	}
+	return r.remote.HostAddr, true
 }

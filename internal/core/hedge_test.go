@@ -1,0 +1,177 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dodo/internal/imd"
+	"dodo/internal/manager"
+	"dodo/internal/transport"
+)
+
+// hedgeStack builds a deployment whose client hedges aggressively: any
+// host with one latency sample gets a near-zero hedge delay, so every
+// subsequent remote read races a disk read.
+func hedgeStack(t *testing.T, imdCount int) *stack {
+	t.Helper()
+	n := transport.NewNetwork(transport.WithMTU(1500))
+	mgr := manager.New(n.Host("cmd"), manager.Config{
+		KeepAliveInterval: 200 * time.Millisecond,
+		KeepAliveMisses:   3,
+		Endpoint:          fastEp(),
+	})
+	s := &stack{n: n, mgr: mgr}
+	for i := 0; i < imdCount; i++ {
+		d := imd.New(n.Host("imd"+string(rune('0'+i))), imd.Config{
+			ManagerAddr:    "cmd",
+			PoolSize:       1 << 20,
+			Epoch:          1,
+			StatusInterval: 100 * time.Millisecond,
+			Endpoint:       fastEp(),
+		})
+		s.imds = append(s.imds, d)
+	}
+	s.cli = New(n.Host("client"), Config{
+		ManagerAddr:      "cmd",
+		ClientID:         1,
+		RefractionPeriod: 300 * time.Millisecond,
+		HedgeMultiplier:  1e-6,
+		HedgeFloor:       time.Nanosecond,
+		Endpoint:         fastEp(),
+	})
+	t.Cleanup(func() {
+		s.cli.Close()
+		for _, d := range s.imds {
+			d.Close()
+		}
+		mgr.Close()
+	})
+	return s
+}
+
+// TestHedgeColdStartPerEpoch pins the EWMA bootstrap rule: a host with
+// no latency samples under its current epoch is never hedged against —
+// including a freshly recruited incarnation of a host we knew under an
+// older epoch — so the very first read to a new imd cannot waste a disk
+// read on an unknown latency.
+func TestHedgeColdStartPerEpoch(t *testing.T) {
+	s := newStack(t, 1, 1<<20)
+	c := s.cli
+
+	if _, hedge := c.hedgeDelay("imd0", 1); hedge {
+		t.Fatal("hedged with no samples at all")
+	}
+	c.recordLatency("imd0", 1, 10*time.Millisecond)
+	d, hedge := c.hedgeDelay("imd0", 1)
+	if !hedge {
+		t.Fatal("not hedging with a sample on the books")
+	}
+	if want := 40 * time.Millisecond; d != want { // multiplier default 4
+		t.Fatalf("hedge delay = %v, want %v", d, want)
+	}
+	// The host restarts under a new epoch: its history is void, the
+	// first read of the new incarnation must go unhedged.
+	if _, hedge := c.hedgeDelay("imd0", 2); hedge {
+		t.Fatal("hedged the first read to a fresh incarnation")
+	}
+	c.recordLatency("imd0", 2, 100*time.Microsecond)
+	d, hedge = c.hedgeDelay("imd0", 2)
+	if !hedge {
+		t.Fatal("new incarnation never warmed up")
+	}
+	if want := 2 * time.Millisecond; d != want { // floored (default 2ms)
+		t.Fatalf("floored hedge delay = %v, want %v", d, want)
+	}
+
+	// DisableHedging wins over any history.
+	off := New(s.n.Host("client2"), Config{
+		ManagerAddr: "cmd", ClientID: 2, DisableHedging: true, Endpoint: fastEp(),
+	})
+	t.Cleanup(func() { off.Close() })
+	off.recordLatency("imd0", 1, 10*time.Millisecond)
+	if _, hedge := off.hedgeDelay("imd0", 1); hedge {
+		t.Fatal("DisableHedging did not disable hedging")
+	}
+}
+
+// TestHedgedReadsStayFresh: with hedging forced on, reads race the
+// backing store — and must still always return the latest written
+// bytes, because Mwrite writes through to the backing before
+// confirming. The first read stays unhedged (cold start), later reads
+// hedge and stay correct across interleaved writes.
+func TestHedgedReadsStayFresh(t *testing.T) {
+	s := hedgeStack(t, 1)
+	back := NewMemBacking(61, 1<<20)
+	fd, err := s.cli.Mopen(32<<10, back, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32<<10)
+	data := make([]byte, 32<<10)
+	for round := 0; round < 4; round++ {
+		rand.New(rand.NewSource(int64(round) + 500)).Read(data)
+		if _, err := s.cli.Mwrite(fd, 0, data); err != nil {
+			t.Fatalf("round %d: Mwrite: %v", round, err)
+		}
+		n, err := s.cli.Mread(fd, 0, buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("round %d: Mread = %d, %v", round, n, err)
+		}
+		if !bytes.Equal(buf, data) {
+			t.Fatalf("round %d: hedged read returned bytes older than the confirmed write", round)
+		}
+		st := s.cli.Stats()
+		if round == 0 && st.HedgedReads != 0 {
+			t.Fatalf("first read to a fresh host hedged: %+v", st)
+		}
+		if round > 0 && st.HedgedReads < int64(round) {
+			t.Fatalf("round %d: hedging never engaged: %+v", round, st)
+		}
+	}
+}
+
+// TestHedgedReadSurvivesDeadHost: once the client has a latency sample,
+// a read against a crashed imd is answered by the hedge's disk leg —
+// the caller sees a successful, byte-correct read instead of ErrNoMem,
+// while the drop still triggers background recovery.
+func TestHedgedReadSurvivesDeadHost(t *testing.T) {
+	s := hedgeStack(t, 1)
+	back := NewMemBacking(62, 1<<20)
+	fd, err := s.cli.Mopen(16<<10, back, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 16<<10)
+	rand.New(rand.NewSource(99)).Read(data)
+	if _, err := s.cli.Mwrite(fd, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16<<10)
+	if _, err := s.cli.Mread(fd, 0, buf); err != nil {
+		t.Fatalf("warm-up read: %v", err)
+	}
+
+	s.imds[0].Crash()
+	n, err := s.cli.Mread(fd, 0, buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("hedged read against dead host = %d, %v; want disk-leg success", n, err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("disk leg served wrong bytes")
+	}
+	st := s.cli.Stats()
+	if st.HedgedReads == 0 || st.HedgeWins == 0 {
+		t.Fatalf("disk leg never credited: %+v", st)
+	}
+	// The losing remote leg finishes in the background; its failure must
+	// still drop the host so recovery kicks in.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.cli.Stats().DropEvents == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("remote failure never dropped the host for recovery: %+v", s.cli.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

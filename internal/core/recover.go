@@ -2,8 +2,10 @@ package core
 
 import (
 	"io"
+	"math/rand"
 	"sort"
 
+	"dodo/internal/retry"
 	"dodo/internal/sim"
 	"dodo/internal/wire"
 )
@@ -42,23 +44,31 @@ import (
 // passes until every descriptor is valid again.
 func (c *Client) recoveryLoop() {
 	defer c.recoverWG.Done()
+	rng := rand.New(rand.NewSource(c.cfg.Seed))
 	for {
 		select {
 		case <-c.recoverStop:
 			return
 		case <-c.recoverKick:
 		}
-		backoff := c.cfg.RecoveryBackoff
+		// One retry budget per drop event: no deadline (recovery never
+		// gives up while descriptors are invalid), capped-exponential
+		// pacing so recovery probes are never more aggressive than fresh
+		// allocations, and a little seeded jitter so the clients dropped
+		// by one reclaim don't probe the manager in lockstep.
+		budget := retry.New(retry.Policy{
+			Base:   c.cfg.RecoveryBackoff,
+			Cap:    c.cfg.RefractionPeriod,
+			Factor: 2,
+			Jitter: 0.1,
+		}, c.cfg.Clock, rng)
 		for {
-			if !sim.SleepInterruptible(c.cfg.Clock, backoff, c.recoverStop) {
+			wait, _ := budget.Next()
+			if !sim.SleepInterruptible(c.cfg.Clock, wait, c.recoverStop) {
 				return
 			}
 			if c.recoverPass() == 0 {
 				break // fully recovered; sleep until the next drop
-			}
-			backoff *= 2
-			if backoff > c.cfg.RefractionPeriod {
-				backoff = c.cfg.RefractionPeriod
 			}
 		}
 	}
@@ -112,10 +122,23 @@ func (c *Client) recoverRegion(fd int) bool {
 	if !ok {
 		return false
 	}
+	if ca.Status == wire.StatusBusy {
+		// The hosting imd is draining and the manager is holding the
+		// mapping open while a handoff runs. Retry next pass: the entry
+		// will either repoint to the handoff copy (Fresh) or go stale.
+		return false
+	}
 	if ca.Status != wire.StatusOK {
 		// checkAlloc purged the stale RD entry (or never had one);
 		// re-allocate and repopulate.
 		return c.reopenRegion(fd)
+	}
+	// A fresh mapping is a graceful-reclaim handoff copy holding every
+	// byte this client ever had confirmed; if the write-seq gate is
+	// settled it can be adopted outright, skipping the repopulation.
+	if ca.Fresh && c.adoptHandoff(fd, r.key, ca.Region) {
+		c.logf("dodo: adopted handoff copy for fd %d on %s region %d", fd, ca.Region.HostAddr, ca.Region.RegionID)
+		return true
 	}
 	// The manager still maps the key — the failure may have been a
 	// transient flap. Directory state alone proves neither reachability
@@ -134,6 +157,28 @@ func (c *Client) recoverRegion(fd int) bool {
 		live.remote = ca.Region
 		live.valid = true
 	}
+	return true
+}
+
+// adoptHandoff flips fd onto a handoff-fresh region without disk
+// repopulation. Safe only when the write-seq gate is settled — every
+// announced write was confirmed, so the handoff copy (snapshotted
+// after the draining host stopped admitting writes) holds them all. An
+// outstanding unconfirmed announcement means the disk may be ahead of
+// the copy; the caller repopulates instead.
+func (c *Client) adoptHandoff(fd int, key wire.RegionKey, reg wire.Region) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.writeSeq[key] != c.confirmedSeq[key] {
+		return false
+	}
+	live, present := c.regions[fd]
+	if !present || live.valid {
+		return true // closed or revived underneath us; nothing to adopt
+	}
+	live.remote = reg
+	live.valid = true
+	c.handoffAdopts++
 	return true
 }
 

@@ -12,6 +12,7 @@ package imd
 import (
 	"errors"
 	"log"
+	"sort"
 	"sync"
 	"time"
 
@@ -37,6 +38,12 @@ type Config struct {
 	// to the manager (default 1s; hints are also piggybacked on every
 	// alloc/free response, §4.3).
 	StatusInterval time.Duration
+	// GraceWindow bounds the handoff phase of a polite drain: after the
+	// HostBusy announcement the daemon keeps serving reads and pushes
+	// its hottest pages to manager-chosen peers until the window
+	// expires; whatever has not moved by then is aborted (default
+	// 750ms). The owner's reclaim latency is bounded by this value.
+	GraceWindow time.Duration
 	// Clock provides time (default wall clock).
 	Clock sim.Clock
 	// Endpoint tunes the messaging layer.
@@ -51,6 +58,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.StatusInterval == 0 {
 		c.StatusInterval = time.Second
+	}
+	if c.GraceWindow == 0 {
+		c.GraceWindow = 750 * time.Millisecond
 	}
 	if c.Clock == nil {
 		c.Clock = sim.WallClock{}
@@ -67,7 +77,10 @@ type Daemon struct {
 	mu       locks.Mutex
 	pool     *pool.Pool
 	draining bool
-	closed   bool
+	// drainDone marks the end of the drain grace window: reads were
+	// still served between draining and drainDone, and refuse after.
+	drainDone bool
+	closed    bool
 	// lastWriteSeq gates writes per region: an announcement whose
 	// WriteSeq is not newer than the last applied one is a network
 	// replay (duplicate or delayed frame) and must not be applied —
@@ -75,13 +88,25 @@ type Daemon struct {
 	// client has already overwritten and confirmed. Entries are
 	// dropped when the region is created or deleted.
 	lastWriteSeq map[uint64]uint64
+	// readCount tracks per-region read hotness so a drain can hand off
+	// the most-read pages first when the grace window cannot fit all.
+	readCount map[uint64]uint64
+	// handoffApplied marks regions whose bytes arrived via a handoff
+	// page push, making duplicate HandoffPage announcements idempotent
+	// (the same confirm-after-apply discipline as lastWriteSeq).
+	handoffApplied map[uint64]bool
 
 	transfers sync.WaitGroup // in-flight region data pushes
+	// pendingWrites tracks writes admitted (draining flag checked)
+	// whose apply has not landed yet; Drain waits on it before the
+	// handoff snapshots region contents.
+	pendingWrites sync.WaitGroup
 	stop      chan struct{}
 	loops     sync.WaitGroup
 
 	// stats
 	reads, writes, readBytes, writeBytes, staleRejects int64
+	pagesHandedOff, handoffAborts                      int64
 }
 
 // New starts a daemon serving its pool on tr and registers it with the
@@ -93,11 +118,13 @@ func New(tr transport.Transport, cfg Config) *Daemon {
 		alloc = pool.NewFirstFit(cfg.PoolSize)
 	}
 	d := &Daemon{
-		cfg:          cfg,
-		log:          cfg.Logger,
-		pool:         pool.New(alloc),
-		lastWriteSeq: make(map[uint64]uint64),
-		stop:         make(chan struct{}),
+		cfg:            cfg,
+		log:            cfg.Logger,
+		pool:           pool.New(alloc),
+		lastWriteSeq:   make(map[uint64]uint64),
+		readCount:      make(map[uint64]uint64),
+		handoffApplied: make(map[uint64]bool),
+		stop:           make(chan struct{}),
 	}
 	d.mu.SetRank(locks.RankIMD)
 	// Handlers may fire before this constructor returns; gate them
@@ -171,20 +198,33 @@ func (d *Daemon) statusLoop() {
 	}
 }
 
-// Drain is called by the rmd when the workstation owner returns: the
-// daemon notifies the manager, refuses new work, completes ongoing
-// transfers, and shuts down (§4.1-4.2).
+// Drain is the polite reclaim path, called by the rmd when the
+// workstation owner returns (§4.1-4.2): the daemon announces HostBusy
+// (refusing new writes and allocations), then spends a bounded grace
+// window still serving reads while it hands off its hottest pages to
+// manager-chosen peer imds, waits for in-flight bulk transfers to
+// finish, and only then tears down. Contrast Crash/Close, which
+// abandon everything immediately.
 func (d *Daemon) Drain() {
 	d.mu.Lock()
-	if d.draining {
+	if d.draining || d.closed {
 		d.mu.Unlock()
 		return
 	}
 	d.draining = true
 	d.mu.Unlock()
 	d.announce(wire.HostBusy)
+	// Settle writes admitted before the flag flipped: a write applying
+	// after the handoff snapshot would be confirmed to the client yet
+	// missing from the copy — exactly the staleness the write-seq gate
+	// exists to prevent.
+	d.pendingWrites.Wait()
+	d.handoff()
+	d.mu.Lock()
+	d.drainDone = true
+	d.mu.Unlock()
 	d.transfers.Wait() // complete ongoing transfers, then exit
-	_ = d.Close()      // crash-path teardown; Drain has no error to return
+	_ = d.teardown()   // Drain has no error to return
 }
 
 // Crash tears the daemon down as a kill -9 or power failure would: no
@@ -194,8 +234,15 @@ func (d *Daemon) Drain() {
 // use it to model workstation crashes.
 func (d *Daemon) Crash() { _ = d.Close() }
 
-// Close releases the daemon without the polite drain (crash path).
-func (d *Daemon) Close() error {
+// Close releases the daemon without the polite drain (crash path):
+// in-flight transfers are abandoned, nothing is handed off.
+func (d *Daemon) Close() error { return d.teardown() }
+
+// teardown releases the daemon's resources. It is shared by the crash
+// path (Close/Crash, where it runs immediately) and the drain path
+// (where Drain reaches it only after the grace window and transfer
+// completion).
+func (d *Daemon) teardown() error {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -213,14 +260,144 @@ func (d *Daemon) Close() error {
 	return err
 }
 
+// callTimeout is the effective per-attempt call timeout of the
+// daemon's endpoint (the raw config may be zero, meaning the bulk
+// layer's default).
+func (d *Daemon) callTimeout() time.Duration {
+	if t := d.cfg.Endpoint.CallTimeout; t > 0 {
+		return t
+	}
+	return 500 * time.Millisecond
+}
+
+// handoff runs the drain grace window: offer resident regions to the
+// manager hottest-first, then push each granted page to its target imd
+// and report the outcome. It runs inline on the Drain caller's
+// goroutine; reads are still being served concurrently, so everything
+// here snapshots under d.mu and performs RPCs lock-free.
+func (d *Daemon) handoff() {
+	deadline := d.cfg.Clock.Now().Add(d.cfg.GraceWindow)
+	d.mu.Lock()
+	regions := make([]wire.HandoffRegion, 0, d.pool.Regions())
+	for _, id := range d.pool.RegionIDs() {
+		size, _ := d.pool.RegionSize(id)
+		regions = append(regions, wire.HandoffRegion{RegionID: id, Length: size, Reads: d.readCount[id]})
+	}
+	d.mu.Unlock()
+	if len(regions) == 0 {
+		return
+	}
+	// Hottest first; the grace window may not fit every page. Region id
+	// breaks ties so the offer order is deterministic.
+	sort.Slice(regions, func(i, j int) bool {
+		if regions[i].Reads != regions[j].Reads {
+			return regions[i].Reads > regions[j].Reads
+		}
+		return regions[i].RegionID < regions[j].RegionID
+	})
+	offer := &wire.HandoffOffer{HostAddr: d.ep.LocalAddr(), Epoch: d.cfg.Epoch, Regions: regions}
+	rem := deadline.Sub(d.cfg.Clock.Now())
+	if t := 2 * d.callTimeout(); rem > t {
+		rem = t
+	}
+	if rem <= 0 {
+		return
+	}
+	resp, err := d.ep.CallT(d.cfg.ManagerAddr, offer, rem, 0)
+	if err != nil {
+		d.logf("imd %s: handoff offer failed: %v", d.Addr(), err)
+		return
+	}
+	acc, ok := resp.(*wire.HandoffAccept)
+	if !ok || acc.Status != wire.StatusOK {
+		return
+	}
+	for i, g := range acc.Grants {
+		rem := deadline.Sub(d.cfg.Clock.Now())
+		if rem <= 0 {
+			// Grace expired: abort the remaining grants so the manager
+			// frees their pre-allocated target regions.
+			for _, rest := range acc.Grants[i:] {
+				d.reportHandoff(rest.OldRegionID, wire.StatusBusy)
+				d.mu.Lock()
+				d.handoffAborts++
+				d.mu.Unlock()
+			}
+			return
+		}
+		if d.pushPage(g, rem) {
+			d.reportHandoff(g.OldRegionID, wire.StatusOK)
+			d.mu.Lock()
+			d.pagesHandedOff++
+			d.mu.Unlock()
+		} else {
+			d.reportHandoff(g.OldRegionID, wire.StatusBusy)
+			d.mu.Lock()
+			d.handoffAborts++
+			d.mu.Unlock()
+		}
+	}
+}
+
+// pushPage copies one region's bytes to its granted target imd over
+// the bulk path, bounded by rem. True means the target confirmed the
+// full page.
+func (d *Daemon) pushPage(g wire.HandoffGrant, rem time.Duration) bool {
+	d.mu.Lock()
+	size, ok := d.pool.RegionSize(g.OldRegionID)
+	if !ok {
+		d.mu.Unlock()
+		return false
+	}
+	data, err := d.pool.Read(g.OldRegionID, 0, size)
+	if err != nil {
+		d.mu.Unlock()
+		return false
+	}
+	// Snapshot: concurrent grace-window reads share the pool buffer.
+	snap := append([]byte(nil), data...)
+	d.mu.Unlock()
+
+	id := d.ep.NextTransferID()
+	sendErr := make(chan error, 1)
+	d.transfers.Add(1)
+	go func() {
+		defer d.transfers.Done()
+		sendErr <- d.ep.SendBulk(g.Target.HostAddr, id, snap)
+	}()
+	req := &wire.HandoffPage{RegionID: g.Target.RegionID, Epoch: g.Target.Epoch, Length: size, TransferID: id}
+	resp, callErr := d.ep.CallT(g.Target.HostAddr, req, rem/2, 1)
+	if serr := <-sendErr; serr != nil {
+		return false
+	}
+	if callErr != nil {
+		return false
+	}
+	dr, ok := resp.(*wire.DataResp)
+	return ok && dr.Status == wire.StatusOK && dr.Count == size
+}
+
+// reportHandoff tells the manager one region's handoff outcome so it
+// can repoint (StatusOK) or free the target region (anything else).
+func (d *Daemon) reportHandoff(oldID uint64, st wire.Status) {
+	done := &wire.HandoffDone{HostAddr: d.ep.LocalAddr(), OldRegionID: oldID, Status: st}
+	if _, err := d.ep.CallT(d.cfg.ManagerAddr, done, d.callTimeout(), 1); err != nil {
+		d.logf("imd %s: reporting handoff of region %d: %v", d.Addr(), oldID, err)
+	}
+}
+
 // Stats reports serving counters.
 type Stats struct {
 	Reads, Writes         int64
 	ReadBytes, WriteBytes int64
 	StaleRejects          int64
-	Regions               int
-	FreeBytes             uint64
-	LargestFree           uint64
+	// PagesHandedOff counts regions this daemon moved to peers during
+	// its drain; HandoffAborts counts grants it had to abandon (grace
+	// window expiry or unreachable target).
+	PagesHandedOff, HandoffAborts int64
+	Regions                       int
+	FreeBytes                     uint64
+	LargestFree                   uint64
 }
 
 // Stats returns a consistent snapshot.
@@ -228,14 +405,16 @@ func (d *Daemon) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return Stats{
-		Reads:        d.reads,
-		Writes:       d.writes,
-		ReadBytes:    d.readBytes,
-		WriteBytes:   d.writeBytes,
-		StaleRejects: d.staleRejects,
-		Regions:      d.pool.Regions(),
-		FreeBytes:    d.pool.FreeBytes(),
-		LargestFree:  d.pool.LargestFree(),
+		Reads:          d.reads,
+		Writes:         d.writes,
+		ReadBytes:      d.readBytes,
+		WriteBytes:     d.writeBytes,
+		StaleRejects:   d.staleRejects,
+		PagesHandedOff: d.pagesHandedOff,
+		HandoffAborts:  d.handoffAborts,
+		Regions:        d.pool.Regions(),
+		FreeBytes:      d.pool.FreeBytes(),
+		LargestFree:    d.pool.LargestFree(),
 	}
 }
 
@@ -250,8 +429,11 @@ func (d *Daemon) handle(from string, msg wire.Message) wire.Message {
 		return d.handleRead(from, req)
 	case *wire.WriteReq:
 		return d.handleWrite(from, req)
+	case *wire.HandoffPage:
+		return d.handleHandoffPage(from, req)
 	case *wire.AllocReq, *wire.FreeReq, *wire.CheckAllocReq,
-		*wire.KeepAlive, *wire.HostStatus, *wire.ClusterStatsReq:
+		*wire.KeepAlive, *wire.HostStatus, *wire.ClusterStatsReq,
+		*wire.HandoffOffer, *wire.HandoffDone:
 		// Addressed to the central manager, not an imd; a frame routed
 		// here is a misdirected client. Explicitly ignored.
 		return nil
@@ -259,7 +441,8 @@ func (d *Daemon) handle(from string, msg wire.Message) wire.Message {
 		*wire.KeepAliveAck, *wire.HostStatusAck,
 		*wire.IMDAllocResp, *wire.IMDFreeResp, *wire.DataResp,
 		*wire.BulkOffer, *wire.BulkAccept, *wire.BulkData,
-		*wire.BulkNack, *wire.BulkDone, *wire.ClusterStatsResp:
+		*wire.BulkNack, *wire.BulkDone, *wire.ClusterStatsResp,
+		*wire.HandoffAccept:
 		// Responses and bulk frames are consumed by the endpoint's
 		// dispatch before the handler runs; they cannot reach here.
 		return nil
@@ -290,8 +473,10 @@ func (d *Daemon) handleAlloc(req *wire.IMDAllocReq) wire.Message {
 	if err != nil {
 		st = wire.StatusNoMem
 	} else {
-		// Fresh region: restart its write-ordering gate.
+		// Fresh region: restart its write-ordering gate and hotness.
 		delete(d.lastWriteSeq, req.RegionID)
+		delete(d.readCount, req.RegionID)
+		delete(d.handoffApplied, req.RegionID)
 	}
 	e, a, l := d.piggybackLocked()
 	return &wire.IMDAllocResp{Status: st, PoolOffset: off, Epoch: e, AvailBytes: a, LargestFree: l}
@@ -305,6 +490,8 @@ func (d *Daemon) handleFree(req *wire.IMDFreeReq) wire.Message {
 		st = wire.StatusNotFound
 	} else {
 		delete(d.lastWriteSeq, req.RegionID)
+		delete(d.readCount, req.RegionID)
+		delete(d.handoffApplied, req.RegionID)
 	}
 	e, a, l := d.piggybackLocked()
 	return &wire.IMDFreeResp{Status: st, Epoch: e, AvailBytes: a, LargestFree: l}
@@ -314,7 +501,10 @@ func (d *Daemon) handleFree(req *wire.IMDFreeReq) wire.Message {
 // to the client over the bulk protocol, answering with the transfer id.
 func (d *Daemon) handleRead(from string, req *wire.ReadReq) wire.Message {
 	d.mu.Lock()
-	if d.draining {
+	// A draining daemon keeps serving reads through the grace window
+	// (drainDone marks its end): clients stay warm while the hand-off
+	// runs, which is the whole point of the graceful reclaim.
+	if d.draining && d.drainDone {
 		d.mu.Unlock()
 		return &wire.DataResp{Status: wire.StatusBusy}
 	}
@@ -337,6 +527,7 @@ func (d *Daemon) handleRead(from string, req *wire.ReadReq) wire.Message {
 	snap := append([]byte(nil), data...)
 	d.reads++
 	d.readBytes += int64(len(snap))
+	d.readCount[req.RegionID]++
 	d.transfers.Add(1)
 	d.mu.Unlock()
 
@@ -378,8 +569,14 @@ func (d *Daemon) handleWrite(from string, req *wire.WriteReq) wire.Message {
 		return &wire.DataResp{Status: wire.StatusOK, Count: req.Length}
 	}
 	d.transfers.Add(1)
+	// pendingWrites is taken under the same critical section that
+	// checked draining: Drain flips the flag under d.mu and then waits
+	// on this group, so every write it could not refuse is applied (or
+	// failed) before the handoff snapshots region bytes.
+	d.pendingWrites.Add(1)
 	d.mu.Unlock()
 	defer d.transfers.Done()
+	defer d.pendingWrites.Done()
 
 	// Wait for the client's blast under its announced transfer id.
 	// Budget scales with size: a large region takes many windows.
@@ -415,6 +612,69 @@ func (d *Daemon) handleWrite(from string, req *wire.WriteReq) wire.Message {
 	if req.WriteSeq != 0 {
 		d.lastWriteSeq[req.RegionID] = req.WriteSeq
 	}
+	d.writes++
+	d.writeBytes += int64(n)
+	return &wire.DataResp{Status: wire.StatusOK, Count: uint64(n)}
+}
+
+// handleHandoffPage receives one region's bytes from a draining peer
+// imd. The manager already allocated the destination region here; the
+// page body travels over the bulk path under the announced transfer
+// id. Mirrors handleWrite, but whole-region and gated by the
+// handoffApplied marker instead of a write sequence.
+func (d *Daemon) handleHandoffPage(from string, req *wire.HandoffPage) wire.Message {
+	d.mu.Lock()
+	if d.draining {
+		// A draining target must not accept pages it would itself need
+		// to move; the sender aborts and the manager frees the grant.
+		d.mu.Unlock()
+		return &wire.DataResp{Status: wire.StatusBusy}
+	}
+	if req.Epoch != d.cfg.Epoch {
+		d.staleRejects++
+		d.mu.Unlock()
+		return &wire.DataResp{Status: wire.StatusStale}
+	}
+	if !d.pool.Has(req.RegionID) {
+		d.mu.Unlock()
+		return &wire.DataResp{Status: wire.StatusNotFound}
+	}
+	if d.handoffApplied[req.RegionID] {
+		// Duplicate announcement of a page that already landed.
+		d.mu.Unlock()
+		return &wire.DataResp{Status: wire.StatusOK, Count: req.Length}
+	}
+	d.transfers.Add(1)
+	d.mu.Unlock()
+	defer d.transfers.Done()
+
+	budget := 5*time.Second + time.Duration(req.Length/(1<<20))*2*time.Second
+	data, err := d.ep.RecvBulk(from, req.TransferID, budget)
+	if err != nil {
+		if errors.Is(err, bulk.ErrConsumed) {
+			// A duplicated announcement raced us to the bytes; confirm
+			// only once the racing handler's apply is visible.
+			d.mu.Lock()
+			applied := d.handoffApplied[req.RegionID]
+			d.mu.Unlock()
+			if applied {
+				return &wire.DataResp{Status: wire.StatusOK, Count: req.Length}
+			}
+			return &wire.DataResp{Status: wire.StatusInvalid}
+		}
+		d.logf("imd %s: receiving handoff page from %s: %v", d.Addr(), from, err)
+		return &wire.DataResp{Status: wire.StatusInvalid}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.pool.Has(req.RegionID) {
+		return &wire.DataResp{Status: wire.StatusNotFound}
+	}
+	n, err := d.pool.Write(req.RegionID, 0, data)
+	if err != nil {
+		return &wire.DataResp{Status: wire.StatusInvalid}
+	}
+	d.handoffApplied[req.RegionID] = true
 	d.writes++
 	d.writeBytes += int64(n)
 	return &wire.DataResp{Status: wire.StatusOK, Count: uint64(n)}

@@ -21,16 +21,22 @@ func fastEp() bulk.Config {
 	}
 }
 
-// fakeCMD records host status reports.
+// fakeCMD records host status reports and plays the manager's side of
+// the graceful-reclaim handoff: offers are answered with the grants
+// staged via setGrant, outcomes are recorded in arrival order.
 type fakeCMD struct {
 	ep *bulk.Endpoint
 	mu sync.Mutex
 	// statuses in arrival order
 	statuses []wire.HostStatus
+	// grants maps an offered region id to its pre-allocated target.
+	grants map[uint64]wire.Region
+	offers []wire.HandoffOffer
+	dones  []wire.HandoffDone
 }
 
 func newFakeCMD(n *transport.Network) *fakeCMD {
-	c := &fakeCMD{}
+	c := &fakeCMD{grants: map[uint64]wire.Region{}}
 	c.ep = bulk.NewEndpoint(n.Host("cmd"), fastEp(), func(from string, msg wire.Message) wire.Message {
 		if hs, ok := msg.(*wire.HostStatus); ok {
 			c.mu.Lock()
@@ -38,9 +44,42 @@ func newFakeCMD(n *transport.Network) *fakeCMD {
 			c.mu.Unlock()
 			return &wire.HostStatusAck{Status: wire.StatusOK}
 		}
+		if off, ok := msg.(*wire.HandoffOffer); ok {
+			acc := &wire.HandoffAccept{Status: wire.StatusOK}
+			c.mu.Lock()
+			c.offers = append(c.offers, *off)
+			for _, r := range off.Regions {
+				if tgt, ok := c.grants[r.RegionID]; ok {
+					acc.Grants = append(acc.Grants, wire.HandoffGrant{OldRegionID: r.RegionID, Target: tgt})
+				}
+			}
+			c.mu.Unlock()
+			return acc
+		}
+		if dn, ok := msg.(*wire.HandoffDone); ok {
+			c.mu.Lock()
+			c.dones = append(c.dones, *dn)
+			c.mu.Unlock()
+			return &wire.HostStatusAck{Status: wire.StatusOK}
+		}
 		return nil
 	})
 	return c
+}
+
+// setGrant stages the target the next HandoffOffer mentioning oldID
+// will be granted.
+func (c *fakeCMD) setGrant(oldID uint64, target wire.Region) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.grants[oldID] = target
+}
+
+// handoffOutcomes snapshots the recorded HandoffDone reports.
+func (c *fakeCMD) handoffOutcomes() []wire.HandoffDone {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]wire.HandoffDone(nil), c.dones...)
 }
 
 func (c *fakeCMD) lastStatus() (wire.HostStatus, bool) {

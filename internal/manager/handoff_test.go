@@ -1,0 +1,236 @@
+package manager
+
+import (
+	"testing"
+	"time"
+
+	"dodo/internal/bulk"
+	"dodo/internal/transport"
+	"dodo/internal/wire"
+)
+
+// handoffRig is a rig with a tunable handoff grace window.
+func handoffRig(t *testing.T, grace time.Duration) *testRig {
+	t.Helper()
+	n := transport.NewNetwork()
+	cfg := fastCfg()
+	cfg.HandoffGrace = grace
+	mgr := New(n.Host("cmd"), cfg)
+	cli := bulk.NewEndpoint(n.Host("client"), fastEndpointCfg(), clientHandler)
+	t.Cleanup(func() { mgr.Close(); cli.Close() })
+	return &testRig{n: n, mgr: mgr, cli: cli}
+}
+
+// drainHost sends the HostBusy announcement that opens the graceful
+// reclaim overlay for addr.
+func drainHost(t *testing.T, r *testRig, addr string, epoch uint64) {
+	t.Helper()
+	resp, err := r.cli.Call("cmd", &wire.HostStatus{HostAddr: addr, State: wire.HostBusy, Epoch: epoch})
+	if err != nil || resp.(*wire.HostStatusAck).Status != wire.StatusOK {
+		t.Fatalf("HostBusy announce: %v", err)
+	}
+}
+
+func checkAlloc(t *testing.T, r *testRig, k wire.RegionKey) *wire.CheckAllocResp {
+	t.Helper()
+	resp, err := r.cli.Call("cmd", &wire.CheckAllocReq{Key: k})
+	if err != nil {
+		t.Fatalf("CheckAllocReq: %v", err)
+	}
+	return resp.(*wire.CheckAllocResp)
+}
+
+// TestHandoffRepointsRegionDirectory walks the whole manager-side
+// sub-protocol: HostBusy opens the overlay (checkAlloc answers Busy,
+// not Stale), HandoffOffer pre-allocates a target on the peer and
+// returns the grant, HandoffDone atomically repoints the RD row, and
+// the next checkAlloc revalidates the client onto the new host with the
+// Fresh flag set.
+func TestHandoffRepointsRegionDirectory(t *testing.T) {
+	r := handoffRig(t, 10*time.Second)
+	src := newFakeIMD(r.n, "imd1", 1<<20, 2)
+	t.Cleanup(func() { src.ep.Close() })
+	registerHost(t, r.cli, "cmd", "imd1", 2, 1<<20)
+
+	k := key(4, 0)
+	resp, err := r.cli.Call("cmd", &wire.AllocReq{Key: k, Length: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := resp.(*wire.AllocResp)
+	if ar.Status != wire.StatusOK || ar.Region.HostAddr != "imd1" {
+		t.Fatalf("alloc = %+v", ar)
+	}
+
+	// The peer arrives after the allocation, so it holds nothing yet.
+	dst := newFakeIMD(r.n, "imd2", 1<<20, 9)
+	t.Cleanup(func() { dst.ep.Close() })
+	registerHost(t, r.cli, "cmd", "imd2", 9, 1<<20)
+
+	drainHost(t, r, "imd1", 2)
+	if ca := checkAlloc(t, r, k); ca.Status != wire.StatusBusy {
+		t.Fatalf("checkAlloc during drain = %v, want StatusBusy", ca.Status)
+	}
+
+	// The draining imd offers its region; the grant must target imd2
+	// with a real pre-allocation behind it.
+	resp, err = r.cli.Call("cmd", &wire.HandoffOffer{
+		HostAddr: "imd1", Epoch: 2,
+		Regions: []wire.HandoffRegion{{RegionID: ar.Region.RegionID, Length: 4096, Reads: 12}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := resp.(*wire.HandoffAccept)
+	if acc.Status != wire.StatusOK || len(acc.Grants) != 1 {
+		t.Fatalf("HandoffAccept = %+v", acc)
+	}
+	g := acc.Grants[0]
+	if g.OldRegionID != ar.Region.RegionID || g.Target.HostAddr != "imd2" || g.Target.Epoch != 9 {
+		t.Fatalf("grant = %+v", g)
+	}
+	if !dst.has(g.Target.RegionID) {
+		t.Fatal("manager granted a target it never allocated on the peer")
+	}
+	// The map holds until the outcome arrives.
+	if ca := checkAlloc(t, r, k); ca.Status != wire.StatusBusy {
+		t.Fatalf("checkAlloc after offer = %v, want StatusBusy", ca.Status)
+	}
+
+	resp, err = r.cli.Call("cmd", &wire.HandoffDone{HostAddr: "imd1", OldRegionID: g.OldRegionID, Status: wire.StatusOK})
+	if err != nil || resp.(*wire.HostStatusAck).Status != wire.StatusOK {
+		t.Fatalf("HandoffDone: %v", err)
+	}
+	ca := checkAlloc(t, r, k)
+	if ca.Status != wire.StatusOK || !ca.Fresh || ca.Region != g.Target {
+		t.Fatalf("checkAlloc after repoint = %+v, want OK/Fresh on %+v", ca, g.Target)
+	}
+	s := r.mgr.Stats()
+	if s.HandoffOffers != 1 || s.HandoffPagesMoved != 1 || s.HandoffAborts != 0 || s.StaleDrops != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if sched := r.mgr.HandoffSchedule(); len(sched) != 1 {
+		t.Fatalf("HandoffSchedule = %v, want one entry", sched)
+	}
+}
+
+// TestHandoffAbortFreesTargetAndExpiresToStale: a failed push aborts
+// the grant (target freed on the peer), and once the overlay deadline
+// passes, checkAlloc falls back to the stale-drop path so the client
+// re-opens from disk instead of waiting forever.
+func TestHandoffAbortFreesTargetAndExpiresToStale(t *testing.T) {
+	r := handoffRig(t, 400*time.Millisecond)
+	src := newFakeIMD(r.n, "imd1", 1<<20, 2)
+	t.Cleanup(func() { src.ep.Close() })
+	registerHost(t, r.cli, "cmd", "imd1", 2, 1<<20)
+	k := key(5, 0)
+	resp, err := r.cli.Call("cmd", &wire.AllocReq{Key: k, Length: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := resp.(*wire.AllocResp)
+	dst := newFakeIMD(r.n, "imd2", 1<<20, 9)
+	t.Cleanup(func() { dst.ep.Close() })
+	registerHost(t, r.cli, "cmd", "imd2", 9, 1<<20)
+
+	drainHost(t, r, "imd1", 2)
+	resp, err = r.cli.Call("cmd", &wire.HandoffOffer{
+		HostAddr: "imd1", Epoch: 2,
+		Regions: []wire.HandoffRegion{{RegionID: ar.Region.RegionID, Length: 4096}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := resp.(*wire.HandoffAccept)
+	if acc.Status != wire.StatusOK || len(acc.Grants) != 1 {
+		t.Fatalf("HandoffAccept = %+v", acc)
+	}
+	tgt := acc.Grants[0].Target
+
+	// The push failed; the imd reports the abort.
+	if _, err := r.cli.Call("cmd", &wire.HandoffDone{
+		HostAddr: "imd1", OldRegionID: ar.Region.RegionID, Status: wire.StatusBusy,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The pre-allocated target is released on the peer (async notify).
+	deadline := time.Now().Add(2 * time.Second)
+	for dst.has(tgt.RegionID) {
+		if time.Now().After(deadline) {
+			t.Fatal("aborted grant's target region never freed on the peer")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s := r.mgr.Stats(); s.HandoffAborts != 1 || s.HandoffPagesMoved != 0 {
+		t.Fatalf("stats after abort = %+v", s)
+	}
+
+	// Within the grace window the mapping still answers Busy; after it
+	// expires the region is stale-dropped.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		ca := checkAlloc(t, r, k)
+		if ca.Status == wire.StatusStale {
+			break
+		}
+		if ca.Status != wire.StatusBusy {
+			t.Fatalf("checkAlloc = %v, want Busy then Stale", ca.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("overlay never expired to the stale-drop path")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if s := r.mgr.Stats(); s.StaleDrops != 1 {
+		t.Fatalf("StaleDrops = %d, want 1", s.StaleDrops)
+	}
+}
+
+// TestHandoffOfferRequiresDrainingIdentity: offers from hosts that are
+// not mid-drain (never announced Busy, wrong epoch, or re-recruited
+// since) are refused with StatusStale and place nothing.
+func TestHandoffOfferRequiresDrainingIdentity(t *testing.T) {
+	r := handoffRig(t, 10*time.Second)
+	dst := newFakeIMD(r.n, "imd2", 1<<20, 9)
+	t.Cleanup(func() { dst.ep.Close() })
+	registerHost(t, r.cli, "cmd", "imd2", 9, 1<<20)
+
+	offer := &wire.HandoffOffer{HostAddr: "imd1", Epoch: 2,
+		Regions: []wire.HandoffRegion{{RegionID: 1, Length: 4096}}}
+
+	// Never announced busy.
+	resp, err := r.cli.Call("cmd", offer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := resp.(*wire.HandoffAccept); acc.Status != wire.StatusStale || len(acc.Grants) != 0 {
+		t.Fatalf("offer from non-draining host = %+v", acc)
+	}
+
+	// Draining, but the offer carries a previous incarnation's epoch.
+	drainHost(t, r, "imd1", 3)
+	resp, err = r.cli.Call("cmd", offer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := resp.(*wire.HandoffAccept); acc.Status != wire.StatusStale {
+		t.Fatalf("stale-epoch offer = %+v", acc)
+	}
+
+	// Re-recruited: the overlay is gone, a late offer is refused.
+	registerHost(t, r.cli, "cmd", "imd1", 4, 1<<20)
+	resp, err = r.cli.Call("cmd", &wire.HandoffOffer{HostAddr: "imd1", Epoch: 3,
+		Regions: []wire.HandoffRegion{{RegionID: 1, Length: 4096}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := resp.(*wire.HandoffAccept); acc.Status != wire.StatusStale {
+		t.Fatalf("offer after re-recruit = %+v", acc)
+	}
+	if dst.regions() != 0 {
+		t.Fatal("refused offers still allocated target regions")
+	}
+	if s := r.mgr.Stats(); s.HandoffOffers != 0 {
+		t.Fatalf("refused offers counted: %+v", s)
+	}
+}

@@ -12,8 +12,10 @@
 package manager
 
 import (
+	"fmt"
 	"log"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -41,6 +43,11 @@ type Config struct {
 	// Seed seeds host selection; 0 uses a fixed default so test runs
 	// are reproducible.
 	Seed int64
+	// HandoffGrace is how long the manager holds a draining host's
+	// region mappings in the Busy overlay awaiting handoff completion
+	// before checkAlloc falls back to the stale-drop path (default 2s;
+	// should comfortably exceed the imds' drain grace window).
+	HandoffGrace time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +62,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 990401
+	}
+	if c.HandoffGrace == 0 {
+		c.HandoffGrace = 2 * time.Second
 	}
 	return c
 }
@@ -72,6 +82,28 @@ type regionEntry struct {
 	key    wire.RegionKey
 	region wire.Region
 	client string // transport address of the owning client
+	// fresh marks a region whose current host was populated by a
+	// graceful-reclaim handoff: the host holds every byte the client
+	// had confirmed, so checkAlloc advertises it as adoptable without
+	// disk repopulation.
+	fresh bool
+}
+
+// drainingHost is the graceful-reclaim overlay for a host that
+// announced HostBusy: while it lasts, checkAlloc answers StatusBusy
+// for that host's regions instead of stale-dropping them, giving the
+// handoff a chance to repoint them to their new homes.
+type drainingHost struct {
+	epoch    uint64
+	deadline time.Time
+	// grants maps the draining host's region ids to their pre-allocated
+	// targets until HandoffDone resolves each one.
+	grants map[uint64]*handoffGrant
+}
+
+type handoffGrant struct {
+	key    wire.RegionKey
+	target wire.Region
 }
 
 // clientEntry tracks keep-alive state per client.
@@ -85,7 +117,10 @@ type clientEntry struct {
 // untracked, so cluster-wide aggregation survives churn without double
 // counting (acks carry running totals, not deltas).
 type recovCounters struct {
-	drops, revalidations, reopens uint64
+	drops, revalidations, reopens       uint64
+	handoffAdopts                       uint64
+	hedgedReads, hedgeWins, hedgeWasted uint64
+	retryExhausted                      uint64
 }
 
 // Manager is the central manager daemon.
@@ -99,6 +134,7 @@ type Manager struct {
 	rd       map[wire.RegionKey]*regionEntry
 	clients  map[string]*clientEntry
 	recov    map[string]recovCounters
+	draining map[string]*drainingHost
 	rng      *rand.Rand
 	nextID   uint64
 	shutdown bool
@@ -108,20 +144,25 @@ type Manager struct {
 
 	// stats
 	allocs, allocFailures, frees, staleDrops, orphanReclaims int64
+	handoffOffers, handoffPagesMoved, handoffAborts          int64
+	// handoffLog records every repointing in order, for the
+	// same-seed-same-schedule determinism checks.
+	handoffLog []string
 }
 
 // New starts a manager serving on tr.
 func New(tr transport.Transport, cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{
-		cfg:     cfg,
-		log:     cfg.Logger,
-		iwd:     make(map[string]*hostEntry),
-		rd:      make(map[wire.RegionKey]*regionEntry),
-		clients: make(map[string]*clientEntry),
-		recov:   make(map[string]recovCounters),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		stop:    make(chan struct{}),
+		cfg:      cfg,
+		log:      cfg.Logger,
+		iwd:      make(map[string]*hostEntry),
+		rd:       make(map[wire.RegionKey]*regionEntry),
+		clients:  make(map[string]*clientEntry),
+		recov:    make(map[string]recovCounters),
+		draining: make(map[string]*drainingHost),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		stop:     make(chan struct{}),
 	}
 	m.mu.SetRank(locks.RankManager)
 	// Handlers run on their own goroutines and may fire before this
@@ -181,10 +222,19 @@ type Snapshot struct {
 	Frees          int64
 	StaleDrops     int64
 	OrphanReclaims int64
+	// Graceful-reclaim handoff counters.
+	HandoffOffers     int64
+	HandoffPagesMoved int64
+	HandoffAborts     int64
 	// Client recovery totals aggregated from keep-alive acks.
-	ClientDrops         uint64
-	ClientRevalidations uint64
-	ClientReopens       uint64
+	ClientDrops          uint64
+	ClientRevalidations  uint64
+	ClientReopens        uint64
+	ClientHandoffAdopts  uint64
+	ClientHedgedReads    uint64
+	ClientHedgeWins      uint64
+	ClientHedgeWasted    uint64
+	ClientRetryExhausted uint64
 }
 
 // Stats returns a consistent snapshot.
@@ -192,19 +242,27 @@ func (m *Manager) Stats() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		IdleHosts:      len(m.iwd),
-		Regions:        len(m.rd),
-		Clients:        len(m.clients),
-		Allocs:         m.allocs,
-		AllocFailures:  m.allocFailures,
-		Frees:          m.frees,
-		StaleDrops:     m.staleDrops,
-		OrphanReclaims: m.orphanReclaims,
+		IdleHosts:         len(m.iwd),
+		Regions:           len(m.rd),
+		Clients:           len(m.clients),
+		Allocs:            m.allocs,
+		AllocFailures:     m.allocFailures,
+		Frees:             m.frees,
+		StaleDrops:        m.staleDrops,
+		OrphanReclaims:    m.orphanReclaims,
+		HandoffOffers:     m.handoffOffers,
+		HandoffPagesMoved: m.handoffPagesMoved,
+		HandoffAborts:     m.handoffAborts,
 	}
 	for _, rc := range m.recov {
 		s.ClientDrops += rc.drops
 		s.ClientRevalidations += rc.revalidations
 		s.ClientReopens += rc.reopens
+		s.ClientHandoffAdopts += rc.handoffAdopts
+		s.ClientHedgedReads += rc.hedgedReads
+		s.ClientHedgeWins += rc.hedgeWins
+		s.ClientHedgeWasted += rc.hedgeWasted
+		s.ClientRetryExhausted += rc.retryExhausted
 	}
 	return s
 }
@@ -222,8 +280,13 @@ func (m *Manager) handle(from string, msg wire.Message) wire.Message {
 		return m.handleCheckAlloc(req)
 	case *wire.ClusterStatsReq:
 		return m.handleClusterStats(req)
+	case *wire.HandoffOffer:
+		return m.handleHandoffOffer(req)
+	case *wire.HandoffDone:
+		return m.handleHandoffDone(req)
 	case *wire.IMDAllocReq, *wire.IMDFreeReq,
-		*wire.ReadReq, *wire.WriteReq, *wire.KeepAlive:
+		*wire.ReadReq, *wire.WriteReq, *wire.KeepAlive,
+		*wire.HandoffPage:
 		// Addressed to an imd or a client, not the manager; a frame
 		// routed here is a misdirected peer. Explicitly ignored.
 		return nil
@@ -231,7 +294,8 @@ func (m *Manager) handle(from string, msg wire.Message) wire.Message {
 		*wire.KeepAliveAck, *wire.HostStatusAck,
 		*wire.IMDAllocResp, *wire.IMDFreeResp, *wire.DataResp,
 		*wire.BulkOffer, *wire.BulkAccept, *wire.BulkData,
-		*wire.BulkNack, *wire.BulkDone, *wire.ClusterStatsResp:
+		*wire.BulkNack, *wire.BulkDone, *wire.ClusterStatsResp,
+		*wire.HandoffAccept:
 		// Responses and bulk frames are consumed by the endpoint's
 		// dispatch before the handler runs; they cannot reach here.
 		return nil
@@ -244,19 +308,27 @@ func (m *Manager) handleClusterStats(*wire.ClusterStatsReq) wire.Message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	resp := &wire.ClusterStatsResp{
-		Status:         wire.StatusOK,
-		Regions:        uint64(len(m.rd)),
-		Clients:        uint64(len(m.clients)),
-		Allocs:         uint64(m.allocs),
-		AllocFailures:  uint64(m.allocFailures),
-		Frees:          uint64(m.frees),
-		StaleDrops:     uint64(m.staleDrops),
-		OrphanReclaims: uint64(m.orphanReclaims),
+		Status:            wire.StatusOK,
+		Regions:           uint64(len(m.rd)),
+		Clients:           uint64(len(m.clients)),
+		Allocs:            uint64(m.allocs),
+		AllocFailures:     uint64(m.allocFailures),
+		Frees:             uint64(m.frees),
+		StaleDrops:        uint64(m.staleDrops),
+		OrphanReclaims:    uint64(m.orphanReclaims),
+		HandoffOffers:     uint64(m.handoffOffers),
+		HandoffPagesMoved: uint64(m.handoffPagesMoved),
+		HandoffAborts:     uint64(m.handoffAborts),
 	}
 	for _, rc := range m.recov {
 		resp.ClientDrops += rc.drops
 		resp.ClientRevalidations += rc.revalidations
 		resp.ClientReopens += rc.reopens
+		resp.ClientHandoffAdopts += rc.handoffAdopts
+		resp.ClientHedgedReads += rc.hedgedReads
+		resp.ClientHedgeWins += rc.hedgeWins
+		resp.ClientHedgeWasted += rc.hedgeWasted
+		resp.ClientRetryExhausted += rc.retryExhausted
 	}
 	for _, h := range m.iwd {
 		resp.Hosts = append(resp.Hosts, wire.HostInfo{
@@ -282,6 +354,18 @@ func (m *Manager) handleHostStatus(req *wire.HostStatus) wire.Message {
 		}
 	case wire.HostBusy:
 		delete(m.iwd, req.HostAddr)
+		// Open the graceful-reclaim overlay: until the deadline, the
+		// host's regions answer checkAlloc with Busy (retry soon) rather
+		// than Stale (gone), so a handoff can repoint them first.
+		m.draining[req.HostAddr] = &drainingHost{
+			epoch:    req.Epoch,
+			deadline: m.cfg.Clock.Now().Add(m.cfg.HandoffGrace),
+			grants:   make(map[uint64]*handoffGrant),
+		}
+	}
+	if req.State == wire.HostIdle {
+		// A re-recruited host starts a new epoch; any old drain is moot.
+		delete(m.draining, req.HostAddr)
 	}
 	m.mu.Unlock()
 	m.logf("cmd: host %s -> %v (epoch %d, avail %d)", req.HostAddr, req.State, req.Epoch, req.AvailBytes)
@@ -309,6 +393,9 @@ func (m *Manager) handleAlloc(from string, req *wire.AllocReq) wire.Message {
 			candidates = append(candidates, addr)
 		}
 	}
+	// Map iteration order is random; sort before the seeded shuffle so
+	// the same seed yields the same placement schedule.
+	sort.Strings(candidates)
 	m.rng.Shuffle(len(candidates), func(i, j int) {
 		candidates[i], candidates[j] = candidates[j], candidates[i]
 	})
@@ -423,6 +510,17 @@ func (m *Manager) handleCheckAlloc(req *wire.CheckAllocReq) wire.Message {
 	}
 	h, hostIdle := m.iwd[e.region.HostAddr]
 	if !hostIdle || h.epoch != e.region.Epoch {
+		// Host not (or no longer) idle under this epoch. If it is mid
+		// graceful reclaim, hold the mapping and tell the client to retry:
+		// a handoff may repoint the region any moment now.
+		if dh := m.draining[e.region.HostAddr]; dh != nil {
+			if dh.epoch == e.region.Epoch && m.cfg.Clock.Now().Before(dh.deadline) {
+				return &wire.CheckAllocResp{Status: wire.StatusBusy}
+			}
+			if !m.cfg.Clock.Now().Before(dh.deadline) {
+				delete(m.draining, e.region.HostAddr)
+			}
+		}
 		// Host reclaimed or imd restarted since allocation: the region
 		// is gone. Delete it and report failure.
 		delete(m.rd, req.Key)
@@ -430,7 +528,160 @@ func (m *Manager) handleCheckAlloc(req *wire.CheckAllocReq) wire.Message {
 		m.untrackIdleClientLocked(e.client)
 		return &wire.CheckAllocResp{Status: wire.StatusStale}
 	}
-	return &wire.CheckAllocResp{Status: wire.StatusOK, Region: e.region}
+	return &wire.CheckAllocResp{Status: wire.StatusOK, Fresh: e.fresh, Region: e.region}
+}
+
+// handleHandoffOffer places a draining imd's hottest regions on peer
+// imds. For each offered region still mapped in the RD, the manager
+// picks the idle host with the most free space (addresses break ties,
+// so the same cluster state yields the same schedule), pre-allocates a
+// target region there, and records the grant in the draining overlay.
+// The imd pushes the bytes and reports each outcome via HandoffDone.
+func (m *Manager) handleHandoffOffer(req *wire.HandoffOffer) wire.Message {
+	m.mu.Lock()
+	dh := m.draining[req.HostAddr]
+	if dh == nil || dh.epoch != req.Epoch || !m.cfg.Clock.Now().Before(dh.deadline) {
+		m.mu.Unlock()
+		return &wire.HandoffAccept{Status: wire.StatusStale}
+	}
+	m.handoffOffers++
+	// Index the RD rows still pointing at the draining host, and
+	// snapshot candidate targets, before dropping the lock for probes.
+	byID := make(map[uint64]*regionEntry)
+	for _, e := range m.rd {
+		if e.region.HostAddr == req.HostAddr && e.region.Epoch == req.Epoch {
+			byID[e.region.RegionID] = e
+		}
+	}
+	targets := make([]*hostEntry, 0, len(m.iwd))
+	for _, h := range m.iwd {
+		targets = append(targets, &hostEntry{
+			addr: h.addr, epoch: h.epoch,
+			availBytes: h.availBytes, largestFree: h.largestFree,
+		})
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].addr < targets[j].addr })
+	m.mu.Unlock()
+
+	var grants []wire.HandoffGrant
+	for _, r := range req.Regions {
+		if byID[r.RegionID] == nil {
+			continue // freed or unknown; nothing to repoint
+		}
+		if g, ok := m.placeHandoff(r, targets); ok {
+			grants = append(grants, g)
+		}
+	}
+
+	m.mu.Lock()
+	dh = m.draining[req.HostAddr]
+	if dh == nil || dh.epoch != req.Epoch {
+		m.mu.Unlock()
+		// The drain resolved while we were probing: release the targets.
+		for _, g := range grants {
+			m.ep.Notify(g.Target.HostAddr, &wire.IMDFreeReq{RegionID: g.Target.RegionID})
+		}
+		return &wire.HandoffAccept{Status: wire.StatusStale}
+	}
+	for _, g := range grants {
+		dh.grants[g.OldRegionID] = &handoffGrant{key: byID[g.OldRegionID].key, target: g.Target}
+	}
+	m.mu.Unlock()
+	m.logf("cmd: handoff offer from %s: %d regions offered, %d granted", req.HostAddr, len(req.Regions), len(grants))
+	return &wire.HandoffAccept{Status: wire.StatusOK, Grants: grants}
+}
+
+// placeHandoff picks a target host for one offered region and
+// pre-allocates the destination there. Targets are tried most-free
+// first (address ascending on ties); the slice's hints are refreshed
+// from piggybacked availability so later placements see earlier ones.
+func (m *Manager) placeHandoff(r wire.HandoffRegion, targets []*hostEntry) (wire.HandoffGrant, bool) {
+	order := make([]*hostEntry, len(targets))
+	copy(order, targets)
+	// Stable sort on top of the address-ascending base order keeps the
+	// tie-break deterministic.
+	sort.SliceStable(order, func(i, j int) bool { return order[i].largestFree > order[j].largestFree })
+	for _, t := range order {
+		if t.largestFree < r.Length {
+			continue
+		}
+		m.mu.Lock()
+		m.nextID++
+		id := m.nextID
+		m.mu.Unlock()
+		resp, err := m.ep.CallT(t.addr, &wire.IMDAllocReq{RegionID: id, Length: r.Length},
+			m.probeTimeout(), 1)
+		if err != nil {
+			t.largestFree = 0 // unreachable; skip for the rest of this offer
+			continue
+		}
+		ar, ok := resp.(*wire.IMDAllocResp)
+		if !ok {
+			continue
+		}
+		t.epoch, t.availBytes, t.largestFree = ar.Epoch, ar.AvailBytes, ar.LargestFree
+		if ar.Status != wire.StatusOK {
+			continue
+		}
+		return wire.HandoffGrant{
+			OldRegionID: r.RegionID,
+			Target: wire.Region{
+				HostAddr:   t.addr,
+				RegionID:   id,
+				PoolOffset: ar.PoolOffset,
+				Length:     r.Length,
+				Epoch:      ar.Epoch,
+			},
+		}, true
+	}
+	return wire.HandoffGrant{}, false
+}
+
+// handleHandoffDone resolves one granted handoff: on success the RD row
+// is atomically repointed at the new host and marked fresh, so the
+// owner's next checkAlloc revalidates to the copy instead of falling
+// back to disk; on failure the pre-allocated target is released.
+func (m *Manager) handleHandoffDone(req *wire.HandoffDone) wire.Message {
+	m.mu.Lock()
+	var g *handoffGrant
+	if dh := m.draining[req.HostAddr]; dh != nil {
+		g = dh.grants[req.OldRegionID]
+		delete(dh.grants, req.OldRegionID)
+	}
+	if g == nil {
+		m.mu.Unlock()
+		return &wire.HostStatusAck{Status: wire.StatusNotFound}
+	}
+	freeTarget := false
+	if req.Status == wire.StatusOK {
+		if e, ok := m.rd[g.key]; ok && e.region.HostAddr == req.HostAddr {
+			m.handoffLog = append(m.handoffLog, fmt.Sprintf("%v %s/%d -> %s/%d",
+				g.key, req.HostAddr, req.OldRegionID, g.target.HostAddr, g.target.RegionID))
+			e.region = g.target
+			e.fresh = true
+			m.handoffPagesMoved++
+		} else {
+			freeTarget = true // freed or re-placed while the push ran
+		}
+	} else {
+		m.handoffAborts++
+		freeTarget = true
+	}
+	addr, id := g.target.HostAddr, g.target.RegionID
+	m.mu.Unlock()
+	if freeTarget {
+		m.ep.Notify(addr, &wire.IMDFreeReq{RegionID: id})
+	}
+	m.logf("cmd: handoff of %s/%d done: %v", req.HostAddr, req.OldRegionID, req.Status)
+	return &wire.HostStatusAck{Status: wire.StatusOK}
+}
+
+// HandoffSchedule returns the ordered log of region repointings made by
+// graceful-reclaim handoffs, for same-seed determinism checks.
+func (m *Manager) HandoffSchedule() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.handoffLog...)
 }
 
 // trackClientLocked registers a client for keep-alive monitoring.
@@ -494,9 +745,14 @@ func (m *Manager) keepAliveLoop() {
 					// counters; remember the latest report.
 					if ack, isAck := resp.(*wire.KeepAliveAck); isAck {
 						m.recov[addr] = recovCounters{
-							drops:         ack.Drops,
-							revalidations: ack.Revalidations,
-							reopens:       ack.Reopens,
+							drops:          ack.Drops,
+							revalidations:  ack.Revalidations,
+							reopens:        ack.Reopens,
+							handoffAdopts:  ack.HandoffAdopts,
+							hedgedReads:    ack.HedgedReads,
+							hedgeWins:      ack.HedgeWins,
+							hedgeWasted:    ack.HedgeWasted,
+							retryExhausted: ack.RetryExhausted,
 						}
 					}
 					m.mu.Unlock()

@@ -3,6 +3,7 @@ package pool
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Pool couples an Allocator with the actual byte storage and a region
@@ -125,6 +126,16 @@ func (p *Pool) Size() uint64 { return p.alloc.Size() }
 
 // Regions returns the number of live regions.
 func (p *Pool) Regions() int { return len(p.regions) }
+
+// RegionIDs returns the ids of all live regions in ascending order.
+func (p *Pool) RegionIDs() []uint64 {
+	ids := make([]uint64, 0, len(p.regions))
+	for id := range p.regions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
 
 // Allocator exposes the underlying allocator (for stats and ablations).
 func (p *Pool) Allocator() Allocator { return p.alloc }

@@ -1,0 +1,123 @@
+package retry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dodo/internal/sim"
+)
+
+var t0 = time.Date(1999, 8, 2, 12, 0, 0, 0, time.UTC)
+
+func TestConstantPolicyMatchesLegacyCallTiming(t *testing.T) {
+	// The legacy call path sent retries+1 times, each waiting timeout.
+	// The derived policy {Base: timeout, Deadline: (retries+1)*timeout,
+	// Factor: 1} must hand out exactly retries+1 delays of timeout each.
+	clock := sim.NewVirtualClock(t0)
+	const timeout = 100 * time.Millisecond
+	const retries = 4
+	b := New(Policy{Base: timeout, Deadline: (retries + 1) * timeout, Factor: 1}, clock, nil)
+	for i := 0; i <= retries; i++ {
+		d, ok := b.Next()
+		if !ok {
+			t.Fatalf("attempt %d: budget exhausted early", i)
+		}
+		if d != timeout {
+			t.Fatalf("attempt %d: delay = %v, want %v", i, d, timeout)
+		}
+		clock.Advance(d)
+	}
+	if _, ok := b.Next(); ok {
+		t.Fatalf("budget should be exhausted after %d attempts", retries+1)
+	}
+	if b.Attempts() != retries+1 {
+		t.Fatalf("Attempts() = %d, want %d", b.Attempts(), retries+1)
+	}
+}
+
+func TestExponentialGrowthAndCap(t *testing.T) {
+	clock := sim.NewVirtualClock(t0)
+	b := New(Policy{Base: 10 * time.Millisecond, Cap: 40 * time.Millisecond, Factor: 2}, clock, nil)
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		d, ok := b.Next()
+		if !ok {
+			t.Fatalf("attempt %d: exhausted with no deadline set", i)
+		}
+		if d != w*time.Millisecond {
+			t.Fatalf("attempt %d: delay = %v, want %v", i, d, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDeadlineTruncatesFinalDelay(t *testing.T) {
+	clock := sim.NewVirtualClock(t0)
+	b := New(Policy{Base: 60 * time.Millisecond, Deadline: 100 * time.Millisecond, Factor: 1}, clock, nil)
+	d, ok := b.Next()
+	if !ok || d != 60*time.Millisecond {
+		t.Fatalf("first delay = %v/%v", d, ok)
+	}
+	clock.Advance(d)
+	d, ok = b.Next()
+	if !ok {
+		t.Fatal("second attempt should fit in the deadline")
+	}
+	if d != 40*time.Millisecond {
+		t.Fatalf("second delay = %v, want truncation to 40ms", d)
+	}
+	clock.Advance(d)
+	if _, ok := b.Next(); ok {
+		t.Fatal("budget must be exhausted at the deadline")
+	}
+}
+
+func TestResetReopensDeadline(t *testing.T) {
+	clock := sim.NewVirtualClock(t0)
+	b := New(Policy{Base: 50 * time.Millisecond, Deadline: 100 * time.Millisecond, Factor: 2}, clock, nil)
+	for i := 0; i < 10; i++ {
+		d, ok := b.Next()
+		if !ok {
+			t.Fatalf("iteration %d: budget exhausted despite Reset on progress", i)
+		}
+		if d != 50*time.Millisecond {
+			t.Fatalf("iteration %d: delay = %v, want Base after Reset", i, d)
+		}
+		clock.Advance(d)
+		b.Reset()
+	}
+}
+
+func TestJitterIsSeededAndBounded(t *testing.T) {
+	mk := func(seed int64) []time.Duration {
+		clock := sim.NewVirtualClock(t0)
+		rng := rand.New(rand.NewSource(seed))
+		b := New(Policy{Base: 100 * time.Millisecond, Factor: 1, Jitter: 0.2}, clock, rng)
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			d, _ := b.Next()
+			out = append(out, d)
+		}
+		return out
+	}
+	a, b2 := mk(7), mk(7)
+	for i := range a {
+		if a[i] != b2[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b2[i])
+		}
+		lo, hi := 80*time.Millisecond, 120*time.Millisecond
+		if a[i] < lo || a[i] > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", a[i], lo, hi)
+		}
+	}
+	c := mk(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}

@@ -42,7 +42,17 @@ func FuzzWireRoundTrip(f *testing.F) {
 			Status:  StatusOK,
 			Hosts:   []HostInfo{{Addr: "ws-2:7070", Epoch: 1, AvailBytes: 32 << 20, LargestFree: 8 << 20}},
 			Regions: 4, Clients: 2, Allocs: 17, Frees: 13,
+			HandoffOffers: 2, HandoffPagesMoved: 5, ClientHedgedReads: 3,
 		},
+		&HandoffOffer{HostAddr: "ws-1:7071", Epoch: 4, Regions: []HandoffRegion{
+			{RegionID: 3, Length: 1 << 16, Reads: 12},
+			{RegionID: 7, Length: 1 << 18, Reads: 2},
+		}},
+		&HandoffAccept{Status: StatusOK, Grants: []HandoffGrant{
+			{OldRegionID: 3, Target: Region{HostAddr: "ws-2:7070", RegionID: 41, PoolOffset: 0, Length: 1 << 16, Epoch: 9}},
+		}},
+		&HandoffPage{RegionID: 41, Epoch: 9, Length: 1 << 16, TransferID: 77},
+		&HandoffDone{HostAddr: "ws-1:7071", OldRegionID: 3, Status: StatusOK},
 	}
 	for _, msg := range populated {
 		frame, err := Encode(99, msg)

@@ -98,6 +98,14 @@ func newMessage(t Type) Message {
 		return &ClusterStatsReq{}
 	case TClusterStatsResp:
 		return &ClusterStatsResp{}
+	case THandoffOffer:
+		return &HandoffOffer{}
+	case THandoffAccept:
+		return &HandoffAccept{}
+	case THandoffPage:
+		return &HandoffPage{}
+	case THandoffDone:
+		return &HandoffDone{}
 	}
 	return nil
 }
@@ -210,24 +218,34 @@ func (m *CheckAllocReq) decode(b []byte) error {
 }
 
 // CheckAllocResp returns the region descriptor if the epoch check passed.
+// Fresh marks a descriptor whose backing region was populated by a
+// graceful-reclaim handoff: the new host already holds every byte the
+// client had confirmed, so a recovering client with no unconfirmed
+// writes may adopt the mapping without repopulating from disk.
 type CheckAllocResp struct {
 	Status Status
+	Fresh  bool
 	Region Region
 }
 
 func (*CheckAllocResp) Kind() Type         { return TCheckAllocResp }
-func (m *CheckAllocResp) payloadSize() int { return 1 + m.Region.encodedSize() }
+func (m *CheckAllocResp) payloadSize() int { return 2 + m.Region.encodedSize() }
 func (m *CheckAllocResp) encode(b []byte) error {
 	b[0] = uint8(m.Status)
-	_, err := putRegion(b[1:], m.Region)
+	b[1] = 0
+	if m.Fresh {
+		b[1] = 1
+	}
+	_, err := putRegion(b[2:], m.Region)
 	return err
 }
 func (m *CheckAllocResp) decode(b []byte) error {
-	if len(b) < 1 {
+	if len(b) < 2 {
 		return ErrTruncated
 	}
 	m.Status = Status(b[0])
-	r, _, err := getRegion(b[1:])
+	m.Fresh = b[1] != 0
+	r, _, err := getRegion(b[2:])
 	if err != nil {
 		return err
 	}
@@ -269,25 +287,48 @@ type KeepAliveAck struct {
 	// Reopens counts regions transparently re-opened and repopulated
 	// after a drop.
 	Reopens uint64
+	// HandoffAdopts counts regions re-adopted from a graceful-reclaim
+	// handoff target without disk repopulation.
+	HandoffAdopts uint64
+	// HedgedReads / HedgeWins / HedgeWasted count hedged read
+	// decisions: backup disk reads issued when the remote exceeded its
+	// latency threshold, how many the disk won, and how many remote
+	// replies arrived after the hedge already answered.
+	HedgedReads uint64
+	HedgeWins   uint64
+	HedgeWasted uint64
+	// RetryExhausted counts operations whose unified retry budget ran
+	// dry at this client's endpoint.
+	RetryExhausted uint64
 }
 
 func (*KeepAliveAck) Kind() Type       { return TKeepAliveAck }
-func (*KeepAliveAck) payloadSize() int { return 4 + 3*8 }
+func (*KeepAliveAck) payloadSize() int { return 4 + 8*8 }
 func (m *KeepAliveAck) encode(b []byte) error {
 	binary.BigEndian.PutUint32(b, m.ClientID)
 	binary.BigEndian.PutUint64(b[4:], m.Drops)
 	binary.BigEndian.PutUint64(b[12:], m.Revalidations)
 	binary.BigEndian.PutUint64(b[20:], m.Reopens)
+	binary.BigEndian.PutUint64(b[28:], m.HandoffAdopts)
+	binary.BigEndian.PutUint64(b[36:], m.HedgedReads)
+	binary.BigEndian.PutUint64(b[44:], m.HedgeWins)
+	binary.BigEndian.PutUint64(b[52:], m.HedgeWasted)
+	binary.BigEndian.PutUint64(b[60:], m.RetryExhausted)
 	return nil
 }
 func (m *KeepAliveAck) decode(b []byte) error {
-	if len(b) < 28 {
+	if len(b) < 68 {
 		return ErrTruncated
 	}
 	m.ClientID = binary.BigEndian.Uint32(b)
 	m.Drops = binary.BigEndian.Uint64(b[4:])
 	m.Revalidations = binary.BigEndian.Uint64(b[12:])
 	m.Reopens = binary.BigEndian.Uint64(b[20:])
+	m.HandoffAdopts = binary.BigEndian.Uint64(b[28:])
+	m.HedgedReads = binary.BigEndian.Uint64(b[36:])
+	m.HedgeWins = binary.BigEndian.Uint64(b[44:])
+	m.HedgeWasted = binary.BigEndian.Uint64(b[52:])
+	m.RetryExhausted = binary.BigEndian.Uint64(b[60:])
 	return nil
 }
 

@@ -40,13 +40,18 @@ type ClusterStatsResp struct {
 	// Client recovery counters, aggregated from keep-alive acks
 	// (including clients since reclaimed).
 	ClientDrops, ClientRevalidations, ClientReopens uint64
+	// Graceful-reclaim handoff counters (manager side).
+	HandoffOffers, HandoffPagesMoved, HandoffAborts uint64
+	// Hedge/retry/adopt counters, aggregated from keep-alive acks.
+	ClientHandoffAdopts, ClientHedgedReads, ClientHedgeWins uint64
+	ClientHedgeWasted, ClientRetryExhausted                 uint64
 }
 
 // Kind returns the wire type tag.
 func (*ClusterStatsResp) Kind() Type { return TClusterStatsResp }
 
 func (m *ClusterStatsResp) payloadSize() int {
-	n := 1 + 2 + 10*8
+	n := 1 + 2 + 18*8
 	for _, h := range m.Hosts {
 		n += h.encodedSize()
 	}
@@ -68,8 +73,16 @@ func (m *ClusterStatsResp) encode(b []byte) error {
 	binary.BigEndian.PutUint64(b[57:], m.ClientDrops)
 	binary.BigEndian.PutUint64(b[65:], m.ClientRevalidations)
 	binary.BigEndian.PutUint64(b[73:], m.ClientReopens)
-	binary.BigEndian.PutUint16(b[81:], uint16(len(m.Hosts)))
-	at := 83
+	binary.BigEndian.PutUint64(b[81:], m.HandoffOffers)
+	binary.BigEndian.PutUint64(b[89:], m.HandoffPagesMoved)
+	binary.BigEndian.PutUint64(b[97:], m.HandoffAborts)
+	binary.BigEndian.PutUint64(b[105:], m.ClientHandoffAdopts)
+	binary.BigEndian.PutUint64(b[113:], m.ClientHedgedReads)
+	binary.BigEndian.PutUint64(b[121:], m.ClientHedgeWins)
+	binary.BigEndian.PutUint64(b[129:], m.ClientHedgeWasted)
+	binary.BigEndian.PutUint64(b[137:], m.ClientRetryExhausted)
+	binary.BigEndian.PutUint16(b[145:], uint16(len(m.Hosts)))
+	at := 147
 	for _, h := range m.Hosts {
 		n, err := putString(b[at:], h.Addr)
 		if err != nil {
@@ -85,7 +98,7 @@ func (m *ClusterStatsResp) encode(b []byte) error {
 }
 
 func (m *ClusterStatsResp) decode(b []byte) error {
-	if len(b) < 83 {
+	if len(b) < 147 {
 		return ErrTruncated
 	}
 	m.Status = Status(b[0])
@@ -99,8 +112,16 @@ func (m *ClusterStatsResp) decode(b []byte) error {
 	m.ClientDrops = binary.BigEndian.Uint64(b[57:])
 	m.ClientRevalidations = binary.BigEndian.Uint64(b[65:])
 	m.ClientReopens = binary.BigEndian.Uint64(b[73:])
-	count := int(binary.BigEndian.Uint16(b[81:]))
-	at := 83
+	m.HandoffOffers = binary.BigEndian.Uint64(b[81:])
+	m.HandoffPagesMoved = binary.BigEndian.Uint64(b[89:])
+	m.HandoffAborts = binary.BigEndian.Uint64(b[97:])
+	m.ClientHandoffAdopts = binary.BigEndian.Uint64(b[105:])
+	m.ClientHedgedReads = binary.BigEndian.Uint64(b[113:])
+	m.ClientHedgeWins = binary.BigEndian.Uint64(b[121:])
+	m.ClientHedgeWasted = binary.BigEndian.Uint64(b[129:])
+	m.ClientRetryExhausted = binary.BigEndian.Uint64(b[137:])
+	count := int(binary.BigEndian.Uint16(b[145:]))
+	at := 147
 	m.Hosts = make([]HostInfo, 0, count)
 	for i := 0; i < count; i++ {
 		addr, n, err := getString(b[at:])

@@ -70,6 +70,12 @@ const (
 	TClusterStatsReq
 	TClusterStatsResp
 
+	// Graceful-reclaim handoff (draining imd <-> cmd, imd <-> imd).
+	THandoffOffer
+	THandoffAccept
+	THandoffPage
+	THandoffDone
+
 	typeSentinel // keep last
 )
 
@@ -100,6 +106,11 @@ var typeNames = map[Type]string{
 
 	TClusterStatsReq:  "cluster-stats-req",
 	TClusterStatsResp: "cluster-stats-resp",
+
+	THandoffOffer:  "handoff-offer",
+	THandoffAccept: "handoff-accept",
+	THandoffPage:   "handoff-page",
+	THandoffDone:   "handoff-done",
 }
 
 func (t Type) String() string {

@@ -37,9 +37,10 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&FreeReq{Key: key},
 		&FreeResp{Status: StatusNotFound},
 		&CheckAllocReq{Key: key},
-		&CheckAllocResp{Status: StatusStale, Region: region},
+		&CheckAllocResp{Status: StatusStale, Fresh: true, Region: region},
 		&KeepAlive{ClientID: 77},
-		&KeepAliveAck{ClientID: 77, Drops: 3, Revalidations: 2, Reopens: 1},
+		&KeepAliveAck{ClientID: 77, Drops: 3, Revalidations: 2, Reopens: 1,
+			HandoffAdopts: 4, HedgedReads: 9, HedgeWins: 5, HedgeWasted: 3, RetryExhausted: 1},
 		&HostStatus{HostAddr: "host3:9000", State: HostIdle, Epoch: 5, AvailBytes: 100 << 20, LargestFree: 64 << 20},
 		&HostStatusAck{Status: StatusOK},
 		&IMDAllocReq{RegionID: 42, Length: 8192},
@@ -54,6 +55,15 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&BulkData{TransferID: 9001, Seq: 17, Payload: []byte("hello dodo")},
 		&BulkNack{TransferID: 9001, Missing: []uint32{3, 5, 8}},
 		&BulkDone{TransferID: 9001, Status: StatusOK},
+		&HandoffOffer{HostAddr: "host3:9000", Epoch: 5, Regions: []HandoffRegion{
+			{RegionID: 42, Length: 8192, Reads: 31},
+			{RegionID: 43, Length: 4096, Reads: 7},
+		}},
+		&HandoffAccept{Status: StatusOK, Grants: []HandoffGrant{
+			{OldRegionID: 42, Target: region},
+		}},
+		&HandoffPage{RegionID: 99, Epoch: 12, Length: 8192, TransferID: 9002},
+		&HandoffDone{HostAddr: "host3:9000", OldRegionID: 42, Status: StatusBusy},
 	}
 	for _, msg := range msgs {
 		got := roundTrip(t, 12345, msg)

@@ -28,6 +28,9 @@ go test -race -tags lockcheck ./...
 go test -fuzz=FuzzWireRoundTrip -fuzztime=10s -run '^$' ./internal/wire/
 
 # Seeded fault-injection sweep: deterministic schedules plus the full
-# churn acceptance run. Separate invocation so a hang or flake here is
-# attributable to the failure paths, not the unit suites above.
-go test -race -run 'TestFaultScheduleDeterministic|TestSeededFaultSweep' -count=2 -timeout 600s ./internal/cluster/
+# churn acceptance run, now including the graceful-reclaim handoff
+# acceptance tests (pages hand off to peers on owner return, same seed
+# => identical handoff schedule, reclaim mid-bulk-read stays correct).
+# Separate invocation so a hang or flake here is attributable to the
+# failure paths, not the unit suites above.
+go test -race -run 'TestFaultScheduleDeterministic|TestSeededFaultSweep|TestGracefulReclaimHandoff|TestHandoffScheduleDeterministic|TestReclaimDuringBulkRead' -count=2 -timeout 600s ./internal/cluster/
