@@ -118,6 +118,16 @@ type regionState struct {
 	// applying it. Success here would let the caller trust a stale
 	// remote copy.
 	gen uint64
+	// diskDirty records that, while the descriptor was invalid, the
+	// app was told the region cannot take writes (a failed Mwrite, or
+	// CheckAlloc reporting the mapping gone) — its documented recourse
+	// is writing the backing file directly, and such writes never touch
+	// the sequence counters. While set, a graceful-reclaim handoff copy
+	// must not be adopted (it may be behind the disk); only an
+	// end-to-end repopulation from the backing file clears it. A failed
+	// Mread deliberately does not set the flag: refusing a read gives
+	// the app no new license to write anywhere.
+	diskDirty bool
 }
 
 // Client is the Dodo runtime library instance linked into an
@@ -410,6 +420,19 @@ func (c *Client) dropHost(addr string) {
 	}
 }
 
+// markDiskDirty flags fd's region as possibly behind the backing file:
+// the app has just been told the region cannot take a write, so its
+// sanctioned fallback — writing the backing file directly — may happen
+// at any point from here until a repopulation pushes the disk bytes
+// back end-to-end. See regionState.diskDirty.
+func (c *Client) markDiskDirty(fd int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.regions[fd]; ok {
+		r.diskDirty = true
+	}
+}
+
 // Mread reads up to len(buf) bytes at offset within the region into buf
 // (§3.2). It returns the number of bytes read, which is short if fewer
 // bytes are available at that offset. ErrNoMem reports an inactive
@@ -532,6 +555,21 @@ func (c *Client) hedgeDelay(addr string, epoch uint64) (time.Duration, bool) {
 	return d, true
 }
 
+// tryHedgeLeg registers one hedged-read goroutine with hedgeWG, unless
+// the client is closed. The closed check and the Add share c.mu with
+// Close's flag flip, which happens strictly before Close calls
+// hedgeWG.Wait — so the WaitGroup counter can never rise from zero
+// while Wait is running (the documented WaitGroup misuse).
+func (c *Client) tryHedgeLeg() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	c.hedgeWG.Add(1)
+	return true
+}
+
 // hedgedRead issues the remote read and, if it is still outstanding
 // after delay, a backup read from the backing file; the first success
 // wins. The backing is authoritative for every confirmed write (Mwrite
@@ -544,7 +582,15 @@ func (c *Client) hedgedRead(r regionState, offset, want int64, buf []byte, delay
 		err  error
 	}
 	remoteCh := make(chan result, 1)
-	c.hedgeWG.Add(1)
+	if !c.tryHedgeLeg() {
+		// Closing underneath us: run the remote read synchronously so
+		// no goroutine outlives Close's hedgeWG.Wait.
+		data, err := c.remoteRead(r, offset, want)
+		if err != nil {
+			return -1, err
+		}
+		return c.finishRemoteRead(buf, data), nil
+	}
 	go func() {
 		defer c.hedgeWG.Done()
 		data, err := c.remoteRead(r, offset, want)
@@ -562,11 +608,19 @@ func (c *Client) hedgedRead(r regionState, offset, want int64, buf []byte, delay
 	case <-timerCh:
 	}
 	// The remote is slow: race a backing-file read against it.
+	diskCh := make(chan result, 1)
+	if !c.tryHedgeLeg() {
+		// Closing underneath us: skip the backup leg and wait out the
+		// remote (its WaitGroup slot predates Close's Wait).
+		res := <-remoteCh
+		if res.err != nil {
+			return -1, res.err
+		}
+		return c.finishRemoteRead(buf, res.data), nil
+	}
 	c.mu.Lock()
 	c.hedgedReads++
 	c.mu.Unlock()
-	diskCh := make(chan result, 1)
-	c.hedgeWG.Add(1)
 	go func() {
 		defer c.hedgeWG.Done()
 		data := make([]byte, want)
@@ -611,15 +665,21 @@ func (c *Client) hedgedRead(r regionState, offset, want int64, buf []byte, delay
 		c.mu.Unlock()
 		// Join the losing leg in the background so its latency sample
 		// or host drop still lands.
-		c.hedgeWG.Add(1)
-		go func() {
-			defer c.hedgeWG.Done()
-			if res := <-remoteCh; res.err == nil {
-				c.mu.Lock()
-				c.hedgeWasted++
-				c.mu.Unlock()
-			}
-		}()
+		if c.tryHedgeLeg() {
+			go func() {
+				defer c.hedgeWG.Done()
+				if res := <-remoteCh; res.err == nil {
+					c.mu.Lock()
+					c.hedgeWasted++
+					c.mu.Unlock()
+				}
+			}()
+		} else if res := <-remoteCh; res.err == nil {
+			// Closing: drain the remote leg inline instead.
+			c.mu.Lock()
+			c.hedgeWasted++
+			c.mu.Unlock()
+		}
 		return copy(buf, d.data), nil
 	}
 }
@@ -640,6 +700,10 @@ func (c *Client) Mwrite(fd int, offset int64, buf []byte) (int, error) {
 		return -1, fmt.Errorf("%w: offset %d in %d-byte region", ErrInval, offset, r.length)
 	}
 	if !r.valid {
+		// The app is being told the region can't take this write; it
+		// may now legitimately write the backing file directly, which
+		// bumps no sequence — so any handoff snapshot is unadoptable.
+		c.markDiskDirty(fd)
 		return -1, fmt.Errorf("%w: region %d is not active", ErrNoMem, fd)
 	}
 	want := int64(len(buf))
@@ -671,6 +735,10 @@ func (c *Client) Mwrite(fd int, offset int64, buf []byte) (int, error) {
 	}
 	if remoteErr != nil {
 		c.dropHost(r.remote.HostAddr)
+		// Belt and braces: the unconfirmed announcement already blocks
+		// adoption via the write-seq gate, but the app is also being
+		// told to fall back to disk-only writes from here on.
+		c.markDiskDirty(fd)
 		return -1, fmt.Errorf("%w: remote write failed: %v", ErrNoMem, remoteErr)
 	}
 	c.mu.Lock()
@@ -820,7 +888,21 @@ func (c *Client) CheckAlloc(fd int) (bool, error) {
 			live.valid = false
 			live.gen++
 		}
+		// The caller now knows the region can't take writes and may go
+		// disk-only; any handoff snapshot is unadoptable until a
+		// repopulation pushes the backing bytes back.
+		live.diskDirty = true
 		return false, nil
+	}
+	if ca.Fresh && !live.valid {
+		// A graceful-reclaim handoff copy. Same adoption gate as the
+		// recovery loop (see adoptHandoff): the write-seq gate must be
+		// settled and no disk-only writes may have happened since the
+		// drop, else the copy could be behind the backing file.
+		if c.writeSeq[live.key] != c.confirmedSeq[live.key] || live.diskDirty {
+			return false, nil
+		}
+		c.handoffAdopts++
 	}
 	live.remote = ca.Region
 	live.valid = true

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
@@ -173,5 +174,59 @@ func TestHedgedReadSurvivesDeadHost(t *testing.T) {
 			t.Fatalf("remote failure never dropped the host for recovery: %+v", s.cli.Stats())
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCloseDuringHedgedReads: Close must be able to join in-flight
+// hedged-read legs without tripping the WaitGroup reuse rule — the
+// counter must never rise from zero while Close's Wait runs. Readers
+// race Close from several goroutines; under the race detector (and
+// often without it) an unguarded hedgeWG.Add panics here.
+func TestCloseDuringHedgedReads(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		s := hedgeStack(t, 1)
+		back := NewMemBacking(uint64(70+round), 1<<20)
+		fd, err := s.cli.Mopen(8192, back, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := bytes.Repeat([]byte{0x42}, 8192)
+		if _, err := s.cli.Mwrite(fd, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+		// One warm read records a latency sample, so every read below
+		// spawns hedge legs.
+		buf := make([]byte, 8192)
+		if _, err := s.cli.Mread(fd, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			go func() {
+				defer func() { done <- struct{}{} }()
+				b := make([]byte, 8192)
+				for {
+					if _, err := s.cli.Mread(fd, 0, b); errors.Is(err, ErrClosed) {
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(time.Duration(10+10*round) * time.Millisecond)
+		s.cli.Close()
+		for g := 0; g < 4; g++ {
+			<-done
+		}
+	}
+}
+
+// TestHedgeLegRefusedAfterClose pins the gate directly: once Close has
+// flipped the flag, no code path may register new hedge legs (the
+// WaitGroup counter must never rise from zero while Close waits).
+func TestHedgeLegRefusedAfterClose(t *testing.T) {
+	s := hedgeStack(t, 1)
+	s.cli.Close()
+	if s.cli.tryHedgeLeg() {
+		t.Fatal("tryHedgeLeg succeeded on a closed client")
 	}
 }

@@ -135,7 +135,8 @@ func (c *Client) recoverRegion(fd int) bool {
 	}
 	// A fresh mapping is a graceful-reclaim handoff copy holding every
 	// byte this client ever had confirmed; if the write-seq gate is
-	// settled it can be adopted outright, skipping the repopulation.
+	// settled and no disk-only writes could have happened since the
+	// drop, it can be adopted outright, skipping the repopulation.
 	if ca.Fresh && c.adoptHandoff(fd, r.key, ca.Region) {
 		c.logf("dodo: adopted handoff copy for fd %d on %s region %d", fd, ca.Region.HostAddr, ca.Region.RegionID)
 		return true
@@ -156,25 +157,39 @@ func (c *Client) recoverRegion(fd int) bool {
 	if !live.valid {
 		live.remote = ca.Region
 		live.valid = true
+		// The push carried the backing bytes end-to-end, so any
+		// disk-only writes made while invalid are now remote too.
+		live.diskDirty = false
 	}
 	return true
 }
 
 // adoptHandoff flips fd onto a handoff-fresh region without disk
-// repopulation. Safe only when the write-seq gate is settled — every
-// announced write was confirmed, so the handoff copy (snapshotted
-// after the draining host stopped admitting writes) holds them all. An
-// outstanding unconfirmed announcement means the disk may be ahead of
-// the copy; the caller repopulates instead.
+// repopulation. Safe only when the handoff copy provably holds every
+// byte the backing file does:
+//
+//   - the write-seq gate is settled (writeSeq == confirmedSeq), so every
+//     announced write was confirmed before the drain snapshot — an
+//     outstanding unconfirmed announcement means the disk may be ahead
+//     of the copy; and
+//   - the descriptor is not disk-dirty: the app was never told this
+//     region cannot take writes, so it had no sanctioned occasion to
+//     write the backing file directly. Disk-only writes never touch the
+//     sequence counters, which is why the gate alone cannot rule them
+//     out — a drop triggered by a read refusal bumps no sequence, yet
+//     the app may have gone disk-only the moment an Mwrite failed.
+//
+// When either check fails the caller repopulates from the backing file,
+// which settles both concerns at once.
 func (c *Client) adoptHandoff(fd int, key wire.RegionKey, reg wire.Region) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.writeSeq[key] != c.confirmedSeq[key] {
-		return false
-	}
 	live, present := c.regions[fd]
 	if !present || live.valid {
 		return true // closed or revived underneath us; nothing to adopt
+	}
+	if c.writeSeq[key] != c.confirmedSeq[key] || live.diskDirty {
+		return false
 	}
 	live.remote = reg
 	live.valid = true
@@ -237,6 +252,7 @@ func (c *Client) reopenRegion(fd int) bool {
 	}
 	live.remote = ar.Region
 	live.valid = true
+	live.diskDirty = false // the push carried the backing bytes
 	c.reopens++
 	c.logf("dodo: re-opened fd %d -> %s region %d after drop", fd, ar.Region.HostAddr, ar.Region.RegionID)
 	return true

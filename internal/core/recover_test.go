@@ -307,3 +307,109 @@ func TestZeroLengthMwriteShortCircuits(t *testing.T) {
 		}
 	}
 }
+
+// TestHandoffAdoptionBlockedByDiskOnlyWrites: a graceful drain repoints
+// the region to a Fresh handoff copy, but the client only learns about
+// the drain from a failed read (which bumps no write sequence). If the
+// app then goes disk-only — the documented ErrNoMem fallback — the
+// handoff copy is behind the backing file even though the write-seq
+// gate is settled. Recovery must refuse to adopt the Fresh copy and
+// repopulate it from disk instead.
+func TestHandoffAdoptionBlockedByDiskOnlyWrites(t *testing.T) {
+	n := transport.NewNetwork(transport.WithMTU(1500))
+	mgr := manager.New(n.Host("cmd"), manager.Config{
+		KeepAliveInterval: 200 * time.Millisecond,
+		KeepAliveMisses:   8,
+		HandoffGrace:      10 * time.Second,
+		Endpoint:          fastEp(),
+	})
+	var imds []*imd.Daemon
+	for i := 0; i < 2; i++ {
+		imds = append(imds, imd.New(n.Host("imd"+string(rune('0'+i))), imd.Config{
+			ManagerAddr: "cmd", PoolSize: 1 << 20, Epoch: uint64(i + 1),
+			StatusInterval: 100 * time.Millisecond,
+			GraceWindow:    2 * time.Second,
+			Endpoint:       fastEp(),
+		}))
+	}
+	cli := New(n.Host("client"), Config{
+		ManagerAddr: "cmd", ClientID: 1,
+		RefractionPeriod: 2 * time.Second,
+		RecoveryBackoff:  250 * time.Millisecond,
+		DisableHedging:   true,
+		Endpoint:         fastEp(),
+	})
+	t.Cleanup(func() {
+		cli.Close()
+		for _, d := range imds {
+			d.Close()
+		}
+		mgr.Close()
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for mgr.Stats().IdleHosts != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("imds never registered")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	back := NewMemBacking(90, 1<<20)
+	fd, err := cli.Mopen(8192, back, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := bytes.Repeat([]byte{0xaa}, 8192)
+	if _, err := cli.Mwrite(fd, 0, old); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain whichever imd holds the region; its handoff pushes the old
+	// payload to the peer and the manager repoints the RD row Fresh.
+	host, ok := cli.RegionHost(fd)
+	if !ok {
+		t.Fatal("no region host")
+	}
+	var victim *imd.Daemon
+	for _, d := range imds {
+		if d.Addr() == host {
+			victim = d
+		}
+	}
+	victim.Drain()
+
+	// The client finds out the hard way: a read against the torn-down
+	// host fails and drops the descriptor without bumping any sequence.
+	buf := make([]byte, 8192)
+	if _, err := cli.Mread(fd, 0, buf); !errors.Is(err, ErrNoMem) {
+		t.Fatalf("Mread after drain = %v, want ErrNoMem", err)
+	}
+	// The app retries the write, is told the region can't take it, and
+	// goes disk-only — exactly what the ErrNoMem contract prescribes.
+	if _, err := cli.Mwrite(fd, 0, bytes.Repeat([]byte{0xbb}, 8192)); !errors.Is(err, ErrNoMem) {
+		t.Fatalf("Mwrite after drop = %v, want ErrNoMem", err)
+	}
+	fresh := bytes.Repeat([]byte{0xbb}, 8192)
+	if _, err := back.WriteAt(fresh, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery must repopulate from the backing file, not adopt the
+	// stale-but-Fresh handoff copy.
+	deadline = time.Now().Add(15 * time.Second)
+	for !cli.RegionValid(fd) {
+		if time.Now().After(deadline) {
+			t.Fatal("region never recovered")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := cli.Stats().HandoffAdopts; got != 0 {
+		t.Fatalf("HandoffAdopts = %d, want 0 (disk-dirty region adopted)", got)
+	}
+	if _, err := cli.Mread(fd, 0, buf); err != nil {
+		t.Fatalf("Mread after recovery: %v", err)
+	}
+	if !bytes.Equal(buf, fresh) {
+		t.Fatal("recovered region serves the pre-drain bytes: disk-only write lost")
+	}
+}

@@ -186,6 +186,118 @@ func TestHandoffAbortFreesTargetAndExpiresToStale(t *testing.T) {
 	}
 }
 
+// grantOne sets up the standard two-host drain scene on r: imd1
+// (epoch 2) holds one allocated region, imd2 (epoch 9) arrives after
+// the allocation, imd1 announces Busy and offers its region, and the
+// manager grants a pre-allocated target on imd2. Returns the region
+// key, the old region id, the grant, and the peer imd.
+func grantOne(t *testing.T, r *testRig) (wire.RegionKey, uint64, wire.HandoffGrant, *fakeIMD) {
+	t.Helper()
+	src := newFakeIMD(r.n, "imd1", 1<<20, 2)
+	t.Cleanup(func() { src.ep.Close() })
+	registerHost(t, r.cli, "cmd", "imd1", 2, 1<<20)
+	k := key(6, 0)
+	resp, err := r.cli.Call("cmd", &wire.AllocReq{Key: k, Length: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := resp.(*wire.AllocResp)
+	if ar.Status != wire.StatusOK || ar.Region.HostAddr != "imd1" {
+		t.Fatalf("alloc = %+v", ar)
+	}
+	dst := newFakeIMD(r.n, "imd2", 1<<20, 9)
+	t.Cleanup(func() { dst.ep.Close() })
+	registerHost(t, r.cli, "cmd", "imd2", 9, 1<<20)
+	drainHost(t, r, "imd1", 2)
+	resp, err = r.cli.Call("cmd", &wire.HandoffOffer{
+		HostAddr: "imd1", Epoch: 2,
+		Regions: []wire.HandoffRegion{{RegionID: ar.Region.RegionID, Length: 4096}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := resp.(*wire.HandoffAccept)
+	if acc.Status != wire.StatusOK || len(acc.Grants) != 1 {
+		t.Fatalf("HandoffAccept = %+v", acc)
+	}
+	if !dst.has(acc.Grants[0].Target.RegionID) {
+		t.Fatal("grant has no pre-allocation behind it")
+	}
+	return k, ar.Region.RegionID, acc.Grants[0], dst
+}
+
+// TestDuplicateHostBusyKeepsGrants: the HostBusy announce travels via
+// ep.Call, which retransmits — a delayed duplicate arriving after the
+// HandoffOffer registered grants must not replace the overlay (that
+// would wipe the grants map, so the HandoffDone below would find
+// nothing to repoint and the pre-allocated target would leak).
+func TestDuplicateHostBusyKeepsGrants(t *testing.T) {
+	r := handoffRig(t, 10*time.Second)
+	k, oldID, g, dst := grantOne(t, r)
+
+	// The delayed duplicate of the original announce lands now.
+	drainHost(t, r, "imd1", 2)
+
+	resp, err := r.cli.Call("cmd", &wire.HandoffDone{HostAddr: "imd1", OldRegionID: oldID, Status: wire.StatusOK})
+	if err != nil || resp.(*wire.HostStatusAck).Status != wire.StatusOK {
+		t.Fatalf("HandoffDone after duplicate announce: %v (ack %+v)", err, resp)
+	}
+	ca := checkAlloc(t, r, k)
+	if ca.Status != wire.StatusOK || !ca.Fresh || ca.Region != g.Target {
+		t.Fatalf("checkAlloc after repoint = %+v, want OK/Fresh on %+v", ca, g.Target)
+	}
+	if !dst.has(g.Target.RegionID) {
+		t.Fatal("repointed target region is gone on the peer")
+	}
+	if s := r.mgr.Stats(); s.HandoffPagesMoved != 1 || s.HandoffAborts != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestReRecruitFreesUnresolvedGrants: when the draining host comes back
+// idle (new epoch) before its handoff resolves, discarding the overlay
+// must free the grants' pre-allocated targets on the peers — otherwise
+// each would hold pool space until the peer churned.
+func TestReRecruitFreesUnresolvedGrants(t *testing.T) {
+	r := handoffRig(t, 10*time.Second)
+	_, _, g, dst := grantOne(t, r)
+
+	// The drain died with the old incarnation; the host re-recruits.
+	registerHost(t, r.cli, "cmd", "imd1", 3, 1<<20)
+	deadline := time.Now().Add(2 * time.Second)
+	for dst.has(g.Target.RegionID) {
+		if time.Now().After(deadline) {
+			t.Fatal("unresolved grant's target never freed after re-recruit")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s := r.mgr.Stats(); s.HandoffAborts != 1 {
+		t.Fatalf("HandoffAborts = %d, want 1", s.HandoffAborts)
+	}
+}
+
+// TestExpiredOverlaySweepFreesGrants: when the imd goes silent after
+// the offer (e.g. the HandoffAccept response was lost, so it never
+// pushes a page or reports an outcome) and no client checkAllocs the
+// host's regions, the keep-alive sweep must still discard the expired
+// overlay and free the pre-allocated targets.
+func TestExpiredOverlaySweepFreesGrants(t *testing.T) {
+	r := handoffRig(t, 300*time.Millisecond)
+	_, _, g, dst := grantOne(t, r)
+
+	// No HandoffDone, no checkAlloc traffic: only the sweep can notice.
+	deadline := time.Now().Add(5 * time.Second)
+	for dst.has(g.Target.RegionID) {
+		if time.Now().After(deadline) {
+			t.Fatal("expired overlay's grant target never freed by the sweep")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if s := r.mgr.Stats(); s.HandoffAborts != 1 {
+		t.Fatalf("HandoffAborts = %d, want 1", s.HandoffAborts)
+	}
+}
+
 // TestHandoffOfferRequiresDrainingIdentity: offers from hosts that are
 // not mid-drain (never announced Busy, wrong epoch, or re-recruited
 // since) are refused with StatusStale and place nothing.

@@ -344,6 +344,7 @@ func (m *Manager) handleClusterStats(*wire.ClusterStatsReq) wire.Message {
 // handleHostStatus updates the IWD from an rmd/imd report.
 func (m *Manager) handleHostStatus(req *wire.HostStatus) wire.Message {
 	m.mu.Lock()
+	var orphans []wire.Region
 	switch req.State {
 	case wire.HostIdle:
 		m.iwd[req.HostAddr] = &hostEntry{
@@ -352,24 +353,93 @@ func (m *Manager) handleHostStatus(req *wire.HostStatus) wire.Message {
 			availBytes:  req.AvailBytes,
 			largestFree: req.LargestFree,
 		}
+		// A re-recruited host starts a new epoch; any old drain is moot,
+		// but its unresolved grants still hold pre-allocated regions on
+		// peer imds — free them.
+		orphans = m.discardDrainingLocked(req.HostAddr)
 	case wire.HostBusy:
 		delete(m.iwd, req.HostAddr)
 		// Open the graceful-reclaim overlay: until the deadline, the
 		// host's regions answer checkAlloc with Busy (retry soon) rather
-		// than Stale (gone), so a handoff can repoint them first.
-		m.draining[req.HostAddr] = &drainingHost{
-			epoch:    req.Epoch,
-			deadline: m.cfg.Clock.Now().Add(m.cfg.HandoffGrace),
-			grants:   make(map[uint64]*handoffGrant),
+		// than Stale (gone), so a handoff can repoint them first. The
+		// announce arrives via ep.Call, which retransmits, so a delayed
+		// duplicate must keep the existing same-epoch overlay — replacing
+		// it would wipe grants a HandoffOffer already registered, losing
+		// their repoints and leaking the pre-allocated targets.
+		if dh := m.draining[req.HostAddr]; dh == nil || dh.epoch != req.Epoch {
+			orphans = m.discardDrainingLocked(req.HostAddr)
+			m.draining[req.HostAddr] = &drainingHost{
+				epoch:    req.Epoch,
+				deadline: m.cfg.Clock.Now().Add(m.cfg.HandoffGrace),
+				grants:   make(map[uint64]*handoffGrant),
+			}
 		}
 	}
-	if req.State == wire.HostIdle {
-		// A re-recruited host starts a new epoch; any old drain is moot.
-		delete(m.draining, req.HostAddr)
-	}
 	m.mu.Unlock()
+	m.freeHandoffTargets(orphans)
 	m.logf("cmd: host %s -> %v (epoch %d, avail %d)", req.HostAddr, req.State, req.Epoch, req.AvailBytes)
 	return &wire.HostStatusAck{Status: wire.StatusOK}
+}
+
+// discardDrainingLocked removes addr's graceful-reclaim overlay and
+// returns the targets of its unresolved grants. The draining imd will
+// never push to them — the overlay that tracked them is gone — so the
+// caller must free them on their peers once m.mu is released; otherwise
+// each would hold pre-allocated pool space until its host churned.
+func (m *Manager) discardDrainingLocked(addr string) []wire.Region {
+	dh := m.draining[addr]
+	if dh == nil {
+		return nil
+	}
+	delete(m.draining, addr)
+	if len(dh.grants) == 0 {
+		return nil
+	}
+	targets := make([]wire.Region, 0, len(dh.grants))
+	for _, g := range dh.grants {
+		targets = append(targets, g.target)
+	}
+	// Deterministic order, so a given overlay state frees in a
+	// reproducible sequence.
+	sort.Slice(targets, func(i, j int) bool {
+		if targets[i].HostAddr != targets[j].HostAddr {
+			return targets[i].HostAddr < targets[j].HostAddr
+		}
+		return targets[i].RegionID < targets[j].RegionID
+	})
+	m.handoffAborts += int64(len(targets))
+	return targets
+}
+
+// freeHandoffTargets releases pre-allocated handoff destinations on
+// their peer imds. Must run without m.mu held.
+func (m *Manager) freeHandoffTargets(targets []wire.Region) {
+	for _, t := range targets {
+		m.ep.Notify(t.HostAddr, &wire.IMDFreeReq{RegionID: t.RegionID})
+	}
+}
+
+// expireDraining discards overlays whose deadline has passed and frees
+// their unresolved grant targets. checkAlloc traffic does this on
+// demand; the sweep covers hosts no client asks about — e.g. when the
+// HandoffAccept response was lost, so the imd never pushed a page or
+// reported an outcome for the grants the manager recorded.
+func (m *Manager) expireDraining() {
+	m.mu.Lock()
+	now := m.cfg.Clock.Now()
+	var expired []string
+	for addr, dh := range m.draining {
+		if !now.Before(dh.deadline) {
+			expired = append(expired, addr)
+		}
+	}
+	sort.Strings(expired)
+	var orphans []wire.Region
+	for _, addr := range expired {
+		orphans = append(orphans, m.discardDrainingLocked(addr)...)
+	}
+	m.mu.Unlock()
+	m.freeHandoffTargets(orphans)
 }
 
 // handleAlloc implements the alloc operation: pick a random idle host
@@ -503,32 +573,39 @@ func (m *Manager) handleFree(req *wire.FreeReq) wire.Message {
 // its epoch against the hosting workstation's IWD entry (§4.3).
 func (m *Manager) handleCheckAlloc(req *wire.CheckAllocReq) wire.Message {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	e, ok := m.rd[req.Key]
-	if !ok {
-		return &wire.CheckAllocResp{Status: wire.StatusNotFound}
-	}
-	h, hostIdle := m.iwd[e.region.HostAddr]
-	if !hostIdle || h.epoch != e.region.Epoch {
-		// Host not (or no longer) idle under this epoch. If it is mid
-		// graceful reclaim, hold the mapping and tell the client to retry:
-		// a handoff may repoint the region any moment now.
-		if dh := m.draining[e.region.HostAddr]; dh != nil {
-			if dh.epoch == e.region.Epoch && m.cfg.Clock.Now().Before(dh.deadline) {
-				return &wire.CheckAllocResp{Status: wire.StatusBusy}
-			}
-			if !m.cfg.Clock.Now().Before(dh.deadline) {
-				delete(m.draining, e.region.HostAddr)
-			}
+	var orphans []wire.Region
+	resp := func() wire.Message {
+		e, ok := m.rd[req.Key]
+		if !ok {
+			return &wire.CheckAllocResp{Status: wire.StatusNotFound}
 		}
-		// Host reclaimed or imd restarted since allocation: the region
-		// is gone. Delete it and report failure.
-		delete(m.rd, req.Key)
-		m.staleDrops++
-		m.untrackIdleClientLocked(e.client)
-		return &wire.CheckAllocResp{Status: wire.StatusStale}
-	}
-	return &wire.CheckAllocResp{Status: wire.StatusOK, Fresh: e.fresh, Region: e.region}
+		h, hostIdle := m.iwd[e.region.HostAddr]
+		if !hostIdle || h.epoch != e.region.Epoch {
+			// Host not (or no longer) idle under this epoch. If it is mid
+			// graceful reclaim, hold the mapping and tell the client to retry:
+			// a handoff may repoint the region any moment now.
+			if dh := m.draining[e.region.HostAddr]; dh != nil {
+				if dh.epoch == e.region.Epoch && m.cfg.Clock.Now().Before(dh.deadline) {
+					return &wire.CheckAllocResp{Status: wire.StatusBusy}
+				}
+				if !m.cfg.Clock.Now().Before(dh.deadline) {
+					// Grace expired with grants unresolved: the targets
+					// must be freed or they leak on the peers.
+					orphans = m.discardDrainingLocked(e.region.HostAddr)
+				}
+			}
+			// Host reclaimed or imd restarted since allocation: the region
+			// is gone. Delete it and report failure.
+			delete(m.rd, req.Key)
+			m.staleDrops++
+			m.untrackIdleClientLocked(e.client)
+			return &wire.CheckAllocResp{Status: wire.StatusStale}
+		}
+		return &wire.CheckAllocResp{Status: wire.StatusOK, Fresh: e.fresh, Region: e.region}
+	}()
+	m.mu.Unlock()
+	m.freeHandoffTargets(orphans)
+	return resp
 }
 
 // handleHandoffOffer places a draining imd's hottest regions on peer
@@ -721,6 +798,7 @@ func (m *Manager) keepAliveLoop() {
 		if !sim.SleepInterruptible(m.cfg.Clock, m.cfg.KeepAliveInterval, m.stop) {
 			return
 		}
+		m.expireDraining()
 		m.mu.Lock()
 		addrs := make([]string, 0, len(m.clients))
 		for addr := range m.clients {

@@ -47,7 +47,7 @@ func (m *HandoffOffer) payloadSize() int {
 	return 2 + len(m.HostAddr) + 8 + 2 + handoffRegionSize*len(m.Regions)
 }
 func (m *HandoffOffer) encode(b []byte) error {
-	if len(m.Regions) > math32max {
+	if len(m.Regions) > math16max {
 		return ErrFieldBounds
 	}
 	n, err := putString(b, m.HostAddr)
@@ -110,7 +110,7 @@ func (m *HandoffAccept) payloadSize() int {
 	return n
 }
 func (m *HandoffAccept) encode(b []byte) error {
-	if len(m.Grants) > math32max {
+	if len(m.Grants) > math16max {
 		return ErrFieldBounds
 	}
 	b[0] = uint8(m.Status)

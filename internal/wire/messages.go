@@ -726,7 +726,13 @@ func (m *BulkNack) decode(b []byte) error {
 	return nil
 }
 
-const math32max = 1 << 16 // sanity bound on NACK list length
+const math32max = 1 << 16 // sanity bound on NACK list length (uint32-encoded)
+
+// math16max bounds element counts that travel as uint16 on the wire.
+// The bound must be strictly below 1<<16: exactly 65536 elements would
+// pass a `> 1<<16` check yet encode as count 0, silently dropping the
+// whole list on decode.
+const math16max = 1<<16 - 1
 
 // BulkDone closes a transfer from the receiver side: all bytes arrived.
 type BulkDone struct {

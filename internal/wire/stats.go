@@ -59,7 +59,7 @@ func (m *ClusterStatsResp) payloadSize() int {
 }
 
 func (m *ClusterStatsResp) encode(b []byte) error {
-	if len(m.Hosts) > math32max {
+	if len(m.Hosts) > math16max {
 		return ErrFieldBounds
 	}
 	b[0] = uint8(m.Status)

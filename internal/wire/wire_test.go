@@ -183,6 +183,31 @@ func TestBulkNackTooManyMissingRejected(t *testing.T) {
 	}
 }
 
+// TestUint16CountsRejectExactly65536: element counts that travel as
+// uint16 must refuse exactly 1<<16 entries — that length would pass a
+// `> 1<<16` bound yet wrap to a count of 0 on the wire, silently
+// dropping the whole list on decode. Encode's MaxPayload check happens
+// to refuse these today too, so the encoders are exercised directly:
+// the count bound must hold on its own.
+func TestUint16CountsRejectExactly65536(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  Message
+	}{
+		{"HandoffOffer", &HandoffOffer{HostAddr: "a", Epoch: 1, Regions: make([]HandoffRegion, 1<<16)}},
+		{"HandoffAccept", &HandoffAccept{Status: StatusOK, Grants: make([]HandoffGrant, 1<<16)}},
+		{"ClusterStatsResp", &ClusterStatsResp{Status: StatusOK, Hosts: make([]HostInfo, 1<<16)}},
+	}
+	for _, tc := range cases {
+		if err := tc.msg.encode(make([]byte, tc.msg.payloadSize())); !errors.Is(err, ErrFieldBounds) {
+			t.Errorf("%s.encode with 65536 elements = %v, want ErrFieldBounds", tc.name, err)
+		}
+		if _, err := Encode(1, tc.msg); err == nil {
+			t.Errorf("Encode(%s) with 65536 elements succeeded, want error", tc.name)
+		}
+	}
+}
+
 func TestTypeAndStatusStrings(t *testing.T) {
 	if TAllocReq.String() != "alloc-req" {
 		t.Errorf("TAllocReq.String() = %q", TAllocReq.String())
