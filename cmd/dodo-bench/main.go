@@ -7,14 +7,26 @@
 //	dodo-bench -exp all            # everything at paper scale
 //	dodo-bench -exp fig8 -scale 0.125
 //	dodo-bench -exp table1,fig1,fig2,fig7,fig8,reclaim,ablations,transport
+//	dodo-bench -gobench BENCH_seed.json   # one pass of go test -bench
+//
+// -gobench runs the repository benchmark suite once per benchmark
+// (go test -bench . -benchtime 1x), parses the standard benchmark
+// output and writes it as JSON to the named file. verify.sh uses it to
+// record the BENCH_*.json perf trajectory.
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -28,7 +40,14 @@ func main() {
 	seed := flag.Int64("seed", 1999, "random seed")
 	duration := flag.Duration("duration", 7*24*time.Hour, "monitoring-period length for the §2 study")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
+	gobench := flag.String("gobench", "", "run 'go test -bench . -benchtime 1x' once and write parsed results as JSON to this file, then exit")
 	flag.Parse()
+	if *gobench != "" {
+		if err := runGoBench(*gobench); err != nil {
+			log.Fatalf("dodo-bench: %v", err)
+		}
+		return
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			log.Fatalf("dodo-bench: %v", err)
@@ -172,4 +191,91 @@ func minf(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// benchResult is one parsed `go test -bench` line: the benchmark name
+// (GOMAXPROCS suffix stripped), its iteration count, and every reported
+// metric keyed by unit ("ns/op", "B/op", custom units alike).
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// benchReport is the -gobench output file shape. The trajectory scripts
+// compare Metrics across BENCH_*.json snapshots, so the shape is flat
+// and self-describing.
+type benchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchtime  string        `json:"benchtime"`
+	Command    string        `json:"command"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// runGoBench executes the repository benchmark suite once per benchmark
+// and writes the parsed results to path as JSON. -benchtime 1x keeps it
+// a smoke-speed perf seed, not a statistically settled measurement: the
+// value is the committed trajectory, refined by later full runs.
+func runGoBench(path string) error {
+	args := []string{"test", "-bench", ".", "-benchtime", "1x", "-run", "^$", "."}
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	report := benchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: "1x",
+		Command:   "go " + strings.Join(args, " "),
+	}
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name N v1 unit1 v2 unit2 ... — anything shorter is a header
+		// or a benchmark that reported nothing.
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := benchResult{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines in go test output")
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -9,11 +9,16 @@
 //
 // With no package arguments it checks ./... . Findings print one per
 // line as "file:line: analyzer: message", or as a JSON array with
-// -json. Rule selection:
+// -json. -list prints every registered rule with its one-line doc and
+// exits. Rule selection:
 //
 //	-only lock-order,buffer-ownership   run only the named rules
 //	-skip wire-exhaustiveness           run all but the named rules
 //	-rules a,b                          legacy alias for -only
+//
+// With -json, a load failure is reported as a JSON object
+// {"error": "..."} on stdout (exit status 2 as usual) so scripted
+// consumers never have to parse stderr.
 //
 // Exit status:
 //
@@ -119,22 +124,33 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	// loadFail reports a fatal load problem and exits 2. Under -json
+	// the report goes to stdout as {"error": "..."} so consumers of the
+	// JSON stream see the failure in-band rather than on stderr.
+	loadFail := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(map[string]string{"error": msg})
+		} else {
+			fmt.Fprintf(os.Stderr, "dodo-vet: %s\n", msg)
+		}
+		os.Exit(2)
+	}
 	wd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dodo-vet: %v\n", err)
-		os.Exit(2)
+		loadFail("%v", err)
 	}
 	passes, skippedPkgs, err := vet.LoadPackages(wd, patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dodo-vet: %v\n", err)
-		os.Exit(2)
+		loadFail("%v", err)
 	}
 	for _, s := range skippedPkgs {
 		fmt.Fprintf(os.Stderr, "dodo-vet: skipping %s\n", s)
 	}
 	if len(passes) == 0 {
-		fmt.Fprintln(os.Stderr, "dodo-vet: no packages to analyze")
-		os.Exit(2)
+		loadFail("no packages to analyze")
 	}
 
 	findings := vet.Check(passes, analyzers)

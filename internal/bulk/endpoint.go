@@ -130,29 +130,45 @@ type Handler func(from string, msg wire.Message) wire.Message
 // transfer state. All daemons and the client runtime communicate through
 // Endpoints.
 type Endpoint struct {
-	tr      transport.Transport
-	cfg     Config
+	// dodo:unguarded — immutable after construction
+	tr transport.Transport
+	// dodo:unguarded — immutable after construction
+	cfg Config
+	// dodo:unguarded — immutable after construction
 	handler Handler
 
-	mu       locks.Mutex
-	calls    map[uint32]chan wire.Message
-	rx       map[rxKey]*rxTransfer
-	tx       map[uint64]chan wire.Message
-	nextSeq  uint32
-	closed   bool
+	mu locks.Mutex
+	// dodo:guardedby mu
+	calls map[uint32]chan wire.Message
+	// dodo:guardedby mu
+	rx map[rxKey]*rxTransfer
+	// dodo:guardedby mu
+	tx map[uint64]chan wire.Message
+	// dodo:guardedby mu
+	nextSeq uint32
+	// dodo:guardedby mu
+	closed bool
+	// dodo:atomic
 	nextXfer atomic.Uint64
 
-	wg   sync.WaitGroup
+	// dodo:unguarded — WaitGroup is internally synchronized
+	wg sync.WaitGroup
+	// dodo:unguarded — set at construction; closed once under mu in Close
 	stop chan struct{}
 
 	// opSeq numbers retry budgets so each gets a distinct but
 	// reproducible jitter stream derived from cfg.Seed.
+	// dodo:atomic
 	opSeq atomic.Int64
 
 	// Stats counters (atomic).
-	retransmits    atomic.Int64
-	nacksSent      atomic.Int64
-	dupsDropped    atomic.Int64
+	// dodo:atomic
+	retransmits atomic.Int64
+	// dodo:atomic
+	nacksSent atomic.Int64
+	// dodo:atomic
+	dupsDropped atomic.Int64
+	// dodo:atomic
 	retryExhausted atomic.Int64
 }
 

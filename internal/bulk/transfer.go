@@ -267,23 +267,38 @@ const tombstoneTTL = 30 * time.Second
 
 // rxTransfer is receive-side per-transfer state.
 type rxTransfer struct {
-	ep   *Endpoint
+	// dodo:unguarded — immutable after construction
+	ep *Endpoint
+	// dodo:unguarded — immutable after construction
 	from string
-	id   uint64
+	// dodo:unguarded — immutable after construction
+	id uint64
 
-	mu       locks.Mutex
-	buf      []byte
-	got      []bool
+	mu locks.Mutex
+	// dodo:guardedby mu
+	buf []byte
+	// dodo:guardedby mu
+	got []bool
+	// dodo:guardedby mu
 	gotCount int
-	npkts    int
-	chunk    int
-	window   int
-	winBase  int
-	sized    bool
+	// dodo:guardedby mu
+	npkts int
+	// dodo:guardedby mu
+	chunk int
+	// dodo:guardedby mu
+	window int
+	// dodo:guardedby mu
+	winBase int
+	// dodo:guardedby mu
+	sized bool
+	// dodo:guardedby mu
 	complete bool
-	err      error
-	done     chan struct{}
-	timer    sim.StopTimer
+	// dodo:guardedby mu
+	err error
+	// dodo:unguarded — set at construction; closed once under mu
+	done chan struct{}
+	// dodo:guardedby mu
+	timer sim.StopTimer
 }
 
 func newRxTransfer(ep *Endpoint, from string, id uint64) *rxTransfer {

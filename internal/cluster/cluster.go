@@ -44,32 +44,45 @@ type Config struct {
 
 // Cluster is a running deployment.
 type Cluster struct {
+	// dodo:unguarded — immutable after construction
 	cfg Config
+	// dodo:unguarded — immutable after construction
 	net *transport.Network
+	// dodo:unguarded — immutable after construction
 	mgr *manager.Manager
 
-	mu           locks.Mutex
+	mu locks.Mutex
+	// dodo:guardedby mu
 	workstations []*Workstation
-	clients      []*core.Client
-	closed       bool
+	// dodo:guardedby mu
+	clients []*core.Client
+	// dodo:guardedby mu
+	closed bool
 }
 
 // Workstation is one participating desktop machine: a resource monitor
 // plus the idle memory daemon it forks while the host is idle.
 type Workstation struct {
+	// dodo:unguarded — immutable after construction
 	Name string
 
+	// dodo:unguarded — immutable after construction
 	cluster *Cluster
-	mon     *monitor.Monitor
+	// dodo:unguarded — immutable after construction
+	mon *monitor.Monitor
 
-	mu    locks.Mutex
-	imd   *imd.Daemon
+	mu locks.Mutex
+	// dodo:guardedby mu
+	imd *imd.Daemon
+	// dodo:guardedby mu
 	epoch uint64
-	pool  uint64
+	// dodo:guardedby mu
+	pool uint64
 	// drainWG tracks a predecessor imd still spending its drain grace
 	// window; the next recruitment waits for its teardown (as the rmd
 	// waits for the old imd process to exit) before re-forking on the
 	// same address.
+	// dodo:unguarded — WaitGroup is internally synchronized
 	drainWG sync.WaitGroup
 }
 

@@ -103,12 +103,16 @@ func (b *FileBacking) Writable() bool { return fdWritable(b.F) }
 // MemBacking is an in-memory backing store for tests and virtual-time
 // simulations. It grows on demand and is safe for concurrent use.
 type MemBacking struct {
-	mu       locks.Mutex
-	data     []byte
-	inode    uint64
+	mu locks.Mutex
+	// dodo:guardedby mu
+	data []byte
+	// dodo:unguarded — immutable after construction
+	inode uint64
+	// dodo:guardedby mu
 	readOnly bool
 
 	// Counters let experiments account simulated disk traffic.
+	// dodo:guardedby mu
 	reads, writes, readBytes, writeBytes int64
 }
 
@@ -122,7 +126,11 @@ func NewMemBacking(inode uint64, size int) *MemBacking {
 }
 
 // SetReadOnly makes subsequent writes fail (for mopen validation tests).
-func (b *MemBacking) SetReadOnly() { b.readOnly = true }
+func (b *MemBacking) SetReadOnly() {
+	b.mu.Lock()
+	b.readOnly = true
+	b.mu.Unlock()
+}
 
 // ReadAt reads from the store.
 func (b *MemBacking) ReadAt(p []byte, off int64) (int, error) {
@@ -171,7 +179,11 @@ func (b *MemBacking) Sync() error { return nil }
 func (b *MemBacking) Inode() uint64 { return b.inode }
 
 // Writable reports the read-only flag.
-func (b *MemBacking) Writable() bool { return !b.readOnly }
+func (b *MemBacking) Writable() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.readOnly
+}
 
 // Traffic reports cumulative I/O counters.
 func (b *MemBacking) Traffic() (reads, writes, readBytes, writeBytes int64) {

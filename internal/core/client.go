@@ -133,15 +133,20 @@ type regionState struct {
 // Client is the Dodo runtime library instance linked into an
 // application.
 type Client struct {
+	// dodo:unguarded — immutable after construction
 	cfg Config
-	ep  *bulk.Endpoint
+	// dodo:unguarded — set once in New before the endpoint loop starts
+	ep *bulk.Endpoint
+	// dodo:unguarded — immutable after construction
 	log *log.Logger
 
-	mu      locks.Mutex
+	mu locks.Mutex
+	// dodo:guardedby mu
 	regions map[int]*regionState
 	// aliases refcounts open descriptors per region key: duplicate
 	// Mopens of the same (inode, offset) share one RD entry, and only
 	// the last Mclose frees it.
+	// dodo:guardedby mu
 	aliases map[wire.RegionKey]int
 	// writeSeq orders remote writes per region key. Every WriteReq
 	// carries the next sequence so the hosting imd can discard a
@@ -154,31 +159,49 @@ type Client struct {
 	// Mopen of the same key re-attaches to them — restarting the
 	// counter there would make every new write look superseded and
 	// freeze the remote copy at stale bytes.
+	// dodo:guardedby mu
 	writeSeq map[wire.RegionKey]uint64
 	// confirmedSeq tracks the highest writeSeq the hosting imd has
 	// confirmed per key. When it equals writeSeq, every announced write
 	// landed remotely — the settled state a graceful-reclaim handoff
 	// copy can be adopted in without disk repopulation.
-	confirmedSeq  map[wire.RegionKey]uint64
-	hostLat       map[string]*hostLatency
-	nextFD        int
+	// dodo:guardedby mu
+	confirmedSeq map[wire.RegionKey]uint64
+	// dodo:guardedby mu
+	hostLat map[string]*hostLatency
+	// dodo:guardedby mu
+	nextFD int
+	// dodo:guardedby mu
 	lastAllocFail time.Time
-	failedOnce    bool
-	closed        bool
+	// dodo:guardedby mu
+	failedOnce bool
+	// dodo:guardedby mu
+	closed bool
 
 	// Background recovery (drop -> backoff -> revalidate -> re-open).
+	// dodo:unguarded — set at construction; closed once under mu in Close
 	recoverStop chan struct{}
+	// dodo:unguarded — buffered signal channel, internally synchronized
 	recoverKick chan struct{}
-	recoverWG   sync.WaitGroup
-	// hedgeWG tracks hedged-read legs so Close can join them.
+	// dodo:unguarded — WaitGroup is internally synchronized
+	recoverWG sync.WaitGroup
+	// hedgeWG tracks hedged-read legs so Close can join them; Add races
+	// with Close are excluded by checking closed under mu first (§9).
+	// dodo:unguarded — WaitGroup is internally synchronized
 	hedgeWG sync.WaitGroup
 
 	// stats
-	remoteReads, remoteWrites           int64
-	remoteReadBy, remoteWriteBy         int64
-	dropEvents, refractionSkips         int64
-	revalidations, reopens              int64
-	handoffAdopts                       int64
+	// dodo:guardedby mu
+	remoteReads, remoteWrites int64
+	// dodo:guardedby mu
+	remoteReadBy, remoteWriteBy int64
+	// dodo:guardedby mu
+	dropEvents, refractionSkips int64
+	// dodo:guardedby mu
+	revalidations, reopens int64
+	// dodo:guardedby mu
+	handoffAdopts int64
+	// dodo:guardedby mu
 	hedgedReads, hedgeWins, hedgeWasted int64
 }
 

@@ -248,18 +248,27 @@ func (c Counts) String() string {
 
 // Scheduler replays a schedule against a target on an injected clock.
 type Scheduler struct {
-	clock  sim.Clock
+	// dodo:unguarded — immutable after construction
+	clock sim.Clock
+	// dodo:unguarded — immutable after construction
 	target Target
+	// dodo:unguarded — immutable after construction
 	events []Event
 
-	mu      locks.Mutex
-	next    int
-	counts  Counts
+	mu locks.Mutex
+	// dodo:guardedby mu
+	next int
+	// dodo:guardedby mu
+	counts Counts
+	// dodo:guardedby mu
 	started bool
-	start   time.Time
+	// dodo:guardedby mu
+	start time.Time
 
+	// dodo:unguarded — set at construction; closed once under mu in Stop
 	stop chan struct{}
-	wg   sync.WaitGroup
+	// dodo:unguarded — WaitGroup is internally synchronized
+	wg sync.WaitGroup
 }
 
 // NewScheduler builds a scheduler over the plan's schedule. The clock
@@ -348,7 +357,8 @@ func (s *Scheduler) run() {
 			s.mu.Unlock()
 			return
 		}
-		due := s.start.Add(s.events[s.next].At)
+		start := s.start
+		due := start.Add(s.events[s.next].At)
 		s.mu.Unlock()
 		if wait := due.Sub(s.clock.Now()); wait > 0 {
 			if !sim.SleepInterruptible(s.clock, wait, s.stop) {
@@ -360,7 +370,7 @@ func (s *Scheduler) run() {
 			return
 		default:
 		}
-		s.Step(s.clock.Now().Sub(s.start))
+		s.Step(s.clock.Now().Sub(start))
 	}
 }
 

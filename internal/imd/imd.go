@@ -70,43 +70,59 @@ func (c Config) withDefaults() Config {
 
 // Daemon is one idle memory daemon instance.
 type Daemon struct {
+	// dodo:unguarded — immutable after construction
 	cfg Config
-	ep  *bulk.Endpoint
+	// dodo:unguarded — set once in New before handlers are gated open
+	ep *bulk.Endpoint
+	// dodo:unguarded — immutable after construction
 	log *log.Logger
 
-	mu       locks.Mutex
-	pool     *pool.Pool
+	mu locks.Mutex
+	// dodo:guardedby mu
+	pool *pool.Pool
+	// dodo:guardedby mu
 	draining bool
 	// drainDone marks the end of the drain grace window: reads were
 	// still served between draining and drainDone, and refuse after.
+	// dodo:guardedby mu
 	drainDone bool
-	closed    bool
+	// dodo:guardedby mu
+	closed bool
 	// lastWriteSeq gates writes per region: an announcement whose
 	// WriteSeq is not newer than the last applied one is a network
 	// replay (duplicate or delayed frame) and must not be applied —
 	// applying it would roll the region back to older bytes that the
 	// client has already overwritten and confirmed. Entries are
 	// dropped when the region is created or deleted.
+	// dodo:guardedby mu
 	lastWriteSeq map[uint64]uint64
 	// readCount tracks per-region read hotness so a drain can hand off
 	// the most-read pages first when the grace window cannot fit all.
+	// dodo:guardedby mu
 	readCount map[uint64]uint64
 	// handoffApplied marks regions whose bytes arrived via a handoff
 	// page push, making duplicate HandoffPage announcements idempotent
 	// (the same confirm-after-apply discipline as lastWriteSeq).
+	// dodo:guardedby mu
 	handoffApplied map[uint64]bool
 
+	// dodo:unguarded — WaitGroup is internally synchronized
 	transfers sync.WaitGroup // in-flight region data pushes
 	// pendingWrites tracks writes admitted (draining flag checked)
 	// whose apply has not landed yet; Drain waits on it before the
 	// handoff snapshots region contents.
+	// dodo:unguarded — WaitGroup is internally synchronized
 	pendingWrites sync.WaitGroup
-	stop      chan struct{}
-	loops     sync.WaitGroup
+	// dodo:unguarded — set at construction; closed once under mu in Close
+	stop chan struct{}
+	// dodo:unguarded — WaitGroup is internally synchronized
+	loops sync.WaitGroup
 
 	// stats
+	// dodo:guardedby mu
 	reads, writes, readBytes, writeBytes, staleRejects int64
-	pagesHandedOff, handoffAborts                      int64
+	// dodo:guardedby mu
+	pagesHandedOff, handoffAborts int64
 }
 
 // New starts a daemon serving its pool on tr and registers it with the

@@ -125,28 +125,44 @@ type recovCounters struct {
 
 // Manager is the central manager daemon.
 type Manager struct {
+	// dodo:unguarded — immutable after construction
 	cfg Config
-	ep  *bulk.Endpoint
+	// dodo:unguarded — set once in New before the endpoint loop starts
+	ep *bulk.Endpoint
+	// dodo:unguarded — immutable after construction
 	log *log.Logger
 
-	mu       locks.Mutex
-	iwd      map[string]*hostEntry
-	rd       map[wire.RegionKey]*regionEntry
-	clients  map[string]*clientEntry
-	recov    map[string]recovCounters
+	mu locks.Mutex
+	// dodo:guardedby mu
+	iwd map[string]*hostEntry
+	// dodo:guardedby mu
+	rd map[wire.RegionKey]*regionEntry
+	// dodo:guardedby mu
+	clients map[string]*clientEntry
+	// dodo:guardedby mu
+	recov map[string]recovCounters
+	// dodo:guardedby mu
 	draining map[string]*drainingHost
-	rng      *rand.Rand
-	nextID   uint64
+	// dodo:guardedby mu
+	rng *rand.Rand
+	// dodo:guardedby mu
+	nextID uint64
+	// dodo:guardedby mu
 	shutdown bool
 
+	// dodo:unguarded — set at construction; closed once under mu in Close
 	stop chan struct{}
-	wg   sync.WaitGroup
+	// dodo:unguarded — WaitGroup is internally synchronized
+	wg sync.WaitGroup
 
 	// stats
+	// dodo:guardedby mu
 	allocs, allocFailures, frees, staleDrops, orphanReclaims int64
-	handoffOffers, handoffPagesMoved, handoffAborts          int64
+	// dodo:guardedby mu
+	handoffOffers, handoffPagesMoved, handoffAborts int64
 	// handoffLog records every repointing in order, for the
 	// same-seed-same-schedule determinism checks.
+	// dodo:guardedby mu
 	handoffLog []string
 }
 

@@ -110,14 +110,21 @@ type Hooks struct {
 // Monitor is the rmd state machine. Safe for concurrent State queries;
 // Step is called from one goroutine (the sampling loop).
 type Monitor struct {
-	cfg   Config
-	src   Source
+	// dodo:unguarded — immutable after construction
+	cfg Config
+	// dodo:unguarded — immutable after construction
+	src Source
+	// dodo:unguarded — immutable after construction
 	hooks Hooks
 
-	mu          locks.Mutex
-	state       State
-	lastActive  time.Time
-	haveSample  bool
+	mu locks.Mutex
+	// dodo:guardedby mu
+	state State
+	// dodo:guardedby mu
+	lastActive time.Time
+	// dodo:guardedby mu
+	haveSample bool
+	// dodo:guardedby mu
 	transitions int
 }
 

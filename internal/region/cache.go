@@ -143,19 +143,29 @@ type Stats struct {
 
 // Cache is the region-management library instance.
 type Cache struct {
-	cfg  Config
+	// dodo:unguarded — immutable after construction
+	cfg Config
+	// dodo:unguarded — immutable after construction
 	dodo Dodo
 
-	mu       locks.Mutex
-	regions  map[int]*cregion
-	nextFD   int
-	used     int64
+	mu locks.Mutex
+	// dodo:guardedby mu
+	regions map[int]*cregion
+	// dodo:guardedby mu
+	nextFD int
+	// dodo:guardedby mu
+	used int64
+	// dodo:guardedby mu
 	lastFail time.Time
-	failed   bool
-	stats    Stats
+	// dodo:guardedby mu
+	failed bool
+	// dodo:guardedby mu
+	stats Stats
 
 	// prefetch state (prefetch.go)
+	// dodo:guardedby mu
 	byLocation map[prefKey]int
+	// dodo:guardedby mu
 	lastAccess prefKey
 }
 

@@ -42,10 +42,13 @@ func (WallClock) Sleep(d time.Duration) { time.Sleep(d) }
 // in timestamp order, as the clock passes their deadline. Ties are broken
 // by scheduling order so runs are reproducible.
 type VirtualClock struct {
-	mu   sync.Mutex
-	now  time.Time
+	mu sync.Mutex
+	// dodo:guardedby mu
+	now time.Time
+	// dodo:guardedby mu
 	heap eventHeap
-	seq  uint64
+	// dodo:guardedby mu
+	seq uint64
 }
 
 // NewVirtualClock returns a virtual clock positioned at start.

@@ -19,12 +19,17 @@ import (
 // Delivery is synchronous: Send appends to the destination queue before
 // returning, so tests need no sleeps.
 type Network struct {
-	mu          locks.Mutex
-	hosts       map[string]*MemEndpoint
-	injector    *simnet.Injector
-	perHost     map[string]*simnet.Injector
+	mu locks.Mutex
+	// dodo:guardedby mu
+	hosts map[string]*MemEndpoint
+	// dodo:unguarded — set by options in NewNetwork, immutable after
+	injector *simnet.Injector
+	// dodo:guardedby mu
+	perHost map[string]*simnet.Injector
+	// dodo:guardedby mu
 	partitioned map[string]bool
-	mtu         int
+	// dodo:unguarded — set by options in NewNetwork, immutable after
+	mtu int
 }
 
 // NetworkOption configures a Network.
@@ -146,12 +151,19 @@ func (n *Network) deliver(from, to string, data []byte) error {
 
 // MemEndpoint is one endpoint on a Network.
 type MemEndpoint struct {
-	net  *Network
+	// dodo:unguarded — immutable after construction
+	net *Network
+	// dodo:unguarded — immutable after construction
 	addr string
 
-	mu     locks.Mutex
-	cond   *sync.Cond
-	queue  []memFrame
+	mu locks.Mutex
+	// dodo:unguarded — set at construction; Cond is internally synchronized
+	cond *sync.Cond
+	// dodo:guardedby mu
+	queue []memFrame
+	// closed is atomic so Send's fast path can refuse without taking
+	// the endpoint lock; Recv re-checks it under mu via the cond loop.
+	// dodo:atomic
 	closed atomic.Bool
 }
 

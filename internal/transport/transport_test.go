@@ -338,3 +338,38 @@ func BenchmarkUDPSendRecvLoopback(b *testing.B) {
 		}
 	}
 }
+
+// TestMemCloseConcurrentWithSend pins the all-atomic discipline on
+// MemEndpoint.closed that the guarded-by pass verifies (dodo:atomic):
+// Send's lock-free fast path and Close's Store race freely, and under
+// -race this would fail if closed regressed to a plain bool. Either
+// outcome per Send is legal — delivered before the close, or ErrClosed
+// after — but never a torn read.
+func TestMemCloseConcurrentWithSend(t *testing.T) {
+	n := NewNetwork()
+	src, dst := n.Host("src"), n.Host("dst")
+	defer dst.Close()
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 200; i++ {
+			if err := src.Send("dst", []byte("ping")); err != nil && !errors.Is(err, ErrClosed) {
+				t.Errorf("Send: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-start
+		src.Close()
+	}()
+	close(start)
+	wg.Wait()
+	if err := src.Send("dst", []byte("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after Close: got %v, want ErrClosed", err)
+	}
+}

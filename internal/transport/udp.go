@@ -16,10 +16,14 @@ const UDPMTU = 63 << 10
 
 // UDP is a Transport over a kernel UDP socket.
 type UDP struct {
+	// dodo:unguarded — immutable after construction; *net.UDPConn is
+	// safe for concurrent use
 	conn *net.UDPConn
 
-	mu     locks.Mutex
+	mu locks.Mutex
+	// dodo:guardedby mu
 	routes map[string]*net.UDPAddr
+	// dodo:guardedby mu
 	closed bool
 }
 

@@ -82,12 +82,15 @@ type Iovec struct {
 // Segment is the emulated Ethernet wire: a set of U-Net endpoints that
 // can frame-switch to each other by MAC address.
 type Segment struct {
-	mu    locks.Mutex
+	mu locks.Mutex
+	// dodo:guardedby mu
 	bound map[MACAddr]*Socket
 	// dropProb, when set by tests via SetLoss, drops frames
 	// deterministically every 1-in-n sends.
+	// dodo:guardedby mu
 	lossEvery int
-	sends     int
+	// dodo:guardedby mu
+	sends int
 }
 
 // NewSegment creates an empty wire.
@@ -126,17 +129,27 @@ type frame struct {
 
 // Socket is one U-Net endpoint.
 type Socket struct {
-	seg     *Segment
+	// dodo:unguarded — immutable after construction
+	seg *Segment
+	// dodo:unguarded — immutable after construction
 	recvCap int
 
-	mu       locks.Mutex
-	cond     *sync.Cond
-	queue    []frame
-	bound    bool
-	addr     MACAddr
-	conn     bool
-	peer     MACAddr
-	closed   bool
+	mu locks.Mutex
+	// dodo:unguarded — set at construction; Cond is internally synchronized
+	cond *sync.Cond
+	// dodo:guardedby mu
+	queue []frame
+	// dodo:guardedby mu
+	bound bool
+	// dodo:guardedby mu
+	addr MACAddr
+	// dodo:guardedby mu
+	conn bool
+	// dodo:guardedby mu
+	peer MACAddr
+	// dodo:guardedby mu
+	closed bool
+	// dodo:guardedby mu
 	overflow int // frames dropped at the receive queue
 }
 

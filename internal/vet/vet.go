@@ -30,6 +30,13 @@
 //   - wire-exhaustiveness: every wire.Type constant has a registered
 //     message (newMessage, Kind, typeNames), and every dispatch switch
 //     over wire.Message handles or explicitly ignores every type.
+//   - guarded-by: struct fields next to a mutex declare their
+//     protection (// dodo:guardedby <mutex>, // dodo:atomic,
+//     // dodo:unguarded — reason) and the whole-program pass proves
+//     every guarded access is dominated by the declared Lock/RLock,
+//     atomic fields go only through sync/atomic, guarded addresses
+//     never escape, and guarding locks.Mutexes carry a rank
+//     (DESIGN.md §10).
 //
 // A finding can be suppressed at a single site with a trailing or
 // preceding comment: //vet:ignore <analyzer-name>. Directives are for
@@ -115,6 +122,7 @@ func All() []*Analyzer {
 		LockOrder,
 		BufferOwnership,
 		WireExhaustiveness,
+		GuardedBy,
 	}
 }
 

@@ -162,6 +162,22 @@ func TestWireExhaustivenessGolden(t *testing.T) {
 	runGolden(t, WireExhaustiveness, "wireexhaust", "dodo/internal/wire")
 }
 
+func TestGuardedByGolden(t *testing.T) {
+	runGolden(t, GuardedBy, "guardedby", "dodo/internal/manager")
+}
+
+func TestGuardedBySkipsNonInternal(t *testing.T) {
+	// Outside internal/ the same fixture must be silent: cmd and example
+	// binaries hold no annotated shared state by policy.
+	pass, err := LoadFixtureDir("testdata/guardedby", "dodo/cmd/dodo-bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := GuardedBy.Run(pass); len(fs) != 0 {
+		t.Fatalf("non-internal package produced findings: %v", fs)
+	}
+}
+
 // TestCleanTree is the enforcement test: the repository itself must be
 // free of findings. It is the same check `go run ./cmd/dodo-vet ./...`
 // performs in verify.sh, kept here so a plain `go test ./...` also

@@ -7,14 +7,20 @@ set -eux
 go build ./...
 go vet ./...
 
-# The whole invariant suite, then the three whole-program analyzers once
-# more by name: the second run exercises the -only selection path and
-# keeps the lock-order / buffer-ownership / wire-exhaustiveness passes
-# visible in CI logs even if the suite grows.
+# The whole invariant suite, then the whole-program analyzers once more
+# by name: the second run exercises the -only selection path and keeps
+# the lock-order / buffer-ownership / wire-exhaustiveness / guarded-by
+# passes visible in CI logs even if the suite grows.
 go run ./cmd/dodo-vet ./...
-go run ./cmd/dodo-vet -only lock-order,buffer-ownership,wire-exhaustiveness ./...
+go run ./cmd/dodo-vet -only lock-order,buffer-ownership,wire-exhaustiveness,guarded-by ./...
 
 go test -race ./...
+
+# Perf trajectory: one pass of every benchmark (-benchtime 1x), parsed
+# into BENCH_seed.json. Not a settled measurement — a smoke check that
+# the benches still run, and the seed point the BENCH_*.json trajectory
+# grows from.
+go run ./cmd/dodo-bench -gobench BENCH_seed.json
 
 # The same suite with the lockcheck runtime compiled in: every
 # locks.Mutex acquisition is checked against the declared rank hierarchy
