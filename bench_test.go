@@ -12,6 +12,7 @@ package dodo
 // paper-exact configuration (EXPERIMENTS.md records those results).
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -151,6 +152,27 @@ func BenchmarkRefractionAblation(b *testing.B) {
 			name = "allocRPCs-on"
 		}
 		b.ReportMetric(float64(r.AllocAttempts), name)
+	}
+}
+
+// BenchmarkPrefetchAblation sweeps the sequential-prefetch window over
+// a scan workload; the speedup-per-window metrics track whether running
+// ahead of the stream keeps paying off as the cache code evolves.
+func BenchmarkPrefetchAblation(b *testing.B) {
+	var rows []experiments.PrefetchRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.PrefetchAblation(0.0625, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		name := "speedup-off"
+		if r.Window > 0 {
+			name = fmt.Sprintf("speedup-w%d", r.Window)
+		}
+		b.ReportMetric(r.Speedup, name)
 	}
 }
 

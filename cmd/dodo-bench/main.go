@@ -166,6 +166,12 @@ func main() {
 		}
 		experiments.FormatRefraction(out, refRows)
 		fmt.Fprintln(out)
+		preRows, err := experiments.PrefetchAblation(minf(*scale, 0.0625), *seed)
+		if err != nil {
+			log.Fatalf("dodo-bench: prefetch ablation: %v", err)
+		}
+		experiments.FormatPrefetch(out, preRows)
+		fmt.Fprintln(out)
 		experiments.FormatHeadroom(out, experiments.HeadroomAblation(16, 3*24*time.Hour, *seed))
 		fmt.Fprintln(out)
 		nackRows, err := experiments.NackAblation(sim.WallClock{}, 0.05, 8, 256<<10, *seed)
@@ -219,7 +225,12 @@ type benchReport struct {
 // a smoke-speed perf seed, not a statistically settled measurement: the
 // value is the committed trajectory, refined by later full runs.
 func runGoBench(path string) error {
-	args := []string{"test", "-bench", ".", "-benchtime", "1x", "-run", "^$", "."}
+	// The root package carries the end-to-end workload benchmarks;
+	// internal/region carries the cache-level parallel benches
+	// (BenchmarkCreadParallel, BenchmarkPrefetchPipeline) that track the
+	// concurrent-cache trajectory. Benchmark names are distinct across
+	// the two, so the flat report stays collision-free.
+	args := []string{"test", "-bench", ".", "-benchtime", "1x", "-run", "^$", ".", "./internal/region"}
 	cmd := exec.Command("go", args...)
 	var out bytes.Buffer
 	cmd.Stdout = &out

@@ -6,6 +6,7 @@ import (
 	"io"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dodo/internal/bulk"
@@ -190,19 +191,21 @@ type Client struct {
 	// dodo:unguarded — WaitGroup is internally synchronized
 	hedgeWG sync.WaitGroup
 
-	// stats
-	// dodo:guardedby mu
-	remoteReads, remoteWrites int64
-	// dodo:guardedby mu
-	remoteReadBy, remoteWriteBy int64
-	// dodo:guardedby mu
-	dropEvents, refractionSkips int64
-	// dodo:guardedby mu
-	revalidations, reopens int64
-	// dodo:guardedby mu
-	handoffAdopts int64
-	// dodo:guardedby mu
-	hedgedReads, hedgeWins, hedgeWasted int64
+	// Stats counters: lone tallies with no cross-field invariant, kept
+	// atomic so hot paths (Mread/Mwrite completions, hedge outcomes)
+	// never serialize on mu just to count.
+	// dodo:atomic
+	remoteReads, remoteWrites atomic.Int64
+	// dodo:atomic
+	remoteReadBy, remoteWriteBy atomic.Int64
+	// dodo:atomic
+	dropEvents, refractionSkips atomic.Int64
+	// dodo:atomic
+	revalidations, reopens atomic.Int64
+	// dodo:atomic
+	handoffAdopts atomic.Int64
+	// dodo:atomic
+	hedgedReads, hedgeWins, hedgeWasted atomic.Int64
 }
 
 // New creates a client runtime over tr.
@@ -225,19 +228,15 @@ func New(tr transport.Transport, cfg Config) *Client {
 	// counters so the manager aggregates them cluster-wide.
 	c.ep = bulk.NewEndpoint(tr, cfg.Endpoint, func(from string, msg wire.Message) wire.Message {
 		if ka, ok := msg.(*wire.KeepAlive); ok {
-			c.mu.Lock()
-			drops, revals, reopens := c.dropEvents, c.revalidations, c.reopens
-			adopts, hedged, wins, wasted := c.handoffAdopts, c.hedgedReads, c.hedgeWins, c.hedgeWasted
-			c.mu.Unlock()
 			return &wire.KeepAliveAck{
 				ClientID:       ka.ClientID,
-				Drops:          uint64(drops),
-				Revalidations:  uint64(revals),
-				Reopens:        uint64(reopens),
-				HandoffAdopts:  uint64(adopts),
-				HedgedReads:    uint64(hedged),
-				HedgeWins:      uint64(wins),
-				HedgeWasted:    uint64(wasted),
+				Drops:          uint64(c.dropEvents.Load()),
+				Revalidations:  uint64(c.revalidations.Load()),
+				Reopens:        uint64(c.reopens.Load()),
+				HandoffAdopts:  uint64(c.handoffAdopts.Load()),
+				HedgedReads:    uint64(c.hedgedReads.Load()),
+				HedgeWins:      uint64(c.hedgeWins.Load()),
+				HedgeWasted:    uint64(c.hedgeWasted.Load()),
 				RetryExhausted: uint64(c.ep.RetryExhausted()),
 			}
 		}
@@ -304,25 +303,27 @@ type Stats struct {
 	OpenRegions    int
 }
 
-// Stats returns a consistent snapshot.
+// Stats returns a snapshot. Counters are loaded atomically; only the
+// region-table size needs the lock.
 func (c *Client) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	open := len(c.regions)
+	c.mu.Unlock()
 	return Stats{
-		RemoteReads:      c.remoteReads,
-		RemoteWrites:     c.remoteWrites,
-		RemoteReadBytes:  c.remoteReadBy,
-		RemoteWriteBytes: c.remoteWriteBy,
-		DropEvents:       c.dropEvents,
-		RefractionSkips:  c.refractionSkips,
-		Revalidations:    c.revalidations,
-		Reopens:          c.reopens,
-		HandoffAdopts:    c.handoffAdopts,
-		HedgedReads:      c.hedgedReads,
-		HedgeWins:        c.hedgeWins,
-		HedgeWasted:      c.hedgeWasted,
+		RemoteReads:      c.remoteReads.Load(),
+		RemoteWrites:     c.remoteWrites.Load(),
+		RemoteReadBytes:  c.remoteReadBy.Load(),
+		RemoteWriteBytes: c.remoteWriteBy.Load(),
+		DropEvents:       c.dropEvents.Load(),
+		RefractionSkips:  c.refractionSkips.Load(),
+		Revalidations:    c.revalidations.Load(),
+		Reopens:          c.reopens.Load(),
+		HandoffAdopts:    c.handoffAdopts.Load(),
+		HedgedReads:      c.hedgedReads.Load(),
+		HedgeWins:        c.hedgeWins.Load(),
+		HedgeWasted:      c.hedgeWasted.Load(),
 		RetryExhausted:   c.ep.RetryExhausted(),
-		OpenRegions:      len(c.regions),
+		OpenRegions:      open,
 	}
 }
 
@@ -355,7 +356,7 @@ func (c *Client) Mopen(length int64, backing Backing, offset int64) (int, error)
 	// (§3.1: "the library refrains from making allocation calls for a
 	// fixed time period").
 	if c.failedOnce && c.cfg.Clock.Now().Sub(c.lastAllocFail) < c.cfg.RefractionPeriod {
-		c.refractionSkips++
+		c.refractionSkips.Add(1)
 		c.mu.Unlock()
 		return -1, fmt.Errorf("%w: in refraction period", ErrNoMem)
 	}
@@ -428,7 +429,13 @@ func (c *Client) dropHost(addr string) {
 		}
 	}
 	if n > 0 {
-		c.dropEvents++
+		c.dropEvents.Add(1)
+		// The host is gone, so its latency history is dead weight: a
+		// long-lived client in a churny cluster would otherwise grow
+		// the EWMA map one entry per failed host, forever. A relaunched
+		// host re-learns from scratch (recordLatency restarts the
+		// series on an epoch change anyway).
+		delete(c.hostLat, addr)
 		c.logf("dodo: dropped %d region descriptors on failed host %s", n, addr)
 	}
 	kick := n > 0 && !c.cfg.DisableRecovery
@@ -530,10 +537,8 @@ func (c *Client) remoteRead(r regionState, offset, want int64) ([]byte, error) {
 // finishRemoteRead copies remotely served bytes out and counts them.
 func (c *Client) finishRemoteRead(buf, data []byte) int {
 	n := copy(buf, data)
-	c.mu.Lock()
-	c.remoteReads++
-	c.remoteReadBy += int64(n)
-	c.mu.Unlock()
+	c.remoteReads.Add(1)
+	c.remoteReadBy.Add(int64(n))
 	return n
 }
 
@@ -641,9 +646,7 @@ func (c *Client) hedgedRead(r regionState, offset, want int64, buf []byte, delay
 		}
 		return c.finishRemoteRead(buf, res.data), nil
 	}
-	c.mu.Lock()
-	c.hedgedReads++
-	c.mu.Unlock()
+	c.hedgedReads.Add(1)
 	go func() {
 		defer c.hedgeWG.Done()
 		data := make([]byte, want)
@@ -659,9 +662,7 @@ func (c *Client) hedgedRead(r regionState, offset, want int64, buf []byte, delay
 	case res := <-remoteCh:
 		if res.err == nil {
 			// The remote still won; the backup was wasted work.
-			c.mu.Lock()
-			c.hedgeWasted++
-			c.mu.Unlock()
+			c.hedgeWasted.Add(1)
 			return c.finishRemoteRead(buf, res.data), nil
 		}
 		// The remote leg failed (its descriptors are already dropped);
@@ -670,9 +671,7 @@ func (c *Client) hedgedRead(r regionState, offset, want int64, buf []byte, delay
 		if d.err != nil {
 			return -1, res.err
 		}
-		c.mu.Lock()
-		c.hedgeWins++
-		c.mu.Unlock()
+		c.hedgeWins.Add(1)
 		return copy(buf, d.data), nil
 	case d := <-diskCh:
 		if d.err != nil {
@@ -683,25 +682,19 @@ func (c *Client) hedgedRead(r regionState, offset, want int64, buf []byte, delay
 			}
 			return c.finishRemoteRead(buf, res.data), nil
 		}
-		c.mu.Lock()
-		c.hedgeWins++
-		c.mu.Unlock()
+		c.hedgeWins.Add(1)
 		// Join the losing leg in the background so its latency sample
 		// or host drop still lands.
 		if c.tryHedgeLeg() {
 			go func() {
 				defer c.hedgeWG.Done()
 				if res := <-remoteCh; res.err == nil {
-					c.mu.Lock()
-					c.hedgeWasted++
-					c.mu.Unlock()
+					c.hedgeWasted.Add(1)
 				}
 			}()
 		} else if res := <-remoteCh; res.err == nil {
 			// Closing: drain the remote leg inline instead.
-			c.mu.Lock()
-			c.hedgeWasted++
-			c.mu.Unlock()
+			c.hedgeWasted.Add(1)
 		}
 		return copy(buf, d.data), nil
 	}
@@ -764,10 +757,8 @@ func (c *Client) Mwrite(fd int, offset int64, buf []byte) (int, error) {
 		c.markDiskDirty(fd)
 		return -1, fmt.Errorf("%w: remote write failed: %v", ErrNoMem, remoteErr)
 	}
-	c.mu.Lock()
-	c.remoteWrites++
-	c.remoteWriteBy += want
-	c.mu.Unlock()
+	c.remoteWrites.Add(1)
+	c.remoteWriteBy.Add(want)
 	return int(want), nil
 }
 
@@ -925,7 +916,7 @@ func (c *Client) CheckAlloc(fd int) (bool, error) {
 		if c.writeSeq[live.key] != c.confirmedSeq[live.key] || live.diskDirty {
 			return false, nil
 		}
-		c.handoffAdopts++
+		c.handoffAdopts.Add(1)
 	}
 	live.remote = ca.Region
 	live.valid = true

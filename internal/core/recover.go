@@ -111,9 +111,7 @@ func (c *Client) recoverRegion(fd int) bool {
 	if r.valid {
 		return true
 	}
-	c.mu.Lock()
-	c.revalidations++
-	c.mu.Unlock()
+	c.revalidations.Add(1)
 	resp, err := c.ep.Call(c.cfg.ManagerAddr, &wire.CheckAllocReq{Key: r.key})
 	if err != nil {
 		return false // manager unreachable; retry next pass
@@ -193,7 +191,7 @@ func (c *Client) adoptHandoff(fd int, key wire.RegionKey, reg wire.Region) bool 
 	}
 	live.remote = reg
 	live.valid = true
-	c.handoffAdopts++
+	c.handoffAdopts.Add(1)
 	return true
 }
 
@@ -253,7 +251,7 @@ func (c *Client) reopenRegion(fd int) bool {
 	live.remote = ar.Region
 	live.valid = true
 	live.diskDirty = false // the push carried the backing bytes
-	c.reopens++
+	c.reopens.Add(1)
 	c.logf("dodo: re-opened fd %d -> %s region %d after drop", fd, ar.Region.HostAddr, ar.Region.RegionID)
 	return true
 }

@@ -244,3 +244,75 @@ func headroomRun(frac float64, hosts int, duration time.Duration, seed int64) He
 	row := runReclaimWithHeadroom(frac, cfg)
 	return row
 }
+
+// PrefetchRow is one point of the sequential-prefetch sweep.
+type PrefetchRow struct {
+	// Window is the prefetch depth; 0 means prefetch disabled.
+	Window int
+	// Speedup over the disk-only baseline for a sequential scan.
+	Speedup float64
+	// Prefetches issued, and where the scan's bytes came from:
+	// foreground/pull disk reads vs remote-memory reads.
+	Prefetches, DiskReads, RemoteReads int64
+}
+
+// PrefetchAblation sweeps the sequential-prefetch window over a scan
+// workload. The driver runs the pipeline with zero workers — pulls
+// execute inline on the faulting call, so virtual time charges them to
+// the foreground and the sweep cannot show latency hiding (that is
+// BenchmarkPrefetchPipeline's job, in wall-clock time with a worker
+// pool). What it does show, deterministically: arming the pipeline is
+// cost-neutral on the scan (speedup stays ~1), while each window
+// consolidates a region's per-request disk read-throughs into one bulk
+// pull and shifts the remaining traffic to remote memory.
+func PrefetchAblation(scale float64, seed int64) ([]PrefetchRow, error) {
+	if scale == 0 {
+		scale = 0.0625
+	}
+	dataset := scaled(1<<30, scale)
+	req := int64(8 << 10)
+	// Regions are 4 requests wide: partial-region reads cannot migrate a
+	// region opportunistically (that path needs a full-region read), so
+	// getting ahead of the stream is the only way a cold region's later
+	// touches avoid the disk. With region == request size every read
+	// would clone as a side effect and the sweep would show nothing.
+	spec := workload.Spec{
+		Pattern:    workload.Sequential{DatasetBytes: dataset, ReqSize: req},
+		Iterations: Iterations,
+		Compute:    ComputePerRequest,
+	}
+	baseline := &workload.DiskStorage{
+		Disk: simdisk.NewDisk(simdisk.QuantumFireballST32(), scaled(BaselinePageCache, scale)),
+		File: 1,
+	}
+	base, _, err := workload.Run(spec, baseline)
+	if err != nil {
+		return nil, err
+	}
+	var rows []PrefetchRow
+	for _, window := range []int{0, 1, 2, 4} {
+		st := workload.NewDodoStorage(workload.DodoConfig{
+			Net:                simnet.UNetFastEthernet(),
+			RemoteBytes:        scaled(RemoteMemoryBytes, scale),
+			LocalCacheBytes:    scaled(LocalCacheBytes, scale),
+			RegionSize:         4 * req,
+			Policy:             "first-in",
+			DiskCacheBytes:     scaled(DodoPageCache, scale),
+			SequentialPrefetch: window > 0,
+			PrefetchWindow:     window,
+		})
+		dodo, _, err := workload.Run(spec, st)
+		if err != nil {
+			return nil, err
+		}
+		cstats, _ := st.Stats()
+		rows = append(rows, PrefetchRow{
+			Window:      window,
+			Speedup:     speedup(base, dodo),
+			Prefetches:  cstats.Prefetches,
+			DiskReads:   cstats.DiskReads,
+			RemoteReads: cstats.RemoteReads,
+		})
+	}
+	return rows, nil
+}

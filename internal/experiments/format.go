@@ -125,6 +125,20 @@ func FormatRefraction(w io.Writer, rows []RefractionRow) {
 	}
 }
 
+// FormatPrefetch renders the sequential-prefetch window sweep.
+func FormatPrefetch(w io.Writer, rows []PrefetchRow) {
+	fmt.Fprintf(w, "Sequential-prefetch ablation (§3.3): window depth vs scan traffic placement\n")
+	fmt.Fprintf(w, "%-8s %9s %12s %12s %12s\n", "window", "speedup", "prefetches", "disk-MB", "remote-MB")
+	for _, r := range rows {
+		win := "off"
+		if r.Window > 0 {
+			win = fmt.Sprintf("%d", r.Window)
+		}
+		fmt.Fprintf(w, "%-8s %9.2f %12d %12.1f %12.1f\n", win, r.Speedup, r.Prefetches,
+			float64(r.DiskReads)/(1<<20), float64(r.RemoteReads)/(1<<20))
+	}
+}
+
 // FormatHeadroom renders the headroom sensitivity sweep.
 func FormatHeadroom(w io.Writer, rows []HeadroomRow) {
 	fmt.Fprintf(w, "Headroom ablation (§3.1): harvest size vs owner delay\n")

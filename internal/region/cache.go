@@ -3,6 +3,7 @@ package region
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"dodo/internal/core"
@@ -75,11 +76,21 @@ type Config struct {
 	// first-in policy effectively disables it by refusing victims once
 	// the cache fills).
 	PromoteOnAccess bool
-	// SequentialPrefetch pulls the next contiguous region of a backing
+	// SequentialPrefetch pulls upcoming contiguous regions of a backing
 	// file toward the application when regions are accessed in order
 	// (see prefetch.go). Off by default, as in the paper; this is the
 	// cooperative-prefetching extension its related work points at.
 	SequentialPrefetch bool
+	// PrefetchWindow is how many regions ahead of a detected sequential
+	// stream the prefetcher runs (default 1).
+	PrefetchWindow int
+	// PrefetchWorkers sizes the asynchronous prefetch pool. 0 (the
+	// default) runs prefetches synchronously on the accessing
+	// goroutine, which keeps virtual-time experiments and the seeded
+	// fault sweeps deterministic under the sim clock; >0 starts that
+	// many background workers so prefetch I/O overlaps the foreground
+	// accesses that armed it.
+	PrefetchWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,10 +103,32 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = sim.WallClock{}
 	}
+	if c.PrefetchWindow < 1 {
+		c.PrefetchWindow = 1
+	}
+	if c.PrefetchWorkers < 0 {
+		c.PrefetchWorkers = 0
+	}
 	return c
 }
 
-// cregion is one entry of the local cache directory.
+// inflight is a region's in-flight marker: it is registered (under
+// c.mu) by the operation that owns a region's transition — a fill, a
+// dirty flush, or an eviction — before the lock is dropped for the
+// I/O, and done is closed (again under c.mu) once the results are
+// installed. Any operation that finds a marker on its region waits on
+// done outside the lock, then re-looks the region up from scratch.
+type inflight struct {
+	done chan struct{}
+}
+
+func newInflight() *inflight { return &inflight{done: make(chan struct{})} }
+
+// cregion is one entry of the local cache directory. Every field is
+// guarded by the Cache's mu (the struct itself carries no lock): I/O
+// phases work on ioView snapshots taken under the lock, and a non-nil
+// pend gives its owner exclusive right to *mutate* the region's
+// location state between two lock sections (see DESIGN.md §11).
 type cregion struct {
 	fd      int
 	length  int64
@@ -111,6 +144,11 @@ type cregion struct {
 	// retries after the refraction period instead of abandoning remote
 	// memory forever. Zero means healthy.
 	remoteFailAt time.Time
+	// pend is the in-flight marker; nil when the region is stable.
+	pend *inflight
+	// cloning suppresses duplicate remote-clone attempts from
+	// marker-less read-through paths (cloneRemote).
+	cloning bool
 }
 
 func (r *cregion) state() State {
@@ -123,6 +161,60 @@ func (r *cregion) state() State {
 		return StateRemote
 	}
 	return StateDiskOnly
+}
+
+// remoteMode classifies how an I/O phase may use a region's remote
+// copy; it is decided under c.mu, before the lock is dropped.
+type remoteMode int
+
+const (
+	// remoteNone: no usable remote copy (absent, or suspect inside the
+	// refraction period).
+	remoteNone remoteMode = iota
+	// remoteHealthy: use the descriptor directly.
+	remoteHealthy
+	// remoteRevive: suspect but past refraction — writes during the
+	// outage went disk-only, so the full contents must be re-pushed
+	// before the copy is trusted again (§3.1).
+	remoteRevive
+)
+
+// ioView is the under-lock snapshot an I/O phase works from once c.mu
+// is dropped. cregion fields are only ever touched while holding the
+// lock; everything an Mread/Mwrite/ReadAt/WriteAt needs travels here.
+type ioView struct {
+	fd       int
+	length   int64
+	backing  core.Backing
+	backOff  int64
+	remoteFD int
+	mode     remoteMode
+}
+
+// viewLocked snapshots r for an I/O phase. Caller holds c.mu.
+func (c *Cache) viewLocked(r *cregion) ioView {
+	return ioView{
+		fd:       r.fd,
+		length:   r.length,
+		backing:  r.backing,
+		backOff:  r.backOff,
+		remoteFD: r.remoteFD,
+		mode:     c.remoteModeLocked(r),
+	}
+}
+
+// remoteModeLocked classifies r's remote copy. Caller holds c.mu.
+func (c *Cache) remoteModeLocked(r *cregion) remoteMode {
+	if r.remoteFD < 0 {
+		return remoteNone
+	}
+	if r.remoteFailAt.IsZero() {
+		return remoteHealthy
+	}
+	if c.cfg.Clock.Now().Sub(r.remoteFailAt) < c.cfg.RefractionPeriod {
+		return remoteNone
+	}
+	return remoteRevive
 }
 
 // Stats reports cache activity; the virtual-time experiments derive
@@ -141,7 +233,14 @@ type Stats struct {
 	RemoteRevives int64 // suspect remote copies brought back into service
 }
 
-// Cache is the region-management library instance.
+// Cache is the region-management library instance. No disk or network
+// I/O ever runs while mu is held: operations decide and reserve under
+// the lock, mark the regions they are transitioning with in-flight
+// markers, perform the I/O on ioView snapshots, and re-lock to install
+// the results (DESIGN.md §11). Lock juggling is always local to one
+// function: helpers called with the lock held (the *Locked family)
+// never release it, and helpers that acquire it are never called with
+// it held.
 type Cache struct {
 	// dodo:unguarded — immutable after construction
 	cfg Config
@@ -153,6 +252,8 @@ type Cache struct {
 	regions map[int]*cregion
 	// dodo:guardedby mu
 	nextFD int
+	// used counts local-cache bytes, including bytes pre-charged for
+	// fills still in flight.
 	// dodo:guardedby mu
 	used int64
 	// dodo:guardedby mu
@@ -161,12 +262,39 @@ type Cache struct {
 	failed bool
 	// dodo:guardedby mu
 	stats Stats
+	// dodo:guardedby mu
+	closed bool
 
 	// prefetch state (prefetch.go)
 	// dodo:guardedby mu
 	byLocation map[prefKey]int
+	// fills coalesces concurrent fetches of one backing location — the
+	// singleflight per (inode, off): a fill marker is registered here
+	// as well as on its region, and fill admission waits out any entry
+	// already present for the location.
 	// dodo:guardedby mu
-	lastAccess prefKey
+	fills map[prefKey]*inflight
+	// streams maps a backing inode to the offset where the next
+	// sequential access would start, so interleaved scans over
+	// different backing files each keep their own detector.
+	// dodo:guardedby mu
+	streams map[uint64]int64
+	// prefetchPend counts prefetch jobs queued or running; Quiesce and
+	// Close wait for it to drain.
+	// dodo:guardedby mu
+	prefetchPend int
+	// quiesce signals prefetchPend transitions; it shares mu.
+	// dodo:unguarded — sync.Cond is internally synchronized over mu
+	quiesce *sync.Cond
+	// prefetchQ feeds the worker pool; nil when PrefetchWorkers == 0.
+	// dodo:unguarded — buffered channel, internally synchronized
+	prefetchQ chan int
+	// prefetchStop stops the pool; closed once by Close.
+	// dodo:unguarded — set at construction; closed once under the
+	// closed flag in Close
+	prefetchStop chan struct{}
+	// dodo:unguarded — WaitGroup is internally synchronized
+	prefetchWG sync.WaitGroup
 }
 
 // NewCache builds a region cache over the given Dodo runtime.
@@ -176,8 +304,19 @@ func NewCache(dodo Dodo, cfg Config) *Cache {
 		dodo:       dodo,
 		regions:    make(map[int]*cregion),
 		byLocation: make(map[prefKey]int),
+		fills:      make(map[prefKey]*inflight),
+		streams:    make(map[uint64]int64),
 	}
 	c.mu.SetRank(locks.RankRegionCache)
+	c.quiesce = sync.NewCond(&c.mu)
+	if c.cfg.PrefetchWorkers > 0 {
+		c.prefetchQ = make(chan int, 4*c.cfg.PrefetchWorkers+c.cfg.PrefetchWindow)
+		c.prefetchStop = make(chan struct{})
+		for i := 0; i < c.cfg.PrefetchWorkers; i++ {
+			c.prefetchWG.Add(1)
+			go c.prefetchWorker()
+		}
+	}
 	return c
 }
 
@@ -188,7 +327,8 @@ func (c *Cache) Stats() Stats {
 	return c.stats
 }
 
-// Used returns the bytes of local cache in use.
+// Used returns the bytes of local cache in use (fills in flight count
+// against the budget from the moment their space is reserved).
 func (c *Cache) Used() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -228,7 +368,6 @@ func (c *Cache) Copen(length int64, backing core.Backing, offset int64) (int, er
 		return -1, fmt.Errorf("%w: length %d offset %d", core.ErrInval, length, offset)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	fd := c.nextFD
 	c.nextFD++
 	r := &cregion{fd: fd, length: length, backing: backing, backOff: offset, remoteFD: -1}
@@ -238,229 +377,301 @@ func (c *Cache) Copen(length int64, backing core.Backing, offset int64) (int, er
 	// otherwise it stays disk-only for now, and the first full read or
 	// the grimReaper migrates it to the remote cache with its real
 	// contents in hand.
-	if length <= c.cfg.Capacity && c.ensureSpaceLocked(length) {
-		buf := make([]byte, length)
-		if _, err := backing.ReadAt(buf, offset); err == nil {
-			c.stats.DiskReads += length
-		}
-		r.local = buf
-		c.used += length
-		c.cfg.Policy.NoteCached(fd)
+	if length > c.cfg.Capacity {
+		c.mu.Unlock()
+		return fd, nil
 	}
+	victims, fit := c.reserveLocked(length)
+	if !fit && len(victims) == 0 {
+		c.mu.Unlock()
+		return fd, nil
+	}
+	var marker *inflight
+	var v ioView
+	key := prefKey{inode: backing.Inode(), off: offset}
+	if fit {
+		marker = newInflight()
+		r.pend = marker
+		c.fills[key] = marker
+		v = c.viewLocked(r)
+	}
+	c.mu.Unlock()
+
+	for i := range victims {
+		c.evictIO(&victims[i])
+	}
+	var data []byte
+	if fit {
+		// A fresh region cannot have a remote copy yet: disk is the
+		// only source.
+		data = make([]byte, length)
+		if _, err := v.backing.ReadAt(data, v.backOff); err == nil {
+			c.mu.Lock()
+			c.stats.DiskReads += length
+			c.mu.Unlock()
+		}
+	}
+
+	c.mu.Lock()
+	for i := range victims {
+		c.settleEvictionLocked(&victims[i])
+	}
+	if fit {
+		r.local = data
+		c.cfg.Policy.NoteCached(fd)
+		c.clearFillLocked(r, marker, key)
+	}
+	c.mu.Unlock()
 	return fd, nil
 }
 
-// Cread reads len(buf) bytes at offset within the region (§3.3).
+// Cread reads len(buf) bytes at offset within the region (§3.3). The
+// loop restarts whenever the region turns out to be mid-transition: it
+// waits out the in-flight marker with the lock released and re-looks
+// the region up from scratch.
 func (c *Cache) Cread(fd int, offset int64, buf []byte) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, ok := c.regions[fd]
-	if !ok {
-		return -1, fmt.Errorf("%w: %d", ErrBadFD, fd)
-	}
-	if offset < 0 || offset > r.length {
-		return -1, fmt.Errorf("%w: offset %d in %d-byte region", ErrRange, offset, r.length)
-	}
-	want := int64(len(buf))
-	if offset+want > r.length {
-		want = r.length - offset
-	}
-	if r.local == nil && c.cfg.PromoteOnAccess {
-		c.promoteLocked(r)
-	}
-	if c.cfg.SequentialPrefetch {
-		if nfd, ok := c.notePrefetchLocked(r); ok {
-			defer c.prefetchLocked(nfd)
+	filled := false
+	for {
+		c.mu.Lock()
+		r, ok := c.regions[fd]
+		if !ok {
+			c.mu.Unlock()
+			return -1, fmt.Errorf("%w: %d", ErrBadFD, fd)
 		}
-	}
-	if r.local != nil {
-		copy(buf[:want], r.local[offset:offset+want])
-		c.stats.LocalHits++
-		c.cfg.Policy.NoteAccess(fd, false)
-		return int(want), nil
-	}
-	// Read-through without caching.
-	if c.remoteReadyLocked(r) {
-		n, err := c.dodo.Mread(r.remoteFD, offset, buf[:want])
-		if err == nil {
-			c.stats.RemoteReads += int64(n)
-			return n, nil
+		if r.pend != nil {
+			p := r.pend
+			c.mu.Unlock()
+			<-p.done
+			continue
 		}
-		// Remote copy lost: fall back to disk (§3.1 drop semantics).
-		c.noteRemoteFailLocked(r, err)
+		if offset < 0 || offset > r.length {
+			c.mu.Unlock()
+			return -1, fmt.Errorf("%w: offset %d in %d-byte region", ErrRange, offset, r.length)
+		}
+		want := int64(len(buf))
+		if offset+want > r.length {
+			want = r.length - offset
+		}
+		if r.local == nil && c.cfg.PromoteOnAccess && !filled && r.length <= c.cfg.Capacity {
+			c.mu.Unlock()
+			filled = true // one attempt; the policy may refuse for good
+			c.fillRegion(fd)
+			continue
+		}
+		if r.local != nil {
+			copy(buf[:want], r.local[offset:offset+want])
+			c.stats.LocalHits++
+			c.cfg.Policy.NoteAccess(fd, false)
+			jobs := c.maybePrefetchLocked(r)
+			c.mu.Unlock()
+			c.dispatchPrefetch(jobs)
+			return int(want), nil
+		}
+		// Read-through without caching.
+		v := c.viewLocked(r)
+		c.mu.Unlock()
+		n, err := c.readThrough(v, offset, want, buf)
+		if err != nil {
+			// The foreground read failed: do not arm or issue
+			// prefetch off a broken stream.
+			return -1, err
+		}
+		c.mu.Lock()
+		var jobs []int
+		if r2, ok := c.regions[fd]; ok && r2 == r {
+			// Read-through hits count as accesses too, so a hot
+			// non-resident region can win promotion under policies
+			// that rank by access (the local-hit path above is not the
+			// only place the policy hears about traffic).
+			c.cfg.Policy.NoteAccess(fd, false)
+			jobs = c.maybePrefetchLocked(r2)
+		}
+		c.mu.Unlock()
+		c.dispatchPrefetch(jobs)
+		return n, nil
 	}
-	n, err := r.backing.ReadAt(buf[:want], r.backOff+offset)
-	if err != nil {
-		return -1, fmt.Errorf("region: disk read: %w", err)
-	}
-	c.stats.DiskReads += int64(n)
-	// Opportunistic migration: a full-region read already has the
-	// bytes in hand, so push them to the remote cache for later reads
-	// (this is how first-in workloads populate remote memory without
-	// displacing the protected local residents).
-	if offset == 0 && want == r.length && int64(n) == r.length && r.remoteFD < 0 {
-		c.cloneRemoteLocked(r, buf[:want])
-	}
-	return n, nil
 }
 
 // Cwrite writes buf at offset within the region (§3.3). Locally cached
 // regions absorb the write (write-back, flushed by eviction or Csync);
 // non-resident regions write through to remote memory and disk.
 func (c *Cache) Cwrite(fd int, offset int64, buf []byte) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, ok := c.regions[fd]
-	if !ok {
-		return -1, fmt.Errorf("%w: %d", ErrBadFD, fd)
-	}
-	if offset < 0 || offset > r.length {
-		return -1, fmt.Errorf("%w: offset %d in %d-byte region", ErrRange, offset, r.length)
-	}
-	want := int64(len(buf))
-	if offset+want > r.length {
-		want = r.length - offset
-	}
-	if r.local == nil && c.cfg.PromoteOnAccess {
-		c.promoteLocked(r)
-	}
-	if r.local != nil {
-		copy(r.local[offset:offset+want], buf[:want])
-		r.dirty = true
-		c.cfg.Policy.NoteAccess(fd, true)
-		return int(want), nil
-	}
-	// Write through.
-	if c.remoteReadyLocked(r) {
-		n, err := c.dodo.Mwrite(r.remoteFD, offset, buf[:want])
-		if err == nil {
-			return n, nil // Mwrite wrote disk too
+	filled := false
+	for {
+		c.mu.Lock()
+		r, ok := c.regions[fd]
+		if !ok {
+			c.mu.Unlock()
+			return -1, fmt.Errorf("%w: %d", ErrBadFD, fd)
 		}
-		c.noteRemoteFailLocked(r, err)
-	}
-	// A full-region write can establish the remote copy directly:
-	// Mwrite propagates to both the remote host and the backing file.
-	// Only for regions with no remote descriptor at all — a suspect
-	// descriptor makes cloneRemoteLocked a no-op success, and the write
-	// would reach neither remote memory nor disk.
-	if offset == 0 && want == r.length && r.remoteFD < 0 {
-		if c.cloneRemoteLocked(r, buf[:want]) {
+		if r.pend != nil {
+			p := r.pend
+			c.mu.Unlock()
+			<-p.done
+			continue
+		}
+		if offset < 0 || offset > r.length {
+			c.mu.Unlock()
+			return -1, fmt.Errorf("%w: offset %d in %d-byte region", ErrRange, offset, r.length)
+		}
+		want := int64(len(buf))
+		if offset+want > r.length {
+			want = r.length - offset
+		}
+		if r.local == nil && c.cfg.PromoteOnAccess && !filled && r.length <= c.cfg.Capacity {
+			c.mu.Unlock()
+			filled = true
+			c.fillRegion(fd)
+			continue
+		}
+		if r.local != nil {
+			copy(r.local[offset:offset+want], buf[:want])
+			r.dirty = true
+			c.cfg.Policy.NoteAccess(fd, true)
+			c.mu.Unlock()
 			return int(want), nil
 		}
+		// Write through.
+		v := c.viewLocked(r)
+		c.mu.Unlock()
+		return c.writeThrough(v, offset, want, buf)
 	}
-	n, err := r.backing.WriteAt(buf[:want], r.backOff+offset)
-	if err != nil {
-		return -1, fmt.Errorf("region: disk write: %w", err)
-	}
-	return n, nil
 }
 
 // Csync forces the region to remote memory and disk (§3.3: "blocks till
 // the region has been written to remote memory and to disk").
 func (c *Cache) Csync(fd int) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, ok := c.regions[fd]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrBadFD, fd)
-	}
-	if r.local != nil && r.dirty {
-		if r.remoteFD < 0 {
-			c.cloneRemoteLocked(r, r.local) // best effort: remote copy wanted
+	for {
+		c.mu.Lock()
+		r, ok := c.regions[fd]
+		if !ok {
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %d", ErrBadFD, fd)
 		}
-		if err := c.flushLocked(r); err != nil {
-			return err
+		if r.pend != nil {
+			p := r.pend
+			c.mu.Unlock()
+			<-p.done
+			continue
 		}
+		if r.local != nil && r.dirty {
+			marker := newInflight()
+			r.pend = marker
+			data := r.local // the marker excludes concurrent mutation
+			wantClone := r.remoteFD < 0
+			v := c.viewLocked(r)
+			c.mu.Unlock()
+
+			flushed := false
+			if wantClone && c.cloneRemote(fd, data, true) {
+				// The clone's Mwrite pushed data to the new remote
+				// copy and through to disk: the flush already
+				// happened.
+				flushed = true
+				c.mu.Lock()
+				c.stats.WriteBacks++
+				c.mu.Unlock()
+			}
+			var ferr error
+			if !flushed {
+				ferr = c.flushIO(v, data)
+			}
+
+			c.mu.Lock()
+			r.pend = nil
+			close(marker.done)
+			if ferr != nil {
+				c.mu.Unlock()
+				return ferr
+			}
+			r.dirty = false
+		}
+		v := c.viewLocked(r)
+		c.mu.Unlock()
+		if v.remoteFD >= 0 {
+			return c.dodo.Msync(v.remoteFD)
+		}
+		return v.backing.Sync()
 	}
-	if r.remoteFD >= 0 {
-		return c.dodo.Msync(r.remoteFD)
-	}
-	return r.backing.Sync()
 }
 
 // Cclose flushes and releases the region (§3.3).
 func (c *Cache) Cclose(fd int) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, ok := c.regions[fd]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrBadFD, fd)
-	}
-	if r.local != nil && r.dirty {
-		if err := c.flushLocked(r); err != nil {
-			return err
+	for {
+		c.mu.Lock()
+		r, ok := c.regions[fd]
+		if !ok {
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %d", ErrBadFD, fd)
 		}
-	}
-	if r.local != nil {
-		c.used -= r.length
-		r.local = nil
-		c.cfg.Policy.NoteUncached(fd)
-	}
-	if r.remoteFD >= 0 {
-		_ = c.dodo.Mclose(r.remoteFD) // region may already be reclaimed
-	}
-	c.unregisterLocationLocked(r)
-	delete(c.regions, fd)
-	return nil
-}
-
-// flushLocked writes a dirty local copy to disk (and to the remote copy
-// if one exists), clearing the dirty flag. Caller holds c.mu.
-func (c *Cache) flushLocked(r *cregion) error {
-	if c.remoteReadyLocked(r) {
-		// Mwrite propagates to disk and remote in parallel (§3).
-		if _, err := c.dodo.Mwrite(r.remoteFD, 0, r.local); err == nil {
+		if r.pend != nil {
+			p := r.pend
+			c.mu.Unlock()
+			<-p.done
+			continue
+		}
+		if r.local != nil && r.dirty {
+			marker := newInflight()
+			r.pend = marker
+			data := r.local // the marker excludes concurrent mutation
+			v := c.viewLocked(r)
+			c.mu.Unlock()
+			ferr := c.flushIO(v, data)
+			c.mu.Lock()
+			r.pend = nil
+			close(marker.done)
+			if ferr != nil {
+				// The region stays open (and dirty) so the caller can
+				// retry or sync elsewhere.
+				c.mu.Unlock()
+				return ferr
+			}
 			r.dirty = false
-			c.stats.WriteBacks++
-			return nil
-		} else {
-			c.noteRemoteFailLocked(r, err) // remote lost; fall through to disk
 		}
+		if r.local != nil {
+			c.used -= r.length
+			r.local = nil
+			c.cfg.Policy.NoteUncached(fd)
+		}
+		remoteFD := r.remoteFD
+		c.unregisterLocationLocked(r)
+		delete(c.regions, fd)
+		c.mu.Unlock()
+		if remoteFD >= 0 {
+			_ = c.dodo.Mclose(remoteFD) // region may already be reclaimed
+		}
+		return nil
 	}
-	if _, err := r.backing.WriteAt(r.local, r.backOff); err != nil {
-		return fmt.Errorf("region: flushing region %d: %w", r.fd, err)
-	}
-	r.dirty = false
-	c.stats.WriteBacks++
-	return nil
 }
 
-// promoteLocked pulls a region into the local cache, evicting victims as
-// needed. On failure the region stays where it is. Caller holds c.mu.
-func (c *Cache) promoteLocked(r *cregion) {
-	if r.length > c.cfg.Capacity || !c.ensureSpaceLocked(r.length) {
-		return
-	}
-	buf := make([]byte, r.length)
-	filled := false
-	if c.remoteReadyLocked(r) {
-		if n, err := c.dodo.Mread(r.remoteFD, 0, buf); err == nil && int64(n) == r.length {
-			c.stats.RemoteReads += int64(n)
-			filled = true
-		} else {
-			c.noteRemoteFailLocked(r, err)
-		}
-	}
-	if !filled {
-		if _, err := r.backing.ReadAt(buf, r.backOff); err == nil {
-			c.stats.DiskReads += r.length
-		}
-	}
-	r.local = buf
-	c.used += r.length
-	c.stats.Promotions++
-	c.cfg.Policy.NoteCached(r.fd)
+// evictJob is one eviction decided under the lock and executed outside
+// it: the victim's buffer is detached at decision time, the dirty
+// flush and remote clone happen in evictIO, and settleEvictionLocked
+// installs the outcome and releases the marker.
+type evictJob struct {
+	r      *cregion
+	view   ioView
+	data   []byte
+	dirty  bool
+	marker *inflight
+	// reinstall is set by evictIO when the flush failed: the bytes
+	// have nowhere durable to go, so the region re-enters the cache.
+	reinstall bool
 }
 
-// ensureSpaceLocked is the grimReaper of Figure 5: evict regions chosen
-// by the policy until need bytes are free, migrating each victim to the
-// remote cache (writing dirty data to disk first) or spilling it to
-// disk when the remote cache has no space. Caller holds c.mu.
-func (c *Cache) ensureSpaceLocked(need int64) bool {
+// reserveLocked is the decision half of the grimReaper (Figure 5):
+// pick victims by policy until need bytes fit, detach their buffers,
+// and pre-charge the budget for the caller's fill. The flushes and
+// remote clones the evictions imply run later, outside the lock, via
+// evictIO/settleEvictionLocked. Caller holds c.mu.
+//
+// Even when the policy refuses and fit is false, the already-detached
+// victims are committed and must still be flushed by the caller.
+func (c *Cache) reserveLocked(need int64) (victims []evictJob, fit bool) {
 	for c.cfg.Capacity-c.used < need {
 		fd, ok := c.cfg.Policy.Victim()
 		if !ok {
-			return false // policy refuses (first-in) or cache empty
+			return victims, false // policy refuses (first-in) or cache empty
 		}
 		victim := c.regions[fd]
 		if victim == nil || victim.local == nil {
@@ -468,109 +679,412 @@ func (c *Cache) ensureSpaceLocked(need int64) bool {
 			c.cfg.Policy.NoteUncached(fd)
 			continue
 		}
-		if victim.dirty {
-			if err := c.flushLocked(victim); err != nil {
-				return false
-			}
+		if victim.pend != nil {
+			// The victim is mid-transition (a Csync flush): give up
+			// rather than spin on a region we may not touch.
+			return victims, false
 		}
-		if victim.remoteFD < 0 {
-			c.cloneRemoteLocked(victim, victim.local)
+		job := evictJob{
+			r:      victim,
+			data:   victim.local,
+			dirty:  victim.dirty,
+			marker: newInflight(),
 		}
-		// removeLocalEntry(R)
-		c.used -= victim.length
+		victim.pend = job.marker
 		victim.local = nil
+		victim.dirty = false
+		c.used -= victim.length
 		c.cfg.Policy.NoteUncached(fd)
-		c.stats.Evictions++
+		job.view = c.viewLocked(victim)
+		victims = append(victims, job)
 	}
-	return true
+	c.used += need // pre-charge the fill; install adds nothing
+	return victims, true
 }
 
-// noteRemoteFailLocked records a failed remote access. ErrNoMem (host
-// crashed, reclaimed, or dropped, §3.1) keeps the descriptor and marks
-// the copy suspect so the cache repopulates through the runtime's
-// background recovery after the refraction period; any other error is
-// unrecoverable and drops the remote copy for good. Caller holds c.mu.
-func (c *Cache) noteRemoteFailLocked(r *cregion, err error) {
-	if errors.Is(err, core.ErrNoMem) {
-		r.remoteFailAt = c.cfg.Clock.Now()
+// evictIO is the I/O half of one eviction: flush dirty bytes to the
+// victim's remote copy or disk, then try to stage the victim remotely
+// (cloneRemoteRegion of Figure 5) so its next access skips the disk.
+// Runs without c.mu.
+func (c *Cache) evictIO(job *evictJob) {
+	if job.dirty && c.flushIO(job.view, job.data) != nil {
+		job.reinstall = true
 		return
 	}
-	r.remoteFD = -1
-	r.remoteFailAt = time.Time{}
+	if job.view.remoteFD < 0 {
+		c.cloneRemote(job.view.fd, job.data, job.dirty)
+	}
 }
 
-// remoteReadyLocked reports whether r's remote copy may be used. A
-// suspect copy is refused until the refraction period has passed; on
-// the first attempt after it, the full region contents are re-pushed
-// before the copy is trusted again — writes during the outage went
-// disk-only, so the remote bytes may be stale even when the runtime
-// revived the descriptor. Caller holds c.mu.
-func (c *Cache) remoteReadyLocked(r *cregion) bool {
-	if r.remoteFD < 0 {
-		return false
+// settleEvictionLocked installs one eviction's outcome and releases
+// its marker. Caller holds c.mu.
+func (c *Cache) settleEvictionLocked(job *evictJob) {
+	r := job.r
+	if job.reinstall {
+		// The flush failed: the detached bytes are the only copy, so
+		// the region re-enters the cache, transiently overshooting the
+		// budget rather than losing data. The next reservation evicts
+		// harder.
+		r.local = job.data
+		r.dirty = true
+		c.used += r.length
+		c.cfg.Policy.NoteCached(r.fd)
+	} else {
+		c.stats.Evictions++
 	}
-	if r.remoteFailAt.IsZero() {
-		return true
+	r.pend = nil
+	close(job.marker.done)
+}
+
+// fillRegion pulls the region into the local cache (promotion). It
+// acquires c.mu itself and must be called without it: victim
+// selection, budget pre-charge and marker registration happen under
+// the lock; the eviction flushes and the fetch run with it released;
+// a final lock section installs the contents and wakes waiters.
+func (c *Cache) fillRegion(fd int) {
+	c.mu.Lock()
+	r, ok := c.regions[fd]
+	if !ok || r.local != nil || r.pend != nil || r.length > c.cfg.Capacity {
+		// Gone, already local, or mid-transition (someone else's fill
+		// or flush owns it — the caller's retry loop waits that out).
+		c.mu.Unlock()
+		return
 	}
-	now := c.cfg.Clock.Now()
-	if now.Sub(r.remoteFailAt) < c.cfg.RefractionPeriod {
-		return false
+	key := prefKey{inode: r.backing.Inode(), off: r.backOff}
+	if f, busy := c.fills[key]; busy {
+		// A region aliased to the same backing location is already
+		// filling (the singleflight per (inode, off)): ride out its
+		// I/O instead of issuing a duplicate fetch.
+		c.mu.Unlock()
+		<-f.done
+		return
 	}
-	data := r.local
-	if data == nil {
-		data = make([]byte, r.length)
-		if _, err := r.backing.ReadAt(data, r.backOff); err != nil {
-			return false
+	victims, fit := c.reserveLocked(r.length)
+	if !fit && len(victims) == 0 {
+		c.mu.Unlock()
+		return // nothing to evict and no room: stay non-resident
+	}
+	var marker *inflight
+	var v ioView
+	if fit {
+		marker = newInflight()
+		r.pend = marker
+		c.fills[key] = marker
+		v = c.viewLocked(r)
+	}
+	c.mu.Unlock()
+
+	for i := range victims {
+		c.evictIO(&victims[i])
+	}
+	var data []byte
+	if fit {
+		data = c.fetchContents(v)
+	}
+
+	c.mu.Lock()
+	for i := range victims {
+		c.settleEvictionLocked(&victims[i])
+	}
+	if fit {
+		r.local = data
+		c.stats.Promotions++
+		c.cfg.Policy.NoteCached(fd)
+		c.clearFillLocked(r, marker, key)
+	}
+	c.mu.Unlock()
+}
+
+// clearFillLocked releases a fill marker: waiters wake and the
+// singleflight entry comes off (unless a later fill for a re-opened
+// alias already replaced it). Caller holds c.mu.
+func (c *Cache) clearFillLocked(r *cregion, marker *inflight, key prefKey) {
+	r.pend = nil
+	if c.fills[key] == marker {
+		delete(c.fills, key)
+	}
+	close(marker.done)
+}
+
+// fetchContents reads the full region behind v, remote copy first. It
+// always returns a region-length buffer — zero-filled when every copy
+// fails, matching the pre-concurrency fault-in behavior. Runs without
+// c.mu.
+func (c *Cache) fetchContents(v ioView) []byte {
+	buf := make([]byte, v.length)
+	switch v.mode {
+	case remoteHealthy:
+		n, err := c.dodo.Mread(v.remoteFD, 0, buf)
+		if err == nil && int64(n) == v.length {
+			c.mu.Lock()
+			c.stats.RemoteReads += int64(n)
+			c.mu.Unlock()
+			return buf
 		}
-		c.stats.DiskReads += r.length
+		c.remoteFailed(v.fd, err)
+	case remoteRevive:
+		// Writes during the outage went disk-only, so disk is the
+		// authority: read it, push the bytes to revive the remote
+		// copy, and serve the fill from the disk bytes.
+		if _, err := v.backing.ReadAt(buf, v.backOff); err == nil {
+			c.mu.Lock()
+			c.stats.DiskReads += v.length
+			c.mu.Unlock()
+			if _, err := c.dodo.Mwrite(v.remoteFD, 0, buf); err == nil {
+				c.remoteRevived(v.fd)
+			} else {
+				c.remoteStaySuspect(v.fd)
+			}
+			return buf
+		}
 	}
-	if _, err := c.dodo.Mwrite(r.remoteFD, 0, data); err != nil {
-		r.remoteFailAt = now // still down; stay suspect
+	if _, err := v.backing.ReadAt(buf, v.backOff); err == nil {
+		c.mu.Lock()
+		c.stats.DiskReads += v.length
+		c.mu.Unlock()
+	}
+	return buf
+}
+
+// readThrough serves a read for a non-resident region from its remote
+// copy or the backing file, without touching the local cache. Runs
+// without c.mu, on an under-lock snapshot.
+func (c *Cache) readThrough(v ioView, offset, want int64, buf []byte) (int, error) {
+	if v.mode == remoteRevive {
+		if c.reviveRemote(v) {
+			v.mode = remoteHealthy
+		} else {
+			v.mode = remoteNone
+		}
+	}
+	if v.mode == remoteHealthy {
+		n, err := c.dodo.Mread(v.remoteFD, offset, buf[:want])
+		if err == nil {
+			c.mu.Lock()
+			c.stats.RemoteReads += int64(n)
+			c.mu.Unlock()
+			return n, nil
+		}
+		// Remote copy lost: fall back to disk (§3.1 drop semantics).
+		c.remoteFailed(v.fd, err)
+	}
+	n, err := v.backing.ReadAt(buf[:want], v.backOff+offset)
+	if err != nil {
+		return -1, fmt.Errorf("region: disk read: %w", err)
+	}
+	c.mu.Lock()
+	c.stats.DiskReads += int64(n)
+	c.mu.Unlock()
+	// Opportunistic migration: a full-region read already has the
+	// bytes in hand, so push them to the remote cache for later reads
+	// (this is how first-in workloads populate remote memory without
+	// displacing the protected local residents).
+	if offset == 0 && want == v.length && int64(n) == v.length && v.remoteFD < 0 {
+		c.cloneRemote(v.fd, buf[:want], false)
+	}
+	return n, nil
+}
+
+// writeThrough propagates a write for a non-resident region to its
+// remote copy (which reaches disk too) or the backing file. Runs
+// without c.mu, on an under-lock snapshot.
+func (c *Cache) writeThrough(v ioView, offset, want int64, buf []byte) (int, error) {
+	if v.mode == remoteRevive {
+		if c.reviveRemote(v) {
+			v.mode = remoteHealthy
+		} else {
+			v.mode = remoteNone
+		}
+	}
+	if v.mode == remoteHealthy {
+		n, err := c.dodo.Mwrite(v.remoteFD, offset, buf[:want])
+		if err == nil {
+			c.noteThroughAccess(v.fd, true)
+			return n, nil // Mwrite wrote disk too
+		}
+		c.remoteFailed(v.fd, err)
+	}
+	// A full-region write can establish the remote copy directly:
+	// Mwrite propagates to both the remote host and the backing file.
+	// Only for regions with no remote descriptor at all — a suspect
+	// descriptor makes cloneRemote a no-op success, and the write
+	// would reach neither remote memory nor disk.
+	if offset == 0 && want == v.length && v.remoteFD < 0 {
+		if c.cloneRemote(v.fd, buf[:want], false) {
+			c.noteThroughAccess(v.fd, true)
+			return int(want), nil
+		}
+	}
+	n, err := v.backing.WriteAt(buf[:want], v.backOff+offset)
+	if err != nil {
+		return -1, fmt.Errorf("region: disk write: %w", err)
+	}
+	c.noteThroughAccess(v.fd, true)
+	return n, nil
+}
+
+// flushIO writes a region's full contents to its remote copy (Mwrite
+// propagates to disk as well, §3) or directly to disk. The caller owns
+// the region's marker; v is its under-lock snapshot. A suspect remote
+// copy past refraction is revived by this very push. Runs without
+// c.mu.
+func (c *Cache) flushIO(v ioView, data []byte) error {
+	if v.mode == remoteHealthy || v.mode == remoteRevive {
+		if _, err := c.dodo.Mwrite(v.remoteFD, 0, data); err == nil {
+			if v.mode == remoteRevive {
+				c.remoteRevived(v.fd)
+			}
+			c.mu.Lock()
+			c.stats.WriteBacks++
+			c.mu.Unlock()
+			return nil
+		} else {
+			c.remoteFailed(v.fd, err) // remote lost; fall through to disk
+		}
+	}
+	if _, err := v.backing.WriteAt(data, v.backOff); err != nil {
+		return fmt.Errorf("region: flushing region %d: %w", v.fd, err)
+	}
+	c.mu.Lock()
+	c.stats.WriteBacks++
+	c.mu.Unlock()
+	return nil
+}
+
+// reviveRemote re-validates a suspect remote copy after the refraction
+// period for a region with no local bytes: writes during the outage
+// went disk-only, so the disk contents are pushed before the copy is
+// trusted again (§3.1). Runs without c.mu.
+func (c *Cache) reviveRemote(v ioView) bool {
+	data := make([]byte, v.length)
+	if _, err := v.backing.ReadAt(data, v.backOff); err != nil {
 		return false
 	}
-	if r.local != nil {
-		r.dirty = false // Mwrite propagated the local bytes to disk too
+	c.mu.Lock()
+	c.stats.DiskReads += v.length
+	c.mu.Unlock()
+	if _, err := c.dodo.Mwrite(v.remoteFD, 0, data); err != nil {
+		c.remoteStaySuspect(v.fd)
+		return false
 	}
-	r.remoteFailAt = time.Time{}
-	c.stats.RemoteRevives++
+	c.remoteRevived(v.fd)
 	return true
 }
 
-// cloneRemoteLocked tries to give r a remote copy (cloneRemoteRegion of
-// Figure 5), honoring the refraction period after a failed allocation.
-// data supplies the region's current contents when the caller has them
-// in hand; nil derives them from the local copy or, as a last resort,
-// from the backing file (a remote region must always hold real bytes).
-// Caller holds c.mu. Reports whether the region now has a remote copy.
-func (c *Cache) cloneRemoteLocked(r *cregion, data []byte) bool {
+// remoteFailed records a failed remote access. ErrNoMem (host crashed,
+// reclaimed, or dropped, §3.1) keeps the descriptor and marks the copy
+// suspect so the cache repopulates through the runtime's background
+// recovery after the refraction period; any other error is
+// unrecoverable and drops the remote copy for good. The region may
+// have been closed while the lock was down; a missing fd is a no-op.
+func (c *Cache) remoteFailed(fd int, err error) {
+	c.mu.Lock()
+	if r, ok := c.regions[fd]; ok {
+		if errors.Is(err, core.ErrNoMem) {
+			r.remoteFailAt = c.cfg.Clock.Now()
+		} else {
+			r.remoteFD = -1
+			r.remoteFailAt = time.Time{}
+		}
+	}
+	c.mu.Unlock()
+}
+
+// remoteStaySuspect re-arms a suspect remote copy's refraction window
+// after a failed revival push.
+func (c *Cache) remoteStaySuspect(fd int) {
+	c.mu.Lock()
+	if r, ok := c.regions[fd]; ok {
+		r.remoteFailAt = c.cfg.Clock.Now()
+	}
+	c.mu.Unlock()
+}
+
+// remoteRevived clears a remote copy's suspect mark after a successful
+// full-content push.
+func (c *Cache) remoteRevived(fd int) {
+	c.mu.Lock()
+	if r, ok := c.regions[fd]; ok {
+		r.remoteFailAt = time.Time{}
+		c.stats.RemoteRevives++
+	}
+	c.mu.Unlock()
+}
+
+// noteThroughAccess tells the policy about a read-through or
+// write-through access, so a hot non-resident region can win promotion
+// under policies that rank by access frequency.
+func (c *Cache) noteThroughAccess(fd int, write bool) {
+	c.mu.Lock()
+	if _, ok := c.regions[fd]; ok {
+		c.cfg.Policy.NoteAccess(fd, write)
+	}
+	c.mu.Unlock()
+}
+
+// cloneRemote tries to give region fd a remote copy (cloneRemoteRegion
+// of Figure 5), honoring the refraction period after a failed
+// allocation. data supplies the region's current contents when the
+// caller has them in hand; nil reads them from the backing file (a
+// remote region must always hold real bytes). clearDirty is set only
+// by callers that own the region's marker and pass its live local
+// bytes, so a successful push (which reaches disk too) may clear the
+// dirty flag. Runs without c.mu; reports whether the region has a
+// remote copy afterwards.
+func (c *Cache) cloneRemote(fd int, data []byte, clearDirty bool) bool {
+	c.mu.Lock()
+	r, ok := c.regions[fd]
+	if !ok {
+		c.mu.Unlock()
+		return false
+	}
 	if r.remoteFD >= 0 {
+		c.mu.Unlock()
 		return true
+	}
+	if r.cloning {
+		// Another goroutine is already on it; this attempt is
+		// opportunistic, so just report no copy yet.
+		c.mu.Unlock()
+		return false
 	}
 	now := c.cfg.Clock.Now()
 	if c.failed && now.Sub(c.lastFail) < c.cfg.RefractionPeriod {
 		c.stats.RefractSkips++
+		c.mu.Unlock()
 		return false
 	}
-	mfd, err := c.dodo.Mopen(r.length, r.backing, r.backOff)
+	r.cloning = true
+	length, backing, backOff := r.length, r.backing, r.backOff
+	c.mu.Unlock()
+
+	mfd, err := c.dodo.Mopen(length, backing, backOff)
 	if err != nil {
 		// No space in the remote cache: enter refraction (Figure 5).
+		c.mu.Lock()
 		c.failed = true
-		c.lastFail = now
+		c.lastFail = c.cfg.Clock.Now()
 		c.stats.DiskSpills++
+		if r2, ok := c.regions[fd]; ok {
+			r2.cloning = false
+		}
+		c.mu.Unlock()
 		return false
 	}
-	c.failed = false
-	if data == nil {
-		data = r.local
-	}
+	diskRead := int64(0)
 	if data == nil {
 		// Disk-only source: the clone must carry the real contents.
-		data = make([]byte, r.length)
-		if _, err := r.backing.ReadAt(data, r.backOff); err != nil {
+		data = make([]byte, length)
+		if _, err := backing.ReadAt(data, backOff); err != nil {
 			_ = c.dodo.Mclose(mfd)
+			c.mu.Lock()
+			if r2, ok := c.regions[fd]; ok {
+				r2.cloning = false
+			}
+			c.mu.Unlock()
 			return false
 		}
-		c.stats.DiskReads += r.length
+		diskRead = length
 	}
 	// Push the contents so the remote copy is authoritative.
 	if _, err := c.dodo.Mwrite(mfd, 0, data); err != nil {
@@ -578,14 +1092,38 @@ func (c *Cache) cloneRemoteLocked(r *cregion, data []byte) bool {
 		// client descriptor plus its manager-side allocation, and the
 		// runtime's recovery loop would grind on the orphan forever.
 		_ = c.dodo.Mclose(mfd)
+		c.mu.Lock()
 		c.failed = true
-		c.lastFail = now
+		c.lastFail = c.cfg.Clock.Now()
+		if r2, ok := c.regions[fd]; ok {
+			r2.cloning = false
+		}
+		c.mu.Unlock()
 		return false
 	}
-	r.remoteFD = mfd
-	c.stats.RemoteClones++
-	if r.local != nil {
-		r.dirty = false
+
+	c.mu.Lock()
+	c.failed = false
+	c.stats.DiskReads += diskRead
+	r2, ok := c.regions[fd]
+	if !ok {
+		// Closed while the lock was down: release the fresh clone.
+		c.mu.Unlock()
+		_ = c.dodo.Mclose(mfd)
+		return false
 	}
+	r2.cloning = false
+	if r2.remoteFD >= 0 {
+		// Raced with another path that established a copy.
+		c.mu.Unlock()
+		_ = c.dodo.Mclose(mfd)
+		return true
+	}
+	r2.remoteFD = mfd
+	c.stats.RemoteClones++
+	if clearDirty && r2.local != nil {
+		r2.dirty = false // the push propagated the local bytes to disk
+	}
+	c.mu.Unlock()
 	return true
 }

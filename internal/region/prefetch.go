@@ -1,17 +1,25 @@
 package region
 
+import "runtime"
+
 // Sequential prefetching is this reproduction's implementation of the
 // direction the paper points at via Voelker et al.'s cooperative
 // prefetching: when the application walks regions of one backing file
-// in order, the cache pulls the next region toward local memory before
-// it is asked for.
+// in order, the cache pulls the next regions toward local memory before
+// they are asked for.
 //
 // Enable it with Config.SequentialPrefetch. Detection is per backing
-// file: an access to the region starting exactly where the previous
-// accessed region ended arms the prefetcher. The prefetch itself runs
-// through Prefetch, which callers can also invoke directly for
-// application-directed prefetching (the explicit analogue of the
-// paper's explicit-control philosophy).
+// file (c.streams keys on the inode, so interleaved scans over
+// different files each keep their own detector): an access to the
+// region starting exactly where the previously accessed region of that
+// file ended arms the prefetcher, which then runs Config.PrefetchWindow
+// contiguous regions ahead. With Config.PrefetchWorkers > 0 the pulls
+// run on a bounded background pool, overlapping the foreground
+// accesses; with 0 workers they run synchronously on the accessing
+// goroutine, which keeps virtual-time experiments deterministic. The
+// pull itself goes through Prefetch, which callers can also invoke
+// directly for application-directed prefetching (the explicit analogue
+// of the paper's explicit-control philosophy).
 
 // prefKey identifies a region by its backing location.
 type prefKey struct {
@@ -19,25 +27,135 @@ type prefKey struct {
 	off   int64
 }
 
-// notePrefetchLocked records an access for sequential detection and
-// returns the fd of the region to prefetch, if any. Caller holds c.mu.
-func (c *Cache) notePrefetchLocked(r *cregion) (int, bool) {
-	key := prefKey{inode: r.backing.Inode(), off: r.backOff}
-	next := prefKey{inode: key.inode, off: r.backOff + r.length}
-	sequential := c.lastAccess == key
-	c.lastAccess = next // next sequential access starts where this ended
-	if !sequential {
-		return 0, false
+// maybePrefetchLocked records an access to r for sequential detection
+// and returns the fds the prefetch pipeline should pull, accounting
+// them in prefetchPend. Caller holds c.mu; the caller must pass the
+// returned jobs to dispatchPrefetch after unlocking (the dispatch
+// sends on a channel, which must never happen under the lock).
+func (c *Cache) maybePrefetchLocked(r *cregion) []int {
+	if !c.cfg.SequentialPrefetch {
+		return nil
 	}
-	nfd, ok := c.byLocation[next]
-	if !ok {
-		return 0, false
+	inode := r.backing.Inode()
+	next, armed := c.streams[inode]
+	c.streams[inode] = r.backOff + r.length
+	if !armed || next != r.backOff {
+		return nil
 	}
-	nr := c.regions[nfd]
-	if nr == nil || nr.local != nil {
-		return 0, false
+	// Sequential stream confirmed: collect up to PrefetchWindow
+	// contiguous successor regions that are neither local nor already
+	// in flight.
+	var jobs []int
+	off := r.backOff + r.length
+	for i := 0; i < c.cfg.PrefetchWindow; i++ {
+		nfd, ok := c.byLocation[prefKey{inode: inode, off: off}]
+		if !ok {
+			break // hole in the file coverage ends the window
+		}
+		nr := c.regions[nfd]
+		if nr == nil {
+			break
+		}
+		if nr.local == nil && nr.pend == nil {
+			jobs = append(jobs, nfd)
+		}
+		off += nr.length
 	}
-	return nfd, true
+	if len(jobs) == 0 || c.closed {
+		return nil
+	}
+	c.prefetchPend += len(jobs)
+	return jobs
+}
+
+// dispatchPrefetch hands jobs from maybePrefetchLocked to the pipeline.
+// Must be called without c.mu. With no worker pool the pulls run
+// inline; with a pool they are queued, and dropped (they are hints)
+// when the queue is saturated.
+func (c *Cache) dispatchPrefetch(jobs []int) {
+	for _, fd := range jobs {
+		if c.prefetchQ == nil {
+			c.prefetch(fd)
+			c.finishPrefetchJob()
+			continue
+		}
+		select {
+		case c.prefetchQ <- fd:
+		default:
+			c.finishPrefetchJob() // queue full: drop the hint
+		}
+	}
+}
+
+// finishPrefetchJob retires one accounted prefetch job and wakes
+// Quiesce waiters.
+func (c *Cache) finishPrefetchJob() {
+	c.mu.Lock()
+	c.prefetchPend--
+	c.quiesce.Broadcast()
+	c.mu.Unlock()
+}
+
+// prefetchWorker drains the prefetch queue until Close.
+func (c *Cache) prefetchWorker() {
+	defer c.prefetchWG.Done()
+	for {
+		select {
+		case <-c.prefetchStop:
+			return
+		case fd := <-c.prefetchQ:
+			c.prefetch(fd)
+			c.finishPrefetchJob()
+		}
+	}
+}
+
+// Quiesce blocks until every queued or running prefetch has finished;
+// tests and experiment sweeps call it to make asynchronous prefetch
+// observable at a deterministic point.
+func (c *Cache) Quiesce() {
+	c.mu.Lock()
+	for c.prefetchPend > 0 {
+		c.quiesce.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// Close stops the prefetch pipeline and waits for in-flight pulls to
+// retire. Regions stay usable; Close only shuts down the background
+// machinery.
+func (c *Cache) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	if c.prefetchQ == nil {
+		return
+	}
+	close(c.prefetchStop)
+	c.prefetchWG.Wait()
+	// The workers are gone; retire anything still sitting in the queue
+	// so prefetchPend drains and Quiesce callers wake.
+	for {
+		select {
+		case <-c.prefetchQ:
+			c.finishPrefetchJob()
+			continue
+		default:
+		}
+		c.mu.Lock()
+		pend := c.prefetchPend
+		c.mu.Unlock()
+		if pend == 0 {
+			return
+		}
+		// A dispatcher accounted a job but has not enqueued it yet;
+		// yield until it lands in the queue or gives up.
+		runtime.Gosched()
+	}
 }
 
 // Prefetch pulls the region toward the application: a local promotion
@@ -45,23 +163,33 @@ func (c *Cache) notePrefetchLocked(r *cregion) (int, bool) {
 // the disk is out of the next access's path. It is a hint — failures
 // are not errors.
 func (c *Cache) Prefetch(fd int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.prefetchLocked(fd)
+	c.prefetch(fd)
 }
 
-// prefetchLocked does the pull. Caller holds c.mu.
-func (c *Cache) prefetchLocked(fd int) {
+// prefetch does the pull. Runs without c.mu held.
+func (c *Cache) prefetch(fd int) {
+	c.mu.Lock()
 	r, ok := c.regions[fd]
-	if !ok || r.local != nil {
+	if !ok || r.local != nil || r.pend != nil {
+		c.mu.Unlock()
 		return
 	}
+	fits := r.length <= c.cfg.Capacity
 	c.stats.Prefetches++
-	c.promoteLocked(r)
-	if r.local == nil && r.remoteFD < 0 {
+	c.mu.Unlock()
+	if fits {
+		c.fillRegion(fd)
+	}
+	c.mu.Lock()
+	stillRemoteless := false
+	if r2, ok := c.regions[fd]; ok && r2 == r {
+		stillRemoteless = r2.local == nil && r2.pend == nil && r2.remoteFD < 0
+	}
+	c.mu.Unlock()
+	if stillRemoteless {
 		// Could not go local (policy refused); stage it in remote
-		// memory instead, contents in hand from disk.
-		c.cloneRemoteLocked(r, nil)
+		// memory instead, contents read from disk.
+		c.cloneRemote(fd, nil, false)
 	}
 }
 

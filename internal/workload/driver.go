@@ -118,6 +118,14 @@ type DodoConfig struct {
 	// disk — only the residual software cost lands on the critical
 	// path. Set to a negative value for fully synchronous writes.
 	WriteOverlap float64
+	// SequentialPrefetch pulls the regions after a detected sequential
+	// stream before the workload asks for them. The driver always runs
+	// the pipeline with zero workers — pulls execute inline on the
+	// faulting call — so virtual-time accounting stays deterministic.
+	SequentialPrefetch bool
+	// PrefetchWindow is how many regions ahead the prefetcher pulls
+	// once a stream is detected (default 1).
+	PrefetchWindow int
 }
 
 // DodoStorage routes reads through the region-management library backed
@@ -166,6 +174,10 @@ func NewDodoStorage(cfg DodoConfig) *DodoStorage {
 		RefractionPeriod: cfg.RefractionPeriod,
 		Clock:            vt,
 		PromoteOnAccess:  true,
+		// PrefetchWorkers stays 0: pulls run inline on the faulting
+		// call, so fault sweeps and virtual-time runs are replayable.
+		SequentialPrefetch: cfg.SequentialPrefetch,
+		PrefetchWindow:     cfg.PrefetchWindow,
 	})
 	return &DodoStorage{
 		vt:         vt,

@@ -33,6 +33,14 @@ go test -race -tags lockcheck ./...
 # plain test in the suites above).
 go test -fuzz=FuzzWireRoundTrip -fuzztime=10s -run '^$' ./internal/wire/
 
+# Concurrent region-cache sweep: the parallel Cread/Cwrite/Cclose/
+# Prefetch suite under both the race detector and the lockcheck
+# runtime, -count=2 so the coalescing and pipeline tests see more than
+# one schedule. Separate invocation so a cache-concurrency regression
+# is attributable here, not lost in the whole-tree runs above.
+go test -race -run 'TestConcurrent|TestInterleavedSequentialStreams|TestNoPrefetchAfterFailedRead|TestPrefetchWorkerPool' -count=2 -timeout 300s ./internal/region/
+go test -race -tags lockcheck -run 'TestConcurrent|TestInterleavedSequentialStreams|TestNoPrefetchAfterFailedRead|TestPrefetchWorkerPool' -count=2 -timeout 300s ./internal/region/
+
 # Seeded fault-injection sweep: deterministic schedules plus the full
 # churn acceptance run, now including the graceful-reclaim handoff
 # acceptance tests (pages hand off to peers on owner return, same seed
