@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	dodo-vet [-list] [-json] [-only rules] [-skip rules] [packages...]
+//	dodo-vet [-list] [-json] [-sarif] [-only rules] [-skip rules] [packages...]
 //
 // With no package arguments it checks ./... . Findings print one per
-// line as "file:line: analyzer: message", or as a JSON array with
-// -json. -list prints every registered rule with its one-line doc and
-// exits. Rule selection:
+// line as "file:line: analyzer: message", as a JSON array with -json,
+// or as a SARIF 2.1.0 log with -sarif (the format code-scanning
+// dashboards ingest; every selected rule appears in the log's rule
+// table whether or not it fired, and file paths are relative to the
+// working directory). -list prints every registered rule with its
+// one-line doc and exits. Rule selection:
 //
 //	-only lock-order,buffer-ownership   run only the named rules
 //	-skip wire-exhaustiveness           run all but the named rules
@@ -52,6 +55,7 @@ type jsonFinding struct {
 func main() {
 	list := flag.Bool("list", false, "print the available rules and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout")
 	only := flag.String("only", "", "comma-separated rule names to run (default: all)")
 	skip := flag.String("skip", "", "comma-separated rule names to leave out")
 	rules := flag.String("rules", "", "alias for -only (kept for older scripts)")
@@ -64,6 +68,10 @@ func main() {
 		return
 	}
 
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "dodo-vet: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 	if *only != "" && *rules != "" {
 		fmt.Fprintln(os.Stderr, "dodo-vet: -only and -rules are aliases; give one")
 		os.Exit(2)
@@ -154,7 +162,15 @@ func main() {
 	}
 
 	findings := vet.Check(passes, analyzers)
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(vet.NewSARIFLog(analyzers, findings, wd)); err != nil {
+			fmt.Fprintf(os.Stderr, "dodo-vet: %v\n", err)
+			os.Exit(2)
+		}
+	case *jsonOut:
 		out := make([]jsonFinding, 0, len(findings))
 		for _, f := range findings {
 			out = append(out, jsonFinding{
@@ -170,7 +186,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dodo-vet: %v\n", err)
 			os.Exit(2)
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
 		}

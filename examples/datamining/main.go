@@ -98,6 +98,7 @@ func main() {
 				log.Fatalf("mread region %d: %v", r, err)
 			}
 			data = append(data, buf[:n]...)
+			retain(fd)
 		}
 		loaded := clk.Now().Sub(start)
 
@@ -121,6 +122,14 @@ func main() {
 	s := mgr.Stats()
 	fmt.Printf("manager: %d regions still cached across %d hosts\n", s.Regions, s.IdleHosts)
 }
+
+// retain marks a region descriptor as deliberately left open: dmine
+// exits without Mclose so its regions persist in cluster memory for the
+// next run (§5.2.1, "remote memory regions are not deleted at the end
+// of a run"). Ownership moves to the cluster's keep-alive reclamation.
+//
+// dodo:transfers(dodofd)
+func retain(fd int) { _ = fd }
 
 func label(first bool) string {
 	if first {

@@ -340,6 +340,11 @@ func dataBudget(n int64) time.Duration {
 // Errors follow the paper: ErrInval for a bad length, offset or
 // non-writable backing; ErrNoMem when the cluster has no space (in
 // which case further Mopens are suppressed for the refraction period).
+//
+// The descriptor owns a manager-side region mapping: every successful
+// Mopen must be balanced by an Mclose on every path.
+//
+// dodo:acquires(dodofd)
 func (c *Client) Mopen(length int64, backing Backing, offset int64) (int, error) {
 	if length < 1 || offset < 0 {
 		return -1, fmt.Errorf("%w: length %d, offset %d", ErrInval, length, offset)
@@ -587,7 +592,10 @@ func (c *Client) hedgeDelay(addr string, epoch uint64) (time.Duration, bool) {
 // the client is closed. The closed check and the Add share c.mu with
 // Close's flag flip, which happens strictly before Close calls
 // hedgeWG.Wait — so the WaitGroup counter can never rise from zero
-// while Wait is running (the documented WaitGroup misuse).
+// while Wait is running (the documented WaitGroup misuse). On a true
+// return the caller owes a hedgeWG.Done from the leg it launches.
+//
+// dodo:acquires(wg)
 func (c *Client) tryHedgeLeg() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -817,6 +825,8 @@ func (c *Client) remoteWrite(r regionState, offset int64, data []byte) error {
 // Mclose deallocates the region (§3.2). It contacts the central manager
 // to free the remote memory and removes the descriptor; it does not
 // touch the backing file.
+//
+// dodo:releases(dodofd)
 func (c *Client) Mclose(fd int) error {
 	c.mu.Lock()
 	if c.closed {

@@ -242,17 +242,43 @@ func (c *Client) reopenRegion(fd int) bool {
 		c.freeKey(r.key)
 		return false
 	}
+	return c.commitReopen(fd, r.key, ar.Region)
+}
+
+// commitReopen installs the freshly allocated region on fd after a
+// successful repopulation. If the descriptor was Mclosed while the push
+// ran, the re-created mapping may have no owner left: Mclose's own
+// FreeReq frees it when it lands after our AllocReq, but when that free
+// is lost (manager unreachable from Mclose) the allocation would sit on
+// the manager until the client dies. Releasing it here whenever no
+// alias remains makes the invariant local: every path out of a re-open
+// either installs the region on a live descriptor or frees it.
+func (c *Client) commitReopen(fd int, key wire.RegionKey, reg wire.Region) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	live, present := c.regions[fd]
-	if !present || live.valid {
+	if !present {
+		// Closed mid-recovery. With other aliases of the key still
+		// open, the mapping is owned and their last Mclose frees it;
+		// with none, nobody will, so release it now.
+		orphaned := c.aliases[key] == 0
+		c.mu.Unlock()
+		if orphaned {
+			c.freeKey(key)
+		}
 		return true
 	}
-	live.remote = ar.Region
+	if live.valid {
+		// Revived by another path (alias recovery); the manager answered
+		// our AllocReq with the existing mapping, which that path owns.
+		c.mu.Unlock()
+		return true
+	}
+	live.remote = reg
 	live.valid = true
 	live.diskDirty = false // the push carried the backing bytes
 	c.reopens.Add(1)
-	c.logf("dodo: re-opened fd %d -> %s region %d after drop", fd, ar.Region.HostAddr, ar.Region.RegionID)
+	c.mu.Unlock()
+	c.logf("dodo: re-opened fd %d -> %s region %d after drop", fd, reg.HostAddr, reg.RegionID)
 	return true
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -411,5 +412,104 @@ func TestHandoffAdoptionBlockedByDiskOnlyWrites(t *testing.T) {
 	}
 	if !bytes.Equal(buf, fresh) {
 		t.Fatal("recovered region serves the pre-drain bytes: disk-only write lost")
+	}
+}
+
+// TestCommitReopenFreesOrphanedAllocation: when the last alias of a
+// region is Mclosed while a recovery re-open is pushing bytes, the
+// re-created manager mapping can end up owned by nobody — Mclose's own
+// FreeReq covers the common orders, but when that free is lost the
+// allocation used to sit on the manager until the client died.
+// commitReopen must release the mapping itself when it finds the
+// descriptor gone and no aliases remaining, and must NOT release it
+// while other aliases of the key are still open.
+func TestCommitReopenFreesOrphanedAllocation(t *testing.T) {
+	n := transport.NewNetwork(transport.WithMTU(1500))
+	var (
+		mu      sync.Mutex
+		liveKey bool // manager-side mapping for the key exists
+		frees   int
+	)
+	reg := wire.Region{HostAddr: "host", RegionID: 3, Length: 8192, Epoch: 1}
+	mgrEp := bulk.NewEndpoint(n.Host("cmd"), fastEp(), func(from string, msg wire.Message) wire.Message {
+		switch msg.(type) {
+		case *wire.AllocReq:
+			mu.Lock()
+			liveKey = true
+			mu.Unlock()
+			return &wire.AllocResp{Status: wire.StatusOK, Region: reg}
+		case *wire.FreeReq:
+			mu.Lock()
+			liveKey = false
+			frees++
+			mu.Unlock()
+			return &wire.FreeResp{Status: wire.StatusOK}
+		}
+		return nil
+	})
+	defer mgrEp.Close()
+
+	cli := New(n.Host("client"), Config{
+		ManagerAddr: "cmd", ClientID: 1, DisableRecovery: true, Endpoint: fastEp(),
+	})
+	defer cli.Close()
+
+	back := NewMemBacking(44, 1<<20)
+	fd, err := cli.Mopen(8192, back, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.mu.Lock()
+	key := cli.regions[fd].key
+	cli.mu.Unlock()
+	if err := cli.Mclose(fd); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the racy interleaving deterministically: the recovery pass
+	// re-allocated the key (manager maps it again) and repopulated, but
+	// by the time it commits, the Mclose above has already removed the
+	// descriptor and the mapping has no owner.
+	mu.Lock()
+	liveKey = true
+	mu.Unlock()
+	if !cli.commitReopen(fd, key, reg) {
+		t.Fatal("commitReopen on a closed descriptor = false, want true")
+	}
+	mu.Lock()
+	leaked, got := liveKey, frees
+	mu.Unlock()
+	if leaked {
+		t.Fatalf("manager still maps the key after commitReopen on a closed descriptor (frees=%d): orphaned allocation leaked", got)
+	}
+
+	// With another alias of the key still open, the mapping is owned and
+	// the last Mclose frees it; commitReopen must leave it alone.
+	fd1, err := cli.Mopen(8192, back, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd2, err := cli.Mopen(8192, back, 0) // same (inode, offset): alias
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Mclose(fd1); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	liveKey = true
+	preFrees := frees
+	mu.Unlock()
+	if !cli.commitReopen(fd1, key, reg) {
+		t.Fatal("commitReopen with a surviving alias = false, want true")
+	}
+	mu.Lock()
+	still, post := liveKey, frees
+	mu.Unlock()
+	if !still || post != preFrees {
+		t.Fatalf("commitReopen freed a mapping other aliases still own (liveKey=%v frees %d->%d)", still, preFrees, post)
+	}
+	if err := cli.Mclose(fd2); err != nil {
+		t.Fatal(err)
 	}
 }

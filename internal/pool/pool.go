@@ -44,7 +44,10 @@ func New(alloc Allocator) *Pool {
 // NewFirstFitPool is shorthand for the paper's default configuration.
 func NewFirstFitPool(size uint64) *Pool { return New(NewFirstFit(size)) }
 
-// Create carves a region of size bytes under id.
+// Create carves a region of size bytes under id. The allocated block
+// moves into p.regions; Delete frees it back to the allocator.
+//
+// dodo:transfers(palloc)
 func (p *Pool) Create(id uint64, size uint64) (offset uint64, err error) {
 	if _, dup := p.regions[id]; dup {
 		return 0, fmt.Errorf("%w: %d", ErrDupRegion, id)

@@ -15,9 +15,14 @@ import (
 // satisfies it; the virtual-time experiment harness provides a
 // cost-accounting implementation.
 type Dodo interface {
+	// Mopen allocates a remote region; the returned descriptor must be
+	// Mclosed on every path, including error exits.
+	//
+	// dodo:acquires(dodofd)
 	Mopen(length int64, backing core.Backing, offset int64) (int, error)
 	Mread(fd int, offset int64, buf []byte) (int, error)
 	Mwrite(fd int, offset int64, buf []byte) (int, error)
+	// dodo:releases(dodofd)
 	Mclose(fd int) error
 	Msync(fd int) error
 }
@@ -122,6 +127,11 @@ type inflight struct {
 	done chan struct{}
 }
 
+// newInflight creates an in-flight marker. Whoever creates one owes
+// its region a settled state: the marker must reach r.pend (and
+// c.fills for fills) and eventually be cleared with done closed.
+//
+// dodo:acquires(marker)
 func newInflight() *inflight { return &inflight{done: make(chan struct{})} }
 
 // cregion is one entry of the local cache directory. Every field is
@@ -149,6 +159,15 @@ type cregion struct {
 	// cloning suppresses duplicate remote-clone attempts from
 	// marker-less read-through paths (cloneRemote).
 	cloning bool
+	// writeGen counts acknowledged write-throughs. A clone captures the
+	// generation with its data snapshot and aborts before pushing if it
+	// has moved: a push of pre-write bytes would clobber the
+	// acknowledged write on disk and publish it remotely.
+	writeGen uint64
+	// clonePend is set only for a clone's push phase (Mwrite in
+	// flight). Write-throughs wait on it so no write can interleave
+	// with a push that already passed its staleness check.
+	clonePend *inflight
 }
 
 func (r *cregion) state() State {
@@ -189,6 +208,10 @@ type ioView struct {
 	backOff  int64
 	remoteFD int
 	mode     remoteMode
+	// writeGen is the region's write generation at snapshot time; it
+	// dates any bytes captured alongside this view for cloneRemote's
+	// staleness check.
+	writeGen uint64
 }
 
 // viewLocked snapshots r for an I/O phase. Caller holds c.mu.
@@ -200,6 +223,7 @@ func (c *Cache) viewLocked(r *cregion) ioView {
 		backOff:  r.backOff,
 		remoteFD: r.remoteFD,
 		mode:     c.remoteModeLocked(r),
+		writeGen: r.writeGen,
 	}
 }
 
@@ -362,7 +386,10 @@ func (c *Cache) SetPolicy(p Policy) {
 // Copen creates a region of length bytes backed by [offset,
 // offset+length) of backing (§3.3). The region starts in the local cache
 // when space can be made; otherwise it goes remote, or disk-only as the
-// last resort. Contents are faulted in from disk on first access.
+// last resort. Contents are faulted in from disk on first access. The
+// fill marker moves into r.pend/c.fills; clearFillLocked settles it.
+//
+// dodo:transfers(marker)
 func (c *Cache) Copen(length int64, backing core.Backing, offset int64) (int, error) {
 	if length < 1 || offset < 0 || backing == nil {
 		return -1, fmt.Errorf("%w: length %d offset %d", core.ErrInval, length, offset)
@@ -531,7 +558,17 @@ func (c *Cache) Cwrite(fd int, offset int64, buf []byte) (int, error) {
 			c.mu.Unlock()
 			return int(want), nil
 		}
-		// Write through.
+		// Write through. A clone in its push phase holds bytes captured
+		// before this write: wait it out so the push cannot land on top
+		// of ours. (A clone that has not reached its push phase aborts
+		// on the generation bump below instead — see cloneRemote.)
+		if r.clonePend != nil {
+			p := r.clonePend
+			c.mu.Unlock()
+			<-p.done
+			continue
+		}
+		r.writeGen++
 		v := c.viewLocked(r)
 		c.mu.Unlock()
 		return c.writeThrough(v, offset, want, buf)
@@ -539,7 +576,10 @@ func (c *Cache) Cwrite(fd int, offset int64, buf []byte) (int, error) {
 }
 
 // Csync forces the region to remote memory and disk (§3.3: "blocks till
-// the region has been written to remote memory and to disk").
+// the region has been written to remote memory and to disk"). Its
+// marker moves into r.pend and is settled before every return.
+//
+// dodo:transfers(marker)
 func (c *Cache) Csync(fd int) error {
 	for {
 		c.mu.Lock()
@@ -563,7 +603,7 @@ func (c *Cache) Csync(fd int) error {
 			c.mu.Unlock()
 
 			flushed := false
-			if wantClone && c.cloneRemote(fd, data, true) {
+			if wantClone && c.cloneRemote(fd, data, v.writeGen, true) {
 				// The clone's Mwrite pushed data to the new remote
 				// copy and through to disk: the flush already
 				// happened.
@@ -595,7 +635,10 @@ func (c *Cache) Csync(fd int) error {
 	}
 }
 
-// Cclose flushes and releases the region (§3.3).
+// Cclose flushes and releases the region (§3.3). Its marker moves into
+// r.pend and is settled before every return.
+//
+// dodo:transfers(marker)
 func (c *Cache) Cclose(fd int) error {
 	for {
 		c.mu.Lock()
@@ -666,7 +709,11 @@ type evictJob struct {
 // evictIO/settleEvictionLocked. Caller holds c.mu.
 //
 // Even when the policy refuses and fit is false, the already-detached
-// victims are committed and must still be flushed by the caller.
+// victims are committed and must still be flushed by the caller. Each
+// victim's in-flight marker is published through victim.pend; the
+// caller's settleEvictionLocked retires it.
+//
+// dodo:transfers(marker)
 func (c *Cache) reserveLocked(need int64) (victims []evictJob, fit bool) {
 	for c.cfg.Capacity-c.used < need {
 		fd, ok := c.cfg.Policy.Victim()
@@ -712,12 +759,14 @@ func (c *Cache) evictIO(job *evictJob) {
 		return
 	}
 	if job.view.remoteFD < 0 {
-		c.cloneRemote(job.view.fd, job.data, job.dirty)
+		c.cloneRemote(job.view.fd, job.data, job.view.writeGen, job.dirty)
 	}
 }
 
 // settleEvictionLocked installs one eviction's outcome and releases
 // its marker. Caller holds c.mu.
+//
+// dodo:releases(marker)
 func (c *Cache) settleEvictionLocked(job *evictJob) {
 	r := job.r
 	if job.reinstall {
@@ -741,6 +790,8 @@ func (c *Cache) settleEvictionLocked(job *evictJob) {
 // selection, budget pre-charge and marker registration happen under
 // the lock; the eviction flushes and the fetch run with it released;
 // a final lock section installs the contents and wakes waiters.
+//
+// dodo:transfers(marker)
 func (c *Cache) fillRegion(fd int) {
 	c.mu.Lock()
 	r, ok := c.regions[fd]
@@ -880,7 +931,7 @@ func (c *Cache) readThrough(v ioView, offset, want int64, buf []byte) (int, erro
 	// (this is how first-in workloads populate remote memory without
 	// displacing the protected local residents).
 	if offset == 0 && want == v.length && int64(n) == v.length && v.remoteFD < 0 {
-		c.cloneRemote(v.fd, buf[:want], false)
+		c.cloneRemote(v.fd, buf[:want], v.writeGen, false)
 	}
 	return n, nil
 }
@@ -910,7 +961,7 @@ func (c *Cache) writeThrough(v ioView, offset, want int64, buf []byte) (int, err
 	// descriptor makes cloneRemote a no-op success, and the write
 	// would reach neither remote memory nor disk.
 	if offset == 0 && want == v.length && v.remoteFD < 0 {
-		if c.cloneRemote(v.fd, buf[:want], false) {
+		if c.cloneRemote(v.fd, buf[:want], v.writeGen, false) {
 			c.noteThroughAccess(v.fd, true)
 			return int(want), nil
 		}
@@ -1026,12 +1077,23 @@ func (c *Cache) noteThroughAccess(fd int, write bool) {
 // of Figure 5), honoring the refraction period after a failed
 // allocation. data supplies the region's current contents when the
 // caller has them in hand; nil reads them from the backing file (a
-// remote region must always hold real bytes). clearDirty is set only
-// by callers that own the region's marker and pass its live local
-// bytes, so a successful push (which reaches disk too) may clear the
-// dirty flag. Runs without c.mu; reports whether the region has a
-// remote copy afterwards.
-func (c *Cache) cloneRemote(fd int, data []byte, clearDirty bool) bool {
+// remote region must always hold real bytes). gen is the region's
+// write generation (ioView.writeGen) observed under c.mu when data
+// was captured: the clone aborts before its push if a write-through
+// has landed since, because Mwrite propagates to disk and a push of
+// pre-write bytes would silently clobber an acknowledged write.
+// Writers arriving once the push phase has begun wait on the clone
+// marker instead (see Cwrite), so the two can never interleave.
+// clearDirty is set only by callers that own the region's marker and
+// pass its live local bytes, so a successful push (which reaches disk
+// too) may clear the dirty flag. Runs without c.mu; reports whether
+// the region has a remote copy afterwards. The cloned descriptor
+// either moves into r.remoteFD or is Mclosed on the failure,
+// stale-data and lost-race paths.
+//
+// dodo:transfers(dodofd)
+// dodo:transfers(marker)
+func (c *Cache) cloneRemote(fd int, data []byte, gen uint64, clearDirty bool) bool {
 	c.mu.Lock()
 	r, ok := c.regions[fd]
 	if !ok {
@@ -1045,6 +1107,16 @@ func (c *Cache) cloneRemote(fd int, data []byte, clearDirty bool) bool {
 	if r.cloning {
 		// Another goroutine is already on it; this attempt is
 		// opportunistic, so just report no copy yet.
+		c.mu.Unlock()
+		return false
+	}
+	if data == nil {
+		// The contents will be read from disk after this claim: date
+		// them here, not at the caller (which has no bytes in hand).
+		gen = r.writeGen
+	}
+	if r.writeGen != gen {
+		// data already predates a write-through: don't even start.
 		c.mu.Unlock()
 		return false
 	}
@@ -1065,9 +1137,7 @@ func (c *Cache) cloneRemote(fd int, data []byte, clearDirty bool) bool {
 		c.failed = true
 		c.lastFail = c.cfg.Clock.Now()
 		c.stats.DiskSpills++
-		if r2, ok := c.regions[fd]; ok {
-			r2.cloning = false
-		}
+		c.cloneResetLocked(fd)
 		c.mu.Unlock()
 		return false
 	}
@@ -1078,14 +1148,31 @@ func (c *Cache) cloneRemote(fd int, data []byte, clearDirty bool) bool {
 		if _, err := backing.ReadAt(data, backOff); err != nil {
 			_ = c.dodo.Mclose(mfd)
 			c.mu.Lock()
-			if r2, ok := c.regions[fd]; ok {
-				r2.cloning = false
-			}
+			c.cloneResetLocked(fd)
 			c.mu.Unlock()
 			return false
 		}
 		diskRead = length
 	}
+
+	// Enter the push phase: re-check that data is still current, then
+	// raise the clone marker so no write-through can interleave with
+	// the push below.
+	c.mu.Lock()
+	rp, ok := c.regions[fd]
+	if !ok || rp.writeGen != gen {
+		// Closed, or an acknowledged write landed while the lock was
+		// down (e.g. during Mopen): pushing would clobber it on disk.
+		// Discard the fresh clone instead.
+		c.cloneResetLocked(fd)
+		c.mu.Unlock()
+		_ = c.dodo.Mclose(mfd)
+		return false
+	}
+	marker := newInflight()
+	rp.clonePend = marker
+	c.mu.Unlock()
+
 	// Push the contents so the remote copy is authoritative.
 	if _, err := c.dodo.Mwrite(mfd, 0, data); err != nil {
 		// Release the half-built clone: keeping the fd would leak a
@@ -1095,9 +1182,7 @@ func (c *Cache) cloneRemote(fd int, data []byte, clearDirty bool) bool {
 		c.mu.Lock()
 		c.failed = true
 		c.lastFail = c.cfg.Clock.Now()
-		if r2, ok := c.regions[fd]; ok {
-			r2.cloning = false
-		}
+		c.cloneSettleLocked(fd, marker)
 		c.mu.Unlock()
 		return false
 	}
@@ -1108,13 +1193,14 @@ func (c *Cache) cloneRemote(fd int, data []byte, clearDirty bool) bool {
 	r2, ok := c.regions[fd]
 	if !ok {
 		// Closed while the lock was down: release the fresh clone.
+		c.cloneSettleLocked(fd, marker)
 		c.mu.Unlock()
 		_ = c.dodo.Mclose(mfd)
 		return false
 	}
-	r2.cloning = false
 	if r2.remoteFD >= 0 {
 		// Raced with another path that established a copy.
+		c.cloneSettleLocked(fd, marker)
 		c.mu.Unlock()
 		_ = c.dodo.Mclose(mfd)
 		return true
@@ -1124,6 +1210,30 @@ func (c *Cache) cloneRemote(fd int, data []byte, clearDirty bool) bool {
 	if clearDirty && r2.local != nil {
 		r2.dirty = false // the push propagated the local bytes to disk
 	}
+	c.cloneSettleLocked(fd, marker)
 	c.mu.Unlock()
 	return true
+}
+
+// cloneResetLocked abandons a clone attempt that never reached its
+// push phase: only the duplicate-suppression flag needs clearing.
+// Caller holds c.mu.
+func (c *Cache) cloneResetLocked(fd int) {
+	if r, ok := c.regions[fd]; ok {
+		r.cloning = false
+	}
+}
+
+// cloneSettleLocked ends a clone's push phase: clears the flags and
+// releases the marker any write-through may be parked on. The marker
+// is closed even when the region is gone — waiters hold their own
+// reference. Caller holds c.mu.
+//
+// dodo:releases(marker)
+func (c *Cache) cloneSettleLocked(fd int, m *inflight) {
+	if r, ok := c.regions[fd]; ok {
+		r.cloning = false
+		r.clonePend = nil
+	}
+	close(m.done)
 }

@@ -32,6 +32,8 @@ type prefKey struct {
 // them in prefetchPend. Caller holds c.mu; the caller must pass the
 // returned jobs to dispatchPrefetch after unlocking (the dispatch
 // sends on a channel, which must never happen under the lock).
+//
+// dodo:acquires(prefslot)
 func (c *Cache) maybePrefetchLocked(r *cregion) []int {
 	if !c.cfg.SequentialPrefetch {
 		return nil
@@ -71,7 +73,10 @@ func (c *Cache) maybePrefetchLocked(r *cregion) []int {
 // dispatchPrefetch hands jobs from maybePrefetchLocked to the pipeline.
 // Must be called without c.mu. With no worker pool the pulls run
 // inline; with a pool they are queued, and dropped (they are hints)
-// when the queue is saturated.
+// when the queue is saturated. Every accounted job is retired exactly
+// once — run, dropped on saturation, or drained by Close.
+//
+// dodo:releases(prefslot)
 func (c *Cache) dispatchPrefetch(jobs []int) {
 	for _, fd := range jobs {
 		if c.prefetchQ == nil {
@@ -189,7 +194,9 @@ func (c *Cache) prefetch(fd int) {
 	if stillRemoteless {
 		// Could not go local (policy refused); stage it in remote
 		// memory instead, contents read from disk.
-		c.cloneRemote(fd, nil, false)
+		// gen 0 is a placeholder: with nil data cloneRemote dates the
+		// contents itself, at the claim that precedes its disk read.
+		c.cloneRemote(fd, nil, 0, false)
 	}
 }
 

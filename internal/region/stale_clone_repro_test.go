@@ -59,8 +59,9 @@ func TestStaleCloneClobbersConcurrentWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Release the clone: it pushes OLD to the fresh remote copy, and
-	// Mwrite writes OLD through to disk as well.
+	// Release the clone. It must notice the write generation moved
+	// while it was parked in Mopen and discard the fresh clone instead
+	// of pushing OLD (whose Mwrite would reach disk too).
 	close(fake.gate)
 	if err := <-readerDone; err != nil {
 		t.Fatal(err)

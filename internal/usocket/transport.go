@@ -17,7 +17,11 @@ type UNet struct {
 
 var _ transport.Transport = (*UNet)(nil)
 
-// NewTransport wraps a bound socket.
+// NewTransport wraps a bound socket. On success the socket's lifetime
+// moves to the transport: UNet.Close closes it. On error the caller
+// still owns the socket.
+//
+// dodo:transfers(sock)
 func NewTransport(sock *Socket) (*UNet, error) {
 	if _, bound := sock.LocalAddr(); !bound {
 		return nil, ErrNotBound

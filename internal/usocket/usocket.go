@@ -111,7 +111,11 @@ func (g *Segment) SetLoss(everyN int) {
 
 // Socket creates an unbound socket on this segment (the paper's
 // u_socket). sendBuf and recvBuf are queue capacities in frames; recvBuf
-// frames beyond capacity are dropped, as on real U-Net endpoints.
+// frames beyond capacity are dropped, as on real U-Net endpoints. The
+// socket must be Closed (directly or through the transport wrapping it)
+// to unregister from the segment.
+//
+// dodo:acquires(sock)
 func (g *Segment) Socket(sendBuf, recvBuf int) (*Socket, error) {
 	if sendBuf <= 0 || recvBuf <= 0 {
 		return nil, fmt.Errorf("usocket: buffer sizes must be positive (got %d, %d)", sendBuf, recvBuf)
@@ -337,6 +341,8 @@ func (s *Socket) Overflow() int {
 func (s *Socket) RecvCap() int { return s.recvCap }
 
 // Close releases the socket and its binding (the paper's u_close).
+//
+// dodo:releases(sock)
 func (s *Socket) Close() error {
 	s.seg.mu.Lock()
 	s.mu.Lock()

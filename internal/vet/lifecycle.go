@@ -1,0 +1,1970 @@
+package vet
+
+// resource-lifecycle: whole-program, path-sensitive must-release
+// analysis (DESIGN.md §12).
+//
+// Dodo's correctness rests on paired operations the compiler cannot
+// see: every fd clone, manager grant, region pend marker, worker-pool
+// slot and WaitGroup.Add must be matched on every path — including the
+// error returns that reviews keep finding leaks on. This pass tracks
+// acquired resources through each function body, merges branches with
+// a union (a resource leaks if it is live on ANY path reaching a
+// return), and reports every return a live resource can flow to,
+// together with the acquisition site and the path condition.
+//
+// A small built-in registry seeds the tracking structurally:
+//
+//	os.Open/Create/OpenFile/CreateTemp  -> acquires kind "file"
+//	(*os.File).Close                    -> releases "file"
+//	(*sync.WaitGroup).Add / Done        -> acquires/releases "wg"
+//	locks/sync (R)Lock / (R)Unlock      -> acquires/releases "lock"
+//
+// User code extends it with function annotations in doc comments:
+//
+//	// dodo:acquires(kind)   the caller receives ownership of one
+//	//                       <kind> via the results (or, for expr-keyed
+//	//                       kinds, the function intentionally leaves
+//	//                       the counter elevated for its caller)
+//	// dodo:releases(kind)   the function consumes a <kind> passed in
+//	//                       via receiver or arguments
+//	// dodo:transfers(kind)  ownership moves to a struct field, map,
+//	//                       channel or collection inside this function
+//	//                       (the region cache's r.pend markers and the
+//	//                       manager's draining grants are the motivating
+//	//                       cases)
+//
+// Per-function summaries (net resource delta per kind per return path,
+// error vs nil-error returns distinguished) are inferred bottom-up and
+// iterated to a fixpoint, so a helper that returns an os.File it opened
+// is understood as an acquirer without any annotation.
+//
+// Deliberate approximations (documented in DESIGN.md §12):
+//   - branch joins are unions, so correlated conditionals
+//     ("if ok { acquire } ... if ok { release }") can report a false
+//     leak; restructure or annotate — never //vet:ignore this pass.
+//   - expr-keyed kinds (wg, lock) match across calls by the textual
+//     receiver path ("c.prefetchWG"), so a release only discharges a
+//     go-launched obligation when the receiver names line up.
+//   - resources stored into collections are tracked as one obligation
+//     on the collection variable, not per element.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var ResourceLifecycle = &Analyzer{
+	Name:       "resource-lifecycle",
+	Doc:        "acquired resources (fds, grants, WaitGroup counts, locks) must be released or transferred on every path, including error returns",
+	Run:        func(p *Pass) []Finding { return runResourceLifecycle([]*Pass{p}) },
+	RunProgram: runResourceLifecycle,
+}
+
+// rlSkips returns true for packages whose internals implement the
+// primitives themselves and would self-flag (locks.Mutex.Lock returns
+// holding its own mutex by design).
+func rlSkips(path string) bool {
+	return strings.HasSuffix(path, "/internal/locks")
+}
+
+// ---------------------------------------------------------------------
+// Annotations.
+
+type rlAnnotation struct {
+	acquires  map[string]bool
+	releases  map[string]bool
+	transfers map[string]bool
+}
+
+func (a rlAnnotation) empty() bool {
+	return len(a.acquires) == 0 && len(a.releases) == 0 && len(a.transfers) == 0
+}
+
+var rlDirectiveRe = regexp.MustCompile(`^dodo:(acquires|releases|transfers)\(([a-zA-Z0-9_, -]+)\)`)
+
+// rlParseDirectives extracts dodo:acquires/releases/transfers lines
+// from a doc comment. Malformed kind lists are reported as findings so
+// a typo cannot silently disable checking.
+func rlParseDirectives(pass *Pass, doc *ast.CommentGroup, findings *[]Finding) rlAnnotation {
+	ann := rlAnnotation{
+		acquires:  map[string]bool{},
+		releases:  map[string]bool{},
+		transfers: map[string]bool{},
+	}
+	if doc == nil {
+		return ann
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, "dodo:") {
+			continue
+		}
+		verb := text[len("dodo:"):]
+		if !strings.HasPrefix(verb, "acquires") && !strings.HasPrefix(verb, "releases") && !strings.HasPrefix(verb, "transfers") {
+			continue // a guarded-by directive or other dodo: family
+		}
+		m := rlDirectiveRe.FindStringSubmatch(text)
+		if m == nil {
+			*findings = append(*findings, findingAt(pass, "resource-lifecycle", c,
+				"malformed lifecycle directive %q: want dodo:acquires(kind[, kind...]), dodo:releases(...) or dodo:transfers(...)", text))
+			continue
+		}
+		var set map[string]bool
+		switch m[1] {
+		case "acquires":
+			set = ann.acquires
+		case "releases":
+			set = ann.releases
+		case "transfers":
+			set = ann.transfers
+		}
+		for _, kind := range strings.Split(m[2], ",") {
+			kind = strings.TrimSpace(kind)
+			if kind == "" {
+				*findings = append(*findings, findingAt(pass, "resource-lifecycle", c,
+					"empty kind in lifecycle directive %q", text))
+				continue
+			}
+			set[kind] = true
+		}
+	}
+	return ann
+}
+
+// rlCollectAnnotations gathers lifecycle directives from every function
+// declaration and interface method in the program, keyed by the
+// function object's full name (so a call through region.Dodo picks up
+// the interface method's annotation).
+func rlCollectAnnotations(passes []*Pass) (map[string]rlAnnotation, []Finding) {
+	anns := make(map[string]rlAnnotation)
+	var findings []Finding
+	record := func(pass *Pass, obj types.Object, doc *ast.CommentGroup) {
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return
+		}
+		ann := rlParseDirectives(pass, doc, &findings)
+		if !ann.empty() {
+			anns[fn.FullName()] = ann
+		}
+	}
+	for _, pass := range passes {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok {
+					record(pass, pass.Info.Defs[fd.Name], fd.Doc)
+					continue
+				}
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					it, ok := ts.Type.(*ast.InterfaceType)
+					if !ok {
+						continue
+					}
+					for _, f := range it.Methods.List {
+						if len(f.Names) != 1 {
+							continue
+						}
+						doc := f.Doc
+						if doc == nil {
+							doc = f.Comment
+						}
+						record(pass, pass.Info.Defs[f.Names[0]], doc)
+					}
+				}
+			}
+		}
+	}
+	return anns, findings
+}
+
+// ---------------------------------------------------------------------
+// Summaries.
+
+// rlSummary is a function's externally visible lifecycle behaviour:
+// the union of its annotation and what the walker inferred from its
+// body.
+type rlSummary struct {
+	acquires  map[string]bool // kinds the caller receives via the results
+	releases  map[string]bool // kinds consumed via receiver/arguments
+	transfers map[string]bool // kinds whose stores are sanctioned
+
+	// releasesExprs holds textual receiver paths of expr-keyed releases
+	// in the body ("c.prefetchWG"): a go statement launching this
+	// function discharges a matching live obligation.
+	releasesExprs map[string]bool
+
+	// paramReleases maps parameter index -> kind for parameters the
+	// body provably releases (an *os.File parameter that is Closed).
+	paramReleases map[int]string
+}
+
+func newRLSummary() *rlSummary {
+	return &rlSummary{
+		acquires:      map[string]bool{},
+		releases:      map[string]bool{},
+		transfers:     map[string]bool{},
+		releasesExprs: map[string]bool{},
+		paramReleases: map[int]string{},
+	}
+}
+
+// merge folds src into s and reports whether s changed.
+func (s *rlSummary) merge(src *rlSummary) bool {
+	changed := false
+	for _, pair := range []struct{ dst, src map[string]bool }{
+		{s.acquires, src.acquires},
+		{s.releases, src.releases},
+		{s.transfers, src.transfers},
+		{s.releasesExprs, src.releasesExprs},
+	} {
+		for k := range pair.src {
+			if !pair.dst[k] {
+				pair.dst[k] = true
+				changed = true
+			}
+		}
+	}
+	for i, k := range src.paramReleases {
+		if s.paramReleases[i] != k {
+			s.paramReleases[i] = k
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ---------------------------------------------------------------------
+// Built-in registry.
+
+// rlFileAcquirers are stdlib functions whose (non-error) result is an
+// open *os.File the caller owns.
+var rlFileAcquirers = map[string]bool{
+	"os.Open":       true,
+	"os.Create":     true,
+	"os.OpenFile":   true,
+	"os.CreateTemp": true,
+}
+
+func rlIsFileClose(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Close" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
+}
+
+// rlWaitGroupMethod reports Add (+1) / Done (-1) on a sync.WaitGroup
+// receiver; atomic counters named Add resolve to different receivers
+// and return 0.
+func rlWaitGroupMethod(fn *types.Func) int {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return 0
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return 0
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "WaitGroup" {
+		return 0
+	}
+	switch fn.Name() {
+	case "Add":
+		return 1
+	case "Done":
+		return -1
+	}
+	return 0
+}
+
+// rlMutexMethod classifies (R)Lock/(R)Unlock on sync or locks mutexes:
+// mode "w" or "r", delta +1/-1.
+func rlMutexMethod(fn *types.Func) (mode string, delta int) {
+	if fn == nil || fn.Pkg() == nil || !isLockPkg(fn.Pkg().Path()) {
+		return "", 0
+	}
+	switch fn.Name() {
+	case "Lock":
+		return "w", 1
+	case "RLock":
+		return "r", 1
+	case "Unlock":
+		return "w", -1
+	case "RUnlock":
+		return "r", -1
+	}
+	return "", 0
+}
+
+// rlExprPath renders the textual receiver path of an expression
+// ("c.prefetchWG", "wg"); "" when it has no stable ident root.
+func rlExprPath(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := rlExprPath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return rlExprPath(x.X)
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------
+// Per-path state.
+
+// rlRes is one live obligation.
+type rlRes struct {
+	kind   string
+	obj    types.Object // binding variable; nil for expr-keyed kinds
+	expr   string       // textual path for expr-keyed kinds ("c.mu")
+	mode   string       // lock mode "r"/"w"
+	pos    token.Pos    // acquisition site
+	errObj types.Object // paired error result: non-nil error means not acquired
+	okObj  types.Object // paired bool result: false means not acquired
+	cond   string       // innermost if-guard at acquisition ("d != nil"):
+	//                     a later branch on the same text prunes the
+	//                     opposite arm (correlated-conditional pattern)
+}
+
+func (r rlRes) key() string {
+	if r.obj != nil {
+		return fmt.Sprintf("v:%p", r.obj)
+	}
+	return "e:" + r.kind + ":" + r.mode + ":" + r.expr
+}
+
+func (r rlRes) what() string {
+	if r.expr != "" {
+		return r.kind + " " + r.expr
+	}
+	if r.obj != nil {
+		return r.kind + " " + r.obj.Name()
+	}
+	return r.kind
+}
+
+const (
+	rlErrUnknown = iota
+	rlErrNonNil
+	rlErrNil
+)
+
+// rlState is the per-path analysis state: live obligations plus what is
+// known about error/ok variables on this path.
+type rlState struct {
+	live map[string]rlRes
+	err  map[types.Object]int // error idents: rlErrNonNil / rlErrNil
+	ok   map[types.Object]int // bool idents: rlErrNonNil = true, rlErrNil = false
+
+	// debt records expr-keyed resources released below the baseline the
+	// function was entered with (CondWaitTimeout's cond.L.Unlock): the
+	// matching re-acquire repays the debt instead of creating a new
+	// obligation, so the lock-juggling idiom nets to zero.
+	debt map[string]bool
+}
+
+func newRLState() rlState {
+	return rlState{live: map[string]rlRes{}, err: map[types.Object]int{}, ok: map[types.Object]int{}, debt: map[string]bool{}}
+}
+
+func (s rlState) clone() rlState {
+	c := newRLState()
+	for k, v := range s.live {
+		c.live[k] = v
+	}
+	for k, v := range s.err {
+		c.err[k] = v
+	}
+	for k, v := range s.ok {
+		c.ok[k] = v
+	}
+	for k, v := range s.debt {
+		c.debt[k] = v
+	}
+	return c
+}
+
+// rlUnion merges path states: obligations union (leak if live on any
+// path), fact maps intersect (kept only where paths agree).
+func rlUnion(states []rlState) rlState {
+	out := newRLState()
+	for _, s := range states {
+		for k, v := range s.live {
+			if _, dup := out.live[k]; !dup {
+				out.live[k] = v
+			}
+		}
+	}
+	if len(states) > 0 {
+		for k, v := range states[0].debt {
+			agree := true
+			for _, s := range states[1:] {
+				if !s.debt[k] {
+					agree = false
+					break
+				}
+			}
+			if agree {
+				out.debt[k] = v
+			}
+		}
+		for obj, v := range states[0].err {
+			agree := true
+			for _, s := range states[1:] {
+				if s.err[obj] != v {
+					agree = false
+					break
+				}
+			}
+			if agree {
+				out.err[obj] = v
+			}
+		}
+		for obj, v := range states[0].ok {
+			agree := true
+			for _, s := range states[1:] {
+				if s.ok[obj] != v {
+					agree = false
+					break
+				}
+			}
+			if agree {
+				out.ok[obj] = v
+			}
+		}
+	}
+	return out
+}
+
+// dropPaired removes obligations whose paired error/ok variable proves
+// the acquisition did not happen on this path.
+func (s rlState) dropPaired(errObj types.Object, failed bool) {
+	for k, r := range s.live {
+		if failed && ((r.errObj != nil && r.errObj == errObj) || (r.okObj != nil && r.okObj == errObj)) {
+			delete(s.live, k)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Walker.
+
+type rlBreakable struct {
+	isLoop     bool
+	entry      rlState   // state at loop entry (for back-edge checks)
+	breakOuts  []rlState // states at break statements targeting this
+	sawBackRep map[string]bool
+	// bodyPos/bodyEnd bound the loop body: obligations bound to a
+	// variable declared outside it are accumulators (fds = append(fds,
+	// fd)) that stay reachable across iterations, so the back-edge
+	// check defers to the return-path checks instead of flagging them.
+	bodyPos token.Pos
+	bodyEnd token.Pos
+}
+
+type rlWalker struct {
+	pass      *Pass
+	summaries map[string]*rlSummary
+	anns      map[string]rlAnnotation
+	findings  *[]Finding
+	report    bool
+
+	fnName  string           // full name of the declared function ("" for literals)
+	ann     rlAnnotation     // the function's own annotation
+	sig     *types.Signature // for return classification
+	results []*ast.Ident     // named results, for bare returns
+	// entryPoint marks main.main: returning from it exits the process,
+	// which releases every OS-backed resource, so end-of-path leak
+	// reports are suppressed there (loop back-edge leaks still fire —
+	// those accumulate while the process runs).
+	entryPoint bool
+
+	inferred *rlSummary // built during the walk
+	params   []types.Object
+
+	conds     []string // lexical path conditions, for diagnostics
+	ifGuards  []string // enclosing if-branch guards, for correlation
+	breakable []*rlBreakable
+	inlineRet []*[]rlState // collectors for inline-invoked literals
+}
+
+// guard returns the innermost enclosing if-branch condition, used to
+// correlate "if d != nil { acquire }" with a later "if d != nil {
+// release }" over the same untouched condition.
+func (w *rlWalker) guard() string {
+	if len(w.ifGuards) == 0 {
+		return ""
+	}
+	return w.ifGuards[len(w.ifGuards)-1]
+}
+
+func (w *rlWalker) condString() string {
+	if len(w.conds) == 0 {
+		return ""
+	}
+	return " [path: " + strings.Join(w.conds, " && ") + "]"
+}
+
+func (w *rlWalker) leak(retPos ast.Node, r rlRes, class string) {
+	if !w.report || w.entryPoint {
+		return
+	}
+	at := w.pass.Fset.Position(r.pos)
+	*w.findings = append(*w.findings, findingAt(w.pass, "resource-lifecycle", retPos,
+		"%s acquired at %s:%d is neither released nor transferred on this %s%s",
+		r.what(), at.Filename, at.Line, class, w.condString()))
+}
+
+func (w *rlWalker) reportf(n ast.Node, format string, args ...any) {
+	if !w.report {
+		return
+	}
+	*w.findings = append(*w.findings, findingAt(w.pass, "resource-lifecycle", n, format, args...))
+}
+
+func (w *rlWalker) objOf(id *ast.Ident) types.Object {
+	if obj := w.pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return w.pass.Info.Uses[id]
+}
+
+// summaryFor resolves the effective summary of a called function:
+// annotation first, then whatever the inference rounds produced.
+func (w *rlWalker) summaryFor(fn *types.Func) (rlAnnotation, *rlSummary) {
+	if fn == nil {
+		return rlAnnotation{}, nil
+	}
+	name := fn.FullName()
+	return w.anns[name], w.summaries[name]
+}
+
+// callEffects describes what one call does in lifecycle terms.
+type rlCallEffect struct {
+	acquires []string // var-kinds to bind to the result
+	exprAcq  *rlRes   // expr-keyed acquisition (wg/lock), nil if none
+	exprRel  string   // key of expr-keyed release, "" if none
+	relKinds []string // kinds released via args/receiver
+	trnKinds []string // kinds consumed (transferred into) via args
+	parRel   map[int]string
+}
+
+func (w *rlWalker) effectOf(call *ast.CallExpr) rlCallEffect {
+	var eff rlCallEffect
+	fn := funcFor(w.pass.Info, call)
+	if fn == nil {
+		return eff
+	}
+	// Structural built-ins.
+	if rlFileAcquirers[fn.FullName()] {
+		eff.acquires = append(eff.acquires, "file")
+		return eff
+	}
+	if rlIsFileClose(fn) {
+		eff.relKinds = append(eff.relKinds, "file")
+		return eff
+	}
+	if d := rlWaitGroupMethod(fn); d != 0 {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return eff
+		}
+		path := rlExprPath(sel.X)
+		if path == "" {
+			return eff
+		}
+		r := rlRes{kind: "wg", expr: path, pos: call.Pos()}
+		if d > 0 {
+			eff.exprAcq = &r
+		} else {
+			eff.exprRel = r.key()
+		}
+		return eff
+	}
+	if mode, d := rlMutexMethod(fn); d != 0 {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return eff
+		}
+		path := rlExprPath(sel.X)
+		if path == "" {
+			return eff
+		}
+		r := rlRes{kind: "lock", expr: path, mode: mode, pos: call.Pos()}
+		if d > 0 {
+			eff.exprAcq = &r
+		} else {
+			eff.exprRel = r.key()
+		}
+		return eff
+	}
+	// Annotations and inferred summaries.
+	ann, sum := w.summaryFor(fn)
+	for k := range ann.acquires {
+		eff.acquires = append(eff.acquires, k)
+	}
+	for k := range ann.releases {
+		eff.relKinds = append(eff.relKinds, k)
+	}
+	for k := range ann.transfers {
+		eff.trnKinds = append(eff.trnKinds, k)
+	}
+	if sum != nil {
+		for k := range sum.acquires {
+			if !ann.acquires[k] {
+				eff.acquires = append(eff.acquires, k)
+			}
+		}
+		for k := range sum.releases {
+			if !ann.releases[k] {
+				eff.relKinds = append(eff.relKinds, k)
+			}
+		}
+		eff.parRel = sum.paramReleases
+	}
+	sort.Strings(eff.acquires)
+	return eff
+}
+
+// argExprs returns the receiver (if a method call) followed by the
+// arguments: the expressions through which obligations can be handed to
+// a callee.
+func rlArgExprs(call *ast.CallExpr) []ast.Expr {
+	var out []ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		out = append(out, sel.X)
+	}
+	out = append(out, call.Args...)
+	return out
+}
+
+// rlRootIdent is gbRootIdent plus &-unwrapping: settle(&victims[i])
+// hands the obligation riding victims to the callee.
+func rlRootIdent(e ast.Expr) *ast.Ident {
+	if ue, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = ue.X
+	}
+	return gbRootIdent(e)
+}
+
+// discharge removes every live obligation of kind k whose binding
+// object is referenced by one of the exprs. Returns true if anything
+// was discharged.
+func (w *rlWalker) discharge(st rlState, kind string, exprs []ast.Expr) bool {
+	any := false
+	for _, e := range exprs {
+		id := rlRootIdent(e)
+		if id == nil {
+			continue
+		}
+		obj := w.objOf(id)
+		if obj == nil {
+			continue
+		}
+		for k, r := range st.live {
+			if r.kind == kind && r.obj != nil && r.obj == obj {
+				delete(st.live, k)
+				any = true
+			}
+		}
+	}
+	return any
+}
+
+// call processes one call expression's lifecycle effects against st,
+// binding acquisitions to binds (parallel to the call's results; nil
+// entries or a nil slice discard). Statement position stmt anchors
+// discarded-result findings.
+func (w *rlWalker) call(call *ast.CallExpr, st rlState, binds []types.Object, stmt ast.Node) {
+	// Inline-invoked literal: walk the body sharing this path's state.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		out := w.walkInlineLit(lit, st)
+		// walkInlineLit mutated a clone; fold its result back in place.
+		for k := range st.live {
+			if _, keep := out.live[k]; !keep {
+				delete(st.live, k)
+			}
+		}
+		for k, v := range out.live {
+			st.live[k] = v
+		}
+		return
+	}
+	eff := w.effectOf(call)
+	if eff.exprAcq != nil {
+		r := *eff.exprAcq
+		if st.debt[r.key()] {
+			// Re-acquiring what this function released below baseline
+			// (lock juggling): the pair nets to zero.
+			delete(st.debt, r.key())
+			return
+		}
+		r.cond = w.guard()
+		st.live[r.key()] = r
+		return
+	}
+	if eff.exprRel != "" {
+		if _, ok := st.live[eff.exprRel]; ok {
+			delete(st.live, eff.exprRel)
+		} else {
+			// Releasing a counter this function never raised: the
+			// baseline came from the caller. Record it in the summary so
+			// go-launch sites can match it up, and as a debt so a
+			// matching re-acquire nets out.
+			w.inferred.releasesExprs[eff.exprRel] = true
+			st.debt[eff.exprRel] = true
+		}
+		return
+	}
+	args := rlArgExprs(call)
+	for _, k := range eff.relKinds {
+		if w.discharge(st, k, args) {
+			continue
+		}
+		// A release whose resource came in via one of our own
+		// parameters: infer a param-release summary.
+		w.noteParamRelease(k, args)
+	}
+	for _, k := range eff.trnKinds {
+		w.discharge(st, k, args)
+	}
+	for i, k := range eff.parRel {
+		if i < len(call.Args) {
+			w.discharge(st, k, []ast.Expr{call.Args[i]})
+			_ = k
+		}
+	}
+	if len(eff.acquires) > 0 {
+		// An acquirer whose results are all bool/error (tryHedgeLeg)
+		// raises an expr-keyed counter for its caller; there is nothing
+		// caller-side to bind, so nothing to demand.
+		if fn := funcFor(w.pass.Info, call); fn != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok {
+				trackable := false
+				for i := 0; i < sig.Results().Len(); i++ {
+					t := sig.Results().At(i).Type()
+					if isErrorType(t) {
+						continue
+					}
+					if basic, ok := t.(*types.Basic); ok && basic.Kind() == types.Bool {
+						continue
+					}
+					trackable = true
+				}
+				if !trackable {
+					return
+				}
+			}
+		}
+		bound := false
+		for _, obj := range binds {
+			if obj == nil || obj.Name() == "_" {
+				continue
+			}
+			bound = true
+			break
+		}
+		if !bound {
+			w.reportf(stmt, "result of %s carries %s but is discarded; bind it or release it",
+				callName(call), strings.Join(eff.acquires, ", "))
+			return
+		}
+		// Bind every acquired kind to the first usable (non-error,
+		// non-bool) result object; record err/ok pairings.
+		var target types.Object
+		var errObj, okObj types.Object
+		for _, obj := range binds {
+			if obj == nil || obj.Name() == "_" {
+				continue
+			}
+			if isErrorType(obj.Type()) {
+				errObj = obj
+				continue
+			}
+			if basic, ok := obj.Type().(*types.Basic); ok && basic.Kind() == types.Bool {
+				okObj = obj
+				continue
+			}
+			if target == nil {
+				target = obj
+			}
+		}
+		if target == nil {
+			// Only error/bool results bound: expr-keyed contract (e.g. an
+			// annotated tryHedgeLeg); nothing trackable caller-side.
+			return
+		}
+		for _, kind := range eff.acquires {
+			r := rlRes{kind: kind, obj: target, pos: call.Pos(), errObj: errObj, okObj: okObj, cond: w.guard()}
+			st.live[r.key()] = r
+		}
+	}
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return rlExprPath(fun.X) + "." + fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return "call"
+}
+
+// noteParamRelease records that kind k was released through one of this
+// function's own parameters.
+func (w *rlWalker) noteParamRelease(k string, exprs []ast.Expr) {
+	for _, e := range exprs {
+		id := rlRootIdent(e)
+		if id == nil {
+			continue
+		}
+		obj := w.objOf(id)
+		if obj == nil {
+			continue
+		}
+		for i, p := range w.params {
+			if p == obj {
+				w.inferred.paramReleases[i] = k
+				if i == 0 && w.sig != nil && w.sig.Recv() != nil {
+					// receiver-released kinds surface as plain releases
+					w.inferred.releases[k] = true
+				}
+			}
+		}
+	}
+}
+
+// scanRelease looks through an arbitrary statement tree (a deferred or
+// go-launched function literal body) for releases matching live
+// obligations: expr-keyed Done/Unlock with the same textual path,
+// Close-style releases of captured variables, and calls to functions
+// whose summary releases a kind through an argument.
+func (w *rlWalker) scanRelease(root ast.Node, st rlState) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		eff := w.effectOf(call)
+		if eff.exprRel != "" {
+			delete(st.live, eff.exprRel)
+		}
+		args := rlArgExprs(call)
+		for _, k := range eff.relKinds {
+			w.discharge(st, k, args)
+		}
+		for _, k := range eff.trnKinds {
+			w.discharge(st, k, args)
+		}
+		return true
+	})
+}
+
+// walkLitFresh analyzes a function literal as its own anonymous
+// function (goroutine bodies, closures bound to variables): fresh
+// state, same summaries, leaks inside it reported in place.
+func (w *rlWalker) walkLitFresh(lit *ast.FuncLit) {
+	sig, _ := w.pass.Info.Types[lit].Type.(*types.Signature)
+	sub := &rlWalker{
+		pass:      w.pass,
+		summaries: w.summaries,
+		anns:      w.anns,
+		findings:  w.findings,
+		report:    w.report,
+		sig:       sig,
+		inferred:  newRLSummary(),
+	}
+	out, terminated := sub.walk(lit.Body.List, newRLState())
+	if !terminated {
+		sub.endOfBody(lit, out)
+	}
+	// Expr-keyed releases inside the literal count toward the enclosing
+	// function's summary: "go c.run()" where run's body defers
+	// c.wg.Done() must discharge the caller's obligation whether run is
+	// a method or a literal wrapped by one.
+	for k := range sub.inferred.releasesExprs {
+		w.inferred.releasesExprs[k] = true
+	}
+}
+
+// walkInlineLit walks an immediately-invoked literal sharing the
+// caller's path state; returns the union of the states at its returns
+// and fallthrough.
+func (w *rlWalker) walkInlineLit(lit *ast.FuncLit, st rlState) rlState {
+	collector := &[]rlState{}
+	w.inlineRet = append(w.inlineRet, collector)
+	out, terminated := w.walk(lit.Body.List, st.clone())
+	w.inlineRet = w.inlineRet[:len(w.inlineRet)-1]
+	states := *collector
+	if !terminated {
+		states = append(states, out)
+	}
+	if len(states) == 0 {
+		return st
+	}
+	return rlUnion(states)
+}
+
+// splitCond prunes obligations and records error facts for the two
+// arms of a condition.
+func (w *rlWalker) splitCond(cond ast.Expr, thenSt, elseSt rlState) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			w.splitCond(e.X, thenSt, newRLState())
+			w.splitCond(e.Y, thenSt, newRLState())
+			return
+		case token.LOR:
+			w.splitCond(e.X, newRLState(), elseSt)
+			w.splitCond(e.Y, newRLState(), elseSt)
+			return
+		case token.NEQ, token.EQL:
+			id, nilSide := rlIdentVsNil(w.pass, e)
+			if id == nil || !nilSide {
+				return
+			}
+			obj := w.objOf(id)
+			if obj == nil {
+				return
+			}
+			neq := e.Op == token.NEQ
+			if isErrorType(obj.Type()) {
+				if neq { // err != nil: then => failed, else => succeeded
+					thenSt.dropPaired(obj, true)
+					thenSt.err[obj] = rlErrNonNil
+					elseSt.err[obj] = rlErrNil
+				} else { // err == nil
+					elseSt.dropPaired(obj, true)
+					thenSt.err[obj] = rlErrNil
+					elseSt.err[obj] = rlErrNonNil
+				}
+				return
+			}
+			// x != nil where x binds a resource: nil means not acquired.
+			if neq {
+				rlDropBoundTo(thenSt, obj, false)
+				rlDropBoundTo(elseSt, obj, true)
+			} else {
+				rlDropBoundTo(thenSt, obj, true)
+				rlDropBoundTo(elseSt, obj, false)
+			}
+			return
+		}
+	case *ast.Ident:
+		obj := w.objOf(e)
+		if obj == nil {
+			return
+		}
+		// if ok { ... }: the else path never acquired.
+		elseSt.dropPaired(obj, true)
+		thenSt.ok[obj] = rlErrNonNil
+		elseSt.ok[obj] = rlErrNil
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				obj := w.objOf(id)
+				if obj == nil {
+					return
+				}
+				thenSt.dropPaired(obj, true)
+				thenSt.ok[obj] = rlErrNil
+				elseSt.ok[obj] = rlErrNonNil
+			}
+		}
+	}
+}
+
+// rlIdentVsNil matches `ident OP nil` / `nil OP ident`.
+func rlIdentVsNil(pass *Pass, e *ast.BinaryExpr) (*ast.Ident, bool) {
+	isNil := func(x ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isNilObj := pass.Info.Uses[id].(*types.Nil)
+		return isNilObj
+	}
+	if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && isNil(e.Y) {
+		return id, true
+	}
+	if id, ok := ast.Unparen(e.Y).(*ast.Ident); ok && isNil(e.X) {
+		return id, true
+	}
+	return nil, false
+}
+
+// rlDropGuard removes obligations that were acquired under the given
+// if-guard text: control cannot be on the opposite arm of the same
+// (untouched) condition.
+func rlDropGuard(st rlState, guard string) {
+	for k, r := range st.live {
+		if r.cond != "" && r.cond == guard {
+			delete(st.live, k)
+		}
+	}
+}
+
+// rlDropBoundTo removes (drop=true) obligations bound to obj.
+func rlDropBoundTo(st rlState, obj types.Object, drop bool) {
+	if !drop {
+		return
+	}
+	for k, r := range st.live {
+		if r.obj != nil && r.obj == obj {
+			delete(st.live, k)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Statement walk.
+
+// walk analyzes stmts against st (mutated in place) and reports whether
+// every path through them terminated (returned, broke, or panicked).
+func (w *rlWalker) walk(stmts []ast.Stmt, st rlState) (rlState, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		st, terminated = w.stmt(stmt, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *rlWalker) pushCond(c string) { w.conds = append(w.conds, c) }
+func (w *rlWalker) popCond()          { w.conds = w.conds[:len(w.conds)-1] }
+
+func rlCondText(pass *Pass, e ast.Expr) string {
+	if e == nil {
+		return "true"
+	}
+	path := rlExprPath(e)
+	if path != "" {
+		return path
+	}
+	if be, ok := ast.Unparen(e).(*ast.BinaryExpr); ok {
+		l, r := rlExprPath(be.X), rlExprPath(be.Y)
+		if id, nilSide := rlIdentVsNil(pass, be); id != nil && nilSide {
+			return id.Name + " " + be.Op.String() + " nil"
+		}
+		if l != "" && r != "" {
+			return l + " " + be.Op.String() + " " + r
+		}
+	}
+	if ue, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && ue.Op == token.NOT {
+		if p := rlExprPath(ue.X); p != "" {
+			return "!" + p
+		}
+	}
+	return "…"
+}
+
+func (w *rlWalker) stmt(s ast.Stmt, st rlState) (rlState, bool) {
+	switch stmt := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok {
+			w.scanNestedLits(call)
+			w.call(call, st, nil, stmt)
+		}
+		return st, false
+
+	case *ast.AssignStmt:
+		return w.assign(stmt, st), false
+
+	case *ast.DeclStmt:
+		if gd, ok := stmt.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				w.bindValues(vs.Names, vs.Values, st, stmt)
+			}
+		}
+		return st, false
+
+	case *ast.ReturnStmt:
+		w.ret(stmt, st)
+		return st, true
+
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			st, _ = w.stmt(stmt.Init, st)
+		}
+		w.scanExprCalls(stmt.Cond, st)
+		thenSt, elseSt := st.clone(), st.clone()
+		w.splitCond(stmt.Cond, thenSt, elseSt)
+		cond := rlCondText(w.pass, stmt.Cond)
+		// Correlated conditionals: a resource acquired under this same
+		// guard text earlier cannot be live on the opposite arm.
+		rlDropGuard(thenSt, "!("+cond+")")
+		rlDropGuard(elseSt, cond)
+		w.pushCond(cond)
+		w.ifGuards = append(w.ifGuards, cond)
+		thenOut, thenTerm := w.walk(stmt.Body.List, thenSt)
+		w.ifGuards = w.ifGuards[:len(w.ifGuards)-1]
+		w.popCond()
+		var elseOut rlState
+		elseTerm := false
+		if stmt.Else != nil {
+			w.pushCond("!(" + cond + ")")
+			w.ifGuards = append(w.ifGuards, "!("+cond+")")
+			elseOut, elseTerm = w.stmt(stmt.Else, elseSt)
+			w.ifGuards = w.ifGuards[:len(w.ifGuards)-1]
+			w.popCond()
+		} else {
+			elseOut = elseSt
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return rlUnion([]rlState{thenOut, elseOut}), false
+		}
+
+	case *ast.BlockStmt:
+		return w.walk(stmt.List, st)
+
+	case *ast.LabeledStmt:
+		return w.stmt(stmt.Stmt, st)
+
+	case *ast.ForStmt:
+		if stmt.Init != nil {
+			st, _ = w.stmt(stmt.Init, st)
+		}
+		w.scanExprCalls(stmt.Cond, st)
+		return w.loop(stmt.Body, st, stmt.Cond != nil, rlCondText(w.pass, stmt.Cond))
+
+	case *ast.RangeStmt:
+		w.scanExprCalls(stmt.X, st)
+		return w.loop(stmt.Body, st, true, "range "+rlCondText(w.pass, stmt.X))
+
+	case *ast.SwitchStmt:
+		if stmt.Init != nil {
+			st, _ = w.stmt(stmt.Init, st)
+		}
+		w.scanExprCalls(stmt.Tag, st)
+		return w.switchLike(stmt.Body, st, func(cc *ast.CaseClause) ([]ast.Stmt, string, bool) {
+			return cc.Body, rlCaseText(stmt.Tag, cc), cc.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		if stmt.Init != nil {
+			st, _ = w.stmt(stmt.Init, st)
+		}
+		return w.switchLike(stmt.Body, st, func(cc *ast.CaseClause) ([]ast.Stmt, string, bool) {
+			return cc.Body, "case …", cc.List == nil
+		})
+
+	case *ast.SelectStmt:
+		w.breakable = append(w.breakable, &rlBreakable{})
+		var outs []rlState
+		allTerm := true
+		hasDefault := false
+		for _, clause := range stmt.Body.List {
+			comm, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			cs := st.clone()
+			if comm.Comm == nil {
+				hasDefault = true
+			} else {
+				cs, _ = w.stmt(comm.Comm, cs)
+			}
+			w.pushCond("select-case")
+			out, term := w.walk(comm.Body, cs)
+			w.popCond()
+			if !term {
+				outs = append(outs, out)
+				allTerm = false
+			}
+		}
+		br := w.breakable[len(w.breakable)-1]
+		w.breakable = w.breakable[:len(w.breakable)-1]
+		outs = append(outs, br.breakOuts...)
+		_ = hasDefault
+		if len(outs) == 0 {
+			return st, allTerm && len(stmt.Body.List) > 0
+		}
+		return rlUnion(outs), false
+
+	case *ast.GoStmt:
+		w.goStmt(stmt, st)
+		return st, false
+
+	case *ast.DeferStmt:
+		w.deferStmt(stmt, st)
+		return st, false
+
+	case *ast.SendStmt:
+		w.scanExprCalls(stmt.Value, st)
+		w.transferInto(stmt.Value, st, stmt, "channel send")
+		return st, false
+
+	case *ast.BranchStmt:
+		switch stmt.Tok {
+		case token.BREAK:
+			for i := len(w.breakable) - 1; i >= 0; i-- {
+				if stmt.Label == nil || w.breakable[i].isLoop {
+					w.breakable[i].breakOuts = append(w.breakable[i].breakOuts, st.clone())
+					break
+				}
+			}
+			return st, true
+		case token.CONTINUE:
+			for i := len(w.breakable) - 1; i >= 0; i-- {
+				if w.breakable[i].isLoop {
+					w.backEdge(w.breakable[i], st, stmt)
+					break
+				}
+			}
+			return st, true
+		case token.GOTO:
+			return st, true
+		}
+		return st, false
+
+	case *ast.IncDecStmt, *ast.EmptyStmt:
+		return st, false
+
+	default:
+		return st, false
+	}
+}
+
+func rlCaseText(tag ast.Expr, cc *ast.CaseClause) string {
+	if cc.List == nil {
+		return "default"
+	}
+	t := "case"
+	if tag != nil {
+		if p := rlExprPath(tag); p != "" {
+			t = p + " ="
+		}
+	}
+	if len(cc.List) > 0 {
+		if p := rlExprPath(cc.List[0]); p != "" {
+			return t + " " + p
+		}
+	}
+	return t + " …"
+}
+
+func (w *rlWalker) switchLike(body *ast.BlockStmt, st rlState, caseOf func(*ast.CaseClause) ([]ast.Stmt, string, bool)) (rlState, bool) {
+	w.breakable = append(w.breakable, &rlBreakable{})
+	var outs []rlState
+	hasDefault := false
+	allTerm := true
+	n := 0
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		n++
+		stmts, cond, isDefault := caseOf(cc)
+		if isDefault {
+			hasDefault = true
+		}
+		w.pushCond(cond)
+		out, term := w.walk(stmts, st.clone())
+		w.popCond()
+		if !term {
+			outs = append(outs, out)
+			allTerm = false
+		}
+	}
+	br := w.breakable[len(w.breakable)-1]
+	w.breakable = w.breakable[:len(w.breakable)-1]
+	outs = append(outs, br.breakOuts...)
+	if len(br.breakOuts) > 0 {
+		allTerm = false
+	}
+	if !hasDefault {
+		outs = append(outs, st)
+		allTerm = false
+	}
+	if len(outs) == 0 {
+		return st, allTerm && n > 0
+	}
+	return rlUnion(outs), allTerm && len(outs) == 0
+}
+
+// backEdge flags resources acquired inside a loop body that are still
+// live when control heads back to the top: the next iteration
+// re-acquires and the previous obligation is lost.
+func (w *rlWalker) backEdge(br *rlBreakable, st rlState, at ast.Node) {
+	for k, r := range st.live {
+		if _, atEntry := br.entry.live[k]; atEntry {
+			continue
+		}
+		if br.sawBackRep[k] {
+			continue
+		}
+		if r.obj != nil && (r.obj.Pos() < br.bodyPos || r.obj.Pos() >= br.bodyEnd) {
+			// Bound to a variable declared outside the loop: the next
+			// iteration still sees it, so nothing is lost on the
+			// back-edge. The leak, if any, is caught at the returns.
+			continue
+		}
+		br.sawBackRep[k] = true
+		if w.report {
+			pos := w.pass.Fset.Position(r.pos)
+			*w.findings = append(*w.findings, findingAt(w.pass, "resource-lifecycle", at,
+				"%s acquired at %s:%d inside the loop body is still live on the loop back-edge; the next iteration re-acquires and this one leaks%s",
+				r.what(), pos.Filename, pos.Line, w.condString()))
+		}
+		delete(st.live, k)
+	}
+}
+
+func (w *rlWalker) loop(body *ast.BlockStmt, st rlState, mayskip bool, cond string) (rlState, bool) {
+	br := &rlBreakable{
+		isLoop: true, entry: st.clone(), sawBackRep: map[string]bool{},
+		bodyPos: body.Pos(), bodyEnd: body.End(),
+	}
+	w.breakable = append(w.breakable, br)
+	w.pushCond(cond)
+	out, term := w.walk(body.List, st.clone())
+	w.popCond()
+	w.breakable = w.breakable[:len(w.breakable)-1]
+	if !term {
+		w.backEdge(br, out, body)
+	}
+	var outs []rlState
+	if mayskip {
+		outs = append(outs, st)
+	}
+	outs = append(outs, br.breakOuts...)
+	if !term {
+		outs = append(outs, out)
+	}
+	if len(outs) == 0 {
+		// for {} with no break and a terminating body: nothing follows.
+		return st, true
+	}
+	return rlUnion(outs), false
+}
+
+// scanExprCalls handles calls buried in non-statement expressions
+// (conditions, range targets): lifecycle effects still apply, results
+// are unbound.
+func (w *rlWalker) scanExprCalls(e ast.Expr, st rlState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.walkLitFresh(lit)
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, isLit := ast.Unparen(call.Fun).(*ast.FuncLit); !isLit {
+				w.call(call, st, nil, call)
+			}
+		}
+		return true
+	})
+}
+
+// scanNestedLits walks function literals appearing as call arguments
+// (callbacks) as fresh anonymous functions.
+func (w *rlWalker) scanNestedLits(call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			w.walkLitFresh(lit)
+		}
+	}
+}
+
+// transferInto handles a tracked resource moving into a field, map,
+// channel or composite: sanctioned only under a dodo:transfers
+// annotation on the enclosing function. The obligation is discharged
+// either way so one move is reported once, at the move.
+func (w *rlWalker) transferInto(rhs ast.Expr, st rlState, at ast.Node, how string) {
+	if rhs == nil {
+		return
+	}
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.objOf(id)
+		if obj == nil {
+			return true
+		}
+		for k, r := range st.live {
+			if r.obj == nil || r.obj != obj {
+				continue
+			}
+			delete(st.live, k)
+			if !w.ann.transfers[r.kind] {
+				w.reportf(at, "%s moves into a %s without a dodo:transfers(%s) annotation on the enclosing function",
+					r.what(), how, r.kind)
+			}
+		}
+		return true
+	})
+}
+
+// assign handles binding acquisitions, rebinding/collecting
+// obligations, and stores that transfer ownership.
+func (w *rlWalker) assign(stmt *ast.AssignStmt, st rlState) rlState {
+	if len(stmt.Lhs) == len(stmt.Rhs) {
+		names := make([]*ast.Ident, len(stmt.Lhs))
+		simple := true
+		for i, l := range stmt.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				names[i] = id
+			} else {
+				simple = false
+			}
+		}
+		if simple && len(stmt.Rhs) > 1 {
+			for i := range stmt.Rhs {
+				w.bindValues([]*ast.Ident{names[i]}, []ast.Expr{stmt.Rhs[i]}, st, stmt)
+			}
+			return st
+		}
+	}
+	if len(stmt.Rhs) == 1 {
+		rhs := stmt.Rhs[0]
+		// Store into a field/map/slice element: ownership transfer.
+		allIdent := true
+		for _, l := range stmt.Lhs {
+			if _, ok := ast.Unparen(l).(*ast.Ident); !ok {
+				allIdent = false
+			}
+		}
+		if !allIdent {
+			w.scanExprCalls(rhs, st)
+			w.transferInto(rhs, st, stmt, "field, map or element store")
+			return st
+		}
+		var names []*ast.Ident
+		for _, l := range stmt.Lhs {
+			names = append(names, ast.Unparen(l).(*ast.Ident))
+		}
+		w.bindValues(names, []ast.Expr{rhs}, st, stmt)
+		return st
+	}
+	// n := m assignments with mixed shapes: conservatively scan calls.
+	for _, r := range stmt.Rhs {
+		w.scanExprCalls(r, st)
+	}
+	return st
+}
+
+// bindValues binds the lifecycle effects of values (one call with
+// multiple results, or element-wise values) to the named targets.
+func (w *rlWalker) bindValues(names []*ast.Ident, values []ast.Expr, st rlState, at ast.Node) {
+	if len(values) == 1 {
+		rhs := ast.Unparen(values[0])
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			w.scanNestedLits(call)
+			// Nested acquiring calls inside a wrapper (append(xs,
+			// acquire()...)) bind to the first target.
+			binds := make([]types.Object, len(names))
+			for i, id := range names {
+				if id != nil {
+					binds[i] = w.objOf(id)
+				}
+			}
+			if inner := rlInnerAcquiringCall(w, call); inner != nil && inner != call {
+				w.call(inner, st, []types.Object{rlFirstObj(binds)}, at)
+				// The wrapper may also move live obligations (append).
+				w.rebindInto(call, rlFirstObj(binds), st)
+				return
+			}
+			w.call(call, st, binds, at)
+			// xs = append(xs, job): obligations riding the appended
+			// values follow them into the collection binding.
+			if rlIsAppend(w.pass, call) {
+				w.rebindInto(call, rlFirstObj(binds), st)
+			}
+			return
+		}
+		if _, ok := rhs.(*ast.CompositeLit); ok {
+			// job := evictJob{marker: newInflight()}: the acquisition
+			// binds to the composite's variable.
+			binds := make([]types.Object, len(names))
+			for i, id := range names {
+				if id != nil {
+					binds[i] = w.objOf(id)
+				}
+			}
+			if inner := rlInnerAcquiringCall(w, rhs); inner != nil {
+				w.call(inner, st, []types.Object{rlFirstObj(binds)}, at)
+				return
+			}
+			w.scanExprCalls(values[0], st)
+			return
+		}
+		// Plain expression: a live resource flowing to a new name
+		// (aliasing) or into a collection via append handled above; a
+		// bare `x = res` rebind keeps the original binding object.
+		for _, id := range names {
+			_ = id
+		}
+		w.scanExprCalls(values[0], st)
+		return
+	}
+	for i, v := range values {
+		var n []*ast.Ident
+		if i < len(names) {
+			n = []*ast.Ident{names[i]}
+		}
+		w.bindValues(n, []ast.Expr{v}, st, at)
+	}
+}
+
+func rlFirstObj(objs []types.Object) types.Object {
+	for _, o := range objs {
+		if o != nil && o.Name() != "_" {
+			return o
+		}
+	}
+	return nil
+}
+
+// rlInnerAcquiringCall finds an acquiring call nested inside wrapper
+// expressions: append(orphans, m.discardDrainingLocked(addr)...) or a
+// composite literal field (evictJob{marker: newInflight()}).
+func rlInnerAcquiringCall(w *rlWalker, e ast.Expr) *ast.CallExpr {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if len(w.effectOf(x).acquires) > 0 {
+			return x
+		}
+		var found *ast.CallExpr
+		for _, arg := range x.Args {
+			if c := rlInnerAcquiringCall(w, arg); c != nil {
+				found = c
+			}
+		}
+		return found
+	case *ast.CompositeLit:
+		var found *ast.CallExpr
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if c := rlInnerAcquiringCall(w, elt); c != nil {
+				found = c
+			}
+		}
+		return found
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return rlInnerAcquiringCall(w, x.X)
+		}
+	}
+	return nil
+}
+
+// rlIsAppend reports a call to the builtin append.
+func rlIsAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rebindInto moves obligations referenced by call arguments onto the
+// assignment target: grants = append(grants, g) re-keys g's obligation
+// to grants.
+func (w *rlWalker) rebindInto(call *ast.CallExpr, target types.Object, st rlState) {
+	if target == nil {
+		return
+	}
+	for _, arg := range call.Args {
+		id := rlRootIdent(arg)
+		if id == nil {
+			continue
+		}
+		obj := w.objOf(id)
+		if obj == nil || obj == target {
+			continue
+		}
+		for k, r := range st.live {
+			if r.obj != nil && r.obj == obj {
+				delete(st.live, k)
+				r.obj = target
+				st.live[r.key()] = r
+			}
+		}
+	}
+}
+
+// goStmt discharges obligations handed to a launched goroutine and
+// analyzes literal bodies as fresh functions.
+func (w *rlWalker) goStmt(stmt *ast.GoStmt, st rlState) {
+	call := stmt.Call
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		w.scanRelease(lit.Body, st)
+		w.walkLitFresh(lit)
+		return
+	}
+	fn := funcFor(w.pass.Info, call)
+	_, sum := w.summaryFor(fn)
+	if sum != nil {
+		for key := range sum.releasesExprs {
+			delete(st.live, key)
+		}
+		args := rlArgExprs(call)
+		for _, k := range rlKeys(sum.releases) {
+			w.discharge(st, k, args)
+		}
+		for i, k := range sum.paramReleases {
+			if i < len(call.Args) {
+				w.discharge(st, k, []ast.Expr{call.Args[i]})
+			}
+		}
+	}
+	// A released-by-param WaitGroup pointer: go worker(&wg).
+	for _, arg := range call.Args {
+		if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			if path := rlExprPath(ue.X); path != "" {
+				delete(st.live, "e:wg::"+path)
+			}
+		}
+	}
+}
+
+func rlKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// deferStmt discharges obligations released by a deferred call: the
+// release runs at every downstream return.
+func (w *rlWalker) deferStmt(stmt *ast.DeferStmt, st rlState) {
+	call := stmt.Call
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		w.scanRelease(lit.Body, st)
+		// Releases of counters never raised here still belong in the
+		// summary (defer c.wg.Done() in a worker body).
+		w.scanSummaryReleases(lit.Body)
+		return
+	}
+	w.call(call, st, nil, stmt)
+}
+
+// scanSummaryReleases records expr-keyed releases found in a deferred
+// literal into the function summary even when nothing was live.
+func (w *rlWalker) scanSummaryReleases(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		eff := w.effectOf(call)
+		if eff.exprRel != "" {
+			w.inferred.releasesExprs[eff.exprRel] = true
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------
+// Returns.
+
+// retClass classifies a return's error disposition.
+func (w *rlWalker) retClass(stmt *ast.ReturnStmt, st rlState) string {
+	if w.sig == nil {
+		return "return"
+	}
+	res := w.sig.Results()
+	if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
+		return "return"
+	}
+	var errExpr ast.Expr
+	if len(stmt.Results) == res.Len() {
+		errExpr = stmt.Results[len(stmt.Results)-1]
+	} else if len(stmt.Results) == 0 && len(w.results) == res.Len() {
+		errExpr = w.results[len(w.results)-1]
+	}
+	if errExpr == nil {
+		return "return"
+	}
+	switch e := ast.Unparen(errExpr).(type) {
+	case *ast.Ident:
+		if _, isNil := w.pass.Info.Uses[e].(*types.Nil); isNil {
+			return "nil-error return"
+		}
+		if obj := w.objOf(e); obj != nil {
+			switch st.err[obj] {
+			case rlErrNonNil:
+				return "error return"
+			case rlErrNil:
+				return "nil-error return"
+			}
+		}
+		return "return"
+	case *ast.CallExpr:
+		if fn := funcFor(w.pass.Info, e); fn != nil {
+			switch fn.FullName() {
+			case "errors.New", "fmt.Errorf":
+				return "error return"
+			}
+		}
+		return "return"
+	}
+	return "return"
+}
+
+func (w *rlWalker) ret(stmt *ast.ReturnStmt, st rlState) {
+	// Inside an inline-invoked literal the return ends the literal, not
+	// the function: record the state and skip leak checks.
+	if len(w.inlineRet) > 0 {
+		top := w.inlineRet[len(w.inlineRet)-1]
+		*top = append(*top, st.clone())
+		return
+	}
+	// Resources flowing out through the results transfer to the caller.
+	for _, res := range stmt.Results {
+		ast.Inspect(res, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				w.walkLitFresh(lit)
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				// return os.Open(p): acquired and immediately handed to
+				// the caller — apply releases but not a discard finding.
+				eff := w.effectOf(call)
+				if eff.exprRel != "" {
+					delete(st.live, eff.exprRel)
+				}
+				args := rlArgExprs(call)
+				for _, k := range eff.relKinds {
+					w.discharge(st, k, args)
+				}
+				for _, k := range eff.trnKinds {
+					w.discharge(st, k, args)
+				}
+				for _, kind := range eff.acquires {
+					w.inferred.acquires[kind] = true
+				}
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := w.objOf(id)
+			if obj == nil {
+				return true
+			}
+			for k, r := range st.live {
+				if r.obj != nil && r.obj == obj {
+					delete(st.live, k)
+					w.inferred.acquires[r.kind] = true
+				}
+			}
+			return true
+		})
+	}
+	class := w.retClass(stmt, st)
+	for _, k := range rlSortedLive(st) {
+		r := st.live[k]
+		if w.ann.acquires[r.kind] {
+			// The function's contract is to hand this kind to its
+			// caller; only a definite error return is a leak.
+			if class != "error return" {
+				continue
+			}
+		}
+		w.leak(stmt, r, class)
+	}
+}
+
+// endOfBody flags obligations still live when a body with no final
+// return falls off the end.
+func (w *rlWalker) endOfBody(at ast.Node, st rlState) {
+	for _, k := range rlSortedLive(st) {
+		r := st.live[k]
+		if w.ann.acquires[r.kind] {
+			continue
+		}
+		w.leak(at, r, "fall-through return")
+	}
+}
+
+func rlSortedLive(st rlState) []string {
+	keys := make([]string, 0, len(st.live))
+	for k := range st.live {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ---------------------------------------------------------------------
+// Driver.
+
+func rlFuncName(pass *Pass, fd *ast.FuncDecl) string {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return obj.FullName()
+}
+
+// rlAnalyzeFunc walks one declared function and returns its inferred
+// summary.
+func rlAnalyzeFunc(pass *Pass, fd *ast.FuncDecl, summaries map[string]*rlSummary, anns map[string]rlAnnotation, findings *[]Finding, report bool) *rlSummary {
+	name := rlFuncName(pass, fd)
+	obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	var sig *types.Signature
+	if obj != nil {
+		sig, _ = obj.Type().(*types.Signature)
+	}
+	w := &rlWalker{
+		pass:      pass,
+		summaries: summaries,
+		anns:      anns,
+		findings:  findings,
+		report:    report,
+		fnName:    name,
+		ann:       anns[name],
+		sig:       sig,
+		inferred:  newRLSummary(),
+		entryPoint: pass.Pkg != nil && pass.Pkg.Name() == "main" &&
+			fd.Name.Name == "main" && fd.Recv == nil,
+	}
+	if w.ann.acquires == nil {
+		w.ann = rlAnnotation{acquires: map[string]bool{}, releases: map[string]bool{}, transfers: map[string]bool{}}
+		if a, ok := anns[name]; ok {
+			w.ann = a
+		}
+	}
+	// Parameter objects, receiver first, for param-release inference.
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, n := range f.Names {
+				w.params = append(w.params, pass.Info.Defs[n])
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, n := range f.Names {
+				w.params = append(w.params, pass.Info.Defs[n])
+			}
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			for _, n := range f.Names {
+				w.results = append(w.results, n)
+			}
+		}
+	}
+	out, terminated := w.walk(fd.Body.List, newRLState())
+	if !terminated {
+		w.endOfBody(fd.Body, out)
+	}
+	// Annotated releases/transfers carry into the summary verbatim.
+	for k := range w.ann.releases {
+		w.inferred.releases[k] = true
+	}
+	return w.inferred
+}
+
+func runResourceLifecycle(passes []*Pass) []Finding {
+	anns, findings := rlCollectAnnotations(passes)
+	summaries := make(map[string]*rlSummary)
+	type fnUnit struct {
+		pass *Pass
+		fd   *ast.FuncDecl
+		name string
+	}
+	var units []fnUnit
+	for _, pass := range passes {
+		if pass.Pkg == nil || rlSkips(pass.Pkg.Path()) {
+			continue
+		}
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				units = append(units, fnUnit{pass, fd, rlFuncName(pass, fd)})
+			}
+		}
+	}
+	// Inference rounds: propagate inferred summaries bottom-up until
+	// stable (call chains through helpers are shallow; cap the rounds).
+	for round := 0; round < 4; round++ {
+		changed := false
+		var discard []Finding
+		for _, u := range units {
+			inf := rlAnalyzeFunc(u.pass, u.fd, summaries, anns, &discard, false)
+			s, ok := summaries[u.name]
+			if !ok {
+				s = newRLSummary()
+				summaries[u.name] = s
+			}
+			if s.merge(inf) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Final reporting pass.
+	for _, u := range units {
+		rlAnalyzeFunc(u.pass, u.fd, summaries, anns, &findings, true)
+	}
+	return findings
+}

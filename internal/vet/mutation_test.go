@@ -1,0 +1,132 @@
+package vet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestResourceLifecycleMutations pins the analyzer's real-world firing
+// power: deleting any single release call from internal/region — the
+// package whose eviction/clone/prefetch machinery motivated the pass —
+// must produce at least one resource-lifecycle finding (a non-zero
+// dodo-vet exit). The repo is copied to a temp dir and each mutation is
+// applied and reverted in turn, so the working tree is never touched.
+func TestResourceLifecycleMutations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies the repository and reloads it per mutation")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	copyTree(t, root, tmp)
+
+	load := func() []Finding {
+		passes, skipped, err := LoadPackages(tmp, "./internal/region")
+		if err != nil {
+			t.Fatalf("loading mutated tree: %v", err)
+		}
+		if len(skipped) > 0 {
+			t.Fatalf("mutated tree did not compile: %v", skipped)
+		}
+		return Suppress(passes, runResourceLifecycle(passes))
+	}
+	if fs := load(); len(fs) != 0 {
+		t.Fatalf("baseline tree not clean: %v", fs)
+	}
+
+	// Each mutation deletes the nth line matching pattern from file.
+	// The sites span two files and every tracked kind the package uses:
+	// dodofd clone error paths, the worker-pool WaitGroup handoff, and
+	// lock brackets.
+	muts := []struct {
+		name    string
+		file    string
+		pattern string
+		nth     int
+	}{
+		{"cloneRemote disk-read error path drops Mclose", "internal/region/cache.go", "_ = c.dodo.Mclose(mfd)", 1},
+		{"cloneRemote stale-data abort drops Mclose", "internal/region/cache.go", "_ = c.dodo.Mclose(mfd)", 2},
+		{"cloneRemote push error path drops Mclose", "internal/region/cache.go", "_ = c.dodo.Mclose(mfd)", 3},
+		{"cloneRemote closed-region path drops Mclose", "internal/region/cache.go", "_ = c.dodo.Mclose(mfd)", 4},
+		{"cloneRemote raced-copy path drops Mclose", "internal/region/cache.go", "_ = c.dodo.Mclose(mfd)", 5},
+		{"Stats drops its deferred Unlock", "internal/region/cache.go", "defer c.mu.Unlock()", 1},
+		{"prefetchWorker drops its deferred Done", "internal/region/prefetch.go", "defer c.prefetchWG.Done()", 1},
+		{"finishPrefetchJob drops its Unlock", "internal/region/prefetch.go", "c.mu.Unlock()", 1},
+	}
+	for _, m := range muts {
+		t.Run(m.name, func(t *testing.T) {
+			path := filepath.Join(tmp, m.file)
+			orig, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := os.WriteFile(path, orig, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}()
+			mutated, ok := deleteNthMatch(string(orig), m.pattern, m.nth)
+			if !ok {
+				t.Fatalf("pattern %q (occurrence %d) not found in %s — site moved, update the mutation table", m.pattern, m.nth, m.file)
+			}
+			if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fs := load()
+			if len(fs) == 0 {
+				t.Fatalf("deleting %q (occurrence %d) in %s produced no findings: the analyzer would miss this leak", m.pattern, m.nth, m.file)
+			}
+		})
+	}
+}
+
+// deleteNthMatch removes the nth line containing pattern, reporting
+// whether it was found.
+func deleteNthMatch(src, pattern string, nth int) (string, bool) {
+	lines := strings.Split(src, "\n")
+	seen := 0
+	for i, l := range lines {
+		if strings.Contains(l, pattern) {
+			seen++
+			if seen == nth {
+				return strings.Join(append(lines[:i:i], lines[i+1:]...), "\n"), true
+			}
+		}
+	}
+	return src, false
+}
+
+// copyTree mirrors src into dst, skipping VCS metadata.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		if !d.Type().IsRegular() {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package vet
+
+import (
+	"path/filepath"
+	"sort"
+)
+
+// SARIF 2.1.0 emission: dodo-vet findings as a Static Analysis Results
+// Interchange Format log, the shape GitHub code scanning and most
+// analysis dashboards ingest. Only the slice of the format dodo-vet
+// needs is modeled; every field emitted is required or recommended by
+// the SARIF 2.1.0 spec (§3 of OASIS sarif-v2.1.0).
+
+// SARIFSchemaURI identifies the SARIF 2.1.0 JSON schema.
+const SARIFSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// SARIFLog is the top-level sarifLog object (spec §3.13).
+type SARIFLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+// SARIFRun is one analysis run (spec §3.14).
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+// SARIFTool wraps the driver description (spec §3.18).
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+// SARIFDriver describes the tool and its rule set (spec §3.19).
+type SARIFDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []SARIFRule `json:"rules"`
+}
+
+// SARIFRule is one reportingDescriptor (spec §3.49).
+type SARIFRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SARIFMessage `json:"shortDescription"`
+}
+
+// SARIFMessage is a message object (spec §3.11).
+type SARIFMessage struct {
+	Text string `json:"text"`
+}
+
+// SARIFResult is one finding (spec §3.27).
+type SARIFResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   SARIFMessage    `json:"message"`
+	Locations []SARIFLocation `json:"locations"`
+}
+
+// SARIFLocation wraps a physical location (spec §3.28).
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+}
+
+// SARIFPhysicalLocation names a file region (spec §3.29).
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Region           SARIFRegion           `json:"region"`
+}
+
+// SARIFArtifactLocation points at the source file (spec §3.4).
+type SARIFArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+// SARIFRegion is the line anchor (spec §3.30).
+type SARIFRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// NewSARIFLog builds a SARIF 2.1.0 log for one dodo-vet run. analyzers
+// is the selected rule set — every selected rule appears in the driver's
+// rule table whether or not it fired, so dashboards can tell "rule ran
+// clean" from "rule not run". findings are the surviving (unsuppressed)
+// results; file paths are emitted relative to root with forward slashes
+// so the log is machine-independent. Findings are emitted at level
+// "error": dodo-vet exits non-zero on any of them.
+func NewSARIFLog(analyzers []*Analyzer, findings []Finding, root string) *SARIFLog {
+	rules := make([]SARIFRule, 0, len(analyzers))
+	index := make(map[string]int, len(analyzers))
+	for _, a := range analyzers {
+		if _, dup := index[a.Name]; dup {
+			continue
+		}
+		index[a.Name] = len(rules)
+		rules = append(rules, SARIFRule{
+			ID:               a.Name,
+			ShortDescription: SARIFMessage{Text: a.Doc},
+		})
+	}
+	results := make([]SARIFResult, 0, len(findings))
+	for _, f := range findings {
+		idx, known := index[f.Analyzer]
+		if !known {
+			// A finding from an unregistered analyzer (should not
+			// happen): grow the rule table rather than emit a dangling
+			// ruleIndex, which SARIF consumers reject.
+			idx = len(rules)
+			index[f.Analyzer] = idx
+			rules = append(rules, SARIFRule{
+				ID:               f.Analyzer,
+				ShortDescription: SARIFMessage{Text: f.Analyzer},
+			})
+		}
+		results = append(results, SARIFResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   SARIFMessage{Text: f.Message},
+			Locations: []SARIFLocation{{
+				PhysicalLocation: SARIFPhysicalLocation{
+					ArtifactLocation: SARIFArtifactLocation{
+						URI:       sarifURI(root, f.Pos.Filename),
+						URIBaseID: "SRCROOT",
+					},
+					Region: SARIFRegion{StartLine: max(f.Pos.Line, 1)},
+				},
+			}},
+		})
+	}
+	// Findings arrive grouped by analyzer; keep a stable file/line order
+	// within the whole log so reruns diff cleanly.
+	sort.SliceStable(results, func(i, j int) bool {
+		a, b := results[i], results[j]
+		la, lb := a.Locations[0].PhysicalLocation, b.Locations[0].PhysicalLocation
+		if la.ArtifactLocation.URI != lb.ArtifactLocation.URI {
+			return la.ArtifactLocation.URI < lb.ArtifactLocation.URI
+		}
+		if la.Region.StartLine != lb.Region.StartLine {
+			return la.Region.StartLine < lb.Region.StartLine
+		}
+		return a.RuleID < b.RuleID
+	})
+	return &SARIFLog{
+		Version: "2.1.0",
+		Schema:  SARIFSchemaURI,
+		Runs: []SARIFRun{{
+			Tool:    SARIFTool{Driver: SARIFDriver{Name: "dodo-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// sarifURI renders path relative to root as a forward-slash URI; an
+// out-of-root path falls back to its absolute form.
+func sarifURI(root, path string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, path); err == nil && rel != "" && !startsWithDotDot(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(path)
+}
+
+func startsWithDotDot(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}

@@ -123,6 +123,7 @@ func All() []*Analyzer {
 		BufferOwnership,
 		WireExhaustiveness,
 		GuardedBy,
+		ResourceLifecycle,
 	}
 }
 

@@ -239,3 +239,7 @@ func TestLoadPackagesExcludesTests(t *testing.T) {
 		}
 	}
 }
+
+func TestResourceLifecycleGolden(t *testing.T) {
+	runGolden(t, ResourceLifecycle, "resource", "dodo/internal/region")
+}

@@ -12,15 +12,21 @@ go vet ./...
 # the lock-order / buffer-ownership / wire-exhaustiveness / guarded-by
 # passes visible in CI logs even if the suite grows.
 go run ./cmd/dodo-vet ./...
-go run ./cmd/dodo-vet -only lock-order,buffer-ownership,wire-exhaustiveness,guarded-by ./...
+go run ./cmd/dodo-vet -only lock-order,buffer-ownership,wire-exhaustiveness,guarded-by,resource-lifecycle ./...
 
 go test -race ./...
 
 # Perf trajectory: one pass of every benchmark (-benchtime 1x), parsed
-# into BENCH_seed.json. Not a settled measurement — a smoke check that
-# the benches still run, and the seed point the BENCH_*.json trajectory
-# grows from.
-go run ./cmd/dodo-bench -gobench BENCH_seed.json
+# into a per-PR JSON point. BENCH_seed.json is written once and then
+# frozen — it is the baseline the trajectory is measured against, so
+# rewriting it on every run would erase the very drift the BENCH_*.json
+# series exists to show. Each run appends a BENCH_pr<N>.json point
+# instead, N taken from $DODO_PR when the driver exports it and from
+# the commit count otherwise. Not a settled measurement — a smoke
+# check that the benches still run, plus one point on the trajectory.
+[ -f BENCH_seed.json ] || go run ./cmd/dodo-bench -gobench BENCH_seed.json
+PR_N="${DODO_PR:-$(git rev-list --count HEAD)}"
+go run ./cmd/dodo-bench -gobench "BENCH_pr${PR_N}.json"
 
 # The same suite with the lockcheck runtime compiled in: every
 # locks.Mutex acquisition is checked against the declared rank hierarchy
