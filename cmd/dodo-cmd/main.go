@@ -24,6 +24,7 @@ func main() {
 	listen := flag.String("listen", "0.0.0.0:7000", "UDP address to serve on")
 	keepalive := flag.Duration("keepalive", 2*time.Second, "client keep-alive echo interval")
 	misses := flag.Int("misses", 3, "missed keep-alives before a client's regions are reclaimed")
+	incarnation := flag.Uint64("incarnation", 1, "monotonic instance number; bump on every restart so the directory rebuilds fenced from the dead instance (DESIGN.md §13)")
 	verbose := flag.Bool("verbose", false, "log every operation")
 	stats := flag.Duration("stats", 30*time.Second, "interval between stats lines (0 disables)")
 	flag.Parse()
@@ -31,6 +32,7 @@ func main() {
 	cfg := dodo.ManagerConfig{
 		KeepAliveInterval: *keepalive,
 		KeepAliveMisses:   *misses,
+		Incarnation:       *incarnation,
 	}
 	if *verbose {
 		cfg.Logger = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
@@ -39,7 +41,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("dodo-cmd: %v", err)
 	}
-	log.Printf("dodo-cmd: central manager serving on %s", mgr.Addr())
+	log.Printf("dodo-cmd: central manager serving on %s (incarnation %d)", mgr.Addr(), *incarnation)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

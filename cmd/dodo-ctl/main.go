@@ -1,9 +1,14 @@
 // dodo-ctl inspects a running Dodo cluster: it queries the central
 // manager for its idle-workstation directory and operation counters.
 //
+// The manager keeps no persistent state, so dodo-ctl may race a crash:
+// when the query fails it retries under a capped-exponential backoff
+// (long enough to ride out a restart and the directory rebuild) before
+// giving up.
+//
 // Usage:
 //
-//	dodo-ctl -manager cmdhost:7000 [-watch 5s]
+//	dodo-ctl -manager cmdhost:7000 [-watch 5s] [-retry 30s]
 package main
 
 import (
@@ -11,20 +16,23 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"dodo"
+	"dodo/internal/retry"
 	"dodo/internal/sim"
 )
 
 func main() {
 	managerAddr := flag.String("manager", "", "central manager address (required)")
 	watch := flag.Duration("watch", 0, "refresh interval (0 = print once and exit)")
+	retryFor := flag.Duration("retry", 30*time.Second, "keep retrying an unreachable manager this long (0 = fail fast)")
 	flag.Parse()
 	if *managerAddr == "" {
 		log.Fatal("dodo-ctl: -manager is required")
 	}
 	for {
-		stats, err := dodo.QueryCluster(*managerAddr)
+		stats, err := query(*managerAddr, *retryFor)
 		if err != nil {
 			log.Fatalf("dodo-ctl: %v", err)
 		}
@@ -37,16 +45,47 @@ func main() {
 	}
 }
 
+// query polls the manager, riding out a crash/restart window with a
+// capped-backoff retry budget instead of failing on the first timeout.
+func query(addr string, retryFor time.Duration) (dodo.ClusterState, error) {
+	clock := sim.WallClock{}
+	budget := retry.New(retry.Policy{
+		Deadline: retryFor,
+		Base:     250 * time.Millisecond,
+		Cap:      5 * time.Second,
+		Factor:   2,
+	}, clock, nil)
+	for {
+		stats, err := dodo.QueryCluster(addr)
+		if err == nil {
+			return stats, nil
+		}
+		delay, more := budget.Next()
+		if !more {
+			return dodo.ClusterState{}, err
+		}
+		fmt.Fprintf(os.Stderr, "dodo-ctl: %v; retrying in %v\n", err, delay.Round(time.Millisecond))
+		clock.Sleep(delay)
+	}
+}
+
 func print(s dodo.ClusterState) {
-	fmt.Printf("manager: %d idle hosts, %d regions, %d clients\n", len(s.Hosts), s.Regions, s.Clients)
+	fmt.Printf("manager: incarnation %d, %d idle hosts, %d regions, %d clients\n",
+		s.Incarnation, len(s.Hosts), s.Regions, s.Clients)
 	fmt.Printf("counters: %d allocs (%d failed), %d frees, %d stale drops, %d orphan reclaims\n",
 		s.Allocs, s.AllocFailures, s.Frees, s.StaleDrops, s.OrphanReclaims)
 	fmt.Printf("recovery: %d drops, %d revalidations, %d re-opens\n",
 		s.ClientDrops, s.ClientRevalidations, s.ClientReopens)
+	fmt.Printf("rebuild: %d inventory reports, %d regions rebuilt, %d fenced requests\n",
+		s.InventoryReports, s.RebuiltRegions, s.FencedRequests)
 	fmt.Printf("handoff: %d offers, %d pages moved, %d aborted, %d adopted by clients\n",
 		s.HandoffOffers, s.HandoffPagesMoved, s.HandoffAborts, s.ClientHandoffAdopts)
 	fmt.Printf("hedging: %d hedged reads (%d disk wins, %d wasted), %d retry budgets exhausted\n",
 		s.ClientHedgedReads, s.ClientHedgeWins, s.ClientHedgeWasted, s.ClientRetryExhausted)
+	fmt.Printf("integrity: %d page-checksum failures\n", s.ClientChecksumFailures)
+	for _, h := range s.CorruptHosts {
+		fmt.Printf("  corrupt frames from %-24s %d\n", h.Addr, h.Count)
+	}
 	if len(s.Hosts) == 0 {
 		return
 	}

@@ -185,6 +185,18 @@ type ClusterState struct {
 	// operations whose retry budget ran dry.
 	ClientHandoffAdopts, ClientHedgedReads, ClientHedgeWins uint64
 	ClientHedgeWasted, ClientRetryExhausted                 uint64
+	// Crash-recovery view: the manager's incarnation number and the
+	// soft-state rebuild counters for the current incarnation (inventory
+	// re-reports accepted, RD rows rebuilt from them, requests fenced for
+	// carrying a dead incarnation).
+	Incarnation      uint64
+	InventoryReports uint64
+	RebuiltRegions   uint64
+	FencedRequests   uint64
+	// End-to-end page-checksum failures observed by clients, with a
+	// per-host breakdown by the host that served the corrupt frame.
+	ClientChecksumFailures uint64
+	CorruptHosts           []wire.HostCount
 }
 
 // QueryCluster asks the central manager at managerAddr (over UDP) for
@@ -224,5 +236,12 @@ func QueryCluster(managerAddr string) (ClusterState, error) {
 		ClientHedgeWins:      st.ClientHedgeWins,
 		ClientHedgeWasted:    st.ClientHedgeWasted,
 		ClientRetryExhausted: st.ClientRetryExhausted,
+
+		Incarnation:            st.Incarnation,
+		InventoryReports:       st.InventoryReports,
+		RebuiltRegions:         st.RebuiltRegions,
+		FencedRequests:         st.FencedRequests,
+		ClientChecksumFailures: st.ClientChecksumFailures,
+		CorruptHosts:           st.CorruptHosts,
 	}, nil
 }

@@ -403,7 +403,8 @@ func (ep *Endpoint) dispatch(from string, h wire.Header, msg wire.Message) {
 	case *wire.AllocResp, *wire.FreeResp, *wire.CheckAllocResp,
 		*wire.KeepAliveAck, *wire.HostStatusAck,
 		*wire.IMDAllocResp, *wire.IMDFreeResp, *wire.DataResp,
-		*wire.BulkAccept, *wire.ClusterStatsResp, *wire.HandoffAccept:
+		*wire.BulkAccept, *wire.ClusterStatsResp, *wire.HandoffAccept,
+		*wire.InventoryAck:
 		ep.mu.Lock()
 		ch, ok := ep.calls[h.Seq]
 		if ok {
@@ -417,7 +418,8 @@ func (ep *Endpoint) dispatch(from string, h wire.Header, msg wire.Message) {
 		*wire.KeepAlive, *wire.HostStatus,
 		*wire.IMDAllocReq, *wire.IMDFreeReq,
 		*wire.ReadReq, *wire.WriteReq, *wire.ClusterStatsReq,
-		*wire.HandoffOffer, *wire.HandoffPage, *wire.HandoffDone:
+		*wire.HandoffOffer, *wire.HandoffPage, *wire.HandoffDone,
+		*wire.InventoryReport:
 		if ep.handler == nil {
 			return
 		}

@@ -48,10 +48,18 @@ type Cluster struct {
 	cfg Config
 	// dodo:unguarded — immutable after construction
 	net *transport.Network
-	// dodo:unguarded — immutable after construction
-	mgr *manager.Manager
 
 	mu locks.Mutex
+	// mgr is the live central manager; nil between a CrashManager and
+	// the following RestartManager.
+	// dodo:guardedby mu
+	mgr *manager.Manager
+	// mgrIncarnation numbers manager incarnations, starting at 1 for
+	// the one New boots. A real deployment would persist this tiny
+	// counter (or derive it from a boot timestamp); the harness plays
+	// the role of that stable store.
+	// dodo:guardedby mu
+	mgrIncarnation uint64
 	// dodo:guardedby mu
 	workstations []*Workstation
 	// dodo:guardedby mu
@@ -90,25 +98,72 @@ type Workstation struct {
 // listens at address "cmd".
 func New(cfg Config) *Cluster {
 	net := transport.NewNetwork(transport.WithMTU(1500))
-	mgrCfg := cfg.Manager
-	mgrCfg.Endpoint = cfg.Endpoint
-	if mgrCfg.Logger == nil {
-		mgrCfg.Logger = cfg.Logger
-	}
 	c := &Cluster{
-		cfg: cfg,
-		net: net,
-		mgr: manager.New(net.Host("cmd"), mgrCfg),
+		cfg:            cfg,
+		net:            net,
+		mgrIncarnation: 1,
 	}
 	c.mu.SetRank(locks.RankCluster)
+	c.mgr = manager.New(net.Host("cmd"), c.managerConfig(1))
 	return c
+}
+
+// managerConfig derives one incarnation's manager configuration.
+func (c *Cluster) managerConfig(incarnation uint64) manager.Config {
+	mgrCfg := c.cfg.Manager
+	mgrCfg.Endpoint = c.cfg.Endpoint
+	mgrCfg.Incarnation = incarnation
+	if mgrCfg.Logger == nil {
+		mgrCfg.Logger = c.cfg.Logger
+	}
+	return mgrCfg
 }
 
 // Network exposes the fabric (for partition/heal fault injection).
 func (c *Cluster) Network() *transport.Network { return c.net }
 
-// Manager exposes the central manager.
-func (c *Cluster) Manager() *manager.Manager { return c.mgr }
+// Manager exposes the central manager; nil while it is crashed.
+func (c *Cluster) Manager() *manager.Manager {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mgr
+}
+
+// ManagerIncarnation reports the incarnation of the most recently
+// started manager.
+func (c *Cluster) ManagerIncarnation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mgrIncarnation
+}
+
+// CrashManager kills the central manager outright: the process dies
+// and its in-memory directory dies with it (contrast a blackout, which
+// only partitions a surviving process). No-op while already crashed.
+func (c *Cluster) CrashManager() {
+	c.mu.Lock()
+	m := c.mgr
+	c.mgr = nil
+	c.mu.Unlock()
+	if m != nil {
+		_ = m.Close()
+	}
+}
+
+// RestartManager boots a fresh manager at the same address under the
+// next incarnation. Its directory starts empty and rebuilds as soft
+// state from imd inventory re-reports; clients revalidate against it
+// via the incarnation stamped on every response. No-op while a manager
+// is already running.
+func (c *Cluster) RestartManager() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mgr != nil || c.closed {
+		return
+	}
+	c.mgrIncarnation++
+	c.mgr = manager.New(c.net.Host(c.ManagerAddr()), c.managerConfig(c.mgrIncarnation))
+}
 
 // ManagerAddr returns the manager's address on the fabric.
 func (c *Cluster) ManagerAddr() string { return "cmd" }
@@ -224,6 +279,8 @@ func (c *Cluster) Close() error {
 	c.closed = true
 	ws := append([]*Workstation(nil), c.workstations...)
 	clients := append([]*core.Client(nil), c.clients...)
+	mgr := c.mgr
+	c.mgr = nil
 	c.mu.Unlock()
 	var first error
 	for _, cli := range clients {
@@ -245,8 +302,10 @@ func (c *Cluster) Close() error {
 		// so Close leaves no daemon behind.
 		w.drainWG.Wait()
 	}
-	if err := c.mgr.Close(); err != nil && first == nil {
-		first = err
+	if mgr != nil {
+		if err := mgr.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
 	return first
 }

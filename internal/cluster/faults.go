@@ -94,3 +94,7 @@ func (t faultTarget) RestoreLinks(host string) {
 		t.c.net.ClearEndpointFaults(w.IMDAddr())
 	}
 }
+
+func (t faultTarget) CrashManager() { t.c.CrashManager() }
+
+func (t faultTarget) RestartManager() { t.c.RestartManager() }

@@ -5,12 +5,15 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dodo/internal/bulk"
 	"dodo/internal/locks"
+	"dodo/internal/retry"
 	"dodo/internal/sim"
 	"dodo/internal/transport"
 	"dodo/internal/wire"
@@ -46,6 +49,14 @@ type Config struct {
 	// DisableRecovery turns the background recovery pass off, restoring
 	// the paper's original drop-and-forget behavior.
 	DisableRecovery bool
+	// OutageWindow bounds manager-outage mode: when the manager is
+	// unreachable (crashed, restarting) or still rebuilding its
+	// directory (StatusBusy), Mopen queues behind a capped-exponential
+	// backoff for up to this long before giving up with ErrNoMem.
+	// Reads and writes against already-validated regions never touch
+	// the manager and keep working throughout (default
+	// RefractionPeriod/2).
+	OutageWindow time.Duration
 	// HedgeMultiplier scales the per-host EWMA read latency into the
 	// hedge delay: a remote read still outstanding after Multiplier
 	// times the mean triggers a backup read from the backing file
@@ -73,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RecoveryBackoff == 0 {
 		c.RecoveryBackoff = c.RefractionPeriod / 8
+	}
+	if c.OutageWindow == 0 {
+		c.OutageWindow = c.RefractionPeriod / 2
 	}
 	if c.HedgeMultiplier == 0 {
 		c.HedgeMultiplier = 4
@@ -129,6 +143,14 @@ type regionState struct {
 	// Mread deliberately does not set the flag: refusing a read gives
 	// the app no new license to write anywhere.
 	diskDirty bool
+	// needsReval marks a still-valid descriptor whose manager-side row
+	// may be gone: the manager restarted under a new incarnation, so
+	// its rebuilt directory must be consulted before this mapping is
+	// trusted past the next keep-alive cycle. The region keeps serving
+	// reads and writes (the hosting imd is unaffected by a manager
+	// crash); the recovery loop clears the flag once checkAlloc against
+	// the new incarnation confirms the row.
+	needsReval bool
 }
 
 // Client is the Dodo runtime library instance linked into an
@@ -170,6 +192,18 @@ type Client struct {
 	confirmedSeq map[wire.RegionKey]uint64
 	// dodo:guardedby mu
 	hostLat map[string]*hostLatency
+	// mgrIncarnation is the highest manager incarnation observed on any
+	// response or keep-alive. A response stamped with an older value is
+	// a delayed frame from a dead incarnation and is discarded; a newer
+	// value means the manager restarted, so every valid descriptor is
+	// marked needsReval (its directory row is being rebuilt from imd
+	// inventory and must be confirmed before it is trusted further).
+	// dodo:guardedby mu
+	mgrIncarnation uint64
+	// corruptHosts counts page-checksum failures by the host that
+	// served the corrupt frame; reported on every keep-alive ack.
+	// dodo:guardedby mu
+	corruptHosts map[string]uint64
 	// dodo:guardedby mu
 	nextFD int
 	// dodo:guardedby mu
@@ -206,6 +240,8 @@ type Client struct {
 	handoffAdopts atomic.Int64
 	// dodo:atomic
 	hedgedReads, hedgeWins, hedgeWasted atomic.Int64
+	// dodo:atomic
+	checksumFails atomic.Int64
 }
 
 // New creates a client runtime over tr.
@@ -219,25 +255,32 @@ func New(tr transport.Transport, cfg Config) *Client {
 		writeSeq:     make(map[wire.RegionKey]uint64),
 		confirmedSeq: make(map[wire.RegionKey]uint64),
 		hostLat:      make(map[string]*hostLatency),
+		corruptHosts: make(map[string]uint64),
 		recoverStop:  make(chan struct{}),
 		recoverKick:  make(chan struct{}, 1),
 	}
 	c.mu.SetRank(locks.RankCoreClient)
 	// The client must echo the manager's keep-alives (§3.1) or its
 	// regions are reclaimed as orphans. The ack piggybacks the recovery
-	// counters so the manager aggregates them cluster-wide.
+	// counters so the manager aggregates them cluster-wide. The probe's
+	// incarnation stamp doubles as the client's restart detector: a
+	// value newer than any seen before flips every valid descriptor to
+	// needsReval.
 	c.ep = bulk.NewEndpoint(tr, cfg.Endpoint, func(from string, msg wire.Message) wire.Message {
 		if ka, ok := msg.(*wire.KeepAlive); ok {
+			c.noteIncarnation(ka.Incarnation)
 			return &wire.KeepAliveAck{
-				ClientID:       ka.ClientID,
-				Drops:          uint64(c.dropEvents.Load()),
-				Revalidations:  uint64(c.revalidations.Load()),
-				Reopens:        uint64(c.reopens.Load()),
-				HandoffAdopts:  uint64(c.handoffAdopts.Load()),
-				HedgedReads:    uint64(c.hedgedReads.Load()),
-				HedgeWins:      uint64(c.hedgeWins.Load()),
-				HedgeWasted:    uint64(c.hedgeWasted.Load()),
-				RetryExhausted: uint64(c.ep.RetryExhausted()),
+				ClientID:         ka.ClientID,
+				Drops:            uint64(c.dropEvents.Load()),
+				Revalidations:    uint64(c.revalidations.Load()),
+				Reopens:          uint64(c.reopens.Load()),
+				HandoffAdopts:    uint64(c.handoffAdopts.Load()),
+				HedgedReads:      uint64(c.hedgedReads.Load()),
+				HedgeWins:        uint64(c.hedgeWins.Load()),
+				HedgeWasted:      uint64(c.hedgeWasted.Load()),
+				RetryExhausted:   uint64(c.ep.RetryExhausted()),
+				ChecksumFailures: uint64(c.checksumFails.Load()),
+				CorruptHosts:     c.corruptHostsSnapshot(),
 			}
 		}
 		return nil
@@ -300,7 +343,13 @@ type Stats struct {
 	// RetryExhausted counts endpoint operations that ran their retry
 	// budget dry.
 	RetryExhausted int64
-	OpenRegions    int
+	// ChecksumFailures counts remote reads whose page failed its
+	// CRC32-C check; CorruptHosts breaks them down by serving host.
+	ChecksumFailures int64
+	CorruptHosts     []wire.HostCount
+	// ManagerIncarnation is the highest manager incarnation observed.
+	ManagerIncarnation uint64
+	OpenRegions        int
 }
 
 // Stats returns a snapshot. Counters are loaded atomically; only the
@@ -308,22 +357,26 @@ type Stats struct {
 func (c *Client) Stats() Stats {
 	c.mu.Lock()
 	open := len(c.regions)
+	inc := c.mgrIncarnation
 	c.mu.Unlock()
 	return Stats{
-		RemoteReads:      c.remoteReads.Load(),
-		RemoteWrites:     c.remoteWrites.Load(),
-		RemoteReadBytes:  c.remoteReadBy.Load(),
-		RemoteWriteBytes: c.remoteWriteBy.Load(),
-		DropEvents:       c.dropEvents.Load(),
-		RefractionSkips:  c.refractionSkips.Load(),
-		Revalidations:    c.revalidations.Load(),
-		Reopens:          c.reopens.Load(),
-		HandoffAdopts:    c.handoffAdopts.Load(),
-		HedgedReads:      c.hedgedReads.Load(),
-		HedgeWins:        c.hedgeWins.Load(),
-		HedgeWasted:      c.hedgeWasted.Load(),
-		RetryExhausted:   c.ep.RetryExhausted(),
-		OpenRegions:      open,
+		RemoteReads:        c.remoteReads.Load(),
+		RemoteWrites:       c.remoteWrites.Load(),
+		RemoteReadBytes:    c.remoteReadBy.Load(),
+		RemoteWriteBytes:   c.remoteWriteBy.Load(),
+		DropEvents:         c.dropEvents.Load(),
+		RefractionSkips:    c.refractionSkips.Load(),
+		Revalidations:      c.revalidations.Load(),
+		Reopens:            c.reopens.Load(),
+		HandoffAdopts:      c.handoffAdopts.Load(),
+		HedgedReads:        c.hedgedReads.Load(),
+		HedgeWins:          c.hedgeWins.Load(),
+		HedgeWasted:        c.hedgeWasted.Load(),
+		RetryExhausted:     c.ep.RetryExhausted(),
+		ChecksumFailures:   c.checksumFails.Load(),
+		CorruptHosts:       c.corruptHostsSnapshot(),
+		ManagerIncarnation: inc,
+		OpenRegions:        open,
 	}
 }
 
@@ -368,13 +421,56 @@ func (c *Client) Mopen(length int64, backing Backing, offset int64) (int, error)
 	c.mu.Unlock()
 
 	key := wire.RegionKey{Inode: backing.Inode(), Offset: offset, ClientID: c.cfg.ClientID}
-	resp, err := c.ep.Call(c.cfg.ManagerAddr, &wire.AllocReq{Key: key, Length: uint64(length)})
-	if err != nil {
-		return -1, fmt.Errorf("%w: manager unreachable: %v", ErrNoMem, err)
-	}
-	ar, ok := resp.(*wire.AllocResp)
-	if !ok {
-		return -1, fmt.Errorf("%w: unexpected response %v", ErrNoMem, resp.Kind())
+	// Manager-outage mode: a crashed or rebuilding manager answers with
+	// silence or StatusBusy, neither of which means the cluster is out
+	// of memory. Queue the allocation behind a capped-exponential
+	// backoff for up to OutageWindow — long enough to ride out a
+	// restart plus its rebuild grace — before reporting ErrNoMem. The
+	// retry budget is created lazily so the common single-shot success
+	// costs nothing extra.
+	var budget *retry.Budget
+	var ar *wire.AllocResp
+	for {
+		resp, err := c.ep.Call(c.cfg.ManagerAddr, &wire.AllocReq{Key: key, Length: uint64(length)})
+		outage := false
+		if err != nil {
+			outage = true // unreachable: crashed or restarting
+		} else {
+			var ok bool
+			if ar, ok = resp.(*wire.AllocResp); !ok {
+				return -1, fmt.Errorf("%w: unexpected response %v", ErrNoMem, resp.Kind())
+			}
+			if !c.noteIncarnation(ar.Incarnation) {
+				outage = true // delayed answer from a dead incarnation
+			} else if ar.Status == wire.StatusBusy {
+				outage = true // directory rebuild in progress
+			}
+		}
+		if !outage {
+			break
+		}
+		if budget == nil {
+			budget = retry.New(retry.Policy{
+				Deadline: c.cfg.OutageWindow,
+				Base:     c.cfg.RecoveryBackoff,
+				Cap:      c.cfg.OutageWindow / 2,
+				Factor:   2,
+				Jitter:   0.1,
+			}, c.cfg.Clock, rand.New(rand.NewSource(c.cfg.Seed)))
+		}
+		delay, more := budget.Next()
+		if !more {
+			// Outage outlived the window. Deliberately no refraction:
+			// this is not a capacity verdict, and the next Mopen should
+			// probe the manager again immediately.
+			if err != nil {
+				return -1, fmt.Errorf("%w: manager unreachable: %v", ErrNoMem, err)
+			}
+			return -1, fmt.Errorf("%w: manager rebuilding its directory", ErrNoMem)
+		}
+		if !sim.SleepInterruptible(c.cfg.Clock, delay, c.recoverStop) {
+			return -1, ErrClosed
+		}
 	}
 	if ar.Status != wire.StatusOK {
 		c.mu.Lock()
@@ -453,6 +549,77 @@ func (c *Client) dropHost(addr string) {
 		default:
 		}
 	}
+}
+
+// noteIncarnation folds an incarnation stamped on a manager response
+// into the client's view. It returns false when the frame came from a
+// dead incarnation — the caller must treat the response as a failure,
+// exactly like a lost frame (incarnation fencing: a delayed pre-crash
+// answer must not install directory state the restarted manager no
+// longer vouches for). A newer incarnation than any seen before means
+// the manager restarted: every valid descriptor flips to needsReval
+// and the recovery loop is kicked to confirm each row against the
+// rebuilt directory. Zero (a peer predating incarnation stamping) is
+// always accepted.
+func (c *Client) noteIncarnation(inc uint64) bool {
+	if inc == 0 {
+		return true
+	}
+	c.mu.Lock()
+	if inc < c.mgrIncarnation {
+		c.mu.Unlock()
+		return false
+	}
+	kick := false
+	if inc > c.mgrIncarnation {
+		prev := c.mgrIncarnation
+		c.mgrIncarnation = inc
+		if prev != 0 {
+			n := 0
+			for _, r := range c.regions {
+				if r.valid && !r.needsReval {
+					r.needsReval = true
+					n++
+				}
+			}
+			if n > 0 {
+				c.logf("dodo: manager restarted (incarnation %d -> %d); revalidating %d regions", prev, inc, n)
+			}
+			kick = n > 0 && !c.cfg.DisableRecovery
+		}
+	}
+	c.mu.Unlock()
+	if kick {
+		select {
+		case c.recoverKick <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// noteCorrupt records one page-checksum failure served by addr.
+func (c *Client) noteCorrupt(addr string) {
+	c.checksumFails.Add(1)
+	c.mu.Lock()
+	c.corruptHosts[addr]++
+	c.mu.Unlock()
+}
+
+// corruptHostsSnapshot returns the per-host corruption counters in
+// address order for a keep-alive ack.
+func (c *Client) corruptHostsSnapshot() []wire.HostCount {
+	c.mu.Lock()
+	hosts := make([]wire.HostCount, 0, len(c.corruptHosts))
+	for addr, n := range c.corruptHosts {
+		hosts = append(hosts, wire.HostCount{Addr: addr, Count: n})
+	}
+	c.mu.Unlock()
+	if len(hosts) == 0 {
+		return nil
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i].Addr < hosts[j].Addr })
+	return hosts
 }
 
 // markDiskDirty flags fd's region as possibly behind the backing file:
@@ -534,6 +701,15 @@ func (c *Client) remoteRead(r regionState, offset, want int64) ([]byte, error) {
 	if err != nil {
 		c.dropHost(r.remote.HostAddr)
 		return nil, fmt.Errorf("%w: transfer failed: %v", ErrNoMem, err)
+	}
+	if dr.Crc != 0 && wire.Checksum(data) != dr.Crc {
+		// The bytes that arrived are not the bytes the imd hashed:
+		// fail the read rather than hand the app a corrupt page. The
+		// drop → revalidate path then repopulates the region from the
+		// backing file end-to-end.
+		c.noteCorrupt(r.remote.HostAddr)
+		c.dropHost(r.remote.HostAddr)
+		return nil, fmt.Errorf("%w: page checksum mismatch from %s", ErrNoMem, r.remote.HostAddr)
 	}
 	c.recordLatency(r.remote.HostAddr, r.remote.Epoch, c.cfg.Clock.Now().Sub(start))
 	return data, nil
@@ -785,6 +961,7 @@ func (c *Client) remoteWrite(r regionState, offset int64, data []byte) error {
 		Length:     uint64(len(data)),
 		TransferID: xfer,
 		WriteSeq:   seq,
+		Crc:        wire.Checksum(data),
 	}
 	resp, err := c.ep.CallT(r.remote.HostAddr, req, dataBudget(int64(len(data))), 2)
 	if serr := <-sendErr; serr != nil && err == nil {
@@ -901,6 +1078,17 @@ func (c *Client) CheckAlloc(fd int) (bool, error) {
 	if !ok {
 		return false, ErrNoMem
 	}
+	if !c.noteIncarnation(ca.Incarnation) {
+		// A delayed answer from a dead manager incarnation proves
+		// nothing about the rebuilt directory; treat it as lost.
+		return false, fmt.Errorf("%w: stale manager incarnation", ErrNoMem)
+	}
+	if ca.Status == wire.StatusBusy {
+		// The manager is rebuilding (or the hosting imd is draining);
+		// the row's fate is undecided, so the descriptor keeps its
+		// current state and the caller retries.
+		return false, fmt.Errorf("%w: manager busy", ErrNoMem)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	live, present := c.regions[fd]
@@ -930,6 +1118,7 @@ func (c *Client) CheckAlloc(fd int) (bool, error) {
 	}
 	live.remote = ca.Region
 	live.valid = true
+	live.needsReval = false
 	return true, nil
 }
 

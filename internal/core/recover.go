@@ -85,7 +85,7 @@ func (c *Client) recoverPass() int {
 	}
 	var fds []int
 	for fd, r := range c.regions {
-		if !r.valid {
+		if !r.valid || r.needsReval {
 			fds = append(fds, fd)
 		}
 	}
@@ -108,7 +108,7 @@ func (c *Client) recoverRegion(fd int) bool {
 	if err != nil {
 		return true // closed underneath us; nothing left to recover
 	}
-	if r.valid {
+	if r.valid && !r.needsReval {
 		return true
 	}
 	c.revalidations.Add(1)
@@ -120,11 +120,25 @@ func (c *Client) recoverRegion(fd int) bool {
 	if !ok {
 		return false
 	}
-	if ca.Status == wire.StatusBusy {
-		// The hosting imd is draining and the manager is holding the
-		// mapping open while a handoff runs. Retry next pass: the entry
-		// will either repoint to the handoff copy (Fresh) or go stale.
+	if !c.noteIncarnation(ca.Incarnation) {
+		// Delayed answer from a dead manager incarnation: worthless,
+		// treat as lost and retry against the live one next pass.
 		return false
+	}
+	if ca.Status == wire.StatusBusy {
+		// Either the hosting imd is draining and the manager is holding
+		// the mapping open while a handoff runs, or a restarted manager
+		// is still rebuilding its directory from inventory re-reports.
+		// Retry next pass: the entry will reappear, repoint (Fresh) or
+		// go stale once the hold ends.
+		return false
+	}
+	if r.valid {
+		// needsReval confirmation for a still-valid mapping: the
+		// restarted manager has finished rebuilding. If the row
+		// survived, refresh it and keep serving; if it is gone, the
+		// usual invalid-descriptor machinery below takes over.
+		return c.confirmReval(fd, ca)
 	}
 	if ca.Status != wire.StatusOK {
 		// checkAlloc purged the stale RD entry (or never had one);
@@ -160,6 +174,40 @@ func (c *Client) recoverRegion(fd int) bool {
 		live.diskDirty = false
 	}
 	return true
+}
+
+// confirmReval settles a still-valid needsReval descriptor against the
+// answer from a rebuilt manager directory. A surviving row refreshes
+// the mapping in place — the hosting imd never stopped serving, so no
+// repopulation is needed. A missing row means the imd's inventory
+// never reached the new incarnation (it died during the outage, or
+// its report was fenced): the descriptor is invalidated and re-opened
+// through the ordinary repopulating path.
+func (c *Client) confirmReval(fd int, ca *wire.CheckAllocResp) bool {
+	c.mu.Lock()
+	live, present := c.regions[fd]
+	if !present {
+		c.mu.Unlock()
+		return true // closed underneath us
+	}
+	if !live.valid {
+		// Dropped while the probe was in flight; the next pass runs the
+		// invalid-descriptor machinery with fresh state.
+		c.mu.Unlock()
+		return false
+	}
+	if ca.Status == wire.StatusOK {
+		live.remote = ca.Region
+		live.needsReval = false
+		c.mu.Unlock()
+		return true
+	}
+	live.valid = false
+	live.gen++
+	live.needsReval = false
+	c.mu.Unlock()
+	c.logf("dodo: fd %d lost its directory row across a manager restart; re-opening", fd)
+	return c.reopenRegion(fd)
 }
 
 // adoptHandoff flips fd onto a handoff-fresh region without disk
@@ -234,6 +282,9 @@ func (c *Client) reopenRegion(fd int) bool {
 	ar, ok := resp.(*wire.AllocResp)
 	if !ok || ar.Status != wire.StatusOK {
 		return false
+	}
+	if !c.noteIncarnation(ar.Incarnation) {
+		return false // dead-incarnation answer; retry next pass
 	}
 	if !c.repopulate(r, ar.Region) {
 		// The push failed (the new host may itself have died); undo the

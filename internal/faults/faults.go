@@ -61,6 +61,14 @@ const (
 	KindDegradeLinks
 	// KindRestoreLinks heals the host's links.
 	KindRestoreLinks
+	// KindCrashManager kills the central manager process outright: its
+	// in-memory directory is lost (contrast KindBlackoutManager, where
+	// the process survives behind a partition).
+	KindCrashManager
+	// KindRestartManager starts a fresh manager at the same address
+	// under a new incarnation; the directory rebuilds from imd
+	// inventory re-reports.
+	KindRestartManager
 )
 
 func (k Kind) String() string {
@@ -81,6 +89,10 @@ func (k Kind) String() string {
 		return "degrade-links"
 	case KindRestoreLinks:
 		return "restore-links"
+	case KindCrashManager:
+		return "crash-manager"
+	case KindRestartManager:
+		return "restart-manager"
 	}
 	return fmt.Sprintf("faults.Kind(%d)", int(k))
 }
@@ -128,6 +140,10 @@ type Target interface {
 	DegradeLinks(host string, f simnet.Faults)
 	// RestoreLinks heals host's links.
 	RestoreLinks(host string)
+	// CrashManager kills the central manager, losing its directory.
+	CrashManager()
+	// RestartManager starts a fresh manager under a new incarnation.
+	RestartManager()
 }
 
 // Plan parameterizes a fault sweep. A mean of zero disables that fault
@@ -151,6 +167,13 @@ type Plan struct {
 	BlackoutMean time.Duration
 	// BlackoutLength is how long each blackout lasts.
 	BlackoutLength time.Duration
+
+	// MgrCrashMean is the mean interval between manager crashes (the
+	// process dies and its in-memory directory with it).
+	MgrCrashMean time.Duration
+	// MgrRestartDelay is how long the manager stays dead before a new
+	// incarnation starts.
+	MgrRestartDelay time.Duration
 
 	// ReclaimMean is the mean interval between owner returns per host.
 	ReclaimMean time.Duration
@@ -200,6 +223,9 @@ func (p Plan) Schedule() []Event {
 	}
 
 	windows(p.BlackoutMean, p.BlackoutLength, KindBlackoutManager, KindRestoreManager, "", false)
+	// A zero MgrCrashMean draws no randomness, so legacy plans keep
+	// their exact timelines.
+	windows(p.MgrCrashMean, p.MgrRestartDelay, KindCrashManager, KindRestartManager, "", false)
 	for _, h := range p.Hosts {
 		windows(p.CrashMean, p.RestartDelay, KindCrashIMD, KindRestartIMD, h, false)
 		windows(p.ReclaimMean, p.ReclaimLength, KindReclaimHost, KindRecruitHost, h, false)
@@ -234,16 +260,17 @@ func Timeline(events []Event) string {
 
 // Counts tallies applied events per class.
 type Counts struct {
-	Crashes, Restarts   int
-	Blackouts, Restores int
-	Reclaims, Recruits  int
-	Degrades, LinkHeals int
-	Applied             int
+	Crashes, Restarts       int
+	Blackouts, Restores     int
+	Reclaims, Recruits      int
+	Degrades, LinkHeals     int
+	MgrCrashes, MgrRestarts int
+	Applied                 int
 }
 
 func (c Counts) String() string {
-	return fmt.Sprintf("crashes=%d restarts=%d blackouts=%d restores=%d reclaims=%d recruits=%d degrades=%d heals=%d applied=%d",
-		c.Crashes, c.Restarts, c.Blackouts, c.Restores, c.Reclaims, c.Recruits, c.Degrades, c.LinkHeals, c.Applied)
+	return fmt.Sprintf("crashes=%d restarts=%d blackouts=%d restores=%d reclaims=%d recruits=%d degrades=%d heals=%d mgrcrashes=%d mgrrestarts=%d applied=%d",
+		c.Crashes, c.Restarts, c.Blackouts, c.Restores, c.Reclaims, c.Recruits, c.Degrades, c.LinkHeals, c.MgrCrashes, c.MgrRestarts, c.Applied)
 }
 
 // Scheduler replays a schedule against a target on an injected clock.
@@ -396,6 +423,10 @@ func (s *Scheduler) apply(ev Event) {
 		s.counts.Degrades++
 	case KindRestoreLinks:
 		s.counts.LinkHeals++
+	case KindCrashManager:
+		s.counts.MgrCrashes++
+	case KindRestartManager:
+		s.counts.MgrRestarts++
 	}
 	s.mu.Unlock()
 
@@ -416,5 +447,9 @@ func (s *Scheduler) apply(ev Event) {
 		s.target.DegradeLinks(ev.Host, ev.Link)
 	case KindRestoreLinks:
 		s.target.RestoreLinks(ev.Host)
+	case KindCrashManager:
+		s.target.CrashManager()
+	case KindRestartManager:
+		s.target.RestartManager()
 	}
 }

@@ -13,17 +13,19 @@ import (
 
 func testPlan(seed int64) Plan {
 	return Plan{
-		Seed:           seed,
-		Duration:       10 * time.Second,
-		Hosts:          []string{"ws0", "ws1", "ws2"},
-		CrashMean:      2 * time.Second,
-		RestartDelay:   500 * time.Millisecond,
-		BlackoutMean:   3 * time.Second,
-		BlackoutLength: 400 * time.Millisecond,
-		ReclaimMean:    4 * time.Second,
-		ReclaimLength:  600 * time.Millisecond,
-		DegradeMean:    2500 * time.Millisecond,
-		DegradeLength:  800 * time.Millisecond,
+		Seed:            seed,
+		Duration:        10 * time.Second,
+		Hosts:           []string{"ws0", "ws1", "ws2"},
+		CrashMean:       2 * time.Second,
+		RestartDelay:    500 * time.Millisecond,
+		BlackoutMean:    3 * time.Second,
+		BlackoutLength:  400 * time.Millisecond,
+		MgrCrashMean:    2500 * time.Millisecond,
+		MgrRestartDelay: 300 * time.Millisecond,
+		ReclaimMean:     4 * time.Second,
+		ReclaimLength:   600 * time.Millisecond,
+		DegradeMean:     2500 * time.Millisecond,
+		DegradeLength:   800 * time.Millisecond,
 		Link: simnet.Faults{
 			LossRate:     0.10,
 			DupRate:      0.05,
@@ -62,6 +64,8 @@ func (r *recorder) DegradeLinks(h string, f simnet.Faults) {
 	r.note(fmt.Sprintf("degrade %s seed=%d", h, f.Seed))
 }
 func (r *recorder) RestoreLinks(h string) { r.note("heal " + h) }
+func (r *recorder) CrashManager()         { r.note("mgr-crash") }
+func (r *recorder) RestartManager()       { r.note("mgr-restart") }
 
 func TestScheduleDeterministic(t *testing.T) {
 	a := Timeline(testPlan(42).Schedule())
@@ -87,6 +91,7 @@ func TestScheduleWindowsHeal(t *testing.T) {
 	pair := map[Kind]Kind{
 		KindCrashIMD:        KindRestartIMD,
 		KindBlackoutManager: KindRestoreManager,
+		KindCrashManager:    KindRestartManager,
 		KindReclaimHost:     KindRecruitHost,
 		KindDegradeLinks:    KindRestoreLinks,
 	}
@@ -148,7 +153,8 @@ func TestSchedulerStepReplay(t *testing.T) {
 		t.Fatalf("counts %v disagree with trace length %d", c1, len(t1))
 	}
 	if c1.Crashes != c1.Restarts || c1.Blackouts != c1.Restores ||
-		c1.Reclaims != c1.Recruits || c1.Degrades != c1.LinkHeals {
+		c1.Reclaims != c1.Recruits || c1.Degrades != c1.LinkHeals ||
+		c1.MgrCrashes != c1.MgrRestarts {
 		t.Fatalf("unbalanced down/up counts: %v", c1)
 	}
 }
@@ -223,5 +229,9 @@ func applyTo(target Target, ev Event) {
 		target.DegradeLinks(ev.Host, ev.Link)
 	case KindRestoreLinks:
 		target.RestoreLinks(ev.Host)
+	case KindCrashManager:
+		target.CrashManager()
+	case KindRestartManager:
+		target.RestartManager()
 	}
 }

@@ -11,7 +11,9 @@ package imd
 
 import (
 	"errors"
+	"hash/fnv"
 	"log"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"dodo/internal/bulk"
 	"dodo/internal/locks"
 	"dodo/internal/pool"
+	"dodo/internal/retry"
 	"dodo/internal/sim"
 	"dodo/internal/transport"
 	"dodo/internal/wire"
@@ -105,6 +108,27 @@ type Daemon struct {
 	// (the same confirm-after-apply discipline as lastWriteSeq).
 	// dodo:guardedby mu
 	handoffApplied map[uint64]bool
+	// regionMeta remembers, per region, the allocation-time key, owning
+	// client and pool offset from the manager's IMDAllocReq. It exists
+	// solely so an inventory re-report after a manager crash can hand
+	// the restarted manager enough to rebuild full directory rows
+	// (§ restart recovery). Entries predating client tracking carry a
+	// zero key and are skipped by the manager.
+	// dodo:guardedby mu
+	regionMeta map[uint64]regionMeta
+	// mgrIncarnation is the highest manager incarnation observed in any
+	// HostStatusAck or InventoryAck; reportedIncarnation is the highest
+	// one whose inventory re-report the manager acknowledged OK. A gap
+	// between the two means the manager restarted and has not yet
+	// rebuilt our rows — the report loop closes it.
+	// dodo:guardedby mu
+	mgrIncarnation uint64
+	// dodo:guardedby mu
+	reportedIncarnation uint64
+	// reportKick wakes the inventory report loop; buffered so a kick
+	// while a report is in flight coalesces instead of blocking.
+	// dodo:unguarded — channel is internally synchronized
+	reportKick chan struct{}
 
 	// dodo:unguarded — WaitGroup is internally synchronized
 	transfers sync.WaitGroup // in-flight region data pushes
@@ -123,6 +147,21 @@ type Daemon struct {
 	reads, writes, readBytes, writeBytes, staleRejects int64
 	// dodo:guardedby mu
 	pagesHandedOff, handoffAborts int64
+	// checksumRejects counts inbound frames (writes, handoff pages)
+	// whose CRC32-C did not match their bytes.
+	// dodo:guardedby mu
+	checksumRejects int64
+	// inventoryReports counts re-reports the manager acknowledged OK.
+	// dodo:guardedby mu
+	inventoryReports int64
+}
+
+// regionMeta is the per-region allocation context replayed to a
+// restarted manager in an InventoryReport.
+type regionMeta struct {
+	key    wire.RegionKey
+	client string
+	offset uint64
 }
 
 // New starts a daemon serving its pool on tr and registers it with the
@@ -140,6 +179,8 @@ func New(tr transport.Transport, cfg Config) *Daemon {
 		lastWriteSeq:   make(map[uint64]uint64),
 		readCount:      make(map[uint64]uint64),
 		handoffApplied: make(map[uint64]bool),
+		regionMeta:     make(map[uint64]regionMeta),
+		reportKick:     make(chan struct{}, 1),
 		stop:           make(chan struct{}),
 	}
 	d.mu.SetRank(locks.RankIMD)
@@ -159,8 +200,9 @@ func New(tr transport.Transport, cfg Config) *Daemon {
 	// or, worse, serving the dead incarnation's bytes.
 	d.ep.SeedTransferIDs(cfg.Epoch << 32)
 	d.announce(wire.HostIdle)
-	d.loops.Add(1)
+	d.loops.Add(2)
 	go d.statusLoop()
+	go d.reportLoop()
 	return d
 }
 
@@ -181,15 +223,69 @@ func (d *Daemon) announce(state wire.HostState) {
 	d.mu.Lock()
 	avail, largest := d.pool.FreeBytes(), d.pool.LargestFree()
 	d.mu.Unlock()
+	d.mu.Lock()
+	known := d.mgrIncarnation
+	d.mu.Unlock()
 	msg := &wire.HostStatus{
 		HostAddr:    d.ep.LocalAddr(),
 		State:       state,
 		Epoch:       d.cfg.Epoch,
 		AvailBytes:  avail,
 		LargestFree: largest,
+		Incarnation: known,
 	}
-	if _, err := d.ep.Call(d.cfg.ManagerAddr, msg); err != nil {
+	resp, err := d.ep.Call(d.cfg.ManagerAddr, msg)
+	if err != nil {
 		d.logf("imd %s: announcing %v to cmd failed: %v", d.Addr(), state, err)
+		return
+	}
+	// The ack carries the manager's incarnation: a value newer than the
+	// last one we reported an inventory against means the manager
+	// restarted with an empty directory and needs a re-report (§ restart
+	// recovery). A StatusStale ack means our announce itself carried a
+	// dead incarnation; the ack still names the live one, so the same
+	// path recovers.
+	if ack, ok := resp.(*wire.HostStatusAck); ok {
+		d.noteIncarnation(ack.Incarnation)
+	}
+}
+
+// noteIncarnation folds an incarnation observed on a manager ack into
+// the daemon's view, kicking the inventory report loop when the
+// manager is ahead of the last acknowledged report. Zero means the
+// peer predates incarnation stamping and is ignored.
+func (d *Daemon) noteIncarnation(inc uint64) {
+	if inc == 0 {
+		return
+	}
+	d.mu.Lock()
+	prev := d.mgrIncarnation
+	if inc > d.mgrIncarnation {
+		d.mgrIncarnation = inc
+	}
+	kick := false
+	if inc > d.reportedIncarnation {
+		if prev == 0 && d.pool.Regions() == 0 {
+			// First contact with an empty pool: the manager cannot be
+			// missing any of our regions, so there is nothing to
+			// re-report — it learns regions as it allocates them.
+			d.reportedIncarnation = inc
+		} else {
+			kick = true
+		}
+	}
+	d.mu.Unlock()
+	if kick {
+		d.kickReport()
+	}
+}
+
+// kickReport wakes the report loop without blocking; concurrent kicks
+// coalesce.
+func (d *Daemon) kickReport() {
+	select {
+	case d.reportKick <- struct{}{}:
+	default:
 	}
 }
 
@@ -211,6 +307,132 @@ func (d *Daemon) statusLoop() {
 		if !draining {
 			d.announce(wire.HostIdle)
 		}
+	}
+}
+
+// reportLoop pushes a full inventory re-report whenever a manager
+// restart is detected (reportKick), retrying with seeded-jittered
+// backoff until the new incarnation acknowledges it. The jitter seed
+// is derived from this daemon's address so a cluster of imds that all
+// notice the restart on the same announce tick fan their reports out
+// instead of stampeding the freshly restarted manager — while any
+// seeded run still replays the identical schedule.
+func (d *Daemon) reportLoop() {
+	defer d.loops.Done()
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(d.ep.LocalAddr()))
+	rng := rand.New(rand.NewSource(int64(h.Sum64()) ^ int64(d.cfg.Epoch)))
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-d.reportKick:
+		}
+		d.runInventoryReport(rng)
+	}
+}
+
+// runInventoryReport drives one re-report episode: snapshot the pool,
+// send, and retry under a bounded budget. Giving up is safe — the
+// next announce ack re-kicks the loop as long as the gap between
+// observed and reported incarnations remains.
+func (d *Daemon) runInventoryReport(rng *rand.Rand) {
+	budget := retry.New(retry.Policy{
+		Deadline: 8 * d.cfg.StatusInterval,
+		Base:     d.cfg.StatusInterval / 4,
+		Cap:      2 * d.cfg.StatusInterval,
+		Factor:   2,
+		Jitter:   0.5,
+	}, d.cfg.Clock, rng)
+	for {
+		select {
+		case <-d.stop:
+			return
+		default:
+		}
+		d.mu.Lock()
+		if d.draining || d.closed {
+			// A draining daemon is leaving the cluster; its HostBusy
+			// announce already tells the manager everything it needs.
+			d.mu.Unlock()
+			return
+		}
+		inc := d.mgrIncarnation
+		if inc <= d.reportedIncarnation {
+			d.mu.Unlock()
+			return
+		}
+		report := d.buildReportLocked(inc)
+		d.mu.Unlock()
+
+		resp, err := d.ep.CallT(d.cfg.ManagerAddr, report, d.callTimeout(), 1)
+		if err == nil {
+			if ack, ok := resp.(*wire.InventoryAck); ok {
+				switch {
+				case ack.Status == wire.StatusOK:
+					d.mu.Lock()
+					if inc > d.reportedIncarnation {
+						d.reportedIncarnation = inc
+					}
+					d.inventoryReports++
+					done := d.mgrIncarnation <= d.reportedIncarnation
+					d.mu.Unlock()
+					if done {
+						return
+					}
+					// The manager moved to yet another incarnation while
+					// we reported; that ack was progress, so the budget
+					// reopens for the next round.
+					budget.Reset()
+					continue
+				case ack.Status == wire.StatusStale && ack.Incarnation > inc:
+					// Fenced: the manager restarted again under a newer
+					// incarnation. Adopt it and re-report.
+					d.mu.Lock()
+					if ack.Incarnation > d.mgrIncarnation {
+						d.mgrIncarnation = ack.Incarnation
+					}
+					d.mu.Unlock()
+					budget.Reset()
+					continue
+				}
+			}
+		}
+		delay, ok := budget.Next()
+		if !ok {
+			d.logf("imd %s: inventory report to incarnation %d exhausted retries", d.Addr(), inc)
+			return
+		}
+		if !sim.SleepInterruptible(d.cfg.Clock, delay, d.stop) {
+			return
+		}
+	}
+}
+
+// buildReportLocked snapshots the full inventory for incarnation inc.
+// Caller holds d.mu.
+func (d *Daemon) buildReportLocked(inc uint64) *wire.InventoryReport {
+	ids := d.pool.RegionIDs()
+	regions := make([]wire.InventoryRegion, 0, len(ids))
+	for _, id := range ids {
+		size, _ := d.pool.RegionSize(id)
+		meta := d.regionMeta[id]
+		regions = append(regions, wire.InventoryRegion{
+			RegionID:   id,
+			PoolOffset: meta.offset,
+			Length:     size,
+			WriteSeq:   d.lastWriteSeq[id],
+			Key:        meta.key,
+			Client:     meta.client,
+		})
+	}
+	return &wire.InventoryReport{
+		HostAddr:    d.ep.LocalAddr(),
+		Epoch:       d.cfg.Epoch,
+		Incarnation: inc,
+		AvailBytes:  d.pool.FreeBytes(),
+		LargestFree: d.pool.LargestFree(),
+		Regions:     regions,
 	}
 }
 
@@ -381,7 +603,7 @@ func (d *Daemon) pushPage(g wire.HandoffGrant, rem time.Duration) bool {
 		defer d.transfers.Done()
 		sendErr <- d.ep.SendBulk(g.Target.HostAddr, id, snap)
 	}()
-	req := &wire.HandoffPage{RegionID: g.Target.RegionID, Epoch: g.Target.Epoch, Length: size, TransferID: id}
+	req := &wire.HandoffPage{RegionID: g.Target.RegionID, Epoch: g.Target.Epoch, Length: size, TransferID: id, Crc: wire.Checksum(snap)}
 	resp, callErr := d.ep.CallT(g.Target.HostAddr, req, rem/2, 1)
 	if serr := <-sendErr; serr != nil {
 		return false
@@ -411,9 +633,15 @@ type Stats struct {
 	// its drain; HandoffAborts counts grants it had to abandon (grace
 	// window expiry or unreachable target).
 	PagesHandedOff, HandoffAborts int64
-	Regions                       int
-	FreeBytes                     uint64
-	LargestFree                   uint64
+	// ChecksumRejects counts inbound writes and handoff pages refused
+	// because their CRC32-C did not match the received bytes.
+	ChecksumRejects int64
+	// InventoryReports counts re-reports acknowledged by a restarted
+	// manager.
+	InventoryReports int64
+	Regions          int
+	FreeBytes        uint64
+	LargestFree      uint64
 }
 
 // Stats returns a consistent snapshot.
@@ -421,17 +649,29 @@ func (d *Daemon) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return Stats{
-		Reads:          d.reads,
-		Writes:         d.writes,
-		ReadBytes:      d.readBytes,
-		WriteBytes:     d.writeBytes,
-		StaleRejects:   d.staleRejects,
-		PagesHandedOff: d.pagesHandedOff,
-		HandoffAborts:  d.handoffAborts,
-		Regions:        d.pool.Regions(),
-		FreeBytes:      d.pool.FreeBytes(),
-		LargestFree:    d.pool.LargestFree(),
+		Reads:            d.reads,
+		Writes:           d.writes,
+		ReadBytes:        d.readBytes,
+		WriteBytes:       d.writeBytes,
+		StaleRejects:     d.staleRejects,
+		PagesHandedOff:   d.pagesHandedOff,
+		HandoffAborts:    d.handoffAborts,
+		ChecksumRejects:  d.checksumRejects,
+		InventoryReports: d.inventoryReports,
+		Regions:          d.pool.Regions(),
+		FreeBytes:        d.pool.FreeBytes(),
+		LargestFree:      d.pool.LargestFree(),
 	}
+}
+
+// HoldsRegion reports whether the pool currently holds the region.
+// Test and harness introspection: cross-validating a rebuilt region
+// directory against what the imds actually hold.
+func (d *Daemon) HoldsRegion(id uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.pool.RegionSize(id)
+	return ok
 }
 
 // handle dispatches one request.
@@ -449,7 +689,7 @@ func (d *Daemon) handle(from string, msg wire.Message) wire.Message {
 		return d.handleHandoffPage(from, req)
 	case *wire.AllocReq, *wire.FreeReq, *wire.CheckAllocReq,
 		*wire.KeepAlive, *wire.HostStatus, *wire.ClusterStatsReq,
-		*wire.HandoffOffer, *wire.HandoffDone:
+		*wire.HandoffOffer, *wire.HandoffDone, *wire.InventoryReport:
 		// Addressed to the central manager, not an imd; a frame routed
 		// here is a misdirected client. Explicitly ignored.
 		return nil
@@ -458,7 +698,7 @@ func (d *Daemon) handle(from string, msg wire.Message) wire.Message {
 		*wire.IMDAllocResp, *wire.IMDFreeResp, *wire.DataResp,
 		*wire.BulkOffer, *wire.BulkAccept, *wire.BulkData,
 		*wire.BulkNack, *wire.BulkDone, *wire.ClusterStatsResp,
-		*wire.HandoffAccept:
+		*wire.HandoffAccept, *wire.InventoryAck:
 		// Responses and bulk frames are consumed by the endpoint's
 		// dispatch before the handler runs; they cannot reach here.
 		return nil
@@ -489,10 +729,12 @@ func (d *Daemon) handleAlloc(req *wire.IMDAllocReq) wire.Message {
 	if err != nil {
 		st = wire.StatusNoMem
 	} else {
-		// Fresh region: restart its write-ordering gate and hotness.
+		// Fresh region: restart its write-ordering gate and hotness,
+		// and remember the allocation context for inventory re-reports.
 		delete(d.lastWriteSeq, req.RegionID)
 		delete(d.readCount, req.RegionID)
 		delete(d.handoffApplied, req.RegionID)
+		d.regionMeta[req.RegionID] = regionMeta{key: req.Key, client: req.Client, offset: off}
 	}
 	e, a, l := d.piggybackLocked()
 	return &wire.IMDAllocResp{Status: st, PoolOffset: off, Epoch: e, AvailBytes: a, LargestFree: l}
@@ -508,6 +750,7 @@ func (d *Daemon) handleFree(req *wire.IMDFreeReq) wire.Message {
 		delete(d.lastWriteSeq, req.RegionID)
 		delete(d.readCount, req.RegionID)
 		delete(d.handoffApplied, req.RegionID)
+		delete(d.regionMeta, req.RegionID)
 	}
 	e, a, l := d.piggybackLocked()
 	return &wire.IMDFreeResp{Status: st, Epoch: e, AvailBytes: a, LargestFree: l}
@@ -554,7 +797,10 @@ func (d *Daemon) handleRead(from string, req *wire.ReadReq) wire.Message {
 			d.logf("imd %s: pushing read data to %s: %v", d.Addr(), from, err)
 		}
 	}()
-	return &wire.DataResp{Status: wire.StatusOK, Count: uint64(len(snap)), TransferID: id}
+	// The checksum covers the snapshot, so the client verifies the
+	// bytes end to end: a frame mangled anywhere between this pool and
+	// the client's buffer fails the read instead of corrupting it.
+	return &wire.DataResp{Status: wire.StatusOK, Count: uint64(len(snap)), TransferID: id, Crc: wire.Checksum(snap)}
 }
 
 // handleWrite receives the announced bulk data and stores it.
@@ -614,6 +860,15 @@ func (d *Daemon) handleWrite(from string, req *wire.WriteReq) wire.Message {
 			return &wire.DataResp{Status: wire.StatusInvalid}
 		}
 		d.logf("imd %s: receiving write data from %s: %v", d.Addr(), from, err)
+		return &wire.DataResp{Status: wire.StatusInvalid}
+	}
+	if req.Crc != 0 && wire.Checksum(data) != req.Crc {
+		// The bytes that arrived are not the bytes the client hashed:
+		// refuse the write rather than store a corrupt page the client
+		// believes is durable.
+		d.mu.Lock()
+		d.checksumRejects++
+		d.mu.Unlock()
 		return &wire.DataResp{Status: wire.StatusInvalid}
 	}
 	d.mu.Lock()
@@ -679,6 +934,15 @@ func (d *Daemon) handleHandoffPage(from string, req *wire.HandoffPage) wire.Mess
 			return &wire.DataResp{Status: wire.StatusInvalid}
 		}
 		d.logf("imd %s: receiving handoff page from %s: %v", d.Addr(), from, err)
+		return &wire.DataResp{Status: wire.StatusInvalid}
+	}
+	if req.Crc != 0 && wire.Checksum(data) != req.Crc {
+		// A corrupt handoff page must not become the region's new home:
+		// refusing makes the sender report the grant failed, so the
+		// manager frees this copy and the client re-fetches from disk.
+		d.mu.Lock()
+		d.checksumRejects++
+		d.mu.Unlock()
 		return &wire.DataResp{Status: wire.StatusInvalid}
 	}
 	d.mu.Lock()

@@ -48,6 +48,21 @@ type Config struct {
 	// before checkAlloc falls back to the stale-drop path (default 2s;
 	// should comfortably exceed the imds' drain grace window).
 	HandoffGrace time.Duration
+	// Incarnation is this manager instance's monotonic incarnation
+	// number, stamped into every response and keep-alive. A fresh
+	// deployment runs incarnation 1 (the default); a crash-restarted
+	// manager must be handed a strictly larger value so the periphery
+	// can tell the rebuilt directory from the dead one, and so delayed
+	// pre-crash frames are fenced.
+	Incarnation uint64
+	// RebuildGrace is the soft-state rebuild window after a restart
+	// (Incarnation > 1): while it lasts, checkAlloc holds unknown keys
+	// with StatusBusy instead of purging them, alloc holds new keys
+	// instead of placing possible duplicates, and the keep-alive sweep
+	// does not count misses — all awaiting the imds' inventory
+	// re-reports and the clients' revalidation (default 3x the
+	// keep-alive interval).
+	RebuildGrace time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +80,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HandoffGrace == 0 {
 		c.HandoffGrace = 2 * time.Second
+	}
+	if c.Incarnation == 0 {
+		c.Incarnation = 1
+	}
+	if c.RebuildGrace == 0 {
+		c.RebuildGrace = 3 * c.KeepAliveInterval
 	}
 	return c
 }
@@ -121,6 +142,8 @@ type recovCounters struct {
 	handoffAdopts                       uint64
 	hedgedReads, hedgeWins, hedgeWasted uint64
 	retryExhausted                      uint64
+	checksumFailures                    uint64
+	corruptHosts                        []wire.HostCount
 }
 
 // Manager is the central manager daemon.
@@ -155,11 +178,19 @@ type Manager struct {
 	// dodo:unguarded — WaitGroup is internally synchronized
 	wg sync.WaitGroup
 
+	// dodo:unguarded — immutable after construction (boot time of this
+	// incarnation; the rebuild window is measured from it)
+	bootAt time.Time
+
 	// stats
 	// dodo:guardedby mu
 	allocs, allocFailures, frees, staleDrops, orphanReclaims int64
 	// dodo:guardedby mu
 	handoffOffers, handoffPagesMoved, handoffAborts int64
+	// Crash-recovery counters: inventory re-reports folded in, RD rows
+	// rebuilt from them, and requests fenced for a dead incarnation.
+	// dodo:guardedby mu
+	inventoryReports, rebuiltRegions, fencedRequests int64
 	// handoffLog records every repointing in order, for the
 	// same-seed-same-schedule determinism checks.
 	// dodo:guardedby mu
@@ -180,6 +211,12 @@ func New(tr transport.Transport, cfg Config) *Manager {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		stop:     make(chan struct{}),
 	}
+	m.bootAt = cfg.Clock.Now()
+	// Region ids live in an incarnation-sized namespace: a restarted
+	// manager's counter must not re-issue ids the dead incarnation
+	// already granted, or an imd would treat the new allocation as an
+	// idempotent duplicate of a live region and alias the two.
+	m.nextID = (cfg.Incarnation - 1) << 32
 	m.mu.SetRank(locks.RankManager)
 	// Handlers run on their own goroutines and may fire before this
 	// constructor returns; gate them until m.ep is assigned.
@@ -196,6 +233,16 @@ func New(tr transport.Transport, cfg Config) *Manager {
 
 // Addr returns the manager's transport address.
 func (m *Manager) Addr() string { return m.ep.LocalAddr() }
+
+// Incarnation returns this manager instance's incarnation number.
+func (m *Manager) Incarnation() uint64 { return m.cfg.Incarnation }
+
+// inRebuild reports whether the manager is inside its post-restart
+// soft-state rebuild window. A first-incarnation manager starts with an
+// authoritative (empty) directory and never rebuilds.
+func (m *Manager) inRebuild() bool {
+	return m.cfg.Incarnation > 1 && m.cfg.Clock.Now().Before(m.bootAt.Add(m.cfg.RebuildGrace))
+}
 
 // Close stops the manager.
 func (m *Manager) Close() error {
@@ -251,6 +298,13 @@ type Snapshot struct {
 	ClientHedgeWins      uint64
 	ClientHedgeWasted    uint64
 	ClientRetryExhausted uint64
+	// Crash-recovery state and counters.
+	Incarnation      uint64
+	InventoryReports int64
+	RebuiltRegions   int64
+	FencedRequests   int64
+	// End-to-end checksum totals aggregated from keep-alive acks.
+	ClientChecksumFailures uint64
 }
 
 // Stats returns a consistent snapshot.
@@ -269,6 +323,10 @@ func (m *Manager) Stats() Snapshot {
 		HandoffOffers:     m.handoffOffers,
 		HandoffPagesMoved: m.handoffPagesMoved,
 		HandoffAborts:     m.handoffAborts,
+		Incarnation:       m.cfg.Incarnation,
+		InventoryReports:  m.inventoryReports,
+		RebuiltRegions:    m.rebuiltRegions,
+		FencedRequests:    m.fencedRequests,
 	}
 	for _, rc := range m.recov {
 		s.ClientDrops += rc.drops
@@ -279,8 +337,29 @@ func (m *Manager) Stats() Snapshot {
 		s.ClientHedgeWins += rc.hedgeWins
 		s.ClientHedgeWasted += rc.hedgeWasted
 		s.ClientRetryExhausted += rc.retryExhausted
+		s.ClientChecksumFailures += rc.checksumFailures
 	}
 	return s
+}
+
+// corruptHostsLocked merges the per-host checksum-failure breakdowns
+// last reported by each client into one address-sorted list.
+func (m *Manager) corruptHostsLocked() []wire.HostCount {
+	byHost := make(map[string]uint64)
+	for _, rc := range m.recov {
+		for _, hc := range rc.corruptHosts {
+			byHost[hc.Addr] += hc.Count
+		}
+	}
+	if len(byHost) == 0 {
+		return nil
+	}
+	out := make([]wire.HostCount, 0, len(byHost))
+	for addr, n := range byHost {
+		out = append(out, wire.HostCount{Addr: addr, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
 }
 
 // handle dispatches one request.
@@ -300,6 +379,8 @@ func (m *Manager) handle(from string, msg wire.Message) wire.Message {
 		return m.handleHandoffOffer(req)
 	case *wire.HandoffDone:
 		return m.handleHandoffDone(req)
+	case *wire.InventoryReport:
+		return m.handleInventoryReport(req)
 	case *wire.IMDAllocReq, *wire.IMDFreeReq,
 		*wire.ReadReq, *wire.WriteReq, *wire.KeepAlive,
 		*wire.HandoffPage:
@@ -311,7 +392,7 @@ func (m *Manager) handle(from string, msg wire.Message) wire.Message {
 		*wire.IMDAllocResp, *wire.IMDFreeResp, *wire.DataResp,
 		*wire.BulkOffer, *wire.BulkAccept, *wire.BulkData,
 		*wire.BulkNack, *wire.BulkDone, *wire.ClusterStatsResp,
-		*wire.HandoffAccept:
+		*wire.HandoffAccept, *wire.InventoryAck:
 		// Responses and bulk frames are consumed by the endpoint's
 		// dispatch before the handler runs; they cannot reach here.
 		return nil
@@ -335,6 +416,11 @@ func (m *Manager) handleClusterStats(*wire.ClusterStatsReq) wire.Message {
 		HandoffOffers:     uint64(m.handoffOffers),
 		HandoffPagesMoved: uint64(m.handoffPagesMoved),
 		HandoffAborts:     uint64(m.handoffAborts),
+		Incarnation:       m.cfg.Incarnation,
+		InventoryReports:  uint64(m.inventoryReports),
+		RebuiltRegions:    uint64(m.rebuiltRegions),
+		FencedRequests:    uint64(m.fencedRequests),
+		CorruptHosts:      m.corruptHostsLocked(),
 	}
 	for _, rc := range m.recov {
 		resp.ClientDrops += rc.drops
@@ -345,6 +431,7 @@ func (m *Manager) handleClusterStats(*wire.ClusterStatsReq) wire.Message {
 		resp.ClientHedgeWins += rc.hedgeWins
 		resp.ClientHedgeWasted += rc.hedgeWasted
 		resp.ClientRetryExhausted += rc.retryExhausted
+		resp.ClientChecksumFailures += rc.checksumFailures
 	}
 	for _, h := range m.iwd {
 		resp.Hosts = append(resp.Hosts, wire.HostInfo{
@@ -360,6 +447,19 @@ func (m *Manager) handleClusterStats(*wire.ClusterStatsReq) wire.Message {
 // handleHostStatus updates the IWD from an rmd/imd report.
 func (m *Manager) handleHostStatus(req *wire.HostStatus) wire.Message {
 	m.mu.Lock()
+	// Incarnation fence: a report stamped with another incarnation was
+	// addressed to a dead manager instance. Refusing it (most notably a
+	// delayed pre-crash HostBusy) keeps a stale frame from tearing down
+	// or resurrecting rows in the rebuilt directory. Zero means the
+	// sender has not heard any incarnation yet — first contact — and is
+	// always accepted.
+	if req.Incarnation != 0 && req.Incarnation != m.cfg.Incarnation {
+		m.fencedRequests++
+		m.mu.Unlock()
+		m.logf("cmd: fenced host-status from %s (incarnation %d, ours %d)",
+			req.HostAddr, req.Incarnation, m.cfg.Incarnation)
+		return &wire.HostStatusAck{Status: wire.StatusStale, Incarnation: m.cfg.Incarnation}
+	}
 	var orphans []wire.Region
 	switch req.State {
 	case wire.HostIdle:
@@ -394,7 +494,78 @@ func (m *Manager) handleHostStatus(req *wire.HostStatus) wire.Message {
 	m.mu.Unlock()
 	m.freeHandoffTargets(orphans)
 	m.logf("cmd: host %s -> %v (epoch %d, avail %d)", req.HostAddr, req.State, req.Epoch, req.AvailBytes)
-	return &wire.HostStatusAck{Status: wire.StatusOK}
+	return &wire.HostStatusAck{Status: wire.StatusOK, Incarnation: m.cfg.Incarnation}
+}
+
+// handleInventoryReport folds one imd's full inventory into the
+// directory. This is the soft-state rebuild path: after a restart the
+// RD is empty, every imd that learns the new incarnation re-reports
+// what it holds, and the rows are reconstructed here — including the
+// owning client, which re-arms keep-alive tracking. The handler is
+// idempotent (reports arrive via Call, which retransmits) and also
+// safe outside the rebuild window: a row already present and matching
+// is skipped, and a reported region whose key the directory has since
+// repointed elsewhere is freed on the reporter as a stale copy.
+func (m *Manager) handleInventoryReport(req *wire.InventoryReport) wire.Message {
+	m.mu.Lock()
+	if req.Incarnation != m.cfg.Incarnation {
+		m.fencedRequests++
+		m.mu.Unlock()
+		m.logf("cmd: fenced inventory from %s (incarnation %d, ours %d)",
+			req.HostAddr, req.Incarnation, m.cfg.Incarnation)
+		return &wire.InventoryAck{Status: wire.StatusStale, Incarnation: m.cfg.Incarnation}
+	}
+	// The report carries the same availability hints as an idle
+	// announce; upsert the IWD row unless the host is mid-drain.
+	if m.draining[req.HostAddr] == nil {
+		m.iwd[req.HostAddr] = &hostEntry{
+			addr:        req.HostAddr,
+			epoch:       req.Epoch,
+			availBytes:  req.AvailBytes,
+			largestFree: req.LargestFree,
+		}
+	}
+	var staleCopies []uint64
+	rebuilt := 0
+	for _, r := range req.Regions {
+		if (r.Key == wire.RegionKey{}) {
+			continue // region predates key metadata; cannot be re-keyed
+		}
+		if e, ok := m.rd[r.Key]; ok {
+			if e.region.HostAddr == req.HostAddr && e.region.RegionID == r.RegionID {
+				continue // already rebuilt from an earlier (or duplicate) report
+			}
+			// The directory has since mapped this key elsewhere (e.g. a
+			// post-grace re-open repopulated it on a new host); the
+			// reported copy is a dead-incarnation leftover. Free it.
+			staleCopies = append(staleCopies, r.RegionID)
+			continue
+		}
+		m.rd[r.Key] = &regionEntry{
+			key: r.Key,
+			region: wire.Region{
+				HostAddr:   req.HostAddr,
+				RegionID:   r.RegionID,
+				PoolOffset: r.PoolOffset,
+				Length:     r.Length,
+				Epoch:      req.Epoch,
+			},
+			client: r.Client,
+		}
+		if r.Client != "" {
+			m.trackClientLocked(r.Client)
+		}
+		rebuilt++
+	}
+	m.inventoryReports++
+	m.rebuiltRegions += int64(rebuilt)
+	m.mu.Unlock()
+	for _, id := range staleCopies {
+		m.ep.Notify(req.HostAddr, &wire.IMDFreeReq{RegionID: id})
+	}
+	m.logf("cmd: inventory from %s: %d regions reported, %d rebuilt, %d stale copies freed",
+		req.HostAddr, len(req.Regions), rebuilt, len(staleCopies))
+	return &wire.InventoryAck{Status: wire.StatusOK, Incarnation: m.cfg.Incarnation}
 }
 
 // discardDrainingLocked removes addr's graceful-reclaim overlay and
@@ -466,15 +637,26 @@ func (m *Manager) expireDraining() {
 // believed to have a large-enough free block, verify by asking its imd,
 // and retry other hosts until success or exhaustion (§4.3).
 func (m *Manager) handleAlloc(from string, req *wire.AllocReq) wire.Message {
+	inc := m.cfg.Incarnation
 	if req.Length == 0 {
-		return &wire.AllocResp{Status: wire.StatusInvalid}
+		return &wire.AllocResp{Status: wire.StatusInvalid, Incarnation: inc}
 	}
 	m.mu.Lock()
 	// Duplicate request (client retry): answer with the existing region.
 	if e, ok := m.rd[req.Key]; ok {
 		region := e.region
 		m.mu.Unlock()
-		return &wire.AllocResp{Status: wire.StatusOK, Region: region}
+		return &wire.AllocResp{Status: wire.StatusOK, Incarnation: inc, Region: region}
+	}
+	// During the post-restart rebuild window, hold allocations for keys
+	// the directory does not know: the key may be about to reappear in
+	// an inventory re-report, and placing a second copy now would
+	// duplicate the allocation. Busy tells the client to back off and
+	// retry; the window is bounded by RebuildGrace.
+	if m.inRebuild() {
+		m.mu.Unlock()
+		m.logf("cmd: rebuild in progress; holding alloc of %v from %s", req.Key, from)
+		return &wire.AllocResp{Status: wire.StatusBusy, Incarnation: inc}
 	}
 	// Candidate hosts, randomized (the paper picks randomly and retries).
 	var candidates []string
@@ -495,9 +677,11 @@ func (m *Manager) handleAlloc(from string, req *wire.AllocReq) wire.Message {
 
 	for _, host := range candidates {
 		// Probe with a tight budget: a dead host must not stall the
-		// client's allocation while live candidates remain.
-		resp, err := m.ep.CallT(host, &wire.IMDAllocReq{RegionID: id, Length: req.Length},
-			m.probeTimeout(), 1)
+		// client's allocation while live candidates remain. Key and
+		// client ride along so the imd can reconstruct the directory
+		// row in an inventory re-report after a manager crash.
+		resp, err := m.ep.CallT(host, &wire.IMDAllocReq{RegionID: id, Length: req.Length,
+			Key: req.Key, Client: from}, m.probeTimeout(), 1)
 		if err != nil {
 			// Host unreachable (shut down, crashed, or reclaimed):
 			// drop it from the IWD and try another (§3.1).
@@ -527,7 +711,7 @@ func (m *Manager) handleAlloc(from string, req *wire.AllocReq) wire.Message {
 			region := e.region
 			m.mu.Unlock()
 			m.ep.Notify(host, &wire.IMDFreeReq{RegionID: id})
-			return &wire.AllocResp{Status: wire.StatusOK, Region: region}
+			return &wire.AllocResp{Status: wire.StatusOK, Incarnation: inc, Region: region}
 		}
 		region := wire.Region{
 			HostAddr:   host,
@@ -543,13 +727,13 @@ func (m *Manager) handleAlloc(from string, req *wire.AllocReq) wire.Message {
 		m.allocs++
 		m.mu.Unlock()
 		m.logf("cmd: allocated %v (%d bytes) on %s", req.Key, req.Length, host)
-		return &wire.AllocResp{Status: wire.StatusOK, Region: region}
+		return &wire.AllocResp{Status: wire.StatusOK, Incarnation: inc, Region: region}
 	}
 	m.mu.Lock()
 	m.allocFailures++
 	m.mu.Unlock()
 	m.logf("cmd: allocation of %d bytes failed: no idle host has space", req.Length)
-	return &wire.AllocResp{Status: wire.StatusNoMem}
+	return &wire.AllocResp{Status: wire.StatusNoMem, Incarnation: inc}
 }
 
 // handleFree implements the free operation (§4.3).
@@ -558,7 +742,7 @@ func (m *Manager) handleFree(req *wire.FreeReq) wire.Message {
 	e, ok := m.rd[req.Key]
 	if !ok {
 		m.mu.Unlock()
-		return &wire.FreeResp{Status: wire.StatusNotFound}
+		return &wire.FreeResp{Status: wire.StatusNotFound, Incarnation: m.cfg.Incarnation}
 	}
 	delete(m.rd, req.Key)
 	m.frees++
@@ -586,18 +770,26 @@ func (m *Manager) handleFree(req *wire.FreeReq) wire.Message {
 		}
 		m.mu.Unlock()
 	}()
-	return &wire.FreeResp{Status: wire.StatusOK}
+	return &wire.FreeResp{Status: wire.StatusOK, Incarnation: m.cfg.Incarnation}
 }
 
 // handleCheckAlloc implements checkAlloc: look the region up and verify
 // its epoch against the hosting workstation's IWD entry (§4.3).
 func (m *Manager) handleCheckAlloc(req *wire.CheckAllocReq) wire.Message {
+	inc := m.cfg.Incarnation
 	m.mu.Lock()
 	var orphans []wire.Region
 	resp := func() wire.Message {
 		e, ok := m.rd[req.Key]
 		if !ok {
-			return &wire.CheckAllocResp{Status: wire.StatusNotFound}
+			// During the rebuild window an unknown key is indistinguishable
+			// from a not-yet-re-reported one: hold it with Busy so the
+			// client keeps retrying instead of tearing down and re-opening
+			// a region whose bytes are still intact on some imd.
+			if m.inRebuild() {
+				return &wire.CheckAllocResp{Status: wire.StatusBusy, Incarnation: inc}
+			}
+			return &wire.CheckAllocResp{Status: wire.StatusNotFound, Incarnation: inc}
 		}
 		h, hostIdle := m.iwd[e.region.HostAddr]
 		if !hostIdle || h.epoch != e.region.Epoch {
@@ -606,7 +798,7 @@ func (m *Manager) handleCheckAlloc(req *wire.CheckAllocReq) wire.Message {
 			// a handoff may repoint the region any moment now.
 			if dh := m.draining[e.region.HostAddr]; dh != nil {
 				if dh.epoch == e.region.Epoch && m.cfg.Clock.Now().Before(dh.deadline) {
-					return &wire.CheckAllocResp{Status: wire.StatusBusy}
+					return &wire.CheckAllocResp{Status: wire.StatusBusy, Incarnation: inc}
 				}
 				if !m.cfg.Clock.Now().Before(dh.deadline) {
 					// Grace expired with grants unresolved: the targets
@@ -619,9 +811,9 @@ func (m *Manager) handleCheckAlloc(req *wire.CheckAllocReq) wire.Message {
 			delete(m.rd, req.Key)
 			m.staleDrops++
 			m.untrackIdleClientLocked(e.client)
-			return &wire.CheckAllocResp{Status: wire.StatusStale}
+			return &wire.CheckAllocResp{Status: wire.StatusStale, Incarnation: inc}
 		}
-		return &wire.CheckAllocResp{Status: wire.StatusOK, Fresh: e.fresh, Region: e.region}
+		return &wire.CheckAllocResp{Status: wire.StatusOK, Fresh: e.fresh, Incarnation: inc, Region: e.region}
 	}()
 	m.mu.Unlock()
 	m.freeHandoffTargets(orphans)
@@ -662,10 +854,11 @@ func (m *Manager) handleHandoffOffer(req *wire.HandoffOffer) wire.Message {
 
 	var grants []wire.HandoffGrant
 	for _, r := range req.Regions {
-		if byID[r.RegionID] == nil {
+		e := byID[r.RegionID]
+		if e == nil {
 			continue // freed or unknown; nothing to repoint
 		}
-		if g, ok := m.placeHandoff(r, targets); ok {
+		if g, ok := m.placeHandoff(r, e.key, e.client, targets); ok {
 			grants = append(grants, g)
 		}
 	}
@@ -692,7 +885,7 @@ func (m *Manager) handleHandoffOffer(req *wire.HandoffOffer) wire.Message {
 // pre-allocates the destination there. Targets are tried most-free
 // first (address ascending on ties); the slice's hints are refreshed
 // from piggybacked availability so later placements see earlier ones.
-func (m *Manager) placeHandoff(r wire.HandoffRegion, targets []*hostEntry) (wire.HandoffGrant, bool) {
+func (m *Manager) placeHandoff(r wire.HandoffRegion, key wire.RegionKey, client string, targets []*hostEntry) (wire.HandoffGrant, bool) {
 	order := make([]*hostEntry, len(targets))
 	copy(order, targets)
 	// Stable sort on top of the address-ascending base order keeps the
@@ -706,8 +899,8 @@ func (m *Manager) placeHandoff(r wire.HandoffRegion, targets []*hostEntry) (wire
 		m.nextID++
 		id := m.nextID
 		m.mu.Unlock()
-		resp, err := m.ep.CallT(t.addr, &wire.IMDAllocReq{RegionID: id, Length: r.Length},
-			m.probeTimeout(), 1)
+		resp, err := m.ep.CallT(t.addr, &wire.IMDAllocReq{RegionID: id, Length: r.Length,
+			Key: key, Client: client}, m.probeTimeout(), 1)
 		if err != nil {
 			t.largestFree = 0 // unreachable; skip for the rest of this offer
 			continue
@@ -773,6 +966,27 @@ func (m *Manager) handleHandoffDone(req *wire.HandoffDone) wire.Message {
 	return &wire.HostStatusAck{Status: wire.StatusOK}
 }
 
+// RegionRows snapshots the region directory's rows (host-then-id
+// sorted). Test and harness introspection: after a crash-recovery sweep
+// every row must point at a region its host's imd actually holds — a
+// row that does not is dead-incarnation residue the rebuild failed to
+// fence.
+func (m *Manager) RegionRows() []wire.Region {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rows := make([]wire.Region, 0, len(m.rd))
+	for _, e := range m.rd {
+		rows = append(rows, e.region)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].HostAddr != rows[j].HostAddr {
+			return rows[i].HostAddr < rows[j].HostAddr
+		}
+		return rows[i].RegionID < rows[j].RegionID
+	})
+	return rows
+}
+
 // HandoffSchedule returns the ordered log of region repointings made by
 // graceful-reclaim handoffs, for same-seed determinism checks.
 func (m *Manager) HandoffSchedule() []string {
@@ -830,7 +1044,8 @@ func (m *Manager) keepAliveLoop() {
 			m.wg.Add(1)
 			go func() {
 				defer m.wg.Done()
-				resp, err := m.ep.CallT(addr, &wire.KeepAlive{}, m.probeTimeout(), 1)
+				resp, err := m.ep.CallT(addr, &wire.KeepAlive{Incarnation: m.cfg.Incarnation},
+					m.probeTimeout(), 1)
 				m.mu.Lock()
 				c, ok := m.clients[addr]
 				if !ok {
@@ -843,16 +1058,27 @@ func (m *Manager) keepAliveLoop() {
 					// counters; remember the latest report.
 					if ack, isAck := resp.(*wire.KeepAliveAck); isAck {
 						m.recov[addr] = recovCounters{
-							drops:          ack.Drops,
-							revalidations:  ack.Revalidations,
-							reopens:        ack.Reopens,
-							handoffAdopts:  ack.HandoffAdopts,
-							hedgedReads:    ack.HedgedReads,
-							hedgeWins:      ack.HedgeWins,
-							hedgeWasted:    ack.HedgeWasted,
-							retryExhausted: ack.RetryExhausted,
+							drops:            ack.Drops,
+							revalidations:    ack.Revalidations,
+							reopens:          ack.Reopens,
+							handoffAdopts:    ack.HandoffAdopts,
+							hedgedReads:      ack.HedgedReads,
+							hedgeWins:        ack.HedgeWins,
+							hedgeWasted:      ack.HedgeWasted,
+							retryExhausted:   ack.RetryExhausted,
+							checksumFailures: ack.ChecksumFailures,
+							corruptHosts:     ack.CorruptHosts,
 						}
 					}
+					m.mu.Unlock()
+					return
+				}
+				// Post-restart grace: while the rebuild window is open, a
+				// missed echo proves nothing — the client may still be in
+				// outage-mode backoff, or its address only just resurfaced
+				// via an inventory report. Counting misses here would
+				// orphan survivors before they get a chance to revalidate.
+				if m.inRebuild() {
 					m.mu.Unlock()
 					return
 				}

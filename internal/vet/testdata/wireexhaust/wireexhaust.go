@@ -14,14 +14,18 @@ const (
 	TInvalid Type = iota
 	TPing
 	TPong
+	TReport
+	TReportAck
 	TOrphan // want `wire type TOrphan has no case in newMessage` `no message's Kind\(\) returns TOrphan` `wire type TOrphan has no entry in typeNames`
 	typeSentinel
 )
 
 var typeNames = map[Type]string{
-	TInvalid: "invalid",
-	TPing:    "ping",
-	TPong:    "pong",
+	TInvalid:   "invalid",
+	TPing:      "ping",
+	TPong:      "pong",
+	TReport:    "report",
+	TReportAck: "report-ack",
 }
 
 func (t Type) String() string {
@@ -44,20 +48,36 @@ type Pong struct{}
 
 func (*Pong) Kind() Type { return TPong }
 
+// Report and ReportAck miniature the inventory re-report pair: a
+// request pushed by a daemon and its acknowledgement. Fully registered,
+// so their only job here is growing the registry the dispatch checks
+// count against.
+type Report struct{}
+
+func (*Report) Kind() Type { return TReport }
+
+type ReportAck struct{}
+
+func (*ReportAck) Kind() Type { return TReportAck }
+
 func newMessage(t Type) Message {
 	switch t {
 	case TPing:
 		return &Ping{}
 	case TPong:
 		return &Pong{}
+	case TReport:
+		return &Report{}
+	case TReportAck:
+		return &ReportAck{}
 	}
 	return nil
 }
 
-// dispatch forgets Pong: a default clause would not save it either —
-// that is exactly how a new type gets silently dropped.
+// dispatch forgets everything but Ping: a default clause would not save
+// it either — that is exactly how a new type gets silently dropped.
 func dispatch(msg Message) {
-	switch msg.(type) { // want `type switch over wire.Message misses 1 of 2 message types \(Pong\)`
+	switch msg.(type) { // want `type switch over wire.Message misses 3 of 4 message types \(Pong, Report, ReportAck\)`
 	case *Ping:
 	}
 }
@@ -70,6 +90,7 @@ func correlate(msg Message) {
 	//vet:ignore wire-exhaustiveness — narrow correlation switch: only replies reach this channel
 	switch msg.(type) {
 	case *Pong:
+	case *ReportAck:
 	}
 }
 
@@ -78,5 +99,7 @@ func handleAll(msg Message) {
 	switch msg.(type) {
 	case *Ping:
 	case *Pong:
+	case *Report:
+	case *ReportAck:
 	}
 }

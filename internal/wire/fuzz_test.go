@@ -51,8 +51,23 @@ func FuzzWireRoundTrip(f *testing.F) {
 		&HandoffAccept{Status: StatusOK, Grants: []HandoffGrant{
 			{OldRegionID: 3, Target: Region{HostAddr: "ws-2:7070", RegionID: 41, PoolOffset: 0, Length: 1 << 16, Epoch: 9}},
 		}},
-		&HandoffPage{RegionID: 41, Epoch: 9, Length: 1 << 16, TransferID: 77},
+		&HandoffPage{RegionID: 41, Epoch: 9, Length: 1 << 16, TransferID: 77, Crc: 0xDEADBEEF},
 		&HandoffDone{HostAddr: "ws-1:7071", OldRegionID: 3, Status: StatusOK},
+		&KeepAliveAck{ClientID: 7, Drops: 2, ChecksumFailures: 3, CorruptHosts: []HostCount{
+			{Addr: "ws-1:7071", Count: 2},
+			{Addr: "ws-2:7070", Count: 1},
+		}},
+		&InventoryReport{
+			HostAddr: "ws-2:7070", Epoch: 3, Incarnation: 2,
+			AvailBytes: 48 << 20, LargestFree: 16 << 20,
+			Regions: []InventoryRegion{
+				{RegionID: 1<<32 | 5, PoolOffset: 0, Length: 1 << 16, WriteSeq: 9,
+					Key: RegionKey{Inode: 42, Offset: 0, ClientID: 3}, Client: "client-3"},
+				{RegionID: 1<<32 | 6, PoolOffset: 1 << 16, Length: 1 << 17, WriteSeq: 0,
+					Key: RegionKey{Inode: 42, Offset: 1 << 16, ClientID: 3}},
+			},
+		},
+		&InventoryAck{Status: StatusStale, Incarnation: 4},
 	}
 	for _, msg := range populated {
 		frame, err := Encode(99, msg)

@@ -161,25 +161,32 @@ type HandoffPage struct {
 	Epoch      uint64
 	Length     uint64
 	TransferID uint64
+	// Crc is the CRC32C of the pushed page bytes; the target imd
+	// refuses the page when the received data does not match, so a
+	// frame corrupted in flight can never become the authoritative
+	// handoff copy. Zero means unchecked.
+	Crc uint32
 }
 
 func (*HandoffPage) Kind() Type       { return THandoffPage }
-func (*HandoffPage) payloadSize() int { return 32 }
+func (*HandoffPage) payloadSize() int { return 36 }
 func (m *HandoffPage) encode(b []byte) error {
 	binary.BigEndian.PutUint64(b[0:], m.RegionID)
 	binary.BigEndian.PutUint64(b[8:], m.Epoch)
 	binary.BigEndian.PutUint64(b[16:], m.Length)
 	binary.BigEndian.PutUint64(b[24:], m.TransferID)
+	binary.BigEndian.PutUint32(b[32:], m.Crc)
 	return nil
 }
 func (m *HandoffPage) decode(b []byte) error {
-	if len(b) < 32 {
+	if len(b) < 36 {
 		return ErrTruncated
 	}
 	m.RegionID = binary.BigEndian.Uint64(b[0:])
 	m.Epoch = binary.BigEndian.Uint64(b[8:])
 	m.Length = binary.BigEndian.Uint64(b[16:])
 	m.TransferID = binary.BigEndian.Uint64(b[24:])
+	m.Crc = binary.BigEndian.Uint32(b[32:])
 	return nil
 }
 

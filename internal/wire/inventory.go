@@ -1,0 +1,155 @@
+package wire
+
+import "encoding/binary"
+
+// Manager crash-recovery sub-protocol. The central manager keeps its
+// region directory purely in memory; after a crash it restarts under a
+// new incarnation number and rebuilds the directory as soft state from
+// the periphery. Every imd that notices the new incarnation (via the
+// HostStatusAck on its next announce) pushes a full InventoryReport:
+// its identity, epoch, pool availability and every region it holds,
+// including the region key and owning client recorded at allocation
+// time. The manager answers with an InventoryAck stamped with its
+// current incarnation; a report carrying a dead incarnation is refused
+// with StatusStale so a delayed pre-crash frame can never resurrect a
+// stale directory row.
+
+// InventoryRegion describes one region a reporting imd holds: the
+// imd-local identifier and pool placement, the last applied write
+// sequence, and the allocation-time key and owning client the manager
+// needs to rebuild the full directory row.
+type InventoryRegion struct {
+	RegionID   uint64
+	PoolOffset uint64
+	Length     uint64
+	WriteSeq   uint64
+	Key        RegionKey
+	// Client is the transport address of the owning client, as recorded
+	// from the IMDAllocReq that created the region. Empty when the
+	// region predates client tracking.
+	Client string
+}
+
+func (r InventoryRegion) encodedSize() int { return 32 + regionKeySize + 2 + len(r.Client) }
+
+// InventoryReport is an imd's full inventory re-report to a restarted
+// manager (imd -> cmd). Incarnation is the manager incarnation the imd
+// is reporting to, learned from a HostStatusAck; the manager fences
+// reports whose incarnation does not match its own.
+type InventoryReport struct {
+	HostAddr    string
+	Epoch       uint64
+	Incarnation uint64
+	AvailBytes  uint64
+	LargestFree uint64
+	Regions     []InventoryRegion
+}
+
+func (*InventoryReport) Kind() Type { return TInventoryReport }
+func (m *InventoryReport) payloadSize() int {
+	n := 2 + len(m.HostAddr) + 32 + 2
+	for _, r := range m.Regions {
+		n += r.encodedSize()
+	}
+	return n
+}
+func (m *InventoryReport) encode(b []byte) error {
+	if len(m.Regions) > math16max {
+		return ErrFieldBounds
+	}
+	n, err := putString(b, m.HostAddr)
+	if err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint64(b[n:], m.Epoch)
+	binary.BigEndian.PutUint64(b[n+8:], m.Incarnation)
+	binary.BigEndian.PutUint64(b[n+16:], m.AvailBytes)
+	binary.BigEndian.PutUint64(b[n+24:], m.LargestFree)
+	binary.BigEndian.PutUint16(b[n+32:], uint16(len(m.Regions)))
+	at := n + 34
+	for _, r := range m.Regions {
+		binary.BigEndian.PutUint64(b[at:], r.RegionID)
+		binary.BigEndian.PutUint64(b[at+8:], r.PoolOffset)
+		binary.BigEndian.PutUint64(b[at+16:], r.Length)
+		binary.BigEndian.PutUint64(b[at+24:], r.WriteSeq)
+		at += 32
+		at += putRegionKey(b[at:], r.Key)
+		cn, err := putString(b[at:], r.Client)
+		if err != nil {
+			return err
+		}
+		at += cn
+	}
+	return nil
+}
+func (m *InventoryReport) decode(b []byte) error {
+	addr, n, err := getString(b)
+	if err != nil {
+		return err
+	}
+	if len(b) < n+34 {
+		return ErrTruncated
+	}
+	m.HostAddr = addr
+	m.Epoch = binary.BigEndian.Uint64(b[n:])
+	m.Incarnation = binary.BigEndian.Uint64(b[n+8:])
+	m.AvailBytes = binary.BigEndian.Uint64(b[n+16:])
+	m.LargestFree = binary.BigEndian.Uint64(b[n+24:])
+	count := int(binary.BigEndian.Uint16(b[n+32:]))
+	at := n + 34
+	m.Regions = nil
+	if count > 0 {
+		m.Regions = make([]InventoryRegion, 0, count)
+	}
+	for i := 0; i < count; i++ {
+		if len(b) < at+32 {
+			return ErrTruncated
+		}
+		r := InventoryRegion{
+			RegionID:   binary.BigEndian.Uint64(b[at:]),
+			PoolOffset: binary.BigEndian.Uint64(b[at+8:]),
+			Length:     binary.BigEndian.Uint64(b[at+16:]),
+			WriteSeq:   binary.BigEndian.Uint64(b[at+24:]),
+		}
+		at += 32
+		key, kn, err := getRegionKey(b[at:])
+		if err != nil {
+			return err
+		}
+		at += kn
+		client, cn, err := getString(b[at:])
+		if err != nil {
+			return err
+		}
+		at += cn
+		r.Key = key
+		r.Client = client
+		m.Regions = append(m.Regions, r)
+	}
+	return nil
+}
+
+// InventoryAck acknowledges an InventoryReport (cmd -> imd). StatusOK
+// means the inventory was folded into the rebuilt directory;
+// StatusStale means the report carried a dead incarnation and the imd
+// should re-report against Incarnation.
+type InventoryAck struct {
+	Status      Status
+	Incarnation uint64
+}
+
+func (*InventoryAck) Kind() Type       { return TInventoryAck }
+func (*InventoryAck) payloadSize() int { return 9 }
+func (m *InventoryAck) encode(b []byte) error {
+	b[0] = uint8(m.Status)
+	binary.BigEndian.PutUint64(b[1:], m.Incarnation)
+	return nil
+}
+func (m *InventoryAck) decode(b []byte) error {
+	if len(b) < 9 {
+		return ErrTruncated
+	}
+	m.Status = Status(b[0])
+	m.Incarnation = binary.BigEndian.Uint64(b[1:])
+	return nil
+}

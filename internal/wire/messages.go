@@ -106,6 +106,10 @@ func newMessage(t Type) Message {
 		return &HandoffPage{}
 	case THandoffDone:
 		return &HandoffDone{}
+	case TInventoryReport:
+		return &InventoryReport{}
+	case TInventoryAck:
+		return &InventoryAck{}
 	}
 	return nil
 }
@@ -137,25 +141,33 @@ func (m *AllocReq) decode(b []byte) error {
 	return nil
 }
 
-// AllocResp carries the allocation result (cmd -> client).
+// AllocResp carries the allocation result (cmd -> client). Incarnation
+// is the responding manager's incarnation number; clients track the
+// highest incarnation seen and discard responses stamped with an older
+// one, so a delayed pre-crash grant can never be acted on after the
+// manager restarted. Zero means the responder predates incarnation
+// stamping and is accepted unconditionally.
 type AllocResp struct {
-	Status Status
-	Region Region
+	Status      Status
+	Incarnation uint64
+	Region      Region
 }
 
 func (*AllocResp) Kind() Type         { return TAllocResp }
-func (m *AllocResp) payloadSize() int { return 1 + m.Region.encodedSize() }
+func (m *AllocResp) payloadSize() int { return 9 + m.Region.encodedSize() }
 func (m *AllocResp) encode(b []byte) error {
 	b[0] = uint8(m.Status)
-	_, err := putRegion(b[1:], m.Region)
+	binary.BigEndian.PutUint64(b[1:], m.Incarnation)
+	_, err := putRegion(b[9:], m.Region)
 	return err
 }
 func (m *AllocResp) decode(b []byte) error {
-	if len(b) < 1 {
+	if len(b) < 9 {
 		return ErrTruncated
 	}
 	m.Status = Status(b[0])
-	r, _, err := getRegion(b[1:])
+	m.Incarnation = binary.BigEndian.Uint64(b[1:])
+	r, _, err := getRegion(b[9:])
 	if err != nil {
 		return err
 	}
@@ -180,22 +192,26 @@ func (m *FreeReq) decode(b []byte) error {
 	return err
 }
 
-// FreeResp acknowledges a free (cmd -> client).
+// FreeResp acknowledges a free (cmd -> client), stamped with the
+// manager incarnation like every other manager response.
 type FreeResp struct {
-	Status Status
+	Status      Status
+	Incarnation uint64
 }
 
 func (*FreeResp) Kind() Type       { return TFreeResp }
-func (*FreeResp) payloadSize() int { return 1 }
+func (*FreeResp) payloadSize() int { return 9 }
 func (m *FreeResp) encode(b []byte) error {
 	b[0] = uint8(m.Status)
+	binary.BigEndian.PutUint64(b[1:], m.Incarnation)
 	return nil
 }
 func (m *FreeResp) decode(b []byte) error {
-	if len(b) < 1 {
+	if len(b) < 9 {
 		return ErrTruncated
 	}
 	m.Status = Status(b[0])
+	m.Incarnation = binary.BigEndian.Uint64(b[1:])
 	return nil
 }
 
@@ -223,29 +239,32 @@ func (m *CheckAllocReq) decode(b []byte) error {
 // client had confirmed, so a recovering client with no unconfirmed
 // writes may adopt the mapping without repopulating from disk.
 type CheckAllocResp struct {
-	Status Status
-	Fresh  bool
-	Region Region
+	Status      Status
+	Fresh       bool
+	Incarnation uint64
+	Region      Region
 }
 
 func (*CheckAllocResp) Kind() Type         { return TCheckAllocResp }
-func (m *CheckAllocResp) payloadSize() int { return 2 + m.Region.encodedSize() }
+func (m *CheckAllocResp) payloadSize() int { return 10 + m.Region.encodedSize() }
 func (m *CheckAllocResp) encode(b []byte) error {
 	b[0] = uint8(m.Status)
 	b[1] = 0
 	if m.Fresh {
 		b[1] = 1
 	}
-	_, err := putRegion(b[2:], m.Region)
+	binary.BigEndian.PutUint64(b[2:], m.Incarnation)
+	_, err := putRegion(b[10:], m.Region)
 	return err
 }
 func (m *CheckAllocResp) decode(b []byte) error {
-	if len(b) < 2 {
+	if len(b) < 10 {
 		return ErrTruncated
 	}
 	m.Status = Status(b[0])
 	m.Fresh = b[1] != 0
-	r, _, err := getRegion(b[2:])
+	m.Incarnation = binary.BigEndian.Uint64(b[2:])
+	r, _, err := getRegion(b[10:])
 	if err != nil {
 		return err
 	}
@@ -255,21 +274,27 @@ func (m *CheckAllocResp) decode(b []byte) error {
 
 // KeepAlive is the cmd's periodic liveness echo to a client (§3.1). The
 // client must answer with KeepAliveAck or its regions are reclaimed.
+// Incarnation carries the manager's incarnation, so a surviving client
+// learns about a manager restart on the very next keep-alive and can
+// start revalidating its regions against the rebuilt directory.
 type KeepAlive struct {
-	ClientID uint32
+	ClientID    uint32
+	Incarnation uint64
 }
 
 func (*KeepAlive) Kind() Type       { return TKeepAlive }
-func (*KeepAlive) payloadSize() int { return 4 }
+func (*KeepAlive) payloadSize() int { return 12 }
 func (m *KeepAlive) encode(b []byte) error {
 	binary.BigEndian.PutUint32(b, m.ClientID)
+	binary.BigEndian.PutUint64(b[4:], m.Incarnation)
 	return nil
 }
 func (m *KeepAlive) decode(b []byte) error {
-	if len(b) < 4 {
+	if len(b) < 12 {
 		return ErrTruncated
 	}
 	m.ClientID = binary.BigEndian.Uint32(b)
+	m.Incarnation = binary.BigEndian.Uint64(b[4:])
 	return nil
 }
 
@@ -300,11 +325,25 @@ type KeepAliveAck struct {
 	// RetryExhausted counts operations whose unified retry budget ran
 	// dry at this client's endpoint.
 	RetryExhausted uint64
+	// ChecksumFailures counts bulk frames whose CRC32C did not match
+	// the announced checksum; CorruptHosts breaks the total down by the
+	// host that served the corrupt frame.
+	ChecksumFailures uint64
+	CorruptHosts     []HostCount
 }
 
-func (*KeepAliveAck) Kind() Type       { return TKeepAliveAck }
-func (*KeepAliveAck) payloadSize() int { return 4 + 8*8 }
+func (*KeepAliveAck) Kind() Type { return TKeepAliveAck }
+func (m *KeepAliveAck) payloadSize() int {
+	n := 4 + 9*8 + 2
+	for _, h := range m.CorruptHosts {
+		n += h.encodedSize()
+	}
+	return n
+}
 func (m *KeepAliveAck) encode(b []byte) error {
+	if len(m.CorruptHosts) > math16max {
+		return ErrFieldBounds
+	}
 	binary.BigEndian.PutUint32(b, m.ClientID)
 	binary.BigEndian.PutUint64(b[4:], m.Drops)
 	binary.BigEndian.PutUint64(b[12:], m.Revalidations)
@@ -314,10 +353,22 @@ func (m *KeepAliveAck) encode(b []byte) error {
 	binary.BigEndian.PutUint64(b[44:], m.HedgeWins)
 	binary.BigEndian.PutUint64(b[52:], m.HedgeWasted)
 	binary.BigEndian.PutUint64(b[60:], m.RetryExhausted)
+	binary.BigEndian.PutUint64(b[68:], m.ChecksumFailures)
+	binary.BigEndian.PutUint16(b[76:], uint16(len(m.CorruptHosts)))
+	at := 78
+	for _, h := range m.CorruptHosts {
+		n, err := putString(b[at:], h.Addr)
+		if err != nil {
+			return err
+		}
+		at += n
+		binary.BigEndian.PutUint64(b[at:], h.Count)
+		at += 8
+	}
 	return nil
 }
 func (m *KeepAliveAck) decode(b []byte) error {
-	if len(b) < 68 {
+	if len(b) < 78 {
 		return ErrTruncated
 	}
 	m.ClientID = binary.BigEndian.Uint32(b)
@@ -329,6 +380,25 @@ func (m *KeepAliveAck) decode(b []byte) error {
 	m.HedgeWins = binary.BigEndian.Uint64(b[44:])
 	m.HedgeWasted = binary.BigEndian.Uint64(b[52:])
 	m.RetryExhausted = binary.BigEndian.Uint64(b[60:])
+	m.ChecksumFailures = binary.BigEndian.Uint64(b[68:])
+	count := int(binary.BigEndian.Uint16(b[76:]))
+	at := 78
+	m.CorruptHosts = nil
+	if count > 0 {
+		m.CorruptHosts = make([]HostCount, 0, count)
+	}
+	for i := 0; i < count; i++ {
+		addr, n, err := getString(b[at:])
+		if err != nil {
+			return err
+		}
+		at += n
+		if len(b) < at+8 {
+			return ErrTruncated
+		}
+		m.CorruptHosts = append(m.CorruptHosts, HostCount{Addr: addr, Count: binary.BigEndian.Uint64(b[at:])})
+		at += 8
+	}
 	return nil
 }
 
@@ -365,10 +435,16 @@ type HostStatus struct {
 	Epoch       uint64
 	AvailBytes  uint64
 	LargestFree uint64
+	// Incarnation is the manager incarnation the sender last heard
+	// from. Zero means first contact (no incarnation known yet) and is
+	// always accepted; a non-zero mismatch is fenced with StatusStale
+	// so a delayed pre-crash HostBusy cannot tear down a row the
+	// restarted manager just rebuilt.
+	Incarnation uint64
 }
 
 func (*HostStatus) Kind() Type         { return THostStatus }
-func (m *HostStatus) payloadSize() int { return 2 + len(m.HostAddr) + 1 + 24 }
+func (m *HostStatus) payloadSize() int { return 2 + len(m.HostAddr) + 1 + 32 }
 func (m *HostStatus) encode(b []byte) error {
 	n, err := putString(b, m.HostAddr)
 	if err != nil {
@@ -378,6 +454,7 @@ func (m *HostStatus) encode(b []byte) error {
 	binary.BigEndian.PutUint64(b[n+1:], m.Epoch)
 	binary.BigEndian.PutUint64(b[n+9:], m.AvailBytes)
 	binary.BigEndian.PutUint64(b[n+17:], m.LargestFree)
+	binary.BigEndian.PutUint64(b[n+25:], m.Incarnation)
 	return nil
 }
 func (m *HostStatus) decode(b []byte) error {
@@ -385,7 +462,7 @@ func (m *HostStatus) decode(b []byte) error {
 	if err != nil {
 		return err
 	}
-	if len(b) < n+25 {
+	if len(b) < n+33 {
 		return ErrTruncated
 	}
 	m.HostAddr = addr
@@ -393,40 +470,54 @@ func (m *HostStatus) decode(b []byte) error {
 	m.Epoch = binary.BigEndian.Uint64(b[n+1:])
 	m.AvailBytes = binary.BigEndian.Uint64(b[n+9:])
 	m.LargestFree = binary.BigEndian.Uint64(b[n+17:])
+	m.Incarnation = binary.BigEndian.Uint64(b[n+25:])
 	return nil
 }
 
-// HostStatusAck acknowledges a HostStatus.
+// HostStatusAck acknowledges a HostStatus. Incarnation carries the
+// manager's current incarnation: it is how an imd discovers a manager
+// restart (and kicks its inventory re-report), and on StatusStale it
+// names the incarnation the sender must re-announce against.
 type HostStatusAck struct {
-	Status Status
+	Status      Status
+	Incarnation uint64
 }
 
 func (*HostStatusAck) Kind() Type       { return THostStatusAck }
-func (*HostStatusAck) payloadSize() int { return 1 }
+func (*HostStatusAck) payloadSize() int { return 9 }
 func (m *HostStatusAck) encode(b []byte) error {
 	b[0] = uint8(m.Status)
+	binary.BigEndian.PutUint64(b[1:], m.Incarnation)
 	return nil
 }
 func (m *HostStatusAck) decode(b []byte) error {
-	if len(b) < 1 {
+	if len(b) < 9 {
 		return ErrTruncated
 	}
 	m.Status = Status(b[0])
+	m.Incarnation = binary.BigEndian.Uint64(b[1:])
 	return nil
 }
 
 // IMDAllocReq is the cmd asking an imd to carve a region from its pool.
+// Key and Client record the region's directory key and owning client at
+// the imd, so a restarted manager can rebuild its full directory row
+// from the imd's inventory re-report alone.
 type IMDAllocReq struct {
 	RegionID uint64
 	Length   uint64
+	Key      RegionKey
+	Client   string
 }
 
-func (*IMDAllocReq) Kind() Type       { return TIMDAllocReq }
-func (*IMDAllocReq) payloadSize() int { return 16 }
+func (*IMDAllocReq) Kind() Type         { return TIMDAllocReq }
+func (m *IMDAllocReq) payloadSize() int { return 16 + regionKeySize + 2 + len(m.Client) }
 func (m *IMDAllocReq) encode(b []byte) error {
 	binary.BigEndian.PutUint64(b[0:8], m.RegionID)
 	binary.BigEndian.PutUint64(b[8:16], m.Length)
-	return nil
+	putRegionKey(b[16:], m.Key)
+	_, err := putString(b[16+regionKeySize:], m.Client)
+	return err
 }
 func (m *IMDAllocReq) decode(b []byte) error {
 	if len(b) < 16 {
@@ -434,6 +525,16 @@ func (m *IMDAllocReq) decode(b []byte) error {
 	}
 	m.RegionID = binary.BigEndian.Uint64(b[0:8])
 	m.Length = binary.BigEndian.Uint64(b[8:16])
+	k, n, err := getRegionKey(b[16:])
+	if err != nil {
+		return err
+	}
+	m.Key = k
+	client, _, err := getString(b[16+n:])
+	if err != nil {
+		return err
+	}
+	m.Client = client
 	return nil
 }
 
@@ -551,6 +652,8 @@ func (m *ReadReq) decode(b []byte) error {
 // whose sequence is not newer than the last write it applied, so a
 // duplicated or delayed announcement replayed by the network can never
 // roll the region back to older bytes. Zero means unordered (legacy).
+// Crc is the CRC32C of the announced bytes; the imd refuses the write
+// when the received bulk data does not match. Zero means unchecked.
 type WriteReq struct {
 	RegionID   uint64
 	Epoch      uint64
@@ -558,10 +661,11 @@ type WriteReq struct {
 	Length     uint64
 	TransferID uint64
 	WriteSeq   uint64
+	Crc        uint32
 }
 
 func (*WriteReq) Kind() Type       { return TWriteReq }
-func (*WriteReq) payloadSize() int { return 48 }
+func (*WriteReq) payloadSize() int { return 52 }
 func (m *WriteReq) encode(b []byte) error {
 	binary.BigEndian.PutUint64(b[0:], m.RegionID)
 	binary.BigEndian.PutUint64(b[8:], m.Epoch)
@@ -569,10 +673,11 @@ func (m *WriteReq) encode(b []byte) error {
 	binary.BigEndian.PutUint64(b[24:], m.Length)
 	binary.BigEndian.PutUint64(b[32:], m.TransferID)
 	binary.BigEndian.PutUint64(b[40:], m.WriteSeq)
+	binary.BigEndian.PutUint32(b[48:], m.Crc)
 	return nil
 }
 func (m *WriteReq) decode(b []byte) error {
-	if len(b) < 48 {
+	if len(b) < 52 {
 		return ErrTruncated
 	}
 	m.RegionID = binary.BigEndian.Uint64(b[0:])
@@ -581,33 +686,40 @@ func (m *WriteReq) decode(b []byte) error {
 	m.Length = binary.BigEndian.Uint64(b[24:])
 	m.TransferID = binary.BigEndian.Uint64(b[32:])
 	m.WriteSeq = binary.BigEndian.Uint64(b[40:])
+	m.Crc = binary.BigEndian.Uint32(b[48:])
 	return nil
 }
 
 // DataResp reports the outcome of a read or write: the byte count
 // actually served (which may be short, per §3.2) and, for reads, the
-// TransferID under which the bulk data is being sent.
+// TransferID under which the bulk data is being sent. For reads, Crc
+// is the CRC32C of the served bytes, computed over the pool snapshot
+// before the bulk send; the receiving client verifies it after the
+// bulk transfer completes. Zero means unchecked.
 type DataResp struct {
 	Status     Status
 	Count      uint64
 	TransferID uint64
+	Crc        uint32
 }
 
 func (*DataResp) Kind() Type       { return TDataResp }
-func (*DataResp) payloadSize() int { return 17 }
+func (*DataResp) payloadSize() int { return 21 }
 func (m *DataResp) encode(b []byte) error {
 	b[0] = uint8(m.Status)
 	binary.BigEndian.PutUint64(b[1:], m.Count)
 	binary.BigEndian.PutUint64(b[9:], m.TransferID)
+	binary.BigEndian.PutUint32(b[17:], m.Crc)
 	return nil
 }
 func (m *DataResp) decode(b []byte) error {
-	if len(b) < 17 {
+	if len(b) < 21 {
 		return ErrTruncated
 	}
 	m.Status = Status(b[0])
 	m.Count = binary.BigEndian.Uint64(b[1:])
 	m.TransferID = binary.BigEndian.Uint64(b[9:])
+	m.Crc = binary.BigEndian.Uint32(b[17:])
 	return nil
 }
 

@@ -29,6 +29,16 @@ type HostInfo struct {
 
 func (h HostInfo) encodedSize() int { return 2 + len(h.Addr) + 24 }
 
+// HostCount pairs a host address with a per-host counter value, used
+// for the checksum-failure breakdown in keep-alive acks and stats
+// snapshots.
+type HostCount struct {
+	Addr  string
+	Count uint64
+}
+
+func (h HostCount) encodedSize() int { return 2 + len(h.Addr) + 8 }
+
 // ClusterStatsResp is the manager's snapshot.
 type ClusterStatsResp struct {
 	Status  Status
@@ -45,21 +55,35 @@ type ClusterStatsResp struct {
 	// Hedge/retry/adopt counters, aggregated from keep-alive acks.
 	ClientHandoffAdopts, ClientHedgedReads, ClientHedgeWins uint64
 	ClientHedgeWasted, ClientRetryExhausted                 uint64
+	// Incarnation is the manager's incarnation number; crash-recovery
+	// counters cover the current incarnation only (the directory they
+	// describe is soft state rebuilt from inventory re-reports).
+	Incarnation      uint64
+	InventoryReports uint64
+	RebuiltRegions   uint64
+	FencedRequests   uint64
+	// Checksum-failure totals aggregated from keep-alive acks, with a
+	// per-host breakdown by the host that served the corrupt frame.
+	ClientChecksumFailures uint64
+	CorruptHosts           []HostCount
 }
 
 // Kind returns the wire type tag.
 func (*ClusterStatsResp) Kind() Type { return TClusterStatsResp }
 
 func (m *ClusterStatsResp) payloadSize() int {
-	n := 1 + 2 + 18*8
+	n := 1 + 2 + 23*8 + 2
 	for _, h := range m.Hosts {
+		n += h.encodedSize()
+	}
+	for _, h := range m.CorruptHosts {
 		n += h.encodedSize()
 	}
 	return n
 }
 
 func (m *ClusterStatsResp) encode(b []byte) error {
-	if len(m.Hosts) > math16max {
+	if len(m.Hosts) > math16max || len(m.CorruptHosts) > math16max {
 		return ErrFieldBounds
 	}
 	b[0] = uint8(m.Status)
@@ -81,8 +105,13 @@ func (m *ClusterStatsResp) encode(b []byte) error {
 	binary.BigEndian.PutUint64(b[121:], m.ClientHedgeWins)
 	binary.BigEndian.PutUint64(b[129:], m.ClientHedgeWasted)
 	binary.BigEndian.PutUint64(b[137:], m.ClientRetryExhausted)
-	binary.BigEndian.PutUint16(b[145:], uint16(len(m.Hosts)))
-	at := 147
+	binary.BigEndian.PutUint64(b[145:], m.Incarnation)
+	binary.BigEndian.PutUint64(b[153:], m.InventoryReports)
+	binary.BigEndian.PutUint64(b[161:], m.RebuiltRegions)
+	binary.BigEndian.PutUint64(b[169:], m.FencedRequests)
+	binary.BigEndian.PutUint64(b[177:], m.ClientChecksumFailures)
+	binary.BigEndian.PutUint16(b[185:], uint16(len(m.Hosts)))
+	at := 187
 	for _, h := range m.Hosts {
 		n, err := putString(b[at:], h.Addr)
 		if err != nil {
@@ -94,11 +123,22 @@ func (m *ClusterStatsResp) encode(b []byte) error {
 		binary.BigEndian.PutUint64(b[at+16:], h.LargestFree)
 		at += 24
 	}
+	binary.BigEndian.PutUint16(b[at:], uint16(len(m.CorruptHosts)))
+	at += 2
+	for _, h := range m.CorruptHosts {
+		n, err := putString(b[at:], h.Addr)
+		if err != nil {
+			return err
+		}
+		at += n
+		binary.BigEndian.PutUint64(b[at:], h.Count)
+		at += 8
+	}
 	return nil
 }
 
 func (m *ClusterStatsResp) decode(b []byte) error {
-	if len(b) < 147 {
+	if len(b) < 189 {
 		return ErrTruncated
 	}
 	m.Status = Status(b[0])
@@ -120,8 +160,13 @@ func (m *ClusterStatsResp) decode(b []byte) error {
 	m.ClientHedgeWins = binary.BigEndian.Uint64(b[121:])
 	m.ClientHedgeWasted = binary.BigEndian.Uint64(b[129:])
 	m.ClientRetryExhausted = binary.BigEndian.Uint64(b[137:])
-	count := int(binary.BigEndian.Uint16(b[145:]))
-	at := 147
+	m.Incarnation = binary.BigEndian.Uint64(b[145:])
+	m.InventoryReports = binary.BigEndian.Uint64(b[153:])
+	m.RebuiltRegions = binary.BigEndian.Uint64(b[161:])
+	m.FencedRequests = binary.BigEndian.Uint64(b[169:])
+	m.ClientChecksumFailures = binary.BigEndian.Uint64(b[177:])
+	count := int(binary.BigEndian.Uint16(b[185:]))
+	at := 187
 	m.Hosts = make([]HostInfo, 0, count)
 	for i := 0; i < count; i++ {
 		addr, n, err := getString(b[at:])
@@ -139,6 +184,27 @@ func (m *ClusterStatsResp) decode(b []byte) error {
 			LargestFree: binary.BigEndian.Uint64(b[at+16:]),
 		})
 		at += 24
+	}
+	if len(b) < at+2 {
+		return ErrTruncated
+	}
+	ccount := int(binary.BigEndian.Uint16(b[at:]))
+	at += 2
+	m.CorruptHosts = nil
+	if ccount > 0 {
+		m.CorruptHosts = make([]HostCount, 0, ccount)
+	}
+	for i := 0; i < ccount; i++ {
+		addr, n, err := getString(b[at:])
+		if err != nil {
+			return err
+		}
+		at += n
+		if len(b) < at+8 {
+			return ErrTruncated
+		}
+		m.CorruptHosts = append(m.CorruptHosts, HostCount{Addr: addr, Count: binary.BigEndian.Uint64(b[at:])})
+		at += 8
 	}
 	return nil
 }

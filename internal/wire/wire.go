@@ -76,6 +76,10 @@ const (
 	THandoffPage
 	THandoffDone
 
+	// Manager crash-recovery: imd inventory re-report (imd <-> cmd).
+	TInventoryReport
+	TInventoryAck
+
 	typeSentinel // keep last
 )
 
@@ -111,6 +115,9 @@ var typeNames = map[Type]string{
 	THandoffAccept: "handoff-accept",
 	THandoffPage:   "handoff-page",
 	THandoffDone:   "handoff-done",
+
+	TInventoryReport: "inventory-report",
+	TInventoryAck:    "inventory-ack",
 }
 
 func (t Type) String() string {

@@ -62,8 +62,26 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&HandoffAccept{Status: StatusOK, Grants: []HandoffGrant{
 			{OldRegionID: 42, Target: region},
 		}},
-		&HandoffPage{RegionID: 99, Epoch: 12, Length: 8192, TransferID: 9002},
+		&HandoffPage{RegionID: 99, Epoch: 12, Length: 8192, TransferID: 9002, Crc: 0xCAFEF00D},
 		&HandoffDone{HostAddr: "host3:9000", OldRegionID: 42, Status: StatusBusy},
+		&AllocResp{Status: StatusOK, Incarnation: 3, Region: region},
+		&CheckAllocResp{Status: StatusOK, Incarnation: 3, Region: region},
+		&KeepAlive{ClientID: 77, Incarnation: 3},
+		&KeepAliveAck{ClientID: 77, ChecksumFailures: 2,
+			CorruptHosts: []HostCount{{Addr: "host3:9000", Count: 2}}},
+		&HostStatus{HostAddr: "host3:9000", State: HostIdle, Epoch: 5,
+			AvailBytes: 100 << 20, LargestFree: 64 << 20, Incarnation: 3},
+		&HostStatusAck{Status: StatusStale, Incarnation: 4},
+		&IMDAllocReq{RegionID: 42, Length: 8192, Key: key, Client: "client-3:0"},
+		&WriteReq{RegionID: 42, Epoch: 5, Offset: 100, Length: 8192, TransferID: 9001, WriteSeq: 17, Crc: 0x1234ABCD},
+		&DataResp{Status: StatusOK, Count: 8192, TransferID: 9001, Crc: 0xFEEDFACE},
+		&InventoryReport{HostAddr: "host3:9000", Epoch: 5, Incarnation: 2,
+			AvailBytes: 90 << 20, LargestFree: 30 << 20,
+			Regions: []InventoryRegion{
+				{RegionID: 1<<32 | 7, PoolOffset: 4096, Length: 8192, WriteSeq: 3, Key: key, Client: "client-3:0"},
+				{RegionID: 1<<32 | 8, PoolOffset: 16384, Length: 4096, Key: RegionKey{Inode: 9, Offset: -8, ClientID: 1}},
+			}},
+		&InventoryAck{Status: StatusOK, Incarnation: 2},
 	}
 	for _, msg := range msgs {
 		got := roundTrip(t, 12345, msg)
@@ -197,6 +215,9 @@ func TestUint16CountsRejectExactly65536(t *testing.T) {
 		{"HandoffOffer", &HandoffOffer{HostAddr: "a", Epoch: 1, Regions: make([]HandoffRegion, 1<<16)}},
 		{"HandoffAccept", &HandoffAccept{Status: StatusOK, Grants: make([]HandoffGrant, 1<<16)}},
 		{"ClusterStatsResp", &ClusterStatsResp{Status: StatusOK, Hosts: make([]HostInfo, 1<<16)}},
+		{"ClusterStatsResp/corrupt", &ClusterStatsResp{Status: StatusOK, CorruptHosts: make([]HostCount, 1<<16)}},
+		{"KeepAliveAck", &KeepAliveAck{ClientID: 1, CorruptHosts: make([]HostCount, 1<<16)}},
+		{"InventoryReport", &InventoryReport{HostAddr: "a", Regions: make([]InventoryRegion, 1<<16)}},
 	}
 	for _, tc := range cases {
 		if err := tc.msg.encode(make([]byte, tc.msg.payloadSize())); !errors.Is(err, ErrFieldBounds) {

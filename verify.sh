@@ -48,9 +48,12 @@ go test -race -run 'TestConcurrent|TestInterleavedSequentialStreams|TestNoPrefet
 go test -race -tags lockcheck -run 'TestConcurrent|TestInterleavedSequentialStreams|TestNoPrefetchAfterFailedRead|TestPrefetchWorkerPool' -count=2 -timeout 300s ./internal/region/
 
 # Seeded fault-injection sweep: deterministic schedules plus the full
-# churn acceptance run, now including the graceful-reclaim handoff
+# churn acceptance run, including the graceful-reclaim handoff
 # acceptance tests (pages hand off to peers on owner return, same seed
-# => identical handoff schedule, reclaim mid-bulk-read stays correct).
+# => identical handoff schedule, reclaim mid-bulk-read stays correct)
+# and the manager crash-recovery tests (directory rebuilt from imd
+# inventory re-reports under a new incarnation, dead-incarnation frames
+# fenced, same seed => identical crash/restart schedule).
 # Separate invocation so a hang or flake here is attributable to the
 # failure paths, not the unit suites above.
-go test -race -run 'TestFaultScheduleDeterministic|TestSeededFaultSweep|TestGracefulReclaimHandoff|TestHandoffScheduleDeterministic|TestReclaimDuringBulkRead' -count=2 -timeout 600s ./internal/cluster/
+go test -race -run 'TestFaultScheduleDeterministic|TestSeededFaultSweep|TestGracefulReclaimHandoff|TestHandoffScheduleDeterministic|TestReclaimDuringBulkRead|TestManagerCrashRecovery|TestManagerCrashScheduleDeterministic|TestIncarnationFencing' -count=2 -timeout 600s ./internal/cluster/
