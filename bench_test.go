@@ -24,6 +24,7 @@ const benchScale = 0.125
 
 // BenchmarkTable1 regenerates Table 1 (per-class memory breakdown).
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.Table1Row
 	for i := 0; i < b.N; i++ {
 		rows = experiments.Table1(4, 3*24*time.Hour, int64(i)+1)
@@ -35,6 +36,7 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkFigure1 regenerates Figure 1 (cluster availability series).
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	var res []experiments.Fig1Result
 	for i := 0; i < b.N; i++ {
 		res = experiments.Figure1(3*24*time.Hour, int64(i)+1)
@@ -47,6 +49,7 @@ func BenchmarkFigure1(b *testing.B) {
 
 // BenchmarkFigure2 regenerates Figure 2 (per-host availability).
 func BenchmarkFigure2(b *testing.B) {
+	b.ReportAllocs()
 	var res []experiments.Fig2Result
 	for i := 0; i < b.N; i++ {
 		res = experiments.Figure2(3*24*time.Hour, int64(i)+1)
@@ -58,6 +61,7 @@ func BenchmarkFigure2(b *testing.B) {
 
 // BenchmarkFigure7 regenerates Figure 7 (lu and dmine speedups).
 func BenchmarkFigure7(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.Fig7Row
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -73,6 +77,7 @@ func BenchmarkFigure7(b *testing.B) {
 
 // BenchmarkFigure8 regenerates Figure 8 (synthetic benchmark sweep).
 func BenchmarkFigure8(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.Fig8Row
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -96,6 +101,7 @@ func BenchmarkFigure8(b *testing.B) {
 
 // BenchmarkReclamation regenerates the §5.3.1 recruitment-policy result.
 func BenchmarkReclamation(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.ReclaimRow
 	for i := 0; i < b.N; i++ {
 		rows = experiments.Reclamation(experiments.ReclaimConfig{
@@ -109,6 +115,7 @@ func BenchmarkReclamation(b *testing.B) {
 
 // BenchmarkAllocatorAblation compares first-fit vs buddy under churn.
 func BenchmarkAllocatorAblation(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.AllocatorRow
 	for i := 0; i < b.N; i++ {
 		rows = experiments.AllocatorAblation(64<<20, 20000, int64(i)+1)
@@ -121,6 +128,7 @@ func BenchmarkAllocatorAblation(b *testing.B) {
 
 // BenchmarkPolicyAblation sweeps replacement policies per pattern.
 func BenchmarkPolicyAblation(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.PolicyRow
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -138,6 +146,7 @@ func BenchmarkPolicyAblation(b *testing.B) {
 
 // BenchmarkRefractionAblation measures what the refraction period saves.
 func BenchmarkRefractionAblation(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.RefractionRow
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -159,6 +168,7 @@ func BenchmarkRefractionAblation(b *testing.B) {
 // a scan workload; the speedup-per-window metrics track whether running
 // ahead of the stream keeps paying off as the cache code evolves.
 func BenchmarkPrefetchAblation(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.PrefetchRow
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -178,6 +188,7 @@ func BenchmarkPrefetchAblation(b *testing.B) {
 
 // BenchmarkHeadroomAblation sweeps the §3.1 harvest headroom.
 func BenchmarkHeadroomAblation(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.HeadroomRow
 	for i := 0; i < b.N; i++ {
 		rows = experiments.HeadroomAblation(8, 2*24*time.Hour, int64(i)+1)
@@ -200,6 +211,7 @@ func fmtPct(f float64) string {
 // BenchmarkNackAblation compares selective NACK vs full-window
 // retransmission over a live lossy network.
 func BenchmarkNackAblation(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.NackRow
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -215,6 +227,7 @@ func BenchmarkNackAblation(b *testing.B) {
 
 // BenchmarkTransportMicro tabulates UDP vs U-Net request round trips.
 func BenchmarkTransportMicro(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.TransportRow
 	for i := 0; i < b.N; i++ {
 		rows = experiments.TransportMicro()

@@ -8,11 +8,18 @@
 //	dodo-bench -exp fig8 -scale 0.125
 //	dodo-bench -exp table1,fig1,fig2,fig7,fig8,reclaim,ablations,transport
 //	dodo-bench -gobench BENCH_seed.json   # one pass of go test -bench
+//	dodo-bench -compare old.json new.json # per-metric deltas + gate
 //
 // -gobench runs the repository benchmark suite once per benchmark
 // (go test -bench . -benchtime 1x), parses the standard benchmark
-// output and writes it as JSON to the named file. verify.sh uses it to
-// record the BENCH_*.json perf trajectory.
+// output — ns/op, B/op, allocs/op and custom units alike — and writes
+// it as JSON to the named file. verify.sh uses it to record the
+// BENCH_*.json perf trajectory.
+//
+// -compare diffs two such reports benchmark by benchmark, printing the
+// percentage change of every shared metric, and exits non-zero when
+// any shared benchmark's ns/op regressed by more than 10%. verify.sh
+// runs it as the perf gate against the seed snapshot.
 package main
 
 import (
@@ -21,11 +28,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -41,10 +50,30 @@ func main() {
 	duration := flag.Duration("duration", 7*24*time.Hour, "monitoring-period length for the §2 study")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
 	gobench := flag.String("gobench", "", "run 'go test -bench . -benchtime 1x' once and write parsed results as JSON to this file, then exit")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime for -gobench (e.g. 1x for a smoke pass, 1s for gating-quality numbers)")
+	pkgs := flag.String("pkgs", "", "comma-separated package list for -gobench (default: the standard suite)")
+	compare := flag.Bool("compare", false, "compare two -gobench JSON reports (old new); exit 1 on a >10% ns/op regression")
 	flag.Parse()
 	if *gobench != "" {
-		if err := runGoBench(*gobench); err != nil {
+		var pkgList []string
+		if *pkgs != "" {
+			pkgList = strings.Split(*pkgs, ",")
+		}
+		if err := runGoBench(*gobench, pkgList, *benchtime); err != nil {
 			log.Fatalf("dodo-bench: %v", err)
+		}
+		return
+	}
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatalf("dodo-bench: -compare wants exactly two arguments: old.json new.json")
+		}
+		regressed, err := compareReports(os.Stdout, flag.Arg(0), flag.Arg(1))
+		if err != nil {
+			log.Fatalf("dodo-bench: %v", err)
+		}
+		if regressed {
+			os.Exit(1)
 		}
 		return
 	}
@@ -220,17 +249,28 @@ type benchReport struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
-// runGoBench executes the repository benchmark suite once per benchmark
-// and writes the parsed results to path as JSON. -benchtime 1x keeps it
-// a smoke-speed perf seed, not a statistically settled measurement: the
-// value is the committed trajectory, refined by later full runs.
-func runGoBench(path string) error {
+// runGoBench executes the repository benchmark suite and writes the
+// parsed results to path as JSON. The default -benchtime 1x keeps it a
+// smoke-speed perf seed, not a statistically settled measurement: the
+// value is the committed trajectory, refined by later full runs. A
+// caller that wants gating-quality numbers passes a real benchtime and
+// (usually) a narrower package list.
+func runGoBench(path string, pkgList []string, benchtime string) error {
 	// The root package carries the end-to-end workload benchmarks;
 	// internal/region carries the cache-level parallel benches
 	// (BenchmarkCreadParallel, BenchmarkPrefetchPipeline) that track the
-	// concurrent-cache trajectory. Benchmark names are distinct across
-	// the two, so the flat report stays collision-free.
-	args := []string{"test", "-bench", ".", "-benchtime", "1x", "-run", "^$", ".", "./internal/region"}
+	// concurrent-cache trajectory; internal/bulk carries the data-plane
+	// benches (legacy vs eager transfer) behind the read fast paths;
+	// internal/core carries the protocol-level read benches
+	// (BenchmarkSmallRead fastpath vs legacy). Benchmark names are
+	// distinct across the four, so the flat report stays collision-free.
+	if len(pkgList) == 0 {
+		pkgList = []string{".", "./internal/region", "./internal/bulk", "./internal/core"}
+	}
+	if benchtime == "" {
+		benchtime = "1x"
+	}
+	args := append([]string{"test", "-bench", ".", "-benchtime", benchtime, "-run", "^$"}, pkgList...)
 	cmd := exec.Command("go", args...)
 	var out bytes.Buffer
 	cmd.Stdout = &out
@@ -242,7 +282,7 @@ func runGoBench(path string) error {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
-		Benchtime: "1x",
+		Benchtime: benchtime,
 		Command:   "go " + strings.Join(args, " "),
 	}
 	sc := bufio.NewScanner(&out)
@@ -289,4 +329,80 @@ func runGoBench(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// loadReport reads one -gobench JSON snapshot.
+func loadReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// regressionThreshold is the ns/op growth, old to new, past which
+// -compare fails the comparison.
+const regressionThreshold = 0.10
+
+// compareReports prints per-benchmark metric deltas between two
+// -gobench snapshots and reports whether any benchmark present in both
+// regressed its ns/op by more than regressionThreshold. Benchmarks or
+// metrics present on only one side are listed but never gate: a new
+// benchmark has no baseline, and a removed one has no measurement.
+func compareReports(w io.Writer, oldPath, newPath string) (regressed bool, err error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := make(map[string]benchResult, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	seen := make(map[string]bool)
+	for _, nb := range newRep.Benchmarks {
+		seen[nb.Name] = true
+		ob, shared := oldBy[nb.Name]
+		if !shared {
+			fmt.Fprintf(w, "%-44s (new benchmark, no baseline)\n", nb.Name)
+			continue
+		}
+		fmt.Fprintf(w, "%s\n", nb.Name)
+		units := make([]string, 0, len(nb.Metrics))
+		for unit := range nb.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			nv := nb.Metrics[unit]
+			ov, ok := ob.Metrics[unit]
+			if !ok {
+				fmt.Fprintf(w, "  %-16s %14.4g  (no baseline)\n", unit, nv)
+				continue
+			}
+			var pct float64
+			if ov != 0 {
+				pct = (nv - ov) / ov * 100
+			}
+			mark := ""
+			if unit == "ns/op" && ov > 0 && (nv-ov)/ov > regressionThreshold {
+				regressed = true
+				mark = "  REGRESSION"
+			}
+			fmt.Fprintf(w, "  %-16s %14.4g -> %-14.4g %+7.1f%%%s\n", unit, ov, nv, pct, mark)
+		}
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "%-44s (removed; present only in %s)\n", ob.Name, oldPath)
+		}
+	}
+	return regressed, nil
 }

@@ -260,6 +260,7 @@ func TestFigureTraceShape(t *testing.T) {
 }
 
 func BenchmarkMine10kTransactions(b *testing.B) {
+	b.ReportAllocs()
 	data := Generate(GenConfig{Transactions: 10000, AvgSize: 10, Items: 1000, Patterns: 20, PatternLen: 3, Seed: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

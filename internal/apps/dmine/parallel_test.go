@@ -57,6 +57,7 @@ func TestPropertyParallelEquivalence(t *testing.T) {
 }
 
 func BenchmarkMineSequential(b *testing.B) {
+	b.ReportAllocs()
 	data := Generate(GenConfig{Transactions: 20000, AvgSize: 12, Items: 2000, Patterns: 30, PatternLen: 3, Seed: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -65,6 +66,7 @@ func BenchmarkMineSequential(b *testing.B) {
 }
 
 func BenchmarkMineParallel(b *testing.B) {
+	b.ReportAllocs()
 	data := Generate(GenConfig{Transactions: 20000, AvgSize: 12, Items: 2000, Patterns: 30, PatternLen: 3, Seed: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -203,6 +203,7 @@ func TestFigureSpecSpreadsCompute(t *testing.T) {
 }
 
 func BenchmarkFactor64(b *testing.B) {
+	b.ReportAllocs()
 	m := RandomDiagDominant(64, 3)
 	for i := 0; i < b.N; i++ {
 		st, err := FromMatrix(m, 8)

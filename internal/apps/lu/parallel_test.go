@@ -76,6 +76,7 @@ func TestPropertyFactorParallelCorrect(t *testing.T) {
 }
 
 func BenchmarkFactorSequential256(b *testing.B) {
+	b.ReportAllocs()
 	m := RandomDiagDominant(256, 5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -90,6 +91,7 @@ func BenchmarkFactorSequential256(b *testing.B) {
 }
 
 func BenchmarkFactorParallel256(b *testing.B) {
+	b.ReportAllocs()
 	m := RandomDiagDominant(256, 5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -201,6 +201,14 @@ func (ep *Endpoint) LocalAddr() string { return ep.tr.LocalAddr() }
 // Transport exposes the underlying transport (for MTU interrogation).
 func (ep *Endpoint) Transport() transport.Transport { return ep.tr }
 
+// ChunkSize is the per-packet bulk payload for this endpoint's
+// transport, exported so fast-path peers can negotiate a chunk both
+// sides can carry.
+func (ep *Endpoint) ChunkSize() int { return ep.chunkSize() }
+
+// RecvWindow is the receive window this endpoint advertises.
+func (ep *Endpoint) RecvWindow() int { return ep.cfg.RecvWindow }
+
 // Close shuts the endpoint down and fails all pending operations.
 func (ep *Endpoint) Close() error {
 	ep.mu.Lock()
@@ -273,10 +281,11 @@ func (ep *Endpoint) Notify(to string, msg wire.Message) error {
 	if closed {
 		return ErrClosed
 	}
-	frame, err := wire.Encode(seq, msg)
+	frame, err := wire.EncodePooled(seq, msg)
 	if err != nil {
 		return err
 	}
+	defer wire.PutFrame(frame)
 	return ep.tr.Send(to, frame)
 }
 
@@ -379,6 +388,14 @@ func (ep *Endpoint) recvLoop() {
 			}
 			continue
 		}
+		// Data-plane fast path: BulkData frames — the overwhelming bulk
+		// of traffic — are parsed in place and their payload copied
+		// straight into the assembling transfer, skipping the allocating
+		// general decoder entirely.
+		if id, seq, payload, derr := wire.DecodeBulkData(data); derr == nil {
+			ep.handleData(from, id, seq, payload)
+			continue
+		}
 		h, msg, err := wire.Decode(data)
 		if err != nil {
 			continue
@@ -397,14 +414,16 @@ func (ep *Endpoint) dispatch(from string, h wire.Header, msg wire.Message) {
 	case *wire.BulkOffer:
 		ep.handleOffer(from, h.Seq, m)
 	case *wire.BulkData:
-		ep.handleData(from, m)
+		// Normally intercepted by recvLoop's in-place fast path; kept
+		// for completeness (tests may dispatch decoded messages).
+		ep.handleData(from, m.TransferID, m.Seq, m.Payload)
 	case *wire.BulkNack, *wire.BulkDone:
 		ep.routeTxResponse(msg)
 	case *wire.AllocResp, *wire.FreeResp, *wire.CheckAllocResp,
 		*wire.KeepAliveAck, *wire.HostStatusAck,
 		*wire.IMDAllocResp, *wire.IMDFreeResp, *wire.DataResp,
 		*wire.BulkAccept, *wire.ClusterStatsResp, *wire.HandoffAccept,
-		*wire.InventoryAck:
+		*wire.InventoryAck, *wire.ReadBatchResp:
 		ep.mu.Lock()
 		ch, ok := ep.calls[h.Seq]
 		if ok {
@@ -419,7 +438,7 @@ func (ep *Endpoint) dispatch(from string, h wire.Header, msg wire.Message) {
 		*wire.IMDAllocReq, *wire.IMDFreeReq,
 		*wire.ReadReq, *wire.WriteReq, *wire.ClusterStatsReq,
 		*wire.HandoffOffer, *wire.HandoffPage, *wire.HandoffDone,
-		*wire.InventoryReport:
+		*wire.InventoryReport, *wire.ReadBatchReq:
 		if ep.handler == nil {
 			return
 		}

@@ -1,0 +1,166 @@
+package bulk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dodo/internal/simnet"
+	"dodo/internal/transport"
+)
+
+// TestEagerTransferDelivers: the receiver pre-registers the transfer
+// under its own id, the sender blasts without an offer/accept
+// handshake, and the bytes assemble straight into the caller's buffer.
+func TestEagerTransferDelivers(t *testing.T) {
+	a, b := endpointPair(t, transport.WithMTU(1500))
+	data := make([]byte, 200<<10)
+	rand.New(rand.NewSource(11)).Read(data)
+
+	id := b.NextTransferID()
+	dst := make([]byte, len(data))
+	window, err := b.ExpectBulkInto(dst, a.LocalAddr(), id, a.ChunkSize())
+	if err != nil {
+		t.Fatalf("ExpectBulkInto: %v", err)
+	}
+	if window <= 0 {
+		t.Fatalf("ExpectBulkInto window = %d, want > 0", window)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.SendBulkEager(b.LocalAddr(), id, data, a.ChunkSize(), window) }()
+	n, err := b.RecvBulkInto(dst, a.LocalAddr(), id, 10*time.Second)
+	if err != nil {
+		t.Fatalf("RecvBulkInto: %v", err)
+	}
+	if n != len(data) || !bytes.Equal(dst, data) {
+		t.Fatalf("eager transfer delivered %d bytes, equal=%v", n, bytes.Equal(dst, data))
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("SendBulkEager: %v", err)
+	}
+}
+
+// TestEagerTransferDegradesToNackUnderLoss: with 35% frame loss the
+// eager first window cannot arrive whole, so the transfer must fall
+// back to the selective-NACK recovery protocol — and still deliver
+// byte-identical contents. This is the interop guarantee behind the
+// eager fast path: skipping offer/accept skips a round trip, never the
+// reliability machinery.
+func TestEagerTransferDegradesToNackUnderLoss(t *testing.T) {
+	n := transport.NewNetwork(transport.WithMTU(1500),
+		WithTestFaults(simnet.Faults{LossRate: 0.35, Seed: 77}))
+	a := NewEndpoint(n.Host("a"), fastCfg(), nil)
+	b := NewEndpoint(n.Host("b"), fastCfg(), nil)
+	t.Cleanup(func() { a.Close(); b.Close() })
+
+	data := make([]byte, 96<<10)
+	rand.New(rand.NewSource(7)).Read(data)
+	for i := 0; i < 3; i++ {
+		id := b.NextTransferID()
+		dst := make([]byte, len(data))
+		window, err := b.ExpectBulkInto(dst, "a", id, a.ChunkSize())
+		if err != nil {
+			t.Fatalf("ExpectBulkInto %d: %v", i, err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- a.SendBulkEager("b", id, data, a.ChunkSize(), window) }()
+		if _, err := b.RecvBulkInto(dst, "a", id, 30*time.Second); err != nil {
+			t.Fatalf("RecvBulkInto %d through 35%% loss: %v", i, err)
+		}
+		if !bytes.Equal(dst, data) {
+			t.Fatalf("transfer %d: bytes corrupted by loss recovery", i)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("SendBulkEager %d: %v", i, err)
+		}
+	}
+}
+
+// TestCancelExpect: a canceled registration fails its waiter and frees
+// the (from, id) key for reuse.
+func TestCancelExpect(t *testing.T) {
+	a, b := endpointPair(t)
+	id := b.NextTransferID()
+	dst := make([]byte, 4096)
+	if _, err := b.ExpectBulkInto(dst, a.LocalAddr(), id, 1024); err != nil {
+		t.Fatalf("ExpectBulkInto: %v", err)
+	}
+	b.CancelExpect(a.LocalAddr(), id)
+	if _, err := b.RecvBulkInto(dst, a.LocalAddr(), id, 200*time.Millisecond); err == nil {
+		t.Fatal("RecvBulkInto after CancelExpect succeeded, want error")
+	}
+	// The key is free again: a fresh registration must not collide.
+	if _, err := b.ExpectBulkInto(dst, a.LocalAddr(), id, 1024); err != nil {
+		t.Fatalf("re-register after cancel: %v", err)
+	}
+	b.CancelExpect(a.LocalAddr(), id)
+}
+
+// TestExpectBulkIntoRejectsDuplicate: double registration of one
+// (from, id) key is a caller bug and must error, not corrupt state.
+func TestExpectBulkIntoRejectsDuplicate(t *testing.T) {
+	a, b := endpointPair(t)
+	id := b.NextTransferID()
+	dst := make([]byte, 4096)
+	if _, err := b.ExpectBulkInto(dst, a.LocalAddr(), id, 1024); err != nil {
+		t.Fatalf("first ExpectBulkInto: %v", err)
+	}
+	if _, err := b.ExpectBulkInto(dst, a.LocalAddr(), id, 1024); err == nil {
+		t.Fatal("duplicate ExpectBulkInto succeeded, want error")
+	}
+	b.CancelExpect(a.LocalAddr(), id)
+}
+
+// TestRecvBulkIntoLegacyTransfer: RecvBulkInto also serves the legacy
+// offer/accept ladder, copying the assembled transfer into the
+// caller's buffer.
+func TestRecvBulkIntoLegacyTransfer(t *testing.T) {
+	a, b := endpointPair(t, transport.WithMTU(1500))
+	data := make([]byte, 48<<10)
+	rand.New(rand.NewSource(3)).Read(data)
+	id := a.NextTransferID()
+	done := make(chan error, 1)
+	go func() { done <- a.SendBulk(b.LocalAddr(), id, data) }()
+	dst := make([]byte, len(data))
+	n, err := b.RecvBulkInto(dst, a.LocalAddr(), id, 10*time.Second)
+	if err != nil || n != len(data) || !bytes.Equal(dst, data) {
+		t.Fatalf("RecvBulkInto legacy = %d, %v, equal=%v", n, err, bytes.Equal(dst[:max(n, 0)], data[:max(n, 0)]))
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("SendBulk: %v", err)
+	}
+}
+
+// BenchmarkEagerTransfer64KBMem is the fast-path twin of
+// BenchmarkBulkTransfer64KBMem: no offer/accept round trip, packets
+// assemble into a pre-registered caller buffer.
+func BenchmarkEagerTransfer64KBMem(b *testing.B) {
+	n := transport.NewNetwork(transport.WithMTU(1500))
+	a := NewEndpoint(n.Host("a"), fastCfg(), nil)
+	dst := NewEndpoint(n.Host("b"), fastCfg(), nil)
+	defer a.Close()
+	defer dst.Close()
+	data := make([]byte, 64<<10)
+	buf := make([]byte, 64<<10)
+	b.SetBytes(64 << 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := dst.NextTransferID()
+		window, err := dst.ExpectBulkInto(buf, "a", id, a.ChunkSize())
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := dst.RecvBulkInto(buf, "a", id, 30*time.Second)
+			done <- err
+		}()
+		if err := a.SendBulkEager("b", id, data, a.ChunkSize(), window); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+}

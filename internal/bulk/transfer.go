@@ -6,6 +6,7 @@ import (
 
 	"dodo/internal/locks"
 	"dodo/internal/sim"
+	"dodo/internal/transport"
 	"dodo/internal/wire"
 )
 
@@ -17,6 +18,23 @@ func (ep *Endpoint) chunkSize() int {
 	return ep.tr.MTU() - wire.HeaderSize - 12 // 12 = BulkData fixed fields
 }
 
+// sendData transmits one BulkData packet: scatter-gather when the
+// transport supports it (the payload rides the send as its own segment,
+// no sender-side frame is built), and a pooled frame otherwise — either
+// way the per-packet heap allocation of the old Encode path is gone.
+func (ep *Endpoint) sendData(to string, id uint64, seq uint32, payload []byte) error {
+	var prefix [wire.BulkDataPrefixSize]byte
+	wire.PutBulkDataPrefix(prefix[:], id, seq, len(payload))
+	if vs, ok := ep.tr.(transport.VecSender); ok {
+		return vs.SendVec(to, prefix[:], payload)
+	}
+	frame := wire.GetFrame(wire.BulkDataPrefixSize + len(payload))
+	defer wire.PutFrame(frame)
+	copy(frame, prefix[:])
+	copy(frame[wire.BulkDataPrefixSize:], payload)
+	return ep.tr.Send(to, frame)
+}
+
 // SendBulk pushes data to the peer under the given transfer id using the
 // blast/selective-NACK protocol. The receiver must be expecting the
 // transfer (Dodo always announces it first through a control message:
@@ -25,19 +43,11 @@ func (ep *Endpoint) SendBulk(to string, id uint64, data []byte) error {
 	if len(data) > MaxTransfer {
 		return fmt.Errorf("bulk: transfer of %d bytes exceeds MaxTransfer", len(data))
 	}
-	respCh := make(chan wire.Message, 16)
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
-		return ErrClosed
+	respCh, err := ep.registerTx(id)
+	if err != nil {
+		return err
 	}
-	ep.tx[id] = respCh
-	ep.mu.Unlock()
-	defer func() {
-		ep.mu.Lock()
-		delete(ep.tx, id)
-		ep.mu.Unlock()
-	}()
+	defer ep.unregisterTx(id)
 
 	chunk := ep.chunkSize()
 	offer := &wire.BulkOffer{TransferID: id, TotalLen: uint64(len(data)), ChunkSize: uint32(chunk)}
@@ -56,7 +66,61 @@ func (ep *Endpoint) SendBulk(to string, id uint64, data []byte) error {
 	if window < 1 {
 		window = 1
 	}
+	return ep.runTransfer(to, id, data, chunk, window, respCh)
+}
 
+// SendBulkEager pushes data under a RECEIVER-chosen transfer id with no
+// offer/accept exchange: the receiver pre-registered its buffer (via
+// ExpectBulkInto) and named id, chunk and window in its request, so the
+// first window can be blasted immediately — DataResp doubles as the
+// offer. Everything after the opening is the ordinary window /
+// selective-NACK engine, so loss degrades to exactly the legacy
+// recovery protocol (the re-offer path answers a receiver that lost the
+// whole opening blast).
+func (ep *Endpoint) SendBulkEager(to string, id uint64, data []byte, chunk, window int) error {
+	if len(data) > MaxTransfer {
+		return fmt.Errorf("bulk: transfer of %d bytes exceeds MaxTransfer", len(data))
+	}
+	if chunk <= 0 || chunk > ep.chunkSize() {
+		return fmt.Errorf("bulk: eager transfer %d: chunk %d outside (0, %d]", id, chunk, ep.chunkSize())
+	}
+	if window < 1 {
+		window = 1
+	}
+	respCh, err := ep.registerTx(id)
+	if err != nil {
+		return err
+	}
+	defer ep.unregisterTx(id)
+	return ep.runTransfer(to, id, data, chunk, window, respCh)
+}
+
+// registerTx claims the sender-side response channel for transfer id.
+func (ep *Endpoint) registerTx(id uint64) (chan wire.Message, error) {
+	respCh := make(chan wire.Message, 16)
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil, ErrClosed
+	}
+	ep.tx[id] = respCh
+	ep.mu.Unlock()
+	return respCh, nil
+}
+
+func (ep *Endpoint) unregisterTx(id uint64) {
+	ep.mu.Lock()
+	delete(ep.tx, id)
+	ep.mu.Unlock()
+}
+
+// runTransfer drives the shared window / selective-NACK engine over an
+// already-announced transfer: blast each window, wait for the ack (an
+// empty NACK), resupply whatever selective NACKs name. Both the
+// offer/accept path (SendBulk) and the eager path (SendBulkEager) end
+// up here, so fault recovery is identical for the two.
+func (ep *Endpoint) runTransfer(to string, id uint64, data []byte, chunk, window int, respCh chan wire.Message) error {
+	offer := &wire.BulkOffer{TransferID: id, TotalLen: uint64(len(data)), ChunkSize: uint32(chunk)}
 	npkts := 0
 	if len(data) > 0 {
 		npkts = (len(data) + chunk - 1) / chunk
@@ -68,11 +132,7 @@ func (ep *Endpoint) SendBulk(to string, id uint64, data []byte) error {
 			if hi > len(data) {
 				hi = len(data)
 			}
-			frame, err := wire.Encode(0, &wire.BulkData{TransferID: id, Seq: s, Payload: data[lo:hi]})
-			if err != nil {
-				return err
-			}
-			if err := ep.tr.Send(to, frame); err != nil {
+			if err := ep.sendData(to, id, s, data[lo:hi]); err != nil {
 				return fmt.Errorf("bulk: blasting packet %d of transfer %d: %w", s, id, err)
 			}
 		}
@@ -198,15 +258,116 @@ func (ep *Endpoint) awaitDone(to string, id uint64, offer *wire.BulkOffer, respC
 	}
 }
 
-// RecvBulk waits for the peer at from to complete transfer id and returns
-// the assembled bytes. It may be called before or after the first packet
-// arrives.
-func (ep *Endpoint) RecvBulk(from string, id uint64, timeout time.Duration) ([]byte, error) {
+// ExpectBulkInto pre-registers transfer (from, id) with dst as its
+// destination: packets assemble directly into dst, no transfer-sized
+// intermediate buffer is ever allocated. It is the receive half of the
+// eager fast path — the requester itself picks the transfer id, calls
+// ExpectBulkInto BEFORE announcing the id to the sender, and then waits
+// with RecvBulkInto(dst, ...), so eager data can never race ahead of
+// the receiver's state. The returned window is the receive window the
+// caller must advertise (the sender paces its blasts by it). chunk is
+// the packet payload size the caller will advertise alongside.
+// dodo:adopts(dst)
+func (ep *Endpoint) ExpectBulkInto(dst []byte, from string, id uint64, chunk int) (window int, err error) {
+	if chunk <= 0 {
+		return 0, fmt.Errorf("bulk: expecting transfer %d: invalid chunk %d", id, chunk)
+	}
+	if len(dst) > MaxTransfer {
+		return 0, fmt.Errorf("bulk: transfer of %d bytes exceeds MaxTransfer", len(dst))
+	}
 	key := rxKey{from: from, id: id}
 	ep.mu.Lock()
 	if ep.closed {
 		ep.mu.Unlock()
-		return nil, ErrClosed
+		return 0, ErrClosed
+	}
+	if _, ok := ep.rx[key]; ok {
+		ep.mu.Unlock()
+		return 0, fmt.Errorf("bulk: transfer %d from %s already registered", id, from)
+	}
+	rx := newRxTransfer(ep, from, id)
+	window = ep.cfg.RecvWindow
+	ep.rx[key] = rx
+	ep.mu.Unlock()
+
+	rx.mu.Lock()
+	rx.buf = dst
+	rx.external = true
+	rx.chunk = chunk
+	rx.npkts = (len(dst) + chunk - 1) / chunk
+	rx.got = make([]bool, rx.npkts)
+	rx.window = window
+	rx.sized = true
+	if rx.npkts == 0 {
+		rx.completeLocked()
+	}
+	// The NACK timer is not armed yet: it starts with the first packet
+	// (or the sender's re-offer). Arming it here would fire NACKs for a
+	// transfer whose announcement has not even been sent.
+	rx.mu.Unlock()
+	return window, nil
+}
+
+// CancelExpect abandons a transfer pre-registered with ExpectBulkInto
+// when the responder answered on a different path (inline payload, an
+// error, or a legacy peer that ignored the eager fields) — no packets
+// will ever arrive under id. No tombstone is left: requester-chosen ids
+// are never reused.
+func (ep *Endpoint) CancelExpect(from string, id uint64) {
+	key := rxKey{from: from, id: id}
+	ep.mu.Lock()
+	rx := ep.rx[key]
+	delete(ep.rx, key)
+	ep.mu.Unlock()
+	if rx != nil {
+		rx.fail(errExpectCanceled)
+	}
+}
+
+var errExpectCanceled = fmt.Errorf("bulk: expected transfer canceled")
+
+// RecvBulk waits for the peer at from to complete transfer id and returns
+// the assembled bytes. It may be called before or after the first packet
+// arrives.
+func (ep *Endpoint) RecvBulk(from string, id uint64, timeout time.Duration) ([]byte, error) {
+	buf, external, err := ep.recvBulk(from, id, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if external {
+		// Assembled into caller-owned memory (ExpectBulkInto); hand back
+		// a private copy to honor RecvBulk's ownership contract.
+		return append([]byte(nil), buf...), nil
+	}
+	return buf, nil
+}
+
+// RecvBulkInto waits for transfer (from, id) and leaves the bytes in
+// dst, returning how many were assembled. When the transfer was
+// pre-registered with ExpectBulkInto(dst, ...), the bytes are already
+// in place and no copy happens at all; an offer-driven transfer is
+// assembled in its own buffer and copied into dst once — still one copy
+// fewer than RecvBulk-then-copy.
+func (ep *Endpoint) RecvBulkInto(dst []byte, from string, id uint64, timeout time.Duration) (int, error) {
+	buf, external, err := ep.recvBulk(from, id, timeout)
+	if err != nil {
+		return 0, err
+	}
+	if external {
+		return len(buf), nil
+	}
+	if len(buf) > len(dst) {
+		return 0, fmt.Errorf("bulk: transfer %d from %s: %d bytes exceed %d-byte destination", id, from, len(buf), len(dst))
+	}
+	return copy(dst, buf), nil
+}
+
+func (ep *Endpoint) recvBulk(from string, id uint64, timeout time.Duration) (buf []byte, external bool, err error) {
+	key := rxKey{from: from, id: id}
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil, false, ErrClosed
 	}
 	rx, ok := ep.rx[key]
 	if !ok {
@@ -228,13 +389,14 @@ func (ep *Endpoint) RecvBulk(from string, id uint64, timeout time.Duration) ([]b
 		delete(ep.rx, key)
 		ep.mu.Unlock()
 		rx.stopTimer()
-		return nil, fmt.Errorf("bulk: receiving transfer %d from %s: %w", id, from, ErrTimeout)
+		return nil, false, fmt.Errorf("bulk: receiving transfer %d from %s: %w", id, from, ErrTimeout)
 	case <-ep.stop:
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
 	rx.mu.Lock()
-	err := rx.err
-	buf := rx.buf
+	err = rx.err
+	buf = rx.buf
+	external = rx.external
 	consumed := err == nil && buf == nil
 	// Leave a tombstone: if the sender's copy of our BulkDone was lost,
 	// its re-offer or retransmissions must be answered with Done again
@@ -251,14 +413,14 @@ func (ep *Endpoint) RecvBulk(from string, id uint64, timeout time.Duration) ([]b
 		ep.mu.Unlock()
 	})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if consumed {
-		// A concurrent RecvBulk for the same transfer (a duplicated
+		// A concurrent receive for the same transfer (a duplicated
 		// announcement) took the bytes first.
-		return nil, fmt.Errorf("bulk: transfer %d from %s: %w", id, from, ErrConsumed)
+		return nil, false, fmt.Errorf("bulk: transfer %d from %s: %w", id, from, ErrConsumed)
 	}
-	return buf, nil
+	return buf, external, nil
 }
 
 // tombstoneTTL is how long a consumed transfer's completion record
@@ -277,6 +439,11 @@ type rxTransfer struct {
 	mu locks.Mutex
 	// dodo:guardedby mu
 	buf []byte
+	// external marks buf as caller-owned (installed by ExpectBulkInto):
+	// the bytes are assembled in place and must not be handed out as an
+	// owned buffer.
+	// dodo:guardedby mu
+	external bool
 	// dodo:guardedby mu
 	got []bool
 	// dodo:guardedby mu
@@ -374,15 +541,18 @@ func (ep *Endpoint) handleOffer(from string, seq uint32, m *wire.BulkOffer) {
 	}
 }
 
-// handleData processes one BulkData packet.
-func (ep *Endpoint) handleData(from string, m *wire.BulkData) {
-	key := rxKey{from: from, id: m.TransferID}
+// handleData processes one BulkData packet. payload is BORROWED — it
+// aliases the receive loop's frame buffer and is only valid for the
+// duration of the call, so the bytes are copied into the assembling
+// buffer synchronously (the only copy the receive path makes).
+func (ep *Endpoint) handleData(from string, id uint64, seq uint32, payload []byte) {
+	key := rxKey{from: from, id: id}
 	ep.mu.Lock()
 	rx, ok := ep.rx[key]
 	ep.mu.Unlock()
 	if !ok {
 		// Stale packet for a consumed transfer: tell the sender to stop.
-		_ = ep.Notify(from, &wire.BulkDone{TransferID: m.TransferID, Status: wire.StatusOK})
+		_ = ep.Notify(from, &wire.BulkDone{TransferID: id, Status: wire.StatusOK})
 		return
 	}
 	rx.mu.Lock()
@@ -394,10 +564,10 @@ func (ep *Endpoint) handleData(from string, m *wire.BulkData) {
 	}
 	if rx.complete {
 		rx.mu.Unlock()
-		_ = ep.Notify(from, &wire.BulkDone{TransferID: m.TransferID, Status: wire.StatusOK})
+		_ = ep.Notify(from, &wire.BulkDone{TransferID: id, Status: wire.StatusOK})
 		return
 	}
-	s := int(m.Seq)
+	s := int(seq)
 	if s >= rx.npkts {
 		rx.mu.Unlock()
 		return
@@ -407,7 +577,7 @@ func (ep *Endpoint) handleData(from string, m *wire.BulkData) {
 		// ack was lost. Re-acknowledge so it can make progress.
 		ep.dupsDropped.Add(1)
 		rx.mu.Unlock()
-		_ = ep.Notify(from, &wire.BulkNack{TransferID: m.TransferID, Missing: nil})
+		_ = ep.Notify(from, &wire.BulkNack{TransferID: id, Missing: nil})
 		return
 	}
 	lo := s * rx.chunk
@@ -415,11 +585,11 @@ func (ep *Endpoint) handleData(from string, m *wire.BulkData) {
 	if lo+want > len(rx.buf) {
 		want = len(rx.buf) - lo
 	}
-	if len(m.Payload) != want {
+	if len(payload) != want {
 		rx.mu.Unlock()
 		return // corrupt chunk; NACK timer will recover it
 	}
-	copy(rx.buf[lo:], m.Payload)
+	copy(rx.buf[lo:], payload)
 	rx.got[s] = true
 	rx.gotCount++
 	rx.resetTimerLocked()
@@ -447,12 +617,12 @@ func (ep *Endpoint) handleData(from string, m *wire.BulkData) {
 	if rx.gotCount == rx.npkts {
 		rx.completeLocked()
 		rx.mu.Unlock()
-		_ = ep.Notify(from, &wire.BulkDone{TransferID: m.TransferID, Status: wire.StatusOK})
+		_ = ep.Notify(from, &wire.BulkDone{TransferID: id, Status: wire.StatusOK})
 		return
 	}
 	rx.mu.Unlock()
 	if acked {
-		_ = ep.Notify(from, &wire.BulkNack{TransferID: m.TransferID, Missing: nil})
+		_ = ep.Notify(from, &wire.BulkNack{TransferID: id, Missing: nil})
 	}
 }
 

@@ -67,6 +67,11 @@ type Config struct {
 	HedgeFloor time.Duration
 	// DisableHedging turns hedged reads off.
 	DisableHedging bool
+	// DisableReadFastPath turns the negotiated read fast paths off
+	// (inline small reads, eager-first-window transfers, batched
+	// fetches), forcing every read through the legacy
+	// request/offer/accept ladder. For benchmarks and interop tests.
+	DisableReadFastPath bool
 	// Seed seeds recovery-backoff jitter; 0 uses a fixed default so
 	// test runs are reproducible.
 	Seed int64
@@ -122,6 +127,10 @@ type regionState struct {
 	// backOff is the region's base offset within the backing file.
 	backOff int64
 	length  int64
+	// caps is the hosting imd's advertised fast-path capability set,
+	// relayed by the manager with the mapping. Zero means legacy-only:
+	// reads use the request/offer/accept ladder.
+	caps wire.Caps
 	// valid is the local/remote flag: false once the remote copy is
 	// known lost.
 	valid bool
@@ -242,6 +251,8 @@ type Client struct {
 	hedgedReads, hedgeWins, hedgeWasted atomic.Int64
 	// dodo:atomic
 	checksumFails atomic.Int64
+	// dodo:atomic
+	inlineReads, eagerReads, batchReads atomic.Int64
 }
 
 // New creates a client runtime over tr.
@@ -281,6 +292,7 @@ func New(tr transport.Transport, cfg Config) *Client {
 				RetryExhausted:   uint64(c.ep.RetryExhausted()),
 				ChecksumFailures: uint64(c.checksumFails.Load()),
 				CorruptHosts:     c.corruptHostsSnapshot(),
+				Caps:             wire.LocalCaps,
 			}
 		}
 		return nil
@@ -347,6 +359,11 @@ type Stats struct {
 	// CRC32-C check; CorruptHosts breaks them down by serving host.
 	ChecksumFailures int64
 	CorruptHosts     []wire.HostCount
+	// InlineReads counts remote reads answered inline in the read
+	// response (1 RTT); EagerReads counts reads served by an
+	// eager-first-window bulk transfer; BatchReads counts batched
+	// multi-region exchanges.
+	InlineReads, EagerReads, BatchReads int64
 	// ManagerIncarnation is the highest manager incarnation observed.
 	ManagerIncarnation uint64
 	OpenRegions        int
@@ -375,6 +392,9 @@ func (c *Client) Stats() Stats {
 		RetryExhausted:     c.ep.RetryExhausted(),
 		ChecksumFailures:   c.checksumFails.Load(),
 		CorruptHosts:       c.corruptHostsSnapshot(),
+		InlineReads:        c.inlineReads.Load(),
+		EagerReads:         c.eagerReads.Load(),
+		BatchReads:         c.batchReads.Load(),
 		ManagerIncarnation: inc,
 		OpenRegions:        open,
 	}
@@ -490,6 +510,7 @@ func (c *Client) Mopen(length int64, backing Backing, offset int64) (int, error)
 		fd:      fd,
 		key:     key,
 		remote:  ar.Region,
+		caps:    ar.HostCaps,
 		backing: backing,
 		backOff: offset,
 		length:  length,
@@ -662,57 +683,157 @@ func (c *Client) Mread(fd int, offset int64, buf []byte) (int, error) {
 	if delay, hedge := c.hedgeDelay(r.remote.HostAddr, r.remote.Epoch); hedge {
 		return c.hedgedRead(r, offset, want, buf, delay)
 	}
-	data, err := c.remoteRead(r, offset, want)
+	// Unhedged reads assemble straight into the caller's buffer: the
+	// inline payload or bulk stream lands in buf with no intermediate
+	// allocation.
+	n, err := c.remoteReadInto(r, offset, want, buf[:want])
 	if err != nil {
 		return -1, err
 	}
-	return c.finishRemoteRead(buf, data), nil
+	c.remoteReads.Add(1)
+	c.remoteReadBy.Add(int64(n))
+	return n, nil
 }
 
-// remoteRead performs the wire read against the hosting imd and records
-// a latency sample on success. Failures drop every descriptor on the
+// remoteRead performs the wire read against the hosting imd into a
+// private buffer; hedged reads use it so the remote leg never touches
+// the caller's buffer while the disk leg may be racing it.
+func (c *Client) remoteRead(r regionState, offset, want int64) ([]byte, error) {
+	data := make([]byte, want)
+	n, err := c.remoteReadInto(r, offset, want, data)
+	if err != nil {
+		return nil, err
+	}
+	return data[:n], nil
+}
+
+// readCaps returns the fast-path capability set usable against r: the
+// intersection of what the hosting imd advertised and what this client
+// is configured to speak.
+func (c *Client) readCaps(r regionState) wire.Caps {
+	if c.cfg.DisableReadFastPath {
+		return 0
+	}
+	return r.caps & wire.LocalCaps
+}
+
+// remoteReadInto performs the wire read against the hosting imd,
+// assembling the bytes into dst (len(dst) == want), and records a
+// latency sample on success. Failures drop every descriptor on the
 // host (§3.1) and surface as ErrNoMem so callers fall back to the
 // backing file.
-func (c *Client) remoteRead(r regionState, offset, want int64) ([]byte, error) {
+//
+// Three protocols, negotiated per host via the capability bits the
+// manager relays with the mapping:
+//
+//   - inline: a read that fits one frame comes back in the DataResp
+//     payload itself — one round trip, no bulk machinery;
+//   - eager: the client picks the transfer id, pre-registers the
+//     receive, and advertises its window in the request; the imd
+//     blasts the first window immediately, with the DataResp doubling
+//     as the bulk offer. The selective-NACK engine still governs the
+//     transfer, so a lossy first window degrades to ordinary recovery;
+//   - legacy: the request/offer/accept ladder, for hosts that
+//     advertise no caps (or when DisableReadFastPath is set).
+func (c *Client) remoteReadInto(r regionState, offset, want int64, dst []byte) (int, error) {
 	start := c.cfg.Clock.Now()
+	host := r.remote.HostAddr
 	req := &wire.ReadReq{
 		RegionID: r.remote.RegionID,
 		Epoch:    r.remote.Epoch,
 		Offset:   uint64(offset),
 		Length:   uint64(want),
 	}
-	resp, err := c.ep.Call(r.remote.HostAddr, req)
+	caps := c.readCaps(r)
+	req.Caps = caps & wire.CapInlineRead
+	inlineLikely := caps&wire.CapInlineRead != 0 &&
+		want <= int64(wire.InlineDataLimit(c.ep.Transport().MTU()))
+	// For reads the imd won't inline, pre-register the eager receive
+	// under a client-chosen transfer id BEFORE the request leaves:
+	// the first eager packets may land before the response does.
+	var xferID uint64
+	if caps&wire.CapEagerRead != 0 && !inlineLikely {
+		id := c.ep.NextTransferID()
+		chunk := c.ep.ChunkSize()
+		if window, err := c.ep.ExpectBulkInto(dst[:want], host, id, chunk); err == nil {
+			xferID = id
+			req.Caps = caps
+			req.XferID = id
+			req.ChunkSize = uint32(chunk)
+			req.Window = uint32(window)
+		}
+	}
+	cancel := func() {
+		if xferID != 0 {
+			c.ep.CancelExpect(host, xferID)
+			xferID = 0
+		}
+	}
+	resp, err := c.ep.Call(host, req)
 	if err != nil {
-		c.dropHost(r.remote.HostAddr)
-		return nil, fmt.Errorf("%w: host %s unreachable: %v", ErrNoMem, r.remote.HostAddr, err)
+		cancel()
+		c.dropHost(host)
+		return -1, fmt.Errorf("%w: host %s unreachable: %v", ErrNoMem, host, err)
 	}
 	dr, ok := resp.(*wire.DataResp)
 	if !ok {
 		// A misrouted or unexpected response type must degrade, not
 		// panic: dr is nil here, so it cannot be formatted.
-		c.dropHost(r.remote.HostAddr)
-		return nil, fmt.Errorf("%w: unexpected response %v", ErrNoMem, resp.Kind())
+		cancel()
+		c.dropHost(host)
+		return -1, fmt.Errorf("%w: unexpected response %v", ErrNoMem, resp.Kind())
 	}
 	if dr.Status != wire.StatusOK {
-		c.dropHost(r.remote.HostAddr)
-		return nil, fmt.Errorf("%w: read refused (%v)", ErrNoMem, dr.Status)
+		cancel()
+		c.dropHost(host)
+		return -1, fmt.Errorf("%w: read refused (%v)", ErrNoMem, dr.Status)
 	}
-	data, err := c.ep.RecvBulk(r.remote.HostAddr, dr.TransferID, dataBudget(want))
+	var n int
+	switch {
+	case dr.Flags&wire.DataFlagInline != 0:
+		// The bytes rode the response itself; any pre-registered
+		// receive is moot.
+		cancel()
+		if dr.Crc != 0 && wire.Checksum(dr.Payload) != dr.Crc {
+			return -1, c.failChecksum(host)
+		}
+		n = copy(dst, dr.Payload)
+		c.inlineReads.Add(1)
+		c.recordLatency(host, r.remote.Epoch, c.cfg.Clock.Now().Sub(start))
+		return n, nil
+	case dr.Flags&wire.DataFlagEager != 0 && xferID != 0 && dr.TransferID == xferID:
+		n, err = c.ep.RecvBulkInto(dst[:want], host, xferID, dataBudget(want))
+		if err == nil {
+			c.eagerReads.Add(1)
+		}
+	default:
+		// Legacy ladder: the imd allocated its own transfer id and is
+		// waiting on the offer/accept handshake. Drop the eager
+		// registration (if any) and receive normally.
+		cancel()
+		n, err = c.ep.RecvBulkInto(dst[:want], host, dr.TransferID, dataBudget(want))
+	}
 	if err != nil {
-		c.dropHost(r.remote.HostAddr)
-		return nil, fmt.Errorf("%w: transfer failed: %v", ErrNoMem, err)
+		c.dropHost(host)
+		return -1, fmt.Errorf("%w: transfer failed: %v", ErrNoMem, err)
 	}
-	if dr.Crc != 0 && wire.Checksum(data) != dr.Crc {
+	if dr.Crc != 0 && wire.Checksum(dst[:n]) != dr.Crc {
 		// The bytes that arrived are not the bytes the imd hashed:
 		// fail the read rather than hand the app a corrupt page. The
 		// drop → revalidate path then repopulates the region from the
 		// backing file end-to-end.
-		c.noteCorrupt(r.remote.HostAddr)
-		c.dropHost(r.remote.HostAddr)
-		return nil, fmt.Errorf("%w: page checksum mismatch from %s", ErrNoMem, r.remote.HostAddr)
+		return -1, c.failChecksum(host)
 	}
-	c.recordLatency(r.remote.HostAddr, r.remote.Epoch, c.cfg.Clock.Now().Sub(start))
-	return data, nil
+	c.recordLatency(host, r.remote.Epoch, c.cfg.Clock.Now().Sub(start))
+	return n, nil
+}
+
+// failChecksum records a page-checksum failure against host and drops
+// its descriptors.
+func (c *Client) failChecksum(host string) error {
+	c.noteCorrupt(host)
+	c.dropHost(host)
+	return fmt.Errorf("%w: page checksum mismatch from %s", ErrNoMem, host)
 }
 
 // finishRemoteRead copies remotely served bytes out and counts them.
@@ -1117,6 +1238,7 @@ func (c *Client) CheckAlloc(fd int) (bool, error) {
 		c.handoffAdopts.Add(1)
 	}
 	live.remote = ca.Region
+	live.caps = ca.HostCaps
 	live.valid = true
 	live.needsReval = false
 	return true, nil

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dodo/internal/bulk"
+	"dodo/internal/imd"
+	"dodo/internal/manager"
+	"dodo/internal/simnet"
+	"dodo/internal/transport"
+)
+
+// countingTransport wraps a transport and counts datagrams in each
+// direction. It deliberately does NOT implement transport.VecSender, so
+// every frame the client emits passes through Send exactly once.
+type countingTransport struct {
+	transport.Transport
+	sends, recvs atomic.Int64
+}
+
+func (t *countingTransport) Send(to string, data []byte) error {
+	t.sends.Add(1)
+	return t.Transport.Send(to, data)
+}
+
+func (t *countingTransport) Recv(timeout time.Duration) ([]byte, string, error) {
+	data, from, err := t.Transport.Recv(timeout)
+	if err == nil {
+		t.recvs.Add(1)
+	}
+	return data, from, err
+}
+
+// quietStack is newStack with background chatter stretched out to tens
+// of seconds (keep-alives, status announces), so that after setup the
+// only frames crossing the client's transport are the ones the test
+// provokes. The client's transport is wrapped in a frame counter.
+func quietStack(t *testing.T, mut func(*Config)) (*stack, *countingTransport) {
+	t.Helper()
+	n := transport.NewNetwork(transport.WithMTU(1500))
+	mgr := manager.New(n.Host("cmd"), manager.Config{
+		KeepAliveInterval: 10 * time.Second,
+		KeepAliveMisses:   3,
+		Endpoint:          fastEp(),
+	})
+	s := &stack{n: n, mgr: mgr}
+	d := imd.New(n.Host("imd0"), imd.Config{
+		ManagerAddr:    "cmd",
+		PoolSize:       1 << 20,
+		Epoch:          1,
+		StatusInterval: 10 * time.Second,
+		Endpoint:       fastEp(),
+	})
+	s.imds = append(s.imds, d)
+	ct := &countingTransport{Transport: n.Host("client")}
+	cfg := Config{
+		ManagerAddr:      "cmd",
+		ClientID:         1,
+		RefractionPeriod: 300 * time.Millisecond,
+		DisableHedging:   true,
+		Endpoint:         fastEp(),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s.cli = New(ct, cfg)
+	t.Cleanup(func() {
+		s.cli.Close()
+		d.Close()
+		mgr.Close()
+	})
+	return s, ct
+}
+
+// mopenRetry retries Mopen until the imd's startup announce has reached
+// the manager (stacks with long status intervals announce exactly once,
+// and the client may dial in before that announce lands).
+func mopenRetry(t *testing.T, cli *Client, length int64, back Backing, off int64) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fd, err := cli.Mopen(length, back, off)
+		if err == nil {
+			return fd
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Mopen never succeeded: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSmallReadSingleExchange pins the inline fast path at the
+// transport level: a sub-MTU Mread against a capable imd must cost
+// exactly one request frame out and one response frame in — no bulk
+// offer, no accept, no done handshake.
+func TestSmallReadSingleExchange(t *testing.T) {
+	s, ct := quietStack(t, nil)
+	back := NewMemBacking(7, 16<<10)
+	fd := mopenRetry(t, s.cli, 16<<10, back, 0)
+	data := make([]byte, 16<<10)
+	rand.New(rand.NewSource(5)).Read(data)
+	if n, err := s.cli.Mwrite(fd, 0, data); err != nil || n != len(data) {
+		t.Fatalf("Mwrite = %d, %v", n, err)
+	}
+	buf := make([]byte, 512)
+	if _, err := s.cli.Mread(fd, 0, buf); err != nil {
+		t.Fatalf("warm Mread: %v", err)
+	}
+	// Let any trailing frames from the write transfer settle, then
+	// snapshot the counters around one small read.
+	time.Sleep(400 * time.Millisecond)
+	sends, recvs := ct.sends.Load(), ct.recvs.Load()
+	n, err := s.cli.Mread(fd, 1024, buf)
+	if err != nil || n != 512 {
+		t.Fatalf("Mread = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, data[1024:1536]) {
+		t.Fatal("inline read returned wrong bytes")
+	}
+	dSends, dRecvs := ct.sends.Load()-sends, ct.recvs.Load()-recvs
+	if dSends != 1 || dRecvs != 1 {
+		t.Fatalf("sub-MTU Mread cost %d sends + %d recvs, want exactly 1 + 1", dSends, dRecvs)
+	}
+	if st := s.cli.Stats(); st.InlineReads < 2 {
+		t.Fatalf("InlineReads = %d, want >= 2", st.InlineReads)
+	}
+}
+
+// TestReadFastPathStats: small reads ride the inline path, large reads
+// the eager path, and both return the written bytes.
+func TestReadFastPathStats(t *testing.T) {
+	// Hedging disabled: a hedged read's disk leg can win the race and
+	// satisfy the read without touching the eager path.
+	s, _ := quietStack(t, nil)
+	back := NewMemBacking(8, 256<<10)
+	fd := mopenRetry(t, s.cli, 256<<10, back, 0)
+	data := make([]byte, 256<<10)
+	rand.New(rand.NewSource(6)).Read(data)
+	if n, err := s.cli.Mwrite(fd, 0, data); err != nil || n != len(data) {
+		t.Fatalf("Mwrite = %d, %v", n, err)
+	}
+	small := make([]byte, 1024)
+	if n, err := s.cli.Mread(fd, 4096, small); err != nil || n != 1024 {
+		t.Fatalf("small Mread = %d, %v", n, err)
+	}
+	if !bytes.Equal(small, data[4096:5120]) {
+		t.Fatal("small read returned wrong bytes")
+	}
+	large := make([]byte, 256<<10)
+	if n, err := s.cli.Mread(fd, 0, large); err != nil || n != len(large) {
+		t.Fatalf("large Mread = %d, %v", n, err)
+	}
+	if !bytes.Equal(large, data) {
+		t.Fatal("large read returned wrong bytes")
+	}
+	st := s.cli.Stats()
+	if st.InlineReads == 0 {
+		t.Fatalf("InlineReads = 0 after a sub-MTU read; stats %+v", st)
+	}
+	if st.EagerReads == 0 {
+		t.Fatalf("EagerReads = 0 after a multi-window read; stats %+v", st)
+	}
+}
+
+// TestReadFastPathDisabled: with DisableReadFastPath the client never
+// requests inline or eager service and every read uses the legacy
+// offer/accept ladder — and still returns the right bytes. This is the
+// interop posture a new client takes against an old imd.
+func TestReadFastPathDisabled(t *testing.T) {
+	s, _ := quietStack(t, func(c *Config) { c.DisableReadFastPath = true })
+	back := NewMemBacking(9, 128<<10)
+	fd := mopenRetry(t, s.cli, 128<<10, back, 0)
+	data := make([]byte, 128<<10)
+	rand.New(rand.NewSource(7)).Read(data)
+	if n, err := s.cli.Mwrite(fd, 0, data); err != nil || n != len(data) {
+		t.Fatalf("Mwrite = %d, %v", n, err)
+	}
+	small := make([]byte, 700)
+	if n, err := s.cli.Mread(fd, 100, small); err != nil || n != 700 {
+		t.Fatalf("small Mread = %d, %v", n, err)
+	}
+	large := make([]byte, 128<<10)
+	if n, err := s.cli.Mread(fd, 0, large); err != nil || n != len(large) {
+		t.Fatalf("large Mread = %d, %v", n, err)
+	}
+	if !bytes.Equal(small, data[100:800]) || !bytes.Equal(large, data) {
+		t.Fatal("legacy reads returned wrong bytes")
+	}
+	st := s.cli.Stats()
+	if st.InlineReads != 0 || st.EagerReads != 0 || st.BatchReads != 0 {
+		t.Fatalf("fast-path stats nonzero with the feature disabled: %+v", st)
+	}
+}
+
+// TestMreadBatch: several same-host reads collapse into one batched
+// exchange; per-item validation failures and short reads keep Mread's
+// semantics.
+func TestMreadBatch(t *testing.T) {
+	s := newStack(t, 1, 1<<20)
+	sizes := []int64{8 << 10, 12 << 10, 20 << 10}
+	var fds []int
+	var payloads [][]byte
+	for i, size := range sizes {
+		back := NewMemBacking(uint64(20+i), int(size))
+		fd := mopenRetry(t, s.cli, size, back, 0)
+		data := make([]byte, size)
+		rand.New(rand.NewSource(int64(30 + i))).Read(data)
+		if n, err := s.cli.Mwrite(fd, 0, data); err != nil || n != len(data) {
+			t.Fatalf("Mwrite %d = %d, %v", i, n, err)
+		}
+		fds = append(fds, fd)
+		payloads = append(payloads, data)
+	}
+	reqs := []BatchRead{
+		{Fd: fds[0], Offset: 0, Buf: make([]byte, sizes[0])},
+		{Fd: fds[1], Offset: 0, Buf: make([]byte, sizes[1])},
+		// Tail read: buffer larger than what remains — short count.
+		{Fd: fds[2], Offset: 16 << 10, Buf: make([]byte, 8<<10)},
+		// Invalid descriptor.
+		{Fd: 9999, Offset: 0, Buf: make([]byte, 16)},
+		// Offset past the end of the region.
+		{Fd: fds[0], Offset: sizes[0] + 1, Buf: make([]byte, 16)},
+		// Zero-length read at exactly the end.
+		{Fd: fds[0], Offset: sizes[0], Buf: make([]byte, 16)},
+	}
+	results := s.cli.MreadBatch(reqs)
+	if len(results) != len(reqs) {
+		t.Fatalf("MreadBatch returned %d results for %d requests", len(results), len(reqs))
+	}
+	if results[0].Err != nil || results[0].N != int(sizes[0]) || !bytes.Equal(reqs[0].Buf, payloads[0]) {
+		t.Fatalf("item 0 = %d, %v", results[0].N, results[0].Err)
+	}
+	if results[1].Err != nil || results[1].N != int(sizes[1]) || !bytes.Equal(reqs[1].Buf, payloads[1]) {
+		t.Fatalf("item 1 = %d, %v", results[1].N, results[1].Err)
+	}
+	if results[2].Err != nil || results[2].N != 4<<10 || !bytes.Equal(reqs[2].Buf[:4<<10], payloads[2][16<<10:]) {
+		t.Fatalf("item 2 = %d, %v (want short read of 4096)", results[2].N, results[2].Err)
+	}
+	if results[3].Err == nil {
+		t.Fatal("item 3 (bad fd) succeeded, want error")
+	}
+	if results[4].Err == nil {
+		t.Fatal("item 4 (offset out of range) succeeded, want error")
+	}
+	if results[5].Err != nil || results[5].N != 0 {
+		t.Fatalf("item 5 (zero-length) = %d, %v, want 0, nil", results[5].N, results[5].Err)
+	}
+	if st := s.cli.Stats(); st.BatchReads == 0 {
+		t.Fatalf("BatchReads = 0 after a batched exchange; stats %+v", st)
+	}
+}
+
+// TestMreadBatchSerialFallback: when the fast paths are disabled the
+// batch API still serves every item, one Mread at a time.
+func TestMreadBatchSerialFallback(t *testing.T) {
+	s, _ := quietStack(t, func(c *Config) { c.DisableReadFastPath = true })
+	var fds []int
+	var payloads [][]byte
+	for i := 0; i < 3; i++ {
+		back := NewMemBacking(uint64(40+i), 4096)
+		fd := mopenRetry(t, s.cli, 4096, back, 0)
+		data := make([]byte, 4096)
+		rand.New(rand.NewSource(int64(50 + i))).Read(data)
+		if n, err := s.cli.Mwrite(fd, 0, data); err != nil || n != len(data) {
+			t.Fatalf("Mwrite %d = %d, %v", i, n, err)
+		}
+		fds = append(fds, fd)
+		payloads = append(payloads, data)
+	}
+	reqs := make([]BatchRead, len(fds))
+	for i, fd := range fds {
+		reqs[i] = BatchRead{Fd: fd, Buf: make([]byte, 4096)}
+	}
+	results := s.cli.MreadBatch(reqs)
+	for i := range results {
+		if results[i].Err != nil || results[i].N != 4096 || !bytes.Equal(reqs[i].Buf, payloads[i]) {
+			t.Fatalf("item %d = %d, %v", i, results[i].N, results[i].Err)
+		}
+	}
+	if st := s.cli.Stats(); st.BatchReads != 0 {
+		t.Fatalf("BatchReads = %d with the fast paths disabled, want 0", st.BatchReads)
+	}
+}
+
+func lossyEp() bulk.Config {
+	return bulk.Config{
+		CallTimeout:   150 * time.Millisecond,
+		CallRetries:   8,
+		WindowTimeout: 80 * time.Millisecond,
+		NackDelay:     30 * time.Millisecond,
+	}
+}
+
+// TestMreadFastPathUnderLoss: the eager fast path over a 35%-loss link
+// must degrade to selective-NACK recovery and still deliver
+// byte-identical data end to end. Setup calls (open, write) may fail
+// outright under this much loss — those retry; reads that complete must
+// be correct.
+func TestMreadFastPathUnderLoss(t *testing.T) {
+	n := transport.NewNetwork(transport.WithMTU(1500),
+		transport.WithFaults(simnet.Faults{LossRate: 0.35, Seed: 42}))
+	mgr := manager.New(n.Host("cmd"), manager.Config{
+		KeepAliveInterval: 250 * time.Millisecond,
+		KeepAliveMisses:   200,
+		Endpoint:          lossyEp(),
+	})
+	d := imd.New(n.Host("imd0"), imd.Config{
+		ManagerAddr:    "cmd",
+		PoolSize:       1 << 20,
+		Epoch:          1,
+		StatusInterval: 100 * time.Millisecond,
+		Endpoint:       lossyEp(),
+	})
+	cli := New(n.Host("client"), Config{
+		ManagerAddr:      "cmd",
+		ClientID:         1,
+		RefractionPeriod: 50 * time.Millisecond,
+		DisableHedging:   true,
+		Endpoint:         lossyEp(),
+	})
+	t.Cleanup(func() {
+		cli.Close()
+		d.Close()
+		mgr.Close()
+	})
+	data := make([]byte, 96<<10)
+	rand.New(rand.NewSource(13)).Read(data)
+	back := NewMemBacking(60, len(data))
+	got := make([]byte, len(data))
+	reads, fd := 0, -1
+	deadline := time.Now().Add(60 * time.Second)
+	for reads < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/3 lossy reads completed before the deadline", reads)
+		}
+		if fd < 0 {
+			f, err := cli.Mopen(int64(len(data)), back, 0)
+			if err != nil {
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			if _, err := cli.Mwrite(f, 0, data); err != nil {
+				// The write dropped the host; reopen and try again.
+				continue
+			}
+			fd = f
+		}
+		n2, err := cli.Mread(fd, 0, got)
+		if err != nil {
+			fd = -1
+			continue
+		}
+		if n2 != len(data) || !bytes.Equal(got, data) {
+			t.Fatalf("lossy read %d delivered %d bytes, equal=%v", reads, n2, bytes.Equal(got, data))
+		}
+		reads++
+	}
+	if st := cli.Stats(); st.EagerReads == 0 {
+		t.Fatalf("EagerReads = 0 after lossy multi-window reads; stats %+v", st)
+	}
+}
+
+// BenchmarkSmallRead measures one 1 KB remote read through a full
+// in-process stack: fastpath rides the inline DataResp (1 round trip),
+// legacy walks the request/offer/accept/data/done ladder.
+func BenchmarkSmallRead(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"fastpath", false}, {"legacy", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			n := transport.NewNetwork(transport.WithMTU(1500))
+			mgr := manager.New(n.Host("cmd"), manager.Config{
+				KeepAliveInterval: 10 * time.Second,
+				KeepAliveMisses:   3,
+				Endpoint:          fastEp(),
+			})
+			d := imd.New(n.Host("imd0"), imd.Config{
+				ManagerAddr:    "cmd",
+				PoolSize:       1 << 20,
+				Epoch:          1,
+				StatusInterval: 10 * time.Second,
+				Endpoint:       fastEp(),
+			})
+			cli := New(n.Host("client"), Config{
+				ManagerAddr:         "cmd",
+				ClientID:            1,
+				RefractionPeriod:    300 * time.Millisecond,
+				DisableHedging:      true,
+				DisableReadFastPath: mode.disable,
+				Endpoint:            fastEp(),
+			})
+			defer func() {
+				cli.Close()
+				d.Close()
+				mgr.Close()
+			}()
+			back := NewMemBacking(70, 64<<10)
+			var fd int
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				var err error
+				fd, err = cli.Mopen(64<<10, back, 0)
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					b.Fatalf("Mopen never succeeded: %v", err)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			data := make([]byte, 64<<10)
+			rand.New(rand.NewSource(21)).Read(data)
+			if _, err := cli.Mwrite(fd, 0, data); err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 1024)
+			b.SetBytes(1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cli.Mread(fd, int64(i%63)<<10, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

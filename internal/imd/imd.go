@@ -154,7 +154,35 @@ type Daemon struct {
 	// inventoryReports counts re-reports the manager acknowledged OK.
 	// dodo:guardedby mu
 	inventoryReports int64
+	// inlineReads / eagerReads / batchReads count fast-path read
+	// decisions (inline payload, eager blast, batched fetch).
+	// dodo:guardedby mu
+	inlineReads, eagerReads, batchReads int64
+
+	// eagerResp memoizes the response for each requester-chosen eager
+	// transfer id, and eagerOrder its insertion order. A retransmitted
+	// ReadReq/ReadBatchReq (the client's Call resends on timeout) MUST
+	// get the original response back without starting a second blast:
+	// the pool may have been written in between, and a second blast
+	// under the same transfer id would interleave two snapshots into
+	// the client's buffer and fail its end-to-end CRC. Bounded FIFO —
+	// old entries only matter for duplicates, which the client's call
+	// deadline bounds far tighter than the table size.
+	// dodo:guardedby mu
+	eagerResp map[eagerKey]wire.Message
+	// dodo:guardedby mu
+	eagerOrder []eagerKey
 }
+
+// eagerKey names a requester-chosen transfer: the requester's address
+// plus the id it picked (unique per requester by construction).
+type eagerKey struct {
+	from string
+	id   uint64
+}
+
+// eagerMemoCap bounds the eager response memo table.
+const eagerMemoCap = 256
 
 // regionMeta is the per-region allocation context replayed to a
 // restarted manager in an InventoryReport.
@@ -182,6 +210,7 @@ func New(tr transport.Transport, cfg Config) *Daemon {
 		regionMeta:     make(map[uint64]regionMeta),
 		reportKick:     make(chan struct{}, 1),
 		stop:           make(chan struct{}),
+		eagerResp:      make(map[eagerKey]wire.Message),
 	}
 	d.mu.SetRank(locks.RankIMD)
 	// Handlers may fire before this constructor returns; gate them
@@ -233,6 +262,12 @@ func (d *Daemon) announce(state wire.HostState) {
 		AvailBytes:  avail,
 		LargestFree: largest,
 		Incarnation: known,
+		// Advertise the read fast paths; the manager relays these to
+		// clients on every alloc/check-alloc so they know this host
+		// speaks inline, eager and batched reads. Periodic announces
+		// also restore the advertisement after a manager restart (the
+		// rebuilt directory starts with zero caps for every host).
+		Caps: wire.LocalCaps,
 	}
 	resp, err := d.ep.Call(d.cfg.ManagerAddr, msg)
 	if err != nil {
@@ -683,6 +718,8 @@ func (d *Daemon) handle(from string, msg wire.Message) wire.Message {
 		return d.handleFree(req)
 	case *wire.ReadReq:
 		return d.handleRead(from, req)
+	case *wire.ReadBatchReq:
+		return d.handleReadBatch(from, req)
 	case *wire.WriteReq:
 		return d.handleWrite(from, req)
 	case *wire.HandoffPage:
@@ -698,7 +735,7 @@ func (d *Daemon) handle(from string, msg wire.Message) wire.Message {
 		*wire.IMDAllocResp, *wire.IMDFreeResp, *wire.DataResp,
 		*wire.BulkOffer, *wire.BulkAccept, *wire.BulkData,
 		*wire.BulkNack, *wire.BulkDone, *wire.ClusterStatsResp,
-		*wire.HandoffAccept, *wire.InventoryAck:
+		*wire.HandoffAccept, *wire.InventoryAck, *wire.ReadBatchResp:
 		// Responses and bulk frames are consumed by the endpoint's
 		// dispatch before the handler runs; they cannot reach here.
 		return nil
@@ -756,10 +793,48 @@ func (d *Daemon) handleFree(req *wire.IMDFreeReq) wire.Message {
 	return &wire.IMDFreeResp{Status: st, Epoch: e, AvailBytes: a, LargestFree: l}
 }
 
-// handleRead validates the request, snapshots the bytes and pushes them
-// to the client over the bulk protocol, answering with the transfer id.
+// memoizedLocked returns the memoized response for a requester-chosen
+// transfer id, if any. Caller holds d.mu.
+func (d *Daemon) memoizedLocked(from string, id uint64) (wire.Message, bool) {
+	if id == 0 {
+		return nil, false
+	}
+	resp, ok := d.eagerResp[eagerKey{from: from, id: id}]
+	return resp, ok
+}
+
+// memoize records the response chosen for a requester-picked transfer
+// id, evicting the oldest entry past the table bound.
+func (d *Daemon) memoize(from string, id uint64, resp wire.Message) {
+	if id == 0 {
+		return
+	}
+	key := eagerKey{from: from, id: id}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.eagerResp[key]; ok {
+		return
+	}
+	d.eagerResp[key] = resp
+	d.eagerOrder = append(d.eagerOrder, key)
+	if len(d.eagerOrder) > eagerMemoCap {
+		delete(d.eagerResp, d.eagerOrder[0])
+		d.eagerOrder = d.eagerOrder[1:]
+	}
+}
+
+// handleRead validates the request, snapshots the bytes and serves them
+// by the fastest path the requester advertised: inline in the DataResp
+// when they fit one frame, an eager blast under the requester's chosen
+// transfer id, or the legacy offer/accept bulk push.
 func (d *Daemon) handleRead(from string, req *wire.ReadReq) wire.Message {
 	d.mu.Lock()
+	// Retransmitted request for an eager transfer already underway: the
+	// original response must come back untouched (see eagerResp).
+	if resp, ok := d.memoizedLocked(from, req.XferID); ok {
+		d.mu.Unlock()
+		return resp
+	}
 	// A draining daemon keeps serving reads through the grace window
 	// (drainDone marks its end): clients stay warm while the hand-off
 	// runs, which is the whole point of the graceful reclaim.
@@ -787,8 +862,48 @@ func (d *Daemon) handleRead(from string, req *wire.ReadReq) wire.Message {
 	d.reads++
 	d.readBytes += int64(len(snap))
 	d.readCount[req.RegionID]++
+
+	// Inline fast path: the whole read fits one frame alongside the
+	// response fields — answer with the payload, no bulk transfer.
+	if req.Caps&wire.CapInlineRead != 0 && len(snap) <= wire.InlineDataLimit(d.ep.Transport().MTU()) {
+		d.inlineReads++
+		d.mu.Unlock()
+		return &wire.DataResp{
+			Status: wire.StatusOK, Count: uint64(len(snap)), Crc: wire.Checksum(snap),
+			Flags: wire.DataFlagInline, Payload: snap,
+		}
+	}
+
+	// Eager fast path: the requester pre-registered its buffer under
+	// XferID and told us the chunk/window it committed — blast the
+	// first window now, DataResp doubles as the offer.
+	eager := req.Caps&wire.CapEagerRead != 0 && req.XferID != 0 &&
+		int(req.ChunkSize) > 0 && int(req.ChunkSize) <= d.ep.ChunkSize()
+	if eager {
+		d.eagerReads++
+	}
 	d.transfers.Add(1)
 	d.mu.Unlock()
+
+	// The checksum covers the snapshot, so the client verifies the
+	// bytes end to end: a frame mangled anywhere between this pool and
+	// the client's buffer fails the read instead of corrupting it.
+	if eager {
+		resp := &wire.DataResp{
+			Status: wire.StatusOK, Count: uint64(len(snap)), TransferID: req.XferID,
+			Crc: wire.Checksum(snap), Flags: wire.DataFlagEager,
+		}
+		// Memoize BEFORE the blast goroutine can finish: a retransmit
+		// must never observe a gap and start a second blast.
+		d.memoize(from, req.XferID, resp)
+		go func() {
+			defer d.transfers.Done()
+			if err := d.ep.SendBulkEager(from, req.XferID, snap, int(req.ChunkSize), int(req.Window)); err != nil {
+				d.logf("imd %s: eager read push to %s: %v", d.Addr(), from, err)
+			}
+		}()
+		return resp
+	}
 
 	id := d.ep.NextTransferID()
 	go func() {
@@ -797,10 +912,90 @@ func (d *Daemon) handleRead(from string, req *wire.ReadReq) wire.Message {
 			d.logf("imd %s: pushing read data to %s: %v", d.Addr(), from, err)
 		}
 	}()
-	// The checksum covers the snapshot, so the client verifies the
-	// bytes end to end: a frame mangled anywhere between this pool and
-	// the client's buffer fails the read instead of corrupting it.
 	return &wire.DataResp{Status: wire.StatusOK, Count: uint64(len(snap)), TransferID: id, Crc: wire.Checksum(snap)}
+}
+
+// handleReadBatch serves several region reads in one exchange: the
+// per-item slots are packed into one stream (failed or short items
+// zero-padded to their full requested length, so the stream length is
+// exactly the sum the requester predicted), answered inline when the
+// whole response fits one frame and blasted eagerly under the
+// requester's transfer id otherwise.
+func (d *Daemon) handleReadBatch(from string, req *wire.ReadBatchReq) wire.Message {
+	d.mu.Lock()
+	if resp, ok := d.memoizedLocked(from, req.XferID); ok {
+		d.mu.Unlock()
+		return resp
+	}
+	if d.draining && d.drainDone {
+		d.mu.Unlock()
+		return &wire.ReadBatchResp{Status: wire.StatusBusy}
+	}
+	total := 0
+	for _, it := range req.Items {
+		if it.Length > bulk.MaxTransfer || total+int(it.Length) > bulk.MaxTransfer {
+			d.mu.Unlock()
+			return &wire.ReadBatchResp{Status: wire.StatusInvalid}
+		}
+		total += int(it.Length)
+	}
+	stream := make([]byte, total)
+	results := make([]wire.ReadBatchResult, len(req.Items))
+	at := 0
+	for i, it := range req.Items {
+		slot := stream[at : at+int(it.Length)]
+		at += int(it.Length)
+		switch {
+		case it.Epoch != d.cfg.Epoch:
+			d.staleRejects++
+			results[i] = wire.ReadBatchResult{Status: wire.StatusStale}
+			continue
+		case !d.pool.Has(it.RegionID):
+			results[i] = wire.ReadBatchResult{Status: wire.StatusNotFound}
+			continue
+		}
+		data, err := d.pool.Read(it.RegionID, it.Offset, it.Length)
+		if err != nil {
+			results[i] = wire.ReadBatchResult{Status: wire.StatusInvalid}
+			continue
+		}
+		n := copy(slot, data)
+		d.reads++
+		d.readBytes += int64(n)
+		d.readCount[it.RegionID]++
+		results[i] = wire.ReadBatchResult{Status: wire.StatusOK, Count: uint64(n), Crc: wire.Checksum(slot[:n])}
+	}
+	d.batchReads++
+
+	// Whole response in one frame when it fits: statuses, CRCs and the
+	// stream itself, no bulk transfer.
+	inlineSize := 12 + 13*len(results) + len(stream)
+	if req.Caps&wire.CapInlineRead != 0 && wire.HeaderSize+inlineSize <= d.ep.Transport().MTU() {
+		d.mu.Unlock()
+		resp := &wire.ReadBatchResp{Status: wire.StatusOK, Flags: wire.DataFlagInline, Results: results, Payload: stream}
+		d.memoize(from, req.XferID, resp)
+		return resp
+	}
+	eager := req.Caps&wire.CapEagerRead != 0 && req.XferID != 0 &&
+		int(req.ChunkSize) > 0 && int(req.ChunkSize) <= d.ep.ChunkSize()
+	if !eager {
+		// The batch protocol has no legacy ladder: a requester that
+		// cannot receive an eager stream should not have sent a batch.
+		d.mu.Unlock()
+		return &wire.ReadBatchResp{Status: wire.StatusInvalid, Results: results}
+	}
+	d.transfers.Add(1)
+	d.mu.Unlock()
+
+	resp := &wire.ReadBatchResp{Status: wire.StatusOK, TransferID: req.XferID, Flags: wire.DataFlagEager, Results: results}
+	d.memoize(from, req.XferID, resp)
+	go func() {
+		defer d.transfers.Done()
+		if err := d.ep.SendBulkEager(from, req.XferID, stream, int(req.ChunkSize), int(req.Window)); err != nil {
+			d.logf("imd %s: eager batch push to %s: %v", d.Addr(), from, err)
+		}
+	}()
+	return resp
 }
 
 // handleWrite receives the announced bulk data and stores it.

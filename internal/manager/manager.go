@@ -96,6 +96,13 @@ type hostEntry struct {
 	epoch       uint64
 	availBytes  uint64
 	largestFree uint64
+	// caps is the host imd's advertised fast-path capability set,
+	// relayed to clients in AllocResp/CheckAllocResp so they know which
+	// read protocol the host speaks. Zero (no fast paths) until the
+	// host's next idle announce — inventory re-reports after a manager
+	// restart do not carry caps, so a rebuilt row starts conservative
+	// and upgrades on the next periodic announce.
+	caps wire.Caps
 }
 
 // regionEntry is one RD row.
@@ -131,6 +138,10 @@ type handoffGrant struct {
 type clientEntry struct {
 	addr   string
 	misses int
+	// caps is the client's advertised capability set, piggybacked on
+	// its keep-alive acks. Informational for now: the manager itself
+	// never speaks the data plane to clients.
+	caps wire.Caps
 }
 
 // recovCounters is a client's cumulative recovery totals as last
@@ -362,6 +373,16 @@ func (m *Manager) corruptHostsLocked() []wire.HostCount {
 	return out
 }
 
+// hostCapsLocked returns the advertised capability set of the imd at
+// addr, or zero when the host is unknown (reclaimed, or rebuilt from an
+// inventory report that carries no caps). Caller holds m.mu.
+func (m *Manager) hostCapsLocked(addr string) wire.Caps {
+	if h := m.iwd[addr]; h != nil {
+		return h.caps
+	}
+	return 0
+}
+
 // handle dispatches one request.
 func (m *Manager) handle(from string, msg wire.Message) wire.Message {
 	switch req := msg.(type) {
@@ -382,8 +403,8 @@ func (m *Manager) handle(from string, msg wire.Message) wire.Message {
 	case *wire.InventoryReport:
 		return m.handleInventoryReport(req)
 	case *wire.IMDAllocReq, *wire.IMDFreeReq,
-		*wire.ReadReq, *wire.WriteReq, *wire.KeepAlive,
-		*wire.HandoffPage:
+		*wire.ReadReq, *wire.ReadBatchReq, *wire.WriteReq,
+		*wire.KeepAlive, *wire.HandoffPage:
 		// Addressed to an imd or a client, not the manager; a frame
 		// routed here is a misdirected peer. Explicitly ignored.
 		return nil
@@ -392,7 +413,7 @@ func (m *Manager) handle(from string, msg wire.Message) wire.Message {
 		*wire.IMDAllocResp, *wire.IMDFreeResp, *wire.DataResp,
 		*wire.BulkOffer, *wire.BulkAccept, *wire.BulkData,
 		*wire.BulkNack, *wire.BulkDone, *wire.ClusterStatsResp,
-		*wire.HandoffAccept, *wire.InventoryAck:
+		*wire.HandoffAccept, *wire.InventoryAck, *wire.ReadBatchResp:
 		// Responses and bulk frames are consumed by the endpoint's
 		// dispatch before the handler runs; they cannot reach here.
 		return nil
@@ -468,6 +489,7 @@ func (m *Manager) handleHostStatus(req *wire.HostStatus) wire.Message {
 			epoch:       req.Epoch,
 			availBytes:  req.AvailBytes,
 			largestFree: req.LargestFree,
+			caps:        req.Caps,
 		}
 		// A re-recruited host starts a new epoch; any old drain is moot,
 		// but its unresolved grants still hold pre-allocated regions on
@@ -518,11 +540,18 @@ func (m *Manager) handleInventoryReport(req *wire.InventoryReport) wire.Message 
 	// The report carries the same availability hints as an idle
 	// announce; upsert the IWD row unless the host is mid-drain.
 	if m.draining[req.HostAddr] == nil {
+		// Inventory reports carry no caps; keep whatever the last idle
+		// announce established rather than downgrading the row.
+		var caps wire.Caps
+		if h := m.iwd[req.HostAddr]; h != nil {
+			caps = h.caps
+		}
 		m.iwd[req.HostAddr] = &hostEntry{
 			addr:        req.HostAddr,
 			epoch:       req.Epoch,
 			availBytes:  req.AvailBytes,
 			largestFree: req.LargestFree,
+			caps:        caps,
 		}
 	}
 	var staleCopies []uint64
@@ -645,8 +674,9 @@ func (m *Manager) handleAlloc(from string, req *wire.AllocReq) wire.Message {
 	// Duplicate request (client retry): answer with the existing region.
 	if e, ok := m.rd[req.Key]; ok {
 		region := e.region
+		caps := m.hostCapsLocked(region.HostAddr)
 		m.mu.Unlock()
-		return &wire.AllocResp{Status: wire.StatusOK, Incarnation: inc, Region: region}
+		return &wire.AllocResp{Status: wire.StatusOK, Incarnation: inc, Region: region, HostCaps: caps}
 	}
 	// During the post-restart rebuild window, hold allocations for keys
 	// the directory does not know: the key may be about to reappear in
@@ -709,9 +739,10 @@ func (m *Manager) handleAlloc(from string, req *wire.AllocReq) wire.Message {
 		// Commit, unless a duplicate raced us to it.
 		if e, dup := m.rd[req.Key]; dup {
 			region := e.region
+			caps := m.hostCapsLocked(region.HostAddr)
 			m.mu.Unlock()
 			m.ep.Notify(host, &wire.IMDFreeReq{RegionID: id})
-			return &wire.AllocResp{Status: wire.StatusOK, Incarnation: inc, Region: region}
+			return &wire.AllocResp{Status: wire.StatusOK, Incarnation: inc, Region: region, HostCaps: caps}
 		}
 		region := wire.Region{
 			HostAddr:   host,
@@ -725,9 +756,10 @@ func (m *Manager) handleAlloc(from string, req *wire.AllocReq) wire.Message {
 		// keep-alive probe target whenever the allocation failed.
 		m.trackClientLocked(from)
 		m.allocs++
+		caps := m.hostCapsLocked(host)
 		m.mu.Unlock()
 		m.logf("cmd: allocated %v (%d bytes) on %s", req.Key, req.Length, host)
-		return &wire.AllocResp{Status: wire.StatusOK, Incarnation: inc, Region: region}
+		return &wire.AllocResp{Status: wire.StatusOK, Incarnation: inc, Region: region, HostCaps: caps}
 	}
 	m.mu.Lock()
 	m.allocFailures++
@@ -813,7 +845,8 @@ func (m *Manager) handleCheckAlloc(req *wire.CheckAllocReq) wire.Message {
 			m.untrackIdleClientLocked(e.client)
 			return &wire.CheckAllocResp{Status: wire.StatusStale, Incarnation: inc}
 		}
-		return &wire.CheckAllocResp{Status: wire.StatusOK, Fresh: e.fresh, Incarnation: inc, Region: e.region}
+		return &wire.CheckAllocResp{Status: wire.StatusOK, Fresh: e.fresh, Incarnation: inc,
+			Region: e.region, HostCaps: h.caps}
 	}()
 	m.mu.Unlock()
 	m.freeHandoffTargets(orphans)
@@ -1057,6 +1090,7 @@ func (m *Manager) keepAliveLoop() {
 					// The ack piggybacks the client's cumulative recovery
 					// counters; remember the latest report.
 					if ack, isAck := resp.(*wire.KeepAliveAck); isAck {
+						c.caps = ack.Caps
 						m.recov[addr] = recovCounters{
 							drops:            ack.Drops,
 							revalidations:    ack.Revalidations,

@@ -29,6 +29,17 @@ type Dodo interface {
 
 var _ Dodo = (*core.Client)(nil)
 
+// BatchReader is the optional batched-read extension of Dodo: several
+// reads issued as one call, letting the runtime collapse same-host
+// reads into a single wire exchange. The prefetch pipeline feeds a
+// whole PrefetchWindow through it when the Dodo implementation
+// supports it; per-region Mread remains the universal fallback.
+type BatchReader interface {
+	MreadBatch(reqs []core.BatchRead) []core.BatchResult
+}
+
+var _ BatchReader = (*core.Client)(nil)
+
 // State is a region's caching state — the four states of §3.3.
 type State int
 
@@ -310,9 +321,11 @@ type Cache struct {
 	// quiesce signals prefetchPend transitions; it shares mu.
 	// dodo:unguarded — sync.Cond is internally synchronized over mu
 	quiesce *sync.Cond
-	// prefetchQ feeds the worker pool; nil when PrefetchWorkers == 0.
+	// prefetchQ feeds the worker pool one access's prefetch window at a
+	// time, so a worker sees the whole window and can batch its remote
+	// fetches; nil when PrefetchWorkers == 0.
 	// dodo:unguarded — buffered channel, internally synchronized
-	prefetchQ chan int
+	prefetchQ chan []int
 	// prefetchStop stops the pool; closed once by Close.
 	// dodo:unguarded — set at construction; closed once under the
 	// closed flag in Close
@@ -334,7 +347,7 @@ func NewCache(dodo Dodo, cfg Config) *Cache {
 	c.mu.SetRank(locks.RankRegionCache)
 	c.quiesce = sync.NewCond(&c.mu)
 	if c.cfg.PrefetchWorkers > 0 {
-		c.prefetchQ = make(chan int, 4*c.cfg.PrefetchWorkers+c.cfg.PrefetchWindow)
+		c.prefetchQ = make(chan []int, 4*c.cfg.PrefetchWorkers+c.cfg.PrefetchWindow)
 		c.prefetchStop = make(chan struct{})
 		for i := 0; i < c.cfg.PrefetchWorkers; i++ {
 			c.prefetchWG.Add(1)

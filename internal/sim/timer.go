@@ -86,13 +86,15 @@ func Tick(c Clock, interval time.Duration, stop <-chan struct{}) <-chan time.Tim
 
 // CondWaitTimeout waits on cond until ready() reports true or timeout
 // expires, and reports whether ready became true. The caller must hold
-// cond.L, and still holds it when CondWaitTimeout returns.
+// cond.L, and still holds it when CondWaitTimeout returns. Producers
+// must Signal or Broadcast cond when the condition may have changed.
 //
 // With timeout <= 0 it degenerates to a plain cond.Wait loop. With a
-// positive timeout it polls: sync.Cond has no timed wait, so the lock
-// is dropped for at most a millisecond at a time until the deadline.
-// The queues this guards are low-traffic test fabrics, where the
-// simplicity beats a channel-based rewrite.
+// positive timeout, a one-shot timer broadcasts the cond at the
+// deadline, so waiters wake the instant a producer signals rather than
+// on a polling tick — the receive path of the in-memory and usocket
+// transports sits under every RPC round trip, and polling here puts a
+// floor under the whole system's latency.
 func CondWaitTimeout(cond *sync.Cond, timeout time.Duration, ready func() bool) bool {
 	if timeout <= 0 {
 		for !ready() {
@@ -100,19 +102,21 @@ func CondWaitTimeout(cond *sync.Cond, timeout time.Duration, ready func() bool) 
 		}
 		return true
 	}
-	deadline := time.Now().Add(timeout)
+	expired := false
+	timer := time.AfterFunc(timeout, func() {
+		// Take the lock so the flag flip cannot slip between a waiter's
+		// ready/expired check and its cond.Wait (a lost wakeup).
+		cond.L.Lock()
+		expired = true
+		cond.L.Unlock()
+		cond.Broadcast()
+	})
+	defer timer.Stop()
 	for !ready() {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
+		if expired {
 			return false
 		}
-		wakeup := remaining
-		if wakeup > time.Millisecond {
-			wakeup = time.Millisecond
-		}
-		cond.L.Unlock()
-		time.Sleep(wakeup)
-		cond.L.Lock()
+		cond.Wait()
 	}
 	return true
 }

@@ -241,6 +241,7 @@ func TestMeanStdWelford(t *testing.T) {
 }
 
 func BenchmarkClusterWeekSeries(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c := NewClusterA(int64(i))
 		c.Series(start, 7*24*time.Hour, time.Minute)

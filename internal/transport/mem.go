@@ -108,7 +108,11 @@ func (n *Network) ClearEndpointFaults(addr string) {
 	delete(n.perHost, addr)
 }
 
-func (n *Network) deliver(from, to string, data []byte) error {
+// deliver routes one datagram, given as up to two segments (prefix may
+// be nil): each recipient copy is gathered into one fresh frame, so a
+// scatter-gather SendVec costs exactly the same single copy as a plain
+// Send.
+func (n *Network) deliver(from, to string, prefix, data []byte) error {
 	n.mu.Lock()
 	if n.partitioned[from] || n.partitioned[to] {
 		n.mu.Unlock()
@@ -138,7 +142,8 @@ func (n *Network) deliver(from, to string, data []byte) error {
 		copies = 2
 	}
 	for i := 0; i < copies; i++ {
-		frame := append([]byte(nil), data...)
+		frame := make([]byte, 0, len(prefix)+len(data))
+		frame = append(append(frame, prefix...), data...)
 		if decision.ExtraDelay > 0 {
 			// Reordering: defer this frame so later sends overtake it.
 			time.AfterFunc(decision.ExtraDelay, func() { dst.enqueue(from, frame) })
@@ -172,7 +177,10 @@ type memFrame struct {
 	data []byte
 }
 
-var _ Transport = (*MemEndpoint)(nil)
+var (
+	_ Transport = (*MemEndpoint)(nil)
+	_ VecSender = (*MemEndpoint)(nil)
+)
 
 // LocalAddr returns the endpoint name.
 func (e *MemEndpoint) LocalAddr() string { return e.addr }
@@ -188,7 +196,19 @@ func (e *MemEndpoint) Send(to string, data []byte) error {
 	if len(data) > e.net.mtu {
 		return ErrTooLarge
 	}
-	return e.net.deliver(e.addr, to, data)
+	return e.net.deliver(e.addr, to, nil, data)
+}
+
+// SendVec delivers prefix+payload as one datagram; the fabric gathers
+// the two segments into each recipient's fresh frame directly.
+func (e *MemEndpoint) SendVec(to string, prefix, payload []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if len(prefix)+len(payload) > e.net.mtu {
+		return ErrTooLarge
+	}
+	return e.net.deliver(e.addr, to, prefix, payload)
 }
 
 // enqueue takes ownership of data: deliver hands it a fresh copy per

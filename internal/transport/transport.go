@@ -48,3 +48,21 @@ type Transport interface {
 	// Close releases the endpoint; blocked Recv calls return ErrClosed.
 	Close() error
 }
+
+// VecSender is an optional extension: a transport that can transmit a
+// datagram supplied as two segments (a protocol prefix and a payload)
+// without the caller first gathering them into one contiguous frame.
+// The bulk data plane uses it to send BulkData packets whose payload is
+// a slice of the transfer buffer — the transport performs the single
+// gather copy it needs (into the receiver-owned frame for in-memory and
+// usocket networks, or into a pooled frame handed to the kernel for
+// UDP), so no intermediate per-packet frame is built by the sender.
+//
+// SendVec must not retain prefix or payload after it returns, and must
+// never write to them: both may alias caller-owned memory (the payload
+// typically aliases a live transfer buffer).
+type VecSender interface {
+	// SendVec transmits the concatenation of prefix and payload as one
+	// datagram, subject to the same MTU bound as Send.
+	SendVec(to string, prefix, payload []byte) error
+}

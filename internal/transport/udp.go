@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dodo/internal/locks"
+	"dodo/internal/wire"
 )
 
 // UDPMTU is the largest datagram the UDP transport accepts: the 64 KB
@@ -27,7 +28,10 @@ type UDP struct {
 	closed bool
 }
 
-var _ Transport = (*UDP)(nil)
+var (
+	_ Transport = (*UDP)(nil)
+	_ VecSender = (*UDP)(nil)
+)
 
 // ListenUDP opens a UDP transport bound to addr (e.g. "127.0.0.1:0").
 func ListenUDP(addr string) (*UDP, error) {
@@ -60,6 +64,32 @@ func (u *UDP) Send(to string, data []byte) error {
 		return err
 	}
 	if _, err := u.conn.WriteToUDP(data, raddr); err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return ErrClosed
+		}
+		return fmt.Errorf("transport: udp send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// SendVec transmits prefix+payload as one datagram. The kernel needs a
+// contiguous buffer, so the two segments are gathered into a pooled
+// frame that is recycled as soon as the write returns — no per-packet
+// heap allocation.
+func (u *UDP) SendVec(to string, prefix, payload []byte) error {
+	n := len(prefix) + len(payload)
+	if n > UDPMTU {
+		return ErrTooLarge
+	}
+	raddr, err := u.route(to)
+	if err != nil {
+		return err
+	}
+	frame := wire.GetFrame(n)
+	defer wire.PutFrame(frame)
+	copy(frame, prefix)
+	copy(frame[len(prefix):], payload)
+	if _, err := u.conn.WriteToUDP(frame, raddr); err != nil {
 		if errors.Is(err, net.ErrClosed) {
 			return ErrClosed
 		}

@@ -15,7 +15,10 @@ type UNet struct {
 	sock *Socket
 }
 
-var _ transport.Transport = (*UNet)(nil)
+var (
+	_ transport.Transport = (*UNet)(nil)
+	_ transport.VecSender = (*UNet)(nil)
+)
 
 // NewTransport wraps a bound socket. On success the socket's lifetime
 // moves to the transport: UNet.Close closes it. On error the caller
@@ -45,6 +48,24 @@ func (u *UNet) Send(to string, data []byte) error {
 		return transport.ErrNoRoute
 	}
 	_, err = u.sock.SendTo(mac, data)
+	switch {
+	case errors.Is(err, ErrTooLarge):
+		return transport.ErrTooLarge
+	case errors.Is(err, ErrClosed):
+		return transport.ErrClosed
+	}
+	return err
+}
+
+// SendVec transmits prefix+payload as one frame via the socket's iovec
+// send: the two segments ride U-Net's scatter-gather path and are
+// copied exactly once, into the receiver-owned frame.
+func (u *UNet) SendVec(to string, prefix, payload []byte) error {
+	mac, err := Aton(to)
+	if err != nil {
+		return transport.ErrNoRoute
+	}
+	_, err = u.sock.SendIovecTo(mac, []Iovec{{Base: prefix}, {Base: payload}})
 	switch {
 	case errors.Is(err, ErrTooLarge):
 		return transport.ErrTooLarge

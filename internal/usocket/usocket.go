@@ -249,9 +249,28 @@ func (s *Socket) SendTo(peer MACAddr, buf []byte) (int, error) {
 	return len(buf), nil
 }
 
-// SendIovec gathers the iovec and transmits it as one frame (the paper's
-// u_send_iovec).
+// SendIovec gathers the iovec and transmits it as one frame to the
+// connected peer (the paper's u_send_iovec).
 func (s *Socket) SendIovec(iov []Iovec) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if !s.conn {
+		s.mu.Unlock()
+		return 0, ErrNotConn
+	}
+	peer := s.peer
+	s.mu.Unlock()
+	return s.SendIovecTo(peer, iov)
+}
+
+// SendIovecTo gathers the iovec and transmits it as one frame to an
+// explicit peer. The gather happens directly into the frame the
+// receiver will own, so a scatter-gather send costs exactly one copy —
+// the same as SendTo — instead of gather-then-copy.
+func (s *Socket) SendIovecTo(peer MACAddr, iov []Iovec) (int, error) {
 	total := 0
 	for _, v := range iov {
 		total += len(v.Base)
@@ -259,11 +278,38 @@ func (s *Socket) SendIovec(iov []Iovec) (int, error) {
 	if total > MTU {
 		return 0, ErrTooLarge
 	}
-	buf := make([]byte, 0, total)
-	for _, v := range iov {
-		buf = append(buf, v.Base...)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
 	}
-	return s.Send(buf)
+	if !s.bound {
+		s.mu.Unlock()
+		return 0, ErrNotBound
+	}
+	from := s.addr
+	s.mu.Unlock()
+
+	g := s.seg
+	g.mu.Lock()
+	g.sends++
+	if g.lossEvery > 0 && g.sends%g.lossEvery == 0 {
+		g.mu.Unlock()
+		return total, nil // dropped on the wire; sender can't tell
+	}
+	dst, ok := g.bound[peer]
+	g.mu.Unlock()
+	if !ok {
+		// No such endpoint: the frame dies on the wire, sender sees
+		// success — same as SendTo.
+		return total, nil
+	}
+	frame := make([]byte, 0, total)
+	for _, v := range iov {
+		frame = append(frame, v.Base...)
+	}
+	dst.deposit(from, frame)
+	return total, nil
 }
 
 func (s *Socket) deposit(from MACAddr, data []byte) {

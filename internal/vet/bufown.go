@@ -3,6 +3,7 @@ package vet
 import (
 	"go/ast"
 	"go/types"
+	"regexp"
 	"strings"
 )
 
@@ -24,9 +25,17 @@ import (
 //     the callback and is flagged; retain a copy instead
 //     (append([]byte(nil), p...) is fresh and never flagged).
 //
-// Where ownership really is transferred by documented contract (a
-// queue that takes over frames its callers copied beforehand), mark
-// the site with //vet:ignore buffer-ownership and say so.
+// Where a parameter's ownership really is transferred by documented
+// contract — the caller hands the buffer over and must not touch it
+// until the API's own rules give it back (bulk.ExpectBulkInto's
+// destination buffer is the canonical case) — annotate the function
+// with `dodo:adopts(param)` in its doc comment; the named parameter is
+// then exempt from the borrowed-parameter rule. The directive is
+// deliberately narrow: it only silences retention of that one
+// parameter, and a name that matches no []byte parameter is itself a
+// finding so a typo cannot silently disable checking. For one-off
+// transfers that are not part of a function's contract, mark the site
+// with //vet:ignore buffer-ownership and say so.
 var BufferOwnership = &Analyzer{
 	Name: "buffer-ownership",
 	Doc:  "flag writes to or retention of byte slices after zero-copy sends, and retention of borrowed []byte parameters",
@@ -52,6 +61,43 @@ func isZeroCopySend(fn *types.Func) bool {
 		return false
 	}
 	return bufOwnPackage(fn.Pkg().Path())
+}
+
+// adoptsRe matches a dodo:adopts directive naming parameters whose
+// ownership the function takes over by documented contract.
+var adoptsRe = regexp.MustCompile(`^dodo:adopts\(([a-zA-Z0-9_, ]+)\)$`)
+
+// adoptedParams parses dodo:adopts lines from a function's doc
+// comment. Malformed directives are reported so a typo cannot
+// silently disable checking.
+func adoptedParams(pass *Pass, doc *ast.CommentGroup, findings *[]Finding) map[string]bool {
+	if doc == nil {
+		return nil
+	}
+	var names map[string]bool
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, "dodo:adopts") {
+			continue
+		}
+		m := adoptsRe.FindStringSubmatch(text)
+		if m == nil {
+			*findings = append(*findings, findingAt(pass, "buffer-ownership", c,
+				"malformed directive %q: want dodo:adopts(param[, param...])", text))
+			continue
+		}
+		for _, name := range strings.Split(m[1], ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if names == nil {
+				names = map[string]bool{}
+			}
+			names[name] = true
+		}
+	}
+	return names
 }
 
 func isByteSlice(t types.Type) bool {
@@ -150,11 +196,11 @@ func runBufferOwnership(pass *Pass) []Finding {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					findings = append(findings, checkBufferOwnership(pass, fn.Type, fn.Body)...)
+					findings = append(findings, checkBufferOwnership(pass, fn.Doc, fn.Type, fn.Body)...)
 				}
 				return false
 			case *ast.FuncLit:
-				findings = append(findings, checkBufferOwnership(pass, fn.Type, fn.Body)...)
+				findings = append(findings, checkBufferOwnership(pass, nil, fn.Type, fn.Body)...)
 				return false
 			}
 			return true
@@ -163,22 +209,31 @@ func runBufferOwnership(pass *Pass) []Finding {
 	return findings
 }
 
-func checkBufferOwnership(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) []Finding {
+func checkBufferOwnership(pass *Pass, doc *ast.CommentGroup, ftype *ast.FuncType, body *ast.BlockStmt) []Finding {
 	var findings []Finding
 	report := func(n ast.Node, format string, args ...any) {
 		findings = append(findings, findingAt(pass, "buffer-ownership", n, format, args...))
 	}
 
-	// Borrowed []byte parameters.
+	// Borrowed []byte parameters, minus those the function adopts by
+	// documented contract.
+	adopted := adoptedParams(pass, doc, &findings)
 	borrowed := make(map[*types.Var]bool)
 	if ftype.Params != nil {
 		for _, field := range ftype.Params.List {
 			for _, name := range field.Names {
 				if v, ok := pass.Info.Defs[name].(*types.Var); ok && isByteSlice(v.Type()) {
+					if adopted[v.Name()] {
+						delete(adopted, v.Name())
+						continue
+					}
 					borrowed[v] = true
 				}
 			}
 		}
+	}
+	for name := range adopted {
+		report(ftype, "dodo:adopts(%s) names no []byte parameter", name)
 	}
 
 	// lent maps a variable to true once it has been passed to a

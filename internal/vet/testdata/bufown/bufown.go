@@ -68,3 +68,28 @@ func (c *conn) depositOwned(data []byte) {
 	//vet:ignore buffer-ownership — fixture: ownership transferred by contract
 	c.q = append(c.q, data)
 }
+
+// An adopted parameter is an ownership transfer that is part of the
+// function's documented contract: the caller hands dst over and must
+// not touch it until the API gives it back. Not flagged.
+//
+// dodo:adopts(data)
+func (c *conn) depositAdopted(data []byte) {
+	c.q = append(c.q, data)
+}
+
+// A directive naming a parameter that does not exist (or is not a
+// []byte) is itself a finding, so a typo cannot silently disable the
+// borrowed-parameter rule — and the real parameter stays checked.
+//
+// dodo:adopts(bogus)
+func (c *conn) adoptTypo(data []byte) { // want `dodo:adopts\(bogus\) names no \[\]byte parameter`
+	c.q = append(c.q, data) // want `borrowed \[\]byte parameter data stored beyond the call`
+}
+
+// A malformed adopts directive is reported, not silently ignored.
+//
+// dodo:adopts() want `malformed directive`
+func (c *conn) adoptMalformed(data []byte) {
+	c.q = append(c.q, append([]byte(nil), data...))
+}

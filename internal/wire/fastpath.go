@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// Frame pool: transmit-side buffers for the data plane. The hot path
+// encodes one BulkData frame per packet; allocating each from the heap
+// made the garbage collector a participant in every bulk transfer.
+// Frames here are recycled through a sync.Pool instead.
+//
+// Ownership rule (checked by the resource-lifecycle vet pass via the
+// dodo:acquires/releases annotations below): whoever calls GetFrame
+// returns that frame with PutFrame, and does so only after the last
+// read of it. A frame handed to a transport Send/SendVec may be
+// returned as soon as the call returns — every transport either copies
+// the frame before queueing it (mem, usocket) or hands it to the kernel
+// synchronously (UDP) — which is what lets senders pair GetFrame with
+// an immediate `defer PutFrame`.
+
+// pooledFrameSize is the capacity of pooled frames: big enough for a
+// full frame on the largest-MTU transport (kernel UDP, 63 KiB) with
+// header room to spare. Larger requests fall through to the heap.
+const pooledFrameSize = 64 << 10
+
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, pooledFrameSize)
+		return &b
+	},
+}
+
+// GetFrame returns a frame buffer of length n, recycled from the pool
+// when n fits a pooled frame and freshly allocated otherwise. The
+// buffer's contents are arbitrary; the caller must overwrite every byte
+// it sends.
+//
+// dodo:acquires(frame)
+func GetFrame(n int) []byte {
+	if n > pooledFrameSize {
+		return make([]byte, n)
+	}
+	p := framePool.Get().(*[]byte)
+	return (*p)[:n]
+}
+
+// PutFrame returns a frame obtained from GetFrame to the pool. Oversize
+// frames (heap-allocated by GetFrame) are left for the garbage
+// collector. The frame must not be touched after PutFrame.
+//
+// dodo:releases(frame)
+func PutFrame(b []byte) {
+	if cap(b) != pooledFrameSize {
+		return
+	}
+	b = b[:pooledFrameSize]
+	framePool.Put(&b)
+}
+
+// EncodePooled is Encode into a pooled frame: same wire bytes, but the
+// returned frame came from GetFrame and the caller must hand it to
+// PutFrame once the transport send returns.
+//
+// dodo:acquires(frame)
+func EncodePooled(seq uint32, msg Message) ([]byte, error) {
+	n := msg.payloadSize()
+	if n > MaxPayload {
+		return nil, ErrOversize
+	}
+	frame := GetFrame(HeaderSize + n)
+	PutHeader(frame, Header{Type: msg.Kind(), Seq: seq, PayloadLen: uint32(n)})
+	if err := msg.encode(frame[HeaderSize:]); err != nil {
+		PutFrame(frame)
+		return nil, err
+	}
+	return frame, nil
+}
+
+// InlineDataLimit is the largest payload a DataResp can carry inline on
+// a transport with the given MTU: the frame header and the extended
+// DataResp fixed fields (the 21 legacy bytes plus the flags byte) must
+// fit alongside it. Requesters use it to predict whether a read will
+// come back inline; responders use it to decide.
+func InlineDataLimit(mtu int) int { return mtu - HeaderSize - 22 }
+
+// BulkDataPrefixSize is the encoded size of everything in a BulkData
+// frame that precedes the payload: the frame header plus the fixed
+// TransferID/Seq fields.
+const BulkDataPrefixSize = HeaderSize + 12
+
+// PutBulkDataPrefix encodes the header and fixed fields of a BulkData
+// frame carrying payloadLen payload bytes into buf (at least
+// BulkDataPrefixSize long). It is the scatter-gather half of a BulkData
+// send: pair it with a transport SendVec whose second element is the
+// payload itself, and no per-packet payload copy happens on this side.
+func PutBulkDataPrefix(buf []byte, id uint64, seq uint32, payloadLen int) {
+	PutHeader(buf, Header{Type: TBulkData, Seq: 0, PayloadLen: uint32(12 + payloadLen)})
+	binary.BigEndian.PutUint64(buf[HeaderSize:], id)
+	binary.BigEndian.PutUint32(buf[HeaderSize+8:], seq)
+}
+
+// DecodeBulkData parses a BulkData frame in place. Unlike Decode, the
+// returned payload ALIASES frame's backing array — it is valid only
+// until the receive buffer is reused, so the caller must copy the bytes
+// it keeps before returning. This is the receive-side half of the
+// zero-copy bulk pipeline: the hot path copies each payload exactly
+// once, straight into the assembling transfer buffer. Any frame that is
+// not a well-formed BulkData returns an error; callers fall back to the
+// general Decode.
+func DecodeBulkData(frame []byte) (id uint64, seq uint32, payload []byte, err error) {
+	h, err := ParseHeader(frame)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if h.Type != TBulkData {
+		return 0, 0, nil, ErrBadType
+	}
+	if h.PayloadLen < 12 {
+		return 0, 0, nil, ErrTruncated
+	}
+	b := frame[HeaderSize : HeaderSize+int(h.PayloadLen)]
+	id = binary.BigEndian.Uint64(b[0:])
+	seq = binary.BigEndian.Uint32(b[8:])
+	return id, seq, b[12:], nil
+}

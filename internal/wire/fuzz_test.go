@@ -68,6 +68,34 @@ func FuzzWireRoundTrip(f *testing.F) {
 			},
 		},
 		&InventoryAck{Status: StatusStale, Incarnation: 4},
+		// Fast-path data plane: extended read request (eager fields in
+		// the optional trailer), inline and eager response forms, the
+		// batched read exchange, and every capability-carrying trailer.
+		&ReadReq{RegionID: 9, Epoch: 5, Offset: 4096, Length: 1 << 16,
+			Caps: LocalCaps, XferID: 77, ChunkSize: 1408, Window: 32},
+		&DataResp{Status: StatusOK, Count: 16, Crc: 0xFEEDF00D,
+			Flags: DataFlagInline, Payload: []byte("0123456789abcdef")},
+		&DataResp{Status: StatusOK, Count: 1 << 16, TransferID: 77,
+			Crc: 0xFEEDF00D, Flags: DataFlagEager},
+		&ReadBatchReq{Caps: LocalCaps, XferID: 78, ChunkSize: 1408, Window: 32,
+			Items: []ReadBatchItem{
+				{RegionID: 9, Epoch: 5, Offset: 0, Length: 4096},
+				{RegionID: 10, Epoch: 5, Offset: 8192, Length: 1 << 14},
+			}},
+		&ReadBatchResp{Status: StatusOK, TransferID: 78, Flags: DataFlagEager,
+			Results: []ReadBatchResult{
+				{Status: StatusOK, Count: 4096, Crc: 0xCAFEF00D},
+				{Status: StatusStale, Count: 0},
+			}},
+		&ReadBatchResp{Status: StatusOK, Flags: DataFlagInline,
+			Results: []ReadBatchResult{{Status: StatusOK, Count: 8, Crc: 1}},
+			Payload: []byte("8bytes!!")},
+		&HostStatus{HostAddr: "ws-4:7071", State: HostIdle, Epoch: 3,
+			AvailBytes: 32 << 20, LargestFree: 8 << 20, Caps: LocalCaps},
+		&AllocResp{Status: StatusOK, HostCaps: LocalCaps,
+			Region: Region{HostAddr: "ws-4:7071", RegionID: 12, Length: 1 << 16, Epoch: 3}},
+		&CheckAllocResp{Status: StatusOK, Incarnation: 2, HostCaps: LocalCaps},
+		&KeepAliveAck{ClientID: 7, Caps: LocalCaps},
 	}
 	for _, msg := range populated {
 		frame, err := Encode(99, msg)

@@ -110,6 +110,10 @@ func newMessage(t Type) Message {
 		return &InventoryReport{}
 	case TInventoryAck:
 		return &InventoryAck{}
+	case TReadBatchReq:
+		return &ReadBatchReq{}
+	case TReadBatchResp:
+		return &ReadBatchResp{}
 	}
 	return nil
 }
@@ -151,15 +155,32 @@ type AllocResp struct {
 	Status      Status
 	Incarnation uint64
 	Region      Region
+	// HostCaps is the capability set the hosting imd advertised, relayed
+	// so the client knows which read fast paths this host understands.
+	// Encoded as an optional trailing field: zero is omitted, and frames
+	// from older managers decode as zero (legacy host).
+	HostCaps Caps
 }
 
-func (*AllocResp) Kind() Type         { return TAllocResp }
-func (m *AllocResp) payloadSize() int { return 9 + m.Region.encodedSize() }
+func (*AllocResp) Kind() Type { return TAllocResp }
+func (m *AllocResp) payloadSize() int {
+	n := 9 + m.Region.encodedSize()
+	if m.HostCaps != 0 {
+		n += 4
+	}
+	return n
+}
 func (m *AllocResp) encode(b []byte) error {
 	b[0] = uint8(m.Status)
 	binary.BigEndian.PutUint64(b[1:], m.Incarnation)
-	_, err := putRegion(b[9:], m.Region)
-	return err
+	n, err := putRegion(b[9:], m.Region)
+	if err != nil {
+		return err
+	}
+	if m.HostCaps != 0 {
+		binary.BigEndian.PutUint32(b[9+n:], uint32(m.HostCaps))
+	}
+	return nil
 }
 func (m *AllocResp) decode(b []byte) error {
 	if len(b) < 9 {
@@ -167,11 +188,15 @@ func (m *AllocResp) decode(b []byte) error {
 	}
 	m.Status = Status(b[0])
 	m.Incarnation = binary.BigEndian.Uint64(b[1:])
-	r, _, err := getRegion(b[9:])
+	r, n, err := getRegion(b[9:])
 	if err != nil {
 		return err
 	}
 	m.Region = r
+	m.HostCaps = 0
+	if len(b) >= 9+n+4 {
+		m.HostCaps = Caps(binary.BigEndian.Uint32(b[9+n:]))
+	}
 	return nil
 }
 
@@ -243,10 +268,19 @@ type CheckAllocResp struct {
 	Fresh       bool
 	Incarnation uint64
 	Region      Region
+	// HostCaps relays the hosting imd's capability set, exactly as in
+	// AllocResp: optional trailing field, zero/absent means legacy host.
+	HostCaps Caps
 }
 
-func (*CheckAllocResp) Kind() Type         { return TCheckAllocResp }
-func (m *CheckAllocResp) payloadSize() int { return 10 + m.Region.encodedSize() }
+func (*CheckAllocResp) Kind() Type { return TCheckAllocResp }
+func (m *CheckAllocResp) payloadSize() int {
+	n := 10 + m.Region.encodedSize()
+	if m.HostCaps != 0 {
+		n += 4
+	}
+	return n
+}
 func (m *CheckAllocResp) encode(b []byte) error {
 	b[0] = uint8(m.Status)
 	b[1] = 0
@@ -254,8 +288,14 @@ func (m *CheckAllocResp) encode(b []byte) error {
 		b[1] = 1
 	}
 	binary.BigEndian.PutUint64(b[2:], m.Incarnation)
-	_, err := putRegion(b[10:], m.Region)
-	return err
+	n, err := putRegion(b[10:], m.Region)
+	if err != nil {
+		return err
+	}
+	if m.HostCaps != 0 {
+		binary.BigEndian.PutUint32(b[10+n:], uint32(m.HostCaps))
+	}
+	return nil
 }
 func (m *CheckAllocResp) decode(b []byte) error {
 	if len(b) < 10 {
@@ -264,11 +304,15 @@ func (m *CheckAllocResp) decode(b []byte) error {
 	m.Status = Status(b[0])
 	m.Fresh = b[1] != 0
 	m.Incarnation = binary.BigEndian.Uint64(b[2:])
-	r, _, err := getRegion(b[10:])
+	r, n, err := getRegion(b[10:])
 	if err != nil {
 		return err
 	}
 	m.Region = r
+	m.HostCaps = 0
+	if len(b) >= 10+n+4 {
+		m.HostCaps = Caps(binary.BigEndian.Uint32(b[10+n:]))
+	}
 	return nil
 }
 
@@ -330,6 +374,11 @@ type KeepAliveAck struct {
 	// host that served the corrupt frame.
 	ChecksumFailures uint64
 	CorruptHosts     []HostCount
+	// Caps is the client's own capability set, piggybacked so the
+	// manager learns which fast paths each client speaks without an
+	// extra RPC. Optional trailing field: zero is omitted, and acks from
+	// older clients decode as zero (legacy client).
+	Caps Caps
 }
 
 func (*KeepAliveAck) Kind() Type { return TKeepAliveAck }
@@ -337,6 +386,9 @@ func (m *KeepAliveAck) payloadSize() int {
 	n := 4 + 9*8 + 2
 	for _, h := range m.CorruptHosts {
 		n += h.encodedSize()
+	}
+	if m.Caps != 0 {
+		n += 4
 	}
 	return n
 }
@@ -364,6 +416,9 @@ func (m *KeepAliveAck) encode(b []byte) error {
 		at += n
 		binary.BigEndian.PutUint64(b[at:], h.Count)
 		at += 8
+	}
+	if m.Caps != 0 {
+		binary.BigEndian.PutUint32(b[at:], uint32(m.Caps))
 	}
 	return nil
 }
@@ -398,6 +453,10 @@ func (m *KeepAliveAck) decode(b []byte) error {
 		}
 		m.CorruptHosts = append(m.CorruptHosts, HostCount{Addr: addr, Count: binary.BigEndian.Uint64(b[at:])})
 		at += 8
+	}
+	m.Caps = 0
+	if len(b) >= at+4 {
+		m.Caps = Caps(binary.BigEndian.Uint32(b[at:]))
 	}
 	return nil
 }
@@ -441,10 +500,21 @@ type HostStatus struct {
 	// so a delayed pre-crash HostBusy cannot tear down a row the
 	// restarted manager just rebuilt.
 	Incarnation uint64
+	// Caps advertises the sender's optional protocol features (inline
+	// reads, eager bulk, batched fetch). Optional trailing field: zero
+	// is omitted, and announces from older imds decode as zero, which
+	// the manager reads as "legacy host, no fast paths".
+	Caps Caps
 }
 
-func (*HostStatus) Kind() Type         { return THostStatus }
-func (m *HostStatus) payloadSize() int { return 2 + len(m.HostAddr) + 1 + 32 }
+func (*HostStatus) Kind() Type { return THostStatus }
+func (m *HostStatus) payloadSize() int {
+	n := 2 + len(m.HostAddr) + 1 + 32
+	if m.Caps != 0 {
+		n += 4
+	}
+	return n
+}
 func (m *HostStatus) encode(b []byte) error {
 	n, err := putString(b, m.HostAddr)
 	if err != nil {
@@ -455,6 +525,9 @@ func (m *HostStatus) encode(b []byte) error {
 	binary.BigEndian.PutUint64(b[n+9:], m.AvailBytes)
 	binary.BigEndian.PutUint64(b[n+17:], m.LargestFree)
 	binary.BigEndian.PutUint64(b[n+25:], m.Incarnation)
+	if m.Caps != 0 {
+		binary.BigEndian.PutUint32(b[n+33:], uint32(m.Caps))
+	}
 	return nil
 }
 func (m *HostStatus) decode(b []byte) error {
@@ -471,6 +544,10 @@ func (m *HostStatus) decode(b []byte) error {
 	m.AvailBytes = binary.BigEndian.Uint64(b[n+9:])
 	m.LargestFree = binary.BigEndian.Uint64(b[n+17:])
 	m.Incarnation = binary.BigEndian.Uint64(b[n+25:])
+	m.Caps = 0
+	if len(b) >= n+37 {
+		m.Caps = Caps(binary.BigEndian.Uint32(b[n+33:]))
+	}
 	return nil
 }
 
@@ -618,21 +695,48 @@ func (m *IMDFreeResp) decode(b []byte) error {
 }
 
 // ReadReq asks an imd for Length bytes at Offset within a region (client
-// -> imd data path). The response data travels via the bulk protocol.
+// -> imd data path). By default the response data travels via the bulk
+// protocol; the optional trailing fields request a fast path instead.
+// Caps names the features the requester speaks — an old imd ignores the
+// extra bytes and serves the legacy ladder, so the request is safe to
+// send to any peer. When Caps includes CapEagerRead, XferID is the
+// requester-chosen bulk transfer id (the requester pre-registers its
+// receive state under this id before sending, so eager data can never
+// race ahead of it), and ChunkSize/Window are the packet size and
+// receive window it committed.
 type ReadReq struct {
 	RegionID uint64
 	Epoch    uint64
 	Offset   uint64
 	Length   uint64
+
+	Caps      Caps
+	XferID    uint64
+	ChunkSize uint32
+	Window    uint32
 }
 
-func (*ReadReq) Kind() Type       { return TReadReq }
-func (*ReadReq) payloadSize() int { return 32 }
+func (*ReadReq) Kind() Type { return TReadReq }
+func (m *ReadReq) extended() bool {
+	return m.Caps != 0 || m.XferID != 0 || m.ChunkSize != 0 || m.Window != 0
+}
+func (m *ReadReq) payloadSize() int {
+	if m.extended() {
+		return 52
+	}
+	return 32
+}
 func (m *ReadReq) encode(b []byte) error {
 	binary.BigEndian.PutUint64(b[0:], m.RegionID)
 	binary.BigEndian.PutUint64(b[8:], m.Epoch)
 	binary.BigEndian.PutUint64(b[16:], m.Offset)
 	binary.BigEndian.PutUint64(b[24:], m.Length)
+	if m.extended() {
+		binary.BigEndian.PutUint32(b[32:], uint32(m.Caps))
+		binary.BigEndian.PutUint64(b[36:], m.XferID)
+		binary.BigEndian.PutUint32(b[44:], m.ChunkSize)
+		binary.BigEndian.PutUint32(b[48:], m.Window)
+	}
 	return nil
 }
 func (m *ReadReq) decode(b []byte) error {
@@ -643,6 +747,13 @@ func (m *ReadReq) decode(b []byte) error {
 	m.Epoch = binary.BigEndian.Uint64(b[8:])
 	m.Offset = binary.BigEndian.Uint64(b[16:])
 	m.Length = binary.BigEndian.Uint64(b[24:])
+	m.Caps, m.XferID, m.ChunkSize, m.Window = 0, 0, 0, 0
+	if len(b) >= 52 {
+		m.Caps = Caps(binary.BigEndian.Uint32(b[32:]))
+		m.XferID = binary.BigEndian.Uint64(b[36:])
+		m.ChunkSize = binary.BigEndian.Uint32(b[44:])
+		m.Window = binary.BigEndian.Uint32(b[48:])
+	}
 	return nil
 }
 
@@ -696,20 +807,49 @@ func (m *WriteReq) decode(b []byte) error {
 // is the CRC32C of the served bytes, computed over the pool snapshot
 // before the bulk send; the receiving client verifies it after the
 // bulk transfer completes. Zero means unchecked.
+//
+// The optional trailing fields carry the read fast paths. With
+// DataFlagInline set, Payload holds the served bytes themselves — the
+// whole read answered in this one frame, no bulk transfer at all. With
+// DataFlagEager set, this response doubles as the bulk offer: the
+// sender is already blasting the first window under the requester's
+// chosen TransferID, no BulkOffer/BulkAccept exchange happens. Old
+// peers never set the flags, and a zero Flags with no payload encodes
+// to the legacy 21-byte form.
 type DataResp struct {
 	Status     Status
 	Count      uint64
 	TransferID uint64
 	Crc        uint32
+	Flags      uint8
+	Payload    []byte
 }
 
-func (*DataResp) Kind() Type       { return TDataResp }
-func (*DataResp) payloadSize() int { return 21 }
+// DataResp.Flags bits.
+const (
+	// DataFlagInline: Payload carries the served bytes inline.
+	DataFlagInline uint8 = 1 << iota
+	// DataFlagEager: this response doubles as the bulk offer; the first
+	// window is already in flight under the requester-chosen TransferID.
+	DataFlagEager
+)
+
+func (*DataResp) Kind() Type { return TDataResp }
+func (m *DataResp) payloadSize() int {
+	if m.Flags != 0 || len(m.Payload) > 0 {
+		return 22 + len(m.Payload)
+	}
+	return 21
+}
 func (m *DataResp) encode(b []byte) error {
 	b[0] = uint8(m.Status)
 	binary.BigEndian.PutUint64(b[1:], m.Count)
 	binary.BigEndian.PutUint64(b[9:], m.TransferID)
 	binary.BigEndian.PutUint32(b[17:], m.Crc)
+	if m.Flags != 0 || len(m.Payload) > 0 {
+		b[21] = m.Flags
+		copy(b[22:], m.Payload)
+	}
 	return nil
 }
 func (m *DataResp) decode(b []byte) error {
@@ -720,6 +860,14 @@ func (m *DataResp) decode(b []byte) error {
 	m.Count = binary.BigEndian.Uint64(b[1:])
 	m.TransferID = binary.BigEndian.Uint64(b[9:])
 	m.Crc = binary.BigEndian.Uint32(b[17:])
+	m.Flags = 0
+	m.Payload = nil
+	if len(b) >= 22 {
+		m.Flags = b[21]
+		if len(b) > 22 {
+			m.Payload = append([]byte(nil), b[22:]...)
+		}
+	}
 	return nil
 }
 

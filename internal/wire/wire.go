@@ -80,6 +80,10 @@ const (
 	TInventoryReport
 	TInventoryAck
 
+	// Fast-path data plane: batched region fetch (client <-> imd).
+	TReadBatchReq
+	TReadBatchResp
+
 	typeSentinel // keep last
 )
 
@@ -118,7 +122,35 @@ var typeNames = map[Type]string{
 
 	TInventoryReport: "inventory-report",
 	TInventoryAck:    "inventory-ack",
+
+	TReadBatchReq:  "read-batch-req",
+	TReadBatchResp: "read-batch-resp",
 }
+
+// Caps is a bitmask of optional protocol features a peer supports.
+// Hosts advertise theirs in HostStatus announces, the manager relays
+// them in AllocResp/CheckAllocResp, and clients piggyback their own on
+// KeepAliveAck — so either end of a data-path conversation knows which
+// fast paths the other understands and can fall back to the legacy
+// ladder otherwise. A zero Caps means "legacy peer": absence of the
+// field decodes as zero, which is exactly the right answer for frames
+// produced by builds that predate it.
+type Caps uint32
+
+// Capability bits.
+const (
+	// CapInlineRead: a ReadReq that fits one MTU frame may be answered
+	// by a DataResp carrying the payload inline (one round trip).
+	CapInlineRead Caps = 1 << iota
+	// CapEagerRead: DataResp doubles as the bulk offer and the first
+	// window is blasted without waiting for a BulkAccept.
+	CapEagerRead
+	// CapBatchRead: the peer understands ReadBatchReq/ReadBatchResp.
+	CapBatchRead
+)
+
+// LocalCaps is the full capability set of this build.
+const LocalCaps = CapInlineRead | CapEagerRead | CapBatchRead
 
 func (t Type) String() string {
 	if s, ok := typeNames[t]; ok {

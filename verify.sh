@@ -28,6 +28,24 @@ go test -race ./...
 PR_N="${DODO_PR:-$(git rev-list --count HEAD)}"
 go run ./cmd/dodo-bench -gobench "BENCH_pr${PR_N}.json"
 
+# Trajectory comparison against the frozen seed: per-metric deltas with
+# REGRESSION markers on >10% ns/op growth. Warn-only — the seed was
+# recorded at -benchtime 1x, where a microsecond-scale benchmark is one
+# iteration of noise, so its ns/op cannot gate anything honestly.
+go run ./cmd/dodo-bench -compare BENCH_seed.json "BENCH_pr${PR_N}.json" \
+    || echo "WARN: benchmark drift vs 1x seed (informational, not gating)" >&2
+
+# Region perf gate, for real: the region-cache benchmarks at a
+# statistically meaningful benchtime against a baseline frozen the same
+# way BENCH_seed.json was — written once, then compared against on
+# every run. A >10% ns/op regression on any shared region benchmark
+# fails verification.
+[ -f BENCH_region_base.json ] || \
+    go run ./cmd/dodo-bench -gobench BENCH_region_base.json -pkgs ./internal/region -benchtime 1s
+go run ./cmd/dodo-bench -gobench /tmp/bench_region_now.json -pkgs ./internal/region -benchtime 1s
+go run ./cmd/dodo-bench -compare BENCH_region_base.json /tmp/bench_region_now.json
+rm -f /tmp/bench_region_now.json
+
 # The same suite with the lockcheck runtime compiled in: every
 # locks.Mutex acquisition is checked against the declared rank hierarchy
 # and panics on inversion, cross-checking the static lock-order pass
